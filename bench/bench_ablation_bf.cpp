@@ -1,0 +1,147 @@
+/**
+ * @file
+ * Ablations of the Bias-Free design choices DESIGN.md calls out,
+ * on a fixed subset of discriminating traces:
+ *
+ *  - fhist source: filtered-path fold (default) vs raw-history fold
+ *    vs none (Sec. IV-A interpretation; see DESIGN.md item 2).
+ *  - RS depth sweep (the h - ht split of Sec. IV).
+ *  - Bias detection: dynamic 2-bit FSM vs probabilistic 3-bit
+ *    counters vs static profiling oracle (Sec. VI-D, SERV traces).
+ *  - Idealized Algorithm 1 (depth-indexed 2-D table) vs the
+ *    practical 1-D implementation (Sec. IV-B2 relearning argument).
+ *  - IUM under delayed update (inert at delay 0 by construction).
+ */
+
+#include <functional>
+
+#include "bench_common.hpp"
+#include "core/bf_neural_ideal.hpp"
+#include "core/factory.hpp"
+#include "sim/evaluator.hpp"
+
+namespace
+{
+
+using namespace bfbp;
+
+double
+avgMpkiOver(const std::vector<tracegen::TraceRecipe> &traces,
+            double scale,
+            const std::function<std::unique_ptr<BranchPredictor>()> &make,
+            uint64_t update_delay = 0)
+{
+    double sum = 0.0;
+    for (const auto &recipe : traces) {
+        auto src = tracegen::makeSource(recipe, scale);
+        auto p = make();
+        EvalOptions opts;
+        opts.updateDelay = update_delay;
+        sum += evaluate(*src, *p, opts).mpki();
+    }
+    return sum / static_cast<double>(traces.size());
+}
+
+} // anonymous namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace bfbp;
+    auto opts = bench::Options::parse(
+        argc, argv, "BF design-choice ablations");
+    if (opts.traces.empty()) {
+        // Scene-heavy + local-history + server: the discriminators.
+        opts.traces = {"SPEC02", "SPEC03", "SPEC09", "SPEC18",
+                       "SPEC07", "MM5", "SERV3", "INT4"};
+    }
+    const auto traces = opts.selectedTraces();
+    const double scale = opts.scale;
+
+    auto report = [&](const std::string &label, double mpki) {
+        std::cout << std::left << std::setw(34) << label << std::right
+                  << bench::cell(mpki) << "\n";
+        if (opts.csv)
+            std::cout << "CSV," << label << "," << bench::cell(mpki)
+                      << "\n";
+    };
+
+    bench::banner("fhist source (BF-Neural)");
+    for (auto [label, mode] :
+         {std::pair{"filtered-path fold (default)",
+                    BfNeuralConfig::FoldMode::FilteredPath},
+          std::pair{"raw-history fold",
+                    BfNeuralConfig::FoldMode::RawHistory},
+          std::pair{"no fold", BfNeuralConfig::FoldMode::None}}) {
+        BfNeuralConfig cfg;
+        cfg.foldMode = mode;
+        report(label, avgMpkiOver(traces, scale, [&] {
+            return makeBfNeural(cfg);
+        }));
+    }
+
+    bench::banner("recency stack depth (BF-Neural)");
+    for (unsigned depth : {16u, 32u, 48u, 64u}) {
+        BfNeuralConfig cfg;
+        cfg.rsDepth = depth;
+        report("rsDepth " + std::to_string(depth),
+               avgMpkiOver(traces, scale,
+                           [&] { return makeBfNeural(cfg); }));
+    }
+
+    bench::banner("bias detection (BF-Neural)");
+    {
+        BfNeuralConfig dyn;
+        report("dynamic 2-bit FSM",
+               avgMpkiOver(traces, scale,
+                           [&] { return makeBfNeural(dyn); }));
+        BfNeuralConfig prob;
+        prob.probabilisticBst = true;
+        report("probabilistic 3-bit counters",
+               avgMpkiOver(traces, scale,
+                           [&] { return makeBfNeural(prob); }));
+        // Static profiling oracle (Sec. VI-D): profile each trace
+        // first, then predict with perfect classification.
+        double sum = 0.0;
+        for (const auto &recipe : traces) {
+            auto profSrc = tracegen::makeSource(recipe, scale);
+            auto oracle = std::make_shared<BiasOracle>(
+                BiasOracle::profile(*profSrc));
+            BfNeuralConfig cfg;
+            cfg.oracle = oracle;
+            auto src = tracegen::makeSource(recipe, scale);
+            auto p = makeBfNeural(cfg);
+            sum += evaluate(*src, *p).mpki();
+        }
+        report("static profiling oracle",
+               sum / static_cast<double>(traces.size()));
+    }
+
+    bench::banner("Algorithm 1 (idealized) vs practical");
+    report("bf-neural (practical, 1-D Wrs)",
+           avgMpkiOver(traces, scale,
+                       [] { return makeBfNeural(); }));
+    report("bf-neural-ideal (2-D by RS depth)",
+           avgMpkiOver(traces, scale, [] {
+               return std::make_unique<BfNeuralIdealPredictor>();
+           }));
+
+    bench::banner("IUM under delayed update (BF-ISL-TAGE-10)");
+    for (uint64_t delay : {0ull, 32ull}) {
+        for (bool ium : {false, true}) {
+            IslConfig isl;
+            isl.useIum = ium;
+            isl.label = "bf-isl-tage-10";
+            report("delay " + std::to_string(delay) +
+                       (ium ? " with IUM" : " without IUM"),
+                   avgMpkiOver(
+                       traces, scale,
+                       [&] {
+                           return std::make_unique<IslTagePredictor>(
+                               makeBfTageCore(10), isl);
+                       },
+                       delay));
+        }
+    }
+    return 0;
+}

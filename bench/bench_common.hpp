@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Shared helpers for the experiment harness binaries.
+ *
+ * Every bench accepts:
+ *   --scale X    trace length multiplier (default: BFBP_TRACE_SCALE
+ *                environment variable, else 1.0)
+ *   --traces A,B comma-separated trace-name filter (default: all 40)
+ *   --csv        machine-readable output in addition to the table
+ *   --help       usage
+ */
+
+#ifndef BFBP_BENCH_COMMON_HPP
+#define BFBP_BENCH_COMMON_HPP
+
+#include <algorithm>
+#include <cstdlib>
+#include <iomanip>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "tracegen/workloads.hpp"
+
+namespace bfbp::bench
+{
+
+/** Parsed command line shared by all harness binaries. */
+struct Options
+{
+    double scale = tracegen::envTraceScale();
+    std::vector<std::string> traces; //!< Empty = whole suite.
+    bool csv = false;
+
+    static Options
+    parse(int argc, char **argv, const std::string &description)
+    {
+        Options opts;
+        for (int i = 1; i < argc; ++i) {
+            const std::string arg = argv[i];
+            if (arg == "--scale" && i + 1 < argc) {
+                opts.scale = std::atof(argv[++i]);
+            } else if (arg == "--traces" && i + 1 < argc) {
+                std::stringstream ss(argv[++i]);
+                std::string name;
+                while (std::getline(ss, name, ','))
+                    opts.traces.push_back(name);
+            } else if (arg == "--csv") {
+                opts.csv = true;
+            } else if (arg == "--help" || arg == "-h") {
+                std::cout << description << "\n\n"
+                          << "options:\n"
+                          << "  --scale X     trace length multiplier "
+                          << "(default BFBP_TRACE_SCALE or 1.0)\n"
+                          << "  --traces A,B  restrict to named traces\n"
+                          << "  --csv         also print CSV rows\n";
+                std::exit(0);
+            } else {
+                std::cerr << "unknown option: " << arg << "\n";
+                std::exit(2);
+            }
+        }
+        return opts;
+    }
+
+    /** The selected suite subset, in suite order. */
+    std::vector<tracegen::TraceRecipe>
+    selectedTraces() const
+    {
+        std::vector<tracegen::TraceRecipe> out;
+        for (const auto &r : tracegen::standardSuite()) {
+            if (traces.empty() ||
+                std::find(traces.begin(), traces.end(), r.name) !=
+                    traces.end()) {
+                out.push_back(r);
+            }
+        }
+        return out;
+    }
+};
+
+/** Prints a right-aligned numeric cell. */
+inline std::string
+cell(double value, int precision = 3)
+{
+    std::ostringstream os;
+    os << std::fixed << std::setprecision(precision) << value;
+    return os.str();
+}
+
+/** Prints a header banner for a bench. */
+inline void
+banner(const std::string &title)
+{
+    std::cout << "==== " << title << " ====\n";
+}
+
+} // namespace bfbp::bench
+
+#endif // BFBP_BENCH_COMMON_HPP

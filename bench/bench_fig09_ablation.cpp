@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Figure 9: contribution of the individual BF-Neural optimizations.
+ *
+ * Four configurations, as in the paper:
+ *  1. "Conventional Perceptron" — the 64 KB hashed piecewise-linear
+ *     predictor with history length 72.
+ *  2. "BF-Neural (fhist)" — BST detection gates biased branches away
+ *     from the weight tables, but they still enter the history.
+ *  3. "BF-Neural (ghist bias-free + fhist)" — biased branches also
+ *     filtered from the history (plain filtered shift register).
+ *  4. "BF-Neural (ghist bias-free + RS + fhist)" — full predictor
+ *     with the recency stack.
+ *
+ * Paper averages: 3.28 -> 2.67 -> 2.59 -> 2.49 MPKI.
+ */
+
+#include <functional>
+
+#include "bench_common.hpp"
+#include "core/factory.hpp"
+#include "sim/evaluator.hpp"
+
+namespace
+{
+
+bfbp::BfNeuralConfig
+variant(bool filter_history, bool use_rs)
+{
+    bfbp::BfNeuralConfig cfg;
+    cfg.filterHistory = filter_history;
+    cfg.useRecencyStack = use_rs;
+    return cfg;
+}
+
+} // anonymous namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace bfbp;
+    const auto opts = bench::Options::parse(
+        argc, argv, "Figure 9: BF-Neural optimization breakdown");
+
+    struct Column
+    {
+        std::string label;
+        std::function<std::unique_ptr<BranchPredictor>()> make;
+    };
+    const std::vector<Column> columns = {
+        {"conv-pwl", [] { return makeConventionalPerceptron(); }},
+        {"bst+fhist", [] { return makeBfNeural(variant(false, false)); }},
+        {"+ghist-bf", [] { return makeBfNeural(variant(true, false)); }},
+        {"+RS", [] { return makeBfNeural(variant(true, true)); }},
+    };
+
+    bench::banner("Figure 9: contribution of optimizations (MPKI)");
+    std::cout << std::left << std::setw(10) << "trace" << std::right;
+    for (const auto &c : columns)
+        std::cout << std::setw(12) << c.label;
+    std::cout << "\n";
+    if (opts.csv)
+        std::cout << "CSV,trace,conv_pwl,bst_fhist,ghist_bf,rs\n";
+
+    std::vector<double> sums(columns.size(), 0.0);
+    size_t count = 0;
+    for (const auto &recipe : opts.selectedTraces()) {
+        std::cout << std::left << std::setw(10) << recipe.name
+                  << std::right << std::flush;
+        std::vector<double> row;
+        for (size_t i = 0; i < columns.size(); ++i) {
+            auto source = tracegen::makeSource(recipe, opts.scale);
+            auto predictor = columns[i].make();
+            const EvalResult res = evaluate(*source, *predictor);
+            sums[i] += res.mpki();
+            row.push_back(res.mpki());
+            std::cout << std::setw(12) << bench::cell(res.mpki())
+                      << std::flush;
+        }
+        std::cout << "\n";
+        if (opts.csv) {
+            std::cout << "CSV," << recipe.name;
+            for (double v : row)
+                std::cout << "," << bench::cell(v);
+            std::cout << "\n";
+        }
+        ++count;
+    }
+
+    if (count > 0) {
+        std::cout << std::left << std::setw(10) << "Avg."
+                  << std::right;
+        for (double s : sums) {
+            std::cout << std::setw(12)
+                      << bench::cell(s / static_cast<double>(count));
+        }
+        std::cout << "\n\npaper (full-size CBP-4 traces): "
+                  << "3.28 -> 2.67 -> 2.59 -> 2.49\n";
+    }
+    return 0;
+}

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Figure 11: relative per-trace MPKI improvement over a 10-table
+ * conventional TAGE, for (a) the 15-table conventional TAGE and
+ * (b) the 10-table BF-TAGE.
+ *
+ * Paper shape: on the long-history-sensitive traces (SPEC00, 02, 03,
+ * 06, 09, 10, 15, 17, INT1, INT4, INT5) the 10-table BF-TAGE closely
+ * tracks the 15-table TAGE's improvement; it loses ground on the
+ * local-history traces (SPEC07, FP2, MM5) and on server traces
+ * (dynamic bias detection churn, worst for SERV3).
+ */
+
+#include "bench_common.hpp"
+#include "core/factory.hpp"
+#include "sim/evaluator.hpp"
+
+int
+main(int argc, char **argv)
+{
+    using namespace bfbp;
+    const auto opts = bench::Options::parse(
+        argc, argv,
+        "Figure 11: relative MPKI improvement vs 10-table TAGE");
+
+    bench::banner(
+        "Figure 11: relative improvement in MPKI w.r.t. TAGE-10");
+    std::cout << std::left << std::setw(10) << "trace" << std::right
+              << std::setw(12) << "tage10" << std::setw(12) << "tage15"
+              << std::setw(12) << "bf10" << std::setw(12) << "tage15%"
+              << std::setw(12) << "bf10%" << "\n";
+    if (opts.csv)
+        std::cout << "CSV,trace,tage10_mpki,tage15_pct,bf10_pct\n";
+
+    for (const auto &recipe : opts.selectedTraces()) {
+        auto runOne = [&](const std::string &spec) {
+            auto source = tracegen::makeSource(recipe, opts.scale);
+            auto predictor = createPredictor(spec);
+            return evaluate(*source, *predictor).mpki();
+        };
+        const double base = runOne("tage-10");
+        const double t15 = runOne("tage-15");
+        const double bf10 = runOne("bf-tage-10");
+        const double t15Pct =
+            base > 0.0 ? 100.0 * (base - t15) / base : 0.0;
+        const double bfPct =
+            base > 0.0 ? 100.0 * (base - bf10) / base : 0.0;
+        std::cout << std::left << std::setw(10) << recipe.name
+                  << std::right << std::setw(12) << bench::cell(base)
+                  << std::setw(12) << bench::cell(t15)
+                  << std::setw(12) << bench::cell(bf10)
+                  << std::setw(12) << bench::cell(t15Pct, 1)
+                  << std::setw(12) << bench::cell(bfPct, 1) << "\n";
+        if (opts.csv) {
+            std::cout << "CSV," << recipe.name << ","
+                      << bench::cell(base) << ","
+                      << bench::cell(t15Pct, 2) << ","
+                      << bench::cell(bfPct, 2) << "\n";
+        }
+    }
+    std::cout << "\npaper shape: BF-TAGE-10 tracks TAGE-15 on "
+              << "long-history traces; negative bars on SPEC07/FP2/"
+              << "MM5/SERV traces\n";
+    return 0;
+}

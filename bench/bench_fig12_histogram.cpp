@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Figure 12: tagged-table hit histograms — the percentage of
+ * predictions provided by each tagged table — for a 15-table
+ * conventional TAGE vs a 10-table BF-TAGE, on the seven SPEC traces
+ * the paper plots (SPEC00/02/03/06/09/15/17).
+ *
+ * Paper shape: BF-TAGE shifts the provider distribution from
+ * longer-history toward shorter-history tables, confirming that the
+ * compressed BF-GHR brings old context within reach of small table
+ * indices.
+ */
+
+#include "bench_common.hpp"
+#include "core/factory.hpp"
+#include "sim/evaluator.hpp"
+
+int
+main(int argc, char **argv)
+{
+    using namespace bfbp;
+    auto opts = bench::Options::parse(
+        argc, argv, "Figure 12: per-table provider histograms");
+    if (opts.traces.empty()) {
+        opts.traces = {"SPEC00", "SPEC02", "SPEC03", "SPEC06",
+                       "SPEC09", "SPEC15", "SPEC17"};
+    }
+
+    bench::banner("Figure 12: % of branch hits per tagged table");
+    if (opts.csv)
+        std::cout << "CSV,trace,predictor,table,percent\n";
+
+    for (const auto &recipe : opts.selectedTraces()) {
+        std::cout << "\n--- " << recipe.name << " ---\n";
+        for (const std::string spec : {"tage-15", "bf-tage-10"}) {
+            auto source = tracegen::makeSource(recipe, opts.scale);
+            auto predictor = createPredictor(spec);
+            evaluate(*source, *predictor);
+            const ProviderStats *stats = predictor->providerStats();
+            if (!stats) {
+                std::cout << spec << ": no provider stats\n";
+                continue;
+            }
+            std::cout << std::left << std::setw(12) << spec
+                      << std::right << " base "
+                      << bench::cell(stats->percent(0), 1) << "% |";
+            double meanTable = 0.0;
+            double taggedPct = 0.0;
+            for (size_t t = 1; t < stats->providerCount.size(); ++t) {
+                const double pct = stats->percent(t);
+                std::cout << " T" << t << ":"
+                          << bench::cell(pct, 1);
+                meanTable += static_cast<double>(t) * pct;
+                taggedPct += pct;
+                if (opts.csv) {
+                    std::cout << "";
+                }
+            }
+            if (taggedPct > 0.0)
+                meanTable /= taggedPct;
+            std::cout << " | mean tagged table "
+                      << bench::cell(meanTable, 2) << "\n";
+            if (opts.csv) {
+                for (size_t t = 0; t < stats->providerCount.size();
+                     ++t) {
+                    std::cout << "CSV," << recipe.name << "," << spec
+                              << "," << t << ","
+                              << bench::cell(stats->percent(t), 2)
+                              << "\n";
+                }
+            }
+        }
+    }
+    std::cout << "\npaper shape: BF-TAGE's distribution shifts toward "
+              << "shorter-history tables\n";
+    return 0;
+}

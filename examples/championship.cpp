@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Championship: runs every bundled predictor over (a subset of) the
+ * 40-trace suite, CBP style, and prints the leaderboard.
+ *
+ * Usage: championship [scale] [maxTraces]
+ *   scale      trace length multiplier (default envTraceScale())
+ *   maxTraces  limit the suite for a quick run (default all 40)
+ */
+
+#include <algorithm>
+#include <cstdlib>
+#include <iomanip>
+#include <iostream>
+
+#include "core/factory.hpp"
+#include "sim/evaluator.hpp"
+#include "tracegen/workloads.hpp"
+
+int
+main(int argc, char **argv)
+{
+    using namespace bfbp;
+    const double scale =
+        argc > 1 ? std::atof(argv[1]) : tracegen::envTraceScale();
+    const size_t maxTraces =
+        argc > 2 ? static_cast<size_t>(std::atoi(argv[2])) : 40;
+
+    struct Row
+    {
+        std::string name;
+        double avgMpki;
+        uint64_t kib;
+    };
+    std::vector<Row> rows;
+
+    const std::vector<std::string> entrants = {
+        "bimodal", "gshare",    "perceptron",  "pwl",
+        "oh-snap", "bf-neural", "isl-tage-10", "bf-isl-tage-10",
+        "tage-15"};
+
+    for (const auto &spec : entrants) {
+        double sum = 0.0;
+        size_t count = 0;
+        uint64_t kib = 0;
+        for (const auto &recipe : tracegen::standardSuite()) {
+            if (count >= maxTraces)
+                break;
+            auto source = tracegen::makeSource(recipe, scale);
+            auto predictor = createPredictor(spec);
+            kib = predictor->storage().totalBytes() / 1024;
+            sum += evaluate(*source, *predictor).mpki();
+            ++count;
+        }
+        rows.push_back({spec, sum / static_cast<double>(count), kib});
+        std::cout << "." << std::flush;
+    }
+    std::cout << "\n\n=== leaderboard (avg MPKI over " << maxTraces
+              << " traces, scale " << scale << ") ===\n";
+    std::sort(rows.begin(), rows.end(),
+              [](const Row &a, const Row &b) {
+                  return a.avgMpki < b.avgMpki;
+              });
+    int rank = 1;
+    for (const auto &r : rows) {
+        std::cout << std::setw(2) << rank++ << ". " << std::left
+                  << std::setw(16) << r.name << std::right << std::fixed
+                  << std::setprecision(3) << r.avgMpki << " MPKI  ("
+                  << r.kib << " KiB)\n";
+    }
+    return 0;
+}

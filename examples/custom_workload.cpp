@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Custom workload: builds a synthetic program directly with the
+ * tracegen block API — a correlated branch pair separated by a
+ * function call containing hundreds of biased branches (the paper's
+ * Sec. I motivating scenario) — and shows how predictor families
+ * fare as the separation grows.
+ *
+ * Usage: custom_workload [rounds]
+ */
+
+#include <cstdlib>
+#include <iomanip>
+#include <iostream>
+
+#include "core/factory.hpp"
+#include "sim/evaluator.hpp"
+#include "tracegen/program.hpp"
+
+namespace tg = bfbp::tracegen;
+
+namespace
+{
+
+/** A program whose reader must bridge `distance` biased branches. */
+tg::Program
+makeProgram(size_t distance, uint64_t rounds)
+{
+    tg::Program prog;
+    prog.name = "custom-d" + std::to_string(distance);
+    prog.seed = 42;
+    prog.targetBranches = rounds * (distance + 3);
+    prog.numRegs = 4;
+
+    tg::Section sec;
+    // if (cond) ...            <- setter, a genuinely random branch
+    sec.blocks.push_back(
+        std::make_unique<tg::SetterBlock>(0x1000, 0));
+    // helper();                <- a call full of biased branches
+    std::vector<tg::BlockPtr> callee;
+    callee.push_back(std::make_unique<tg::BiasedRunBlock>(
+        0x2000, std::min<size_t>(distance, 128), distance, 7));
+    sec.blocks.push_back(std::make_unique<tg::CallBlock>(
+        0x1800, 0x1804, std::move(callee)));
+    // if (cond) ...            <- reader: same predicate as setter
+    sec.blocks.push_back(std::make_unique<tg::ReaderBlock>(
+        0x3000, std::vector<size_t>{0}, false, 0.0));
+    prog.sections.push_back(std::move(sec));
+    return prog;
+}
+
+} // anonymous namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace bfbp;
+    const uint64_t rounds = argc > 1
+        ? static_cast<uint64_t>(std::atoll(argv[1])) : 3000;
+
+    const std::vector<std::string> predictors = {
+        "pwl", "oh-snap", "tage-15", "bf-neural", "bf-tage-10"};
+
+    std::cout << "Reader misprediction rate vs setter distance\n"
+              << "(one correlated pair bridging a call with N biased "
+              << "branches)\n\n"
+              << std::left << std::setw(10) << "distance" << std::right;
+    for (const auto &p : predictors)
+        std::cout << std::setw(12) << p;
+    std::cout << "\n";
+
+    for (size_t distance : {16, 64, 150, 400, 900, 1600}) {
+        std::cout << std::left << std::setw(10) << distance
+                  << std::right << std::flush;
+        for (const auto &spec : predictors) {
+            tg::ProgramTraceSource source(
+                [distance, rounds] {
+                    return makeProgram(distance, rounds);
+                });
+            auto predictor = createPredictor(spec);
+            EvalOptions opts;
+            opts.collectPerBranch = true;
+            const EvalResult res = evaluate(source, *predictor, opts);
+            // Pull out the reader branch (pc 0x3000).
+            double rate = 0.0;
+            for (const auto &b : res.perBranch) {
+                if (b.pc == 0x3000) {
+                    rate = static_cast<double>(b.mispredictions) /
+                        static_cast<double>(b.executions);
+                }
+            }
+            std::cout << std::setw(11) << std::fixed
+                      << std::setprecision(1) << 100.0 * rate << "%"
+                      << std::flush;
+        }
+        std::cout << "\n";
+    }
+    std::cout << "\nExpected shape: the flat-history neural baselines "
+              << "(pwl, oh-snap) lose the correlation as soon as\n"
+              << "the distance exceeds their history depth (72/128) and "
+              << "never recover. BF-Neural holds a ~1% rate\n"
+              << "at every distance: the biased call body never enters "
+              << "its filtered history, so the setter stays at\n"
+              << "the top of the recency stack. The TAGE rows improve "
+              << "with training volume and table coverage and are\n"
+              << "sensitive to where the distance falls relative to "
+              << "their geometric history lengths.\n";
+    return 0;
+}

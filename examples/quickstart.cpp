@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Quickstart: build a predictor, run it on a synthetic trace, print
+ * accuracy and the hardware budget.
+ *
+ * Usage: quickstart [predictor] [trace] [scale]
+ *   predictor  any createPredictor() spec (default "bf-neural")
+ *   trace      a suite trace name (default "SPEC00")
+ *   scale      trace length multiplier (default 0.1)
+ */
+
+#include <cstdlib>
+#include <iomanip>
+#include <iostream>
+
+#include "core/factory.hpp"
+#include "sim/evaluator.hpp"
+#include "tracegen/workloads.hpp"
+
+int
+main(int argc, char **argv)
+{
+    const std::string spec = argc > 1 ? argv[1] : "bf-neural";
+    const std::string traceName = argc > 2 ? argv[2] : "SPEC00";
+    const double scale = argc > 3 ? std::atof(argv[3]) : 0.1;
+
+    try {
+        auto predictor = bfbp::createPredictor(spec);
+        const auto &recipe = bfbp::tracegen::recipeByName(traceName);
+        auto source = bfbp::tracegen::makeSource(recipe, scale);
+
+        std::cout << "Running " << predictor->name() << " on "
+                  << recipe.name << " (scale " << scale << ")...\n";
+
+        const bfbp::EvalResult result =
+            bfbp::evaluate(*source, *predictor);
+
+        std::cout << std::fixed << std::setprecision(3)
+                  << "  instructions:     " << result.instructions << "\n"
+                  << "  cond branches:    " << result.condBranches << "\n"
+                  << "  mispredictions:   " << result.mispredictions
+                  << "\n"
+                  << "  MPKI:             " << result.mpki() << "\n"
+                  << "  mispredict rate:  "
+                  << 100.0 * result.mispredictionRate() << "%\n\n";
+
+        std::cout << predictor->storage() << "\n";
+    } catch (const std::exception &e) {
+        std::cerr << "error: " << e.what() << "\n";
+        return 1;
+    }
+    return 0;
+}

@@ -1,0 +1,11 @@
+#!/bin/bash
+cd /root/repo
+: > bench_output.txt
+for b in build/bench/*; do
+  if [ -x "$b" ] && [ -f "$b" ]; then
+    echo "===== $b =====" >> bench_output.txt
+    "$b" >> bench_output.txt 2>&1
+    echo "" >> bench_output.txt
+  fi
+done
+echo "ALL_BENCHES_DONE" >> bench_output.txt

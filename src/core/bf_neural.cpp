@@ -1,0 +1,257 @@
+#include "core/bf_neural.hpp"
+
+#include <cassert>
+#include <cstdlib>
+
+#include "util/bitops.hpp"
+#include "util/hashing.hpp"
+
+namespace bfbp
+{
+
+namespace
+{
+
+/** Fold depth ladder for positional folded history (fhist). */
+std::vector<unsigned>
+foldLadder()
+{
+    return {1, 2, 3, 4, 6, 8, 10, 12, 14, 16, 24, 32, 48, 64,
+            96, 128, 192, 256, 384, 512, 768, 1024, 1536, 2048};
+}
+
+constexpr unsigned foldWidth = 13;
+
+/** Prediction dictated by the BST state (non-perceptron paths). */
+bool
+gatedPrediction(BiasState state, bool neural_pred)
+{
+    switch (state) {
+      case BiasState::NotFound:
+        // First encounter: static not-taken-until-proven policy is
+        // a wash; taken matches typical biased code slightly better.
+        return true;
+      case BiasState::Taken:
+        return true;
+      case BiasState::NotTaken:
+        return false;
+      case BiasState::NonBiased:
+        return neural_pred;
+    }
+    return neural_pred;
+}
+
+} // anonymous namespace
+
+BfNeuralPredictor::BfNeuralPredictor(BfNeuralConfig config)
+    : cfg(std::move(config)),
+      bst(cfg.bstLogEntries, cfg.probabilisticBst),
+      rs(cfg.rsDepth, cfg.useRecencyStack),
+      threshold(cfg.thetaInit, cfg.thetaTcBits),
+      wb(size_t{1} << cfg.logBias, SignedSatCounter(cfg.biasWeightBits)),
+      wm(size_t{cfg.wmRows} * cfg.recentHistory,
+         SignedSatCounter(cfg.weightBits)),
+      wrs(size_t{1} << cfg.logWrs, SignedSatCounter(cfg.weightBits)),
+      foldBank(foldLadder(), foldWidth,
+               static_cast<size_t>(cfg.maxPosDistance) + 1),
+      recentAddrs(cfg.recentHistory)
+{
+    assert(cfg.recentHistory <= 32);
+    assert(cfg.rsDepth <= 64);
+}
+
+BiasState
+BfNeuralPredictor::classify(uint64_t pc) const
+{
+    return cfg.oracle ? cfg.oracle->classify(pc) : bst.lookup(pc);
+}
+
+void
+BfNeuralPredictor::computeNeural(uint64_t pc, Context &ctx) const
+{
+    ctx.biasIndex = hashPc(pc, cfg.logBias);
+    int sum = 2 * wb[ctx.biasIndex].value();
+
+    // Conventional component over the ht most recent unfiltered
+    // history bits (Algorithm 2, first loop): row selected by the
+    // predicted PC and the path address, column by the depth.
+    const auto &hist = foldBank.history();
+    ctx.wmCount = cfg.recentHistory;
+    for (unsigned i = 0; i < cfg.recentHistory; ++i) {
+        const uint64_t addr = i < recentAddrs.size()
+            ? recentAddrs.at(i) : 0;
+        const uint32_t row = static_cast<uint32_t>(
+            hashMany({pc >> 1, addr}) % cfg.wmRows);
+        const uint32_t idx = row * cfg.recentHistory + i;
+        ctx.wmIndex[i] = idx;
+        ctx.wmBit[i] = hist[i];
+        const int w = wm[idx].value();
+        sum += hist[i] ? w : -w;
+    }
+
+    // Recency-stack component through the 1-D weight table
+    // (Algorithm 2, second loop): hash in the occurrence's address,
+    // its positional distance, and the folded history from the
+    // occurrence up to the current branch (fhist, Sec. IV-A).
+    ctx.wrsCount = static_cast<unsigned>(rs.size());
+    uint64_t pathFold = 0; // filtered path context accumulated on
+                           // the way down the stack
+    for (unsigned j = 0; j < ctx.wrsCount; ++j) {
+        const RecencyStack::Entry &e = rs.at(j);
+        uint64_t dist = commitCount - e.insertAge;
+        if (dist > cfg.maxPosDistance)
+            dist = cfg.maxPosDistance;
+        uint64_t fold = 0;
+        switch (cfg.foldMode) {
+          case BfNeuralConfig::FoldMode::None:
+            break;
+          case BfNeuralConfig::FoldMode::FilteredPath:
+            fold = pathFold;
+            break;
+          case BfNeuralConfig::FoldMode::RawHistory:
+            fold = foldBank.foldFor(dist);
+            break;
+        }
+        const uint32_t idx = static_cast<uint32_t>(
+            hashMany({pc >> 1, e.addrHash, dist, fold}) &
+            maskBits(cfg.logWrs));
+        ctx.wrsIndex[j] = idx;
+        ctx.wrsBit[j] = e.outcome;
+        const int w = wrs[idx].value();
+        sum += e.outcome ? w : -w;
+        // This entry's outcome becomes path context for deeper
+        // (older) entries.
+        pathFold ^= static_cast<uint64_t>(e.outcome) << (j % foldWidth);
+    }
+
+    ctx.sum = sum;
+    ctx.neuralPred = sum >= 0;
+}
+
+bool
+BfNeuralPredictor::predict(uint64_t pc)
+{
+    Context ctx;
+    ctx.pc = pc;
+    ctx.state = classify(pc);
+    computeNeural(pc, ctx);
+
+    bool pred = cfg.useBst ? gatedPrediction(ctx.state, ctx.neuralPred)
+                           : ctx.neuralPred;
+
+    if (cfg.useLoopPredictor) {
+        ctx.loop = loop.lookup(pc);
+        if (loop.shouldOverride(ctx.loop))
+            pred = ctx.loop.prediction;
+    }
+
+    ctx.finalPred = pred;
+    pending.push_back(ctx);
+    return pred;
+}
+
+void
+BfNeuralPredictor::trainWeights(const Context &ctx, bool taken)
+{
+    wb[ctx.biasIndex].add(taken ? 1 : -1);
+    for (unsigned i = 0; i < ctx.wmCount; ++i)
+        wm[ctx.wmIndex[i]].add(ctx.wmBit[i] == taken ? 1 : -1);
+    for (unsigned j = 0; j < ctx.wrsCount; ++j)
+        wrs[ctx.wrsIndex[j]].add(ctx.wrsBit[j] == taken ? 1 : -1);
+}
+
+void
+BfNeuralPredictor::update(uint64_t pc, bool taken, bool predicted,
+                          uint64_t target)
+{
+    (void)predicted;
+    (void)target;
+    assert(!pending.empty());
+    Context ctx = pending.front();
+    pending.pop_front();
+    assert(ctx.pc == pc);
+
+    // --- Algorithm 3: BST transition + gated weight training ---
+    BiasState before;
+    if (cfg.oracle) {
+        before = ctx.state; // Static classification never changes.
+    } else {
+        before = bst.train(pc, taken);
+    }
+
+    const bool neuralMispredict = ctx.neuralPred != taken;
+    if (cfg.useBst) {
+        switch (before) {
+          case BiasState::NotFound:
+            // Direction recorded in the BST; weights untouched.
+            break;
+          case BiasState::Taken:
+          case BiasState::NotTaken:
+            if ((before == BiasState::Taken) != taken) {
+                // Bias broken: branch just became non-biased; give
+                // the weights a head start.
+                trainWeights(ctx, taken);
+            }
+            break;
+          case BiasState::NonBiased:
+            if (neuralMispredict ||
+                std::abs(ctx.sum) < threshold.value()) {
+                trainWeights(ctx, taken);
+            }
+            threshold.observe(neuralMispredict, std::abs(ctx.sum));
+            break;
+        }
+    } else {
+        if (neuralMispredict || std::abs(ctx.sum) < threshold.value())
+            trainWeights(ctx, taken);
+        threshold.observe(neuralMispredict, std::abs(ctx.sum));
+    }
+
+    // --- histories ---
+    ++commitCount;
+    const uint16_t addrHash =
+        static_cast<uint16_t>(hashPc(pc, cfg.addrHashBits));
+
+    const BiasState after = cfg.oracle ? ctx.state : bst.lookup(pc);
+    const bool intoFiltered = cfg.useBst && cfg.filterHistory
+        ? after == BiasState::NonBiased
+        : true;
+    if (intoFiltered)
+        rs.push(addrHash, taken, commitCount);
+
+    foldBank.push(taken);
+    recentAddrs.push(addrHash);
+
+    if (cfg.useLoopPredictor) {
+        const bool mainPred = cfg.useBst
+            ? gatedPrediction(before, ctx.neuralPred) : ctx.neuralPred;
+        loop.update(ctx.loop, pc, taken, mainPred,
+                    ctx.finalPred != taken);
+    }
+}
+
+StorageReport
+BfNeuralPredictor::storage() const
+{
+    StorageReport report(name());
+    if (cfg.useBst)
+        report.merge(bst.storage());
+    report.addTable("Wb bias weights", wb.size(), cfg.biasWeightBits);
+    report.addTable("Wm 2-D weights (" + std::to_string(cfg.wmRows) +
+                        "x" + std::to_string(cfg.recentHistory) + ")",
+                    wm.size(), cfg.weightBits);
+    report.addTable("Wrs 1-D weights", wrs.size(), cfg.weightBits);
+    report.merge(rs.storage());
+    report.addTable("recent address ring", cfg.recentHistory,
+                    cfg.addrHashBits);
+    report.addBits("unfiltered outcome ring",
+                   cfg.maxPosDistance + 1);
+    report.addBits("folded history bank",
+                   static_cast<uint64_t>(foldLadder().size()) *
+                       foldWidth);
+    if (cfg.useLoopPredictor)
+        report.merge(loop.storage());
+    return report;
+}
+
+} // namespace bfbp

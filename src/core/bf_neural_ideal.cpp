@@ -1,0 +1,134 @@
+#include "core/bf_neural_ideal.hpp"
+
+#include <cassert>
+#include <cstdlib>
+
+#include "util/bitops.hpp"
+#include "util/hashing.hpp"
+
+namespace bfbp
+{
+
+BfNeuralIdealPredictor::BfNeuralIdealPredictor(BfNeuralIdealConfig config)
+    : cfg(std::move(config)),
+      bst(cfg.bstLogEntries),
+      rs(cfg.historyDepth, true),
+      threshold(perceptronTheta(cfg.historyDepth) / 2),
+      wb(size_t{1} << cfg.logBias, SignedSatCounter(cfg.biasWeightBits)),
+      wm(size_t{cfg.wmRows} * cfg.historyDepth,
+         SignedSatCounter(cfg.weightBits))
+{
+    assert(cfg.historyDepth <= 128);
+}
+
+BiasState
+BfNeuralIdealPredictor::classify(uint64_t pc) const
+{
+    return cfg.oracle ? cfg.oracle->classify(pc) : bst.lookup(pc);
+}
+
+void
+BfNeuralIdealPredictor::compute(uint64_t pc, Context &ctx) const
+{
+    ctx.biasIndex = hashPc(pc, cfg.logBias);
+    int sum = 2 * wb[ctx.biasIndex].value();
+
+    // Algorithm 1: row from (pc, A[i], P[i]); column is the RS
+    // depth i itself.
+    ctx.count = static_cast<unsigned>(rs.size());
+    for (unsigned i = 0; i < ctx.count; ++i) {
+        const RecencyStack::Entry &e = rs.at(i);
+        uint64_t dist = commitCount - e.insertAge;
+        if (dist > cfg.maxPosDistance)
+            dist = cfg.maxPosDistance;
+        const uint32_t row = static_cast<uint32_t>(
+            hashMany({pc >> 1, e.addrHash, dist}) % cfg.wmRows);
+        const uint32_t idx = row * cfg.historyDepth + i;
+        ctx.index[i] = idx;
+        ctx.bit[i] = e.outcome;
+        const int w = wm[idx].value();
+        sum += e.outcome ? w : -w;
+    }
+    ctx.sum = sum;
+    ctx.neuralPred = sum >= 0;
+}
+
+bool
+BfNeuralIdealPredictor::predict(uint64_t pc)
+{
+    Context ctx;
+    ctx.pc = pc;
+    ctx.state = classify(pc);
+    compute(pc, ctx);
+
+    bool pred;
+    switch (ctx.state) {
+      case BiasState::Taken:
+        pred = true;
+        break;
+      case BiasState::NotTaken:
+        pred = false;
+        break;
+      case BiasState::NotFound:
+        pred = true;
+        break;
+      case BiasState::NonBiased:
+      default:
+        pred = ctx.neuralPred;
+        break;
+    }
+    pending.push_back(ctx);
+    return pred;
+}
+
+void
+BfNeuralIdealPredictor::update(uint64_t pc, bool taken, bool predicted,
+                               uint64_t target)
+{
+    (void)predicted;
+    (void)target;
+    assert(!pending.empty());
+    Context ctx = pending.front();
+    pending.pop_front();
+    assert(ctx.pc == pc);
+
+    const BiasState before =
+        cfg.oracle ? ctx.state : bst.train(pc, taken);
+    const bool neuralMispredict = ctx.neuralPred != taken;
+
+    const bool becameNonBiased =
+        (before == BiasState::Taken && !taken) ||
+        (before == BiasState::NotTaken && taken);
+    if (before == BiasState::NonBiased || becameNonBiased) {
+        if (becameNonBiased || neuralMispredict ||
+            std::abs(ctx.sum) < threshold.value()) {
+            wb[ctx.biasIndex].add(taken ? 1 : -1);
+            for (unsigned i = 0; i < ctx.count; ++i)
+                wm[ctx.index[i]].add(ctx.bit[i] == taken ? 1 : -1);
+        }
+        if (before == BiasState::NonBiased)
+            threshold.observe(neuralMispredict, std::abs(ctx.sum));
+    }
+
+    ++commitCount;
+    const BiasState after = cfg.oracle ? ctx.state : bst.lookup(pc);
+    if (after == BiasState::NonBiased) {
+        rs.push(static_cast<uint16_t>(hashPc(pc, cfg.addrHashBits)),
+                taken, commitCount);
+    }
+}
+
+StorageReport
+BfNeuralIdealPredictor::storage() const
+{
+    StorageReport report(name());
+    report.merge(bst.storage());
+    report.addTable("Wb bias weights", wb.size(), cfg.biasWeightBits);
+    report.addTable("Wm 2-D weights (" + std::to_string(cfg.wmRows) +
+                        "x" + std::to_string(cfg.historyDepth) + ")",
+                    wm.size(), cfg.weightBits);
+    report.merge(rs.storage());
+    return report;
+}
+
+} // namespace bfbp

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Idealized BF-Neural predictor (Sec. IV, Algorithm 1).
+ *
+ * The conceptual version of the Bias-Free neural predictor: a
+ * two-dimensional correlating weight table whose column is the
+ * occurrence's *depth in the RS* and whose row hashes the predicted
+ * PC with the occurrence's address and positional distance. The
+ * practical implementation (bf_neural.hpp) replaces the depth-indexed
+ * columns with a 1-D table precisely because newly detected
+ * non-biased branches shift RS depths and force relearning — this
+ * class exists so that effect can be measured (bench_ablation_ideal)
+ * and so Algorithm 1 has a direct, testable rendering.
+ *
+ * Bias detection is either the runtime BST or a profiling oracle
+ * ("idealized ... without paying attention to detecting biased
+ * branches at runtime").
+ */
+
+#ifndef BFBP_CORE_BF_NEURAL_IDEAL_HPP
+#define BFBP_CORE_BF_NEURAL_IDEAL_HPP
+
+#include <array>
+#include <deque>
+#include <memory>
+#include <vector>
+
+#include "core/bias_oracle.hpp"
+#include "core/bias_table.hpp"
+#include "core/recency_stack.hpp"
+#include "predictors/neural_common.hpp"
+#include "sim/predictor.hpp"
+#include "util/saturating_counter.hpp"
+
+namespace bfbp
+{
+
+/** Configuration for BfNeuralIdealPredictor. */
+struct BfNeuralIdealConfig
+{
+    std::string label = "bf-neural-ideal";
+    unsigned historyDepth = 64;  //!< h: RS entries used.
+    unsigned wmRows = 1024;      //!< Rows of the 2-D table.
+    unsigned logBias = 10;
+    unsigned weightBits = 6;
+    unsigned biasWeightBits = 8;
+    unsigned bstLogEntries = 14;
+    unsigned addrHashBits = 14;
+    uint64_t maxPosDistance = 2047;
+    std::shared_ptr<const BiasOracle> oracle; //!< Oracle detection.
+};
+
+/** Algorithm 1 rendered directly. */
+class BfNeuralIdealPredictor : public BranchPredictor
+{
+  public:
+    explicit BfNeuralIdealPredictor(BfNeuralIdealConfig config = {});
+
+    bool predict(uint64_t pc) override;
+    void update(uint64_t pc, bool taken, bool predicted,
+                uint64_t target) override;
+    std::string name() const override { return cfg.label; }
+    StorageReport storage() const override;
+
+  private:
+    struct Context
+    {
+        uint64_t pc = 0;
+        BiasState state = BiasState::NotFound;
+        bool neuralPred = false;
+        int sum = 0;
+        size_t biasIndex = 0;
+        unsigned count = 0;
+        std::array<uint32_t, 128> index{};
+        std::array<bool, 128> bit{};
+    };
+
+    BiasState classify(uint64_t pc) const;
+    void compute(uint64_t pc, Context &ctx) const;
+
+    BfNeuralIdealConfig cfg;
+    BranchStatusTable bst;
+    RecencyStack rs;
+    AdaptiveThreshold threshold;
+    std::vector<SignedSatCounter> wb;
+    std::vector<SignedSatCounter> wm; //!< wmRows x historyDepth.
+    uint64_t commitCount = 0;
+    std::deque<Context> pending;
+};
+
+} // namespace bfbp
+
+#endif // BFBP_CORE_BF_NEURAL_IDEAL_HPP

@@ -1,0 +1,78 @@
+#include "core/bf_tage.hpp"
+
+#include <cassert>
+
+#include "util/bitops.hpp"
+#include "util/hashing.hpp"
+
+namespace bfbp
+{
+
+BfTagePredictor::BfTagePredictor(TageConfig config, BfTageConfigExt ext)
+    : TageBase(std::move(config)), extCfg(std::move(ext)),
+      bst(extCfg.bstLogEntries, extCfg.probabilisticBst),
+      stacks(extCfg.segments)
+{
+    assert(cfg.historyLengths.back() <= stacks.ghrBits());
+    idxFolds.assign(cfg.numTables(), 0);
+    tagFolds1.assign(cfg.numTables(), 0);
+    tagFolds2.assign(cfg.numTables(), 0);
+}
+
+uint64_t
+BfTagePredictor::indexHash(size_t t, uint64_t pc) const
+{
+    const uint64_t pathMix = mix64(pathHist + (t << 7));
+    return (pc >> 1) ^ ((pc >> 1) >> cfg.logSizes[t]) ^ idxFolds[t] ^
+        pathMix;
+}
+
+uint64_t
+BfTagePredictor::tagHash(size_t t, uint64_t pc) const
+{
+    return (pc >> 1) ^ tagFolds1[t] ^ (tagFolds2[t] << 1);
+}
+
+void
+BfTagePredictor::refreshFolds()
+{
+    for (size_t t = 0; t < cfg.numTables(); ++t) {
+        const unsigned len = cfg.historyLengths[t];
+        idxFolds[t] = stacks.fold(len, cfg.logSizes[t]);
+        tagFolds1[t] = stacks.fold(len, cfg.tagBits[t]);
+        tagFolds2[t] = stacks.fold(
+            len, cfg.tagBits[t] > 1 ? cfg.tagBits[t] - 1 : 1);
+    }
+}
+
+void
+BfTagePredictor::updateHistories(uint64_t pc, bool taken, uint64_t target)
+{
+    (void)target;
+    // Bias status at commit: either the runtime FSM or the static
+    // profile. The status recorded here travels with the branch
+    // through the unfiltered queue and decides RS insertion at every
+    // segment-boundary crossing (Sec. V-B4).
+    bool nonBiased;
+    if (extCfg.oracle) {
+        nonBiased = extCfg.oracle->classify(pc) == BiasState::NonBiased;
+    } else {
+        bst.train(pc, taken);
+        nonBiased = bst.isNonBiased(pc);
+    }
+
+    stacks.commit(hashPc(pc, extCfg.segments.addrHashBits), taken,
+                  nonBiased);
+    pathHist = ((pathHist << 1) | ((pc >> 1) & 1)) & maskBits(cfg.pathBits);
+    refreshFolds();
+}
+
+void
+BfTagePredictor::reportHistoryStorage(StorageReport &report) const
+{
+    report.merge(bst.storage());
+    report.merge(stacks.storage());
+    report.addBits("path history", cfg.pathBits);
+}
+
+} // namespace bfbp

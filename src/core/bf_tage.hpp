@@ -1,0 +1,84 @@
+/**
+ * @file
+ * BF-TAGE: the Bias-Free TAGE predictor (Sec. V).
+ *
+ * BF-TAGE is the TAGE machinery of predictors/tage.hpp indexed not
+ * by the raw global history but by the compressed bias-free global
+ * history register (BF-GHR) built from segmented recency stacks:
+ * 16 recent unfiltered outcome bits (the paper keeps these raw to
+ * dampen dynamic-detection perturbations) followed by one small RS
+ * per geometric history segment, each holding a single instance per
+ * non-biased branch. A 142-bit BF-GHR thus summarizes ~2048 branches
+ * of real history, which is why a 10-table BF-TAGE can track the
+ * accuracy of a 15-table conventional TAGE (Figs. 10-12).
+ *
+ * Bias status is detected at runtime by a BranchStatusTable (8 K
+ * entries per Table I) or supplied by a profiling BiasOracle to
+ * reproduce the static-classification experiment of Sec. VI-D.
+ */
+
+#ifndef BFBP_CORE_BF_TAGE_HPP
+#define BFBP_CORE_BF_TAGE_HPP
+
+#include <memory>
+
+#include "core/bias_oracle.hpp"
+#include "core/bias_table.hpp"
+#include "core/segmented_rs.hpp"
+#include "predictors/tage.hpp"
+
+namespace bfbp
+{
+
+/** BF-TAGE specific knobs on top of the TAGE geometry. */
+struct BfTageConfigExt
+{
+    unsigned bstLogEntries = 13; //!< 8192 entries (Table I).
+    bool probabilisticBst = false;
+    SegmentedRecencyStacks::Config segments{};
+    //! Optional static profile (Sec. VI-D); replaces dynamic
+    //! detection when set.
+    std::shared_ptr<const BiasOracle> oracle;
+};
+
+/** TAGE over the bias-free compressed history. */
+class BfTagePredictor : public TageBase
+{
+  public:
+    /**
+     * @param config TAGE geometry; history lengths index the BF-GHR
+     *        and must not exceed its total bit length.
+     * @param ext Bias-detection and segmentation knobs.
+     */
+    explicit BfTagePredictor(TageConfig config, BfTageConfigExt ext = {});
+
+    /** The detection table (tests/analysis). */
+    const BranchStatusTable &biasTable() const { return bst; }
+
+    /** The BF-GHR machinery (tests/analysis). */
+    const SegmentedRecencyStacks &bfGhr() const { return stacks; }
+
+  protected:
+    uint64_t indexHash(size_t t, uint64_t pc) const override;
+    uint64_t tagHash(size_t t, uint64_t pc) const override;
+    void updateHistories(uint64_t pc, bool taken,
+                         uint64_t target) override;
+    void reportHistoryStorage(StorageReport &report) const override;
+
+  private:
+    void refreshFolds();
+
+    BfTageConfigExt extCfg;
+    BranchStatusTable bst;
+    SegmentedRecencyStacks stacks;
+    uint64_t pathHist = 0;
+    //! Per-table folds of the BF-GHR, recomputed after each commit
+    //! (the BF-GHR reshuffles, so no incremental update exists).
+    std::vector<uint64_t> idxFolds;
+    std::vector<uint64_t> tagFolds1;
+    std::vector<uint64_t> tagFolds2;
+};
+
+} // namespace bfbp
+
+#endif // BFBP_CORE_BF_TAGE_HPP

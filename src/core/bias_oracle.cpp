@@ -1,0 +1,46 @@
+#include "core/bias_oracle.hpp"
+
+namespace bfbp
+{
+
+BiasOracle
+BiasOracle::profile(TraceSource &source)
+{
+    BiasOracle oracle;
+    BranchRecord record;
+    while (source.next(record)) {
+        if (record.isConditional())
+            oracle.observe(record.pc, record.taken);
+    }
+    return oracle;
+}
+
+double
+BiasOracle::dynamicBiasedFraction() const
+{
+    uint64_t total = 0;
+    uint64_t biasedDynamic = 0;
+    for (const auto &[pc, p] : profiles) {
+        total += p.executions;
+        if (p.biased())
+            biasedDynamic += p.executions;
+    }
+    return total == 0 ? 0.0
+        : static_cast<double>(biasedDynamic) / static_cast<double>(total);
+}
+
+double
+BiasOracle::staticBiasedFraction() const
+{
+    if (profiles.empty())
+        return 0.0;
+    uint64_t biased = 0;
+    for (const auto &[pc, p] : profiles) {
+        if (p.biased())
+            ++biased;
+    }
+    return static_cast<double>(biased) /
+        static_cast<double>(profiles.size());
+}
+
+} // namespace bfbp

@@ -1,0 +1,164 @@
+/**
+ * @file
+ * Branch Status Table (BST): runtime detection of biased branches.
+ *
+ * The BST is a direct-mapped table of small counters implementing
+ * the four-state FSM of Fig. 5: Not-found -> Taken/Not-taken ->
+ * Non-biased. A branch is "completely biased" while it has only ever
+ * resolved one way; the first time it resolves the other way it
+ * transitions to Non-biased and stays there (2-bit mode).
+ *
+ * The paper evaluates the 2-bit FSM and advocates probabilistic
+ * 3-bit counters [Riley & Zilles] for a commercial design, which can
+ * revert a branch from non-biased back to biased as the application
+ * changes phase; both modes are implemented here (the probabilistic
+ * mode demotes a non-biased branch back to its observed direction
+ * with small probability after long same-direction runs).
+ */
+
+#ifndef BFBP_CORE_BIAS_TABLE_HPP
+#define BFBP_CORE_BIAS_TABLE_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "util/bitops.hpp"
+#include "util/hashing.hpp"
+#include "util/random.hpp"
+#include "util/storage.hpp"
+
+namespace bfbp
+{
+
+/** Detection FSM states (Fig. 5). */
+enum class BiasState : uint8_t
+{
+    NotFound = 0,  //!< Branch never seen.
+    Taken = 1,     //!< Only ever resolved taken.
+    NotTaken = 2,  //!< Only ever resolved not-taken.
+    NonBiased = 3, //!< Resolved both ways.
+};
+
+/** Direct-mapped branch status table. */
+class BranchStatusTable
+{
+  public:
+    /**
+     * @param log_entries log2 of the number of entries.
+     * @param probabilistic Enable the 3-bit probabilistic mode that
+     *        can revert non-biased branches to biased across phases.
+     */
+    explicit BranchStatusTable(unsigned log_entries = 14,
+                               bool probabilistic = false)
+        : logEntries(log_entries), probMode(probabilistic),
+          states(size_t{1} << log_entries, BiasState::NotFound),
+          runLength(probabilistic ? (size_t{1} << log_entries) : 0, 0)
+    {
+    }
+
+    /** Current FSM state for @p pc. */
+    BiasState
+    lookup(uint64_t pc) const
+    {
+        return states[index(pc)];
+    }
+
+    /** True when @p pc is currently classified non-biased. */
+    bool
+    isNonBiased(uint64_t pc) const
+    {
+        return lookup(pc) == BiasState::NonBiased;
+    }
+
+    /**
+     * Commit-time FSM transition. Returns the state *before* the
+     * update (the state the prediction was made with).
+     */
+    BiasState
+    train(uint64_t pc, bool taken)
+    {
+        const size_t idx = index(pc);
+        const BiasState before = states[idx];
+        switch (before) {
+          case BiasState::NotFound:
+            states[idx] = taken ? BiasState::Taken : BiasState::NotTaken;
+            break;
+          case BiasState::Taken:
+            if (!taken)
+                states[idx] = BiasState::NonBiased;
+            break;
+          case BiasState::NotTaken:
+            if (taken)
+                states[idx] = BiasState::NonBiased;
+            break;
+          case BiasState::NonBiased:
+            if (probMode)
+                probabilisticDemote(idx, taken);
+            break;
+        }
+        return before;
+    }
+
+    /** Bulk pre-classification (used with a profiling oracle). */
+    void
+    preset(uint64_t pc, BiasState state)
+    {
+        states[index(pc)] = state;
+    }
+
+    StorageReport
+    storage() const
+    {
+        StorageReport report("branch-status-table");
+        report.addTable("BST entries", states.size(),
+                        probMode ? 3 : 2);
+        return report;
+    }
+
+    size_t entries() const { return states.size(); }
+
+  private:
+    size_t
+    index(uint64_t pc) const
+    {
+        return hashPc(pc, logEntries);
+    }
+
+    /**
+     * Probabilistic reversion: a non-biased branch that shows a very
+     * long run of one direction is demoted back to the biased state
+     * with probability 1/64 per additional same-direction commit.
+     * The run counter emulates the stratified probabilistic counter
+     * of [Riley & Zilles] within a 3-bit storage budget.
+     */
+    void
+    probabilisticDemote(size_t idx, bool taken)
+    {
+        // runLength[idx] holds a 2-bit saturating run counter plus
+        // the last direction in bit 2.
+        const bool lastDir = (runLength[idx] & 4) != 0;
+        uint8_t run = runLength[idx] & 3;
+        if (taken == lastDir) {
+            if (run < 3)
+                ++run;
+            else if (rng.below(64) == 0) {
+                states[idx] = taken ? BiasState::Taken
+                                    : BiasState::NotTaken;
+                run = 0;
+            }
+        } else {
+            run = 0;
+        }
+        runLength[idx] = static_cast<uint8_t>((taken ? 4 : 0) | run);
+    }
+
+    unsigned logEntries;
+    bool probMode;
+    std::vector<BiasState> states;
+    std::vector<uint8_t> runLength; //!< Probabilistic mode only.
+    Rng rng{0xB1A5ULL};
+};
+
+} // namespace bfbp
+
+#endif // BFBP_CORE_BIAS_TABLE_HPP

@@ -1,0 +1,150 @@
+#include "core/factory.hpp"
+
+#include <stdexcept>
+
+#include "core/bf_neural_ideal.hpp"
+#include "predictors/bimodal.hpp"
+#include "predictors/gshare.hpp"
+#include "predictors/ohsnap.hpp"
+#include "predictors/perceptron.hpp"
+#include "predictors/piecewise_linear.hpp"
+#include "predictors/sizing.hpp"
+
+namespace bfbp
+{
+
+std::unique_ptr<BranchPredictor>
+makeConventionalPerceptron()
+{
+    PiecewiseLinearConfig cfg;
+    cfg.historyLength = 72;
+    cfg.logWeights = 16;
+    cfg.logBias = 12;
+    return std::make_unique<PiecewiseLinearPredictor>(cfg);
+}
+
+std::unique_ptr<BranchPredictor>
+makeOhSnap()
+{
+    return std::make_unique<OhSnapPredictor>(OhSnapConfig{});
+}
+
+std::unique_ptr<BranchPredictor>
+makeBfNeural(BfNeuralConfig cfg)
+{
+    return std::make_unique<BfNeuralPredictor>(std::move(cfg));
+}
+
+std::unique_ptr<BranchPredictor>
+makeTage(unsigned tables, bool with_loop)
+{
+    auto core = std::make_unique<TagePredictor>(
+        conventionalTageConfig(tables));
+    if (!with_loop)
+        return core;
+    IslConfig isl;
+    isl.label = "tage-" + std::to_string(tables) + "+loop";
+    isl.useSc = false;
+    isl.useIum = false;
+    return std::make_unique<IslTagePredictor>(std::move(core), isl);
+}
+
+std::unique_ptr<BranchPredictor>
+makeIslTage(unsigned tables)
+{
+    auto core = std::make_unique<TagePredictor>(
+        conventionalTageConfig(tables));
+    IslConfig isl;
+    isl.label = "isl-tage-" + std::to_string(tables);
+    return std::make_unique<IslTagePredictor>(std::move(core), isl);
+}
+
+std::unique_ptr<BfTagePredictor>
+makeBfTageCore(unsigned tables, std::shared_ptr<const BiasOracle> oracle)
+{
+    BfTageConfigExt ext;
+    ext.oracle = std::move(oracle);
+    return std::make_unique<BfTagePredictor>(bfTageConfig(tables),
+                                             std::move(ext));
+}
+
+std::unique_ptr<BranchPredictor>
+makeBfTage(unsigned tables, std::shared_ptr<const BiasOracle> oracle)
+{
+    auto core = makeBfTageCore(tables, std::move(oracle));
+    IslConfig isl;
+    isl.label = "bf-tage-" + std::to_string(tables) + "+loop";
+    isl.useSc = false;
+    isl.useIum = false;
+    return std::make_unique<IslTagePredictor>(std::move(core), isl);
+}
+
+std::unique_ptr<BranchPredictor>
+makeBfIslTage(unsigned tables, std::shared_ptr<const BiasOracle> oracle)
+{
+    auto core = makeBfTageCore(tables, std::move(oracle));
+    IslConfig isl;
+    isl.label = "bf-isl-tage-" + std::to_string(tables);
+    return std::make_unique<IslTagePredictor>(std::move(core), isl);
+}
+
+namespace
+{
+
+/** Parses "name-N" suffixed specs; returns 0 when not matching. */
+unsigned
+parseSuffixed(const std::string &spec, const std::string &prefix)
+{
+    if (spec.size() <= prefix.size() ||
+        spec.compare(0, prefix.size(), prefix) != 0) {
+        return 0;
+    }
+    const std::string num = spec.substr(prefix.size());
+    for (char c : num) {
+        if (c < '0' || c > '9')
+            return 0;
+    }
+    return static_cast<unsigned>(std::stoul(num));
+}
+
+} // anonymous namespace
+
+std::unique_ptr<BranchPredictor>
+createPredictor(const std::string &spec)
+{
+    if (spec == "bimodal")
+        return std::make_unique<BimodalPredictor>();
+    if (spec == "gshare")
+        return std::make_unique<GsharePredictor>();
+    if (spec == "perceptron")
+        return std::make_unique<PerceptronPredictor>();
+    if (spec == "pwl" || spec == "conventional-perceptron")
+        return makeConventionalPerceptron();
+    if (spec == "oh-snap" || spec == "ohsnap")
+        return makeOhSnap();
+    if (spec == "bf-neural")
+        return makeBfNeural();
+    if (spec == "bf-neural-ideal")
+        return std::make_unique<BfNeuralIdealPredictor>();
+
+    if (unsigned n = parseSuffixed(spec, "bf-isl-tage-"))
+        return makeBfIslTage(n);
+    if (unsigned n = parseSuffixed(spec, "bf-tage-"))
+        return makeBfTage(n);
+    if (unsigned n = parseSuffixed(spec, "isl-tage-"))
+        return makeIslTage(n);
+    if (unsigned n = parseSuffixed(spec, "tage-"))
+        return makeTage(n);
+
+    throw std::invalid_argument("unknown predictor spec: " + spec);
+}
+
+std::vector<std::string>
+availablePredictors()
+{
+    return {"bimodal", "gshare", "perceptron", "pwl", "oh-snap",
+            "bf-neural", "bf-neural-ideal", "tage-15", "isl-tage-15",
+            "bf-tage-10", "bf-isl-tage-10"};
+}
+
+} // namespace bfbp

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Standard predictor configurations and a string-keyed factory.
+ *
+ * The experiment harness and the examples create predictors by name
+ * ("bf-neural", "tage-15", "bf-isl-tage-7", ...) so that every bench
+ * compares exactly the same configurations the paper does:
+ *
+ *  - makeConventionalPerceptron(): the 64 KB piecewise-linear
+ *    baseline of Fig. 9 (history length 72).
+ *  - makeOhSnap(): the 64 KB OH-SNAP-like neural baseline of Fig. 8.
+ *  - makeBfNeural(): the 64 KB BF-Neural of Sec. VI-B (BST 16 K,
+ *    Wm 1024x16, Wrs 64 K, RS depth 48, loop predictor).
+ *  - makeTage(n)/makeIslTage(n): conventional TAGE with n tagged
+ *    tables, without/with the loop + SC + IUM side components.
+ *  - makeBfTage(n)/makeBfIslTage(n): the Bias-Free counterparts.
+ */
+
+#ifndef BFBP_CORE_FACTORY_HPP
+#define BFBP_CORE_FACTORY_HPP
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/bf_neural.hpp"
+#include "core/bf_tage.hpp"
+#include "predictors/isl_tage.hpp"
+#include "sim/predictor.hpp"
+
+namespace bfbp
+{
+
+/** The Fig. 9 "Conventional Perceptron" baseline (PWL, h = 72). */
+std::unique_ptr<BranchPredictor> makeConventionalPerceptron();
+
+/** The Fig. 8 OH-SNAP baseline at 64 KB. */
+std::unique_ptr<BranchPredictor> makeOhSnap();
+
+/** The 64 KB BF-Neural predictor (Sec. VI-B configuration). */
+std::unique_ptr<BranchPredictor> makeBfNeural(BfNeuralConfig cfg = {});
+
+/** Conventional TAGE with @p tables tagged tables + loop predictor
+ *  (the "TAGE" baseline of Fig. 8: ISL-TAGE without SC and IUM). */
+std::unique_ptr<BranchPredictor> makeTage(unsigned tables,
+                                          bool with_loop = true);
+
+/** Full ISL-TAGE (loop + SC + IUM) with @p tables tagged tables. */
+std::unique_ptr<BranchPredictor> makeIslTage(unsigned tables);
+
+/** BF-TAGE core with @p tables tagged tables (<= 10). */
+std::unique_ptr<BfTagePredictor>
+makeBfTageCore(unsigned tables,
+               std::shared_ptr<const BiasOracle> oracle = nullptr);
+
+/** BF-TAGE + loop predictor (no SC/IUM). */
+std::unique_ptr<BranchPredictor>
+makeBfTage(unsigned tables,
+           std::shared_ptr<const BiasOracle> oracle = nullptr);
+
+/** BF-ISL-TAGE: BF-TAGE inheriting loop + SC + IUM (Fig. 10). */
+std::unique_ptr<BranchPredictor>
+makeBfIslTage(unsigned tables,
+              std::shared_ptr<const BiasOracle> oracle = nullptr);
+
+/**
+ * Creates a predictor from a textual spec. Supported names:
+ * "bimodal", "gshare", "perceptron", "pwl", "oh-snap", "bf-neural",
+ * "bf-neural-ideal", "tage-N" (N=1..15), "isl-tage-N",
+ * "bf-tage-N" (N=1..10), "bf-isl-tage-N".
+ *
+ * @throws std::invalid_argument for unknown specs.
+ */
+std::unique_ptr<BranchPredictor> createPredictor(const std::string &spec);
+
+/** Names accepted by createPredictor (representative list). */
+std::vector<std::string> availablePredictors();
+
+} // namespace bfbp
+
+#endif // BFBP_CORE_FACTORY_HPP

@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Recency Stack (RS): the filtered history container of Sec. III.
+ *
+ * The RS tracks the most recent occurrence of each (non-biased)
+ * branch in the global history (Fig. 3): on a hit the entry moves to
+ * the top with its new outcome; on a miss the RS shifts like a
+ * conventional history register and the oldest entry falls off.
+ *
+ * Every entry carries its positional history (pos_hist, Sec. III-C):
+ * the absolute distance of the branch's latest occurrence from the
+ * current point of execution, measured in *unfiltered* committed
+ * conditional branches. The caller supplies that global commit
+ * counter; distances are then (now - insertAge).
+ *
+ * With move-to-front disabled the structure degrades to a plain
+ * shift register holding multiple instances — exactly the
+ * "ghist bias-free without RS" configuration of Fig. 9.
+ */
+
+#ifndef BFBP_CORE_RECENCY_STACK_HPP
+#define BFBP_CORE_RECENCY_STACK_HPP
+
+#include <cassert>
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "util/storage.hpp"
+
+namespace bfbp
+{
+
+/** Recency-stack filtered history with positional distances. */
+class RecencyStack
+{
+  public:
+    /** One tracked occurrence. */
+    struct Entry
+    {
+        uint16_t addrHash = 0; //!< Hashed branch address.
+        bool outcome = false;  //!< Latest outcome.
+        uint64_t insertAge = 0; //!< Commit counter at occurrence.
+    };
+
+    /**
+     * @param depth Capacity (paper: 48 for the 64 KB BF-Neural).
+     * @param move_to_front True = RS semantics (one entry per
+     *        branch); false = plain shift register with duplicates.
+     */
+    explicit RecencyStack(size_t depth, bool move_to_front = true)
+        : maxDepth(depth), mtf(move_to_front)
+    {
+        assert(depth >= 1);
+    }
+
+    size_t size() const { return entries.size(); }
+    size_t depth() const { return maxDepth; }
+
+    /**
+     * Records a committed occurrence of @p addr_hash.
+     *
+     * @param now Global unfiltered commit counter at this commit.
+     */
+    void
+    push(uint16_t addr_hash, bool outcome, uint64_t now)
+    {
+        if (mtf) {
+            for (size_t i = 0; i < entries.size(); ++i) {
+                if (entries[i].addrHash == addr_hash) {
+                    entries.erase(entries.begin() +
+                                  static_cast<ptrdiff_t>(i));
+                    break;
+                }
+            }
+        }
+        entries.push_front({addr_hash, outcome, now});
+        if (entries.size() > maxDepth)
+            entries.pop_back();
+    }
+
+    /** Entry @p i, 0 = most recent. */
+    const Entry &
+    at(size_t i) const
+    {
+        return entries[i];
+    }
+
+    /** Positional distance (pos_hist) of entry @p i at time @p now. */
+    uint64_t
+    distance(size_t i, uint64_t now) const
+    {
+        return now - entries[i].insertAge;
+    }
+
+    void clear() { entries.clear(); }
+
+    StorageReport
+    storage() const
+    {
+        StorageReport report("recency-stack");
+        // addr hash (14) + outcome (1) + pos_hist (11, capped 2048).
+        report.addTable("RS entries", maxDepth, 26);
+        return report;
+    }
+
+  private:
+    std::deque<Entry> entries; //!< Front = most recent.
+    size_t maxDepth;
+    bool mtf;
+};
+
+} // namespace bfbp
+
+#endif // BFBP_CORE_RECENCY_STACK_HPP

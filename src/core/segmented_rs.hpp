@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Segmented recency stacks and the bias-free global history register
+ * (BF-GHR) of the BF-TAGE predictor (Sec. V-B, Fig. 7).
+ *
+ * A monolithic recency stack deep enough to cover 2000 branches is
+ * not implementable (associative search), so BF-TAGE divides the
+ * long unfiltered history into non-overlapping segments whose sizes
+ * form a geometric series; each segment is covered by a small
+ * (8-entry) RS that keeps a single instance per hashed address.
+ *
+ * Mechanics (Sec. V-B4): every committed branch enters a queue
+ * (GHR_unfiltered) carrying its hashed address, outcome, and bias
+ * status at commit. As commits push it deeper, it crosses segment
+ * boundaries; at each crossing, if it was non-biased, it is inserted
+ * into that segment's RS (evicting any entry with the same hash) and
+ * pruned from the previous one.
+ *
+ * The BF-GHR materialized for indexing is: the newest
+ * `unfilteredBits` raw outcomes, followed by each segment's RS
+ * outcomes in recency order (padded to the segment's capacity so bit
+ * positions stay stable) — about 144 bits covering 2048 branches of
+ * real history.
+ */
+
+#ifndef BFBP_CORE_SEGMENTED_RS_HPP
+#define BFBP_CORE_SEGMENTED_RS_HPP
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "util/ring_buffer.hpp"
+#include "util/storage.hpp"
+
+namespace bfbp
+{
+
+/** Builds and maintains the BF-GHR from segmented recency stacks. */
+class SegmentedRecencyStacks
+{
+  public:
+    /** Geometry of the segmentation. */
+    struct Config
+    {
+        //! Segment boundaries (depths in the unfiltered history);
+        //! segment k covers [boundaries[k], boundaries[k+1]).
+        std::vector<unsigned> boundaries = {
+            16, 32, 48, 64, 80, 104, 128, 192, 256, 320, 416, 512,
+            768, 1024, 1280, 1536, 2048};
+        unsigned perSegment = 8;   //!< RS entries per segment.
+        unsigned unfilteredBits = 16; //!< Raw recent outcome window.
+        unsigned addrHashBits = 14;
+    };
+
+    /** Maximum BF-GHR bits supported by the materialized buffer. */
+    static constexpr size_t maxGhrBits = 256;
+
+    SegmentedRecencyStacks();
+    explicit SegmentedRecencyStacks(Config config);
+
+    /** Records a committed conditional branch. */
+    void commit(uint64_t addr_hash, bool taken, bool non_biased);
+
+    /** Total BF-GHR length in bits (fixed by the geometry). */
+    size_t ghrBits() const { return totalBits; }
+
+    /** BF-GHR bit @p i (0 = most recent position). */
+    bool
+    ghrBit(size_t i) const
+    {
+        return (words[i / 64] >> (i % 64)) & 1;
+    }
+
+    /**
+     * Folds the first @p length BF-GHR bits into @p width bits:
+     * XOR of bit i shifted to position (i mod width).
+     */
+    uint64_t fold(unsigned length, unsigned width) const;
+
+    /** Number of live entries in segment @p k (tests/analysis). */
+    size_t segmentSize(size_t k) const { return segments[k].size(); }
+
+    size_t numSegments() const { return segments.size(); }
+
+    StorageReport storage() const;
+
+  private:
+    /** One queued unfiltered-history record. */
+    struct QueueEntry
+    {
+        uint16_t addrHash = 0;
+        bool outcome = false;
+        bool nonBiased = false;
+    };
+
+    /** One segment-RS entry. */
+    struct SegEntry
+    {
+        uint16_t addrHash = 0;
+        bool outcome = false;
+        uint64_t absIndex = 0; //!< Commit counter at its occurrence.
+    };
+
+    void rematerialize();
+
+    Config cfg;
+    RingBuffer<QueueEntry> queue;
+    std::vector<std::vector<SegEntry>> segments; //!< Front = newest.
+    size_t totalBits;
+    std::array<uint64_t, maxGhrBits / 64> words{};
+};
+
+} // namespace bfbp
+
+#endif // BFBP_CORE_SEGMENTED_RS_HPP

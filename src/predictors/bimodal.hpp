@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Bimodal predictor: a PC-indexed table of 2-bit counters.
+ *
+ * The simplest dynamic predictor; it serves as a sanity anchor in
+ * tests and as the base component T0 of the TAGE family.
+ */
+
+#ifndef BFBP_PREDICTORS_BIMODAL_HPP
+#define BFBP_PREDICTORS_BIMODAL_HPP
+
+#include <vector>
+
+#include "sim/predictor.hpp"
+#include "util/bitops.hpp"
+#include "util/saturating_counter.hpp"
+
+namespace bfbp
+{
+
+/** PC-indexed table of saturating direction counters. */
+class BimodalPredictor : public BranchPredictor
+{
+  public:
+    /**
+     * @param log_entries log2 of the table size.
+     * @param counter_bits Width of each counter (default 2).
+     */
+    explicit BimodalPredictor(unsigned log_entries = 14,
+                              unsigned counter_bits = 2)
+        : logEntries(log_entries), ctrBits(counter_bits),
+          table(size_t{1} << log_entries,
+                UnsignedSatCounter(counter_bits,
+                                   static_cast<uint16_t>(
+                                       1 << (counter_bits - 1))))
+    {
+    }
+
+    bool
+    predict(uint64_t pc) override
+    {
+        return table[index(pc)].taken();
+    }
+
+    void
+    update(uint64_t pc, bool taken, bool predicted,
+           uint64_t target) override
+    {
+        (void)predicted;
+        (void)target;
+        table[index(pc)].update(taken);
+    }
+
+    std::string name() const override { return "bimodal"; }
+
+    StorageReport
+    storage() const override
+    {
+        StorageReport report(name());
+        report.addTable("bimodal counters", table.size(), ctrBits);
+        return report;
+    }
+
+  private:
+    size_t
+    index(uint64_t pc) const
+    {
+        return (pc >> 1) & maskBits(logEntries);
+    }
+
+    unsigned logEntries;
+    unsigned ctrBits;
+    std::vector<UnsignedSatCounter> table;
+};
+
+} // namespace bfbp
+
+#endif // BFBP_PREDICTORS_BIMODAL_HPP

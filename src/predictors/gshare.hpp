@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Gshare predictor (McFarling): PC XOR global history indexing.
+ *
+ * Included as a classic baseline and as a stress case for the test
+ * suite (its behavior on periodic patterns is easy to reason about).
+ */
+
+#ifndef BFBP_PREDICTORS_GSHARE_HPP
+#define BFBP_PREDICTORS_GSHARE_HPP
+
+#include <vector>
+
+#include "sim/predictor.hpp"
+#include "util/bitops.hpp"
+#include "util/saturating_counter.hpp"
+
+namespace bfbp
+{
+
+/** Two-bit counter table indexed by pc ^ global history. */
+class GsharePredictor : public BranchPredictor
+{
+  public:
+    /**
+     * @param log_entries log2 of the counter table size.
+     * @param history_bits Global history bits XORed into the index
+     *        (clamped to log_entries).
+     */
+    explicit GsharePredictor(unsigned log_entries = 15,
+                             unsigned history_bits = 15)
+        : logEntries(log_entries),
+          histBits(history_bits > log_entries ? log_entries
+                                              : history_bits),
+          table(size_t{1} << log_entries, UnsignedSatCounter(2, 2))
+    {
+    }
+
+    bool
+    predict(uint64_t pc) override
+    {
+        return table[index(pc)].taken();
+    }
+
+    void
+    update(uint64_t pc, bool taken, bool predicted,
+           uint64_t target) override
+    {
+        (void)predicted;
+        (void)target;
+        table[index(pc)].update(taken);
+        ghist = ((ghist << 1) | (taken ? 1 : 0)) & maskBits(histBits);
+    }
+
+    std::string name() const override { return "gshare"; }
+
+    StorageReport
+    storage() const override
+    {
+        StorageReport report(name());
+        report.addTable("gshare counters", table.size(), 2);
+        report.addBits("global history", histBits);
+        return report;
+    }
+
+  private:
+    size_t
+    index(uint64_t pc) const
+    {
+        return ((pc >> 1) ^ ghist) & maskBits(logEntries);
+    }
+
+    unsigned logEntries;
+    unsigned histBits;
+    uint64_t ghist = 0;
+    std::vector<UnsignedSatCounter> table;
+};
+
+} // namespace bfbp
+
+#endif // BFBP_PREDICTORS_GSHARE_HPP

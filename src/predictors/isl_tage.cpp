@@ -1,0 +1,165 @@
+#include "predictors/isl_tage.hpp"
+
+#include <cassert>
+#include <cstdlib>
+
+#include "util/bitops.hpp"
+#include "util/hashing.hpp"
+
+namespace bfbp
+{
+
+namespace
+{
+
+/** Weight of the TAGE prediction inside the SC sum: the corrector
+ *  only reverts a prediction on clear statistical evidence. */
+constexpr int scTageWeight = 33;
+
+} // anonymous namespace
+
+IslTagePredictor::IslTagePredictor(std::unique_ptr<TageBase> tage_core,
+                                   IslConfig config)
+    : cfg(std::move(config)), core(std::move(tage_core)),
+      scHist(256)
+{
+    assert(core != nullptr);
+    assert(cfg.scHistoryLengths.size() <= 4);
+    for (unsigned len : cfg.scHistoryLengths) {
+        scTables.emplace_back(size_t{1} << cfg.scLogEntries,
+                              SignedSatCounter(cfg.scCounterBits));
+        scFolds.emplace_back(len == 0 ? 1 : len,
+                             cfg.scLogEntries);
+    }
+}
+
+int
+IslTagePredictor::scSum(uint64_t pc, bool tage_pred,
+                        std::array<uint32_t, 4> &indices) const
+{
+    int sum = tage_pred ? scTageWeight : -scTageWeight;
+    for (size_t i = 0; i < scTables.size(); ++i) {
+        const uint64_t fold =
+            cfg.scHistoryLengths[i] == 0 ? 0 : scFolds[i].value();
+        indices[i] = static_cast<uint32_t>(
+            hashMany({pc >> 1, fold, i, tage_pred ? 1ull : 0ull}) &
+            maskBits(cfg.scLogEntries));
+        sum += 2 * scTables[i][indices[i]].value() + 1;
+    }
+    return sum;
+}
+
+bool
+IslTagePredictor::predict(uint64_t pc)
+{
+    Context ctx;
+    ctx.pc = pc;
+    ctx.tagePred = core->predict(pc);
+    const TageBase::PredictionInfo &info = core->lastPrediction();
+    ctx.provider = info.provider;
+    ctx.providerIndex = info.provider >= 0
+        ? info.indices[static_cast<size_t>(info.provider)] : 0;
+
+    bool pred = ctx.tagePred;
+
+    // IUM: if an in-flight (not yet committed) branch read the same
+    // provider entry, reuse its final prediction — the entry would
+    // already have been updated under immediate update.
+    if (cfg.useIum && ctx.provider >= 0) {
+        for (auto it = inFlight.rbegin(); it != inFlight.rend(); ++it) {
+            if (it->provider == ctx.provider &&
+                it->providerIndex == ctx.providerIndex) {
+                pred = it->finalPred;
+                break;
+            }
+        }
+    }
+
+    // Statistical corrector: monitors weak TAGE predictions.
+    if (cfg.useSc) {
+        const int sum = scSum(pc, pred, ctx.scIndices);
+        ctx.scPred = sum >= 0;
+        ctx.scUsed = info.providerWeak;
+        if (ctx.scUsed && ctx.scPred != pred && useSc.value() >= 0)
+            pred = ctx.scPred;
+    }
+
+    // Loop predictor override.
+    if (cfg.useLoop) {
+        ctx.loop = loop.lookup(pc);
+        if (loop.shouldOverride(ctx.loop))
+            pred = ctx.loop.prediction;
+    }
+
+    ctx.finalPred = pred;
+    pending.push_back(ctx);
+    if (cfg.useIum) {
+        inFlight.push_back(ctx);
+        while (inFlight.size() > cfg.iumCapacity)
+            inFlight.pop_front();
+    }
+    return pred;
+}
+
+void
+IslTagePredictor::update(uint64_t pc, bool taken, bool predicted,
+                         uint64_t target)
+{
+    (void)predicted;
+    assert(!pending.empty());
+    Context ctx = pending.front();
+    pending.pop_front();
+    assert(ctx.pc == pc);
+
+    if (cfg.useIum && !inFlight.empty() && inFlight.front().pc == pc)
+        inFlight.pop_front();
+
+    // Train side components before histories advance.
+    if (cfg.useLoop) {
+        loop.update(ctx.loop, pc, taken, ctx.tagePred,
+                    ctx.finalPred != taken);
+    }
+
+    if (cfg.useSc) {
+        if (ctx.scUsed) {
+            for (size_t i = 0; i < scTables.size(); ++i)
+                scTables[i][ctx.scIndices[i]].add(taken ? 1 : -1);
+            if (ctx.scPred != ctx.tagePred)
+                useSc.update(ctx.scPred == taken);
+        }
+        for (size_t i = 0; i < scFolds.size(); ++i) {
+            if (cfg.scHistoryLengths[i] != 0) {
+                scFolds[i].update(
+                    taken, scHist[cfg.scHistoryLengths[i] - 1]);
+            }
+        }
+        scHist.push(taken);
+    }
+
+    core->update(pc, taken, ctx.tagePred, target);
+}
+
+StorageReport
+IslTagePredictor::storage() const
+{
+    StorageReport report(name());
+    report.merge(core->storage());
+    if (cfg.useLoop)
+        report.merge(loop.storage());
+    if (cfg.useSc) {
+        for (size_t i = 0; i < scTables.size(); ++i) {
+            report.addTable(
+                "SC table (hist " +
+                    std::to_string(cfg.scHistoryLengths[i]) + ")",
+                scTables[i].size(), cfg.scCounterBits);
+        }
+        report.addBits("USE_SC counter", 8);
+    }
+    if (cfg.useIum) {
+        // provider id (4) + index (12) + prediction (1) per slot.
+        report.addTable("IUM window", cfg.iumCapacity, 17);
+    }
+    return report;
+}
+
+} // namespace bfbp

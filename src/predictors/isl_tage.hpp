@@ -1,0 +1,104 @@
+/**
+ * @file
+ * ISL-TAGE: TAGE augmented with a loop predictor, a statistical
+ * corrector (SC) and an immediate-update mimicker (IUM), after
+ * Seznec's CBP-3 predictor.
+ *
+ * Implemented as a decorator over any TageBase so the same side
+ * components serve both the conventional predictor (ISL-TAGE) and
+ * the Bias-Free one (BF-ISL-TAGE), exactly as the paper's Fig. 10
+ * configuration ("BF-ISL-TAGE inherits the SC and the IUM components
+ * from the ISL-TAGE").
+ *
+ * Notes on fidelity:
+ *  - The SC is a small GEHL-style corrector that monitors weak TAGE
+ *    predictions and reverts statistically-wrong ones, gated by a
+ *    trained USE_SC counter.
+ *  - The IUM records in-flight (provider table, index, final
+ *    prediction) tuples; when a new prediction's provider entry
+ *    matches an in-flight one, the recorded prediction is used
+ *    instead. Under the immediate-update CBP methodology there are
+ *    no in-flight branches and the IUM is inert; run the evaluator
+ *    with updateDelay > 0 to exercise it (bench_ablation_ium).
+ */
+
+#ifndef BFBP_PREDICTORS_ISL_TAGE_HPP
+#define BFBP_PREDICTORS_ISL_TAGE_HPP
+
+#include <deque>
+#include <memory>
+
+#include "predictors/loop_predictor.hpp"
+#include "predictors/tage.hpp"
+#include "util/folded_history.hpp"
+
+namespace bfbp
+{
+
+/** Side-component knobs for IslTagePredictor. */
+struct IslConfig
+{
+    std::string label = "isl-tage";
+    bool useLoop = true;
+    bool useSc = true;
+    bool useIum = true;
+    unsigned scLogEntries = 10;  //!< log2 entries per SC table.
+    unsigned scCounterBits = 6;
+    std::vector<unsigned> scHistoryLengths = {0, 11, 27};
+    unsigned iumCapacity = 32;   //!< Max in-flight records tracked.
+};
+
+/** TAGE + loop predictor + statistical corrector + IUM. */
+class IslTagePredictor : public BranchPredictor
+{
+  public:
+    IslTagePredictor(std::unique_ptr<TageBase> tage_core,
+                     IslConfig config = {});
+
+    bool predict(uint64_t pc) override;
+    void update(uint64_t pc, bool taken, bool predicted,
+                uint64_t target) override;
+    std::string name() const override { return cfg.label; }
+    StorageReport storage() const override;
+
+    const ProviderStats *
+    providerStats() const override
+    {
+        return core->providerStats();
+    }
+
+    /** Access to the wrapped TAGE core (tests, analysis). */
+    const TageBase &tage() const { return *core; }
+
+  private:
+    /** Per-prediction context carried to commit. */
+    struct Context
+    {
+        uint64_t pc = 0;
+        bool finalPred = false;
+        bool tagePred = false;
+        bool scUsed = false;
+        bool scPred = false;
+        int provider = -1;
+        uint32_t providerIndex = 0;
+        LoopPredictor::Context loop;
+        std::array<uint32_t, 4> scIndices{};
+    };
+
+    int scSum(uint64_t pc, bool tage_pred,
+              std::array<uint32_t, 4> &indices) const;
+
+    IslConfig cfg;
+    std::unique_ptr<TageBase> core;
+    LoopPredictor loop;
+    std::vector<std::vector<SignedSatCounter>> scTables;
+    std::vector<FoldedHistory> scFolds;
+    HistoryRegister scHist;
+    SignedSatCounter useSc{8};
+    std::deque<Context> pending;   //!< predict() -> update() FIFO.
+    std::deque<Context> inFlight;  //!< IUM window (same contexts).
+};
+
+} // namespace bfbp
+
+#endif // BFBP_PREDICTORS_ISL_TAGE_HPP

@@ -1,0 +1,174 @@
+#include "predictors/loop_predictor.hpp"
+
+#include <cassert>
+
+#include "util/bitops.hpp"
+#include "util/hashing.hpp"
+
+namespace bfbp
+{
+
+namespace
+{
+
+constexpr uint16_t maxIter = (1 << 14) - 1;
+constexpr uint8_t confMax = 3;
+constexpr int withLoopMax = 63;   // 7-bit signed
+constexpr int withLoopMin = -64;
+
+} // anonymous namespace
+
+LoopPredictor::LoopPredictor(unsigned log_entries, unsigned ways)
+    : entries(size_t{1} << log_entries),
+      sets((1u << log_entries) / ways), numWays(ways)
+{
+    assert(ways >= 1 && (1u << log_entries) % ways == 0);
+}
+
+size_t
+LoopPredictor::slot(uint64_t pc, unsigned way) const
+{
+    // Skewed associativity: each way uses a different index hash so
+    // conflicting branches in one way spread across sets in others.
+    const size_t set = hashMany({pc >> 1, way * 0x9e37ULL}) % sets;
+    return static_cast<size_t>(way) * sets + set;
+}
+
+uint16_t
+LoopPredictor::tagOf(uint64_t pc) const
+{
+    return static_cast<uint16_t>(hashPc(pc, 14));
+}
+
+LoopPredictor::Context
+LoopPredictor::lookup(uint64_t pc) const
+{
+    Context ctx;
+    const uint16_t tag = tagOf(pc);
+    for (unsigned way = 0; way < numWays; ++way) {
+        const size_t idx = slot(pc, way);
+        const Entry &e = entries[idx];
+        if (e.tag == tag && e.pastIter != 0) {
+            ctx.hit = true;
+            ctx.entryIndex = idx;
+            ctx.valid = e.confidence == confMax;
+            // Exit exactly when the known trip count is reached:
+            // pastIter counts the taken (iterating) commits, so the
+            // exit execution sees currIter == pastIter.
+            ctx.prediction = (e.currIter == e.pastIter)
+                ? !e.direction : e.direction;
+            return ctx;
+        }
+        if (e.tag == tag) {
+            // Entry still warming up (pastIter unknown).
+            ctx.hit = true;
+            ctx.entryIndex = idx;
+            ctx.valid = false;
+            ctx.prediction = e.direction;
+            return ctx;
+        }
+    }
+    return ctx;
+}
+
+void
+LoopPredictor::update(const Context &ctx, uint64_t pc, bool taken,
+                      bool main_prediction, bool main_mispredicted)
+{
+    if (ctx.hit) {
+        Entry &e = entries[ctx.entryIndex];
+
+        // Gate training: only disagreements carry information.
+        if (ctx.valid && ctx.prediction != main_prediction) {
+            const bool loopRight = ctx.prediction == taken;
+            withLoop += loopRight ? 1 : -1;
+            if (withLoop > withLoopMax)
+                withLoop = withLoopMax;
+            if (withLoop < withLoopMin)
+                withLoop = withLoopMin;
+        }
+
+        if (taken == e.direction) {
+            // Still iterating.
+            if (e.currIter < maxIter) {
+                ++e.currIter;
+            } else {
+                // Trip count too large to track; retire the entry.
+                e = Entry{};
+                return;
+            }
+            if (e.pastIter != 0 && e.currIter > e.pastIter) {
+                // Ran past the recorded trip count: not a fixed loop.
+                e.pastIter = 0;
+                e.confidence = 0;
+            }
+        } else {
+            // Opposite of the recorded iterating direction.
+            if (e.currIter == 0) {
+                // Two consecutive non-iterating outcomes: the
+                // direction was mislearned (allocation fired on a
+                // non-exit misprediction). Relearn with the observed
+                // outcome as the iterating direction; otherwise the
+                // entry self-reinforces into a permanently stuck
+                // state.
+                const uint16_t tag = e.tag;
+                e = Entry{};
+                e.tag = tag;
+                e.direction = taken;
+                e.currIter = 1;
+                e.age = 255;
+                return;
+            }
+            // Genuine loop exit.
+            if (e.currIter == e.pastIter) {
+                if (e.confidence < confMax)
+                    ++e.confidence;
+                if (e.age < 255)
+                    ++e.age;
+            } else {
+                e.pastIter = e.currIter;
+                e.confidence = 0;
+            }
+            e.currIter = 0;
+        }
+        return;
+    }
+
+    // Allocate on a main-predictor misprediction, displacing an aged
+    // entry. The new entry assumes the observed direction is the
+    // iterating direction.
+    if (!main_mispredicted)
+        return;
+    for (unsigned way = 0; way < numWays; ++way) {
+        Entry &e = entries[slot(pc, way)];
+        if (e.age == 0) {
+            e = Entry{};
+            e.tag = tagOf(pc);
+            // The mispredicted instance of a loop branch is almost
+            // always the exit, so the iterating direction is the
+            // opposite of what was just observed.
+            e.direction = !taken;
+            e.currIter = 0;
+            e.age = 255;
+            return;
+        }
+    }
+    for (unsigned way = 0; way < numWays; ++way) {
+        Entry &e = entries[slot(pc, way)];
+        if (e.age > 0)
+            --e.age;
+    }
+}
+
+StorageReport
+LoopPredictor::storage() const
+{
+    StorageReport report("loop-predictor");
+    // tag(14) + pastIter(14) + currIter(14) + conf(2) + age(8) +
+    // dir(1) = 53 bits per entry.
+    report.addTable("loop entries", entries.size(), 53);
+    report.addBits("WITHLOOP counter", 7);
+    return report;
+}
+
+} // namespace bfbp

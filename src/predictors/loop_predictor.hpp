@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Loop predictor component (Seznec's L-TAGE/ISL-TAGE style).
+ *
+ * Captures loops with constant trip counts: once a branch is seen to
+ * exit after the same number of iterations twice in a row with high
+ * confidence, the predictor times the exit exactly. The paper uses a
+ * 64-entry, 4-way skewed-associative loop-count (LC) predictor in
+ * both BF-Neural and the TAGE baselines (Sec. IV-B2); this component
+ * is shared by all of them.
+ *
+ * A 7-bit WITHLOOP counter gates the override: the loop prediction
+ * is only used while it has been more accurate than the main
+ * predictor on disagreements.
+ */
+
+#ifndef BFBP_PREDICTORS_LOOP_PREDICTOR_HPP
+#define BFBP_PREDICTORS_LOOP_PREDICTOR_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "util/storage.hpp"
+
+namespace bfbp
+{
+
+/** Loop-count predictor with skewed-associative entry placement. */
+class LoopPredictor
+{
+  public:
+    /** Result of a lookup, fed back into update(). */
+    struct Context
+    {
+        bool hit = false;    //!< An entry matched the tag.
+        bool valid = false;  //!< Confident enough to override.
+        bool prediction = false; //!< Loop predictor's direction.
+        size_t entryIndex = 0;   //!< Matching entry (if hit).
+    };
+
+    /**
+     * @param log_entries log2 of total entries (default 6 = 64).
+     * @param ways Associativity (default 4, skewed).
+     */
+    explicit LoopPredictor(unsigned log_entries = 6, unsigned ways = 4);
+
+    /** Looks up @p pc; never modifies state. */
+    Context lookup(uint64_t pc) const;
+
+    /**
+     * True when the loop prediction should override the main
+     * predictor's (confident entry and positive WITHLOOP counter).
+     */
+    bool
+    shouldOverride(const Context &ctx) const
+    {
+        return ctx.valid && withLoop >= 0;
+    }
+
+    /**
+     * Commit-time training.
+     *
+     * @param ctx The context returned by lookup() at prediction time.
+     * @param pc Branch address.
+     * @param taken Resolved direction.
+     * @param main_prediction What the main predictor said (trains the
+     *        WITHLOOP gate on disagreements).
+     * @param main_mispredicted Whether the overall prediction was
+     *        wrong (allocation trigger).
+     */
+    void update(const Context &ctx, uint64_t pc, bool taken,
+                bool main_prediction, bool main_mispredicted);
+
+    StorageReport storage() const;
+
+  private:
+    struct Entry
+    {
+        uint16_t tag = 0;
+        uint16_t pastIter = 0;
+        uint16_t currIter = 0;
+        uint8_t confidence = 0;
+        uint8_t age = 0;
+        bool direction = false; //!< Direction while iterating.
+    };
+
+    size_t slot(uint64_t pc, unsigned way) const;
+    uint16_t tagOf(uint64_t pc) const;
+
+    std::vector<Entry> entries;
+    unsigned sets;
+    unsigned numWays;
+    int withLoop = -1; //!< 7-bit signed gate, starts distrusting.
+};
+
+} // namespace bfbp
+
+#endif // BFBP_PREDICTORS_LOOP_PREDICTOR_HPP

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Helpers shared by the neural (perceptron-family) predictors.
+ */
+
+#ifndef BFBP_PREDICTORS_NEURAL_COMMON_HPP
+#define BFBP_PREDICTORS_NEURAL_COMMON_HPP
+
+#include <cstdint>
+#include <cstdlib>
+
+namespace bfbp
+{
+
+/**
+ * O-GEHL-style adaptive training threshold.
+ *
+ * Perceptron predictors train when they mispredict or when the
+ * output magnitude is below a threshold theta. The best theta
+ * depends on workload; this widget tunes it online so the rate of
+ * threshold-triggered updates roughly matches the misprediction-
+ * triggered ones (Seznec, ISCA 2005).
+ */
+class AdaptiveThreshold
+{
+  public:
+    explicit AdaptiveThreshold(int initial, int tc_bits = 7)
+        : theta(initial), tcMax((1 << (tc_bits - 1)) - 1)
+    {
+    }
+
+    int value() const { return theta; }
+
+    /** Call on every training decision for a committed branch. */
+    void
+    observe(bool mispredicted, int magnitude)
+    {
+        if (mispredicted) {
+            if (++tc >= tcMax) {
+                ++theta;
+                tc = 0;
+            }
+        } else if (magnitude < theta) {
+            if (--tc <= -tcMax - 1) {
+                if (theta > 1)
+                    --theta;
+                tc = 0;
+            }
+        }
+    }
+
+  private:
+    int theta;
+    int tc = 0;
+    int tcMax;
+};
+
+/** Classic static perceptron threshold (Jimenez & Lin). */
+constexpr int
+perceptronTheta(unsigned history_length)
+{
+    return static_cast<int>(1.93 * static_cast<double>(history_length)) + 14;
+}
+
+} // namespace bfbp
+
+#endif // BFBP_PREDICTORS_NEURAL_COMMON_HPP

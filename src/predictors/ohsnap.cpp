@@ -1,0 +1,85 @@
+#include "predictors/ohsnap.hpp"
+
+#include <cstdlib>
+
+namespace bfbp
+{
+
+OhSnapPredictor::OhSnapPredictor(const OhSnapConfig &config)
+    : cfg(config),
+      threshold(perceptronTheta(config.historyLength) / 2),
+      weights(size_t{1} << config.logWeights,
+              SignedSatCounter(config.weightBits)),
+      bias(size_t{1} << config.logBias,
+           SignedSatCounter(config.biasBits)),
+      adapt(config.historyLength, SignedSatCounter(9)),
+      history(config.historyLength),
+      path(config.historyLength)
+{
+}
+
+int
+OhSnapPredictor::computeSum(uint64_t pc) const
+{
+    // 8.8 fixed point; the bias contributes with coefficient 2.0 (it
+    // is the single most predictive feature).
+    int sum = bias[(pc >> 1) & maskBits(cfg.logBias)].value() * 512;
+    for (unsigned i = 0; i < cfg.historyLength; ++i) {
+        const int w = weights[weightIndex(pc, i)].value();
+        const int contrib = w * coefficient(i);
+        sum += history[i] ? contrib : -contrib;
+    }
+    return sum;
+}
+
+bool
+OhSnapPredictor::predict(uint64_t pc)
+{
+    return computeSum(pc) >= 0;
+}
+
+void
+OhSnapPredictor::update(uint64_t pc, bool taken, bool predicted,
+                        uint64_t target)
+{
+    (void)target;
+    const int sum = computeSum(pc);
+    const int magnitude = std::abs(sum) >> 8;
+    const bool mispredicted = predicted != taken;
+
+    if (mispredicted || magnitude < threshold.value()) {
+        bias[(pc >> 1) & maskBits(cfg.logBias)].add(taken ? 1 : -1);
+        for (unsigned i = 0; i < cfg.historyLength; ++i) {
+            const size_t idx = weightIndex(pc, i);
+            const bool agree = history[i] == taken;
+            weights[idx].add(agree ? 1 : -1);
+            // Dynamic coefficient adaptation: depths whose selected
+            // weights tend to agree with outcomes earn larger
+            // coefficients.
+            const int w = weights[idx].value();
+            if (w != 0) {
+                const bool weightAgrees = (w > 0) == (history[i] == taken);
+                adapt[i].add(weightAgrees ? 1 : -1);
+            }
+        }
+    }
+    threshold.observe(mispredicted, magnitude);
+
+    history.push(taken);
+    path.push(static_cast<uint16_t>(hashPc(pc, cfg.pcHashBits)));
+}
+
+StorageReport
+OhSnapPredictor::storage() const
+{
+    StorageReport report(name());
+    report.addTable("correlating weights", weights.size(), cfg.weightBits);
+    report.addTable("bias weights", bias.size(), cfg.biasBits);
+    report.addTable("adaptation counters", adapt.size(), 9);
+    report.addTable("path address ring", cfg.historyLength,
+                    cfg.pcHashBits);
+    report.addBits("outcome history", cfg.historyLength);
+    return report;
+}
+
+} // namespace bfbp

@@ -1,0 +1,64 @@
+#include "predictors/perceptron.hpp"
+
+namespace bfbp
+{
+
+PerceptronPredictor::PerceptronPredictor(const PerceptronConfig &config)
+    : cfg(config), theta(perceptronTheta(config.historyLength)),
+      weights((size_t{1} << config.logPerceptrons) *
+                  (config.historyLength + 1),
+              SignedSatCounter(config.weightBits)),
+      history(config.historyLength)
+{
+}
+
+int
+PerceptronPredictor::computeSum(uint64_t pc) const
+{
+    const size_t base = row(pc) * (cfg.historyLength + 1);
+    int sum = weights[base].value();
+    for (unsigned i = 0; i < cfg.historyLength; ++i) {
+        const int w = weights[base + 1 + i].value();
+        sum += history[i] ? w : -w;
+    }
+    return sum;
+}
+
+bool
+PerceptronPredictor::predict(uint64_t pc)
+{
+    lastSum = computeSum(pc);
+    return lastSum >= 0;
+}
+
+void
+PerceptronPredictor::update(uint64_t pc, bool taken, bool predicted,
+                            uint64_t target)
+{
+    (void)target;
+    // Recompute against the same history predict() saw; histories
+    // only advance below.
+    const int sum = computeSum(pc);
+    const bool mispredicted = predicted != taken;
+
+    if (mispredicted || std::abs(sum) <= theta) {
+        const size_t base = row(pc) * (cfg.historyLength + 1);
+        weights[base].add(taken ? 1 : -1);
+        for (unsigned i = 0; i < cfg.historyLength; ++i) {
+            const bool agree = history[i] == taken;
+            weights[base + 1 + i].add(agree ? 1 : -1);
+        }
+    }
+    history.push(taken);
+}
+
+StorageReport
+PerceptronPredictor::storage() const
+{
+    StorageReport report(name());
+    report.addTable("perceptron weights", weights.size(), cfg.weightBits);
+    report.addBits("global history", cfg.historyLength);
+    return report;
+}
+
+} // namespace bfbp

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Global-history perceptron predictor (Jimenez & Lin, HPCA 2001).
+ *
+ * A table of perceptrons selected by PC; each perceptron holds a
+ * bias weight plus one weight per global history bit. The prediction
+ * is the sign of the dot product of the weights with the +/-1 encoded
+ * history. Training is the classic perceptron rule, gated by
+ * misprediction or |output| <= theta.
+ */
+
+#ifndef BFBP_PREDICTORS_PERCEPTRON_HPP
+#define BFBP_PREDICTORS_PERCEPTRON_HPP
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "predictors/neural_common.hpp"
+#include "sim/predictor.hpp"
+#include "util/bitops.hpp"
+#include "util/history_register.hpp"
+#include "util/saturating_counter.hpp"
+
+namespace bfbp
+{
+
+/** Configuration for PerceptronPredictor. */
+struct PerceptronConfig
+{
+    unsigned historyLength = 32; //!< Global history bits used.
+    unsigned logPerceptrons = 9; //!< log2 number of perceptrons.
+    unsigned weightBits = 8;     //!< Width of each weight.
+};
+
+/** Classic global perceptron predictor. */
+class PerceptronPredictor : public BranchPredictor
+{
+  public:
+    explicit PerceptronPredictor(const PerceptronConfig &config = {});
+
+    bool predict(uint64_t pc) override;
+    void update(uint64_t pc, bool taken, bool predicted,
+                uint64_t target) override;
+    std::string name() const override { return "perceptron"; }
+    StorageReport storage() const override;
+
+    /** Output magnitude of the last predict() call (for tests). */
+    int lastOutput() const { return lastSum; }
+
+  private:
+    size_t
+    row(uint64_t pc) const
+    {
+        return (pc >> 1) & maskBits(cfg.logPerceptrons);
+    }
+
+    int computeSum(uint64_t pc) const;
+
+    PerceptronConfig cfg;
+    int theta;
+    //! Weight layout: [row][0] is the bias, [row][1+i] pairs with
+    //! history bit i.
+    std::vector<SignedSatCounter> weights;
+    HistoryRegister history;
+    int lastSum = 0;
+};
+
+} // namespace bfbp
+
+#endif // BFBP_PREDICTORS_PERCEPTRON_HPP

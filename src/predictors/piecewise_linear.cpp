@@ -1,0 +1,71 @@
+#include "predictors/piecewise_linear.hpp"
+
+#include <cstdlib>
+
+namespace bfbp
+{
+
+PiecewiseLinearPredictor::PiecewiseLinearPredictor(
+    const PiecewiseLinearConfig &config)
+    : cfg(config),
+      threshold(perceptronTheta(config.historyLength)),
+      weights(size_t{1} << config.logWeights,
+              SignedSatCounter(config.weightBits)),
+      bias(size_t{1} << config.logBias,
+           SignedSatCounter(config.weightBits)),
+      history(config.historyLength),
+      path(config.historyLength)
+{
+}
+
+int
+PiecewiseLinearPredictor::computeSum(uint64_t pc) const
+{
+    int sum = bias[(pc >> 1) & maskBits(cfg.logBias)].value();
+    for (unsigned i = 0; i < cfg.historyLength; ++i) {
+        const int w = weights[weightIndex(pc, i)].value();
+        sum += history[i] ? w : -w;
+    }
+    return sum;
+}
+
+bool
+PiecewiseLinearPredictor::predict(uint64_t pc)
+{
+    return computeSum(pc) >= 0;
+}
+
+void
+PiecewiseLinearPredictor::update(uint64_t pc, bool taken, bool predicted,
+                                 uint64_t target)
+{
+    (void)target;
+    const int sum = computeSum(pc);
+    const bool mispredicted = predicted != taken;
+
+    if (mispredicted || std::abs(sum) < threshold.value()) {
+        bias[(pc >> 1) & maskBits(cfg.logBias)].add(taken ? 1 : -1);
+        for (unsigned i = 0; i < cfg.historyLength; ++i) {
+            const bool agree = history[i] == taken;
+            weights[weightIndex(pc, i)].add(agree ? 1 : -1);
+        }
+    }
+    threshold.observe(mispredicted, std::abs(sum));
+
+    history.push(taken);
+    path.push(static_cast<uint16_t>(hashPc(pc, cfg.pcHashBits)));
+}
+
+StorageReport
+PiecewiseLinearPredictor::storage() const
+{
+    StorageReport report(name());
+    report.addTable("correlating weights", weights.size(), cfg.weightBits);
+    report.addTable("bias weights", bias.size(), cfg.weightBits);
+    report.addTable("path address ring", cfg.historyLength,
+                    cfg.pcHashBits);
+    report.addBits("outcome history", cfg.historyLength);
+    return report;
+}
+
+} // namespace bfbp

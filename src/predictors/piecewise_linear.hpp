@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Hashed piecewise-linear predictor (Jimenez, ISCA 2005 family).
+ *
+ * This is the "Conventional Perceptron" baseline of the paper's
+ * Fig. 9: a piecewise-linear-like neural predictor whose correlating
+ * weights are selected by hashing the predicted branch's PC with the
+ * address of the i-th previous branch and the position i. At a 64 KB
+ * budget it affords a history length of 72, which is exactly the
+ * limitation the Bias-Free predictor attacks: correlations further
+ * than 72 unfiltered branches away are invisible to it.
+ */
+
+#ifndef BFBP_PREDICTORS_PIECEWISE_LINEAR_HPP
+#define BFBP_PREDICTORS_PIECEWISE_LINEAR_HPP
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "predictors/neural_common.hpp"
+#include "sim/predictor.hpp"
+#include "util/bitops.hpp"
+#include "util/hashing.hpp"
+#include "util/history_register.hpp"
+#include "util/ring_buffer.hpp"
+#include "util/saturating_counter.hpp"
+
+namespace bfbp
+{
+
+/** Configuration for PiecewiseLinearPredictor. */
+struct PiecewiseLinearConfig
+{
+    unsigned historyLength = 72; //!< Path/outcome history length.
+    unsigned logWeights = 16;    //!< log2 entries of the weight table.
+    unsigned logBias = 12;       //!< log2 entries of the bias table.
+    unsigned weightBits = 8;
+    unsigned pcHashBits = 14;    //!< Stored path-address hash width.
+};
+
+/** Hashed piecewise-linear neural predictor. */
+class PiecewiseLinearPredictor : public BranchPredictor
+{
+  public:
+    explicit PiecewiseLinearPredictor(
+        const PiecewiseLinearConfig &config = {});
+
+    bool predict(uint64_t pc) override;
+    void update(uint64_t pc, bool taken, bool predicted,
+                uint64_t target) override;
+    std::string name() const override { return "pwl"; }
+    StorageReport storage() const override;
+
+  private:
+    size_t
+    weightIndex(uint64_t pc, unsigned i) const
+    {
+        const uint64_t addr = i < path.size() ? path.at(i) : 0;
+        return hashMany({pc >> 1, addr, i}) & maskBits(cfg.logWeights);
+    }
+
+    int computeSum(uint64_t pc) const;
+
+    PiecewiseLinearConfig cfg;
+    AdaptiveThreshold threshold;
+    std::vector<SignedSatCounter> weights;
+    std::vector<SignedSatCounter> bias;
+    HistoryRegister history;
+    RingBuffer<uint16_t> path; //!< Hashed PCs of prior branches.
+};
+
+} // namespace bfbp
+
+#endif // BFBP_PREDICTORS_PIECEWISE_LINEAR_HPP

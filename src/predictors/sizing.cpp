@@ -1,0 +1,82 @@
+#include "predictors/sizing.hpp"
+
+#include <stdexcept>
+
+namespace bfbp
+{
+
+namespace
+{
+
+// Master geometry of the conventional 64 KB ISL-TAGE (15 tagged
+// tables). The first 10 tables plus the base come to 51,072 bytes,
+// matching the figure quoted under Table I of the paper.
+const std::vector<unsigned> convHist = {
+    3, 8, 12, 17, 33, 35, 67, 97, 138, 195, 330, 517, 1193, 1741, 1930};
+const std::vector<unsigned> convLogSize = {
+    11, 11, 12, 12, 12, 12, 11, 11, 11, 10, 10, 10, 9, 9, 9};
+const std::vector<unsigned> convTagBits = {
+    7, 7, 8, 9, 10, 11, 11, 13, 14, 15, 15, 15, 15, 15, 15};
+
+// BF-TAGE geometry from Table I (history lengths index the
+// compressed bias-free history register).
+const std::vector<unsigned> bfHist = {
+    3, 8, 14, 26, 40, 54, 70, 94, 118, 142};
+const std::vector<unsigned> bfLogSize = {
+    11, 11, 11, 12, 12, 12, 11, 11, 10, 10};
+const std::vector<unsigned> bfTagBits = {
+    7, 7, 8, 9, 10, 11, 11, 13, 14, 15};
+
+std::vector<unsigned>
+firstN(const std::vector<unsigned> &v, unsigned n)
+{
+    return {v.begin(), v.begin() + n};
+}
+
+} // anonymous namespace
+
+const std::vector<unsigned> &
+conventionalHistoryLengths()
+{
+    return convHist;
+}
+
+const std::vector<unsigned> &
+bfHistoryLengths()
+{
+    return bfHist;
+}
+
+TageConfig
+conventionalTageConfig(unsigned tables)
+{
+    if (tables < 1 || tables > convHist.size()) {
+        throw std::invalid_argument(
+            "conventional TAGE supports 1..15 tagged tables");
+    }
+    TageConfig cfg;
+    cfg.label = "tage-" + std::to_string(tables);
+    cfg.historyLengths = firstN(convHist, tables);
+    cfg.logSizes = firstN(convLogSize, tables);
+    cfg.tagBits = firstN(convTagBits, tables);
+    cfg.logBase = 14;
+    return cfg;
+}
+
+TageConfig
+bfTageConfig(unsigned tables)
+{
+    if (tables < 1 || tables > bfHist.size()) {
+        throw std::invalid_argument(
+            "BF-TAGE supports 1..10 tagged tables");
+    }
+    TageConfig cfg;
+    cfg.label = "bf-tage-" + std::to_string(tables);
+    cfg.historyLengths = firstN(bfHist, tables);
+    cfg.logSizes = firstN(bfLogSize, tables);
+    cfg.tagBits = firstN(bfTagBits, tables);
+    cfg.logBase = 14;
+    return cfg;
+}
+
+} // namespace bfbp

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Storage-budget-matched predictor configurations.
+ *
+ * The experiments compare predictors at equal hardware budgets, so
+ * the exact geometries live here in one place:
+ *
+ *  - conventionalTageConfig(n): the first n tagged tables of the
+ *    64 KB 15-table ISL-TAGE geometry (history lengths
+ *    {3,8,12,17,33,35,67,97,138,195,330,517,1193,1741,1930}). With
+ *    n = 10 this reproduces the paper's quoted 51,072-byte baseline.
+ *  - bfTageConfig(n): the first n tagged tables of the paper's
+ *    Table I geometry (history lengths over the compressed BF-GHR:
+ *    {3,8,14,26,40,54,70,94,118,142}).
+ *
+ * The paper states the n-table BF predictor is sized into the same
+ * storage as the n-table baseline; bfTageConfig therefore reports
+ * its total so benches can print both budgets side by side.
+ */
+
+#ifndef BFBP_PREDICTORS_SIZING_HPP
+#define BFBP_PREDICTORS_SIZING_HPP
+
+#include "predictors/tage.hpp"
+
+namespace bfbp
+{
+
+/** History lengths of the 15-table conventional ISL-TAGE. */
+const std::vector<unsigned> &conventionalHistoryLengths();
+
+/** History lengths of the 10-table BF-TAGE (compressed BF-GHR). */
+const std::vector<unsigned> &bfHistoryLengths();
+
+/**
+ * Conventional TAGE geometry with @p tables tagged tables
+ * (1 <= tables <= 15), sized per the 64 KB ISL-TAGE master config.
+ */
+TageConfig conventionalTageConfig(unsigned tables);
+
+/**
+ * BF-TAGE geometry with @p tables tagged tables (1 <= tables <= 10),
+ * per the paper's Table I.
+ */
+TageConfig bfTageConfig(unsigned tables);
+
+} // namespace bfbp
+
+#endif // BFBP_PREDICTORS_SIZING_HPP

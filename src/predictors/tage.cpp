@@ -1,0 +1,318 @@
+#include "predictors/tage.hpp"
+
+#include <cassert>
+
+#include "util/bitops.hpp"
+#include "util/hashing.hpp"
+
+namespace bfbp
+{
+
+TageBase::TageBase(TageConfig config)
+    : cfg(std::move(config)),
+      basePred(size_t{1} << cfg.logBase, 0),
+      baseHyst(size_t{1} << (cfg.logBase - cfg.hystShift), 1)
+{
+    assert(cfg.numTables() >= 1 && cfg.numTables() <= maxTageTables);
+    assert(cfg.logSizes.size() == cfg.numTables());
+    assert(cfg.tagBits.size() == cfg.numTables());
+    tables.reserve(cfg.numTables());
+    for (unsigned logSize : cfg.logSizes)
+        tables.emplace_back(size_t{1} << logSize);
+    stats.resize(cfg.numTables());
+}
+
+bool
+TageBase::basePredict(uint64_t pc) const
+{
+    return basePred[(pc >> 1) & maskBits(cfg.logBase)] != 0;
+}
+
+void
+TageBase::baseUpdate(uint64_t pc, bool taken)
+{
+    // 2-bit counter semantics with the hysteresis bit shared between
+    // 2^hystShift neighboring entries (1.25 bits/entry as in
+    // ISL-TAGE's base bimodal).
+    const size_t idx = (pc >> 1) & maskBits(cfg.logBase);
+    const size_t hidx = idx >> cfg.hystShift;
+    int ctr = (basePred[idx] << 1) | baseHyst[hidx];
+    if (taken) {
+        if (ctr < 3)
+            ++ctr;
+    } else {
+        if (ctr > 0)
+            --ctr;
+    }
+    basePred[idx] = static_cast<uint8_t>(ctr >> 1);
+    baseHyst[hidx] = static_cast<uint8_t>(ctr & 1);
+}
+
+void
+TageBase::computeContext(uint64_t pc, PredictionInfo &info) const
+{
+    info.pc = pc;
+    info.basePred = basePredict(pc);
+    info.provider = -1;
+    info.altProvider = -1;
+
+    const size_t n = cfg.numTables();
+    for (size_t t = 0; t < n; ++t) {
+        info.indices[t] = static_cast<uint32_t>(
+            indexHash(t, pc) & maskBits(cfg.logSizes[t]));
+        info.tags[t] = static_cast<uint16_t>(
+            tagHash(t, pc) & maskBits(cfg.tagBits[t]));
+    }
+
+    // Longest history with a tag match provides; next longest (or
+    // the base) is the alternate.
+    for (size_t t = n; t-- > 0; ) {
+        if (tables[t][info.indices[t]].tag == info.tags[t]) {
+            info.provider = static_cast<int>(t);
+            break;
+        }
+    }
+    if (info.provider > 0) {
+        for (size_t a = static_cast<size_t>(info.provider); a-- > 0; ) {
+            if (tables[a][info.indices[a]].tag == info.tags[a]) {
+                info.altProvider = static_cast<int>(a);
+                break;
+            }
+        }
+    }
+
+    if (info.altProvider >= 0) {
+        const auto &alt = tables[static_cast<size_t>(info.altProvider)]
+            [info.indices[static_cast<size_t>(info.altProvider)]];
+        info.altPred = alt.ctr >= 0;
+    } else {
+        info.altPred = info.basePred;
+    }
+
+    if (info.provider >= 0) {
+        const auto &prov = tables[static_cast<size_t>(info.provider)]
+            [info.indices[static_cast<size_t>(info.provider)]];
+        info.providerCtr = prov.ctr;
+        info.providerWeak = prov.ctr == 0 || prov.ctr == -1;
+        // Newly allocated entries are weak and not yet useful; the
+        // use-alt-on-na counter decides whether to trust them.
+        const bool newlyAllocated = info.providerWeak &&
+            prov.useful == 0;
+        if (newlyAllocated && useAltOnNa.value() >= 0)
+            info.pred = info.altPred;
+        else
+            info.pred = prov.ctr >= 0;
+    } else {
+        info.providerCtr = 0;
+        info.providerWeak = true;
+        info.pred = info.basePred;
+    }
+}
+
+bool
+TageBase::predict(uint64_t pc)
+{
+    pending.emplace_back();
+    PredictionInfo &info = pending.back();
+    computeContext(pc, info);
+    stats.record(static_cast<size_t>(info.provider + 1));
+    return info.pred;
+}
+
+void
+TageBase::allocate(const PredictionInfo &info, bool taken)
+{
+    const size_t n = cfg.numTables();
+    const size_t start = static_cast<size_t>(info.provider + 1);
+    if (start >= n)
+        return;
+
+    // Victim search: take the first table above the provider whose
+    // entry is not useful, but with probability 1/3 keep scanning so
+    // allocations spread toward longer tables (Seznec's randomized
+    // policy).
+    size_t chosen = n;
+    for (size_t t = start; t < n; ++t) {
+        if (tables[t][info.indices[t]].useful == 0) {
+            chosen = t;
+            if (allocRng.below(3) != 0)
+                break;
+        }
+    }
+
+    if (chosen >= n) {
+        // No victim: age the candidates instead.
+        for (size_t t = start; t < n; ++t) {
+            auto &e = tables[t][info.indices[t]];
+            if (e.useful > 0)
+                --e.useful;
+        }
+        return;
+    }
+
+    auto &e = tables[chosen][info.indices[chosen]];
+    e.tag = info.tags[chosen];
+    e.ctr = taken ? 0 : -1;
+    e.useful = 0;
+}
+
+void
+TageBase::update(uint64_t pc, bool taken, bool predicted, uint64_t target)
+{
+    (void)predicted;
+    assert(!pending.empty());
+    PredictionInfo info = pending.front();
+    pending.pop_front();
+    assert(info.pc == pc);
+
+    const bool mispredicted = info.pred != taken;
+    const int ctrMax = (1 << (cfg.ctrBits - 1)) - 1;
+    const int ctrMin = -(1 << (cfg.ctrBits - 1));
+    const int uMax = (1 << cfg.uBits) - 1;
+
+    if (info.provider >= 0) {
+        auto &prov = tables[static_cast<size_t>(info.provider)]
+            [info.indices[static_cast<size_t>(info.provider)]];
+        const bool provPred = prov.ctr >= 0;
+
+        // Train the use-alt-on-na gate on weak, not-yet-useful
+        // entries where provider and alt disagree.
+        if (info.providerWeak && prov.useful == 0 &&
+            provPred != info.altPred) {
+            useAltOnNa.update(info.altPred == taken ? 1 : 0);
+        }
+
+        // Useful flag: set when the provider was right where the
+        // alternate would have been wrong.
+        if (provPred != info.altPred) {
+            if (provPred == taken) {
+                if (prov.useful < uMax)
+                    ++prov.useful;
+            } else if (prov.useful > 0) {
+                --prov.useful;
+            }
+        }
+
+        // Train the provider counter.
+        if (taken) {
+            if (prov.ctr < ctrMax)
+                ++prov.ctr;
+        } else {
+            if (prov.ctr > ctrMin)
+                --prov.ctr;
+        }
+
+        // When the provider entry has not proven useful, also train
+        // the alternate so it stays warm.
+        if (prov.useful == 0) {
+            if (info.altProvider >= 0) {
+                auto &alt = tables[static_cast<size_t>(info.altProvider)]
+                    [info.indices[static_cast<size_t>(info.altProvider)]];
+                if (taken) {
+                    if (alt.ctr < ctrMax)
+                        ++alt.ctr;
+                } else {
+                    if (alt.ctr > ctrMin)
+                        --alt.ctr;
+                }
+            } else {
+                baseUpdate(pc, taken);
+            }
+        }
+    } else {
+        baseUpdate(pc, taken);
+    }
+
+    if (mispredicted)
+        allocate(info, taken);
+
+    // Periodic useful-bit aging keeps the tables recyclable.
+    ++commits;
+    if (commits % cfg.uResetPeriod == 0) {
+        for (auto &table : tables) {
+            for (auto &e : table)
+                e.useful >>= 1;
+        }
+    }
+
+    updateHistories(pc, taken, target);
+}
+
+StorageReport
+TageBase::storage() const
+{
+    StorageReport report(name());
+    report.addTable("T0 bimodal pred", basePred.size(), 1);
+    report.addTable("T0 bimodal hyst", baseHyst.size(), 1);
+    for (size_t t = 0; t < cfg.numTables(); ++t) {
+        report.addTable("T" + std::to_string(t + 1) + " tagged (hist " +
+                            std::to_string(cfg.historyLengths[t]) + ")",
+                        tables[t].size(),
+                        cfg.ctrBits + cfg.uBits + cfg.tagBits[t]);
+    }
+    report.addBits("use-alt-on-na counter", 4);
+    reportHistoryStorage(report);
+    return report;
+}
+
+// ---------------------------------------------------------------
+// Conventional TAGE
+// ---------------------------------------------------------------
+
+TagePredictor::TagePredictor(TageConfig config)
+    : TageBase(std::move(config)),
+      ghist(nextPowerOfTwo(cfg.historyLengths.back() + 1))
+{
+    idxFold.reserve(cfg.numTables());
+    tagFold1.reserve(cfg.numTables());
+    tagFold2.reserve(cfg.numTables());
+    for (size_t t = 0; t < cfg.numTables(); ++t) {
+        idxFold.emplace_back(cfg.historyLengths[t], cfg.logSizes[t]);
+        tagFold1.emplace_back(cfg.historyLengths[t], cfg.tagBits[t]);
+        tagFold2.emplace_back(cfg.historyLengths[t],
+                              cfg.tagBits[t] > 1 ? cfg.tagBits[t] - 1
+                                                 : 1);
+    }
+}
+
+uint64_t
+TagePredictor::indexHash(size_t t, uint64_t pc) const
+{
+    const unsigned logSize = cfg.logSizes[t];
+    const uint64_t path = pathHist &
+        maskBits(std::min<unsigned>(cfg.historyLengths[t],
+                                    cfg.pathBits));
+    // Table-specific path mixing (stand-in for Seznec's F function).
+    const uint64_t pathMix = mix64(path + (t << 7));
+    return (pc >> 1) ^ ((pc >> 1) >> logSize) ^
+        idxFold[t].value() ^ pathMix;
+}
+
+uint64_t
+TagePredictor::tagHash(size_t t, uint64_t pc) const
+{
+    return (pc >> 1) ^ tagFold1[t].value() ^ (tagFold2[t].value() << 1);
+}
+
+void
+TagePredictor::updateHistories(uint64_t pc, bool taken, uint64_t target)
+{
+    (void)target;
+    for (size_t t = 0; t < cfg.numTables(); ++t) {
+        const bool out = ghist[cfg.historyLengths[t] - 1];
+        idxFold[t].update(taken, out);
+        tagFold1[t].update(taken, out);
+        tagFold2[t].update(taken, out);
+    }
+    ghist.push(taken);
+    pathHist = ((pathHist << 1) | ((pc >> 1) & 1)) & maskBits(cfg.pathBits);
+}
+
+void
+TagePredictor::reportHistoryStorage(StorageReport &report) const
+{
+    report.addBits("global history", cfg.historyLengths.back());
+    report.addBits("path history", cfg.pathBits);
+}
+
+} // namespace bfbp

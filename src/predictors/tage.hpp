@@ -1,0 +1,158 @@
+/**
+ * @file
+ * TAGE: TAgged GEometric history length predictor (Seznec & Michaud).
+ *
+ * TageBase implements everything both the conventional and the
+ * Bias-Free variants share: the bimodal base predictor (with shared
+ * hysteresis, 1.25 bits/entry as in the CBP-3 ISL-TAGE), the tagged
+ * tables (3-bit prediction counter, 1-bit useful flag, partial tag),
+ * longest-match provider selection with alternate prediction and the
+ * use-alt-on-newly-allocated policy, misprediction-driven allocation
+ * with useful-bit victim search, and periodic useful-bit aging.
+ *
+ * What varies between variants is *which history* feeds the index
+ * and tag hashes: the conventional predictor folds the unfiltered
+ * global outcome history plus a path history (TagePredictor below);
+ * BF-TAGE folds the compressed bias-free history register built from
+ * segmented recency stacks (core/bf_tage.hpp). Subclasses supply
+ * those hashes through the protected virtuals.
+ */
+
+#ifndef BFBP_PREDICTORS_TAGE_HPP
+#define BFBP_PREDICTORS_TAGE_HPP
+
+#include <array>
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "sim/predictor.hpp"
+#include "util/folded_history.hpp"
+#include "util/random.hpp"
+#include "util/saturating_counter.hpp"
+
+namespace bfbp
+{
+
+/** Maximum tagged tables supported by the fixed-size context. */
+constexpr size_t maxTageTables = 16;
+
+/** Geometry and policy knobs for a TAGE-family predictor. */
+struct TageConfig
+{
+    std::string label = "tage";
+    std::vector<unsigned> historyLengths; //!< Per tagged table.
+    std::vector<unsigned> logSizes;       //!< log2 entries per table.
+    std::vector<unsigned> tagBits;        //!< Partial tag width.
+    unsigned logBase = 14;     //!< log2 bimodal entries.
+    unsigned hystShift = 2;    //!< Hysteresis shared by 2^shift entries.
+    unsigned ctrBits = 3;      //!< Prediction counter width.
+    unsigned uBits = 1;        //!< Useful flag width.
+    unsigned pathBits = 16;    //!< Path history bits (1 per branch).
+    uint64_t uResetPeriod = 1 << 19; //!< Commits between u agings.
+
+    size_t numTables() const { return historyLengths.size(); }
+};
+
+/** Shared machinery of the TAGE family. */
+class TageBase : public BranchPredictor
+{
+  public:
+    /** Everything update() needs from the matching predict(). */
+    struct PredictionInfo
+    {
+        uint64_t pc = 0;
+        bool pred = false;      //!< Final TAGE prediction.
+        bool altPred = false;   //!< Alternate (next-longest) prediction.
+        bool basePred = false;  //!< Bimodal prediction.
+        int provider = -1;      //!< Providing tagged table, -1 = base.
+        int altProvider = -1;   //!< Alt tagged table, -1 = base.
+        bool providerWeak = false; //!< Provider counter is weak.
+        int providerCtr = 0;    //!< Provider counter value.
+        std::array<uint32_t, maxTageTables> indices{};
+        std::array<uint16_t, maxTageTables> tags{};
+    };
+
+    explicit TageBase(TageConfig config);
+
+    bool predict(uint64_t pc) override;
+    void update(uint64_t pc, bool taken, bool predicted,
+                uint64_t target) override;
+
+    std::string name() const override { return cfg.label; }
+    StorageReport storage() const override;
+    const ProviderStats *providerStats() const override { return &stats; }
+
+    const TageConfig &config() const { return cfg; }
+
+    /**
+     * Info for the most recent predict() whose update() has not yet
+     * run. Decorators (loop predictor, statistical corrector, IUM)
+     * use this to see inside the prediction.
+     */
+    const PredictionInfo &lastPrediction() const { return pending.back(); }
+
+  protected:
+    /** Raw index hash for tagged table @p t (before masking). */
+    virtual uint64_t indexHash(size_t t, uint64_t pc) const = 0;
+
+    /** Raw tag hash for tagged table @p t (before masking). */
+    virtual uint64_t tagHash(size_t t, uint64_t pc) const = 0;
+
+    /** Advances all histories for a committed conditional branch. */
+    virtual void updateHistories(uint64_t pc, bool taken,
+                                 uint64_t target) = 0;
+
+    /** Extra storage beyond tables (histories etc.), for reports. */
+    virtual void reportHistoryStorage(StorageReport &report) const = 0;
+
+    TageConfig cfg;
+
+  private:
+    struct TaggedEntry
+    {
+        int8_t ctr = 0;
+        uint16_t tag = 0;
+        uint8_t useful = 0;
+    };
+
+    bool basePredict(uint64_t pc) const;
+    void baseUpdate(uint64_t pc, bool taken);
+    void computeContext(uint64_t pc, PredictionInfo &info) const;
+    void allocate(const PredictionInfo &info, bool taken);
+
+    std::vector<uint8_t> basePred;   //!< Bimodal prediction bits.
+    std::vector<uint8_t> baseHyst;   //!< Shared hysteresis bits.
+    std::vector<std::vector<TaggedEntry>> tables;
+    std::deque<PredictionInfo> pending; //!< predict() -> update() FIFO.
+    SignedSatCounter useAltOnNa{4};  //!< Trust alt on new entries.
+    Rng allocRng{0xA110C8ULL};       //!< Allocation tie breaking.
+    uint64_t commits = 0;
+    ProviderStats stats;
+};
+
+/** Conventional TAGE over the unfiltered global + path history. */
+class TagePredictor : public TageBase
+{
+  public:
+    explicit TagePredictor(TageConfig config);
+
+  protected:
+    uint64_t indexHash(size_t t, uint64_t pc) const override;
+    uint64_t tagHash(size_t t, uint64_t pc) const override;
+    void updateHistories(uint64_t pc, bool taken,
+                         uint64_t target) override;
+    void reportHistoryStorage(StorageReport &report) const override;
+
+  private:
+    HistoryRegister ghist;
+    std::vector<FoldedHistory> idxFold;
+    std::vector<FoldedHistory> tagFold1;
+    std::vector<FoldedHistory> tagFold2;
+    uint64_t pathHist = 0;
+};
+
+} // namespace bfbp
+
+#endif // BFBP_PREDICTORS_TAGE_HPP

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Branch trace record types for the CBP-style evaluation substrate.
+ *
+ * A trace is a committed-order stream of branch records. Mirroring
+ * the CBP-4 methodology, each record carries the number of dynamic
+ * instructions it accounts for (the branch itself plus the non-branch
+ * instructions since the previous record) so MPKI — mispredictions
+ * per 1000 *instructions* — can be computed from a branch-only trace.
+ */
+
+#ifndef BFBP_SIM_BRANCH_HPP
+#define BFBP_SIM_BRANCH_HPP
+
+#include <cstdint>
+
+namespace bfbp
+{
+
+/** Branch classes distinguished by the trace format. */
+enum class BranchType : uint8_t
+{
+    CondDirect = 0,    //!< Conditional direct branch (predicted).
+    UncondDirect = 1,  //!< Unconditional direct jump.
+    UncondIndirect = 2,//!< Indirect jump.
+    Call = 3,          //!< Direct call.
+    Return = 4,        //!< Function return.
+};
+
+/** One committed branch in a trace. */
+struct BranchRecord
+{
+    uint64_t pc = 0;      //!< Address of the branch instruction.
+    uint64_t target = 0;  //!< Taken target address.
+    uint32_t instCount = 1; //!< Instructions accounted by this record
+                            //!< (the branch plus preceding non-branches).
+    BranchType type = BranchType::CondDirect;
+    bool taken = false;   //!< Resolved direction.
+
+    bool
+    isConditional() const
+    {
+        return type == BranchType::CondDirect;
+    }
+
+    bool
+    operator==(const BranchRecord &other) const = default;
+};
+
+} // namespace bfbp
+
+#endif // BFBP_SIM_BRANCH_HPP

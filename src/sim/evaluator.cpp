@@ -1,0 +1,110 @@
+#include "sim/evaluator.hpp"
+
+#include <algorithm>
+#include <deque>
+
+namespace bfbp
+{
+
+namespace
+{
+
+/** A prediction awaiting its commit-time update. */
+struct PendingUpdate
+{
+    uint64_t pc;
+    uint64_t target;
+    bool taken;
+    bool predicted;
+};
+
+} // anonymous namespace
+
+EvalResult
+evaluate(TraceSource &source, BranchPredictor &predictor,
+         const EvalOptions &options)
+{
+    EvalResult result;
+    result.traceName = source.name();
+    result.predictorName = predictor.name();
+
+    std::unordered_map<uint64_t, BranchProfile> profiles;
+    std::deque<PendingUpdate> pending;
+
+    BranchRecord record;
+    while (source.next(record)) {
+        result.instructions += record.instCount;
+
+        if (!record.isConditional()) {
+            ++result.otherBranches;
+            predictor.trackOtherInst(record);
+            continue;
+        }
+
+        const bool predicted = predictor.predict(record.pc);
+        const bool mispredicted = predicted != record.taken;
+
+        ++result.condBranches;
+        if (mispredicted)
+            ++result.mispredictions;
+
+        if (options.collectPerBranch) {
+            auto &prof = profiles[record.pc];
+            prof.pc = record.pc;
+            ++prof.executions;
+            if (record.taken)
+                ++prof.taken;
+            if (mispredicted)
+                ++prof.mispredictions;
+        }
+
+        if (options.updateDelay == 0) {
+            predictor.update(record.pc, record.taken, predicted,
+                             record.target);
+        } else {
+            pending.push_back({record.pc, record.target, record.taken,
+                               predicted});
+            if (pending.size() > options.updateDelay) {
+                const PendingUpdate &u = pending.front();
+                predictor.update(u.pc, u.taken, u.predicted, u.target);
+                pending.pop_front();
+            }
+        }
+
+        if (options.maxBranches != 0 &&
+            result.condBranches >= options.maxBranches) {
+            break;
+        }
+    }
+
+    // Drain delayed updates so predictor state is complete at exit.
+    for (const PendingUpdate &u : pending)
+        predictor.update(u.pc, u.taken, u.predicted, u.target);
+
+    if (options.collectPerBranch) {
+        result.perBranch.reserve(profiles.size());
+        for (const auto &[pc, prof] : profiles)
+            result.perBranch.push_back(prof);
+        std::sort(result.perBranch.begin(), result.perBranch.end(),
+                  [](const BranchProfile &a, const BranchProfile &b) {
+                      if (a.mispredictions != b.mispredictions)
+                          return a.mispredictions > b.mispredictions;
+                      return a.pc < b.pc;
+                  });
+    }
+
+    return result;
+}
+
+double
+averageMpki(const std::vector<EvalResult> &results)
+{
+    if (results.empty())
+        return 0.0;
+    double sum = 0.0;
+    for (const auto &r : results)
+        sum += r.mpki();
+    return sum / static_cast<double>(results.size());
+}
+
+} // namespace bfbp

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Conditional branch predictor interface.
+ *
+ * The contract mirrors the CBP-4 driver: for every conditional branch
+ * the framework calls predict() and then, at commit, update() with
+ * the resolved direction. Non-conditional control transfers are
+ * forwarded through trackOtherInst() so predictors that hash path
+ * information (calls/returns) can observe them.
+ *
+ * Predictors are deterministic state machines: identical call
+ * sequences produce identical predictions, which the test suite
+ * relies on.
+ */
+
+#ifndef BFBP_SIM_PREDICTOR_HPP
+#define BFBP_SIM_PREDICTOR_HPP
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/branch.hpp"
+#include "util/storage.hpp"
+
+namespace bfbp
+{
+
+/**
+ * Which component supplied each prediction, for TAGE-family
+ * predictors. Table 0 is the base predictor; tables 1..N are the
+ * tagged tables in increasing history length. Reproduces the
+ * "% of branch hits per table" histograms of Fig. 12.
+ */
+struct ProviderStats
+{
+    std::vector<uint64_t> providerCount; //!< index 0 = base predictor.
+    uint64_t predictions = 0;
+
+    void
+    resize(size_t tables)
+    {
+        providerCount.assign(tables + 1, 0);
+    }
+
+    void
+    record(size_t provider_table)
+    {
+        if (provider_table < providerCount.size())
+            ++providerCount[provider_table];
+        ++predictions;
+    }
+
+    /** Percentage of predictions provided by @p table. */
+    double
+    percent(size_t table) const
+    {
+        if (predictions == 0 || table >= providerCount.size())
+            return 0.0;
+        return 100.0 * static_cast<double>(providerCount[table]) /
+            static_cast<double>(predictions);
+    }
+};
+
+/** Abstract conditional branch predictor. */
+class BranchPredictor
+{
+  public:
+    virtual ~BranchPredictor() = default;
+
+    /** Predicts the direction of the conditional branch at @p pc. */
+    virtual bool predict(uint64_t pc) = 0;
+
+    /**
+     * Commits the conditional branch at @p pc, training the
+     * predictor and advancing all histories.
+     *
+     * @param pc Branch address.
+     * @param taken Resolved direction.
+     * @param predicted The direction this predictor returned for this
+     *        instance (the framework echoes it back so predictors do
+     *        not need to keep per-branch prediction state).
+     * @param target Taken target (used by path-hashing predictors).
+     */
+    virtual void update(uint64_t pc, bool taken, bool predicted,
+                        uint64_t target) = 0;
+
+    /** Observes a non-conditional control transfer. Optional. */
+    virtual void trackOtherInst(const BranchRecord &record)
+    {
+        (void)record;
+    }
+
+    /** Short identifier for reports, e.g. "bf-neural-64KB". */
+    virtual std::string name() const = 0;
+
+    /** Itemized hardware budget. */
+    virtual StorageReport storage() const = 0;
+
+    /** Provider-table statistics; null for non-TAGE predictors. */
+    virtual const ProviderStats *providerStats() const { return nullptr; }
+};
+
+} // namespace bfbp
+
+#endif // BFBP_SIM_PREDICTOR_HPP

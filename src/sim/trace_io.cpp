@@ -1,0 +1,175 @@
+#include "sim/trace_io.hpp"
+
+#include <array>
+#include <cstring>
+
+namespace bfbp
+{
+
+namespace
+{
+
+constexpr uint32_t traceMagic = 0x54424642; // "BFBT" little endian
+constexpr uint32_t traceVersion = 1;
+constexpr size_t recordBytes = 8 + 8 + 4 + 1 + 1;
+
+void
+packRecord(const BranchRecord &r, unsigned char *buf)
+{
+    std::memcpy(buf + 0, &r.pc, 8);
+    std::memcpy(buf + 8, &r.target, 8);
+    std::memcpy(buf + 16, &r.instCount, 4);
+    buf[20] = static_cast<unsigned char>(r.type);
+    buf[21] = r.taken ? 1 : 0;
+}
+
+BranchRecord
+unpackRecord(const unsigned char *buf)
+{
+    BranchRecord r;
+    std::memcpy(&r.pc, buf + 0, 8);
+    std::memcpy(&r.target, buf + 8, 8);
+    std::memcpy(&r.instCount, buf + 16, 4);
+    r.type = static_cast<BranchType>(buf[20]);
+    r.taken = buf[21] != 0;
+    return r;
+}
+
+void
+writeRaw(std::FILE *file, const void *data, size_t bytes)
+{
+    if (std::fwrite(data, 1, bytes, file) != bytes)
+        throw TraceIoError("trace write failed");
+}
+
+void
+readRaw(std::FILE *file, void *data, size_t bytes)
+{
+    if (std::fread(data, 1, bytes, file) != bytes)
+        throw TraceIoError("trace read failed (truncated file?)");
+}
+
+} // anonymous namespace
+
+TraceFileWriter::TraceFileWriter(const std::string &path)
+    : file(std::fopen(path.c_str(), "wb"))
+{
+    if (!file)
+        throw TraceIoError("cannot open trace file for writing: " + path);
+    writeRaw(file, &traceMagic, 4);
+    writeRaw(file, &traceVersion, 4);
+    uint64_t placeholder = 0;
+    writeRaw(file, &placeholder, 8);
+}
+
+TraceFileWriter::~TraceFileWriter()
+{
+    try {
+        close();
+    } catch (const TraceIoError &) {
+        // Destructor must not throw; the file is left truncated,
+        // which the reader detects via the record count.
+    }
+}
+
+void
+TraceFileWriter::append(const BranchRecord &record)
+{
+    if (!file)
+        throw TraceIoError("append on closed trace writer");
+    unsigned char buf[recordBytes];
+    packRecord(record, buf);
+    writeRaw(file, buf, recordBytes);
+    ++count;
+}
+
+void
+TraceFileWriter::close()
+{
+    if (!file)
+        return;
+    if (std::fseek(file, 8, SEEK_SET) != 0)
+        throw TraceIoError("trace seek failed");
+    writeRaw(file, &count, 8);
+    std::fclose(file);
+    file = nullptr;
+}
+
+TraceFileSource::TraceFileSource(const std::string &path)
+    : file(std::fopen(path.c_str(), "rb")), label(path)
+{
+    if (!file)
+        throw TraceIoError("cannot open trace file: " + path);
+    uint32_t magic = 0;
+    uint32_t version = 0;
+    readRaw(file, &magic, 4);
+    readRaw(file, &version, 4);
+    readRaw(file, &total, 8);
+    if (magic != traceMagic)
+        throw TraceIoError("bad trace magic in " + path);
+    if (version != traceVersion)
+        throw TraceIoError("unsupported trace version in " + path);
+    dataOffset = std::ftell(file);
+}
+
+TraceFileSource::~TraceFileSource()
+{
+    if (file)
+        std::fclose(file);
+}
+
+bool
+TraceFileSource::next(BranchRecord &out)
+{
+    if (consumed >= total)
+        return false;
+    unsigned char buf[recordBytes];
+    readRaw(file, buf, recordBytes);
+    out = unpackRecord(buf);
+    ++consumed;
+    return true;
+}
+
+void
+TraceFileSource::reset()
+{
+    if (std::fseek(file, dataOffset, SEEK_SET) != 0)
+        throw TraceIoError("trace seek failed");
+    consumed = 0;
+}
+
+void
+writeTrace(const std::string &path, const std::vector<BranchRecord> &records)
+{
+    TraceFileWriter writer(path);
+    for (const auto &r : records)
+        writer.append(r);
+    writer.close();
+}
+
+std::vector<BranchRecord>
+readTrace(const std::string &path)
+{
+    TraceFileSource source(path);
+    std::vector<BranchRecord> records;
+    records.reserve(source.recordCount());
+    BranchRecord r;
+    while (source.next(r))
+        records.push_back(r);
+    return records;
+}
+
+std::vector<BranchRecord>
+collect(TraceSource &source, size_t max_records)
+{
+    std::vector<BranchRecord> records;
+    BranchRecord r;
+    while (source.next(r)) {
+        records.push_back(r);
+        if (max_records != 0 && records.size() >= max_records)
+            break;
+    }
+    return records;
+}
+
+} // namespace bfbp

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Binary trace file format (reader/writer).
+ *
+ * Layout (little endian):
+ *   magic   u32  'B','F','B','T'
+ *   version u32  format version (currently 1)
+ *   count   u64  number of records
+ *   records count x 22 bytes:
+ *     pc u64, target u64, instCount u32, type u8, taken u8
+ *
+ * The format exists so generated workloads can be archived and
+ * exchanged like CBP trace files; the suite normally streams straight
+ * from the generator instead.
+ */
+
+#ifndef BFBP_SIM_TRACE_IO_HPP
+#define BFBP_SIM_TRACE_IO_HPP
+
+#include <cstdio>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "sim/trace_source.hpp"
+
+namespace bfbp
+{
+
+/** Raised on malformed trace files or I/O failures. */
+class TraceIoError : public std::runtime_error
+{
+  public:
+    using std::runtime_error::runtime_error;
+};
+
+/** Streaming writer; records are appended and the count fixed up on
+ *  close. */
+class TraceFileWriter
+{
+  public:
+    explicit TraceFileWriter(const std::string &path);
+    ~TraceFileWriter();
+
+    TraceFileWriter(const TraceFileWriter &) = delete;
+    TraceFileWriter &operator=(const TraceFileWriter &) = delete;
+
+    void append(const BranchRecord &record);
+
+    /** Flushes, writes the final record count, and closes the file.
+     *  Called automatically by the destructor if needed. */
+    void close();
+
+    uint64_t written() const { return count; }
+
+  private:
+    std::FILE *file = nullptr;
+    uint64_t count = 0;
+};
+
+/** Streaming reader implementing TraceSource. */
+class TraceFileSource : public TraceSource
+{
+  public:
+    explicit TraceFileSource(const std::string &path);
+    ~TraceFileSource() override;
+
+    TraceFileSource(const TraceFileSource &) = delete;
+    TraceFileSource &operator=(const TraceFileSource &) = delete;
+
+    bool next(BranchRecord &out) override;
+    void reset() override;
+    std::string name() const override { return label; }
+
+    uint64_t recordCount() const { return total; }
+
+  private:
+    std::FILE *file = nullptr;
+    std::string label;
+    uint64_t total = 0;
+    uint64_t consumed = 0;
+    long dataOffset = 0;
+};
+
+/** Writes a whole trace to @p path. */
+void writeTrace(const std::string &path,
+                const std::vector<BranchRecord> &records);
+
+/** Reads a whole trace from @p path. */
+std::vector<BranchRecord> readTrace(const std::string &path);
+
+} // namespace bfbp
+
+#endif // BFBP_SIM_TRACE_IO_HPP

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Streaming trace source abstraction.
+ *
+ * Traces in this project can be tens of millions of records, so the
+ * evaluator consumes them through a pull interface instead of
+ * materialized vectors. Sources must be resettable: ablation studies
+ * replay the same trace through many predictor configurations.
+ */
+
+#ifndef BFBP_SIM_TRACE_SOURCE_HPP
+#define BFBP_SIM_TRACE_SOURCE_HPP
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "sim/branch.hpp"
+
+namespace bfbp
+{
+
+/** Pull-based stream of committed branch records. */
+class TraceSource
+{
+  public:
+    virtual ~TraceSource() = default;
+
+    /**
+     * Produces the next record in commit order.
+     *
+     * @param out Filled with the next record on success.
+     * @return false when the trace is exhausted.
+     */
+    virtual bool next(BranchRecord &out) = 0;
+
+    /** Restarts the stream from the first record. */
+    virtual void reset() = 0;
+
+    /** Identifier used in reports. */
+    virtual std::string name() const { return "trace"; }
+};
+
+/** In-memory trace. Convenient for tests and small experiments. */
+class VectorTraceSource : public TraceSource
+{
+  public:
+    explicit VectorTraceSource(std::vector<BranchRecord> recs,
+                               std::string trace_name = "vector-trace")
+        : records(std::move(recs)), label(std::move(trace_name))
+    {
+    }
+
+    bool
+    next(BranchRecord &out) override
+    {
+        if (pos >= records.size())
+            return false;
+        out = records[pos++];
+        return true;
+    }
+
+    void reset() override { pos = 0; }
+    std::string name() const override { return label; }
+
+    const std::vector<BranchRecord> &data() const { return records; }
+
+  private:
+    std::vector<BranchRecord> records;
+    std::string label;
+    size_t pos = 0;
+};
+
+/** Collects an entire source into memory (test/analysis helper). */
+std::vector<BranchRecord> collect(TraceSource &source,
+                                  size_t max_records = 0);
+
+} // namespace bfbp
+
+#endif // BFBP_SIM_TRACE_SOURCE_HPP

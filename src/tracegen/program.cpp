@@ -1,0 +1,251 @@
+#include "tracegen/program.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "util/hashing.hpp"
+
+namespace bfbp::tracegen
+{
+
+BiasedRunBlock::BiasedRunBlock(uint64_t first_pc, size_t pool_size,
+                               size_t count, uint64_t dir_seed)
+    : firstPc(first_pc), emitCount(count)
+{
+    assert(pool_size >= 1);
+    directions.reserve(pool_size);
+    Rng rng(dir_seed);
+    for (size_t i = 0; i < pool_size; ++i)
+        directions.push_back(rng.chance(0.6)); // mildly taken-leaning
+}
+
+void
+BiasedRunBlock::emit(GenState &state)
+{
+    for (size_t i = 0; i < emitCount; ++i) {
+        state.branch(firstPc + 4 * cursor, directions[cursor]);
+        cursor = (cursor + 1) % directions.size();
+    }
+}
+
+SoftBiasedRunBlock::SoftBiasedRunBlock(uint64_t first_pc,
+                                       size_t pool_size, size_t count,
+                                       uint64_t dir_seed,
+                                       double flip_prob)
+    : firstPc(first_pc), emitCount(count), flipProb(flip_prob)
+{
+    assert(pool_size >= 1);
+    directions.reserve(pool_size);
+    execCount.assign(pool_size, 0);
+    firstFlipAt.reserve(pool_size);
+    Rng rng(dir_seed);
+    for (size_t i = 0; i < pool_size; ++i) {
+        directions.push_back(rng.chance(0.55));
+        // One guaranteed early deviation so the branch is
+        // non-biased over any realistic run length (keeps the
+        // Fig. 2 fraction stable across trace scales).
+        firstFlipAt.push_back(8 + rng.below(120));
+    }
+}
+
+void
+SoftBiasedRunBlock::emit(GenState &state)
+{
+    for (size_t i = 0; i < emitCount; ++i) {
+        bool outcome = directions[cursor];
+        state.expectedFloor += flipProb;
+        if (execCount[cursor] == firstFlipAt[cursor] ||
+            state.rng.chance(flipProb)) {
+            outcome = !outcome;
+        }
+        ++execCount[cursor];
+        state.branch(firstPc + 4 * cursor, outcome);
+        cursor = (cursor + 1) % directions.size();
+    }
+}
+
+void
+NoiseBlock::emit(GenState &state)
+{
+    state.expectedFloor += std::min(p, 1.0 - p);
+    state.branch(branchPc, state.rng.chance(p));
+}
+
+NoiseRunBlock::NoiseRunBlock(uint64_t first_pc, size_t pool_size,
+                             size_t count, double taken_prob)
+    : firstPc(first_pc), poolSize(pool_size), emitCount(count),
+      p(taken_prob)
+{
+    assert(pool_size >= 1);
+}
+
+void
+NoiseRunBlock::emit(GenState &state)
+{
+    for (size_t i = 0; i < emitCount; ++i) {
+        const double prob = (cursor % 2 == 0) ? p : 1.0 - p;
+        state.expectedFloor += std::min(prob, 1.0 - prob);
+        state.branch(firstPc + 4 * cursor, state.rng.chance(prob));
+        cursor = (cursor + 1) % poolSize;
+    }
+}
+
+void
+LocalPatternBlock::emit(GenState &state)
+{
+    state.branch(branchPc, pattern[pos]);
+    pos = (pos + 1) % pattern.size();
+}
+
+void
+SetterBlock::emit(GenState &state)
+{
+    bool taken;
+    if (pattern.empty()) {
+        // A fresh Bernoulli draw is inherently unpredictable, so it
+        // contributes to the noise floor (its *readers* do not —
+        // they are the predictable part).
+        state.expectedFloor += std::min(p, 1.0 - p);
+        taken = state.rng.chance(p);
+    } else {
+        taken = pattern[pos];
+        pos = (pos + 1) % pattern.size();
+    }
+    state.setReg(regId, taken);
+    state.branch(branchPc, taken);
+}
+
+void
+ReaderBlock::emit(GenState &state)
+{
+    bool value = invertOut;
+    for (size_t id : regIds)
+        value ^= state.reg(id);
+    if (noiseP > 0.0) {
+        state.expectedFloor += noiseP;
+        if (state.rng.chance(noiseP))
+            value = !value;
+    }
+    state.branch(branchPc, value);
+}
+
+LoopBlock::LoopBlock(uint64_t pc, size_t trip_min, size_t trip_max,
+                     std::vector<BlockPtr> blocks)
+    : branchPc(pc), tripMin(trip_min), tripMax(trip_max),
+      body(std::move(blocks))
+{
+    assert(trip_min >= 1 && trip_min <= trip_max);
+}
+
+void
+LoopBlock::emit(GenState &state)
+{
+    const size_t trip = (tripMin == tripMax)
+        ? tripMin
+        : tripMin + state.rng.below(tripMax - tripMin + 1);
+    for (size_t i = 0; i < trip; ++i) {
+        for (auto &b : body)
+            b->emit(state);
+        // Backward branch: taken while the loop continues.
+        state.branch(branchPc, i + 1 < trip);
+    }
+}
+
+CallBlock::CallBlock(uint64_t call_pc, uint64_t return_pc,
+                     std::vector<BlockPtr> blocks)
+    : callPc(call_pc), returnPc(return_pc), body(std::move(blocks))
+{
+}
+
+void
+CallBlock::emit(GenState &state)
+{
+    state.control(callPc, BranchType::Call);
+    for (auto &b : body)
+        b->emit(state);
+    state.control(returnPc, BranchType::Return);
+}
+
+void
+Fig4Block::emit(GenState &state)
+{
+    state.expectedFloor += 0.5; // branch A is a fresh draw
+    const bool a_taken = state.rng.chance(0.5);
+    state.branch(aPc, a_taken);
+    for (size_t i = 0; i < loopCount; ++i) {
+        state.branch(xPc, a_taken && i == pos);
+        state.branch(loopPc, i + 1 < loopCount);
+    }
+}
+
+void
+SequenceBlock::emit(GenState &state)
+{
+    for (auto &b : body)
+        b->emit(state);
+}
+
+ProgramTraceSource::ProgramTraceSource(ProgramFactory prog_factory)
+    : factory(std::move(prog_factory))
+{
+    reset();
+}
+
+void
+ProgramTraceSource::reset()
+{
+    program = factory();
+    assert(!program.sections.empty());
+    state = std::make_unique<GenState>(program.seed, program.numRegs);
+    bufferPos = 0;
+    sectionIdx = 0;
+    blockIdx = 0;
+    exhausted = false;
+    sectionBudgetEnd = static_cast<uint64_t>(
+        program.sections[0].budgetFraction *
+        static_cast<double>(program.targetBranches));
+}
+
+void
+ProgramTraceSource::refill()
+{
+    // Drop consumed records; keep unconsumed tail (usually empty).
+    if (bufferPos > 0) {
+        state->out.erase(state->out.begin(),
+                         state->out.begin() +
+                             static_cast<ptrdiff_t>(bufferPos));
+        bufferPos = 0;
+    }
+
+    while (state->out.empty() && !exhausted) {
+        if (state->condEmitted >= program.targetBranches) {
+            exhausted = true;
+            break;
+        }
+        // Advance to the next section once this one's budget is spent.
+        if (state->condEmitted >= sectionBudgetEnd &&
+            sectionIdx + 1 < program.sections.size()) {
+            ++sectionIdx;
+            blockIdx = 0;
+            sectionBudgetEnd += static_cast<uint64_t>(
+                program.sections[sectionIdx].budgetFraction *
+                static_cast<double>(program.targetBranches));
+        }
+        auto &blocks = program.sections[sectionIdx].blocks;
+        blocks[blockIdx]->emit(*state);
+        blockIdx = (blockIdx + 1) % blocks.size();
+    }
+}
+
+bool
+ProgramTraceSource::next(BranchRecord &out)
+{
+    if (bufferPos >= state->out.size())
+        refill();
+    if (bufferPos >= state->out.size())
+        return false;
+    out = state->out[bufferPos++];
+    return true;
+}
+
+} // namespace bfbp::tracegen

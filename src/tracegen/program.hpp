@@ -1,0 +1,420 @@
+/**
+ * @file
+ * Synthetic program model for branch trace generation.
+ *
+ * A Program is a sequence of sections (phases); each section is a
+ * list of Blocks executed cyclically until the section's branch
+ * budget is spent. Blocks model the control-flow idioms that drive
+ * the paper's results:
+ *
+ *  - BiasedRunBlock: straight-line code full of completely biased
+ *    branches (the "filler" whose presence the Bias-Free predictor
+ *    filters out of its history).
+ *  - NoiseBlock: irreducibly random branches (the MPKI floor).
+ *  - LocalPatternBlock: branches following a periodic self-history
+ *    pattern (predictable via local context / many unfiltered
+ *    instances — the SPEC07/FP2/MM5 failure mode of Sec. VI-D).
+ *  - SetterBlock / ReaderBlock: a correlated pair; the reader's
+ *    outcome is a boolean function of setter registers, optionally
+ *    noisy. With biased filler between them the pair exhibits the
+ *    long-distance correlation (hundreds to ~2000 branches) that
+ *    motivates the paper.
+ *  - LoopBlock: counted loop with constant or variable trip count
+ *    (the loop-predictor target) and nested body blocks.
+ *  - CallBlock: call/return bracketing (emits non-conditional
+ *    records) around a body, modeling "correlated branches separated
+ *    by a function call containing many branches" (Sec. I).
+ *  - Fig4Block: the positional-history pattern of Fig. 4 — only one
+ *    loop instance of branch X correlates with pre-loop branch A.
+ *
+ * Generation is fully deterministic given the seed; reset() rebuilds
+ * the program so replays are bit-identical.
+ */
+
+#ifndef BFBP_TRACEGEN_PROGRAM_HPP
+#define BFBP_TRACEGEN_PROGRAM_HPP
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sim/branch.hpp"
+#include "sim/trace_source.hpp"
+#include "util/random.hpp"
+
+namespace bfbp::tracegen
+{
+
+/** Mutable state threaded through block execution. */
+class GenState
+{
+  public:
+    explicit GenState(uint64_t seed, size_t num_regs)
+        : rng(seed), regs(num_regs, false)
+    {
+    }
+
+    /** Emits one conditional branch record. */
+    void
+    branch(uint64_t pc, bool taken)
+    {
+        emitRecord(pc, taken, BranchType::CondDirect);
+        ++condEmitted;
+    }
+
+    /** Emits a non-conditional control transfer record. */
+    void
+    control(uint64_t pc, BranchType type)
+    {
+        emitRecord(pc, true, type);
+    }
+
+    bool reg(size_t id) const { return regs.at(id); }
+    void setReg(size_t id, bool v) { regs.at(id) = v; }
+
+    Rng rng;
+    std::vector<BranchRecord> out; //!< Records appended by blocks.
+    uint64_t condEmitted = 0;      //!< Conditional branches so far.
+    //! Expected mispredictions of an oracle-after-the-fact
+    //! predictor: blocks add their per-emission irreducible
+    //! unpredictability (Bernoulli flip rates). Used to calibrate
+    //! per-trace MPKI floors.
+    double expectedFloor = 0.0;
+
+  private:
+    void
+    emitRecord(uint64_t pc, bool taken, BranchType type)
+    {
+        BranchRecord r;
+        r.pc = pc;
+        r.target = pc + 64 + (pc & 0xff); // synthetic forward target
+        r.instCount = static_cast<uint32_t>(2 + rng.below(7));
+        r.type = type;
+        r.taken = taken;
+        out.push_back(r);
+    }
+
+    std::vector<bool> regs;
+};
+
+/** A unit of synthetic control flow. Blocks own their cursors. */
+class Block
+{
+  public:
+    virtual ~Block() = default;
+
+    /** Appends this block's records for one execution to @p state. */
+    virtual void emit(GenState &state) = 0;
+};
+
+using BlockPtr = std::unique_ptr<Block>;
+
+/**
+ * Emits @p count completely biased branches, cycling through a pool
+ * of static branches whose directions are fixed at construction.
+ */
+class BiasedRunBlock : public Block
+{
+  public:
+    /**
+     * @param first_pc PC of the first branch in the pool.
+     * @param pool_size Number of distinct static branches.
+     * @param count Branches emitted per execution.
+     * @param dir_seed Seed fixing each branch's (biased) direction.
+     */
+    BiasedRunBlock(uint64_t first_pc, size_t pool_size, size_t count,
+                   uint64_t dir_seed);
+
+    void emit(GenState &state) override;
+
+  private:
+    uint64_t firstPc;
+    std::vector<bool> directions;
+    size_t emitCount;
+    size_t cursor = 0;
+};
+
+/**
+ * Emits branches from a pool that almost always resolve one way but
+ * occasionally flip (error checks, guard branches). Statically
+ * non-biased — they resolve both ways over a long run — yet trivially
+ * predictable, they model the large population of real-world
+ * branches that dilute the completely-biased fraction of Fig. 2
+ * without adding meaningful history content.
+ */
+class SoftBiasedRunBlock : public Block
+{
+  public:
+    /**
+     * @param first_pc PC of the first pool branch.
+     * @param pool_size Distinct static branches.
+     * @param count Branches emitted per execution.
+     * @param dir_seed Seed fixing each branch's dominant direction.
+     * @param flip_prob Per-execution probability of the rare outcome.
+     */
+    SoftBiasedRunBlock(uint64_t first_pc, size_t pool_size, size_t count,
+                       uint64_t dir_seed, double flip_prob);
+
+    void emit(GenState &state) override;
+
+  private:
+    uint64_t firstPc;
+    std::vector<bool> directions;
+    std::vector<uint32_t> execCount;
+    std::vector<uint32_t> firstFlipAt;
+    size_t emitCount;
+    double flipProb;
+    size_t cursor = 0;
+};
+
+/** One branch taken with probability p, independently per execution. */
+class NoiseBlock : public Block
+{
+  public:
+    NoiseBlock(uint64_t pc, double taken_prob)
+        : branchPc(pc), p(taken_prob)
+    {
+    }
+
+    void emit(GenState &state) override;
+
+  private:
+    uint64_t branchPc;
+    double p;
+};
+
+/**
+ * Emits @p count Bernoulli branches per execution, cycling through a
+ * pool whose taken-probabilities alternate between p and 1-p. This
+ * is the irreducible-noise content of a trace; its volume (not the
+ * pool size) sets the MPKI floor.
+ */
+class NoiseRunBlock : public Block
+{
+  public:
+    NoiseRunBlock(uint64_t first_pc, size_t pool_size, size_t count,
+                  double taken_prob);
+
+    void emit(GenState &state) override;
+
+  private:
+    uint64_t firstPc;
+    size_t poolSize;
+    size_t emitCount;
+    double p;
+    size_t cursor = 0;
+};
+
+/** Branch following a fixed periodic pattern of outcomes. */
+class LocalPatternBlock : public Block
+{
+  public:
+    LocalPatternBlock(uint64_t pc, std::vector<bool> pattern)
+        : branchPc(pc), pattern(std::move(pattern))
+    {
+    }
+
+    void emit(GenState &state) override;
+
+  private:
+    uint64_t branchPc;
+    std::vector<bool> pattern;
+    size_t pos = 0;
+};
+
+/**
+ * Non-biased branch whose outcome is stored in a register.
+ *
+ * By default the outcome is a fresh Bernoulli draw (inherently
+ * unpredictable; counted in the noise floor). With a pattern the
+ * setter replays it periodically: still non-biased and still
+ * correlated with its readers, but predictable, so scenes can add
+ * aliasing pressure without raising the floor.
+ */
+class SetterBlock : public Block
+{
+  public:
+    SetterBlock(uint64_t pc, size_t reg_id, double taken_prob = 0.5)
+        : branchPc(pc), regId(reg_id), p(taken_prob)
+    {
+    }
+
+    SetterBlock(uint64_t pc, size_t reg_id, std::vector<bool> pat)
+        : branchPc(pc), regId(reg_id), pattern(std::move(pat))
+    {
+    }
+
+    void emit(GenState &state) override;
+
+  private:
+    uint64_t branchPc;
+    size_t regId;
+    double p = 0.5;
+    std::vector<bool> pattern; //!< Empty = Bernoulli.
+    size_t pos = 0;
+};
+
+/**
+ * Branch correlated with previously-set registers: outcome is the
+ * XOR of the named registers (optionally inverted), flipped with
+ * probability @p noise.
+ */
+class ReaderBlock : public Block
+{
+  public:
+    ReaderBlock(uint64_t pc, std::vector<size_t> reg_ids, bool invert,
+                double noise)
+        : branchPc(pc), regIds(std::move(reg_ids)), invertOut(invert),
+          noiseP(noise)
+    {
+    }
+
+    void emit(GenState &state) override;
+
+  private:
+    uint64_t branchPc;
+    std::vector<size_t> regIds;
+    bool invertOut;
+    double noiseP;
+};
+
+/**
+ * Counted loop: executes the body then the (backward) loop branch,
+ * taken while iterating. Trip count is constant, or uniform in
+ * [tripMin, tripMax] when they differ.
+ */
+class LoopBlock : public Block
+{
+  public:
+    LoopBlock(uint64_t pc, size_t trip_min, size_t trip_max,
+              std::vector<BlockPtr> body);
+
+    void emit(GenState &state) override;
+
+  private:
+    uint64_t branchPc;
+    size_t tripMin;
+    size_t tripMax;
+    std::vector<BlockPtr> body;
+};
+
+/** Call/return bracket around a body (models function calls). */
+class CallBlock : public Block
+{
+  public:
+    CallBlock(uint64_t call_pc, uint64_t return_pc,
+              std::vector<BlockPtr> body);
+
+    void emit(GenState &state) override;
+
+  private:
+    uint64_t callPc;
+    uint64_t returnPc;
+    std::vector<BlockPtr> body;
+};
+
+/**
+ * The Fig. 4 positional-history pattern: setter branch A guards
+ * array[p]=1; a loop over loop_count iterations contains branch X,
+ * taken only at iteration p and only when A was taken.
+ */
+class Fig4Block : public Block
+{
+  public:
+    Fig4Block(uint64_t a_pc, uint64_t x_pc, uint64_t loop_pc,
+              size_t loop_count, size_t position)
+        : aPc(a_pc), xPc(x_pc), loopPc(loop_pc), loopCount(loop_count),
+          pos(position)
+    {
+    }
+
+    void emit(GenState &state) override;
+
+  private:
+    uint64_t aPc;
+    uint64_t xPc;
+    uint64_t loopPc;
+    size_t loopCount;
+    size_t pos;
+};
+
+/** Executes a fixed sequence of sub-blocks. */
+class SequenceBlock : public Block
+{
+  public:
+    explicit SequenceBlock(std::vector<BlockPtr> blocks)
+        : body(std::move(blocks))
+    {
+    }
+
+    void emit(GenState &state) override;
+
+  private:
+    std::vector<BlockPtr> body;
+};
+
+/** One phase of a program. */
+struct Section
+{
+    std::vector<BlockPtr> blocks;
+    double budgetFraction = 1.0; //!< Share of the trace's branches.
+};
+
+/** An immutable-once-built synthetic program. */
+struct Program
+{
+    std::string name = "program";
+    uint64_t seed = 1;
+    uint64_t targetBranches = 100000; //!< Conditional branches to emit.
+    size_t numRegs = 16;
+    std::vector<Section> sections;
+};
+
+/** Builds a Program afresh; reset() re-invokes it for determinism. */
+using ProgramFactory = std::function<Program()>;
+
+/**
+ * TraceSource that executes a Program.
+ *
+ * The factory is re-invoked on reset() so replays are identical:
+ * all generation state (RNG, block cursors, registers) lives in the
+ * rebuilt program and a fresh GenState.
+ */
+class ProgramTraceSource : public TraceSource
+{
+  public:
+    explicit ProgramTraceSource(ProgramFactory factory);
+
+    bool next(BranchRecord &out) override;
+    void reset() override;
+    std::string name() const override { return program.name; }
+
+    /**
+     * Expected mispredictions of a perfect-given-the-past predictor
+     * over the records generated so far (the irreducible noise
+     * floor). Meaningful after the stream is drained.
+     */
+    double
+    expectedFloorMispredictions() const
+    {
+        return state->expectedFloor;
+    }
+
+  private:
+    void refill();
+
+    ProgramFactory factory;
+    Program program;
+    std::unique_ptr<GenState> state;
+    size_t bufferPos = 0;
+    size_t sectionIdx = 0;
+    size_t blockIdx = 0;
+    uint64_t sectionBudgetEnd = 0;
+    bool exhausted = false;
+};
+
+} // namespace bfbp::tracegen
+
+#endif // BFBP_TRACEGEN_PROGRAM_HPP

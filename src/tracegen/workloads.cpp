@@ -1,0 +1,709 @@
+#include "tracegen/workloads.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cstdlib>
+#include <stdexcept>
+#include <unordered_map>
+
+#include "util/hashing.hpp"
+
+namespace bfbp::tracegen
+{
+
+std::string
+categoryName(Category c)
+{
+    switch (c) {
+      case Category::Spec: return "SPEC";
+      case Category::Fp:   return "FP";
+      case Category::Int:  return "INT";
+      case Category::Mm:   return "MM";
+      case Category::Serv: return "SERV";
+    }
+    return "?";
+}
+
+namespace
+{
+
+/** Allocates PCs and registers while assembling one program phase. */
+class PhaseBuilder
+{
+  public:
+    PhaseBuilder(const TraceRecipe &recipe, int phase_index)
+        : r(recipe), cfg(hashCombine(recipe.seed, 0x9e3779b9u
+                                     + static_cast<uint64_t>(phase_index))),
+          nextPc(0x400000 +
+                 static_cast<uint64_t>(phase_index) * 0x1000000)
+    {
+    }
+
+    /** PCs are 4-byte spaced; each feature gets a fresh range. */
+    uint64_t
+    allocPc(size_t count = 1)
+    {
+        uint64_t base = nextPc;
+        nextPc += 4 * count;
+        return base;
+    }
+
+    size_t allocReg() { return regCount++; }
+    size_t regsUsed() const { return regCount; }
+
+    /** Fresh biased run over a newly allocated pool. */
+    BlockPtr
+    biasedRun(size_t pool, size_t count)
+    {
+        pool = std::max<size_t>(1, std::min(pool, count));
+        return std::make_unique<BiasedRunBlock>(
+            allocPc(pool), pool, count, cfg.next());
+    }
+
+    /**
+     * Biased run over the phase's shared filler pool. Correlation
+     * windows are built from this pool so the number of distinct
+     * static branches inside any window stays small: BST aliasing
+     * turns a fraction of "biased" branches into filtered-history
+     * pollution, and a window must not carry more distinct polluted
+     * branches than the recency stack can hold.
+     */
+    BlockPtr
+    sharedFillerRun(size_t count)
+    {
+        if (fillerBase == 0) {
+            fillerBase = allocPc(fillerPoolSize);
+            fillerSeed = cfg.next();
+        }
+        return std::make_unique<BiasedRunBlock>(
+            fillerBase, fillerPoolSize, count, fillerSeed);
+    }
+
+    /** A non-biased periodic pattern with both outcomes present. */
+    std::vector<bool>
+    makePattern(int period)
+    {
+        std::vector<bool> pattern;
+        bool sawTaken = false;
+        bool sawNotTaken = false;
+        for (int i = 0; i < period; ++i) {
+            bool bit = cfg.chance(0.5);
+            pattern.push_back(bit);
+            (bit ? sawTaken : sawNotTaken) = true;
+        }
+        if (!sawTaken)
+            pattern[0] = true;
+        if (!sawNotTaken)
+            pattern[period > 1 ? 1 : 0] = false;
+        return pattern;
+    }
+
+    Section
+    build()
+    {
+        Section sec;
+        auto &blocks = sec.blocks;
+
+        // Local periodic patterns in a tight loop: many instances of
+        // the same static branch with biased spacing. Predictable
+        // from unfiltered history; hostile to recency-stack
+        // filtering (Sec. VI-D).
+        for (int i = 0; i < r.localBranches; ++i) {
+            std::vector<BlockPtr> body;
+            body.push_back(std::make_unique<LocalPatternBlock>(
+                allocPc(), makePattern(r.localPeriod)));
+            body.push_back(biasedRun(r.localSpacing, r.localSpacing));
+            blocks.push_back(std::make_unique<LoopBlock>(
+                allocPc(), r.localBurst, r.localBurst, std::move(body)));
+        }
+
+        // Constant-trip loops (loop-predictor target).
+        for (int i = 0; i < r.constLoops; ++i) {
+            std::vector<BlockPtr> body;
+            if (r.loopBodyBiased > 0) {
+                body.push_back(biasedRun(
+                    static_cast<size_t>(r.loopBodyBiased),
+                    static_cast<size_t>(r.loopBodyBiased)));
+            }
+            size_t trip = static_cast<size_t>(r.constTrip) + 3 * i;
+            blocks.push_back(std::make_unique<LoopBlock>(
+                allocPc(), trip, trip, std::move(body)));
+        }
+
+        // Variable-trip loops.
+        for (int i = 0; i < r.varLoops; ++i) {
+            std::vector<BlockPtr> body;
+            if (r.loopBodyBiased > 0) {
+                body.push_back(biasedRun(
+                    static_cast<size_t>(r.loopBodyBiased),
+                    static_cast<size_t>(r.loopBodyBiased)));
+            }
+            blocks.push_back(std::make_unique<LoopBlock>(
+                allocPc(), r.varTripMin, r.varTripMax, std::move(body)));
+        }
+
+        // Short-distance correlated pairs: easy for every
+        // history-based predictor.
+        for (int i = 0; i < r.shortCorr; ++i) {
+            size_t reg = allocReg();
+            std::vector<BlockPtr> seq;
+            if (r.shortCorrPattern) {
+                seq.push_back(std::make_unique<SetterBlock>(
+                    allocPc(), reg, makePattern(5 + i % 5)));
+            } else {
+                seq.push_back(
+                    std::make_unique<SetterBlock>(allocPc(), reg));
+            }
+            seq.push_back(sharedFillerRun(r.shortCorrFiller));
+            seq.push_back(std::make_unique<ReaderBlock>(
+                allocPc(), std::vector<size_t>{reg}, cfg.chance(0.5),
+                r.shortCorrNoise));
+            blocks.push_back(
+                std::make_unique<SequenceBlock>(std::move(seq)));
+        }
+
+        // Recency-stack scenes: setter and reader separated by a loop
+        // whose body repeats the same non-biased branches many times.
+        // Plain bias-free filtering still sees ~2*trip history slots;
+        // the RS collapses them to two entries (Sec. III-B).
+        for (int i = 0; i < r.rsScenes; ++i) {
+            size_t reg = allocReg();
+            std::vector<BlockPtr> seq;
+            seq.push_back(std::make_unique<SetterBlock>(allocPc(), reg));
+            std::vector<BlockPtr> loopBody;
+            // Alternating (period-2) non-biased content: floods an
+            // unfiltered or plain-filtered history without adding
+            // noise-floor mispredictions.
+            loopBody.push_back(std::make_unique<LocalPatternBlock>(
+                allocPc(), std::vector<bool>{true, false}));
+            if (r.rsLoopBiased > 0) {
+                loopBody.push_back(sharedFillerRun(
+                    static_cast<size_t>(r.rsLoopBiased)));
+            }
+            size_t trip = static_cast<size_t>(r.rsLoopTrip) + 4 * i;
+            seq.push_back(std::make_unique<LoopBlock>(
+                allocPc(), trip, trip, std::move(loopBody)));
+            for (int k = 0; k < std::max(1, r.rsReaders); ++k) {
+                seq.push_back(std::make_unique<ReaderBlock>(
+                    allocPc(), std::vector<size_t>{reg},
+                    cfg.chance(0.5), r.readerNoise));
+            }
+            blocks.push_back(
+                std::make_unique<SequenceBlock>(std::move(seq)));
+        }
+
+        // Fig. 4 positional-history scenes.
+        for (int i = 0; i < r.fig4Scenes; ++i) {
+            size_t loopCount = static_cast<size_t>(r.fig4LoopCount);
+            size_t pos = 3 + cfg.below(loopCount - 5);
+            blocks.push_back(std::make_unique<Fig4Block>(
+                allocPc(), allocPc(), allocPc(), loopCount, pos));
+        }
+
+        // Irreducible noise: a run of Bernoulli branches over a
+        // small pool; the emission volume (noisePerCycle) sets the
+        // trace's MPKI floor.
+        if (r.noisePerCycle > 0) {
+            const size_t pool = static_cast<size_t>(
+                std::max(1, r.noiseBranches));
+            blocks.push_back(std::make_unique<NoiseRunBlock>(
+                allocPc(pool), pool,
+                static_cast<size_t>(r.noisePerCycle),
+                r.noiseTakenProb));
+        }
+
+        // Quasi-biased branches: almost always one direction, so the
+        // runtime bias detector flips them to non-biased at an
+        // unpredictable point (server-trace churn, Sec. VI-D).
+        for (int i = 0; i < r.quasiBiased; ++i) {
+            double p = (i % 2 == 0) ? 0.97 : 0.03;
+            blocks.push_back(std::make_unique<NoiseBlock>(allocPc(), p));
+        }
+
+        // Soft-biased background: dilutes the completely-biased
+        // fraction toward the trace's Fig. 2 target. Placed before
+        // the long-distance scenes so the setter-to-reader windows
+        // stay purely biased.
+        if (r.softPerCycle > 0) {
+            blocks.push_back(std::make_unique<SoftBiasedRunBlock>(
+                allocPc(static_cast<size_t>(r.softPool)),
+                static_cast<size_t>(r.softPool),
+                static_cast<size_t>(r.softPerCycle), cfg.next(),
+                r.softFlip));
+        }
+
+        // Long-distance correlation scenes. One setter feeds a chain
+        // of readers spread through biased filler: every reader must
+        // bridge `dist` unfiltered branches to its nearest
+        // correlated predecessor (the setter or the previous
+        // reader), so the whole chain is invisible to any predictor
+        // whose effective history reach is below `dist` — that
+        // reader volume is what the Bias-Free filtering recovers.
+        // Filler lives inside a function call (Sec. I's motivating
+        // case: correlated branches separated by a call containing
+        // many branches).
+        for (int i = 0; i < r.longCorr; ++i) {
+            size_t dist = static_cast<size_t>(r.longDistMin);
+            if (r.longCorr > 1) {
+                dist += static_cast<size_t>(
+                    (static_cast<double>(i) /
+                     static_cast<double>(r.longCorr - 1)) *
+                    static_cast<double>(r.longDistMax - r.longDistMin));
+            }
+            // Reader count bounded by a per-scene branch budget.
+            const int readers = std::clamp<int>(
+                static_cast<int>(3000 / dist), 3, r.longReaders);
+            size_t reg = allocReg();
+            std::vector<BlockPtr> seq;
+            seq.push_back(sharedFillerRun(60)); // deterministic shield
+            seq.push_back(std::make_unique<SetterBlock>(allocPc(), reg));
+            for (int k = 0; k < readers; ++k) {
+                std::vector<BlockPtr> callee;
+                callee.push_back(sharedFillerRun(dist));
+                seq.push_back(std::make_unique<CallBlock>(
+                    allocPc(), allocPc(), std::move(callee)));
+                seq.push_back(std::make_unique<ReaderBlock>(
+                    allocPc(), std::vector<size_t>{reg},
+                    cfg.chance(0.5), r.readerNoise));
+            }
+            blocks.push_back(
+                std::make_unique<SequenceBlock>(std::move(seq)));
+        }
+
+        // Plain biased straight-line code: the bias-percentage knob.
+        if (r.extraBiasedPerCycle > 0) {
+            blocks.push_back(biasedRun(
+                std::min<size_t>(
+                    static_cast<size_t>(r.biasedPool),
+                    static_cast<size_t>(r.extraBiasedPerCycle)),
+                static_cast<size_t>(r.extraBiasedPerCycle)));
+        }
+
+        assert(!blocks.empty());
+        return sec;
+    }
+
+  private:
+    const TraceRecipe &r;
+    Rng cfg;
+    uint64_t nextPc;
+    size_t regCount = 0;
+    static constexpr size_t fillerPoolSize = 120;
+    uint64_t fillerBase = 0;
+    uint64_t fillerSeed = 0;
+};
+
+} // anonymous namespace
+
+Program
+buildProgram(const TraceRecipe &recipe, double scale)
+{
+    Program prog;
+    prog.name = recipe.name;
+    prog.seed = recipe.seed;
+    prog.targetBranches = std::max<uint64_t>(
+        1000, static_cast<uint64_t>(
+            static_cast<double>(recipe.branches) * scale));
+
+    const int phases = std::max(1, recipe.phases);
+    size_t maxRegs = 1;
+    for (int p = 0; p < phases; ++p) {
+        PhaseBuilder builder(recipe, p);
+        Section sec = builder.build();
+        sec.budgetFraction = 1.0 / phases;
+        maxRegs = std::max(maxRegs, builder.regsUsed() + 1);
+        prog.sections.push_back(std::move(sec));
+    }
+    prog.numRegs = maxRegs;
+    return prog;
+}
+
+std::unique_ptr<TraceSource>
+makeSource(const TraceRecipe &recipe, double scale)
+{
+    // The factory captures the recipe by value so reset() rebuilds
+    // the exact same program.
+    TraceRecipe copy = recipe;
+    return std::make_unique<ProgramTraceSource>(
+        [copy, scale]() { return buildProgram(copy, scale); });
+}
+
+namespace
+{
+
+/** Applies common per-category defaults, then per-trace overrides. */
+TraceRecipe
+base(const std::string &name, Category cat, uint64_t index)
+{
+    TraceRecipe r;
+    r.name = name;
+    r.category = cat;
+    r.seed = 1000 + index;
+    r.branches = (cat == Category::Spec) ? 1200000 : 400000;
+    return r;
+}
+
+std::vector<TraceRecipe>
+buildSuite()
+{
+    std::vector<TraceRecipe> suite;
+    uint64_t idx = 0;
+    auto add = [&](Category cat, const std::string &name,
+                   auto &&customize) {
+        TraceRecipe r = base(name, cat, idx++);
+        customize(r);
+        suite.push_back(std::move(r));
+    };
+
+    // ---------------- SPEC2006-like long traces ----------------
+    add(Category::Spec, "SPEC00", [](TraceRecipe &r) {
+        r.softPerCycle = 8052;
+        r.noisePerCycle = 707;
+        // Long-history trace: rewards TAGE-15 and the BF predictors.
+        r.longCorr = 2; r.longDistMin = 200; r.longDistMax = 500;
+        r.rsScenes = 1; r.extraBiasedPerCycle = 30;
+        r.noiseBranches = 4; r.noiseTakenProb = 0.10;
+    });
+    add(Category::Spec, "SPEC01", [](TraceRecipe &r) {
+        r.softPerCycle = 344;
+        r.noisePerCycle = 6;
+        r.shortCorr = 8; r.extraBiasedPerCycle = 180;
+        r.noiseBranches = 5; r.noiseTakenProb = 0.15;
+    });
+    add(Category::Spec, "SPEC02", [](TraceRecipe &r) {
+        r.softPerCycle = 1500;
+        r.noisePerCycle = 131;
+        // Heavily biased + long correlations: BST filtering star.
+        r.longCorr = 2; r.longDistMin = 90; r.longDistMax = 170;
+        r.extraBiasedPerCycle = 0; r.biasedPool = 700;
+        r.noiseBranches = 4; r.noiseTakenProb = 0.12;
+    });
+    add(Category::Spec, "SPEC03", [](TraceRecipe &r) {
+        r.noisePerCycle = 14;
+        // Few biased branches; recency stack does the heavy lifting.
+        r.rsScenes = 3; r.rsLoopTrip = 44;
+        r.rsLoopBiased = 0; r.loopBodyBiased = 0;
+        r.extraBiasedPerCycle = 20; r.biasedPool = 60;
+        r.shortCorrFiller = 2;
+        r.noiseBranches = 3; r.noiseTakenProb = 0.10;
+    });
+    add(Category::Spec, "SPEC04", [](TraceRecipe &r) {
+        r.noisePerCycle = 2;
+        // Low bias, large non-biased footprint: aliasing pressure.
+        r.shortCorr = 8; r.shortCorrFiller = 2;
+        r.rsScenes = 2; r.rsLoopBiased = 0;
+        r.loopBodyBiased = 0;
+        r.extraBiasedPerCycle = 25; r.biasedPool = 80;
+        r.noiseBranches = 6; r.noiseTakenProb = 0.18;
+    });
+    add(Category::Spec, "SPEC05", [](TraceRecipe &r) {
+        r.softPerCycle = 1649;
+        r.noisePerCycle = 68;
+        // Marginal long-history benefit.
+        r.longCorr = 1; r.longDistMin = 100; r.longDistMax = 250;
+        r.extraBiasedPerCycle = 40;
+        r.noiseBranches = 4; r.noiseTakenProb = 0.14;
+    });
+    add(Category::Spec, "SPEC06", [](TraceRecipe &r) {
+        r.softPerCycle = 1231;
+        r.noisePerCycle = 192;
+        r.longCorr = 2; r.longDistMin = 100; r.longDistMax = 200;
+        r.extraBiasedPerCycle = 0; r.biasedPool = 900;
+        r.noiseBranches = 3; r.noiseTakenProb = 0.10;
+    });
+    add(Category::Spec, "SPEC07", [](TraceRecipe &r) {
+        r.softPerCycle = 1118;
+        r.noisePerCycle = 99;
+        // Local-history trace: BF-TAGE's known weakness (Sec. VI-D).
+        r.localBranches = 3; r.localPeriod = 9; r.localSpacing = 5;
+        r.localBurst = 36;
+        r.extraBiasedPerCycle = 150;
+        r.noiseBranches = 3; r.noiseTakenProb = 0.12;
+    });
+    add(Category::Spec, "SPEC08", [](TraceRecipe &r) {
+        r.softPerCycle = 732;
+        r.noisePerCycle = 41;
+        r.longCorr = 1; r.longDistMin = 80; r.longDistMax = 140;
+        r.extraBiasedPerCycle = 60; r.biasedPool = 500;
+        r.noiseBranches = 4; r.noiseTakenProb = 0.13;
+    });
+    add(Category::Spec, "SPEC09", [](TraceRecipe &r) {
+        r.softPerCycle = 1473;
+        r.noisePerCycle = 273;
+        r.longCorr = 2; r.longDistMin = 120; r.longDistMax = 280;
+        r.extraBiasedPerCycle = 0; r.biasedPool = 1000;
+        r.noiseBranches = 3; r.noiseTakenProb = 0.11;
+    });
+    add(Category::Spec, "SPEC10", [](TraceRecipe &r) {
+        r.softPerCycle = 3596;
+        r.noisePerCycle = 299;
+        r.longCorr = 2; r.longDistMin = 250; r.longDistMax = 600;
+        r.extraBiasedPerCycle = 0; r.biasedPool = 600;
+        r.noiseBranches = 4; r.noiseTakenProb = 0.12;
+    });
+    add(Category::Spec, "SPEC11", [](TraceRecipe &r) {
+        r.softPerCycle = 487;
+        r.noisePerCycle = 48;
+        r.rsScenes = 2; r.shortCorr = 10;
+        r.rsLoopBiased = 1; r.loopBodyBiased = 0;
+        r.extraBiasedPerCycle = 30; r.biasedPool = 80;
+        r.noiseBranches = 6; r.noiseTakenProb = 0.16;
+    });
+    add(Category::Spec, "SPEC12", [](TraceRecipe &r) {
+        r.noisePerCycle = 2;
+        r.shortCorr = 6; r.shortCorrFiller = 1;
+        r.rsScenes = 2; r.rsLoopBiased = 0;
+        r.loopBodyBiased = 0;
+        r.extraBiasedPerCycle = 8; r.biasedPool = 60;
+        r.noiseBranches = 6; r.noiseTakenProb = 0.20;
+    });
+    add(Category::Spec, "SPEC13", [](TraceRecipe &r) {
+        r.softPerCycle = 371;
+        r.noisePerCycle = 9;
+        r.fig4Scenes = 1; r.shortCorr = 5;
+        r.extraBiasedPerCycle = 200;
+        r.noiseBranches = 4; r.noiseTakenProb = 0.14;
+    });
+    add(Category::Spec, "SPEC14", [](TraceRecipe &r) {
+        r.softPerCycle = 2131;
+        r.noisePerCycle = 370;
+        r.rsScenes = 2; r.rsLoopTrip = 40;
+        r.rsLoopBiased = 1;
+        r.longCorr = 1; r.longDistMin = 90; r.longDistMax = 200;
+        r.extraBiasedPerCycle = 40;
+        r.noiseBranches = 3; r.noiseTakenProb = 0.10;
+    });
+    add(Category::Spec, "SPEC15", [](TraceRecipe &r) {
+        r.softPerCycle = 2531;
+        r.noisePerCycle = 250;
+        r.longCorr = 2; r.longDistMin = 150; r.longDistMax = 350;
+        r.extraBiasedPerCycle = 0; r.biasedPool = 600;
+        r.noiseBranches = 4; r.noiseTakenProb = 0.12;
+    });
+    add(Category::Spec, "SPEC16", [](TraceRecipe &r) {
+        r.softPerCycle = 432;
+        r.noisePerCycle = 2;
+        // Easy trace: loops and short correlations, little noise.
+        r.constLoops = 3; r.shortCorr = 6;
+        r.extraBiasedPerCycle = 200;
+        r.noiseBranches = 2; r.noiseTakenProb = 0.04;
+    });
+    add(Category::Spec, "SPEC17", [](TraceRecipe &r) {
+        r.softPerCycle = 10402;
+        r.noisePerCycle = 800;
+        r.longCorr = 3; r.longDistMin = 300; r.longDistMax = 1500;
+        r.extraBiasedPerCycle = 0;
+        r.noiseBranches = 4; r.noiseTakenProb = 0.11;
+    });
+    add(Category::Spec, "SPEC18", [](TraceRecipe &r) {
+        r.noisePerCycle = 6;
+        r.rsScenes = 3; r.rsLoopTrip = 48;
+        r.rsLoopBiased = 0; r.loopBodyBiased = 0;
+        r.extraBiasedPerCycle = 15; r.biasedPool = 50;
+        r.shortCorrFiller = 2;
+        r.noiseBranches = 3; r.noiseTakenProb = 0.09;
+    });
+    add(Category::Spec, "SPEC19", [](TraceRecipe &r) {
+        r.softPerCycle = 2376;
+        r.noisePerCycle = 87;
+        r.longCorr = 1; r.longDistMin = 150; r.longDistMax = 400;
+        r.extraBiasedPerCycle = 170;
+        r.noiseBranches = 5; r.noiseTakenProb = 0.17;
+    });
+
+    // ---------------- Floating point ----------------
+    add(Category::Fp, "FP1", [](TraceRecipe &r) {
+        r.softPerCycle = 1158;
+        r.noisePerCycle = 48;
+        r.constLoops = 4; r.constTrip = 40;
+        r.longCorr = 1; r.longDistMin = 120; r.longDistMax = 250;
+        r.extraBiasedPerCycle = 60; r.biasedPool = 500;
+        r.quasiBiased = 10;
+        r.noiseBranches = 2; r.noiseTakenProb = 0.05;
+    });
+    add(Category::Fp, "FP2", [](TraceRecipe &r) {
+        r.softPerCycle = 4396;
+        r.noisePerCycle = 438;
+        r.localBranches = 2; r.localPeriod = 9; r.localSpacing = 5;
+        r.localBurst = 36;
+        r.longCorr = 1; r.longDistMin = 400; r.longDistMax = 900;
+        r.extraBiasedPerCycle = 40;
+        r.noiseBranches = 3; r.noiseTakenProb = 0.10;
+    });
+    add(Category::Fp, "FP3", [](TraceRecipe &r) {
+        r.softPerCycle = 487;
+        r.noisePerCycle = 26;
+        r.constLoops = 3; r.constTrip = 60;
+        r.extraBiasedPerCycle = 300;
+        r.noiseBranches = 2; r.noiseTakenProb = 0.06;
+    });
+    add(Category::Fp, "FP4", [](TraceRecipe &r) {
+        r.softPerCycle = 380;
+        r.noisePerCycle = 2;
+        r.shortCorr = 6; r.extraBiasedPerCycle = 220;
+        r.noiseBranches = 2; r.noiseTakenProb = 0.05;
+    });
+    add(Category::Fp, "FP5", [](TraceRecipe &r) {
+        r.softPerCycle = 417;
+        r.noisePerCycle = 21;
+        r.varLoops = 3; r.extraBiasedPerCycle = 200;
+        r.noiseBranches = 3; r.noiseTakenProb = 0.20;
+    });
+
+    // ---------------- Integer ----------------
+    add(Category::Int, "INT1", [](TraceRecipe &r) {
+        r.softPerCycle = 3413;
+        r.noisePerCycle = 585;
+        // Hard trace: long correlations plus a heavy noise floor.
+        r.longCorr = 2; r.longDistMin = 150; r.longDistMax = 400;
+        r.extraBiasedPerCycle = 0; r.biasedPool = 500;
+        r.noiseBranches = 6; r.noiseTakenProb = 0.30;
+    });
+    add(Category::Int, "INT2", [](TraceRecipe &r) {
+        r.softPerCycle = 337;
+        r.noisePerCycle = 24;
+        r.fig4Scenes = 1; r.shortCorr = 6;
+        r.extraBiasedPerCycle = 180;
+        r.noiseBranches = 4; r.noiseTakenProb = 0.15;
+    });
+    add(Category::Int, "INT3", [](TraceRecipe &r) {
+        r.softPerCycle = 536;
+        r.noisePerCycle = 24;
+        r.shortCorr = 10; r.extraBiasedPerCycle = 100;
+        r.noiseBranches = 5; r.noiseTakenProb = 0.25;
+    });
+    add(Category::Int, "INT4", [](TraceRecipe &r) {
+        r.softPerCycle = 2312;
+        r.noisePerCycle = 394;
+        r.longCorr = 2; r.longDistMin = 120; r.longDistMax = 300;
+        r.extraBiasedPerCycle = 0; r.biasedPool = 600;
+        r.noiseBranches = 3; r.noiseTakenProb = 0.12;
+    });
+    add(Category::Int, "INT5", [](TraceRecipe &r) {
+        r.softPerCycle = 4963;
+        r.noisePerCycle = 536;
+        r.longCorr = 2; r.longDistMin = 200; r.longDistMax = 500;
+        r.extraBiasedPerCycle = 0;
+        r.noiseBranches = 4; r.noiseTakenProb = 0.13;
+    });
+
+    // ---------------- Multi-media ----------------
+    add(Category::Mm, "MM1", [](TraceRecipe &r) {
+        r.softPerCycle = 487;
+        r.noisePerCycle = 63;
+        r.constLoops = 3; r.localBranches = 1;
+        r.extraBiasedPerCycle = 260;
+        r.noiseBranches = 3; r.noiseTakenProb = 0.12;
+    });
+    add(Category::Mm, "MM2", [](TraceRecipe &r) {
+        r.softPerCycle = 438;
+        r.noisePerCycle = 73;
+        // Noise-dominated: the tall bar of Fig. 8.
+        r.noiseBranches = 10; r.noiseTakenProb = 0.35;
+        r.extraBiasedPerCycle = 90;
+    });
+    add(Category::Mm, "MM3", [](TraceRecipe &r) {
+        r.softPerCycle = 612;
+        r.noisePerCycle = 82;
+        r.longCorr = 1; r.longDistMin = 90; r.longDistMax = 180;
+        r.extraBiasedPerCycle = 60; r.biasedPool = 500;
+        r.quasiBiased = 5;
+        r.noiseBranches = 3; r.noiseTakenProb = 0.10;
+    });
+    add(Category::Mm, "MM4", [](TraceRecipe &r) {
+        r.softPerCycle = 328;
+        r.noisePerCycle = 34;
+        r.fig4Scenes = 2; r.shortCorr = 5;
+        r.extraBiasedPerCycle = 220;
+        r.noiseBranches = 4; r.noiseTakenProb = 0.16;
+    });
+    add(Category::Mm, "MM5", [](TraceRecipe &r) {
+        r.softPerCycle = 899;
+        r.noisePerCycle = 180;
+        // Local-history trace with detection churn.
+        r.localBranches = 4; r.localPeriod = 11; r.localSpacing = 5;
+        r.localBurst = 44;
+        r.quasiBiased = 8;
+        r.extraBiasedPerCycle = 220;
+        r.noiseBranches = 3; r.noiseTakenProb = 0.12;
+    });
+
+    // ---------------- Server ----------------
+    auto servBase = [](TraceRecipe &r) {
+        r.biasedPool = 1500;
+        r.extraBiasedPerCycle = 500;
+        r.shortCorr = 12; r.shortCorrFiller = 8;
+        r.noiseBranches = 3; r.noiseTakenProb = 0.10;
+        r.quasiBiased = 20;
+        r.phases = 3;
+    };
+    add(Category::Serv, "SERV1", [&](TraceRecipe &r) {
+        r.softPerCycle = 408;
+        r.noisePerCycle = 82;
+        servBase(r);
+    });
+    add(Category::Serv, "SERV2", [&](TraceRecipe &r) {
+        r.softPerCycle = 298;
+        r.noisePerCycle = 87;
+        servBase(r);
+        r.phases = 4; r.quasiBiased = 24;
+    });
+    add(Category::Serv, "SERV3", [&](TraceRecipe &r) {
+        r.softPerCycle = 496;
+        r.noisePerCycle = 385;
+        // Worst dynamic-detection churn in the suite (Sec. VI-D).
+        servBase(r);
+        r.phases = 5; r.quasiBiased = 16;
+        r.longCorr = 1; r.longDistMin = 150; r.longDistMax = 300;
+        r.extraBiasedPerCycle = 700; r.biasedPool = 1500;
+    });
+    add(Category::Serv, "SERV4", [&](TraceRecipe &r) {
+        r.softPerCycle = 331;
+        r.noisePerCycle = 117;
+        servBase(r);
+        r.phases = 3; r.biasedPool = 2000;
+        r.extraBiasedPerCycle = 650;
+    });
+    add(Category::Serv, "SERV5", [&](TraceRecipe &r) {
+        r.softPerCycle = 347;
+        r.noisePerCycle = 60;
+        servBase(r);
+        r.phases = 4; r.noiseTakenProb = 0.15;
+    });
+
+    return suite;
+}
+
+} // anonymous namespace
+
+const std::vector<TraceRecipe> &
+standardSuite()
+{
+    static const std::vector<TraceRecipe> suite = buildSuite();
+    return suite;
+}
+
+const TraceRecipe &
+recipeByName(const std::string &name)
+{
+    for (const auto &r : standardSuite()) {
+        if (r.name == name)
+            return r;
+    }
+    throw std::out_of_range("unknown trace: " + name);
+}
+
+double
+envTraceScale()
+{
+    // Default 0.35 keeps a full harness run (every table and figure)
+    // in the tens of minutes on one laptop core; BFBP_TRACE_SCALE=1
+    // reproduces the full-length traces.
+    const char *env = std::getenv("BFBP_TRACE_SCALE");
+    if (!env)
+        return 0.35;
+    const double scale = std::atof(env);
+    return scale > 0.0 ? scale : 0.35;
+}
+
+} // namespace bfbp::tracegen

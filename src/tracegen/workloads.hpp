@@ -1,0 +1,138 @@
+/**
+ * @file
+ * The 40-trace synthetic workload suite standing in for CBP-4.
+ *
+ * Each trace is described by a TraceRecipe: counts and parameters for
+ * the control-flow features the paper's evaluation hinges on. The
+ * per-trace values are engineered (and calibrated against the bundled
+ * predictors) to reproduce the *qualitative* properties reported in
+ * the paper — biased-branch fraction per trace (Fig. 2), which traces
+ * reward long histories, which reward the recency stack, which punish
+ * it (local-history traces), and which suffer from dynamic bias
+ * detection (server traces) — as documented in DESIGN.md.
+ */
+
+#ifndef BFBP_TRACEGEN_WORKLOADS_HPP
+#define BFBP_TRACEGEN_WORKLOADS_HPP
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "tracegen/program.hpp"
+
+namespace bfbp::tracegen
+{
+
+/** Workload category, mirroring the CBP-4 trace families. */
+enum class Category
+{
+    Spec, //!< Long SPEC2006-like traces.
+    Fp,   //!< Floating point.
+    Int,  //!< Integer.
+    Mm,   //!< Multi-media.
+    Serv, //!< Server.
+};
+
+/** Category label, e.g. "SPEC". */
+std::string categoryName(Category c);
+
+/** Parameter set fully describing one synthetic trace. */
+struct TraceRecipe
+{
+    std::string name;         //!< E.g. "SPEC03".
+    Category category = Category::Spec;
+    uint64_t seed = 1;        //!< Master seed (behavior + stream).
+    uint64_t branches = 400000; //!< Conditional branches at scale 1.0.
+
+    // --- biased code ---
+    int biasedPool = 300;     //!< Distinct completely-biased branches.
+    int extraBiasedPerCycle = 150; //!< Plain biased-run length per
+                                   //!< main-loop cycle (bias % knob).
+
+    // --- irreducible noise ---
+    int noiseBranches = 4;    //!< Distinct Bernoulli branches (pool).
+    int noisePerCycle = 4;    //!< Noise branch emissions per cycle
+                              //!< (the MPKI-floor volume knob).
+    double noiseTakenProb = 0.12; //!< Their taken probability.
+
+    // --- quasi-biased branches (server detection churn) ---
+    int quasiBiased = 0;      //!< Branches with p ~= 0.97.
+
+    // --- soft-biased background (bias-percentage dilution) ---
+    int softPerCycle = 0;     //!< Soft-biased branches per cycle.
+    int softPool = 12;        //!< Distinct soft-biased statics
+                              //!< (kept small: each one occupies a
+                              //!< recency-stack slot once detected
+                              //!< non-biased).
+    double softFlip = 0.001;  //!< Ongoing rare-outcome rate.
+
+    // --- local periodic patterns (SPEC07/FP2/MM5 failure mode) ---
+    int localBranches = 0;    //!< Distinct pattern branches.
+    int localPeriod = 9;      //!< Pattern period.
+    int localSpacing = 4;     //!< Biased branches between instances.
+    int localBurst = 24;      //!< Instances emitted per visit.
+
+    // --- loops ---
+    int constLoops = 1;       //!< Constant-trip loops (LC target).
+    int constTrip = 24;
+    int varLoops = 1;         //!< Variable-trip loops.
+    int varTripMin = 4;
+    int varTripMax = 12;
+    int loopBodyBiased = 2;   //!< Biased branches per loop iteration.
+
+    // --- short-distance correlation (easy content) ---
+    int shortCorr = 3;
+    int shortCorrFiller = 10; //!< Biased filler inside the pair.
+    double shortCorrNoise = 0.02;
+    bool shortCorrPattern = false; //!< Patterned (floor-free) setters.
+
+    // --- long-distance correlation (the paper's headline case) ---
+    int longCorr = 0;         //!< Scenes per cycle.
+    int longDistMin = 300;    //!< Filler between setter and reader.
+    int longDistMax = 900;
+    int longReaders = 10;     //!< Readers emitted after the filler
+                              //!< (the volume of correlated work).
+    double readerNoise = 0.04;
+
+    // --- recency-stack scenes (correlation across a loop of
+    //     repeated non-biased branches; Sec. III-B motivation) ---
+    int rsScenes = 0;
+    int rsLoopTrip = 40;      //!< Loop iterations between the pair.
+    int rsLoopBiased = 3;     //!< Biased branches per RS-loop iter.
+    int rsReaders = 4;        //!< Readers after the RS loop.
+
+    // --- Fig. 4 positional-history pattern ---
+    int fig4Scenes = 0;
+    int fig4LoopCount = 24;
+
+    // --- phase behavior (server traces) ---
+    int phases = 1;           //!< Sections with re-rolled behavior.
+
+    double avgInstPerBranch = 5.5; //!< Documentation only; the
+                                   //!< generator draws 2..8 per record.
+};
+
+/** Builds the executable program for a recipe at a given scale. */
+Program buildProgram(const TraceRecipe &recipe, double scale = 1.0);
+
+/** Creates a streaming source for a recipe at a given scale. */
+std::unique_ptr<TraceSource> makeSource(const TraceRecipe &recipe,
+                                        double scale = 1.0);
+
+/** The 40 recipes of the standard suite, in CBP listing order. */
+const std::vector<TraceRecipe> &standardSuite();
+
+/** Looks up a recipe by name; throws std::out_of_range if unknown. */
+const TraceRecipe &recipeByName(const std::string &name);
+
+/**
+ * Global trace scale from the BFBP_TRACE_SCALE environment variable.
+ * Defaults to 0.35 so the full harness is laptop-affordable; set
+ * BFBP_TRACE_SCALE=1 for full-length traces. All benches honor it.
+ */
+double envTraceScale();
+
+} // namespace bfbp::tracegen
+
+#endif // BFBP_TRACEGEN_WORKLOADS_HPP

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Small bit-manipulation primitives shared across the library.
+ *
+ * These helpers centralize the index/mask arithmetic that branch
+ * predictors do constantly (power-of-two table indexing, field
+ * extraction, sign handling for saturating weights).
+ */
+
+#ifndef BFBP_UTIL_BITOPS_HPP
+#define BFBP_UTIL_BITOPS_HPP
+
+#include <bit>
+#include <cassert>
+#include <cstdint>
+#include <type_traits>
+
+namespace bfbp
+{
+
+/** Returns a mask with the low @p bits bits set (bits may be 0..64). */
+constexpr uint64_t
+maskBits(unsigned bits)
+{
+    return bits >= 64 ? ~uint64_t{0} : ((uint64_t{1} << bits) - 1);
+}
+
+/** Extracts @p bits bits of @p value starting at bit @p lsb. */
+constexpr uint64_t
+bitField(uint64_t value, unsigned lsb, unsigned bits)
+{
+    return (value >> lsb) & maskBits(bits);
+}
+
+/** True iff @p value is a power of two (0 is not). */
+constexpr bool
+isPowerOfTwo(uint64_t value)
+{
+    return value != 0 && (value & (value - 1)) == 0;
+}
+
+/** Ceiling of log2; log2Ceil(1) == 0. Requires value >= 1. */
+constexpr unsigned
+log2Ceil(uint64_t value)
+{
+    assert(value >= 1);
+    unsigned bits = 0;
+    uint64_t capacity = 1;
+    while (capacity < value) {
+        capacity <<= 1;
+        ++bits;
+    }
+    return bits;
+}
+
+/** Floor of log2; requires value >= 1. */
+constexpr unsigned
+log2Floor(uint64_t value)
+{
+    assert(value >= 1);
+    return 63 - static_cast<unsigned>(std::countl_zero(value));
+}
+
+/** Next power of two >= value; nextPowerOfTwo(0) == 1. */
+constexpr uint64_t
+nextPowerOfTwo(uint64_t value)
+{
+    if (value <= 1)
+        return 1;
+    return uint64_t{1} << log2Ceil(value);
+}
+
+/**
+ * XOR-folds a 64-bit value down to @p bits bits.
+ *
+ * Successively XORs the high part onto the low part so every input
+ * bit influences the result. Used to build table indices from wide
+ * hashes.
+ */
+constexpr uint64_t
+foldTo(uint64_t value, unsigned bits)
+{
+    assert(bits > 0 && bits <= 64);
+    uint64_t folded = value;
+    for (unsigned width = 64; width > bits; ) {
+        unsigned half = (width + 1) / 2;
+        folded = (folded & maskBits(half)) ^ (folded >> half);
+        width = half;
+    }
+    return folded & maskBits(bits);
+}
+
+/** Signed saturating clamp of @p value into [-limit, limit]. */
+template <typename T>
+constexpr T
+clampMagnitude(T value, T limit)
+{
+    static_assert(std::is_signed_v<T>);
+    if (value > limit)
+        return limit;
+    if (value < -limit)
+        return -limit;
+    return value;
+}
+
+} // namespace bfbp
+
+#endif // BFBP_UTIL_BITOPS_HPP

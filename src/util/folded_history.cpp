@@ -1,0 +1,51 @@
+#include "util/folded_history.hpp"
+
+#include <algorithm>
+
+namespace bfbp
+{
+
+FoldedHistoryBank::FoldedHistoryBank(std::vector<unsigned> depths,
+                                     unsigned width, size_t capacity)
+    : hist(std::max(capacity,
+                    depths.empty() ? size_t{1} : size_t{depths.back()} + 1)),
+      depthLadder(std::move(depths))
+{
+    assert(std::is_sorted(depthLadder.begin(), depthLadder.end()));
+    folds.reserve(depthLadder.size());
+    for (unsigned d : depthLadder)
+        folds.emplace_back(d, width);
+}
+
+void
+FoldedHistoryBank::push(bool taken)
+{
+    // Outgoing bits must be read before the ring advances.
+    for (size_t i = 0; i < folds.size(); ++i) {
+        const bool out = hist[folds[i].length() - 1];
+        folds[i].update(taken, out);
+    }
+    hist.push(taken);
+}
+
+uint64_t
+FoldedHistoryBank::foldFor(uint64_t distance) const
+{
+    // Deepest tracked depth <= distance; distances shorter than the
+    // shallowest rung use the shallowest fold.
+    auto it = std::upper_bound(depthLadder.begin(), depthLadder.end(),
+                               distance);
+    size_t idx = (it == depthLadder.begin())
+        ? 0 : static_cast<size_t>(it - depthLadder.begin()) - 1;
+    return folds[idx].value();
+}
+
+void
+FoldedHistoryBank::reset()
+{
+    hist.reset();
+    for (auto &f : folds)
+        f.reset();
+}
+
+} // namespace bfbp

@@ -1,0 +1,148 @@
+/**
+ * @file
+ * Folded (compressed) global history registers.
+ *
+ * A fold of the most recent L outcomes into W bits is defined as
+ *
+ *     fold(L, W) = XOR over i in [0, L) of h[i] << (i mod W)
+ *
+ * where h[i] is the outcome i branches ago. TAGE uses folds to index
+ * its tagged tables; the Bias-Free predictors use folds of the
+ * unfiltered history from a correlated branch up to the current one
+ * ("fhist", Sec. IV-A of the paper) to disambiguate paths.
+ *
+ * FoldedHistory maintains one (L, W) fold with an O(1) update per
+ * branch; FoldedHistoryBank maintains a geometric set of depths over
+ * a shared HistoryRegister so arbitrary distances can be served by
+ * quantizing to the nearest tracked depth.
+ */
+
+#ifndef BFBP_UTIL_FOLDED_HISTORY_HPP
+#define BFBP_UTIL_FOLDED_HISTORY_HPP
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "util/bitops.hpp"
+#include "util/history_register.hpp"
+
+namespace bfbp
+{
+
+/** One incrementally-maintained fold of the newest L bits into W bits. */
+class FoldedHistory
+{
+  public:
+    FoldedHistory() = default;
+
+    /**
+     * @param length Window length L in branches (>= 1).
+     * @param width Compressed width W in bits (1..63).
+     */
+    FoldedHistory(unsigned length, unsigned width)
+        : len(length), wid(width)
+    {
+        assert(length >= 1);
+        assert(width >= 1 && width < 64);
+    }
+
+    unsigned length() const { return len; }
+    unsigned width() const { return wid; }
+    uint64_t value() const { return comp; }
+
+    /**
+     * Advances the fold by one branch.
+     *
+     * @param new_bit Outcome of the branch entering the window.
+     * @param out_bit Outcome of the branch leaving the window, i.e.
+     *        the bit at depth L-1 *before* this update.
+     */
+    void
+    update(bool new_bit, bool out_bit)
+    {
+        // Remove the outgoing contribution, rotate every remaining
+        // contribution one position left (depths all grew by one),
+        // then insert the new bit at position 0.
+        comp ^= static_cast<uint64_t>(out_bit) << ((len - 1) % wid);
+        comp = rotl(comp);
+        comp ^= static_cast<uint64_t>(new_bit);
+        assert((comp & ~maskBits(wid)) == 0);
+    }
+
+    void reset() { comp = 0; }
+
+    /**
+     * Reference implementation: recomputes the fold from a full
+     * history register. Used by tests to validate the incremental
+     * update and by cold-start paths where O(L) cost is acceptable.
+     */
+    static uint64_t
+    naiveFold(const HistoryRegister &hist, unsigned length, unsigned width)
+    {
+        uint64_t fold = 0;
+        for (unsigned i = 0; i < length; ++i)
+            fold ^= static_cast<uint64_t>(hist[i]) << (i % width);
+        return fold;
+    }
+
+  private:
+    uint64_t
+    rotl(uint64_t x) const
+    {
+        return ((x << 1) | (x >> (wid - 1))) & maskBits(wid);
+    }
+
+    unsigned len = 1;
+    unsigned wid = 1;
+    uint64_t comp = 0;
+};
+
+/**
+ * A shared outcome ring plus folds at a geometric ladder of depths.
+ *
+ * The Bias-Free neural predictor must produce "the folded global
+ * history leading up to the current branch" from a correlated branch
+ * whose distance P is data dependent (it is the pos_hist field of a
+ * recency-stack entry). Maintaining a fold for every possible P is
+ * impractical, so the bank tracks a fixed ladder of depths and serves
+ * a request for distance P with the deepest tracked depth <= P. The
+ * quantization loses a little path precision at large distances —
+ * exactly where path precision matters least — and is noted in
+ * DESIGN.md.
+ */
+class FoldedHistoryBank
+{
+  public:
+    /**
+     * @param depths Monotonically increasing fold depths.
+     * @param width Fold width shared by all depths.
+     * @param capacity History ring capacity (>= max depth).
+     */
+    FoldedHistoryBank(std::vector<unsigned> depths, unsigned width,
+                      size_t capacity = 4096);
+
+    /** Pushes a branch outcome, updating the ring and every fold. */
+    void push(bool taken);
+
+    /** Fold value for the deepest tracked depth <= @p distance. */
+    uint64_t foldFor(uint64_t distance) const;
+
+    /** Fold value of the i-th tracked depth. */
+    uint64_t foldAt(size_t i) const { return folds[i].value(); }
+
+    const std::vector<unsigned> &depths() const { return depthLadder; }
+    const HistoryRegister &history() const { return hist; }
+
+    void reset();
+
+  private:
+    HistoryRegister hist;
+    std::vector<unsigned> depthLadder;
+    std::vector<FoldedHistory> folds;
+};
+
+} // namespace bfbp
+
+#endif // BFBP_UTIL_FOLDED_HISTORY_HPP

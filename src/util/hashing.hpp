@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Hash functions used to form predictor table indices and tags.
+ *
+ * Branch predictors live or die by the quality and cost of their index
+ * hashes: they must spread correlated inputs (PC, history folds,
+ * positional distances) across small power-of-two tables while staying
+ * cheap enough to evaluate per prediction. All functions here are pure
+ * and deterministic so traces and predictor state are reproducible.
+ */
+
+#ifndef BFBP_UTIL_HASHING_HPP
+#define BFBP_UTIL_HASHING_HPP
+
+#include <cstdint>
+#include <initializer_list>
+
+namespace bfbp
+{
+
+/**
+ * Finalizer from SplitMix64 / MurmurHash3: a fast, high-quality
+ * 64-bit mixing permutation.
+ */
+constexpr uint64_t
+mix64(uint64_t x)
+{
+    x ^= x >> 30;
+    x *= 0xbf58476d1ce4e5b9ULL;
+    x ^= x >> 27;
+    x *= 0x94d049bb133111ebULL;
+    x ^= x >> 31;
+    return x;
+}
+
+/** Combines two 64-bit values into one well-mixed value. */
+constexpr uint64_t
+hashCombine(uint64_t a, uint64_t b)
+{
+    return mix64(a ^ (b + 0x9e3779b97f4a7c15ULL + (a << 6) + (a >> 2)));
+}
+
+/** Folds an arbitrary list of inputs into one mixed 64-bit hash. */
+constexpr uint64_t
+hashMany(std::initializer_list<uint64_t> values)
+{
+    uint64_t acc = 0x243f6a8885a308d3ULL; // pi fractional bits
+    for (uint64_t v : values)
+        acc = hashCombine(acc, v);
+    return acc;
+}
+
+/**
+ * Compresses a branch PC for storage in narrow fields (e.g., the
+ * 14-bit hashed addresses the paper stores in the unfiltered history
+ * queue and recency stacks, Table I).
+ *
+ * @param pc Full branch address.
+ * @param bits Width of the stored hash.
+ */
+constexpr uint64_t
+hashPc(uint64_t pc, unsigned bits)
+{
+    // Branch PCs are word aligned and share high bits; mixing first
+    // prevents systematic collisions in the low field.
+    uint64_t mixed = mix64(pc >> 1);
+    return mixed & ((bits >= 64) ? ~uint64_t{0}
+                                 : ((uint64_t{1} << bits) - 1));
+}
+
+} // namespace bfbp
+
+#endif // BFBP_UTIL_HASHING_HPP

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Global branch outcome history with random access by depth.
+ *
+ * Predictors need two views of history: the newest few bits (shift
+ * register semantics) and random access at arbitrary depth (the
+ * Bias-Free predictor consults outcomes up to ~2048 branches back and
+ * the folded-history bank must see the bit that falls out of each
+ * fold window). HistoryRegister stores outcomes in a power-of-two
+ * ring of 64-bit words so both operations are O(1).
+ */
+
+#ifndef BFBP_UTIL_HISTORY_REGISTER_HPP
+#define BFBP_UTIL_HISTORY_REGISTER_HPP
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "util/bitops.hpp"
+
+namespace bfbp
+{
+
+/** Ring buffer of branch outcomes addressable by depth (0 = newest). */
+class HistoryRegister
+{
+  public:
+    /**
+     * @param capacity Number of outcomes retained; rounded up to a
+     *        power of two. Reads deeper than the retained window
+     *        return false (not-taken), matching a zero-initialized
+     *        hardware history register.
+     */
+    explicit HistoryRegister(size_t capacity = 4096)
+        : words(nextPowerOfTwo((capacity + 63) / 64), 0),
+          capacityBits(words.size() * 64)
+    {
+    }
+
+    /** Total outcomes ever pushed. */
+    uint64_t size() const { return pushed; }
+
+    /** Maximum depth that reads back real data. */
+    size_t capacity() const { return capacityBits; }
+
+    /** Appends the newest outcome. */
+    void
+    push(bool taken)
+    {
+        const uint64_t pos = pushed % capacityBits;
+        const uint64_t word = pos / 64;
+        const uint64_t bit = pos % 64;
+        if (taken)
+            words[word] |= (uint64_t{1} << bit);
+        else
+            words[word] &= ~(uint64_t{1} << bit);
+        ++pushed;
+    }
+
+    /**
+     * Outcome @p depth branches ago; depth 0 is the most recent.
+     * Out-of-window or not-yet-written depths read as false.
+     */
+    bool
+    operator[](uint64_t depth) const
+    {
+        if (depth >= pushed || depth >= capacityBits)
+            return false;
+        const uint64_t pos = (pushed - 1 - depth) % capacityBits;
+        return (words[pos / 64] >> (pos % 64)) & 1;
+    }
+
+    /** Clears all state. */
+    void
+    reset()
+    {
+        std::fill(words.begin(), words.end(), 0);
+        pushed = 0;
+    }
+
+  private:
+    std::vector<uint64_t> words;
+    size_t capacityBits;
+    uint64_t pushed = 0;
+};
+
+} // namespace bfbp
+
+#endif // BFBP_UTIL_HISTORY_REGISTER_HPP

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation.
+ *
+ * The trace generator and the probabilistic BST counters both need
+ * reproducible randomness: identical seeds must yield identical traces
+ * and identical predictor state on every platform. We therefore avoid
+ * std::mt19937 distribution functions (whose results are unspecified
+ * across standard library implementations for some distributions) and
+ * implement xoshiro256** plus the small set of distributions we need.
+ */
+
+#ifndef BFBP_UTIL_RANDOM_HPP
+#define BFBP_UTIL_RANDOM_HPP
+
+#include <cassert>
+#include <cstdint>
+
+#include "util/hashing.hpp"
+
+namespace bfbp
+{
+
+/**
+ * xoshiro256** 1.0 by Blackman & Vigna: fast, high-quality, tiny
+ * state. Seeded through SplitMix64 so any 64-bit seed is acceptable.
+ */
+class Rng
+{
+  public:
+    explicit Rng(uint64_t seed = 0x5eedf00dULL) { reseed(seed); }
+
+    /** Re-initializes state from a 64-bit seed via SplitMix64. */
+    void
+    reseed(uint64_t seed)
+    {
+        uint64_t sm = seed;
+        for (auto &word : state) {
+            sm += 0x9e3779b97f4a7c15ULL;
+            word = mix64(sm);
+        }
+    }
+
+    /** Next raw 64-bit output. */
+    uint64_t
+    next()
+    {
+        const uint64_t result = rotl(state[1] * 5, 7) * 9;
+        const uint64_t t = state[1] << 17;
+        state[2] ^= state[0];
+        state[3] ^= state[1];
+        state[1] ^= state[2];
+        state[0] ^= state[3];
+        state[2] ^= t;
+        state[3] = rotl(state[3], 45);
+        return result;
+    }
+
+    /** Uniform integer in [0, bound) using Lemire's method. */
+    uint64_t
+    below(uint64_t bound)
+    {
+        assert(bound > 0);
+        // 128-bit multiply keeps the result unbiased enough for
+        // simulation purposes without a rejection loop.
+        return static_cast<uint64_t>(
+            (static_cast<__uint128_t>(next()) * bound) >> 64);
+    }
+
+    /** Uniform integer in [lo, hi] inclusive. */
+    int64_t
+    between(int64_t lo, int64_t hi)
+    {
+        assert(lo <= hi);
+        return lo + static_cast<int64_t>(
+            below(static_cast<uint64_t>(hi - lo) + 1));
+    }
+
+    /** Uniform double in [0, 1). */
+    double
+    uniform()
+    {
+        return static_cast<double>(next() >> 11) * 0x1.0p-53;
+    }
+
+    /** Bernoulli draw: true with probability @p p. */
+    bool
+    chance(double p)
+    {
+        return uniform() < p;
+    }
+
+  private:
+    static constexpr uint64_t
+    rotl(uint64_t x, int k)
+    {
+        return (x << k) | (x >> (64 - k));
+    }
+
+    uint64_t state[4];
+};
+
+} // namespace bfbp
+
+#endif // BFBP_UTIL_RANDOM_HPP

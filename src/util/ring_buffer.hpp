@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Fixed-capacity ring buffer with age-based indexing.
+ *
+ * Used for the unfiltered history queue of the BF-TAGE predictor
+ * (Sec. V-B4: a queue of {hashed PC, outcome, bias status} records
+ * that entries "move deeper into" as branches commit) and for the
+ * address/position arrays of BF-Neural.
+ */
+
+#ifndef BFBP_UTIL_RING_BUFFER_HPP
+#define BFBP_UTIL_RING_BUFFER_HPP
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "util/bitops.hpp"
+
+namespace bfbp
+{
+
+/**
+ * Ring of the most recent N values of T, indexed by age: at(0) is the
+ * newest element, at(size()-1) the oldest retained.
+ */
+template <typename T>
+class RingBuffer
+{
+  public:
+    explicit RingBuffer(size_t capacity)
+        : slots(nextPowerOfTwo(capacity)), mask(slots.size() - 1)
+    {
+        assert(capacity >= 1);
+    }
+
+    size_t capacity() const { return slots.size(); }
+
+    /** Number of valid elements (saturates at capacity). */
+    size_t
+    size() const
+    {
+        return pushed < slots.size()
+            ? static_cast<size_t>(pushed) : slots.size();
+    }
+
+    uint64_t totalPushed() const { return pushed; }
+    bool empty() const { return pushed == 0; }
+
+    /** Appends the newest element, overwriting the oldest when full. */
+    void
+    push(const T &value)
+    {
+        slots[pushed & mask] = value;
+        ++pushed;
+    }
+
+    /** Element @p age positions back; age 0 is the newest. */
+    const T &
+    at(size_t age) const
+    {
+        assert(age < size());
+        return slots[(pushed - 1 - age) & mask];
+    }
+
+    T &
+    at(size_t age)
+    {
+        assert(age < size());
+        return slots[(pushed - 1 - age) & mask];
+    }
+
+    void
+    reset()
+    {
+        pushed = 0;
+    }
+
+  private:
+    std::vector<T> slots;
+    uint64_t mask;
+    uint64_t pushed = 0;
+};
+
+} // namespace bfbp
+
+#endif // BFBP_UTIL_RING_BUFFER_HPP

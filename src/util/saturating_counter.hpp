@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Saturating counters — the basic storage cell of branch predictors.
+ *
+ * Two families are provided:
+ *  - SignedSatCounter: two's-complement counter saturating at
+ *    [-2^(bits-1), 2^(bits-1)-1]; used for perceptron weights and
+ *    TAGE prediction counters (sign = direction).
+ *  - UnsignedSatCounter: saturating at [0, 2^bits - 1]; used for
+ *    bimodal tables, useful bits, and confidence counters.
+ *
+ * Width is a runtime parameter (predictor geometry is configuration,
+ * not a compile-time property), but the arithmetic stays branch-light.
+ */
+
+#ifndef BFBP_UTIL_SATURATING_COUNTER_HPP
+#define BFBP_UTIL_SATURATING_COUNTER_HPP
+
+#include <cassert>
+#include <cstdint>
+
+namespace bfbp
+{
+
+/** Signed saturating counter with runtime bit width (2..16 bits). */
+class SignedSatCounter
+{
+  public:
+    explicit SignedSatCounter(unsigned bits = 3, int16_t initial = 0)
+        : val(initial), maxVal(static_cast<int16_t>((1 << (bits - 1)) - 1)),
+          minVal(static_cast<int16_t>(-(1 << (bits - 1))))
+    {
+        assert(bits >= 2 && bits <= 16);
+        assert(initial >= minVal && initial <= maxVal);
+    }
+
+    int16_t value() const { return val; }
+    int16_t max() const { return maxVal; }
+    int16_t min() const { return minVal; }
+
+    /** Direction encoded by the sign; >= 0 means taken. */
+    bool taken() const { return val >= 0; }
+
+    /** True when the counter sits at one of its two weakest values. */
+    bool weak() const { return val == 0 || val == -1; }
+
+    /** Moves one step toward taken (true) or not-taken (false). */
+    void
+    update(bool toward_taken)
+    {
+        if (toward_taken) {
+            if (val < maxVal)
+                ++val;
+        } else {
+            if (val > minVal)
+                --val;
+        }
+    }
+
+    /** Adds a delta with saturation (perceptron-style training). */
+    void
+    add(int delta)
+    {
+        int next = val + delta;
+        if (next > maxVal)
+            next = maxVal;
+        if (next < minVal)
+            next = minVal;
+        val = static_cast<int16_t>(next);
+    }
+
+    void set(int16_t v) { assert(v >= minVal && v <= maxVal); val = v; }
+
+  private:
+    int16_t val;
+    int16_t maxVal;
+    int16_t minVal;
+};
+
+/** Unsigned saturating counter with runtime bit width (1..16 bits). */
+class UnsignedSatCounter
+{
+  public:
+    explicit UnsignedSatCounter(unsigned bits = 2, uint16_t initial = 0)
+        : val(initial), maxVal(static_cast<uint16_t>((1 << bits) - 1))
+    {
+        assert(bits >= 1 && bits <= 16);
+        assert(initial <= maxVal);
+    }
+
+    uint16_t value() const { return val; }
+    uint16_t max() const { return maxVal; }
+    bool saturated() const { return val == maxVal; }
+
+    /** MSB-style direction read for 2-bit bimodal counters. */
+    bool taken() const { return val > (maxVal >> 1); }
+
+    void
+    increment()
+    {
+        if (val < maxVal)
+            ++val;
+    }
+
+    void
+    decrement()
+    {
+        if (val > 0)
+            --val;
+    }
+
+    /** Moves toward max (true) or 0 (false). */
+    void
+    update(bool up)
+    {
+        up ? increment() : decrement();
+    }
+
+    void set(uint16_t v) { assert(v <= maxVal); val = v; }
+
+  private:
+    uint16_t val;
+    uint16_t maxVal;
+};
+
+} // namespace bfbp
+
+#endif // BFBP_UTIL_SATURATING_COUNTER_HPP

@@ -1,0 +1,61 @@
+#include "util/storage.hpp"
+
+#include <iomanip>
+#include <ostream>
+
+namespace bfbp
+{
+
+void
+StorageReport::merge(const StorageReport &other, const std::string &prefix)
+{
+    for (const auto &c : other.items) {
+        Component copy = c;
+        if (!prefix.empty())
+            copy.label = prefix + c.label;
+        items.push_back(std::move(copy));
+    }
+}
+
+uint64_t
+StorageReport::totalBits() const
+{
+    uint64_t total = 0;
+    for (const auto &c : items)
+        total += c.bits();
+    return total;
+}
+
+void
+StorageReport::print(std::ostream &os) const
+{
+    os << "Storage budget";
+    if (!owner.empty())
+        os << " for " << owner;
+    os << ":\n";
+    for (const auto &c : items) {
+        os << "  " << std::left << std::setw(36) << c.label << std::right;
+        if (c.entries != 0) {
+            os << std::setw(10) << c.entries << " x "
+               << std::setw(4) << c.bitsPerEntry << "b = ";
+        } else {
+            os << std::setw(19) << "";
+        }
+        os << std::setw(10) << c.bits() << " bits ("
+           << (c.bits() + 7) / 8 << " bytes)\n";
+    }
+    os << "  " << std::left << std::setw(36) << "TOTAL" << std::right
+       << std::setw(19) << "" << std::setw(10) << totalBits() << " bits ("
+       << totalBytes() << " bytes, " << std::fixed << std::setprecision(1)
+       << static_cast<double>(totalBytes()) / 1024.0 << " KiB)\n";
+    os.unsetf(std::ios::fixed);
+}
+
+std::ostream &
+operator<<(std::ostream &os, const StorageReport &report)
+{
+    report.print(os);
+    return os;
+}
+
+} // namespace bfbp

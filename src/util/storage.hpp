@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Storage accounting for predictor hardware budgets.
+ *
+ * Every predictor reports its bit budget through a StorageReport so
+ * experiments can verify budget parity with the paper (e.g., Table I:
+ * BF-TAGE with 10 tagged tables totals 51,100 bytes) and so sizing
+ * helpers can match competing configurations to the same budget.
+ */
+
+#ifndef BFBP_UTIL_STORAGE_HPP
+#define BFBP_UTIL_STORAGE_HPP
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace bfbp
+{
+
+/** Itemized hardware storage budget in bits. */
+class StorageReport
+{
+  public:
+    /** One named storage component. */
+    struct Component
+    {
+        std::string label;   //!< Human-readable component name.
+        uint64_t entries;    //!< Number of entries (0 = unstructured).
+        uint64_t bitsPerEntry; //!< Bits per entry (or total if entries==0).
+
+        uint64_t
+        bits() const
+        {
+            return entries == 0 ? bitsPerEntry : entries * bitsPerEntry;
+        }
+    };
+
+    StorageReport() = default;
+    explicit StorageReport(std::string owner_name)
+        : owner(std::move(owner_name)) {}
+
+    /** Adds a table-like component of @p entries x @p bits_per_entry. */
+    void
+    addTable(std::string label, uint64_t entries, uint64_t bits_per_entry)
+    {
+        items.push_back({std::move(label), entries, bits_per_entry});
+    }
+
+    /** Adds an unstructured component of @p bits total bits. */
+    void
+    addBits(std::string label, uint64_t bits)
+    {
+        items.push_back({std::move(label), 0, bits});
+    }
+
+    /** Merges another report's components under a label prefix. */
+    void merge(const StorageReport &other, const std::string &prefix = "");
+
+    uint64_t totalBits() const;
+    uint64_t totalBytes() const { return (totalBits() + 7) / 8; }
+    uint64_t totalKiB() const { return totalBytes() / 1024; }
+
+    const std::string &name() const { return owner; }
+    const std::vector<Component> &components() const { return items; }
+
+    /** Pretty-prints a component table plus totals. */
+    void print(std::ostream &os) const;
+
+  private:
+    std::string owner;
+    std::vector<Component> items;
+};
+
+std::ostream &operator<<(std::ostream &os, const StorageReport &report);
+
+} // namespace bfbp
+
+#endif // BFBP_UTIL_STORAGE_HPP

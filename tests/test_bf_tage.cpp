@@ -1,0 +1,194 @@
+/** @file Unit tests for the BF-TAGE predictor (Sec. V). */
+
+#include <gtest/gtest.h>
+
+#include "core/bf_tage.hpp"
+#include "core/factory.hpp"
+#include "predictors/sizing.hpp"
+#include "util/random.hpp"
+
+namespace bfbp
+{
+namespace
+{
+
+double
+longCorrelation(BranchPredictor &p, unsigned gap, int rounds,
+                uint64_t seed = 7)
+{
+    Rng rng(seed);
+    int wrong = 0;
+    int measured = 0;
+    for (int i = 0; i < rounds; ++i) {
+        const bool dir = rng.chance(0.5);
+        bool pred = p.predict(0x100);
+        p.update(0x100, dir, pred, 0x110);
+        for (unsigned f = 0; f < gap; ++f) {
+            const uint64_t pc = 0x10000 + 8 * f;
+            pred = p.predict(pc);
+            p.update(pc, (f % 3) != 0, pred, pc + 8);
+        }
+        pred = p.predict(0x200);
+        if (i > rounds / 2) {
+            ++measured;
+            if (pred != dir)
+                ++wrong;
+        }
+        p.update(0x200, dir, pred, 0x210);
+    }
+    return static_cast<double>(wrong) / std::max(1, measured);
+}
+
+TEST(BfTage, LearnsBias)
+{
+    BfTagePredictor p(bfTageConfig(10));
+    for (int i = 0; i < 20; ++i) {
+        const bool pred = p.predict(0x40);
+        p.update(0x40, true, pred, 0x50);
+    }
+    EXPECT_TRUE(p.predict(0x40));
+}
+
+TEST(BfTage, CapturesCorrelationAcross800BiasedBranches)
+{
+    // 800 unfiltered branches land in the [768, 1024) history
+    // segment, i.e. around bit ~112 of the compressed BF-GHR — well
+    // within the 10-table geometry's 142-bit reach. A conventional
+    // 10-table TAGE (max history 195 raw bits) cannot see 800
+    // branches back.
+    BfTagePredictor bf(bfTageConfig(10));
+    TagePredictor conv(conventionalTageConfig(10));
+    const double bfErr = longCorrelation(bf, 800, 1200);
+    const double convErr = longCorrelation(conv, 800, 1200);
+    EXPECT_LT(bfErr, 0.10);
+    EXPECT_GT(convErr, 0.30);
+}
+
+TEST(BfTage, SevenTablesReachPastConventionalSeven)
+{
+    // At 7 tagged tables both geometries index the deepest table
+    // with ~70 bits (the paper makes this exact comparison), but
+    // BF-TAGE's 70 compressed bits cover ~190 raw branches while
+    // the conventional 67 raw bits cannot reach a 120-deep setter.
+    BfTagePredictor bf(bfTageConfig(7));
+    TagePredictor conv(conventionalTageConfig(7));
+    const double bfErr = longCorrelation(bf, 120, 1500);
+    const double convErr = longCorrelation(conv, 120, 1500);
+    EXPECT_LT(bfErr, 0.10);
+    EXPECT_GT(convErr, 0.30);
+}
+
+TEST(BfTage, HistoryLengthsFitCompressedGhr)
+{
+    BfTagePredictor p(bfTageConfig(10));
+    EXPECT_LE(p.config().historyLengths.back(), p.bfGhr().ghrBits());
+    EXPECT_EQ(p.bfGhr().ghrBits(), 144u);
+}
+
+TEST(BfTage, StorageCloseToTableOne)
+{
+    // Table I total: 51,100 bytes. Our unfiltered queue is 2048
+    // entries (the paper counts 1536), so we land ~1 KiB above.
+    BfTagePredictor p(bfTageConfig(10));
+    const auto bytes = p.storage().totalBytes();
+    EXPECT_GT(bytes, 50000u);
+    EXPECT_LT(bytes, 54000u);
+}
+
+TEST(BfTage, BudgetParityWithConventionalTen)
+{
+    // Sec. VI: BF-TAGE with 10 tables requires "virtually same
+    // storage" as the 10-table baseline (51,072 bytes).
+    BfTagePredictor bf(bfTageConfig(10));
+    TagePredictor conv(conventionalTageConfig(10));
+    const double ratio =
+        static_cast<double>(bf.storage().totalBytes()) /
+        static_cast<double>(conv.storage().totalBytes());
+    EXPECT_GT(ratio, 0.94);
+    EXPECT_LT(ratio, 1.06);
+}
+
+TEST(BfTage, OracleModeMatchesDynamicOnStableBranches)
+{
+    // For a stream whose bias statuses never change mid-run, static
+    // classification and dynamic detection converge to similar
+    // accuracy.
+    auto makeOracle = []() {
+        auto oracle = std::make_shared<BiasOracle>();
+        for (unsigned f = 0; f < 800; ++f) {
+            // Filler branches: biased, per the longCorrelation
+            // stream's outcome rule.
+            const uint64_t pc = 0x10000 + 8 * f;
+            oracle->observe(pc, (f % 3) != 0);
+        }
+        oracle->observe(0x100, true);
+        oracle->observe(0x100, false);
+        oracle->observe(0x200, true);
+        oracle->observe(0x200, false);
+        return oracle;
+    };
+    BfTageConfigExt ext;
+    ext.oracle = makeOracle();
+    BfTagePredictor withOracle(bfTageConfig(10), ext);
+    BfTagePredictor dynamic(bfTageConfig(10));
+    const double oracleErr = longCorrelation(withOracle, 800, 1200);
+    const double dynErr = longCorrelation(dynamic, 800, 1200);
+    EXPECT_LT(oracleErr, 0.10);
+    EXPECT_LE(oracleErr, dynErr + 0.02);
+}
+
+TEST(BfTage, ProviderStatsShiftTowardShortTables)
+{
+    // Fig. 12 property: for a long-distance correlation, BF-TAGE
+    // satisfies the reader from a *shorter-history* table than
+    // conventional TAGE needs.
+    BfTagePredictor bf(bfTageConfig(10));
+    TagePredictor conv(conventionalTageConfig(10));
+    longCorrelation(bf, 150, 1500);
+    longCorrelation(conv, 150, 1500);
+    const ProviderStats *bs = bf.providerStats();
+    const ProviderStats *cs = conv.providerStats();
+    // Weighted mean provider table index.
+    auto meanTable = [](const ProviderStats *s) {
+        double num = 0.0;
+        double den = 0.0;
+        for (size_t t = 1; t < s->providerCount.size(); ++t) {
+            num += static_cast<double>(t) *
+                static_cast<double>(s->providerCount[t]);
+            den += static_cast<double>(s->providerCount[t]);
+        }
+        return den == 0.0 ? 0.0 : num / den;
+    };
+    EXPECT_LT(meanTable(bs), meanTable(cs));
+}
+
+TEST(BfTage, DeterministicReplay)
+{
+    BfTagePredictor a(bfTageConfig(5));
+    BfTagePredictor b(bfTageConfig(5));
+    Rng rng(37);
+    for (int i = 0; i < 3000; ++i) {
+        const uint64_t pc = 0x100 + 8 * rng.below(48);
+        const bool taken = rng.chance(0.5);
+        const bool pa = a.predict(pc);
+        const bool pb = b.predict(pc);
+        ASSERT_EQ(pa, pb) << "step " << i;
+        a.update(pc, taken, pa, pc + 8);
+        b.update(pc, taken, pb, pc + 8);
+    }
+}
+
+TEST(BfTage, SmallTableCountsWork)
+{
+    for (unsigned n = 1; n <= 10; ++n) {
+        BfTagePredictor p(bfTageConfig(n));
+        for (int i = 0; i < 100; ++i) {
+            const bool pred = p.predict(0x40 + 8 * (i % 5));
+            p.update(0x40 + 8 * (i % 5), i % 2 == 0, pred, 0x50);
+        }
+    }
+    SUCCEED();
+}
+
+} // anonymous namespace
+} // namespace bfbp

@@ -1,0 +1,97 @@
+/** @file Unit tests for the profiling bias oracle (Sec. VI-D). */
+
+#include <gtest/gtest.h>
+
+#include "core/bias_oracle.hpp"
+#include "sim/trace_source.hpp"
+
+namespace bfbp
+{
+namespace
+{
+
+BranchRecord
+cond(uint64_t pc, bool taken)
+{
+    BranchRecord r;
+    r.pc = pc;
+    r.taken = taken;
+    return r;
+}
+
+TEST(BiasOracle, ClassifiesDirections)
+{
+    BiasOracle o;
+    o.observe(0x10, true);
+    o.observe(0x10, true);
+    o.observe(0x20, false);
+    o.observe(0x30, true);
+    o.observe(0x30, false);
+    EXPECT_EQ(o.classify(0x10), BiasState::Taken);
+    EXPECT_EQ(o.classify(0x20), BiasState::NotTaken);
+    EXPECT_EQ(o.classify(0x30), BiasState::NonBiased);
+    EXPECT_EQ(o.classify(0x40), BiasState::NotFound);
+}
+
+TEST(BiasOracle, BiasedPredicate)
+{
+    BiasOracle o;
+    o.observe(0x10, true);
+    EXPECT_TRUE(o.isBiased(0x10));
+    o.observe(0x10, false);
+    EXPECT_FALSE(o.isBiased(0x10));
+    EXPECT_FALSE(o.isBiased(0x99)); // unseen
+}
+
+TEST(BiasOracle, DynamicVsStaticFractions)
+{
+    BiasOracle o;
+    // One biased branch executing 9 times, one non-biased twice.
+    for (int i = 0; i < 9; ++i)
+        o.observe(0x10, true);
+    o.observe(0x20, true);
+    o.observe(0x20, false);
+    EXPECT_DOUBLE_EQ(o.staticBiasedFraction(), 0.5);
+    EXPECT_DOUBLE_EQ(o.dynamicBiasedFraction(), 9.0 / 11.0);
+    EXPECT_EQ(o.staticBranches(), 2u);
+}
+
+TEST(BiasOracle, EmptyOracleFractionsAreZero)
+{
+    BiasOracle o;
+    EXPECT_DOUBLE_EQ(o.dynamicBiasedFraction(), 0.0);
+    EXPECT_DOUBLE_EQ(o.staticBiasedFraction(), 0.0);
+}
+
+TEST(BiasOracle, ProfileSkipsNonConditionals)
+{
+    BranchRecord callRec;
+    callRec.pc = 0x50;
+    callRec.type = BranchType::Call;
+    VectorTraceSource src({cond(0x10, true), callRec, cond(0x10, false)});
+    const BiasOracle o = BiasOracle::profile(src);
+    EXPECT_EQ(o.staticBranches(), 1u);
+    EXPECT_EQ(o.classify(0x10), BiasState::NonBiased);
+    EXPECT_EQ(o.classify(0x50), BiasState::NotFound);
+}
+
+TEST(BiasOracle, MatchesEndStateOfBst)
+{
+    // The oracle's classification equals what the 2-bit BST FSM
+    // converges to after seeing the same stream (modulo aliasing).
+    BiasOracle o;
+    BranchStatusTable bst(14);
+    const uint64_t pcs[] = {0x10, 0x20, 0x30};
+    const bool outcomes[] = {true, false, true, true, false, true};
+    for (uint64_t pc : pcs) {
+        for (bool t : outcomes) {
+            o.observe(pc, t);
+            bst.train(pc, t);
+        }
+    }
+    for (uint64_t pc : pcs)
+        EXPECT_EQ(o.classify(pc), bst.lookup(pc));
+}
+
+} // anonymous namespace
+} // namespace bfbp

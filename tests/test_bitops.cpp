@@ -1,0 +1,108 @@
+/** @file Unit tests for util/bitops.hpp. */
+
+#include <gtest/gtest.h>
+
+#include "util/bitops.hpp"
+
+namespace bfbp
+{
+namespace
+{
+
+TEST(Bitops, MaskBitsBasic)
+{
+    EXPECT_EQ(maskBits(0), 0u);
+    EXPECT_EQ(maskBits(1), 1u);
+    EXPECT_EQ(maskBits(8), 0xffu);
+    EXPECT_EQ(maskBits(16), 0xffffu);
+    EXPECT_EQ(maskBits(63), 0x7fffffffffffffffull);
+    EXPECT_EQ(maskBits(64), ~uint64_t{0});
+}
+
+TEST(Bitops, MaskBitsBeyond64Saturates)
+{
+    EXPECT_EQ(maskBits(65), ~uint64_t{0});
+    EXPECT_EQ(maskBits(200), ~uint64_t{0});
+}
+
+TEST(Bitops, BitFieldExtractsMiddle)
+{
+    EXPECT_EQ(bitField(0xABCD, 4, 8), 0xBCu);
+    EXPECT_EQ(bitField(0xABCD, 0, 4), 0xDu);
+    EXPECT_EQ(bitField(0xABCD, 12, 4), 0xAu);
+}
+
+TEST(Bitops, BitFieldZeroWidth)
+{
+    EXPECT_EQ(bitField(0xffffffff, 5, 0), 0u);
+}
+
+TEST(Bitops, IsPowerOfTwo)
+{
+    EXPECT_FALSE(isPowerOfTwo(0));
+    EXPECT_TRUE(isPowerOfTwo(1));
+    EXPECT_TRUE(isPowerOfTwo(2));
+    EXPECT_FALSE(isPowerOfTwo(3));
+    EXPECT_TRUE(isPowerOfTwo(1ull << 40));
+    EXPECT_FALSE(isPowerOfTwo((1ull << 40) + 1));
+}
+
+TEST(Bitops, Log2CeilAndFloor)
+{
+    EXPECT_EQ(log2Ceil(1), 0u);
+    EXPECT_EQ(log2Ceil(2), 1u);
+    EXPECT_EQ(log2Ceil(3), 2u);
+    EXPECT_EQ(log2Ceil(1024), 10u);
+    EXPECT_EQ(log2Ceil(1025), 11u);
+    EXPECT_EQ(log2Floor(1), 0u);
+    EXPECT_EQ(log2Floor(1023), 9u);
+    EXPECT_EQ(log2Floor(1024), 10u);
+}
+
+TEST(Bitops, NextPowerOfTwo)
+{
+    EXPECT_EQ(nextPowerOfTwo(0), 1u);
+    EXPECT_EQ(nextPowerOfTwo(1), 1u);
+    EXPECT_EQ(nextPowerOfTwo(2), 2u);
+    EXPECT_EQ(nextPowerOfTwo(3), 4u);
+    EXPECT_EQ(nextPowerOfTwo(4096), 4096u);
+    EXPECT_EQ(nextPowerOfTwo(4097), 8192u);
+}
+
+TEST(Bitops, FoldToPreservesParity)
+{
+    // XOR-folding preserves the overall parity of set bits at
+    // width 1.
+    EXPECT_EQ(foldTo(0b1011, 1), 1u);
+    EXPECT_EQ(foldTo(0b1010, 1), 0u);
+}
+
+TEST(Bitops, FoldToStaysInRange)
+{
+    for (unsigned bits = 1; bits <= 24; ++bits) {
+        const uint64_t folded = foldTo(0xdeadbeefcafebabeull, bits);
+        EXPECT_LE(folded, maskBits(bits)) << "width " << bits;
+    }
+}
+
+TEST(Bitops, FoldToEveryInputBitMatters)
+{
+    // Flipping any input bit must change the folded output.
+    const uint64_t base = 0x0123456789abcdefull;
+    const uint64_t folded = foldTo(base, 12);
+    for (unsigned bit = 0; bit < 64; ++bit) {
+        EXPECT_NE(foldTo(base ^ (1ull << bit), 12), folded)
+            << "bit " << bit << " lost by fold";
+    }
+}
+
+TEST(Bitops, ClampMagnitude)
+{
+    EXPECT_EQ(clampMagnitude(100, 31), 31);
+    EXPECT_EQ(clampMagnitude(-100, 31), -31);
+    EXPECT_EQ(clampMagnitude(17, 31), 17);
+    EXPECT_EQ(clampMagnitude(-17, 31), -17);
+}
+
+} // anonymous namespace
+} // namespace bfbp

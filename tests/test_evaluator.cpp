@@ -1,0 +1,247 @@
+/** @file Unit tests for sim/evaluator.hpp. */
+
+#include <gtest/gtest.h>
+
+#include "sim/evaluator.hpp"
+#include "sim/trace_source.hpp"
+
+namespace bfbp
+{
+namespace
+{
+
+/** Predictor that always answers a fixed direction. */
+class ConstantPredictor : public BranchPredictor
+{
+  public:
+    explicit ConstantPredictor(bool dir) : direction(dir) {}
+
+    bool predict(uint64_t) override { return direction; }
+
+    void
+    update(uint64_t, bool, bool, uint64_t) override
+    {
+        ++updates;
+    }
+
+    void trackOtherInst(const BranchRecord &) override { ++others; }
+    std::string name() const override { return "constant"; }
+    StorageReport storage() const override { return StorageReport{}; }
+
+    bool direction;
+    int updates = 0;
+    int others = 0;
+};
+
+/** Records the exact call sequence for protocol checks. */
+class SequenceCheckingPredictor : public BranchPredictor
+{
+  public:
+    bool
+    predict(uint64_t pc) override
+    {
+        predictPcs.push_back(pc);
+        return true;
+    }
+
+    void
+    update(uint64_t pc, bool taken, bool predicted, uint64_t) override
+    {
+        updatePcs.push_back(pc);
+        updateTaken.push_back(taken);
+        updatePredicted.push_back(predicted);
+    }
+
+    std::string name() const override { return "sequence"; }
+    StorageReport storage() const override { return StorageReport{}; }
+
+    std::vector<uint64_t> predictPcs;
+    std::vector<uint64_t> updatePcs;
+    std::vector<bool> updateTaken;
+    std::vector<bool> updatePredicted;
+};
+
+BranchRecord
+cond(uint64_t pc, bool taken, uint32_t insts = 1)
+{
+    BranchRecord r;
+    r.pc = pc;
+    r.taken = taken;
+    r.instCount = insts;
+    r.type = BranchType::CondDirect;
+    return r;
+}
+
+BranchRecord
+call(uint64_t pc, uint32_t insts = 1)
+{
+    BranchRecord r;
+    r.pc = pc;
+    r.taken = true;
+    r.instCount = insts;
+    r.type = BranchType::Call;
+    return r;
+}
+
+TEST(Evaluator, CountsExactly)
+{
+    VectorTraceSource src({cond(4, true, 10), cond(8, false, 5),
+                           cond(4, true, 5)});
+    ConstantPredictor pred(true);
+    const EvalResult res = evaluate(src, pred);
+    EXPECT_EQ(res.instructions, 20u);
+    EXPECT_EQ(res.condBranches, 3u);
+    EXPECT_EQ(res.mispredictions, 1u); // the not-taken one
+    EXPECT_DOUBLE_EQ(res.mpki(), 1000.0 * 1 / 20);
+    EXPECT_DOUBLE_EQ(res.mispredictionRate(), 1.0 / 3.0);
+}
+
+TEST(Evaluator, NonConditionalsBypassPrediction)
+{
+    VectorTraceSource src({call(100, 3), cond(4, true, 1),
+                           call(200, 2)});
+    ConstantPredictor pred(true);
+    const EvalResult res = evaluate(src, pred);
+    EXPECT_EQ(res.condBranches, 1u);
+    EXPECT_EQ(res.otherBranches, 2u);
+    EXPECT_EQ(res.instructions, 6u);
+    EXPECT_EQ(pred.others, 2);
+    EXPECT_EQ(pred.updates, 1);
+}
+
+TEST(Evaluator, UpdateEchoesPrediction)
+{
+    VectorTraceSource src({cond(4, false), cond(8, true)});
+    SequenceCheckingPredictor pred;
+    evaluate(src, pred);
+    ASSERT_EQ(pred.updatePcs.size(), 2u);
+    EXPECT_EQ(pred.updatePcs[0], 4u);
+    EXPECT_FALSE(pred.updateTaken[0]);
+    EXPECT_TRUE(pred.updatePredicted[0]);
+}
+
+TEST(Evaluator, ImmediateUpdateInterleaves)
+{
+    // With no delay, update(i) happens before predict(i+1).
+    struct Checker : BranchPredictor
+    {
+        bool
+        predict(uint64_t) override
+        {
+            EXPECT_EQ(outstanding, 0) << "predict before prior update";
+            ++outstanding;
+            return true;
+        }
+        void
+        update(uint64_t, bool, bool, uint64_t) override
+        {
+            --outstanding;
+        }
+        std::string name() const override { return "checker"; }
+        StorageReport storage() const override { return {}; }
+        int outstanding = 0;
+    } checker;
+
+    VectorTraceSource src({cond(4, true), cond(8, true), cond(12, true)});
+    evaluate(src, checker);
+    EXPECT_EQ(checker.outstanding, 0);
+}
+
+TEST(Evaluator, DelayedUpdateLagsByDelay)
+{
+    struct Lag : BranchPredictor
+    {
+        bool
+        predict(uint64_t) override
+        {
+            ++predicts;
+            maxLag = std::max(maxLag, predicts - updates);
+            return true;
+        }
+        void
+        update(uint64_t, bool, bool, uint64_t) override
+        {
+            ++updates;
+        }
+        std::string name() const override { return "lag"; }
+        StorageReport storage() const override { return {}; }
+        int predicts = 0;
+        int updates = 0;
+        int maxLag = 0;
+    } lag;
+
+    std::vector<BranchRecord> recs;
+    for (int i = 0; i < 20; ++i)
+        recs.push_back(cond(4 * i, true));
+    VectorTraceSource src(recs);
+    EvalOptions opts;
+    opts.updateDelay = 5;
+    evaluate(src, lag);
+    // re-run with delay on a fresh source
+    src.reset();
+    Lag lag2;
+    evaluate(src, lag2, opts);
+    EXPECT_EQ(lag.maxLag, 1);
+    EXPECT_EQ(lag2.maxLag, 6); // 5 in flight + the current one
+    EXPECT_EQ(lag2.updates, 20); // drained at end
+}
+
+TEST(Evaluator, MaxBranchesStopsEarly)
+{
+    std::vector<BranchRecord> recs;
+    for (int i = 0; i < 100; ++i)
+        recs.push_back(cond(4, true));
+    VectorTraceSource src(recs);
+    ConstantPredictor pred(true);
+    EvalOptions opts;
+    opts.maxBranches = 10;
+    const EvalResult res = evaluate(src, pred, opts);
+    EXPECT_EQ(res.condBranches, 10u);
+}
+
+TEST(Evaluator, PerBranchProfilesSortedByMispredictions)
+{
+    std::vector<BranchRecord> recs;
+    // pc 4: 5 executions, all taken. pc 8: 6 executions alternating.
+    for (int i = 0; i < 5; ++i)
+        recs.push_back(cond(4, true));
+    for (int i = 0; i < 6; ++i)
+        recs.push_back(cond(8, i % 2 == 0));
+    VectorTraceSource src(recs);
+    ConstantPredictor pred(true);
+    EvalOptions opts;
+    opts.collectPerBranch = true;
+    const EvalResult res = evaluate(src, pred, opts);
+    ASSERT_EQ(res.perBranch.size(), 2u);
+    EXPECT_EQ(res.perBranch[0].pc, 8u);
+    EXPECT_EQ(res.perBranch[0].mispredictions, 3u);
+    EXPECT_EQ(res.perBranch[0].executions, 6u);
+    EXPECT_EQ(res.perBranch[0].taken, 3u);
+    EXPECT_EQ(res.perBranch[1].pc, 4u);
+    EXPECT_EQ(res.perBranch[1].mispredictions, 0u);
+}
+
+TEST(Evaluator, AverageMpki)
+{
+    EvalResult a;
+    a.instructions = 1000;
+    a.mispredictions = 2;
+    EvalResult b;
+    b.instructions = 1000;
+    b.mispredictions = 4;
+    EXPECT_DOUBLE_EQ(averageMpki({a, b}), 3.0);
+    EXPECT_DOUBLE_EQ(averageMpki({}), 0.0);
+}
+
+TEST(Evaluator, EmptyTraceYieldsZeroes)
+{
+    VectorTraceSource src({});
+    ConstantPredictor pred(true);
+    const EvalResult res = evaluate(src, pred);
+    EXPECT_EQ(res.instructions, 0u);
+    EXPECT_DOUBLE_EQ(res.mpki(), 0.0);
+    EXPECT_DOUBLE_EQ(res.mispredictionRate(), 0.0);
+}
+
+} // anonymous namespace
+} // namespace bfbp

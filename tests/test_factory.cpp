@@ -1,0 +1,81 @@
+/** @file Unit tests for the predictor factory. */
+
+#include <gtest/gtest.h>
+
+#include "core/factory.hpp"
+#include "sim/evaluator.hpp"
+#include "tracegen/workloads.hpp"
+
+namespace bfbp
+{
+namespace
+{
+
+TEST(Factory, CreatesEveryAdvertisedPredictor)
+{
+    for (const auto &name : availablePredictors()) {
+        auto p = createPredictor(name);
+        ASSERT_NE(p, nullptr) << name;
+        // Exercise the contract minimally.
+        const bool pred = p->predict(0x40);
+        p->update(0x40, true, pred, 0x50);
+        EXPECT_GT(p->storage().totalBits(), 0u) << name;
+        EXPECT_FALSE(p->name().empty()) << name;
+    }
+}
+
+TEST(Factory, ParsesTableCounts)
+{
+    EXPECT_EQ(createPredictor("tage-7")->name(), "tage-7+loop");
+    EXPECT_EQ(createPredictor("isl-tage-4")->name(), "isl-tage-4");
+    EXPECT_EQ(createPredictor("bf-tage-9")->name(), "bf-tage-9+loop");
+    EXPECT_EQ(createPredictor("bf-isl-tage-10")->name(),
+              "bf-isl-tage-10");
+}
+
+TEST(Factory, RejectsUnknownSpecs)
+{
+    EXPECT_THROW(createPredictor("nonsense"), std::invalid_argument);
+    EXPECT_THROW(createPredictor("tage-"), std::invalid_argument);
+    EXPECT_THROW(createPredictor("tage-abc"), std::invalid_argument);
+    EXPECT_THROW(createPredictor(""), std::invalid_argument);
+}
+
+TEST(Factory, RejectsOutOfRangeTableCounts)
+{
+    EXPECT_THROW((void)createPredictor("tage-16"),
+                 std::invalid_argument);
+    EXPECT_THROW((void)createPredictor("bf-tage-11"),
+                 std::invalid_argument);
+    EXPECT_THROW((void)createPredictor("isl-tage-0"),
+                 std::invalid_argument);
+}
+
+TEST(Factory, SixtyFourKbClassBudgets)
+{
+    // The headline 64 KB configurations of Fig. 8.
+    for (const char *name : {"oh-snap", "bf-neural", "tage-15"}) {
+        auto p = createPredictor(name);
+        const double kib =
+            static_cast<double>(p->storage().totalBytes()) / 1024.0;
+        EXPECT_GT(kib, 50.0) << name;
+        EXPECT_LT(kib, 72.0) << name;
+    }
+}
+
+TEST(Factory, AllPredictorsRunATinyTrace)
+{
+    auto src = tracegen::makeSource(
+        tracegen::recipeByName("INT3"), 0.003);
+    for (const auto &name : availablePredictors()) {
+        src->reset();
+        auto p = createPredictor(name);
+        const EvalResult res = evaluate(*src, *p);
+        EXPECT_GT(res.condBranches, 0u) << name;
+        EXPECT_LT(res.mispredictionRate(), 0.5) << name
+            << " is worse than a coin";
+    }
+}
+
+} // anonymous namespace
+} // namespace bfbp

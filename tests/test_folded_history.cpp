@@ -1,0 +1,138 @@
+/** @file Unit tests for util/folded_history.hpp. */
+
+#include <gtest/gtest.h>
+
+#include "util/folded_history.hpp"
+#include "util/random.hpp"
+
+namespace bfbp
+{
+namespace
+{
+
+/**
+ * Core invariant: the O(1) incremental fold equals the naive
+ * recomputation at every step, for every (length, width) pair.
+ */
+class FoldEquivalence
+    : public ::testing::TestWithParam<std::pair<unsigned, unsigned>>
+{
+};
+
+TEST_P(FoldEquivalence, IncrementalEqualsNaive)
+{
+    const auto [length, width] = GetParam();
+    HistoryRegister hist(4096);
+    FoldedHistory fold(length, width);
+    Rng rng(42);
+    for (int i = 0; i < 3000; ++i) {
+        const bool bit = rng.chance(0.5);
+        fold.update(bit, hist[length - 1]);
+        hist.push(bit);
+        ASSERT_EQ(fold.value(),
+                  FoldedHistory::naiveFold(hist, length, width))
+            << "step " << i << " length " << length << " width "
+            << width;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, FoldEquivalence,
+    ::testing::Values(std::pair<unsigned, unsigned>{3, 7},
+                      std::pair<unsigned, unsigned>{8, 8},
+                      std::pair<unsigned, unsigned>{12, 10},
+                      std::pair<unsigned, unsigned>{17, 13},
+                      std::pair<unsigned, unsigned>{67, 11},
+                      std::pair<unsigned, unsigned>{138, 14},
+                      std::pair<unsigned, unsigned>{195, 10},
+                      std::pair<unsigned, unsigned>{517, 12},
+                      std::pair<unsigned, unsigned>{1930, 15},
+                      std::pair<unsigned, unsigned>{1, 1},
+                      std::pair<unsigned, unsigned>{7, 7},
+                      std::pair<unsigned, unsigned>{64, 13}));
+
+TEST(FoldedHistory, ValueStaysInWidth)
+{
+    FoldedHistory fold(100, 9);
+    HistoryRegister hist(256);
+    Rng rng(1);
+    for (int i = 0; i < 500; ++i) {
+        const bool bit = rng.chance(0.7);
+        fold.update(bit, hist[99]);
+        hist.push(bit);
+        ASSERT_LE(fold.value(), maskBits(9));
+    }
+}
+
+TEST(FoldedHistory, ResetZeroes)
+{
+    FoldedHistory fold(16, 8);
+    HistoryRegister hist(64);
+    // Aperiodic bits so the fold cannot cancel to zero.
+    for (int i = 0; i < 21; ++i) {
+        const bool bit = (i % 3) == 0;
+        fold.update(bit, hist[15]);
+        hist.push(bit);
+    }
+    EXPECT_NE(fold.value(), 0u);
+    fold.reset();
+    EXPECT_EQ(fold.value(), 0u);
+}
+
+TEST(FoldedHistoryBank, FoldsTrackAllDepths)
+{
+    FoldedHistoryBank bank({4, 16, 64, 256}, 11, 512);
+    Rng rng(7);
+    for (int i = 0; i < 2000; ++i)
+        bank.push(rng.chance(0.5));
+    for (size_t d = 0; d < bank.depths().size(); ++d) {
+        EXPECT_EQ(bank.foldAt(d),
+                  FoldedHistory::naiveFold(bank.history(),
+                                           bank.depths()[d], 11))
+            << "ladder depth index " << d;
+    }
+}
+
+TEST(FoldedHistoryBank, FoldForQuantizesDown)
+{
+    FoldedHistoryBank bank({4, 16, 64}, 10, 128);
+    Rng rng(8);
+    for (int i = 0; i < 300; ++i)
+        bank.push(rng.chance(0.5));
+    // Distance 40 should be served by the depth-16 fold.
+    EXPECT_EQ(bank.foldFor(40), bank.foldAt(1));
+    // Distance below the shallowest rung uses the shallowest fold.
+    EXPECT_EQ(bank.foldFor(1), bank.foldAt(0));
+    // Exact rung match.
+    EXPECT_EQ(bank.foldFor(64), bank.foldAt(2));
+    // Beyond the deepest rung uses the deepest fold.
+    EXPECT_EQ(bank.foldFor(10000), bank.foldAt(2));
+}
+
+TEST(FoldedHistoryBank, ResetClearsEverything)
+{
+    FoldedHistoryBank bank({8, 32}, 9, 64);
+    for (int i = 0; i < 50; ++i)
+        bank.push(true);
+    bank.reset();
+    EXPECT_EQ(bank.foldAt(0), 0u);
+    EXPECT_EQ(bank.foldAt(1), 0u);
+    EXPECT_EQ(bank.history().size(), 0u);
+}
+
+TEST(FoldedHistoryBank, DeterministicAcrossInstances)
+{
+    FoldedHistoryBank a({8, 64}, 12, 128);
+    FoldedHistoryBank b({8, 64}, 12, 128);
+    Rng rng(9);
+    for (int i = 0; i < 500; ++i) {
+        const bool bit = rng.chance(0.4);
+        a.push(bit);
+        b.push(bit);
+    }
+    EXPECT_EQ(a.foldAt(0), b.foldAt(0));
+    EXPECT_EQ(a.foldAt(1), b.foldAt(1));
+}
+
+} // anonymous namespace
+} // namespace bfbp

@@ -1,0 +1,86 @@
+/** @file Unit tests for util/hashing.hpp. */
+
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "util/hashing.hpp"
+
+namespace bfbp
+{
+namespace
+{
+
+TEST(Hashing, Mix64IsDeterministic)
+{
+    EXPECT_EQ(mix64(42), mix64(42));
+    EXPECT_NE(mix64(42), mix64(43));
+}
+
+TEST(Hashing, Mix64IsBijectivelyNonTrivial)
+{
+    // Distinct small inputs map to distinct outputs (mix64 is a
+    // permutation, so collisions are impossible).
+    std::set<uint64_t> outputs;
+    for (uint64_t i = 0; i < 4096; ++i)
+        outputs.insert(mix64(i));
+    EXPECT_EQ(outputs.size(), 4096u);
+}
+
+TEST(Hashing, Mix64AvalanchesLowBits)
+{
+    // Consecutive inputs should differ in roughly half the output
+    // bits on average; require at least 16 as a smoke bound.
+    int totalFlips = 0;
+    for (uint64_t i = 0; i < 256; ++i) {
+        totalFlips += __builtin_popcountll(mix64(i) ^ mix64(i + 1));
+    }
+    EXPECT_GT(totalFlips / 256, 16);
+}
+
+TEST(Hashing, HashCombineOrderMatters)
+{
+    EXPECT_NE(hashCombine(1, 2), hashCombine(2, 1));
+}
+
+TEST(Hashing, HashManyDistinguishesArity)
+{
+    EXPECT_NE(hashMany({1, 2}), hashMany({1, 2, 0}));
+    EXPECT_NE(hashMany({0}), hashMany({0, 0}));
+}
+
+TEST(Hashing, HashManyDeterministic)
+{
+    EXPECT_EQ(hashMany({5, 6, 7}), hashMany({5, 6, 7}));
+}
+
+TEST(Hashing, HashPcWithinWidth)
+{
+    for (unsigned bits : {1u, 8u, 14u, 20u}) {
+        const uint64_t h = hashPc(0x400123, bits);
+        EXPECT_LE(h, (uint64_t{1} << bits) - 1);
+    }
+}
+
+TEST(Hashing, HashPcSpreadsAlignedPcs)
+{
+    // Word-aligned PCs sharing high bits (the common case) must not
+    // collide catastrophically in a 14-bit field.
+    std::set<uint64_t> hashes;
+    const size_t n = 2048;
+    for (size_t i = 0; i < n; ++i)
+        hashes.insert(hashPc(0x400000 + 4 * i, 14));
+    // With 16384 buckets and 2048 balls, expect > 85% distinct.
+    EXPECT_GT(hashes.size(), n * 85 / 100);
+}
+
+TEST(Hashing, HashPcIgnoresAlignmentBit)
+{
+    // Bit 0 of a PC carries no information (instructions are
+    // 2-byte aligned at minimum).
+    EXPECT_EQ(hashPc(0x1000, 14), hashPc(0x1001, 14));
+}
+
+} // anonymous namespace
+} // namespace bfbp

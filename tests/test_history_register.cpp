@@ -1,0 +1,123 @@
+/** @file Unit tests for util/history_register.hpp and ring_buffer.hpp. */
+
+#include <gtest/gtest.h>
+
+#include "util/history_register.hpp"
+#include "util/random.hpp"
+#include "util/ring_buffer.hpp"
+
+namespace bfbp
+{
+namespace
+{
+
+TEST(HistoryRegister, NewestFirstIndexing)
+{
+    HistoryRegister h(64);
+    h.push(true);
+    h.push(false);
+    h.push(true);
+    EXPECT_TRUE(h[0]);
+    EXPECT_FALSE(h[1]);
+    EXPECT_TRUE(h[2]);
+}
+
+TEST(HistoryRegister, UnwrittenDepthsReadFalse)
+{
+    HistoryRegister h(64);
+    h.push(true);
+    EXPECT_TRUE(h[0]);
+    EXPECT_FALSE(h[1]);
+    EXPECT_FALSE(h[100]);
+}
+
+TEST(HistoryRegister, MatchesReferenceAcrossWrap)
+{
+    // Push far beyond capacity and compare the retained window
+    // against a reference vector.
+    HistoryRegister h(128);
+    std::vector<bool> ref;
+    Rng rng(5);
+    for (int i = 0; i < 1000; ++i) {
+        const bool bit = rng.chance(0.5);
+        h.push(bit);
+        ref.push_back(bit);
+    }
+    for (size_t d = 0; d < h.capacity(); ++d) {
+        EXPECT_EQ(h[d], ref[ref.size() - 1 - d]) << "depth " << d;
+    }
+}
+
+TEST(HistoryRegister, CapacityRoundsUp)
+{
+    HistoryRegister h(100);
+    EXPECT_GE(h.capacity(), 100u);
+    EXPECT_EQ(h.capacity() % 64, 0u);
+}
+
+TEST(HistoryRegister, ResetClears)
+{
+    HistoryRegister h(64);
+    h.push(true);
+    h.push(true);
+    h.reset();
+    EXPECT_EQ(h.size(), 0u);
+    EXPECT_FALSE(h[0]);
+}
+
+TEST(RingBuffer, NewestFirstAccess)
+{
+    RingBuffer<int> rb(4);
+    rb.push(1);
+    rb.push(2);
+    rb.push(3);
+    EXPECT_EQ(rb.size(), 3u);
+    EXPECT_EQ(rb.at(0), 3);
+    EXPECT_EQ(rb.at(1), 2);
+    EXPECT_EQ(rb.at(2), 1);
+}
+
+TEST(RingBuffer, OverwritesOldest)
+{
+    RingBuffer<int> rb(4);
+    for (int i = 0; i < 10; ++i)
+        rb.push(i);
+    EXPECT_EQ(rb.size(), 4u);
+    EXPECT_EQ(rb.at(0), 9);
+    EXPECT_EQ(rb.at(3), 6);
+}
+
+TEST(RingBuffer, CapacityRoundsToPowerOfTwo)
+{
+    RingBuffer<int> rb(5);
+    EXPECT_EQ(rb.capacity(), 8u);
+}
+
+TEST(RingBuffer, TotalPushedKeepsCounting)
+{
+    RingBuffer<int> rb(2);
+    for (int i = 0; i < 7; ++i)
+        rb.push(i);
+    EXPECT_EQ(rb.totalPushed(), 7u);
+    EXPECT_EQ(rb.size(), 2u);
+}
+
+TEST(RingBuffer, ResetEmpties)
+{
+    RingBuffer<int> rb(4);
+    rb.push(1);
+    rb.reset();
+    EXPECT_TRUE(rb.empty());
+    EXPECT_EQ(rb.size(), 0u);
+}
+
+TEST(RingBuffer, MutableAccess)
+{
+    RingBuffer<int> rb(4);
+    rb.push(10);
+    rb.at(0) = 42;
+    EXPECT_EQ(rb.at(0), 42);
+}
+
+} // anonymous namespace
+} // namespace bfbp

@@ -1,0 +1,151 @@
+/** @file Unit tests for the ISL-TAGE decorator (loop + SC + IUM). */
+
+#include <gtest/gtest.h>
+
+#include "core/factory.hpp"
+#include "predictors/isl_tage.hpp"
+#include "predictors/sizing.hpp"
+#include "sim/evaluator.hpp"
+#include "tracegen/workloads.hpp"
+#include "util/random.hpp"
+
+namespace bfbp
+{
+namespace
+{
+
+std::unique_ptr<IslTagePredictor>
+makeWrapped(IslConfig cfg, unsigned tables = 5)
+{
+    return std::make_unique<IslTagePredictor>(
+        std::make_unique<TagePredictor>(conventionalTageConfig(tables)),
+        cfg);
+}
+
+TEST(IslTage, BasicLearning)
+{
+    auto p = makeWrapped(IslConfig{});
+    for (int i = 0; i < 30; ++i) {
+        const bool pred = p->predict(0x40);
+        p->update(0x40, true, pred, 0x50);
+    }
+    EXPECT_TRUE(p->predict(0x40));
+}
+
+TEST(IslTage, LoopComponentTimesConstantLoops)
+{
+    // Trip count 50 > max history of a 4-table TAGE (17): only the
+    // loop predictor can time the exit.
+    auto run = [](bool use_loop) {
+        IslConfig cfg;
+        cfg.useLoop = use_loop;
+        cfg.useSc = false;
+        cfg.useIum = false;
+        auto p = makeWrapped(cfg, 4);
+        int wrong = 0;
+        for (int i = 0; i < 40000; ++i) {
+            const bool taken = (i % 50) != 49;
+            const bool pred = p->predict(0x100);
+            if (i > 30000 && pred != taken)
+                ++wrong;
+            p->update(0x100, taken, pred, 0x110);
+        }
+        return wrong;
+    };
+    EXPECT_GT(run(false), 150);
+    EXPECT_LT(run(true), 20);
+}
+
+TEST(IslTage, ProviderStatsPassThrough)
+{
+    auto p = makeWrapped(IslConfig{});
+    for (int i = 0; i < 10; ++i) {
+        const bool pred = p->predict(0x40);
+        p->update(0x40, true, pred, 0x50);
+    }
+    ASSERT_NE(p->providerStats(), nullptr);
+    EXPECT_EQ(p->providerStats()->predictions, 10u);
+}
+
+TEST(IslTage, StorageIncludesSideComponents)
+{
+    IslConfig all;
+    IslConfig none;
+    none.useLoop = false;
+    none.useSc = false;
+    none.useIum = false;
+    auto withAll = makeWrapped(all);
+    auto withNone = makeWrapped(none);
+    EXPECT_GT(withAll->storage().totalBits(),
+              withNone->storage().totalBits());
+}
+
+TEST(IslTage, IumInertUnderImmediateUpdate)
+{
+    // With updateDelay 0 the IUM window is always empty, so enabling
+    // it must not change a single prediction.
+    IslConfig withIum;
+    IslConfig withoutIum;
+    withoutIum.useIum = false;
+    auto a = makeWrapped(withIum);
+    auto b = makeWrapped(withoutIum);
+    Rng rng(5);
+    for (int i = 0; i < 3000; ++i) {
+        const uint64_t pc = 0x100 + 8 * rng.below(16);
+        const bool taken = rng.chance(0.5);
+        const bool pa = a->predict(pc);
+        const bool pb = b->predict(pc);
+        ASSERT_EQ(pa, pb) << "IUM changed behavior at step " << i;
+        a->update(pc, taken, pa, pc + 8);
+        b->update(pc, taken, pb, pc + 8);
+    }
+}
+
+TEST(IslTage, IumHelpsUnderDelayedUpdate)
+{
+    // With a 16-branch update delay, a tight 2-branch loop keeps
+    // hitting provider entries that have in-flight outcomes; the
+    // IUM recovers most of what immediate update would give.
+    auto runMpki = [](bool use_ium) {
+        IslConfig cfg;
+        cfg.useIum = use_ium;
+        cfg.useLoop = false;
+        cfg.useSc = false;
+        auto p = makeWrapped(cfg, 5);
+        auto src = tracegen::makeSource(
+            tracegen::recipeByName("SPEC01"), 0.05);
+        EvalOptions opts;
+        opts.updateDelay = 16;
+        return evaluate(*src, *p, opts).mpki();
+    };
+    EXPECT_LE(runMpki(true), runMpki(false) * 1.02);
+}
+
+TEST(IslTage, DelayedUpdateDegradesGracefully)
+{
+    auto runMpki = [](uint64_t delay) {
+        auto p = makeWrapped(IslConfig{}, 8);
+        auto src = tracegen::makeSource(
+            tracegen::recipeByName("SPEC01"), 0.05);
+        EvalOptions opts;
+        opts.updateDelay = delay;
+        return evaluate(*src, *p, opts).mpki();
+    };
+    const double immediate = runMpki(0);
+    const double delayed = runMpki(64);
+    EXPECT_GT(delayed, immediate * 0.9);
+    EXPECT_LT(delayed, immediate * 3.0 + 1.0);
+}
+
+TEST(IslTage, FactoryConfigurations)
+{
+    auto isl = makeIslTage(10);
+    EXPECT_EQ(isl->name(), "isl-tage-10");
+    auto tage = makeTage(15);
+    EXPECT_EQ(tage->name(), "tage-15+loop");
+    auto bf = makeBfIslTage(7);
+    EXPECT_EQ(bf->name(), "bf-isl-tage-7");
+}
+
+} // anonymous namespace
+} // namespace bfbp

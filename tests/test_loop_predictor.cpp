@@ -1,0 +1,130 @@
+/** @file Unit tests for the loop predictor component. */
+
+#include <gtest/gtest.h>
+
+#include "predictors/loop_predictor.hpp"
+
+namespace bfbp
+{
+namespace
+{
+
+/** Runs `loops` full loops of trip count `trip` through the
+ *  predictor, with the main predictor always saying taken.
+ *  Returns mispredictions of the loop predictor's engaged
+ *  predictions in the final loop. */
+int
+runConstantLoop(LoopPredictor &lp, uint64_t pc, int trip, int loops)
+{
+    int lastLoopWrong = 0;
+    for (int l = 0; l < loops; ++l) {
+        for (int i = 0; i < trip; ++i) {
+            const bool taken = i + 1 < trip; // exit on last iteration
+            const auto ctx = lp.lookup(pc);
+            if (l == loops - 1 && lp.shouldOverride(ctx) &&
+                ctx.prediction != taken) {
+                ++lastLoopWrong;
+            }
+            // Main predictor: always taken (mispredicts each exit).
+            lp.update(ctx, pc, taken, true, !taken);
+        }
+    }
+    return lastLoopWrong;
+}
+
+TEST(LoopPredictor, LearnsConstantTripCount)
+{
+    LoopPredictor lp;
+    const int wrong = runConstantLoop(lp, 0x100, 20, 30);
+    EXPECT_EQ(wrong, 0);
+}
+
+TEST(LoopPredictor, EngagesAfterConfidenceBuilds)
+{
+    LoopPredictor lp;
+    // After one full loop the trip count is known but confidence
+    // and the WITHLOOP gate are not yet established.
+    runConstantLoop(lp, 0x100, 10, 2);
+    const auto early = lp.lookup(0x100);
+    EXPECT_FALSE(lp.shouldOverride(early));
+    runConstantLoop(lp, 0x100, 10, 20);
+    const auto late = lp.lookup(0x100);
+    EXPECT_TRUE(late.hit);
+    EXPECT_TRUE(lp.shouldOverride(late));
+}
+
+TEST(LoopPredictor, PredictsExitExactly)
+{
+    LoopPredictor lp;
+    const int trip = 7;
+    runConstantLoop(lp, 0x80, trip, 30);
+    // Walk one more loop and check the engaged predictions.
+    for (int i = 0; i < trip; ++i) {
+        const bool taken = i + 1 < trip;
+        const auto ctx = lp.lookup(0x80);
+        ASSERT_TRUE(lp.shouldOverride(ctx)) << "iteration " << i;
+        EXPECT_EQ(ctx.prediction, taken) << "iteration " << i;
+        lp.update(ctx, 0x80, taken, true, !taken);
+    }
+}
+
+TEST(LoopPredictor, AbandonsVariableTripLoop)
+{
+    LoopPredictor lp;
+    // Trips alternate 5, 9, 5, 9, ... -> confidence never builds.
+    int trips[2] = {5, 9};
+    for (int l = 0; l < 40; ++l) {
+        const int trip = trips[l % 2];
+        for (int i = 0; i < trip; ++i) {
+            const bool taken = i + 1 < trip;
+            const auto ctx = lp.lookup(0x90);
+            lp.update(ctx, 0x90, taken, true, !taken);
+        }
+    }
+    const auto ctx = lp.lookup(0x90);
+    EXPECT_FALSE(ctx.valid);
+}
+
+TEST(LoopPredictor, WithloopGateDistrustsWrongLoops)
+{
+    LoopPredictor lp;
+    // Train a loop of trip 12, then change to trip 20: engaged
+    // predictions go wrong, the gate should swing negative and
+    // disable overriding.
+    runConstantLoop(lp, 0xA0, 12, 30);
+    for (int l = 0; l < 6; ++l)
+        runConstantLoop(lp, 0xA0, 20, 1);
+    const auto ctx = lp.lookup(0xA0);
+    EXPECT_FALSE(lp.shouldOverride(ctx) && ctx.prediction == false);
+}
+
+TEST(LoopPredictor, NoAllocationWithoutMisprediction)
+{
+    LoopPredictor lp;
+    const auto ctx = lp.lookup(0xB0);
+    EXPECT_FALSE(ctx.hit);
+    lp.update(ctx, 0xB0, true, true, false); // correct main pred
+    EXPECT_FALSE(lp.lookup(0xB0).hit);
+    lp.update(ctx, 0xB0, true, true, true); // mispredicted
+    EXPECT_TRUE(lp.lookup(0xB0).hit);
+}
+
+TEST(LoopPredictor, TracksMultipleLoops)
+{
+    LoopPredictor lp;
+    for (int l = 0; l < 30; ++l) {
+        runConstantLoop(lp, 0x100, 6, 1);
+        runConstantLoop(lp, 0x200, 11, 1);
+    }
+    EXPECT_EQ(runConstantLoop(lp, 0x100, 6, 1), 0);
+    EXPECT_EQ(runConstantLoop(lp, 0x200, 11, 1), 0);
+}
+
+TEST(LoopPredictor, StorageIs64Entries)
+{
+    LoopPredictor lp;
+    EXPECT_EQ(lp.storage().totalBits(), 64u * 53 + 7);
+}
+
+} // anonymous namespace
+} // namespace bfbp

@@ -1,0 +1,186 @@
+/** @file Unit tests for perceptron, piecewise-linear and OH-SNAP. */
+
+#include <gtest/gtest.h>
+
+#include "predictors/neural_common.hpp"
+#include "predictors/ohsnap.hpp"
+#include "predictors/perceptron.hpp"
+#include "predictors/piecewise_linear.hpp"
+#include "util/random.hpp"
+
+namespace bfbp
+{
+namespace
+{
+
+/**
+ * Drives a predictor on a stream where branch `reader` equals the
+ * direction of branch `setter` seen `gap` branches earlier (filler
+ * branches are all-taken). Returns the reader misprediction rate in
+ * the second half of the run.
+ */
+double
+correlationTest(BranchPredictor &p, unsigned gap, int rounds,
+                uint64_t seed = 7)
+{
+    Rng rng(seed);
+    int wrong = 0;
+    int measured = 0;
+    for (int i = 0; i < rounds; ++i) {
+        const bool dir = rng.chance(0.5);
+        bool pred = p.predict(0x100);
+        p.update(0x100, dir, pred, 0x110);
+        for (unsigned f = 0; f < gap; ++f) {
+            const uint64_t pc = 0x1000 + 8 * f;
+            pred = p.predict(pc);
+            p.update(pc, true, pred, pc + 8);
+        }
+        pred = p.predict(0x200);
+        if (i > rounds / 2) {
+            ++measured;
+            if (pred != dir)
+                ++wrong;
+        }
+        p.update(0x200, dir, pred, 0x210);
+    }
+    return static_cast<double>(wrong) / std::max(1, measured);
+}
+
+TEST(NeuralCommon, PerceptronThetaFormula)
+{
+    EXPECT_EQ(perceptronTheta(32), static_cast<int>(1.93 * 32) + 14);
+    EXPECT_EQ(perceptronTheta(0), 14);
+}
+
+TEST(NeuralCommon, AdaptiveThresholdMovesUpOnMispredicts)
+{
+    AdaptiveThreshold t(10, 3);
+    for (int i = 0; i < 100; ++i)
+        t.observe(true, 0);
+    EXPECT_GT(t.value(), 10);
+}
+
+TEST(NeuralCommon, AdaptiveThresholdMovesDownOnWeakCorrect)
+{
+    AdaptiveThreshold t(10, 3);
+    for (int i = 0; i < 100; ++i)
+        t.observe(false, 3);
+    EXPECT_LT(t.value(), 10);
+}
+
+TEST(NeuralCommon, AdaptiveThresholdNeverBelowOne)
+{
+    AdaptiveThreshold t(2, 3);
+    for (int i = 0; i < 1000; ++i)
+        t.observe(false, 0);
+    EXPECT_GE(t.value(), 1);
+}
+
+TEST(Perceptron, LearnsBias)
+{
+    PerceptronPredictor p;
+    for (int i = 0; i < 50; ++i) {
+        const bool pred = p.predict(0x40);
+        p.update(0x40, true, pred, 0x50);
+    }
+    EXPECT_TRUE(p.predict(0x40));
+}
+
+TEST(Perceptron, CapturesCorrelationWithinHistory)
+{
+    PerceptronPredictor p(PerceptronConfig{32, 9, 8});
+    EXPECT_LT(correlationTest(p, 8, 2000), 0.05);
+}
+
+TEST(Perceptron, MissesCorrelationBeyondHistory)
+{
+    PerceptronPredictor p(PerceptronConfig{32, 9, 8});
+    // Correlation at distance 60 > history 32: essentially a coin.
+    EXPECT_GT(correlationTest(p, 60, 2000), 0.3);
+}
+
+TEST(Perceptron, LearnsAnticorrelation)
+{
+    // reader = !setter is linearly separable: weight goes negative.
+    PerceptronPredictor p(PerceptronConfig{16, 9, 8});
+    Rng rng(3);
+    int wrong = 0;
+    for (int i = 0; i < 3000; ++i) {
+        const bool dir = rng.chance(0.5);
+        bool pred = p.predict(0x100);
+        p.update(0x100, dir, pred, 0);
+        pred = p.predict(0x200);
+        if (i > 1500 && pred != !dir)
+            ++wrong;
+        p.update(0x200, !dir, pred, 0);
+    }
+    EXPECT_LT(wrong, 100);
+}
+
+TEST(Perceptron, StorageMatchesGeometry)
+{
+    PerceptronPredictor p(PerceptronConfig{32, 9, 8});
+    // 512 perceptrons x 33 weights x 8 bits + 32 history bits.
+    EXPECT_EQ(p.storage().totalBits(), 512u * 33 * 8 + 32);
+}
+
+TEST(PiecewiseLinear, CapturesCorrelationWithinHistory)
+{
+    PiecewiseLinearPredictor p;
+    EXPECT_LT(correlationTest(p, 40, 3000), 0.05);
+}
+
+TEST(PiecewiseLinear, MissesCorrelationBeyond72)
+{
+    PiecewiseLinearPredictor p; // h = 72
+    EXPECT_GT(correlationTest(p, 100, 3000), 0.3);
+}
+
+TEST(PiecewiseLinear, SixtyFourKbBudget)
+{
+    PiecewiseLinearPredictor p;
+    const double kib =
+        static_cast<double>(p.storage().totalBytes()) / 1024.0;
+    EXPECT_GT(kib, 55.0);
+    EXPECT_LT(kib, 72.0);
+}
+
+TEST(OhSnap, CapturesCorrelationWithinHistory)
+{
+    OhSnapPredictor p;
+    EXPECT_LT(correlationTest(p, 40, 3000), 0.05);
+}
+
+TEST(OhSnap, LongerReachThanPwl)
+{
+    // OH-SNAP's 128-deep scaled history sees distance 100; the
+    // 72-deep PWL cannot.
+    OhSnapPredictor snap;
+    PiecewiseLinearPredictor pwl;
+    const double snapErr = correlationTest(snap, 100, 4000);
+    const double pwlErr = correlationTest(pwl, 100, 4000);
+    EXPECT_LT(snapErr, 0.15);
+    EXPECT_GT(pwlErr, 0.3);
+}
+
+TEST(OhSnap, SixtyFourKbBudget)
+{
+    OhSnapPredictor p;
+    const double kib =
+        static_cast<double>(p.storage().totalBytes()) / 1024.0;
+    EXPECT_GT(kib, 50.0);
+    EXPECT_LT(kib, 70.0);
+}
+
+TEST(OhSnap, LearnsBiasFast)
+{
+    OhSnapPredictor p;
+    for (int i = 0; i < 50; ++i) {
+        const bool pred = p.predict(0x80);
+        p.update(0x80, false, pred, 0x90);
+    }
+    EXPECT_FALSE(p.predict(0x80));
+}
+
+} // anonymous namespace
+} // namespace bfbp

@@ -1,0 +1,291 @@
+/** @file Unit tests for tracegen/program.hpp block semantics. */
+
+#include <map>
+
+#include <gtest/gtest.h>
+
+#include "tracegen/program.hpp"
+
+namespace bfbp::tracegen
+{
+namespace
+{
+
+std::vector<BranchRecord>
+runBlock(Block &block, int times = 1, uint64_t seed = 1)
+{
+    GenState state(seed, 16);
+    for (int i = 0; i < times; ++i)
+        block.emit(state);
+    return state.out;
+}
+
+TEST(BiasedRunBlock, EmitsRequestedCount)
+{
+    BiasedRunBlock block(0x1000, 8, 20, 99);
+    const auto recs = runBlock(block);
+    EXPECT_EQ(recs.size(), 20u);
+}
+
+TEST(BiasedRunBlock, EachStaticBranchIsCompletelyBiased)
+{
+    BiasedRunBlock block(0x1000, 8, 8, 99);
+    const auto recs = runBlock(block, 50);
+    std::map<uint64_t, std::pair<int, int>> perPc; // taken / total
+    for (const auto &r : recs) {
+        auto &[t, n] = perPc[r.pc];
+        if (r.taken)
+            ++t;
+        ++n;
+    }
+    EXPECT_EQ(perPc.size(), 8u);
+    for (const auto &[pc, tn] : perPc) {
+        EXPECT_TRUE(tn.first == 0 || tn.first == tn.second)
+            << "branch " << pc << " is not biased";
+    }
+}
+
+TEST(BiasedRunBlock, CursorPersistsAcrossEmits)
+{
+    // Pool of 3, emitting 2 per call: PCs should cycle 0,1 | 2,0 |...
+    BiasedRunBlock block(0x1000, 3, 2, 1);
+    const auto recs = runBlock(block, 3);
+    ASSERT_EQ(recs.size(), 6u);
+    EXPECT_EQ(recs[0].pc, 0x1000u);
+    EXPECT_EQ(recs[1].pc, 0x1004u);
+    EXPECT_EQ(recs[2].pc, 0x1008u);
+    EXPECT_EQ(recs[3].pc, 0x1000u);
+}
+
+TEST(NoiseBlock, RespectsProbability)
+{
+    NoiseBlock block(0x2000, 0.2);
+    const auto recs = runBlock(block, 5000);
+    int taken = 0;
+    for (const auto &r : recs)
+        taken += r.taken;
+    EXPECT_NEAR(taken / 5000.0, 0.2, 0.03);
+}
+
+TEST(LocalPatternBlock, ReplaysPatternExactly)
+{
+    const std::vector<bool> pattern = {true, true, false, true, false};
+    LocalPatternBlock block(0x3000, pattern);
+    const auto recs = runBlock(block, 12);
+    for (size_t i = 0; i < recs.size(); ++i)
+        EXPECT_EQ(recs[i].taken, pattern[i % pattern.size()])
+            << "position " << i;
+}
+
+TEST(SetterReader, ReaderFollowsSetter)
+{
+    GenState state(3, 4);
+    SetterBlock setter(0x100, 2, 0.5);
+    ReaderBlock reader(0x200, {2}, false, 0.0);
+    for (int i = 0; i < 200; ++i) {
+        setter.emit(state);
+        reader.emit(state);
+    }
+    ASSERT_EQ(state.out.size(), 400u);
+    for (size_t i = 0; i < state.out.size(); i += 2) {
+        EXPECT_EQ(state.out[i].taken, state.out[i + 1].taken)
+            << "pair " << i / 2;
+    }
+}
+
+TEST(SetterReader, InvertedReader)
+{
+    GenState state(3, 4);
+    SetterBlock setter(0x100, 0, 0.5);
+    ReaderBlock reader(0x200, {0}, true, 0.0);
+    setter.emit(state);
+    reader.emit(state);
+    EXPECT_NE(state.out[0].taken, state.out[1].taken);
+}
+
+TEST(SetterReader, XorOfTwoRegisters)
+{
+    GenState state(4, 4);
+    SetterBlock s0(0x100, 0, 0.5);
+    SetterBlock s1(0x104, 1, 0.5);
+    ReaderBlock reader(0x200, {0, 1}, false, 0.0);
+    for (int i = 0; i < 100; ++i) {
+        s0.emit(state);
+        s1.emit(state);
+        reader.emit(state);
+        const size_t base = state.out.size() - 3;
+        EXPECT_EQ(state.out[base + 2].taken,
+                  state.out[base].taken ^ state.out[base + 1].taken);
+    }
+}
+
+TEST(LoopBlock, ConstantTripPattern)
+{
+    std::vector<BlockPtr> body;
+    body.push_back(std::make_unique<NoiseBlock>(0x40, 1.0));
+    LoopBlock loop(0x50, 4, 4, std::move(body));
+    const auto recs = runBlock(loop);
+    // 4 iterations x (body + loop branch) = 8 records.
+    ASSERT_EQ(recs.size(), 8u);
+    // Loop branch taken, taken, taken, not-taken.
+    EXPECT_TRUE(recs[1].taken);
+    EXPECT_TRUE(recs[3].taken);
+    EXPECT_TRUE(recs[5].taken);
+    EXPECT_FALSE(recs[7].taken);
+}
+
+TEST(LoopBlock, VariableTripInRange)
+{
+    std::vector<BlockPtr> body;
+    body.push_back(std::make_unique<NoiseBlock>(0x40, 1.0));
+    LoopBlock loop(0x50, 2, 6, std::move(body));
+    GenState state(5, 4);
+    for (int i = 0; i < 100; ++i) {
+        const size_t before = state.out.size();
+        loop.emit(state);
+        const size_t emitted = state.out.size() - before;
+        EXPECT_EQ(emitted % 2, 0u);
+        const size_t trip = emitted / 2;
+        EXPECT_GE(trip, 2u);
+        EXPECT_LE(trip, 6u);
+    }
+}
+
+TEST(CallBlock, BracketsBodyWithCallReturn)
+{
+    std::vector<BlockPtr> body;
+    body.push_back(std::make_unique<NoiseBlock>(0x40, 0.5));
+    CallBlock call(0x500, 0x504, std::move(body));
+    const auto recs = runBlock(call);
+    ASSERT_EQ(recs.size(), 3u);
+    EXPECT_EQ(recs[0].type, BranchType::Call);
+    EXPECT_EQ(recs[1].type, BranchType::CondDirect);
+    EXPECT_EQ(recs[2].type, BranchType::Return);
+}
+
+TEST(Fig4Block, OnlyPositionPCorrelates)
+{
+    Fig4Block block(0x10, 0x20, 0x30, 8, 3);
+    GenState state(6, 4);
+    for (int rep = 0; rep < 200; ++rep) {
+        const size_t before = state.out.size();
+        block.emit(state);
+        const auto &out = state.out;
+        const bool aTaken = out[before].taken;
+        // X records are at offsets 1, 3, 5, ... (X then L per iter).
+        for (size_t i = 0; i < 8; ++i) {
+            const bool xTaken = out[before + 1 + 2 * i].taken;
+            EXPECT_EQ(xTaken, aTaken && i == 3)
+                << "iteration " << i << " rep " << rep;
+        }
+    }
+}
+
+TEST(ProgramTraceSource, DeterministicReplay)
+{
+    auto factory = []() {
+        Program p;
+        p.name = "det";
+        p.seed = 11;
+        p.targetBranches = 5000;
+        Section sec;
+        sec.blocks.push_back(std::make_unique<NoiseBlock>(0x10, 0.5));
+        sec.blocks.push_back(
+            std::make_unique<BiasedRunBlock>(0x100, 4, 4, 2));
+        p.sections.push_back(std::move(sec));
+        return p;
+    };
+    ProgramTraceSource a(factory);
+    ProgramTraceSource b(factory);
+    BranchRecord ra;
+    BranchRecord rb;
+    while (true) {
+        const bool okA = a.next(ra);
+        const bool okB = b.next(rb);
+        ASSERT_EQ(okA, okB);
+        if (!okA)
+            break;
+        ASSERT_EQ(ra, rb);
+    }
+}
+
+TEST(ProgramTraceSource, ResetReplaysIdentically)
+{
+    auto factory = []() {
+        Program p;
+        p.seed = 21;
+        p.targetBranches = 2000;
+        Section sec;
+        sec.blocks.push_back(std::make_unique<NoiseBlock>(0x10, 0.3));
+        p.sections.push_back(std::move(sec));
+        return p;
+    };
+    ProgramTraceSource src(factory);
+    std::vector<BranchRecord> first;
+    BranchRecord r;
+    while (src.next(r))
+        first.push_back(r);
+    src.reset();
+    size_t i = 0;
+    while (src.next(r))
+        ASSERT_EQ(r, first[i++]);
+    EXPECT_EQ(i, first.size());
+}
+
+TEST(ProgramTraceSource, HitsTargetApproximately)
+{
+    auto factory = []() {
+        Program p;
+        p.seed = 31;
+        p.targetBranches = 10000;
+        Section sec;
+        sec.blocks.push_back(
+            std::make_unique<BiasedRunBlock>(0x100, 16, 16, 3));
+        p.sections.push_back(std::move(sec));
+        return p;
+    };
+    ProgramTraceSource src(factory);
+    size_t count = 0;
+    BranchRecord r;
+    while (src.next(r)) {
+        if (r.isConditional())
+            ++count;
+    }
+    EXPECT_GE(count, 10000u);
+    EXPECT_LE(count, 10016u); // may overshoot by one block
+}
+
+TEST(ProgramTraceSource, SectionsRunInOrder)
+{
+    auto factory = []() {
+        Program p;
+        p.seed = 41;
+        p.targetBranches = 1000;
+        Section s1;
+        s1.budgetFraction = 0.5;
+        s1.blocks.push_back(std::make_unique<NoiseBlock>(0x10, 1.0));
+        Section s2;
+        s2.budgetFraction = 0.5;
+        s2.blocks.push_back(std::make_unique<NoiseBlock>(0x20, 1.0));
+        p.sections.push_back(std::move(s1));
+        p.sections.push_back(std::move(s2));
+        return p;
+    };
+    ProgramTraceSource src(factory);
+    std::vector<BranchRecord> recs;
+    BranchRecord r;
+    while (src.next(r))
+        recs.push_back(r);
+    // First half from pc 0x10, second half from 0x20, no mixing.
+    bool seenSecond = false;
+    for (const auto &rec : recs) {
+        if (rec.pc == 0x20)
+            seenSecond = true;
+        if (seenSecond)
+            EXPECT_EQ(rec.pc, 0x20u);
+    }
+    EXPECT_TRUE(seenSecond);
+}
+
+} // anonymous namespace
+} // namespace bfbp::tracegen

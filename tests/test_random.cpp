@@ -1,0 +1,112 @@
+/** @file Unit tests for util/random.hpp. */
+
+#include <gtest/gtest.h>
+
+#include "util/random.hpp"
+
+namespace bfbp
+{
+namespace
+{
+
+TEST(Rng, SameSeedSameStream)
+{
+    Rng a(123);
+    Rng b(123);
+    for (int i = 0; i < 1000; ++i)
+        ASSERT_EQ(a.next(), b.next()) << "diverged at draw " << i;
+}
+
+TEST(Rng, DifferentSeedDifferentStream)
+{
+    Rng a(123);
+    Rng b(124);
+    int same = 0;
+    for (int i = 0; i < 100; ++i) {
+        if (a.next() == b.next())
+            ++same;
+    }
+    EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, ReseedRestartsStream)
+{
+    Rng a(77);
+    const uint64_t first = a.next();
+    a.next();
+    a.reseed(77);
+    EXPECT_EQ(a.next(), first);
+}
+
+TEST(Rng, BelowStaysInRange)
+{
+    Rng rng(9);
+    for (uint64_t bound : {1ull, 2ull, 3ull, 17ull, 1000ull}) {
+        for (int i = 0; i < 200; ++i)
+            ASSERT_LT(rng.below(bound), bound);
+    }
+}
+
+TEST(Rng, BelowCoversRange)
+{
+    Rng rng(10);
+    bool seen[7] = {};
+    for (int i = 0; i < 2000; ++i)
+        seen[rng.below(7)] = true;
+    for (int v = 0; v < 7; ++v)
+        EXPECT_TRUE(seen[v]) << "value " << v << " never drawn";
+}
+
+TEST(Rng, BetweenInclusive)
+{
+    Rng rng(11);
+    bool sawLo = false;
+    bool sawHi = false;
+    for (int i = 0; i < 5000; ++i) {
+        const int64_t v = rng.between(-3, 3);
+        ASSERT_GE(v, -3);
+        ASSERT_LE(v, 3);
+        sawLo |= v == -3;
+        sawHi |= v == 3;
+    }
+    EXPECT_TRUE(sawLo);
+    EXPECT_TRUE(sawHi);
+}
+
+TEST(Rng, UniformInUnitInterval)
+{
+    Rng rng(12);
+    double sum = 0.0;
+    for (int i = 0; i < 10000; ++i) {
+        const double u = rng.uniform();
+        ASSERT_GE(u, 0.0);
+        ASSERT_LT(u, 1.0);
+        sum += u;
+    }
+    // Mean of U(0,1) is 0.5; allow generous tolerance.
+    EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(Rng, ChanceMatchesProbability)
+{
+    Rng rng(13);
+    int hits = 0;
+    const int trials = 20000;
+    for (int i = 0; i < trials; ++i) {
+        if (rng.chance(0.3))
+            ++hits;
+    }
+    EXPECT_NEAR(static_cast<double>(hits) / trials, 0.3, 0.02);
+}
+
+TEST(Rng, ChanceExtremes)
+{
+    Rng rng(14);
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_FALSE(rng.chance(0.0));
+        EXPECT_TRUE(rng.chance(1.0));
+    }
+}
+
+} // anonymous namespace
+} // namespace bfbp

@@ -1,0 +1,139 @@
+/** @file Unit tests for the Recency Stack (Fig. 3, Sec. III). */
+
+#include <gtest/gtest.h>
+
+#include "core/recency_stack.hpp"
+
+namespace bfbp
+{
+namespace
+{
+
+TEST(RecencyStack, NewestAtTop)
+{
+    RecencyStack rs(4);
+    rs.push(1, true, 1);
+    rs.push(2, false, 2);
+    rs.push(3, true, 3);
+    ASSERT_EQ(rs.size(), 3u);
+    EXPECT_EQ(rs.at(0).addrHash, 3);
+    EXPECT_EQ(rs.at(1).addrHash, 2);
+    EXPECT_EQ(rs.at(2).addrHash, 1);
+}
+
+TEST(RecencyStack, HitMovesToFrontWithNewOutcome)
+{
+    RecencyStack rs(4);
+    rs.push(1, true, 1);
+    rs.push(2, true, 2);
+    rs.push(3, true, 3);
+    rs.push(1, false, 4); // re-occurrence of 1
+    ASSERT_EQ(rs.size(), 3u);
+    EXPECT_EQ(rs.at(0).addrHash, 1);
+    EXPECT_FALSE(rs.at(0).outcome);
+    // Intermediate entries shifted down, preserving order.
+    EXPECT_EQ(rs.at(1).addrHash, 3);
+    EXPECT_EQ(rs.at(2).addrHash, 2);
+}
+
+TEST(RecencyStack, AtMostOneEntryPerAddress)
+{
+    RecencyStack rs(8);
+    for (uint64_t t = 1; t <= 50; ++t)
+        rs.push(static_cast<uint16_t>(t % 3), t % 2 == 0, t);
+    EXPECT_EQ(rs.size(), 3u);
+}
+
+TEST(RecencyStack, CapacityEvictsOldest)
+{
+    RecencyStack rs(3);
+    rs.push(1, true, 1);
+    rs.push(2, true, 2);
+    rs.push(3, true, 3);
+    rs.push(4, true, 4);
+    ASSERT_EQ(rs.size(), 3u);
+    EXPECT_EQ(rs.at(2).addrHash, 2); // 1 fell off
+}
+
+TEST(RecencyStack, PositionalDistanceGrows)
+{
+    RecencyStack rs(4);
+    rs.push(7, true, 10);
+    EXPECT_EQ(rs.distance(0, 10), 0u);
+    EXPECT_EQ(rs.distance(0, 25), 15u);
+}
+
+TEST(RecencyStack, DistanceResetsOnReoccurrence)
+{
+    RecencyStack rs(4);
+    rs.push(7, true, 10);
+    rs.push(9, true, 20);
+    EXPECT_EQ(rs.distance(1, 30), 20u); // entry 7
+    rs.push(7, false, 30);
+    EXPECT_EQ(rs.distance(0, 30), 0u); // refreshed
+}
+
+TEST(RecencyStack, ShiftRegisterModeKeepsDuplicates)
+{
+    RecencyStack fifo(4, false);
+    fifo.push(1, true, 1);
+    fifo.push(1, false, 2);
+    fifo.push(1, true, 3);
+    EXPECT_EQ(fifo.size(), 3u);
+    EXPECT_TRUE(fifo.at(0).outcome);
+    EXPECT_FALSE(fifo.at(1).outcome);
+}
+
+TEST(RecencyStack, ShiftRegisterModeEvictsInOrder)
+{
+    RecencyStack fifo(2, false);
+    fifo.push(1, true, 1);
+    fifo.push(2, true, 2);
+    fifo.push(3, true, 3);
+    ASSERT_EQ(fifo.size(), 2u);
+    EXPECT_EQ(fifo.at(0).addrHash, 3);
+    EXPECT_EQ(fifo.at(1).addrHash, 2);
+}
+
+TEST(RecencyStack, MtfDeepHitShiftsAllAbove)
+{
+    // Fig. 3 semantics: locations between the top and the hit
+    // position shift by one; below the hit nothing moves.
+    RecencyStack rs(6);
+    for (uint16_t a = 1; a <= 6; ++a)
+        rs.push(a, true, a);
+    // Stack top..bottom: 6 5 4 3 2 1. Re-push 4.
+    rs.push(4, false, 7);
+    EXPECT_EQ(rs.at(0).addrHash, 4);
+    EXPECT_EQ(rs.at(1).addrHash, 6);
+    EXPECT_EQ(rs.at(2).addrHash, 5);
+    EXPECT_EQ(rs.at(3).addrHash, 3);
+    EXPECT_EQ(rs.at(4).addrHash, 2);
+    EXPECT_EQ(rs.at(5).addrHash, 1);
+}
+
+TEST(RecencyStack, ClearEmpties)
+{
+    RecencyStack rs(4);
+    rs.push(1, true, 1);
+    rs.clear();
+    EXPECT_EQ(rs.size(), 0u);
+}
+
+TEST(RecencyStack, ReachExceedsDepthByFiltering)
+{
+    // The motivating property: with one entry per static branch, a
+    // 4-entry RS still "remembers" a branch seen arbitrarily long
+    // ago as long as fewer than 4 distinct branches intervened.
+    RecencyStack rs(4);
+    rs.push(100, true, 1);
+    // 1000 occurrences of just 3 distinct other branches.
+    for (uint64_t t = 2; t < 1002; ++t)
+        rs.push(static_cast<uint16_t>(200 + t % 3), t % 2 == 0, t);
+    ASSERT_EQ(rs.size(), 4u);
+    EXPECT_EQ(rs.at(3).addrHash, 100);
+    EXPECT_EQ(rs.distance(3, 1001), 1000u);
+}
+
+} // anonymous namespace
+} // namespace bfbp

@@ -1,0 +1,151 @@
+/** @file Unit tests for util/saturating_counter.hpp. */
+
+#include <gtest/gtest.h>
+
+#include "util/saturating_counter.hpp"
+
+namespace bfbp
+{
+namespace
+{
+
+TEST(SignedSatCounter, RangeByWidth)
+{
+    SignedSatCounter c3(3);
+    EXPECT_EQ(c3.min(), -4);
+    EXPECT_EQ(c3.max(), 3);
+
+    SignedSatCounter c8(8);
+    EXPECT_EQ(c8.min(), -128);
+    EXPECT_EQ(c8.max(), 127);
+}
+
+TEST(SignedSatCounter, SaturatesHigh)
+{
+    SignedSatCounter c(3);
+    for (int i = 0; i < 20; ++i)
+        c.update(true);
+    EXPECT_EQ(c.value(), 3);
+}
+
+TEST(SignedSatCounter, SaturatesLow)
+{
+    SignedSatCounter c(3);
+    for (int i = 0; i < 20; ++i)
+        c.update(false);
+    EXPECT_EQ(c.value(), -4);
+}
+
+TEST(SignedSatCounter, SignEncodesDirection)
+{
+    SignedSatCounter c(3);
+    EXPECT_TRUE(c.taken()); // zero counts as taken (>= 0)
+    c.update(false);
+    EXPECT_FALSE(c.taken());
+    c.update(true);
+    EXPECT_TRUE(c.taken());
+}
+
+TEST(SignedSatCounter, WeakStates)
+{
+    SignedSatCounter c(3);
+    EXPECT_TRUE(c.weak()); // 0
+    c.update(false);
+    EXPECT_TRUE(c.weak()); // -1
+    c.update(false);
+    EXPECT_FALSE(c.weak()); // -2
+}
+
+TEST(SignedSatCounter, AddClamps)
+{
+    SignedSatCounter c(6);
+    c.add(1000);
+    EXPECT_EQ(c.value(), 31);
+    c.add(-1000);
+    EXPECT_EQ(c.value(), -32);
+    c.add(5);
+    EXPECT_EQ(c.value(), -27);
+}
+
+TEST(SignedSatCounter, SetWithinRange)
+{
+    SignedSatCounter c(4);
+    c.set(-8);
+    EXPECT_EQ(c.value(), -8);
+    c.set(7);
+    EXPECT_EQ(c.value(), 7);
+}
+
+TEST(UnsignedSatCounter, RangeByWidth)
+{
+    UnsignedSatCounter c2(2);
+    EXPECT_EQ(c2.max(), 3);
+    UnsignedSatCounter c8(8);
+    EXPECT_EQ(c8.max(), 255);
+}
+
+TEST(UnsignedSatCounter, SaturatesBothEnds)
+{
+    UnsignedSatCounter c(2, 1);
+    for (int i = 0; i < 10; ++i)
+        c.increment();
+    EXPECT_EQ(c.value(), 3);
+    EXPECT_TRUE(c.saturated());
+    for (int i = 0; i < 10; ++i)
+        c.decrement();
+    EXPECT_EQ(c.value(), 0);
+}
+
+TEST(UnsignedSatCounter, TakenThreshold)
+{
+    // 2-bit counter: values 2 and 3 are "taken".
+    UnsignedSatCounter c(2, 0);
+    EXPECT_FALSE(c.taken());
+    c.increment(); // 1
+    EXPECT_FALSE(c.taken());
+    c.increment(); // 2
+    EXPECT_TRUE(c.taken());
+    c.increment(); // 3
+    EXPECT_TRUE(c.taken());
+}
+
+TEST(UnsignedSatCounter, UpdateDirection)
+{
+    UnsignedSatCounter c(2, 2);
+    c.update(false);
+    EXPECT_EQ(c.value(), 1);
+    c.update(true);
+    c.update(true);
+    EXPECT_EQ(c.value(), 3);
+}
+
+/** Property sweep: hysteresis — flipping once from saturation never
+ *  flips the predicted direction for width >= 2. */
+class CounterWidth : public ::testing::TestWithParam<unsigned>
+{
+};
+
+TEST_P(CounterWidth, OneContraryUpdateKeepsDirection)
+{
+    const unsigned bits = GetParam();
+    UnsignedSatCounter c(bits, 0);
+    for (int i = 0; i < (1 << bits) + 2; ++i)
+        c.update(true);
+    EXPECT_TRUE(c.taken());
+    c.update(false);
+    EXPECT_TRUE(c.taken()) << "width " << bits
+                           << " lost hysteresis after one update";
+}
+
+TEST_P(CounterWidth, SignedSymmetricRange)
+{
+    const unsigned bits = GetParam();
+    SignedSatCounter c(bits);
+    EXPECT_EQ(c.max() + 1, -c.min());
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, CounterWidth,
+                         ::testing::Values(2u, 3u, 4u, 6u, 8u, 12u));
+
+} // anonymous namespace
+} // namespace bfbp

@@ -1,0 +1,166 @@
+/** @file Unit tests for the segmented RS / BF-GHR (Fig. 7, Sec. V-B). */
+
+#include <gtest/gtest.h>
+
+#include "core/segmented_rs.hpp"
+#include "util/random.hpp"
+
+namespace bfbp
+{
+namespace
+{
+
+SegmentedRecencyStacks::Config
+tinyConfig()
+{
+    SegmentedRecencyStacks::Config cfg;
+    cfg.boundaries = {4, 8, 16, 32};
+    cfg.perSegment = 2;
+    cfg.unfilteredBits = 4;
+    return cfg;
+}
+
+TEST(SegmentedRs, GhrLengthFixedByGeometry)
+{
+    SegmentedRecencyStacks s(tinyConfig());
+    // 4 unfiltered + 3 segments x 2 entries = 10 bits.
+    EXPECT_EQ(s.ghrBits(), 10u);
+
+    SegmentedRecencyStacks paper; // default = paper geometry
+    EXPECT_EQ(paper.ghrBits(), 16u + 16 * 8);
+}
+
+TEST(SegmentedRs, UnfilteredWindowTracksRecentOutcomes)
+{
+    SegmentedRecencyStacks s(tinyConfig());
+    s.commit(1, true, false);
+    s.commit(2, false, false);
+    s.commit(3, true, false);
+    // Bit 0 = newest.
+    EXPECT_TRUE(s.ghrBit(0));
+    EXPECT_FALSE(s.ghrBit(1));
+    EXPECT_TRUE(s.ghrBit(2));
+}
+
+TEST(SegmentedRs, BiasedBranchesNeverEnterSegments)
+{
+    SegmentedRecencyStacks s(tinyConfig());
+    for (int i = 0; i < 200; ++i)
+        s.commit(static_cast<uint64_t>(i % 16), true, false);
+    for (size_t k = 0; k < s.numSegments(); ++k)
+        EXPECT_EQ(s.segmentSize(k), 0u) << "segment " << k;
+}
+
+TEST(SegmentedRs, NonBiasedBranchCrossesIntoFirstSegment)
+{
+    SegmentedRecencyStacks s(tinyConfig());
+    s.commit(42, true, true);
+    EXPECT_EQ(s.segmentSize(0), 0u);
+    // After 4 more commits it sits at depth 4 = first boundary.
+    for (int i = 0; i < 4; ++i)
+        s.commit(static_cast<uint64_t>(100 + i), false, false);
+    EXPECT_EQ(s.segmentSize(0), 1u);
+}
+
+TEST(SegmentedRs, EntryMigratesThroughSegments)
+{
+    SegmentedRecencyStacks s(tinyConfig());
+    s.commit(42, true, true);
+    // Push it to depth 8 (second boundary): leaves segment 0,
+    // enters segment 1.
+    for (int i = 0; i < 8; ++i)
+        s.commit(static_cast<uint64_t>(100 + i), false, false);
+    EXPECT_EQ(s.segmentSize(0), 0u);
+    EXPECT_EQ(s.segmentSize(1), 1u);
+    // And to depth 16: enters segment 2.
+    for (int i = 0; i < 8; ++i)
+        s.commit(static_cast<uint64_t>(200 + i), false, false);
+    EXPECT_EQ(s.segmentSize(1), 0u);
+    EXPECT_EQ(s.segmentSize(2), 1u);
+    // Past the last boundary (32): gone entirely.
+    for (int i = 0; i < 16; ++i)
+        s.commit(static_cast<uint64_t>(300 + i), false, false);
+    EXPECT_EQ(s.segmentSize(2), 0u);
+}
+
+TEST(SegmentedRs, SingleInstancePerAddressInSegment)
+{
+    SegmentedRecencyStacks s(tinyConfig());
+    // Two occurrences of branch 42 close together, then filler to
+    // push them across the first boundary.
+    s.commit(42, true, true);
+    s.commit(42, false, true);
+    for (int i = 0; i < 6; ++i)
+        s.commit(static_cast<uint64_t>(100 + i), false, false);
+    // Both occurrences are in [4, 8) depth range, but only one
+    // instance may live in the segment RS.
+    EXPECT_EQ(s.segmentSize(0), 1u);
+}
+
+TEST(SegmentedRs, CapacityEvictsOldestInSegment)
+{
+    SegmentedRecencyStacks s(tinyConfig()); // perSegment = 2
+    s.commit(1, true, true);
+    s.commit(2, true, true);
+    s.commit(3, true, true);
+    // Push all three across the first boundary (depth 4).
+    for (int i = 0; i < 6; ++i)
+        s.commit(static_cast<uint64_t>(100 + i), false, false);
+    EXPECT_EQ(s.segmentSize(0), 2u);
+}
+
+TEST(SegmentedRs, GhrBitsReflectSegmentOutcomes)
+{
+    SegmentedRecencyStacks s(tinyConfig());
+    s.commit(42, true, true); // outcome 1
+    for (int i = 0; i < 4; ++i)
+        s.commit(static_cast<uint64_t>(100 + i), false, false);
+    // Segment 0 starts at bit 4 (after the unfiltered window);
+    // its newest entry is branch 42 with outcome taken.
+    EXPECT_TRUE(s.ghrBit(4));
+    EXPECT_FALSE(s.ghrBit(5)); // padding (only one entry)
+}
+
+TEST(SegmentedRs, FoldMatchesPerBitReference)
+{
+    SegmentedRecencyStacks s; // paper geometry, 144 bits
+    Rng rng(23);
+    for (int i = 0; i < 5000; ++i) {
+        s.commit(rng.below(4096), rng.chance(0.5), rng.chance(0.3));
+    }
+    for (unsigned width : {7u, 10u, 11u, 13u, 15u}) {
+        for (unsigned length : {3u, 8u, 26u, 70u, 142u}) {
+            uint64_t ref = 0;
+            for (unsigned i = 0; i < length; ++i) {
+                ref ^= static_cast<uint64_t>(s.ghrBit(i))
+                    << (i % width);
+            }
+            EXPECT_EQ(s.fold(length, width), ref)
+                << "L=" << length << " W=" << width;
+        }
+    }
+}
+
+TEST(SegmentedRs, CompressionReachesDeepHistory)
+{
+    // The headline property (Sec. V-B1): a branch ~1900 commits in
+    // the past remains visible in the ~144-bit BF-GHR when the
+    // intervening stream is mostly biased.
+    SegmentedRecencyStacks s; // paper geometry
+    s.commit(777, true, true);
+    for (int i = 0; i < 1900; ++i)
+        s.commit(static_cast<uint64_t>(1000 + i % 300), true, false);
+    // It must be present in the last segment [1536, 2048).
+    EXPECT_GE(s.segmentSize(s.numSegments() - 1), 1u);
+}
+
+TEST(SegmentedRs, StorageMatchesTableOneStructure)
+{
+    SegmentedRecencyStacks s;
+    const auto report = s.storage();
+    // Queue: 2048 x 16 bits; segment RS: 128 x 16 bits.
+    EXPECT_EQ(report.totalBits(), 2048u * 16 + 128u * 16);
+}
+
+} // anonymous namespace
+} // namespace bfbp

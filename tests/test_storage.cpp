@@ -1,0 +1,72 @@
+/** @file Unit tests for util/storage.hpp. */
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "util/storage.hpp"
+
+namespace bfbp
+{
+namespace
+{
+
+TEST(StorageReport, TableArithmetic)
+{
+    StorageReport r("test");
+    r.addTable("counters", 1024, 2);
+    EXPECT_EQ(r.totalBits(), 2048u);
+    EXPECT_EQ(r.totalBytes(), 256u);
+}
+
+TEST(StorageReport, UnstructuredBits)
+{
+    StorageReport r;
+    r.addBits("history", 1930);
+    EXPECT_EQ(r.totalBits(), 1930u);
+    EXPECT_EQ(r.totalBytes(), 242u); // rounds up
+}
+
+TEST(StorageReport, SumsComponents)
+{
+    StorageReport r;
+    r.addTable("a", 10, 3);
+    r.addTable("b", 4, 5);
+    r.addBits("c", 7);
+    EXPECT_EQ(r.totalBits(), 10u * 3 + 4u * 5 + 7);
+}
+
+TEST(StorageReport, MergeWithPrefix)
+{
+    StorageReport inner("inner");
+    inner.addTable("x", 8, 8);
+    StorageReport outer("outer");
+    outer.addBits("y", 1);
+    outer.merge(inner, "sub/");
+    EXPECT_EQ(outer.totalBits(), 65u);
+    ASSERT_EQ(outer.components().size(), 2u);
+    EXPECT_EQ(outer.components()[1].label, "sub/x");
+}
+
+TEST(StorageReport, PrintMentionsTotalsAndLabels)
+{
+    StorageReport r("demo");
+    r.addTable("weights", 100, 6);
+    std::ostringstream os;
+    r.print(os);
+    const std::string text = os.str();
+    EXPECT_NE(text.find("demo"), std::string::npos);
+    EXPECT_NE(text.find("weights"), std::string::npos);
+    EXPECT_NE(text.find("600"), std::string::npos);
+    EXPECT_NE(text.find("TOTAL"), std::string::npos);
+}
+
+TEST(StorageReport, KiBConversion)
+{
+    StorageReport r;
+    r.addBits("big", 64 * 1024 * 8);
+    EXPECT_EQ(r.totalKiB(), 64u);
+}
+
+} // anonymous namespace
+} // namespace bfbp

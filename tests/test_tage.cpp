@@ -1,0 +1,188 @@
+/** @file Unit tests for the TAGE predictor family. */
+
+#include <gtest/gtest.h>
+
+#include "predictors/sizing.hpp"
+#include "predictors/tage.hpp"
+#include "util/random.hpp"
+
+namespace bfbp
+{
+namespace
+{
+
+TageConfig
+tinyConfig(unsigned tables = 4)
+{
+    TageConfig cfg = conventionalTageConfig(tables);
+    return cfg;
+}
+
+void
+train(BranchPredictor &p, uint64_t pc, bool taken, int times)
+{
+    for (int i = 0; i < times; ++i) {
+        const bool pred = p.predict(pc);
+        p.update(pc, taken, pred, pc + 8);
+    }
+}
+
+TEST(Tage, LearnsBiasViaBasePredictor)
+{
+    TagePredictor p(tinyConfig());
+    train(p, 0x40, true, 10);
+    EXPECT_TRUE(p.predict(0x40));
+    train(p, 0x44, false, 10);
+    EXPECT_FALSE(p.predict(0x44));
+}
+
+TEST(Tage, LearnsAlternation)
+{
+    TagePredictor p(tinyConfig());
+    bool taken = false;
+    int wrong = 0;
+    for (int i = 0; i < 2000; ++i) {
+        taken = !taken;
+        const bool pred = p.predict(0x80);
+        if (i > 1000 && pred != taken)
+            ++wrong;
+        p.update(0x80, taken, pred, 0x90);
+    }
+    EXPECT_LT(wrong, 30);
+}
+
+TEST(Tage, LearnsLoopExitOnlyWithLongTables)
+{
+    // A loop-shaped pattern (39 taken, then one not-taken) defeats
+    // short histories because every <39-bit window of taken bits is
+    // ambiguous about the position within the loop; a 4-table TAGE
+    // (max history 17) must mispredict roughly every exit, while a
+    // 7+-table TAGE (history 67+) times it exactly. (A *random*
+    // period-40 pattern would not discriminate: its short windows
+    // are almost surely unique.)
+    auto run = [](unsigned tables) {
+        TagePredictor p(conventionalTageConfig(tables));
+        int wrong = 0;
+        for (int i = 0; i < 30000; ++i) {
+            const bool taken = (i % 40) != 39;
+            const bool pred = p.predict(0x100);
+            if (i > 20000 && pred != taken)
+                ++wrong;
+            p.update(0x100, taken, pred, 0x110);
+        }
+        return wrong;
+    };
+    EXPECT_GT(run(4), 150);
+    EXPECT_LT(run(10), 50);
+}
+
+TEST(Tage, ProviderStatsAccumulate)
+{
+    TagePredictor p(tinyConfig());
+    train(p, 0x40, true, 100);
+    const ProviderStats *stats = p.providerStats();
+    ASSERT_NE(stats, nullptr);
+    EXPECT_EQ(stats->predictions, 100u);
+    double sum = 0.0;
+    for (size_t t = 0; t <= p.config().numTables(); ++t)
+        sum += stats->percent(t);
+    EXPECT_NEAR(sum, 100.0, 1e-9);
+}
+
+TEST(Tage, AllocationMovesHitsToTaggedTables)
+{
+    // An alternating branch forces allocations; after convergence
+    // most predictions should come from tagged tables, not the base.
+    TagePredictor p(tinyConfig());
+    bool taken = false;
+    for (int i = 0; i < 4000; ++i) {
+        taken = !taken;
+        const bool pred = p.predict(0x80);
+        p.update(0x80, taken, pred, 0x90);
+    }
+    const ProviderStats *stats = p.providerStats();
+    EXPECT_LT(stats->percent(0), 60.0)
+        << "base predictor still provides most predictions";
+}
+
+TEST(Tage, PendingFifoHandlesDelayedUpdates)
+{
+    // predict() twice before the first update(): contexts must be
+    // matched FIFO by pc.
+    TagePredictor p(tinyConfig());
+    const bool p1 = p.predict(0x10);
+    const bool p2 = p.predict(0x20);
+    (void)p2;
+    p.update(0x10, true, p1, 0x18);
+    p.update(0x20, false, p2, 0x28);
+    SUCCEED();
+}
+
+TEST(Tage, StorageMatchesPaperQuote)
+{
+    // The paper quotes 51,072 bytes for the 10-table ISL-TAGE
+    // without loop/SC/IUM components (Sec. VI, Table I discussion).
+    TagePredictor p(conventionalTageConfig(10));
+    // Exclude histories: count only base + tagged tables + counters.
+    const StorageReport report = p.storage();
+    uint64_t bits = 0;
+    for (const auto &c : report.components()) {
+        if (c.label.find("history") == std::string::npos)
+            bits += c.bits();
+    }
+    EXPECT_EQ((bits + 7) / 8, 51072u + 1); // +4-bit alt counter
+}
+
+TEST(Tage, FifteenTableBudgetIs64KbClass)
+{
+    TagePredictor p(conventionalTageConfig(15));
+    const double kib =
+        static_cast<double>(p.storage().totalBytes()) / 1024.0;
+    EXPECT_GT(kib, 55.0);
+    EXPECT_LT(kib, 66.0);
+}
+
+TEST(TageConfig, SizingTablesConsistent)
+{
+    for (unsigned n = 1; n <= 15; ++n) {
+        const TageConfig cfg = conventionalTageConfig(n);
+        EXPECT_EQ(cfg.historyLengths.size(), n);
+        EXPECT_EQ(cfg.logSizes.size(), n);
+        EXPECT_EQ(cfg.tagBits.size(), n);
+        EXPECT_TRUE(std::is_sorted(cfg.historyLengths.begin(),
+                                   cfg.historyLengths.end()));
+    }
+}
+
+TEST(TageConfig, PaperHistoryLengths)
+{
+    const auto &lens = conventionalHistoryLengths();
+    ASSERT_EQ(lens.size(), 15u);
+    EXPECT_EQ(lens.front(), 3u);
+    EXPECT_EQ(lens[9], 195u);
+    EXPECT_EQ(lens.back(), 1930u);
+
+    const auto &bf = bfHistoryLengths();
+    ASSERT_EQ(bf.size(), 10u);
+    EXPECT_EQ(bf.front(), 3u);
+    EXPECT_EQ(bf.back(), 142u);
+}
+
+TEST(Tage, DeterministicGivenSameInputs)
+{
+    TagePredictor a(tinyConfig());
+    TagePredictor b(tinyConfig());
+    Rng rng(17);
+    for (int i = 0; i < 3000; ++i) {
+        const uint64_t pc = 0x100 + 8 * rng.below(32);
+        const bool taken = rng.chance(0.5);
+        const bool pa = a.predict(pc);
+        const bool pb = b.predict(pc);
+        ASSERT_EQ(pa, pb) << "diverged at step " << i;
+        a.update(pc, taken, pa, pc + 8);
+        b.update(pc, taken, pb, pc + 8);
+    }
+}
+
+} // anonymous namespace
+} // namespace bfbp

@@ -1,0 +1,152 @@
+/** @file Unit tests for sim/trace_io.hpp and trace sources. */
+
+#include <cstdio>
+#include <filesystem>
+
+#include <gtest/gtest.h>
+
+#include "sim/trace_io.hpp"
+#include "util/random.hpp"
+
+namespace bfbp
+{
+namespace
+{
+
+std::vector<BranchRecord>
+makeRecords(size_t n, uint64_t seed = 3)
+{
+    Rng rng(seed);
+    std::vector<BranchRecord> recs;
+    for (size_t i = 0; i < n; ++i) {
+        BranchRecord r;
+        r.pc = 0x400000 + 4 * rng.below(1000);
+        r.target = r.pc + 16;
+        r.instCount = static_cast<uint32_t>(1 + rng.below(8));
+        r.type = (i % 17 == 0) ? BranchType::Call
+                               : BranchType::CondDirect;
+        r.taken = rng.chance(0.6);
+        recs.push_back(r);
+    }
+    return recs;
+}
+
+std::string
+tempPath(const std::string &name)
+{
+    return (std::filesystem::temp_directory_path() / name).string();
+}
+
+class TraceIoTest : public ::testing::Test
+{
+  protected:
+    void
+    TearDown() override
+    {
+        for (const auto &p : cleanup)
+            std::remove(p.c_str());
+    }
+
+    std::string
+    track(const std::string &p)
+    {
+        cleanup.push_back(p);
+        return p;
+    }
+
+    std::vector<std::string> cleanup;
+};
+
+TEST_F(TraceIoTest, RoundTripPreservesRecords)
+{
+    const auto path = track(tempPath("bfbp_roundtrip.trace"));
+    const auto recs = makeRecords(500);
+    writeTrace(path, recs);
+    const auto back = readTrace(path);
+    ASSERT_EQ(back.size(), recs.size());
+    for (size_t i = 0; i < recs.size(); ++i)
+        ASSERT_EQ(back[i], recs[i]) << "record " << i;
+}
+
+TEST_F(TraceIoTest, EmptyTraceRoundTrips)
+{
+    const auto path = track(tempPath("bfbp_empty.trace"));
+    writeTrace(path, {});
+    EXPECT_TRUE(readTrace(path).empty());
+}
+
+TEST_F(TraceIoTest, StreamingSourceMatchesBulkRead)
+{
+    const auto path = track(tempPath("bfbp_stream.trace"));
+    const auto recs = makeRecords(200, 5);
+    writeTrace(path, recs);
+
+    TraceFileSource source(path);
+    EXPECT_EQ(source.recordCount(), recs.size());
+    BranchRecord r;
+    size_t i = 0;
+    while (source.next(r))
+        ASSERT_EQ(r, recs[i++]);
+    EXPECT_EQ(i, recs.size());
+}
+
+TEST_F(TraceIoTest, SourceResetRestarts)
+{
+    const auto path = track(tempPath("bfbp_reset.trace"));
+    const auto recs = makeRecords(50, 7);
+    writeTrace(path, recs);
+
+    TraceFileSource source(path);
+    BranchRecord r;
+    ASSERT_TRUE(source.next(r));
+    ASSERT_TRUE(source.next(r));
+    source.reset();
+    ASSERT_TRUE(source.next(r));
+    EXPECT_EQ(r, recs[0]);
+}
+
+TEST_F(TraceIoTest, MissingFileThrows)
+{
+    EXPECT_THROW(TraceFileSource("/nonexistent/path/x.trace"),
+                 TraceIoError);
+}
+
+TEST_F(TraceIoTest, BadMagicThrows)
+{
+    const auto path = track(tempPath("bfbp_badmagic.trace"));
+    std::FILE *f = std::fopen(path.c_str(), "wb");
+    ASSERT_NE(f, nullptr);
+    const char junk[32] = "this is not a trace file at all";
+    std::fwrite(junk, 1, sizeof(junk), f);
+    std::fclose(f);
+    EXPECT_THROW(TraceFileSource src(path), TraceIoError);
+}
+
+TEST(VectorTraceSource, IteratesAndResets)
+{
+    const auto recs = makeRecords(10);
+    VectorTraceSource source(recs, "mini");
+    EXPECT_EQ(source.name(), "mini");
+    BranchRecord r;
+    size_t count = 0;
+    while (source.next(r))
+        ++count;
+    EXPECT_EQ(count, 10u);
+    EXPECT_FALSE(source.next(r));
+    source.reset();
+    ASSERT_TRUE(source.next(r));
+    EXPECT_EQ(r, recs[0]);
+}
+
+TEST(Collect, HonorsLimit)
+{
+    VectorTraceSource source(makeRecords(100));
+    const auto some = collect(source, 30);
+    EXPECT_EQ(some.size(), 30u);
+    // Collect continues from the current position.
+    const auto rest = collect(source);
+    EXPECT_EQ(rest.size(), 70u);
+}
+
+} // anonymous namespace
+} // namespace bfbp

@@ -1,0 +1,157 @@
+/** @file Tests for the 40-trace suite (tracegen/workloads.hpp). */
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "core/bias_oracle.hpp"
+#include "tracegen/workloads.hpp"
+
+namespace bfbp::tracegen
+{
+namespace
+{
+
+TEST(Suite, HasFortyTracesInCbpOrder)
+{
+    const auto &suite = standardSuite();
+    ASSERT_EQ(suite.size(), 40u);
+    EXPECT_EQ(suite[0].name, "SPEC00");
+    EXPECT_EQ(suite[19].name, "SPEC19");
+    EXPECT_EQ(suite[20].name, "FP1");
+    EXPECT_EQ(suite[25].name, "INT1");
+    EXPECT_EQ(suite[30].name, "MM1");
+    EXPECT_EQ(suite[35].name, "SERV1");
+    EXPECT_EQ(suite[39].name, "SERV5");
+}
+
+TEST(Suite, CategoriesMatchNames)
+{
+    for (const auto &r : standardSuite()) {
+        const std::string cat = categoryName(r.category);
+        EXPECT_EQ(r.name.compare(0, cat.size(), cat), 0)
+            << r.name << " vs " << cat;
+    }
+}
+
+TEST(Suite, NamesAndSeedsUnique)
+{
+    std::set<std::string> names;
+    std::set<uint64_t> seeds;
+    for (const auto &r : standardSuite()) {
+        EXPECT_TRUE(names.insert(r.name).second) << r.name;
+        EXPECT_TRUE(seeds.insert(r.seed).second) << r.name;
+    }
+}
+
+TEST(Suite, SpecTracesAreLong)
+{
+    for (const auto &r : standardSuite()) {
+        if (r.category == Category::Spec)
+            EXPECT_GT(r.branches, 1000000u) << r.name;
+        else
+            EXPECT_LE(r.branches, 500000u) << r.name;
+    }
+}
+
+TEST(Suite, RecipeByNameFindsAll)
+{
+    for (const auto &r : standardSuite())
+        EXPECT_EQ(recipeByName(r.name).seed, r.seed);
+    EXPECT_THROW(recipeByName("SPEC99"), std::out_of_range);
+}
+
+TEST(Suite, CategoryNames)
+{
+    EXPECT_EQ(categoryName(Category::Spec), "SPEC");
+    EXPECT_EQ(categoryName(Category::Fp), "FP");
+    EXPECT_EQ(categoryName(Category::Int), "INT");
+    EXPECT_EQ(categoryName(Category::Mm), "MM");
+    EXPECT_EQ(categoryName(Category::Serv), "SERV");
+}
+
+TEST(Suite, ScaleControlsLength)
+{
+    const auto &recipe = standardSuite()[0];
+    auto small = makeSource(recipe, 0.01);
+    size_t count = 0;
+    BranchRecord r;
+    while (small->next(r)) {
+        if (r.isConditional())
+            ++count;
+    }
+    const auto expected = static_cast<double>(recipe.branches) * 0.01;
+    EXPECT_NEAR(static_cast<double>(count), expected, expected * 0.2);
+}
+
+TEST(Suite, SourcesAreDeterministic)
+{
+    const auto &recipe = recipeByName("INT2");
+    auto a = makeSource(recipe, 0.01);
+    auto b = makeSource(recipe, 0.01);
+    BranchRecord ra;
+    BranchRecord rb;
+    while (true) {
+        const bool okA = a->next(ra);
+        const bool okB = b->next(rb);
+        ASSERT_EQ(okA, okB);
+        if (!okA)
+            break;
+        ASSERT_EQ(ra, rb);
+    }
+}
+
+/**
+ * Structural property per trace: the bias fraction knob must produce
+ * clearly different bias levels for traces the paper singles out
+ * (Fig. 2): SPEC02/06/09 and SERV heavily biased, SPEC03/12/18
+ * lightly biased.
+ */
+TEST(Suite, BiasFractionsReflectFig2Shape)
+{
+    auto biasOf = [](const std::string &name) {
+        auto src = makeSource(recipeByName(name), 0.02);
+        return BiasOracle::profile(*src).dynamicBiasedFraction();
+    };
+    const double heavy =
+        (biasOf("SPEC02") + biasOf("SPEC06") + biasOf("SPEC09")) / 3;
+    const double light =
+        (biasOf("SPEC03") + biasOf("SPEC12") + biasOf("SPEC18")) / 3;
+    EXPECT_GT(heavy, 0.5);
+    EXPECT_LT(light, 0.35);
+    EXPECT_GT(heavy, light + 0.25);
+}
+
+/** Every suite trace must stream without throwing and contain both
+ *  taken and not-taken branches. */
+class EveryTrace : public ::testing::TestWithParam<size_t>
+{
+};
+
+TEST_P(EveryTrace, StreamsAndMixesOutcomes)
+{
+    const auto &recipe = standardSuite()[GetParam()];
+    auto src = makeSource(recipe, 0.005);
+    size_t taken = 0;
+    size_t total = 0;
+    BranchRecord r;
+    while (src->next(r)) {
+        if (!r.isConditional())
+            continue;
+        ++total;
+        taken += r.taken;
+        ASSERT_GE(r.instCount, 1u);
+    }
+    EXPECT_GT(total, 1000u) << recipe.name;
+    EXPECT_GT(taken, total / 20) << recipe.name;
+    EXPECT_LT(taken, total - total / 20) << recipe.name;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllForty, EveryTrace,
+                         ::testing::Range<size_t>(0, 40),
+                         [](const auto &info) {
+                             return standardSuite()[info.param].name;
+                         });
+
+} // anonymous namespace
+} // namespace bfbp::tracegen
