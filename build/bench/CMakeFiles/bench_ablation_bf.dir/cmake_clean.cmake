@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_bf.dir/bench_ablation_bf.cpp.o"
+  "CMakeFiles/bench_ablation_bf.dir/bench_ablation_bf.cpp.o.d"
+  "bench_ablation_bf"
+  "bench_ablation_bf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_bf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

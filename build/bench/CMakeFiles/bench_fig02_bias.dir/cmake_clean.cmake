@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig02_bias.dir/bench_fig02_bias.cpp.o"
+  "CMakeFiles/bench_fig02_bias.dir/bench_fig02_bias.cpp.o.d"
+  "bench_fig02_bias"
+  "bench_fig02_bias.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig02_bias.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11_relative.dir/bench_fig11_relative.cpp.o"
+  "CMakeFiles/bench_fig11_relative.dir/bench_fig11_relative.cpp.o.d"
+  "bench_fig11_relative"
+  "bench_fig11_relative.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_relative.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

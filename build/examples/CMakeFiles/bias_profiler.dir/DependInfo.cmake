@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/bias_profiler.cpp" "examples/CMakeFiles/bias_profiler.dir/bias_profiler.cpp.o" "gcc" "examples/CMakeFiles/bias_profiler.dir/bias_profiler.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tracegen/CMakeFiles/bfbp_tracegen.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/bfbp_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/predictors/CMakeFiles/bfbp_predictors.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/bfbp_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/bfbp_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bias_profiler.dir/bias_profiler.cpp.o"
+  "CMakeFiles/bias_profiler.dir/bias_profiler.cpp.o.d"
+  "bias_profiler"
+  "bias_profiler.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bias_profiler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

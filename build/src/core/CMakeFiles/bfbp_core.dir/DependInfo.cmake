@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/bf_neural.cpp" "src/core/CMakeFiles/bfbp_core.dir/bf_neural.cpp.o" "gcc" "src/core/CMakeFiles/bfbp_core.dir/bf_neural.cpp.o.d"
+  "/root/repo/src/core/bf_neural_ideal.cpp" "src/core/CMakeFiles/bfbp_core.dir/bf_neural_ideal.cpp.o" "gcc" "src/core/CMakeFiles/bfbp_core.dir/bf_neural_ideal.cpp.o.d"
+  "/root/repo/src/core/bf_tage.cpp" "src/core/CMakeFiles/bfbp_core.dir/bf_tage.cpp.o" "gcc" "src/core/CMakeFiles/bfbp_core.dir/bf_tage.cpp.o.d"
+  "/root/repo/src/core/bias_oracle.cpp" "src/core/CMakeFiles/bfbp_core.dir/bias_oracle.cpp.o" "gcc" "src/core/CMakeFiles/bfbp_core.dir/bias_oracle.cpp.o.d"
+  "/root/repo/src/core/factory.cpp" "src/core/CMakeFiles/bfbp_core.dir/factory.cpp.o" "gcc" "src/core/CMakeFiles/bfbp_core.dir/factory.cpp.o.d"
+  "/root/repo/src/core/segmented_rs.cpp" "src/core/CMakeFiles/bfbp_core.dir/segmented_rs.cpp.o" "gcc" "src/core/CMakeFiles/bfbp_core.dir/segmented_rs.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/predictors/CMakeFiles/bfbp_predictors.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/bfbp_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/bfbp_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bfbp_core.dir/bf_neural.cpp.o"
+  "CMakeFiles/bfbp_core.dir/bf_neural.cpp.o.d"
+  "CMakeFiles/bfbp_core.dir/bf_neural_ideal.cpp.o"
+  "CMakeFiles/bfbp_core.dir/bf_neural_ideal.cpp.o.d"
+  "CMakeFiles/bfbp_core.dir/bf_tage.cpp.o"
+  "CMakeFiles/bfbp_core.dir/bf_tage.cpp.o.d"
+  "CMakeFiles/bfbp_core.dir/bias_oracle.cpp.o"
+  "CMakeFiles/bfbp_core.dir/bias_oracle.cpp.o.d"
+  "CMakeFiles/bfbp_core.dir/factory.cpp.o"
+  "CMakeFiles/bfbp_core.dir/factory.cpp.o.d"
+  "CMakeFiles/bfbp_core.dir/segmented_rs.cpp.o"
+  "CMakeFiles/bfbp_core.dir/segmented_rs.cpp.o.d"
+  "libbfbp_core.a"
+  "libbfbp_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bfbp_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

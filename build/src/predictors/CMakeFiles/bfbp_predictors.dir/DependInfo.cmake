@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/predictors/isl_tage.cpp" "src/predictors/CMakeFiles/bfbp_predictors.dir/isl_tage.cpp.o" "gcc" "src/predictors/CMakeFiles/bfbp_predictors.dir/isl_tage.cpp.o.d"
+  "/root/repo/src/predictors/loop_predictor.cpp" "src/predictors/CMakeFiles/bfbp_predictors.dir/loop_predictor.cpp.o" "gcc" "src/predictors/CMakeFiles/bfbp_predictors.dir/loop_predictor.cpp.o.d"
+  "/root/repo/src/predictors/ohsnap.cpp" "src/predictors/CMakeFiles/bfbp_predictors.dir/ohsnap.cpp.o" "gcc" "src/predictors/CMakeFiles/bfbp_predictors.dir/ohsnap.cpp.o.d"
+  "/root/repo/src/predictors/perceptron.cpp" "src/predictors/CMakeFiles/bfbp_predictors.dir/perceptron.cpp.o" "gcc" "src/predictors/CMakeFiles/bfbp_predictors.dir/perceptron.cpp.o.d"
+  "/root/repo/src/predictors/piecewise_linear.cpp" "src/predictors/CMakeFiles/bfbp_predictors.dir/piecewise_linear.cpp.o" "gcc" "src/predictors/CMakeFiles/bfbp_predictors.dir/piecewise_linear.cpp.o.d"
+  "/root/repo/src/predictors/sizing.cpp" "src/predictors/CMakeFiles/bfbp_predictors.dir/sizing.cpp.o" "gcc" "src/predictors/CMakeFiles/bfbp_predictors.dir/sizing.cpp.o.d"
+  "/root/repo/src/predictors/tage.cpp" "src/predictors/CMakeFiles/bfbp_predictors.dir/tage.cpp.o" "gcc" "src/predictors/CMakeFiles/bfbp_predictors.dir/tage.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/bfbp_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/bfbp_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bfbp_predictors.dir/isl_tage.cpp.o"
+  "CMakeFiles/bfbp_predictors.dir/isl_tage.cpp.o.d"
+  "CMakeFiles/bfbp_predictors.dir/loop_predictor.cpp.o"
+  "CMakeFiles/bfbp_predictors.dir/loop_predictor.cpp.o.d"
+  "CMakeFiles/bfbp_predictors.dir/ohsnap.cpp.o"
+  "CMakeFiles/bfbp_predictors.dir/ohsnap.cpp.o.d"
+  "CMakeFiles/bfbp_predictors.dir/perceptron.cpp.o"
+  "CMakeFiles/bfbp_predictors.dir/perceptron.cpp.o.d"
+  "CMakeFiles/bfbp_predictors.dir/piecewise_linear.cpp.o"
+  "CMakeFiles/bfbp_predictors.dir/piecewise_linear.cpp.o.d"
+  "CMakeFiles/bfbp_predictors.dir/sizing.cpp.o"
+  "CMakeFiles/bfbp_predictors.dir/sizing.cpp.o.d"
+  "CMakeFiles/bfbp_predictors.dir/tage.cpp.o"
+  "CMakeFiles/bfbp_predictors.dir/tage.cpp.o.d"
+  "libbfbp_predictors.a"
+  "libbfbp_predictors.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bfbp_predictors.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

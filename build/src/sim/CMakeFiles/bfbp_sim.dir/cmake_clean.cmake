@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bfbp_sim.dir/evaluator.cpp.o"
+  "CMakeFiles/bfbp_sim.dir/evaluator.cpp.o.d"
+  "CMakeFiles/bfbp_sim.dir/trace_io.cpp.o"
+  "CMakeFiles/bfbp_sim.dir/trace_io.cpp.o.d"
+  "libbfbp_sim.a"
+  "libbfbp_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bfbp_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

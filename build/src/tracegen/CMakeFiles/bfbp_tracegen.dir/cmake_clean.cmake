@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bfbp_tracegen.dir/program.cpp.o"
+  "CMakeFiles/bfbp_tracegen.dir/program.cpp.o.d"
+  "CMakeFiles/bfbp_tracegen.dir/workloads.cpp.o"
+  "CMakeFiles/bfbp_tracegen.dir/workloads.cpp.o.d"
+  "libbfbp_tracegen.a"
+  "libbfbp_tracegen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bfbp_tracegen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bfbp_util.dir/folded_history.cpp.o"
+  "CMakeFiles/bfbp_util.dir/folded_history.cpp.o.d"
+  "CMakeFiles/bfbp_util.dir/storage.cpp.o"
+  "CMakeFiles/bfbp_util.dir/storage.cpp.o.d"
+  "libbfbp_util.a"
+  "libbfbp_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bfbp_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

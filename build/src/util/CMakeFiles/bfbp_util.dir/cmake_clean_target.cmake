@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libbfbp_util.a"
+)

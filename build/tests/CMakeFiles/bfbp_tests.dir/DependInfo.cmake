@@ -1,0 +1,46 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_basic_predictors.cpp" "tests/CMakeFiles/bfbp_tests.dir/test_basic_predictors.cpp.o" "gcc" "tests/CMakeFiles/bfbp_tests.dir/test_basic_predictors.cpp.o.d"
+  "/root/repo/tests/test_bf_neural.cpp" "tests/CMakeFiles/bfbp_tests.dir/test_bf_neural.cpp.o" "gcc" "tests/CMakeFiles/bfbp_tests.dir/test_bf_neural.cpp.o.d"
+  "/root/repo/tests/test_bf_tage.cpp" "tests/CMakeFiles/bfbp_tests.dir/test_bf_tage.cpp.o" "gcc" "tests/CMakeFiles/bfbp_tests.dir/test_bf_tage.cpp.o.d"
+  "/root/repo/tests/test_bias_oracle.cpp" "tests/CMakeFiles/bfbp_tests.dir/test_bias_oracle.cpp.o" "gcc" "tests/CMakeFiles/bfbp_tests.dir/test_bias_oracle.cpp.o.d"
+  "/root/repo/tests/test_bias_table.cpp" "tests/CMakeFiles/bfbp_tests.dir/test_bias_table.cpp.o" "gcc" "tests/CMakeFiles/bfbp_tests.dir/test_bias_table.cpp.o.d"
+  "/root/repo/tests/test_bitops.cpp" "tests/CMakeFiles/bfbp_tests.dir/test_bitops.cpp.o" "gcc" "tests/CMakeFiles/bfbp_tests.dir/test_bitops.cpp.o.d"
+  "/root/repo/tests/test_evaluator.cpp" "tests/CMakeFiles/bfbp_tests.dir/test_evaluator.cpp.o" "gcc" "tests/CMakeFiles/bfbp_tests.dir/test_evaluator.cpp.o.d"
+  "/root/repo/tests/test_factory.cpp" "tests/CMakeFiles/bfbp_tests.dir/test_factory.cpp.o" "gcc" "tests/CMakeFiles/bfbp_tests.dir/test_factory.cpp.o.d"
+  "/root/repo/tests/test_folded_history.cpp" "tests/CMakeFiles/bfbp_tests.dir/test_folded_history.cpp.o" "gcc" "tests/CMakeFiles/bfbp_tests.dir/test_folded_history.cpp.o.d"
+  "/root/repo/tests/test_hashing.cpp" "tests/CMakeFiles/bfbp_tests.dir/test_hashing.cpp.o" "gcc" "tests/CMakeFiles/bfbp_tests.dir/test_hashing.cpp.o.d"
+  "/root/repo/tests/test_history_register.cpp" "tests/CMakeFiles/bfbp_tests.dir/test_history_register.cpp.o" "gcc" "tests/CMakeFiles/bfbp_tests.dir/test_history_register.cpp.o.d"
+  "/root/repo/tests/test_isl_tage.cpp" "tests/CMakeFiles/bfbp_tests.dir/test_isl_tage.cpp.o" "gcc" "tests/CMakeFiles/bfbp_tests.dir/test_isl_tage.cpp.o.d"
+  "/root/repo/tests/test_loop_predictor.cpp" "tests/CMakeFiles/bfbp_tests.dir/test_loop_predictor.cpp.o" "gcc" "tests/CMakeFiles/bfbp_tests.dir/test_loop_predictor.cpp.o.d"
+  "/root/repo/tests/test_neural_predictors.cpp" "tests/CMakeFiles/bfbp_tests.dir/test_neural_predictors.cpp.o" "gcc" "tests/CMakeFiles/bfbp_tests.dir/test_neural_predictors.cpp.o.d"
+  "/root/repo/tests/test_program.cpp" "tests/CMakeFiles/bfbp_tests.dir/test_program.cpp.o" "gcc" "tests/CMakeFiles/bfbp_tests.dir/test_program.cpp.o.d"
+  "/root/repo/tests/test_random.cpp" "tests/CMakeFiles/bfbp_tests.dir/test_random.cpp.o" "gcc" "tests/CMakeFiles/bfbp_tests.dir/test_random.cpp.o.d"
+  "/root/repo/tests/test_recency_stack.cpp" "tests/CMakeFiles/bfbp_tests.dir/test_recency_stack.cpp.o" "gcc" "tests/CMakeFiles/bfbp_tests.dir/test_recency_stack.cpp.o.d"
+  "/root/repo/tests/test_saturating_counter.cpp" "tests/CMakeFiles/bfbp_tests.dir/test_saturating_counter.cpp.o" "gcc" "tests/CMakeFiles/bfbp_tests.dir/test_saturating_counter.cpp.o.d"
+  "/root/repo/tests/test_segmented_rs.cpp" "tests/CMakeFiles/bfbp_tests.dir/test_segmented_rs.cpp.o" "gcc" "tests/CMakeFiles/bfbp_tests.dir/test_segmented_rs.cpp.o.d"
+  "/root/repo/tests/test_storage.cpp" "tests/CMakeFiles/bfbp_tests.dir/test_storage.cpp.o" "gcc" "tests/CMakeFiles/bfbp_tests.dir/test_storage.cpp.o.d"
+  "/root/repo/tests/test_tage.cpp" "tests/CMakeFiles/bfbp_tests.dir/test_tage.cpp.o" "gcc" "tests/CMakeFiles/bfbp_tests.dir/test_tage.cpp.o.d"
+  "/root/repo/tests/test_trace_io.cpp" "tests/CMakeFiles/bfbp_tests.dir/test_trace_io.cpp.o" "gcc" "tests/CMakeFiles/bfbp_tests.dir/test_trace_io.cpp.o.d"
+  "/root/repo/tests/test_workloads.cpp" "tests/CMakeFiles/bfbp_tests.dir/test_workloads.cpp.o" "gcc" "tests/CMakeFiles/bfbp_tests.dir/test_workloads.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tracegen/CMakeFiles/bfbp_tracegen.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/bfbp_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/predictors/CMakeFiles/bfbp_predictors.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/bfbp_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/bfbp_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
