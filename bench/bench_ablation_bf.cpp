@@ -26,7 +26,8 @@ namespace
 using namespace bfbp;
 
 double
-avgMpkiOver(const std::vector<tracegen::TraceRecipe> &traces,
+avgMpkiOver(bench::RunArchive &archive, const std::string &label,
+            const std::vector<tracegen::TraceRecipe> &traces,
             double scale,
             const std::function<std::unique_ptr<BranchPredictor>()> &make,
             uint64_t update_delay = 0)
@@ -37,7 +38,8 @@ avgMpkiOver(const std::vector<tracegen::TraceRecipe> &traces,
         auto p = make();
         EvalOptions opts;
         opts.updateDelay = update_delay;
-        sum += evaluate(*src, *p, opts).mpki();
+        sum += archive.evaluateRun(recipe.name, *src, *p, opts, label)
+                   .result.mpki();
     }
     return sum / static_cast<double>(traces.size());
 }
@@ -57,6 +59,7 @@ main(int argc, char **argv)
     }
     const auto traces = opts.selectedTraces();
     const double scale = opts.scale;
+    bench::RunArchive archive("ablation_bf", opts);
 
     auto report = [&](const std::string &label, double mpki) {
         std::cout << std::left << std::setw(34) << label << std::right
@@ -75,7 +78,7 @@ main(int argc, char **argv)
           std::pair{"no fold", BfNeuralConfig::FoldMode::None}}) {
         BfNeuralConfig cfg;
         cfg.foldMode = mode;
-        report(label, avgMpkiOver(traces, scale, [&] {
+        report(label, avgMpkiOver(archive, label, traces, scale, [&] {
             return makeBfNeural(cfg);
         }));
     }
@@ -84,21 +87,22 @@ main(int argc, char **argv)
     for (unsigned depth : {16u, 32u, 48u, 64u}) {
         BfNeuralConfig cfg;
         cfg.rsDepth = depth;
-        report("rsDepth " + std::to_string(depth),
-               avgMpkiOver(traces, scale,
-                           [&] { return makeBfNeural(cfg); }));
+        const std::string label = "rsDepth " + std::to_string(depth);
+        report(label, avgMpkiOver(archive, label, traces, scale,
+                                  [&] { return makeBfNeural(cfg); }));
     }
 
     bench::banner("bias detection (BF-Neural)");
     {
         BfNeuralConfig dyn;
         report("dynamic 2-bit FSM",
-               avgMpkiOver(traces, scale,
+               avgMpkiOver(archive, "dynamic 2-bit FSM", traces, scale,
                            [&] { return makeBfNeural(dyn); }));
         BfNeuralConfig prob;
         prob.probabilisticBst = true;
         report("probabilistic 3-bit counters",
-               avgMpkiOver(traces, scale,
+               avgMpkiOver(archive, "probabilistic 3-bit counters",
+                           traces, scale,
                            [&] { return makeBfNeural(prob); }));
         // Static profiling oracle (Sec. VI-D): profile each trace
         // first, then predict with perfect classification.
@@ -111,7 +115,10 @@ main(int argc, char **argv)
             cfg.oracle = oracle;
             auto src = tracegen::makeSource(recipe, scale);
             auto p = makeBfNeural(cfg);
-            sum += evaluate(*src, *p).mpki();
+            sum += archive
+                       .evaluateRun(recipe.name, *src, *p, {},
+                                    "static profiling oracle")
+                       .result.mpki();
         }
         report("static profiling oracle",
                sum / static_cast<double>(traces.size()));
@@ -119,12 +126,14 @@ main(int argc, char **argv)
 
     bench::banner("Algorithm 1 (idealized) vs practical");
     report("bf-neural (practical, 1-D Wrs)",
-           avgMpkiOver(traces, scale,
-                       [] { return makeBfNeural(); }));
+           avgMpkiOver(archive, "bf-neural (practical, 1-D Wrs)",
+                       traces, scale, [] { return makeBfNeural(); }));
     report("bf-neural-ideal (2-D by RS depth)",
-           avgMpkiOver(traces, scale, [] {
-               return std::make_unique<BfNeuralIdealPredictor>();
-           }));
+           avgMpkiOver(archive, "bf-neural-ideal (2-D by RS depth)",
+                       traces, scale, [] {
+                           return std::make_unique<
+                               BfNeuralIdealPredictor>();
+                       }));
 
     bench::banner("IUM under delayed update (BF-ISL-TAGE-10)");
     for (uint64_t delay : {0ull, 32ull}) {
@@ -132,10 +141,11 @@ main(int argc, char **argv)
             IslConfig isl;
             isl.useIum = ium;
             isl.label = "bf-isl-tage-10";
-            report("delay " + std::to_string(delay) +
-                       (ium ? " with IUM" : " without IUM"),
+            const std::string label = "delay " + std::to_string(delay) +
+                (ium ? " with IUM" : " without IUM");
+            report(label,
                    avgMpkiOver(
-                       traces, scale,
+                       archive, label, traces, scale,
                        [&] {
                            return std::make_unique<IslTagePredictor>(
                                makeBfTageCore(10), isl);
@@ -143,5 +153,6 @@ main(int argc, char **argv)
                        delay));
         }
     }
+    archive.write();
     return 0;
 }

@@ -3,24 +3,42 @@
  * Shared helpers for the experiment harness binaries.
  *
  * Every bench accepts:
- *   --scale X    trace length multiplier (default: BFBP_TRACE_SCALE
- *                environment variable, else 1.0)
- *   --traces A,B comma-separated trace-name filter (default: all 40)
- *   --csv        machine-readable output in addition to the table
- *   --help       usage
+ *   --scale X     trace length multiplier (default: BFBP_TRACE_SCALE
+ *                 environment variable, else 1.0); must be > 0
+ *   --traces A,B  comma-separated trace-name filter (default: all 40)
+ *   --csv         machine-readable output in addition to the table
+ *   --json FILE   archive every run (summary, timing, counters,
+ *                 interval series) as a bfbp-telemetry-v1 document
+ *   --interval N  with --json: record windowed MPKI every N
+ *                 conditional branches
+ *   --help        usage
+ *
+ * RunArchive is the bridge between the evaluator and the telemetry
+ * sinks: it runs one (trace, predictor) evaluation, converts the
+ * EvalResult into a telemetry::RunRecord, and writes the collected
+ * records as one JSON document when --json is active. Without
+ * --json, evaluations run with a null telemetry pointer, so results
+ * are bit-identical to a build without telemetry.
  */
 
 #ifndef BFBP_BENCH_COMMON_HPP
 #define BFBP_BENCH_COMMON_HPP
 
 #include <algorithm>
+#include <cerrno>
 #include <cstdlib>
+#include <fstream>
 #include <iomanip>
 #include <iostream>
 #include <sstream>
 #include <string>
+#include <utility>
 #include <vector>
 
+#include "sim/evaluator.hpp"
+#include "sim/predictor.hpp"
+#include "telemetry/sinks.hpp"
+#include "telemetry/telemetry.hpp"
 #include "tracegen/workloads.hpp"
 
 namespace bfbp::bench
@@ -32,6 +50,8 @@ struct Options
     double scale = tracegen::envTraceScale();
     std::vector<std::string> traces; //!< Empty = whole suite.
     bool csv = false;
+    std::string jsonPath;  //!< --json destination; empty = off.
+    uint64_t interval = 0; //!< --interval window, 0 = no series.
 
     static Options
     parse(int argc, char **argv, const std::string &description)
@@ -40,7 +60,7 @@ struct Options
         for (int i = 1; i < argc; ++i) {
             const std::string arg = argv[i];
             if (arg == "--scale" && i + 1 < argc) {
-                opts.scale = std::atof(argv[++i]);
+                opts.scale = parseScale(argv[++i]);
             } else if (arg == "--traces" && i + 1 < argc) {
                 std::stringstream ss(argv[++i]);
                 std::string name;
@@ -48,13 +68,21 @@ struct Options
                     opts.traces.push_back(name);
             } else if (arg == "--csv") {
                 opts.csv = true;
+            } else if (arg == "--json" && i + 1 < argc) {
+                opts.jsonPath = argv[++i];
+            } else if (arg == "--interval" && i + 1 < argc) {
+                opts.interval = parseInterval(argv[++i]);
             } else if (arg == "--help" || arg == "-h") {
                 std::cout << description << "\n\n"
                           << "options:\n"
                           << "  --scale X     trace length multiplier "
                           << "(default BFBP_TRACE_SCALE or 1.0)\n"
                           << "  --traces A,B  restrict to named traces\n"
-                          << "  --csv         also print CSV rows\n";
+                          << "  --csv         also print CSV rows\n"
+                          << "  --json FILE   write run telemetry as "
+                          << "JSON (schema bfbp-telemetry-v1)\n"
+                          << "  --interval N  windowed MPKI series "
+                          << "every N cond branches (with --json)\n";
                 std::exit(0);
             } else {
                 std::cerr << "unknown option: " << arg << "\n";
@@ -64,12 +92,29 @@ struct Options
         return opts;
     }
 
-    /** The selected suite subset, in suite order. */
+    /**
+     * The selected suite subset, in suite order. Exits with an error
+     * listing the valid names when a requested trace does not exist.
+     */
     std::vector<tracegen::TraceRecipe>
     selectedTraces() const
     {
+        const auto suite = tracegen::standardSuite();
+        for (const auto &want : traces) {
+            const bool known = std::any_of(
+                suite.begin(), suite.end(),
+                [&](const auto &r) { return r.name == want; });
+            if (!known) {
+                std::cerr << "unknown trace: " << want
+                          << "\nvalid traces:";
+                for (const auto &r : suite)
+                    std::cerr << " " << r.name;
+                std::cerr << "\n";
+                std::exit(2);
+            }
+        }
         std::vector<tracegen::TraceRecipe> out;
-        for (const auto &r : tracegen::standardSuite()) {
+        for (const auto &r : suite) {
             if (traces.empty() ||
                 std::find(traces.begin(), traces.end(), r.name) !=
                     traces.end()) {
@@ -78,6 +123,160 @@ struct Options
         }
         return out;
     }
+
+  private:
+    static double
+    parseScale(const char *text)
+    {
+        char *end = nullptr;
+        errno = 0;
+        const double value = std::strtod(text, &end);
+        // !(value > 0) also rejects NaN.
+        if (end == text || *end != '\0' || errno == ERANGE ||
+            !(value > 0.0)) {
+            std::cerr << "invalid --scale '" << text
+                      << "': expected a positive number\n";
+            std::exit(2);
+        }
+        return value;
+    }
+
+    static uint64_t
+    parseInterval(const char *text)
+    {
+        char *end = nullptr;
+        errno = 0;
+        const unsigned long long value = std::strtoull(text, &end, 10);
+        if (end == text || *end != '\0' || errno == ERANGE) {
+            std::cerr << "invalid --interval '" << text
+                      << "': expected a non-negative integer\n";
+            std::exit(2);
+        }
+        return value;
+    }
+};
+
+/** One archived evaluation: the result plus its wall time. */
+struct BenchRun
+{
+    EvalResult result;
+    double seconds = 0.0;
+};
+
+/**
+ * Collects telemetry::RunRecords across a bench's evaluations and
+ * writes them as one bfbp-telemetry-v1 JSON document.
+ *
+ * When the options carry no --json path the archive is inert:
+ * evaluateRun() degenerates to a timed evaluate() with a null
+ * telemetry pointer.
+ */
+class RunArchive
+{
+  public:
+    RunArchive(std::string suite_name, const Options &options)
+        : suite(std::move(suite_name)), opts(options)
+    {
+    }
+
+    /** Archive and JSON output active? */
+    bool enabled() const { return !opts.jsonPath.empty(); }
+
+    /**
+     * Evaluates @p predictor over @p source and, when active,
+     * archives the run under @p trace_name. Extra evaluator knobs
+     * (updateDelay, maxBranches) can be passed via @p eval_options;
+     * its telemetry fields are overwritten. @p predictor_label
+     * replaces predictor.name() in the record (for benches whose
+     * configurations share one label).
+     */
+    BenchRun
+    evaluateRun(const std::string &trace_name, TraceSource &source,
+                BranchPredictor &predictor, EvalOptions eval_options = {},
+                const std::string &predictor_label = "")
+    {
+        BenchRun run;
+        if (!enabled()) {
+            eval_options.telemetry = nullptr;
+            telemetry::ScopedTimer timer(nullptr, "bench");
+            run.result = evaluate(source, predictor, eval_options);
+            run.seconds = timer.elapsedSeconds();
+            return run;
+        }
+
+        telemetry::RunRecord record;
+        record.traceName = trace_name;
+        record.predictorName = predictor_label.empty()
+            ? predictor.name() : predictor_label;
+        eval_options.telemetryInterval = opts.interval;
+        eval_options.telemetry = &record.data;
+        run.result = evaluate(source, predictor, eval_options);
+
+        const EvalResult &res = run.result;
+        record.instructions = res.instructions;
+        record.condBranches = res.condBranches;
+        record.otherBranches = res.otherBranches;
+        record.mispredictions = res.mispredictions;
+        record.mpki = res.mpki();
+        record.mispredictionRate = res.mispredictionRate();
+        record.wallSeconds = record.data.gaugeValue("eval.seconds");
+        record.branchesPerSecond =
+            record.data.gaugeValue("eval.per_second");
+        record.storageBits = predictor.storage().totalBits();
+        record.options["scale"] = formatDouble(opts.scale);
+        record.options["interval"] = std::to_string(opts.interval);
+        if (eval_options.updateDelay != 0) {
+            record.options["update_delay"] =
+                std::to_string(eval_options.updateDelay);
+        }
+        if (eval_options.maxBranches != 0) {
+            record.options["max_branches"] =
+                std::to_string(eval_options.maxBranches);
+        }
+        run.seconds = record.wallSeconds;
+        runs.push_back(std::move(record));
+        return run;
+    }
+
+    const std::vector<telemetry::RunRecord> &records() const
+    {
+        return runs;
+    }
+
+    /**
+     * Writes the document to the --json path (no-op when inactive).
+     * Call once at the end of main; exits with an error when the
+     * file cannot be written.
+     */
+    void
+    write() const
+    {
+        if (!enabled())
+            return;
+        std::ofstream os(opts.jsonPath);
+        if (!os) {
+            std::cerr << "cannot write --json file: " << opts.jsonPath
+                      << "\n";
+            std::exit(2);
+        }
+        telemetry::writeRunsJson(os, suite, runs);
+        std::cerr << "wrote " << runs.size() << " run record"
+                  << (runs.size() == 1 ? "" : "s") << " to "
+                  << opts.jsonPath << "\n";
+    }
+
+  private:
+    static std::string
+    formatDouble(double value)
+    {
+        std::ostringstream os;
+        os << value;
+        return os.str();
+    }
+
+    std::string suite;
+    const Options &opts;
+    std::vector<telemetry::RunRecord> runs;
 };
 
 /** Prints a right-aligned numeric cell. */

@@ -22,6 +22,9 @@ main(int argc, char **argv)
     using namespace bfbp;
     const auto opts = bench::Options::parse(
         argc, argv, "Figure 2: % of biased branches per trace");
+    // No predictor runs here; --json still writes a (runs-empty)
+    // document so the harness can pass the flag uniformly.
+    bench::RunArchive archive("fig02_bias", opts);
 
     bench::banner("Figure 2: biased branches per trace");
     std::cout << std::left << std::setw(10) << "trace"
@@ -58,5 +61,6 @@ main(int argc, char **argv)
                   << bench::cell(sum / static_cast<double>(count), 1)
                   << "\n";
     }
+    archive.write();
     return 0;
 }

@@ -23,14 +23,15 @@ main(int argc, char **argv)
 
     const std::vector<std::string> predictors = {"oh-snap", "tage-15",
                                                  "bf-neural"};
+    bench::RunArchive archive("fig08_mpki", opts);
 
     bench::banner("Figure 8: MPKI comparison at 64 KB");
     std::cout << std::left << std::setw(10) << "trace" << std::right;
     for (const auto &name : predictors)
         std::cout << std::setw(12) << name;
-    std::cout << "\n";
+    std::cout << std::setw(10) << "secs" << "\n";
     if (opts.csv)
-        std::cout << "CSV,trace,oh_snap,tage_15,bf_neural\n";
+        std::cout << "CSV,trace,oh_snap,tage_15,bf_neural,seconds\n";
 
     std::vector<double> sums(predictors.size(), 0.0);
     size_t count = 0;
@@ -38,21 +39,25 @@ main(int argc, char **argv)
         std::cout << std::left << std::setw(10) << recipe.name
                   << std::right << std::flush;
         std::vector<double> row;
+        double traceSeconds = 0.0;
         for (size_t i = 0; i < predictors.size(); ++i) {
             auto source = tracegen::makeSource(recipe, opts.scale);
             auto predictor = createPredictor(predictors[i]);
-            const EvalResult res = evaluate(*source, *predictor);
-            sums[i] += res.mpki();
-            row.push_back(res.mpki());
-            std::cout << std::setw(12) << bench::cell(res.mpki())
+            const bench::BenchRun run =
+                archive.evaluateRun(recipe.name, *source, *predictor);
+            sums[i] += run.result.mpki();
+            row.push_back(run.result.mpki());
+            traceSeconds += run.seconds;
+            std::cout << std::setw(12) << bench::cell(run.result.mpki())
                       << std::flush;
         }
-        std::cout << "\n";
+        std::cout << std::setw(10) << bench::cell(traceSeconds, 2)
+                  << "\n";
         if (opts.csv) {
             std::cout << "CSV," << recipe.name;
             for (double v : row)
                 std::cout << "," << bench::cell(v);
-            std::cout << "\n";
+            std::cout << "," << bench::cell(traceSeconds, 3) << "\n";
         }
         ++count;
     }
@@ -67,5 +72,6 @@ main(int argc, char **argv)
         std::cout << "\n\npaper (full-size CBP-4 traces): "
                   << "OH-SNAP 2.63, TAGE 2.445, BF-Neural 2.49\n";
     }
+    archive.write();
     return 0;
 }

@@ -53,6 +53,7 @@ main(int argc, char **argv)
         {"+ghist-bf", [] { return makeBfNeural(variant(true, false)); }},
         {"+RS", [] { return makeBfNeural(variant(true, true)); }},
     };
+    bench::RunArchive archive("fig09_ablation", opts);
 
     bench::banner("Figure 9: contribution of optimizations (MPKI)");
     std::cout << std::left << std::setw(10) << "trace" << std::right;
@@ -71,7 +72,10 @@ main(int argc, char **argv)
         for (size_t i = 0; i < columns.size(); ++i) {
             auto source = tracegen::makeSource(recipe, opts.scale);
             auto predictor = columns[i].make();
-            const EvalResult res = evaluate(*source, *predictor);
+            const EvalResult res =
+                archive.evaluateRun(recipe.name, *source, *predictor,
+                                    {}, columns[i].label)
+                    .result;
             sums[i] += res.mpki();
             row.push_back(res.mpki());
             std::cout << std::setw(12) << bench::cell(res.mpki())
@@ -97,5 +101,6 @@ main(int argc, char **argv)
         std::cout << "\n\npaper (full-size CBP-4 traces): "
                   << "3.28 -> 2.67 -> 2.59 -> 2.49\n";
     }
+    archive.write();
     return 0;
 }

@@ -22,6 +22,8 @@ main(int argc, char **argv)
         "Figure 10: avg MPKI for 4..10 tagged tables "
         "(ISL-TAGE vs BF-ISL-TAGE)");
 
+    bench::RunArchive archive("fig10_tables", opts);
+
     bench::banner("Figure 10: MPKI vs number of tagged tables");
     std::cout << std::left << std::setw(8) << "tables" << std::right
               << std::setw(12) << "isl-tage" << std::setw(14)
@@ -41,13 +43,15 @@ main(int argc, char **argv)
                 auto source = tracegen::makeSource(recipe, opts.scale);
                 auto isl = makeIslTage(tables);
                 islBytes = isl->storage().totalBytes();
-                islSum += evaluate(*source, *isl).mpki();
+                islSum += archive.evaluateRun(recipe.name, *source, *isl)
+                              .result.mpki();
             }
             {
                 auto source = tracegen::makeSource(recipe, opts.scale);
                 auto bf = makeBfIslTage(tables);
                 bfBytes = bf->storage().totalBytes();
-                bfSum += evaluate(*source, *bf).mpki();
+                bfSum += archive.evaluateRun(recipe.name, *source, *bf)
+                             .result.mpki();
             }
         }
         const double n = static_cast<double>(traces.size());
@@ -64,5 +68,6 @@ main(int argc, char **argv)
     }
     std::cout << "\npaper shape: BF ahead for 4..9 tables "
               << "(7 tables: 2.57 vs 2.73), converging at 10\n";
+    archive.write();
     return 0;
 }

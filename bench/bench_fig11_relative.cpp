@@ -23,6 +23,8 @@ main(int argc, char **argv)
         argc, argv,
         "Figure 11: relative MPKI improvement vs 10-table TAGE");
 
+    bench::RunArchive archive("fig11_relative", opts);
+
     bench::banner(
         "Figure 11: relative improvement in MPKI w.r.t. TAGE-10");
     std::cout << std::left << std::setw(10) << "trace" << std::right
@@ -36,7 +38,8 @@ main(int argc, char **argv)
         auto runOne = [&](const std::string &spec) {
             auto source = tracegen::makeSource(recipe, opts.scale);
             auto predictor = createPredictor(spec);
-            return evaluate(*source, *predictor).mpki();
+            return archive.evaluateRun(recipe.name, *source, *predictor)
+                .result.mpki();
         };
         const double base = runOne("tage-10");
         const double t15 = runOne("tage-15");
@@ -61,5 +64,6 @@ main(int argc, char **argv)
     std::cout << "\npaper shape: BF-TAGE-10 tracks TAGE-15 on "
               << "long-history traces; negative bars on SPEC07/FP2/"
               << "MM5/SERV traces\n";
+    archive.write();
     return 0;
 }

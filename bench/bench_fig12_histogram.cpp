@@ -25,6 +25,7 @@ main(int argc, char **argv)
         opts.traces = {"SPEC00", "SPEC02", "SPEC03", "SPEC06",
                        "SPEC09", "SPEC15", "SPEC17"};
     }
+    bench::RunArchive archive("fig12_histogram", opts);
 
     bench::banner("Figure 12: % of branch hits per tagged table");
     if (opts.csv)
@@ -35,11 +36,34 @@ main(int argc, char **argv)
         for (const std::string spec : {"tage-15", "bf-tage-10"}) {
             auto source = tracegen::makeSource(recipe, opts.scale);
             auto predictor = createPredictor(spec);
-            evaluate(*source, *predictor);
+            archive.evaluateRun(recipe.name, *source, *predictor);
             const ProviderStats *stats = predictor->providerStats();
             if (!stats) {
                 std::cout << spec << ": no provider stats\n";
                 continue;
+            }
+
+            // The display numbers come from the telemetry export; the
+            // internal ProviderStats must agree counter-for-counter,
+            // or the emitTelemetry path is lying.
+            telemetry::Telemetry tel;
+            predictor->emitTelemetry(tel);
+            if (tel.counterValue("tage.predictions") !=
+                stats->predictions) {
+                std::cerr << "telemetry/ProviderStats mismatch: "
+                          << "predictions\n";
+                return 1;
+            }
+            for (size_t t = 0; t < stats->providerCount.size(); ++t) {
+                const uint64_t fromTel = tel.counterValue(
+                    "tage.provider.t" + std::to_string(t));
+                if (fromTel != stats->providerCount[t]) {
+                    std::cerr << "telemetry/ProviderStats mismatch: "
+                              << "table " << t << " (" << fromTel
+                              << " vs " << stats->providerCount[t]
+                              << ")\n";
+                    return 1;
+                }
             }
             std::cout << std::left << std::setw(12) << spec
                       << std::right << " base "
@@ -72,6 +96,9 @@ main(int argc, char **argv)
         }
     }
     std::cout << "\npaper shape: BF-TAGE's distribution shifts toward "
-              << "shorter-history tables\n";
+              << "shorter-history tables\n"
+              << "(provider counters cross-checked against the "
+              << "emitTelemetry export)\n";
+    archive.write();
     return 0;
 }

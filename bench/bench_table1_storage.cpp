@@ -20,8 +20,11 @@ int
 main(int argc, char **argv)
 {
     using namespace bfbp;
-    bench::Options::parse(argc, argv,
-                          "Table I: storage budgets (no traces run)");
+    const auto opts = bench::Options::parse(
+        argc, argv, "Table I: storage budgets (no traces run)");
+    // No predictor runs here; --json still writes a (runs-empty)
+    // document so the harness can pass the flag uniformly.
+    bench::RunArchive archive("table1_storage", opts);
 
     bench::banner("Table I: BF-TAGE (10 tagged tables) storage");
     {
@@ -57,5 +60,6 @@ main(int argc, char **argv)
                   << bench::cell(static_cast<double>(bytes) / 1024.0, 1)
                   << "\n";
     }
+    archive.write();
     return 0;
 }

@@ -3,8 +3,16 @@ cd /root/repo
 : > bench_output.txt
 for b in build/bench/*; do
   if [ -x "$b" ] && [ -f "$b" ]; then
+    name=$(basename "$b")
+    args=()
+    # Every harness bench archives its runs; bench_throughput is a
+    # Google Benchmark binary and takes no --json flag.
+    case "$name" in
+      bench_throughput) ;;
+      *) args=(--json "BENCH_${name}.json") ;;
+    esac
     echo "===== $b =====" >> bench_output.txt
-    "$b" >> bench_output.txt 2>&1
+    "$b" "${args[@]}" >> bench_output.txt 2>&1
     echo "" >> bench_output.txt
   fi
 done

@@ -3,6 +3,7 @@
 #include <cassert>
 #include <cstdlib>
 
+#include "telemetry/telemetry.hpp"
 #include "util/bitops.hpp"
 #include "util/hashing.hpp"
 
@@ -138,11 +139,18 @@ BfNeuralPredictor::predict(uint64_t pc)
 
     bool pred = cfg.useBst ? gatedPrediction(ctx.state, ctx.neuralPred)
                            : ctx.neuralPred;
+    if (cfg.useBst && ctx.state != BiasState::NonBiased)
+        ++events.bstDirect;
+    else
+        ++events.neuralUsed;
 
     if (cfg.useLoopPredictor) {
         ctx.loop = loop.lookup(pc);
-        if (loop.shouldOverride(ctx.loop))
+        if (loop.shouldOverride(ctx.loop)) {
+            if (pred != ctx.loop.prediction)
+                ++events.loopOverrides;
             pred = ctx.loop.prediction;
+        }
     }
 
     ctx.finalPred = pred;
@@ -153,6 +161,7 @@ BfNeuralPredictor::predict(uint64_t pc)
 void
 BfNeuralPredictor::trainWeights(const Context &ctx, bool taken)
 {
+    ++events.trainEvents;
     wb[ctx.biasIndex].add(taken ? 1 : -1);
     for (unsigned i = 0; i < ctx.wmCount; ++i)
         wm[ctx.wmIndex[i]].add(ctx.wmBit[i] == taken ? 1 : -1);
@@ -190,6 +199,7 @@ BfNeuralPredictor::update(uint64_t pc, bool taken, bool predicted,
             if ((before == BiasState::Taken) != taken) {
                 // Bias broken: branch just became non-biased; give
                 // the weights a head start.
+                ++events.biasBreaks;
                 trainWeights(ctx, taken);
             }
             break;
@@ -216,8 +226,12 @@ BfNeuralPredictor::update(uint64_t pc, bool taken, bool predicted,
     const bool intoFiltered = cfg.useBst && cfg.filterHistory
         ? after == BiasState::NonBiased
         : true;
-    if (intoFiltered)
+    if (intoFiltered) {
+        ++events.rsInserts;
         rs.push(addrHash, taken, commitCount);
+    } else {
+        ++events.filteredOut;
+    }
 
     foldBank.push(taken);
     recentAddrs.push(addrHash);
@@ -228,6 +242,46 @@ BfNeuralPredictor::update(uint64_t pc, bool taken, bool predicted,
         loop.update(ctx.loop, pc, taken, mainPred,
                     ctx.finalPred != taken);
     }
+}
+
+void
+BfNeuralPredictor::emitTelemetry(telemetry::Telemetry &sink) const
+{
+    sink.add("bf_neural.pred.bst_direct", events.bstDirect);
+    sink.add("bf_neural.pred.neural", events.neuralUsed);
+    sink.add("bf_neural.pred.loop_overrides", events.loopOverrides);
+    sink.add("bf_neural.train.events", events.trainEvents);
+    sink.add("bf_neural.train.bias_breaks", events.biasBreaks);
+    sink.add("bf_neural.history.rs_inserts", events.rsInserts);
+    sink.add("bf_neural.history.filtered_out", events.filteredOut);
+    sink.setGauge("bf_neural.threshold",
+                  static_cast<double>(threshold.value()));
+
+    if (cfg.useBst && !cfg.oracle) {
+        const BranchStatusTable::Transitions &tr = bst.transitions();
+        sink.add("bst.to_taken", tr.toTaken);
+        sink.add("bst.to_not_taken", tr.toNotTaken);
+        sink.add("bst.to_non_biased", tr.toNonBiased);
+        sink.add("bst.reverts", tr.reverts);
+        sink.setGauge("bst.non_biased_entries",
+                      static_cast<double>(
+                          bst.countState(BiasState::NonBiased)));
+    }
+
+    // Recency-stack churn: how deep move-to-front hits reach is the
+    // direct measure of how much history compression the RS buys.
+    sink.add("bf_neural.rs.pushes", rs.pushes());
+    sink.add("bf_neural.rs.misses", rs.misses());
+    const std::vector<uint64_t> &depths = rs.hitDepths();
+    if (!depths.empty()) {
+        telemetry::Telemetry::Histogram &h = sink.histogram(
+            "bf_neural.rs.hit_depth", {0, 1, 2, 4, 8, 16, 32});
+        for (size_t d = 0; d < depths.size(); ++d)
+            h.recordN(static_cast<double>(d), depths[d]);
+    }
+
+    if (cfg.useLoopPredictor)
+        loop.emitTelemetry(sink, "bf_neural.loop");
 }
 
 StorageReport

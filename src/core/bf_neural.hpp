@@ -112,6 +112,14 @@ class BfNeuralPredictor : public BranchPredictor
     std::string name() const override { return cfg.label; }
     StorageReport storage() const override;
 
+    /**
+     * Exports prediction-path counters ("bf_neural.pred.*"), weight
+     * training events, filtered-history insertions, BST transitions
+     * ("bst.*"), the recency-stack hit-depth histogram, loop
+     * predictor events and the adaptive threshold gauge.
+     */
+    void emitTelemetry(telemetry::Telemetry &sink) const override;
+
     /** Detection table access for tests/analysis. */
     const BranchStatusTable &biasTable() const { return bst; }
     const RecencyStack &recencyStack() const { return rs; }
@@ -155,6 +163,22 @@ class BfNeuralPredictor : public BranchPredictor
     uint64_t commitCount = 0;          //!< Unfiltered commit counter.
 
     std::deque<Context> pending;
+
+    /** Event counters exported by emitTelemetry(). */
+    struct EventCounts
+    {
+        uint64_t bstDirect = 0;    //!< Predictions served straight
+                                   //!< from the BST bias state.
+        uint64_t neuralUsed = 0;   //!< Predictions from the
+                                   //!< perceptron sum.
+        uint64_t loopOverrides = 0;
+        uint64_t trainEvents = 0;  //!< trainWeights() invocations.
+        uint64_t biasBreaks = 0;   //!< Head-start trainings when a
+                                   //!< bias broke at commit.
+        uint64_t rsInserts = 0;    //!< Commits entering the filtered
+                                   //!< history.
+        uint64_t filteredOut = 0;  //!< Commits kept out of it.
+    } events;
 };
 
 } // namespace bfbp

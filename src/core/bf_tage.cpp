@@ -2,6 +2,7 @@
 
 #include <cassert>
 
+#include "telemetry/telemetry.hpp"
 #include "util/bitops.hpp"
 #include "util/hashing.hpp"
 
@@ -65,6 +66,34 @@ BfTagePredictor::updateHistories(uint64_t pc, bool taken, uint64_t target)
                   nonBiased);
     pathHist = ((pathHist << 1) | ((pc >> 1) & 1)) & maskBits(cfg.pathBits);
     refreshFolds();
+}
+
+void
+BfTagePredictor::emitTelemetry(telemetry::Telemetry &sink) const
+{
+    TageBase::emitTelemetry(sink);
+
+    if (!extCfg.oracle) {
+        const BranchStatusTable::Transitions &tr = bst.transitions();
+        sink.add("bst.to_taken", tr.toTaken);
+        sink.add("bst.to_not_taken", tr.toNotTaken);
+        sink.add("bst.to_non_biased", tr.toNonBiased);
+        sink.add("bst.reverts", tr.reverts);
+        sink.setGauge("bst.non_biased_entries",
+                      static_cast<double>(
+                          bst.countState(BiasState::NonBiased)));
+    }
+
+    const SegmentedRecencyStacks::ChurnCounts &c = stacks.churn();
+    sink.add("bf_ghr.rs.inserts", c.inserts);
+    sink.add("bf_ghr.rs.evictions", c.evictions);
+    sink.add("bf_ghr.rs.overflows", c.overflows);
+    sink.add("bf_ghr.rs.prunes", c.prunes);
+    for (size_t k = 0; k < stacks.numSegments(); ++k) {
+        sink.setGauge("bf_ghr.segment" + std::to_string(k) +
+                          ".occupancy",
+                      static_cast<double>(stacks.segmentSize(k)));
+    }
 }
 
 void

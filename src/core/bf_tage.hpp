@@ -58,6 +58,13 @@ class BfTagePredictor : public TageBase
     /** The BF-GHR machinery (tests/analysis). */
     const SegmentedRecencyStacks &bfGhr() const { return stacks; }
 
+    /**
+     * TAGE counters plus BST classification transitions ("bst.*"),
+     * BF-GHR segment-RS churn ("bf_ghr.rs.*") and per-segment
+     * occupancy gauges.
+     */
+    void emitTelemetry(telemetry::Telemetry &sink) const override;
+
   protected:
     uint64_t indexHash(size_t t, uint64_t pc) const override;
     uint64_t tagHash(size_t t, uint64_t pc) const override;

@@ -43,6 +43,16 @@ enum class BiasState : uint8_t
 class BranchStatusTable
 {
   public:
+    /** FSM transition event counts since construction (telemetry). */
+    struct Transitions
+    {
+        uint64_t toTaken = 0;     //!< NotFound -> Taken.
+        uint64_t toNotTaken = 0;  //!< NotFound -> NotTaken.
+        uint64_t toNonBiased = 0; //!< Bias broken either way.
+        uint64_t reverts = 0;     //!< Probabilistic demotions back
+                                  //!< to a biased state.
+    };
+
     /**
      * @param log_entries log2 of the number of entries.
      * @param probabilistic Enable the 3-bit probabilistic mode that
@@ -82,14 +92,22 @@ class BranchStatusTable
         switch (before) {
           case BiasState::NotFound:
             states[idx] = taken ? BiasState::Taken : BiasState::NotTaken;
+            if (taken)
+                ++transitionCounts.toTaken;
+            else
+                ++transitionCounts.toNotTaken;
             break;
           case BiasState::Taken:
-            if (!taken)
+            if (!taken) {
                 states[idx] = BiasState::NonBiased;
+                ++transitionCounts.toNonBiased;
+            }
             break;
           case BiasState::NotTaken:
-            if (taken)
+            if (taken) {
                 states[idx] = BiasState::NonBiased;
+                ++transitionCounts.toNonBiased;
+            }
             break;
           case BiasState::NonBiased:
             if (probMode)
@@ -116,6 +134,21 @@ class BranchStatusTable
     }
 
     size_t entries() const { return states.size(); }
+
+    /** Transition event counts (telemetry export). */
+    const Transitions &transitions() const { return transitionCounts; }
+
+    /** Number of entries currently in @p state (O(entries) scan). */
+    size_t
+    countState(BiasState state) const
+    {
+        size_t n = 0;
+        for (const BiasState s : states) {
+            if (s == state)
+                ++n;
+        }
+        return n;
+    }
 
   private:
     size_t
@@ -144,6 +177,7 @@ class BranchStatusTable
             else if (rng.below(64) == 0) {
                 states[idx] = taken ? BiasState::Taken
                                     : BiasState::NotTaken;
+                ++transitionCounts.reverts;
                 run = 0;
             }
         } else {
@@ -157,6 +191,7 @@ class BranchStatusTable
     std::vector<BiasState> states;
     std::vector<uint8_t> runLength; //!< Probabilistic mode only.
     Rng rng{0xB1A5ULL};
+    Transitions transitionCounts;
 };
 
 } // namespace bfbp

@@ -49,7 +49,8 @@ class RecencyStack
      *        branch); false = plain shift register with duplicates.
      */
     explicit RecencyStack(size_t depth, bool move_to_front = true)
-        : maxDepth(depth), mtf(move_to_front)
+        : maxDepth(depth), mtf(move_to_front),
+          hitDepthCounts(move_to_front ? depth : 0, 0)
     {
         assert(depth >= 1);
     }
@@ -65,15 +66,22 @@ class RecencyStack
     void
     push(uint16_t addr_hash, bool outcome, uint64_t now)
     {
+        ++pushCount;
+        bool found = false;
         if (mtf) {
             for (size_t i = 0; i < entries.size(); ++i) {
                 if (entries[i].addrHash == addr_hash) {
+                    ++hitDepthCounts[i]; // Depth the entry moved
+                                         // to the front from.
+                    found = true;
                     entries.erase(entries.begin() +
                                   static_cast<ptrdiff_t>(i));
                     break;
                 }
             }
         }
+        if (!found)
+            ++missCount;
         entries.push_front({addr_hash, outcome, now});
         if (entries.size() > maxDepth)
             entries.pop_back();
@@ -95,6 +103,22 @@ class RecencyStack
 
     void clear() { entries.clear(); }
 
+    /** Total push() calls (telemetry). */
+    uint64_t pushes() const { return pushCount; }
+
+    /** Pushes of an address not currently tracked (telemetry). */
+    uint64_t misses() const { return missCount; }
+
+    /**
+     * Per-depth move-to-front hit counts: hitDepths()[d] is the
+     * number of pushes whose address was found at depth d. Empty
+     * when move-to-front is disabled.
+     */
+    const std::vector<uint64_t> &hitDepths() const
+    {
+        return hitDepthCounts;
+    }
+
     StorageReport
     storage() const
     {
@@ -108,6 +132,9 @@ class RecencyStack
     std::deque<Entry> entries; //!< Front = most recent.
     size_t maxDepth;
     bool mtf;
+    std::vector<uint64_t> hitDepthCounts; //!< Telemetry (mtf only).
+    uint64_t pushCount = 0;
+    uint64_t missCount = 0;
 };
 
 } // namespace bfbp

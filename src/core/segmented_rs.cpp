@@ -41,6 +41,7 @@ SegmentedRecencyStacks::commit(uint64_t addr_hash, bool taken,
         while (!seg.empty() &&
                queue.totalPushed() - seg.back().absIndex >= end) {
             seg.pop_back();
+            ++churnCounts.prunes;
         }
 
         if (queue.size() <= start)
@@ -53,14 +54,18 @@ SegmentedRecencyStacks::commit(uint64_t addr_hash, bool taken,
         for (size_t i = 0; i < seg.size(); ++i) {
             if (seg[i].addrHash == crossing.addrHash) {
                 seg.erase(seg.begin() + static_cast<ptrdiff_t>(i));
+                ++churnCounts.evictions;
                 break;
             }
         }
         seg.insert(seg.begin(),
                    {crossing.addrHash, crossing.outcome,
                     queue.totalPushed() - start});
-        if (seg.size() > cfg.perSegment)
+        ++churnCounts.inserts;
+        if (seg.size() > cfg.perSegment) {
             seg.pop_back();
+            ++churnCounts.overflows;
+        }
     }
 
     rematerialize();

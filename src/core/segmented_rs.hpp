@@ -83,6 +83,19 @@ class SegmentedRecencyStacks
 
     size_t numSegments() const { return segments.size(); }
 
+    /** Segment-RS churn event counts since construction. */
+    struct ChurnCounts
+    {
+        uint64_t inserts = 0;   //!< Boundary-crossing insertions.
+        uint64_t evictions = 0; //!< Same-address entry replaced.
+        uint64_t overflows = 0; //!< Oldest entry pushed out by
+                                //!< capacity.
+        uint64_t prunes = 0;    //!< Entries aged past the segment's
+                                //!< deep edge.
+    };
+
+    const ChurnCounts &churn() const { return churnCounts; }
+
     StorageReport storage() const;
 
   private:
@@ -107,6 +120,7 @@ class SegmentedRecencyStacks
     Config cfg;
     RingBuffer<QueueEntry> queue;
     std::vector<std::vector<SegEntry>> segments; //!< Front = newest.
+    ChurnCounts churnCounts;
     size_t totalBits;
     std::array<uint64_t, maxGhrBits / 64> words{};
 };

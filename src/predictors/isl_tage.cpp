@@ -3,6 +3,7 @@
 #include <cassert>
 #include <cstdlib>
 
+#include "telemetry/telemetry.hpp"
 #include "util/bitops.hpp"
 #include "util/hashing.hpp"
 
@@ -70,6 +71,7 @@ IslTagePredictor::predict(uint64_t pc)
             if (it->provider == ctx.provider &&
                 it->providerIndex == ctx.providerIndex) {
                 pred = it->finalPred;
+                ++iumHits;
                 break;
             }
         }
@@ -80,15 +82,23 @@ IslTagePredictor::predict(uint64_t pc)
         const int sum = scSum(pc, pred, ctx.scIndices);
         ctx.scPred = sum >= 0;
         ctx.scUsed = info.providerWeak;
-        if (ctx.scUsed && ctx.scPred != pred && useSc.value() >= 0)
-            pred = ctx.scPred;
+        if (ctx.scUsed) {
+            ++scConsulted;
+            if (ctx.scPred != pred && useSc.value() >= 0) {
+                pred = ctx.scPred;
+                ++scReverts;
+            }
+        }
     }
 
     // Loop predictor override.
     if (cfg.useLoop) {
         ctx.loop = loop.lookup(pc);
-        if (loop.shouldOverride(ctx.loop))
+        if (loop.shouldOverride(ctx.loop)) {
+            if (pred != ctx.loop.prediction)
+                ++loopOverrides;
             pred = ctx.loop.prediction;
+        }
     }
 
     ctx.finalPred = pred;
@@ -137,6 +147,18 @@ IslTagePredictor::update(uint64_t pc, bool taken, bool predicted,
     }
 
     core->update(pc, taken, ctx.tagePred, target);
+}
+
+void
+IslTagePredictor::emitTelemetry(telemetry::Telemetry &sink) const
+{
+    core->emitTelemetry(sink);
+    sink.add("isl.sc.consulted", scConsulted);
+    sink.add("isl.sc.reverts", scReverts);
+    sink.add("isl.ium.hits", iumHits);
+    sink.add("isl.loop.overrides", loopOverrides);
+    if (cfg.useLoop)
+        loop.emitTelemetry(sink, "isl.loop");
 }
 
 StorageReport

@@ -67,6 +67,13 @@ class IslTagePredictor : public BranchPredictor
         return core->providerStats();
     }
 
+    /**
+     * Forwards the wrapped TAGE core's counters, then adds the side
+     * components': statistical corrector ("isl.sc.*"), IUM
+     * ("isl.ium.*") and loop predictor ("isl.loop.*").
+     */
+    void emitTelemetry(telemetry::Telemetry &sink) const override;
+
     /** Access to the wrapped TAGE core (tests, analysis). */
     const TageBase &tage() const { return *core; }
 
@@ -97,6 +104,13 @@ class IslTagePredictor : public BranchPredictor
     SignedSatCounter useSc{8};
     std::deque<Context> pending;   //!< predict() -> update() FIFO.
     std::deque<Context> inFlight;  //!< IUM window (same contexts).
+
+    // Event counters exported by emitTelemetry().
+    uint64_t scConsulted = 0;    //!< Weak predictions the SC judged.
+    uint64_t scReverts = 0;      //!< Predictions the SC flipped.
+    uint64_t iumHits = 0;        //!< In-flight provider-entry reuses.
+    uint64_t loopOverrides = 0;  //!< Loop predictor final-answer
+                                 //!< overrides.
 };
 
 } // namespace bfbp

@@ -2,6 +2,7 @@
 
 #include <cassert>
 
+#include "telemetry/telemetry.hpp"
 #include "util/bitops.hpp"
 #include "util/hashing.hpp"
 
@@ -81,6 +82,10 @@ LoopPredictor::update(const Context &ctx, uint64_t pc, bool taken,
         // Gate training: only disagreements carry information.
         if (ctx.valid && ctx.prediction != main_prediction) {
             const bool loopRight = ctx.prediction == taken;
+            if (loopRight)
+                ++statGateRight;
+            else
+                ++statGateWrong;
             withLoop += loopRight ? 1 : -1;
             if (withLoop > withLoopMax)
                 withLoop = withLoopMax;
@@ -121,8 +126,11 @@ LoopPredictor::update(const Context &ctx, uint64_t pc, bool taken,
             }
             // Genuine loop exit.
             if (e.currIter == e.pastIter) {
-                if (e.confidence < confMax)
+                if (e.confidence < confMax) {
                     ++e.confidence;
+                    if (e.confidence == confMax)
+                        ++statConfident;
+                }
                 if (e.age < 255)
                     ++e.age;
             } else {
@@ -142,6 +150,7 @@ LoopPredictor::update(const Context &ctx, uint64_t pc, bool taken,
     for (unsigned way = 0; way < numWays; ++way) {
         Entry &e = entries[slot(pc, way)];
         if (e.age == 0) {
+            ++statAllocs;
             e = Entry{};
             e.tag = tagOf(pc);
             // The mispredicted instance of a loop branch is almost
@@ -158,6 +167,16 @@ LoopPredictor::update(const Context &ctx, uint64_t pc, bool taken,
         if (e.age > 0)
             --e.age;
     }
+}
+
+void
+LoopPredictor::emitTelemetry(telemetry::Telemetry &sink,
+                             const std::string &prefix) const
+{
+    sink.add(prefix + ".allocs", statAllocs);
+    sink.add(prefix + ".confidence_built", statConfident);
+    sink.add(prefix + ".gate_right", statGateRight);
+    sink.add(prefix + ".gate_wrong", statGateWrong);
 }
 
 StorageReport

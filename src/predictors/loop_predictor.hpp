@@ -18,12 +18,18 @@
 #define BFBP_PREDICTORS_LOOP_PREDICTOR_HPP
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "util/storage.hpp"
 
 namespace bfbp
 {
+
+namespace telemetry
+{
+class Telemetry;
+} // namespace telemetry
 
 /** Loop-count predictor with skewed-associative entry placement. */
 class LoopPredictor
@@ -73,6 +79,14 @@ class LoopPredictor
 
     StorageReport storage() const;
 
+    /**
+     * Adds this component's event counters into @p sink under
+     * "<prefix>.allocs", ".confidence_built", ".gate_right",
+     * ".gate_wrong" (see docs/TELEMETRY.md).
+     */
+    void emitTelemetry(telemetry::Telemetry &sink,
+                       const std::string &prefix) const;
+
   private:
     struct Entry
     {
@@ -91,6 +105,14 @@ class LoopPredictor
     unsigned sets;
     unsigned numWays;
     int withLoop = -1; //!< 7-bit signed gate, starts distrusting.
+
+    // Event counters exported by emitTelemetry().
+    uint64_t statAllocs = 0;     //!< Entries allocated.
+    uint64_t statConfident = 0;  //!< Entries that reached full
+                                 //!< confidence (became overriding).
+    uint64_t statGateRight = 0;  //!< Override disagreements the loop
+                                 //!< predictor won.
+    uint64_t statGateWrong = 0;  //!< ... and lost.
 };
 
 } // namespace bfbp

@@ -2,6 +2,7 @@
 
 #include <cassert>
 
+#include "telemetry/telemetry.hpp"
 #include "util/bitops.hpp"
 #include "util/hashing.hpp"
 
@@ -142,6 +143,7 @@ TageBase::allocate(const PredictionInfo &info, bool taken)
 
     if (chosen >= n) {
         // No victim: age the candidates instead.
+        ++allocFailed;
         for (size_t t = start; t < n; ++t) {
             auto &e = tables[t][info.indices[t]];
             if (e.useful > 0)
@@ -150,6 +152,7 @@ TageBase::allocate(const PredictionInfo &info, bool taken)
         return;
     }
 
+    ++allocSuccess;
     auto &e = tables[chosen][info.indices[chosen]];
     e.tag = info.tags[chosen];
     e.ctr = taken ? 0 : -1;
@@ -229,6 +232,7 @@ TageBase::update(uint64_t pc, bool taken, bool predicted, uint64_t target)
     // Periodic useful-bit aging keeps the tables recyclable.
     ++commits;
     if (commits % cfg.uResetPeriod == 0) {
+        ++uResets;
         for (auto &table : tables) {
             for (auto &e : table)
                 e.useful >>= 1;
@@ -236,6 +240,19 @@ TageBase::update(uint64_t pc, bool taken, bool predicted, uint64_t target)
     }
 
     updateHistories(pc, taken, target);
+}
+
+void
+TageBase::emitTelemetry(telemetry::Telemetry &sink) const
+{
+    sink.add("tage.predictions", stats.predictions);
+    for (size_t t = 0; t < stats.providerCount.size(); ++t) {
+        sink.add("tage.provider.t" + std::to_string(t),
+                 stats.providerCount[t]);
+    }
+    sink.add("tage.alloc.success", allocSuccess);
+    sink.add("tage.alloc.fail", allocFailed);
+    sink.add("tage.u_resets", uResets);
 }
 
 StorageReport

@@ -84,6 +84,14 @@ class TageBase : public BranchPredictor
     StorageReport storage() const override;
     const ProviderStats *providerStats() const override { return &stats; }
 
+    /**
+     * Exports "tage.predictions", per-table provider-hit counters
+     * "tage.provider.tN" (N = 0 base, 1..numTables tagged — the
+     * Fig. 12 histogram, numerically identical to providerStats()),
+     * and allocation/aging counters "tage.alloc.*", "tage.u_resets".
+     */
+    void emitTelemetry(telemetry::Telemetry &sink) const override;
+
     const TageConfig &config() const { return cfg; }
 
     /**
@@ -130,6 +138,11 @@ class TageBase : public BranchPredictor
     Rng allocRng{0xA110C8ULL};       //!< Allocation tie breaking.
     uint64_t commits = 0;
     ProviderStats stats;
+
+    // Event counters exported by emitTelemetry().
+    uint64_t allocSuccess = 0; //!< Allocations that found a victim.
+    uint64_t allocFailed = 0;  //!< No victim: candidates aged instead.
+    uint64_t uResets = 0;      //!< Periodic useful-bit agings.
 };
 
 /** Conventional TAGE over the unfiltered global + path history. */

@@ -31,6 +31,17 @@ evaluate(TraceSource &source, BranchPredictor &predictor,
     std::unordered_map<uint64_t, BranchProfile> profiles;
     std::deque<PendingUpdate> pending;
 
+    // Telemetry enablement is resolved once per run; with tel null
+    // the per-branch overhead is a single interval==0 compare.
+    telemetry::Telemetry *const tel =
+        (options.telemetry != nullptr && options.telemetry->enabled())
+            ? options.telemetry
+            : nullptr;
+    const uint64_t interval = tel ? options.telemetryInterval : 0;
+    uint64_t windowStartInstructions = 0;
+    uint64_t windowStartMispredicts = 0;
+    telemetry::ScopedTimer timer(tel, "eval");
+
     BranchRecord record;
     while (source.next(record)) {
         result.instructions += record.instCount;
@@ -71,15 +82,43 @@ evaluate(TraceSource &source, BranchPredictor &predictor,
             }
         }
 
+        if (interval != 0 && result.condBranches % interval == 0) {
+            telemetry::Telemetry::IntervalSample sample;
+            sample.index = result.condBranches / interval - 1;
+            sample.branches = result.condBranches;
+            sample.instructions =
+                result.instructions - windowStartInstructions;
+            sample.mispredicts =
+                result.mispredictions - windowStartMispredicts;
+            tel->intervals().push_back(sample);
+            windowStartInstructions = result.instructions;
+            windowStartMispredicts = result.mispredictions;
+        }
+
         if (options.maxBranches != 0 &&
             result.condBranches >= options.maxBranches) {
             break;
         }
     }
 
-    // Drain delayed updates so predictor state is complete at exit.
+    if (tel)
+        tel->add("eval.inflight_at_stop", pending.size());
+
+    // Drain delayed updates (arrival order) so predictor state is
+    // complete at exit; see the EvalOptions::updateDelay contract.
     for (const PendingUpdate &u : pending)
         predictor.update(u.pc, u.taken, u.predicted, u.target);
+
+    if (tel) {
+        // Gauges "eval.seconds" (wall time) and "eval.per_second"
+        // (conditional branches per second of wall time).
+        timer.stop(result.condBranches);
+        tel->add("eval.instructions", result.instructions);
+        tel->add("eval.cond_branches", result.condBranches);
+        tel->add("eval.other_branches", result.otherBranches);
+        tel->add("eval.mispredictions", result.mispredictions);
+        predictor.emitTelemetry(*tel);
+    }
 
     if (options.collectPerBranch) {
         result.perBranch.reserve(profiles.size());

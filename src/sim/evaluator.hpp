@@ -20,6 +20,7 @@
 
 #include "sim/predictor.hpp"
 #include "sim/trace_source.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace bfbp
 {
@@ -31,6 +32,15 @@ struct EvalOptions
      * Number of younger branches fetched between a branch's
      * prediction and its commit-time update. 0 reproduces the
      * immediate-update CBP methodology.
+     *
+     * Early-stop contract (updateDelay > 0 with maxBranches): every
+     * *predicted* branch is scored immediately at prediction time,
+     * so condBranches, mispredictions and the per-branch profiles
+     * include branches whose commit-time update is still in flight
+     * when the run stops. Those pending updates are then drained in
+     * arrival (fetch) order before evaluate() returns, so the
+     * predictor's final state is identical to having committed every
+     * branch it predicted. No branch is predicted but left untrained.
      */
     uint64_t updateDelay = 0;
 
@@ -39,6 +49,24 @@ struct EvalOptions
 
     /** Stop after this many conditional branches (0 = whole trace). */
     uint64_t maxBranches = 0;
+
+    /**
+     * Conditional branches per window of the telemetry interval
+     * series (0 = no series). Only complete windows are emitted, so
+     * the series holds exactly condBranches / interval samples; a
+     * trailing partial window is dropped.
+     */
+    uint64_t telemetryInterval = 0;
+
+    /**
+     * Optional telemetry sink. When null (or disabled), evaluation
+     * behaves — and performs — exactly as without telemetry: the
+     * enable check happens once per run and the result is
+     * bit-identical. When set, evaluate() records run counters
+     * ("eval.*"), wall time and branches/second gauges, the interval
+     * series, and calls predictor.emitTelemetry() at the end.
+     */
+    telemetry::Telemetry *telemetry = nullptr;
 };
 
 /** Per-static-branch accuracy row (collectPerBranch). */

@@ -26,6 +26,11 @@
 namespace bfbp
 {
 
+namespace telemetry
+{
+class Telemetry;
+} // namespace telemetry
+
 /**
  * Which component supplied each prediction, for TAGE-family
  * predictors. Table 0 is the base predictor; tables 1..N are the
@@ -99,6 +104,22 @@ class BranchPredictor
 
     /** Provider-table statistics; null for non-TAGE predictors. */
     virtual const ProviderStats *providerStats() const { return nullptr; }
+
+    /**
+     * Exports this predictor's internal event counters into @p sink
+     * under the "component.event" naming convention (see
+     * docs/TELEMETRY.md). Called once per evaluation run — never on
+     * the prediction hot path — so implementations count events in
+     * plain integers and copy them out here. Counters are *added*
+     * into the sink, so one sink can aggregate several runs.
+     *
+     * The default exports nothing.
+     */
+    virtual void
+    emitTelemetry(telemetry::Telemetry &sink) const
+    {
+        (void)sink;
+    }
 };
 
 } // namespace bfbp

@@ -1,0 +1,229 @@
+#include "telemetry/json_writer.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <cstdio>
+#include <ostream>
+
+namespace bfbp::telemetry
+{
+
+JsonWriter::JsonWriter(std::ostream &os, unsigned indent)
+    : out(os), indentWidth(indent)
+{
+}
+
+void
+JsonWriter::raw(const std::string &s)
+{
+    out << s;
+}
+
+void
+JsonWriter::newline()
+{
+    if (indentWidth == 0)
+        return;
+    out << '\n';
+    for (size_t i = 0; i < stack.size() * indentWidth; ++i)
+        out << ' ';
+}
+
+void
+JsonWriter::beforeValue()
+{
+    if (stack.empty()) {
+        assert(!rootWritten && "multiple JSON roots");
+        rootWritten = true;
+        return;
+    }
+    Frame &top = stack.back();
+    if (top.array) {
+        assert(!pendingKey && "key inside array");
+        if (!top.first)
+            out << ',';
+        top.first = false;
+        newline();
+    } else {
+        assert(pendingKey && "object value without key");
+        pendingKey = false;
+    }
+}
+
+JsonWriter &
+JsonWriter::key(const std::string &k)
+{
+    assert(!stack.empty() && !stack.back().array &&
+           "key outside object");
+    assert(!pendingKey && "two keys in a row");
+    Frame &top = stack.back();
+    if (!top.first)
+        out << ',';
+    top.first = false;
+    newline();
+    out << '"' << escape(k) << "\":";
+    if (indentWidth != 0)
+        out << ' ';
+    pendingKey = true;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::beginObject()
+{
+    beforeValue();
+    stack.push_back({false, true});
+    out << '{';
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::endObject()
+{
+    assert(!stack.empty() && !stack.back().array);
+    assert(!pendingKey && "dangling key");
+    const bool empty = stack.back().first;
+    stack.pop_back();
+    if (!empty)
+        newline();
+    out << '}';
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::beginArray()
+{
+    beforeValue();
+    stack.push_back({true, true});
+    out << '[';
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::endArray()
+{
+    assert(!stack.empty() && stack.back().array);
+    const bool empty = stack.back().first;
+    stack.pop_back();
+    if (!empty)
+        newline();
+    out << ']';
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(const std::string &s)
+{
+    beforeValue();
+    out << '"' << escape(s) << '"';
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(const char *s)
+{
+    return value(std::string(s));
+}
+
+JsonWriter &
+JsonWriter::value(bool b)
+{
+    beforeValue();
+    out << (b ? "true" : "false");
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(uint64_t v)
+{
+    beforeValue();
+    out << v;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(int64_t v)
+{
+    beforeValue();
+    out << v;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(double v)
+{
+    beforeValue();
+    if (!std::isfinite(v)) {
+        out << "null";
+        return *this;
+    }
+    // Shortest representation that round-trips a double; %.17g is
+    // lossless, but prefer the shorter %.15g when it round-trips.
+    char buf[40];
+    std::snprintf(buf, sizeof buf, "%.15g", v);
+    double back = 0.0;
+    std::sscanf(buf, "%lf", &back);
+    if (back != v)
+        std::snprintf(buf, sizeof buf, "%.17g", v);
+    out << buf;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::null()
+{
+    beforeValue();
+    out << "null";
+    return *this;
+}
+
+bool
+JsonWriter::complete() const
+{
+    return stack.empty() && rootWritten && !pendingKey;
+}
+
+std::string
+JsonWriter::escape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (const char c : s) {
+        switch (c) {
+          case '"':
+            out += "\\\"";
+            break;
+          case '\\':
+            out += "\\\\";
+            break;
+          case '\b':
+            out += "\\b";
+            break;
+          case '\f':
+            out += "\\f";
+            break;
+          case '\n':
+            out += "\\n";
+            break;
+          case '\r':
+            out += "\\r";
+            break;
+          case '\t':
+            out += "\\t";
+            break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof buf, "\\u%04x",
+                              static_cast<unsigned>(
+                                  static_cast<unsigned char>(c)));
+                out += buf;
+            } else {
+                out += c; // UTF-8 passes through untouched.
+            }
+        }
+    }
+    return out;
+}
+
+} // namespace bfbp::telemetry

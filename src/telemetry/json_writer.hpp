@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Minimal streaming JSON writer (no third-party dependencies).
+ *
+ * Emits syntactically valid, pretty-printed JSON through a small
+ * state machine: the writer tracks whether each open container needs
+ * a separating comma, so callers just interleave key()/value()/
+ * begin*()/end*() calls. Strings are escaped per RFC 8259; doubles
+ * are printed with round-trip precision, and non-finite values
+ * degrade to null (JSON has no NaN/Inf).
+ *
+ * Misuse (value without key inside an object, unbalanced end calls)
+ * is caught by assertions in debug builds.
+ */
+
+#ifndef BFBP_TELEMETRY_JSON_WRITER_HPP
+#define BFBP_TELEMETRY_JSON_WRITER_HPP
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace bfbp::telemetry
+{
+
+/** Streaming pretty-printing JSON writer over a std::ostream. */
+class JsonWriter
+{
+  public:
+    /** @param indent Spaces per nesting level (0 = compact). */
+    explicit JsonWriter(std::ostream &os, unsigned indent = 2);
+
+    JsonWriter &beginObject();
+    JsonWriter &endObject();
+    JsonWriter &beginArray();
+    JsonWriter &endArray();
+
+    /** Object member key; must be followed by a value or container. */
+    JsonWriter &key(const std::string &k);
+
+    JsonWriter &value(const std::string &s);
+    JsonWriter &value(const char *s);
+    JsonWriter &value(bool b);
+    JsonWriter &value(uint64_t v);
+    JsonWriter &value(int64_t v);
+    JsonWriter &value(int v) { return value(static_cast<int64_t>(v)); }
+    JsonWriter &value(unsigned v)
+    {
+        return value(static_cast<uint64_t>(v));
+    }
+    JsonWriter &value(double v);
+    JsonWriter &null();
+
+    /** key(k) + value(v) in one call. */
+    template <typename T>
+    JsonWriter &
+    member(const std::string &k, const T &v)
+    {
+        key(k);
+        return value(v);
+    }
+
+    /** True once every opened container has been closed. */
+    bool complete() const;
+
+    /** JSON string escaping (quotes not included). */
+    static std::string escape(const std::string &s);
+
+  private:
+    struct Frame
+    {
+        bool array = false;
+        bool first = true;
+    };
+
+    void beforeValue(); //!< Comma/newline/indent bookkeeping.
+    void newline();
+    void raw(const std::string &s);
+
+    std::ostream &out;
+    unsigned indentWidth;
+    std::vector<Frame> stack;
+    bool pendingKey = false;
+    bool rootWritten = false;
+};
+
+} // namespace bfbp::telemetry
+
+#endif // BFBP_TELEMETRY_JSON_WRITER_HPP

@@ -1,0 +1,214 @@
+#include "telemetry/sinks.hpp"
+
+#include <iomanip>
+#include <ostream>
+
+#include "telemetry/json_writer.hpp"
+
+namespace bfbp::telemetry
+{
+
+namespace
+{
+
+void
+writeHistogramJson(JsonWriter &w, const Telemetry::Histogram &h)
+{
+    w.beginObject();
+    w.key("bounds").beginArray();
+    for (const double b : h.bounds)
+        w.value(b);
+    w.endArray();
+    w.key("buckets").beginArray();
+    for (const uint64_t c : h.buckets)
+        w.value(c);
+    w.endArray();
+    w.member("count", h.count);
+    w.member("sum", h.sum);
+    w.endObject();
+}
+
+/** CSV fields are known-safe (no commas/quotes) except free-form
+ *  names, which we quote defensively when needed. */
+std::string
+csvField(const std::string &s)
+{
+    if (s.find_first_of(",\"\n") == std::string::npos)
+        return s;
+    std::string quoted = "\"";
+    for (const char c : s) {
+        if (c == '"')
+            quoted += "\"\"";
+        else
+            quoted += c;
+    }
+    quoted += '"';
+    return quoted;
+}
+
+} // anonymous namespace
+
+void
+writeRunJson(JsonWriter &w, const RunRecord &run)
+{
+    w.beginObject();
+    w.member("trace", run.traceName);
+    w.member("predictor", run.predictorName);
+
+    w.key("options").beginObject();
+    for (const auto &[k, v] : run.options)
+        w.member(k, v);
+    w.endObject();
+
+    w.key("summary").beginObject();
+    w.member("instructions", run.instructions);
+    w.member("cond_branches", run.condBranches);
+    w.member("other_branches", run.otherBranches);
+    w.member("mispredictions", run.mispredictions);
+    w.member("mpki", run.mpki);
+    w.member("misprediction_rate", run.mispredictionRate);
+    w.endObject();
+
+    w.key("timing").beginObject();
+    w.member("wall_seconds", run.wallSeconds);
+    w.member("branches_per_second", run.branchesPerSecond);
+    w.endObject();
+
+    w.member("storage_bits", run.storageBits);
+
+    w.key("counters").beginObject();
+    for (const auto &[name, value] : run.data.counters())
+        w.member(name, value);
+    w.endObject();
+
+    w.key("gauges").beginObject();
+    for (const auto &[name, value] : run.data.gauges())
+        w.member(name, value);
+    w.endObject();
+
+    w.key("histograms").beginObject();
+    for (const auto &[name, h] : run.data.histograms()) {
+        w.key(name);
+        writeHistogramJson(w, h);
+    }
+    w.endObject();
+
+    w.key("notes").beginObject();
+    for (const auto &[k, v] : run.data.notes())
+        w.member(k, v);
+    w.endObject();
+
+    w.key("intervals").beginArray();
+    for (const auto &s : run.data.intervals()) {
+        w.beginObject();
+        w.member("index", s.index);
+        w.member("branches", s.branches);
+        w.member("instructions", s.instructions);
+        w.member("mispredicts", s.mispredicts);
+        w.member("mpki", s.mpki());
+        w.endObject();
+    }
+    w.endArray();
+
+    w.endObject();
+}
+
+void
+writeRunsJson(std::ostream &os, const std::string &suite,
+              const std::vector<RunRecord> &runs)
+{
+    JsonWriter w(os);
+    w.beginObject();
+    w.member("schema", "bfbp-telemetry-v1");
+    w.member("suite", suite);
+    w.key("runs").beginArray();
+    for (const RunRecord &run : runs)
+        writeRunJson(w, run);
+    w.endArray();
+    w.endObject();
+    os << '\n';
+}
+
+void
+writeRunsCsv(std::ostream &os, const std::vector<RunRecord> &runs)
+{
+    os << "trace,predictor,instructions,cond_branches,mispredictions,"
+          "mpki,misprediction_rate,wall_seconds,branches_per_second,"
+          "storage_bits\n";
+    for (const RunRecord &r : runs) {
+        os << csvField(r.traceName) << ',' << csvField(r.predictorName)
+           << ',' << r.instructions << ',' << r.condBranches << ','
+           << r.mispredictions << ',' << std::fixed
+           << std::setprecision(4) << r.mpki << ','
+           << std::setprecision(6) << r.mispredictionRate << ','
+           << std::setprecision(4) << r.wallSeconds << ','
+           << std::setprecision(0) << r.branchesPerSecond << ','
+           << r.storageBits << '\n';
+        os.unsetf(std::ios::floatfield);
+    }
+}
+
+void
+writeCountersCsv(std::ostream &os, const std::vector<RunRecord> &runs)
+{
+    os << "trace,predictor,counter,value\n";
+    for (const RunRecord &r : runs) {
+        for (const auto &[name, value] : r.data.counters()) {
+            os << csvField(r.traceName) << ','
+               << csvField(r.predictorName) << ',' << csvField(name)
+               << ',' << value << '\n';
+        }
+    }
+}
+
+void
+writeRunText(std::ostream &os, const RunRecord &run)
+{
+    os << "run: " << run.traceName << " / " << run.predictorName
+       << "\n";
+    for (const auto &[k, v] : run.options)
+        os << "  option " << k << " = " << v << "\n";
+    os << "  instructions      " << run.instructions << "\n"
+       << "  cond branches     " << run.condBranches << "\n"
+       << "  mispredictions    " << run.mispredictions << "\n"
+       << "  MPKI              " << std::fixed << std::setprecision(3)
+       << run.mpki << "\n"
+       << "  wall seconds      " << std::setprecision(4)
+       << run.wallSeconds << "\n"
+       << "  branches/second   " << std::setprecision(0)
+       << run.branchesPerSecond << "\n";
+    os.unsetf(std::ios::floatfield);
+    if (run.storageBits != 0) {
+        os << "  storage bits      " << run.storageBits << " ("
+           << (run.storageBits + 7) / 8 << " bytes)\n";
+    }
+    if (!run.data.counters().empty()) {
+        os << "  counters:\n";
+        for (const auto &[name, value] : run.data.counters())
+            os << "    " << std::left << std::setw(36) << name
+               << std::right << value << "\n";
+    }
+    for (const auto &[name, h] : run.data.histograms()) {
+        os << "  histogram " << name << " (count " << h.count << "):\n";
+        for (size_t i = 0; i < h.buckets.size(); ++i) {
+            os << "    ";
+            if (i < h.bounds.size())
+                os << "<= " << h.bounds[i];
+            else
+                os << "overflow";
+            os << ": " << h.buckets[i] << "\n";
+        }
+    }
+    if (!run.data.intervals().empty()) {
+        os << "  interval series (" << run.data.intervals().size()
+           << " windows):\n";
+        for (const auto &s : run.data.intervals()) {
+            os << "    #" << s.index << " branches " << s.branches
+               << " mpki " << std::fixed << std::setprecision(3)
+               << s.mpki() << "\n";
+        }
+        os.unsetf(std::ios::floatfield);
+    }
+}
+
+} // namespace bfbp::telemetry

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Run-record sinks: serialize whole evaluation runs — trace name,
+ * predictor name, eval options, summary accuracy numbers, wall-time
+ * and throughput, storage budget, all counters/gauges/histograms and
+ * the interval time series — to pretty text, CSV, or JSON.
+ *
+ * The JSON document schema is "bfbp-telemetry-v1", documented in
+ * docs/TELEMETRY.md. The telemetry library sits below sim/, so
+ * RunRecord is a plain struct; bench/bench_common.hpp provides the
+ * EvalResult -> RunRecord conversion.
+ */
+
+#ifndef BFBP_TELEMETRY_SINKS_HPP
+#define BFBP_TELEMETRY_SINKS_HPP
+
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "telemetry/telemetry.hpp"
+
+namespace bfbp::telemetry
+{
+
+class JsonWriter;
+
+/** Everything recorded about one (trace, predictor) evaluation. */
+struct RunRecord
+{
+    std::string traceName;
+    std::string predictorName;
+
+    // Summary accuracy numbers (mirrors EvalResult).
+    uint64_t instructions = 0;
+    uint64_t condBranches = 0;
+    uint64_t otherBranches = 0;
+    uint64_t mispredictions = 0;
+    double mpki = 0.0;
+    double mispredictionRate = 0.0;
+
+    // Run timing.
+    double wallSeconds = 0.0;
+    double branchesPerSecond = 0.0;
+
+    // Hardware budget of the predictor.
+    uint64_t storageBits = 0;
+
+    // Eval options as strings ("scale", "interval", ...).
+    std::map<std::string, std::string> options;
+
+    // Counters, gauges, histograms, notes, interval series.
+    Telemetry data{true};
+};
+
+/** Writes one run as a JSON object into an open writer. */
+void writeRunJson(JsonWriter &w, const RunRecord &run);
+
+/**
+ * Writes a whole document: {"schema": "bfbp-telemetry-v1",
+ * "suite": ..., "runs": [...]} pretty-printed to @p os.
+ */
+void writeRunsJson(std::ostream &os, const std::string &suite,
+                   const std::vector<RunRecord> &runs);
+
+/**
+ * Summary CSV: one header row plus one row per run
+ * (trace, predictor, instructions, cond_branches, mispredictions,
+ * mpki, misprediction_rate, wall_seconds, branches_per_second,
+ * storage_bits).
+ */
+void writeRunsCsv(std::ostream &os, const std::vector<RunRecord> &runs);
+
+/** Counter CSV: (trace, predictor, counter, value) rows. */
+void writeCountersCsv(std::ostream &os,
+                      const std::vector<RunRecord> &runs);
+
+/** Pretty text report for one run (summary + counters + series). */
+void writeRunText(std::ostream &os, const RunRecord &run);
+
+} // namespace bfbp::telemetry
+
+#endif // BFBP_TELEMETRY_SINKS_HPP

@@ -1,0 +1,137 @@
+#include "telemetry/telemetry.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace bfbp::telemetry
+{
+
+void
+Telemetry::Histogram::recordN(double value, uint64_t n)
+{
+    if (n == 0)
+        return;
+    const auto it =
+        std::lower_bound(bounds.begin(), bounds.end(), value);
+    const size_t bucket =
+        static_cast<size_t>(it - bounds.begin()); // == bounds.size()
+                                                  // for overflow
+    buckets[bucket] += n;
+    count += n;
+    sum += value * static_cast<double>(n);
+}
+
+double
+Telemetry::IntervalSample::mpki() const
+{
+    return instructions == 0 ? 0.0
+        : 1000.0 * static_cast<double>(mispredicts) /
+          static_cast<double>(instructions);
+}
+
+uint64_t &
+Telemetry::counter(const std::string &name)
+{
+    return counterMap[name];
+}
+
+void
+Telemetry::add(const std::string &name, uint64_t by)
+{
+    counterMap[name] += by;
+}
+
+uint64_t
+Telemetry::counterValue(const std::string &name) const
+{
+    const auto it = counterMap.find(name);
+    return it == counterMap.end() ? 0 : it->second;
+}
+
+void
+Telemetry::setGauge(const std::string &name, double value)
+{
+    gaugeMap[name] = value;
+}
+
+double
+Telemetry::gaugeValue(const std::string &name) const
+{
+    const auto it = gaugeMap.find(name);
+    return it == gaugeMap.end() ? 0.0 : it->second;
+}
+
+Telemetry::Histogram &
+Telemetry::histogram(const std::string &name, std::vector<double> bounds)
+{
+    const auto it = histogramMap.find(name);
+    if (it != histogramMap.end())
+        return it->second;
+    assert(std::is_sorted(bounds.begin(), bounds.end()));
+    Histogram h;
+    h.buckets.assign(bounds.size() + 1, 0);
+    h.bounds = std::move(bounds);
+    return histogramMap.emplace(name, std::move(h)).first->second;
+}
+
+const Telemetry::Histogram *
+Telemetry::findHistogram(const std::string &name) const
+{
+    const auto it = histogramMap.find(name);
+    return it == histogramMap.end() ? nullptr : &it->second;
+}
+
+void
+Telemetry::note(const std::string &key, std::string value)
+{
+    noteMap[key] = std::move(value);
+}
+
+void
+Telemetry::clear()
+{
+    counterMap.clear();
+    gaugeMap.clear();
+    histogramMap.clear();
+    noteMap.clear();
+    series.clear();
+}
+
+ScopedTimer::ScopedTimer(Telemetry *sink_registry, std::string timer_name)
+    : sink(sink_registry), name(std::move(timer_name)),
+      start(std::chrono::steady_clock::now())
+{
+}
+
+ScopedTimer::~ScopedTimer()
+{
+    if (!stopped)
+        stop();
+}
+
+double
+ScopedTimer::elapsedSeconds() const
+{
+    const auto now =
+        stopped ? end : std::chrono::steady_clock::now();
+    return std::chrono::duration<double>(now - start).count();
+}
+
+void
+ScopedTimer::stop(uint64_t events)
+{
+    if (stopped)
+        return;
+    end = std::chrono::steady_clock::now();
+    stopped = true;
+    if (!sink || !sink->enabled())
+        return;
+    const double secs = elapsedSeconds();
+    sink->setGauge(name + ".seconds", secs);
+    if (events != 0 && secs > 0.0) {
+        sink->setGauge(name + ".per_second",
+                       static_cast<double>(events) / secs);
+    }
+}
+
+} // namespace bfbp::telemetry

@@ -1,0 +1,171 @@
+/**
+ * @file
+ * Run telemetry: named counters, gauges, and fixed-bucket histograms
+ * plus an interval (windowed) time series, collected over one or more
+ * evaluation runs.
+ *
+ * Design constraints (see docs/TELEMETRY.md):
+ *  - Near-zero overhead when unused. Components keep their own plain
+ *    uint64_t event counters and export them once per run through
+ *    BranchPredictor::emitTelemetry(); nothing in a predictor's hot
+ *    path touches this registry. The evaluator checks its Telemetry
+ *    pointer (and the session-level enable flag) once per run and the
+ *    interval counter costs one compare per branch.
+ *  - Deterministic output. All registries are ordered maps, so two
+ *    identical runs serialize byte-identically (wall-clock gauges
+ *    excepted, which is why timing lives in gauges, not counters).
+ *  - Counter names follow the "component.event" convention, e.g.
+ *    "tage.alloc.success" or "bst.to_non_biased".
+ */
+
+#ifndef BFBP_TELEMETRY_TELEMETRY_HPP
+#define BFBP_TELEMETRY_TELEMETRY_HPP
+
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace bfbp::telemetry
+{
+
+/** Registry of named metrics for one evaluation session. */
+class Telemetry
+{
+  public:
+    /** Fixed-bucket histogram: bucket i counts values <= bounds[i];
+     *  one extra overflow bucket counts everything larger. */
+    struct Histogram
+    {
+        std::vector<double> bounds;    //!< Ascending upper bounds.
+        std::vector<uint64_t> buckets; //!< bounds.size() + 1 buckets.
+        uint64_t count = 0;
+        double sum = 0.0;
+
+        void record(double value) { recordN(value, 1); }
+        void recordN(double value, uint64_t n);
+    };
+
+    /** One windowed sample of the per-interval time series. */
+    struct IntervalSample
+    {
+        uint64_t index = 0;        //!< Window number, 0-based.
+        uint64_t branches = 0;     //!< Cumulative cond branches at end.
+        uint64_t instructions = 0; //!< Instructions inside the window.
+        uint64_t mispredicts = 0;  //!< Mispredictions inside the window.
+
+        /** Window-local mispredictions per 1000 instructions. */
+        double mpki() const;
+
+        bool operator==(const IntervalSample &) const = default;
+    };
+
+    explicit Telemetry(bool enabled = true) : on(enabled) {}
+
+    /** Session-level enable flag; a disabled sink is never written. */
+    bool enabled() const { return on; }
+    void setEnabled(bool enabled) { on = enabled; }
+
+    /** Get-or-create counter (created at 0). The reference stays
+     *  valid for the lifetime of this Telemetry. */
+    uint64_t &counter(const std::string &name);
+
+    /** Adds @p by to @p name (creating it at 0). */
+    void add(const std::string &name, uint64_t by = 1);
+
+    /** Current counter value; 0 when the counter does not exist. */
+    uint64_t counterValue(const std::string &name) const;
+
+    void setGauge(const std::string &name, double value);
+
+    /** Current gauge value; 0.0 when the gauge does not exist. */
+    double gaugeValue(const std::string &name) const;
+
+    /**
+     * Get-or-create histogram. @p bounds is used only on creation
+     * and must be ascending; later calls return the existing
+     * histogram regardless of bounds.
+     */
+    Histogram &histogram(const std::string &name,
+                         std::vector<double> bounds);
+
+    /** Existing histogram or nullptr. */
+    const Histogram *findHistogram(const std::string &name) const;
+
+    /** Free-form string annotation (trace name, option values...). */
+    void note(const std::string &key, std::string value);
+
+    const std::map<std::string, uint64_t> &counters() const
+    {
+        return counterMap;
+    }
+    const std::map<std::string, double> &gauges() const
+    {
+        return gaugeMap;
+    }
+    const std::map<std::string, Histogram> &histograms() const
+    {
+        return histogramMap;
+    }
+    const std::map<std::string, std::string> &notes() const
+    {
+        return noteMap;
+    }
+
+    std::vector<IntervalSample> &intervals() { return series; }
+    const std::vector<IntervalSample> &intervals() const
+    {
+        return series;
+    }
+
+    /** Drops every metric (the enable flag is kept). */
+    void clear();
+
+  private:
+    bool on;
+    std::map<std::string, uint64_t> counterMap;
+    std::map<std::string, double> gaugeMap;
+    std::map<std::string, Histogram> histogramMap;
+    std::map<std::string, std::string> noteMap;
+    std::vector<IntervalSample> series;
+};
+
+/**
+ * Wall-clock timer over std::chrono::steady_clock. On destruction
+ * (or stop()) it records the elapsed seconds into a gauge named
+ * "<name>.seconds"; when @p events is supplied at stop time it also
+ * records "<name>.per_second" throughput.
+ */
+class ScopedTimer
+{
+  public:
+    /** @param sink Destination registry; may be null (timer still
+     *         measures, records nothing). */
+    ScopedTimer(Telemetry *sink, std::string name);
+    ~ScopedTimer();
+
+    ScopedTimer(const ScopedTimer &) = delete;
+    ScopedTimer &operator=(const ScopedTimer &) = delete;
+
+    /** Seconds since construction (running) or until stop(). */
+    double elapsedSeconds() const;
+
+    /**
+     * Records the gauges now instead of at destruction. @p events,
+     * when nonzero, additionally records "<name>.per_second" =
+     * events / elapsed.
+     */
+    void stop(uint64_t events = 0);
+
+  private:
+    Telemetry *sink;
+    std::string name;
+    std::chrono::steady_clock::time_point start;
+    std::chrono::steady_clock::time_point end;
+    bool stopped = false;
+};
+
+} // namespace bfbp::telemetry
+
+#endif // BFBP_TELEMETRY_TELEMETRY_HPP

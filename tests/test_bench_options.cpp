@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Tests for the bench harness option parsing (bench/bench_common.hpp):
+ * strict --scale / --interval validation and the unknown-trace error
+ * path, which all exit(2) with a diagnostic on stderr.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+
+namespace bfbp
+{
+namespace
+{
+
+bench::Options
+parseArgs(std::vector<std::string> args)
+{
+    std::vector<char *> argv;
+    static std::string prog = "bench_test";
+    argv.push_back(prog.data());
+    for (auto &a : args)
+        argv.push_back(a.data());
+    return bench::Options::parse(static_cast<int>(argv.size()),
+                                 argv.data(), "test bench");
+}
+
+TEST(BenchOptions, ParsesValidArguments)
+{
+    const auto opts = parseArgs({"--scale", "0.5", "--traces",
+                                 "SPEC00,MM1", "--csv", "--json",
+                                 "out.json", "--interval", "10000"});
+    EXPECT_DOUBLE_EQ(opts.scale, 0.5);
+    ASSERT_EQ(opts.traces.size(), 2u);
+    EXPECT_EQ(opts.traces[0], "SPEC00");
+    EXPECT_EQ(opts.traces[1], "MM1");
+    EXPECT_TRUE(opts.csv);
+    EXPECT_EQ(opts.jsonPath, "out.json");
+    EXPECT_EQ(opts.interval, 10000u);
+
+    const auto selected = opts.selectedTraces();
+    ASSERT_EQ(selected.size(), 2u);
+    EXPECT_EQ(selected[0].name, "SPEC00");
+}
+
+TEST(BenchOptions, DefaultsSelectWholeSuite)
+{
+    const auto opts = parseArgs({});
+    EXPECT_FALSE(opts.csv);
+    EXPECT_TRUE(opts.jsonPath.empty());
+    EXPECT_EQ(opts.interval, 0u);
+    EXPECT_EQ(opts.selectedTraces().size(),
+              tracegen::standardSuite().size());
+}
+
+using BenchOptionsDeath = ::testing::Test;
+
+TEST(BenchOptionsDeath, RejectsZeroScale)
+{
+    EXPECT_EXIT(parseArgs({"--scale", "0"}),
+                ::testing::ExitedWithCode(2), "invalid --scale");
+}
+
+TEST(BenchOptionsDeath, RejectsNegativeScale)
+{
+    EXPECT_EXIT(parseArgs({"--scale", "-1.5"}),
+                ::testing::ExitedWithCode(2), "invalid --scale");
+}
+
+TEST(BenchOptionsDeath, RejectsNonNumericScale)
+{
+    EXPECT_EXIT(parseArgs({"--scale", "fast"}),
+                ::testing::ExitedWithCode(2), "invalid --scale");
+}
+
+TEST(BenchOptionsDeath, RejectsTrailingJunkScale)
+{
+    EXPECT_EXIT(parseArgs({"--scale", "1.5x"}),
+                ::testing::ExitedWithCode(2), "invalid --scale");
+}
+
+TEST(BenchOptionsDeath, RejectsNonNumericInterval)
+{
+    EXPECT_EXIT(parseArgs({"--interval", "many"}),
+                ::testing::ExitedWithCode(2), "invalid --interval");
+}
+
+TEST(BenchOptionsDeath, RejectsUnknownOption)
+{
+    EXPECT_EXIT(parseArgs({"--frobnicate"}),
+                ::testing::ExitedWithCode(2), "unknown option");
+}
+
+TEST(BenchOptionsDeath, UnknownTraceListsValidNames)
+{
+    const auto opts = parseArgs({"--traces", "SPEC00,NOPE42"});
+    EXPECT_EXIT(opts.selectedTraces(), ::testing::ExitedWithCode(2),
+                "unknown trace: NOPE42(.|\n)*valid traces:(.|\n)* SPEC00");
+}
+
+} // anonymous namespace
+} // namespace bfbp

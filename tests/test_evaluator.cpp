@@ -199,6 +199,55 @@ TEST(Evaluator, MaxBranchesStopsEarly)
     EXPECT_EQ(res.condBranches, 10u);
 }
 
+TEST(Evaluator, DelayedUpdateDrainsInArrivalOrderOnEarlyStop)
+{
+    // Contract (EvalOptions::updateDelay): every *predicted* branch
+    // is scored immediately and committed eventually — even when
+    // maxBranches stops the run while updates are still in flight.
+    SequenceCheckingPredictor pred;
+    std::vector<BranchRecord> recs;
+    for (int i = 0; i < 50; ++i)
+        recs.push_back(cond(4 * (i + 1), i % 3 != 0));
+    VectorTraceSource src(recs);
+    EvalOptions opts;
+    opts.updateDelay = 8;
+    opts.maxBranches = 10; // stop with 8 updates still pending
+    const EvalResult res = evaluate(src, pred, opts);
+
+    EXPECT_EQ(res.condBranches, 10u);
+    // Scored at predict time: in-flight branches count.
+    ASSERT_EQ(pred.predictPcs.size(), 10u);
+    // All pending updates drained; none invented, none dropped.
+    ASSERT_EQ(pred.updatePcs.size(), 10u);
+    // Drained in arrival (fetch) order with matching outcomes.
+    for (size_t i = 0; i < pred.updatePcs.size(); ++i) {
+        EXPECT_EQ(pred.updatePcs[i], pred.predictPcs[i]) << i;
+        EXPECT_EQ(pred.updateTaken[i], i % 3 != 0) << i;
+    }
+
+    // Mispredictions include the still-in-flight branches: the
+    // always-taken SequenceCheckingPredictor misses every third.
+    EXPECT_EQ(res.mispredictions, 4u); // i = 0, 3, 6, 9
+}
+
+TEST(Evaluator, DelayedUpdateEarlyStopReportsInflightTelemetry)
+{
+    ConstantPredictor pred(true);
+    std::vector<BranchRecord> recs;
+    for (int i = 0; i < 30; ++i)
+        recs.push_back(cond(4, true));
+    VectorTraceSource src(recs);
+    telemetry::Telemetry tel;
+    EvalOptions opts;
+    opts.updateDelay = 5;
+    opts.maxBranches = 12;
+    opts.telemetry = &tel;
+    const EvalResult res = evaluate(src, pred, opts);
+    EXPECT_EQ(res.condBranches, 12u);
+    EXPECT_EQ(pred.updates, 12);
+    EXPECT_EQ(tel.counterValue("eval.inflight_at_stop"), 5u);
+}
+
 TEST(Evaluator, PerBranchProfilesSortedByMispredictions)
 {
     std::vector<BranchRecord> recs;

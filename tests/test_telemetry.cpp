@@ -1,0 +1,567 @@
+/**
+ * @file
+ * Tests for the telemetry subsystem: registry semantics, JSON
+ * serialization (validated by a minimal hand-rolled parser), the
+ * evaluator's interval series, determinism across identical runs,
+ * and the guarantee that disabled telemetry changes nothing.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <cstdio>
+#include <limits>
+#include <memory>
+#include <sstream>
+#include <stdexcept>
+
+#include "core/factory.hpp"
+#include "sim/evaluator.hpp"
+#include "sim/trace_source.hpp"
+#include "telemetry/json_writer.hpp"
+#include "telemetry/sinks.hpp"
+#include "telemetry/telemetry.hpp"
+
+namespace bfbp
+{
+namespace
+{
+
+using telemetry::JsonWriter;
+using telemetry::RunRecord;
+using telemetry::Telemetry;
+
+// ---------------------------------------------------------------
+// A minimal recursive-descent JSON parser, just enough to validate
+// that the writer's output is well-formed RFC 8259 and to extract
+// top-level scalar fields. Throws std::runtime_error on any flaw.
+// ---------------------------------------------------------------
+
+class MiniJson
+{
+  public:
+    explicit MiniJson(const std::string &text) : s(text) {}
+
+    /** Validates the whole document; returns object key count. */
+    size_t
+    validate()
+    {
+        skipWs();
+        const size_t n = value();
+        skipWs();
+        if (pos != s.size())
+            fail("trailing garbage");
+        return n;
+    }
+
+  private:
+    [[noreturn]] void
+    fail(const std::string &what) const
+    {
+        throw std::runtime_error(what + " at offset " +
+                                 std::to_string(pos));
+    }
+
+    void
+    skipWs()
+    {
+        while (pos < s.size() &&
+               (s[pos] == ' ' || s[pos] == '\n' || s[pos] == '\t' ||
+                s[pos] == '\r'))
+            ++pos;
+    }
+
+    char
+    peek() const
+    {
+        return pos < s.size() ? s[pos] : '\0';
+    }
+
+    void
+    expect(char c)
+    {
+        if (peek() != c)
+            fail(std::string("expected '") + c + "'");
+        ++pos;
+    }
+
+    size_t
+    value()
+    {
+        switch (peek()) {
+          case '{': return object();
+          case '[': return array();
+          case '"': string(); return 1;
+          case 't': literal("true"); return 1;
+          case 'f': literal("false"); return 1;
+          case 'n': literal("null"); return 1;
+          default: number(); return 1;
+        }
+    }
+
+    size_t
+    object()
+    {
+        expect('{');
+        skipWs();
+        size_t members = 0;
+        if (peek() == '}') {
+            ++pos;
+            return members;
+        }
+        while (true) {
+            skipWs();
+            string();
+            skipWs();
+            expect(':');
+            skipWs();
+            value();
+            ++members;
+            skipWs();
+            if (peek() == ',') {
+                ++pos;
+                continue;
+            }
+            expect('}');
+            return members;
+        }
+    }
+
+    size_t
+    array()
+    {
+        expect('[');
+        skipWs();
+        size_t items = 0;
+        if (peek() == ']') {
+            ++pos;
+            return items;
+        }
+        while (true) {
+            skipWs();
+            value();
+            ++items;
+            skipWs();
+            if (peek() == ',') {
+                ++pos;
+                continue;
+            }
+            expect(']');
+            return items;
+        }
+    }
+
+    void
+    literal(const char *word)
+    {
+        for (const char *p = word; *p != '\0'; ++p) {
+            if (peek() != *p)
+                fail(std::string("expected literal ") + word);
+            ++pos;
+        }
+    }
+
+    void
+    string()
+    {
+        expect('"');
+        while (true) {
+            if (pos >= s.size())
+                fail("unterminated string");
+            const unsigned char c = static_cast<unsigned char>(s[pos]);
+            if (c == '"') {
+                ++pos;
+                return;
+            }
+            if (c < 0x20)
+                fail("raw control character in string");
+            if (c == '\\') {
+                ++pos;
+                const char e = peek();
+                if (e == 'u') {
+                    ++pos;
+                    for (int i = 0; i < 4; ++i) {
+                        if (!std::isxdigit(
+                                static_cast<unsigned char>(peek())))
+                            fail("bad \\u escape");
+                        ++pos;
+                    }
+                } else if (e == '"' || e == '\\' || e == '/' ||
+                           e == 'b' || e == 'f' || e == 'n' ||
+                           e == 'r' || e == 't') {
+                    ++pos;
+                } else {
+                    fail("bad escape");
+                }
+            } else {
+                ++pos;
+            }
+        }
+    }
+
+    void
+    number()
+    {
+        const size_t start = pos;
+        if (peek() == '-')
+            ++pos;
+        if (!std::isdigit(static_cast<unsigned char>(peek())))
+            fail("bad number");
+        while (std::isdigit(static_cast<unsigned char>(peek())))
+            ++pos;
+        if (peek() == '.') {
+            ++pos;
+            if (!std::isdigit(static_cast<unsigned char>(peek())))
+                fail("bad fraction");
+            while (std::isdigit(static_cast<unsigned char>(peek())))
+                ++pos;
+        }
+        if (peek() == 'e' || peek() == 'E') {
+            ++pos;
+            if (peek() == '+' || peek() == '-')
+                ++pos;
+            if (!std::isdigit(static_cast<unsigned char>(peek())))
+                fail("bad exponent");
+            while (std::isdigit(static_cast<unsigned char>(peek())))
+                ++pos;
+        }
+        if (pos == start)
+            fail("empty number");
+    }
+
+    const std::string s; // by value: callers may pass temporaries
+    size_t pos = 0;
+};
+
+// ---------------------------------------------------------------
+// Registry semantics
+// ---------------------------------------------------------------
+
+TEST(Telemetry, CountersGaugesNotes)
+{
+    Telemetry t;
+    EXPECT_TRUE(t.enabled());
+    EXPECT_EQ(t.counterValue("a.b"), 0u);
+    t.add("a.b");
+    t.add("a.b", 41);
+    EXPECT_EQ(t.counterValue("a.b"), 42u);
+    t.counter("a.c") += 7;
+    EXPECT_EQ(t.counterValue("a.c"), 7u);
+
+    EXPECT_DOUBLE_EQ(t.gaugeValue("g"), 0.0);
+    t.setGauge("g", 2.5);
+    EXPECT_DOUBLE_EQ(t.gaugeValue("g"), 2.5);
+
+    t.note("trace", "SPEC00");
+    EXPECT_EQ(t.notes().at("trace"), "SPEC00");
+
+    t.clear();
+    EXPECT_TRUE(t.enabled());
+    EXPECT_TRUE(t.counters().empty());
+    EXPECT_TRUE(t.gauges().empty());
+    EXPECT_TRUE(t.notes().empty());
+}
+
+TEST(Telemetry, HistogramBucketPlacement)
+{
+    Telemetry t;
+    Telemetry::Histogram &h = t.histogram("h", {1.0, 2.0, 4.0});
+    ASSERT_EQ(h.buckets.size(), 4u); // 3 bounds + overflow
+    h.record(0.5);  // <= 1 -> bucket 0
+    h.record(1.0);  // <= 1 -> bucket 0 (bound is inclusive)
+    h.record(1.5);  // <= 2 -> bucket 1
+    h.record(4.0);  // <= 4 -> bucket 2
+    h.record(9.0);  // overflow
+    h.recordN(3.0, 10); // <= 4 -> bucket 2
+    EXPECT_EQ(h.buckets[0], 2u);
+    EXPECT_EQ(h.buckets[1], 1u);
+    EXPECT_EQ(h.buckets[2], 11u);
+    EXPECT_EQ(h.buckets[3], 1u);
+    EXPECT_EQ(h.count, 15u);
+    EXPECT_DOUBLE_EQ(h.sum, 0.5 + 1.0 + 1.5 + 4.0 + 9.0 + 30.0);
+
+    // Second lookup returns the same histogram, bounds ignored.
+    Telemetry::Histogram &again = t.histogram("h", {99.0});
+    EXPECT_EQ(&again, &h);
+    EXPECT_EQ(t.findHistogram("nope"), nullptr);
+}
+
+TEST(Telemetry, ScopedTimerRecordsGauges)
+{
+    Telemetry t;
+    {
+        telemetry::ScopedTimer timer(&t, "work");
+        EXPECT_GE(timer.elapsedSeconds(), 0.0);
+    }
+    EXPECT_GT(t.gaugeValue("work.seconds"), 0.0);
+    EXPECT_DOUBLE_EQ(t.gaugeValue("work.per_second"), 0.0); // no events
+
+    Telemetry t2;
+    telemetry::ScopedTimer timer(&t2, "run");
+    timer.stop(1000);
+    EXPECT_GT(t2.gaugeValue("run.seconds"), 0.0);
+    EXPECT_GT(t2.gaugeValue("run.per_second"), 0.0);
+
+    // A null sink must be safe.
+    telemetry::ScopedTimer orphan(nullptr, "x");
+    orphan.stop(5);
+}
+
+// ---------------------------------------------------------------
+// JSON writer
+// ---------------------------------------------------------------
+
+TEST(JsonWriter, EscapesStrings)
+{
+    EXPECT_EQ(JsonWriter::escape("plain"), "plain");
+    EXPECT_EQ(JsonWriter::escape("a\"b"), "a\\\"b");
+    EXPECT_EQ(JsonWriter::escape("a\\b"), "a\\\\b");
+    EXPECT_EQ(JsonWriter::escape("a\nb\tc"), "a\\nb\\tc");
+    EXPECT_EQ(JsonWriter::escape(std::string(1, '\x01')), "\\u0001");
+}
+
+TEST(JsonWriter, DoublesRoundTrip)
+{
+    const double samples[] = {0.1, 1.0 / 3.0, 12345.678901234567,
+                              -2.2250738585072014e-308, 0.0, 42.0};
+    for (const double expect : samples) {
+        std::ostringstream os;
+        JsonWriter w(os);
+        w.beginObject();
+        w.key("v");
+        w.value(expect);
+        w.endObject();
+        w.complete();
+        double got = 0.0;
+        const std::string text = os.str();
+        const size_t colon = text.find(':');
+        ASSERT_NE(colon, std::string::npos);
+        ASSERT_EQ(std::sscanf(text.c_str() + colon + 1, "%lf", &got), 1)
+            << text;
+        EXPECT_EQ(got, expect) << text;
+    }
+}
+
+TEST(JsonWriter, NonFiniteBecomesNull)
+{
+    std::ostringstream os;
+    JsonWriter w(os);
+    w.beginArray();
+    w.value(std::numeric_limits<double>::quiet_NaN());
+    w.value(std::numeric_limits<double>::infinity());
+    w.endArray();
+    w.complete();
+    MiniJson parser(os.str());
+    EXPECT_NO_THROW(parser.validate());
+    EXPECT_NE(os.str().find("null"), std::string::npos);
+    EXPECT_EQ(os.str().find("nan"), std::string::npos);
+}
+
+TEST(Sinks, RunsJsonParsesAndCarriesValues)
+{
+    RunRecord run;
+    run.traceName = "weird \"name\"\n";
+    run.predictorName = "tage-15";
+    run.instructions = 1000;
+    run.condBranches = 200;
+    run.mispredictions = 13;
+    run.mpki = 13.0;
+    run.storageBits = 4096;
+    run.options["scale"] = "0.35";
+    run.data.add("tage.alloc.success", 7);
+    run.data.setGauge("eval.seconds", 0.25);
+    run.data.histogram("depth", {1.0, 2.0}).record(1.5);
+    Telemetry::IntervalSample sample;
+    sample.index = 0;
+    sample.branches = 100;
+    sample.instructions = 500;
+    sample.mispredicts = 5;
+    run.data.intervals().push_back(sample);
+
+    std::ostringstream os;
+    telemetry::writeRunsJson(os, "unit", {run, run});
+    const std::string text = os.str();
+
+    MiniJson parser(text);
+    ASSERT_NO_THROW(parser.validate()) << text;
+    EXPECT_NE(text.find("\"schema\": \"bfbp-telemetry-v1\""),
+              std::string::npos);
+    EXPECT_NE(text.find("\"suite\": \"unit\""), std::string::npos);
+    EXPECT_NE(text.find("weird \\\"name\\\"\\n"), std::string::npos);
+    EXPECT_NE(text.find("\"tage.alloc.success\": 7"),
+              std::string::npos);
+    // The same record serialized twice must be byte-identical.
+    const size_t first = text.find("\"trace\"");
+    const size_t second = text.find("\"trace\"", first + 1);
+    ASSERT_NE(second, std::string::npos);
+}
+
+TEST(Sinks, CsvAndTextWritersProduceRows)
+{
+    RunRecord run;
+    run.traceName = "A,B"; // must be quoted in CSV
+    run.predictorName = "p";
+    run.instructions = 10;
+    run.condBranches = 5;
+    run.mispredictions = 1;
+    run.mpki = 100.0;
+    run.data.add("c.x", 3);
+
+    std::ostringstream csv;
+    telemetry::writeRunsCsv(csv, {run});
+    EXPECT_NE(csv.str().find("trace,predictor"), std::string::npos);
+    EXPECT_NE(csv.str().find("\"A,B\""), std::string::npos);
+
+    std::ostringstream counters;
+    telemetry::writeCountersCsv(counters, {run});
+    EXPECT_NE(counters.str().find("c.x,3"), std::string::npos);
+
+    std::ostringstream text;
+    telemetry::writeRunText(text, run);
+    EXPECT_NE(text.str().find("c.x"), std::string::npos);
+}
+
+// ---------------------------------------------------------------
+// Evaluator integration
+// ---------------------------------------------------------------
+
+/** Deterministic pseudo-random conditional branch trace. */
+std::vector<BranchRecord>
+syntheticTrace(size_t records)
+{
+    std::vector<BranchRecord> out;
+    out.reserve(records);
+    uint64_t x = 0x9e3779b97f4a7c15ull;
+    for (size_t i = 0; i < records; ++i) {
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        BranchRecord r;
+        r.pc = 4 * (1 + (x >> 17) % 97);
+        r.taken = ((x >> 7) & 3) != 0 || (r.pc % 12 == 0 && (x & 1));
+        r.instCount = 1 + static_cast<uint32_t>(x % 7);
+        r.type = BranchType::CondDirect;
+        out.push_back(r);
+    }
+    return out;
+}
+
+TEST(TelemetryEval, IntervalSeriesLengthAndWindows)
+{
+    const auto recs = syntheticTrace(1000);
+    VectorTraceSource src(recs);
+    auto predictor = createPredictor("bf-neural");
+    Telemetry tel;
+    EvalOptions opts;
+    opts.telemetryInterval = 64; // 1000 / 64 = 15 full windows
+    opts.telemetry = &tel;
+    const EvalResult res = evaluate(src, *predictor, opts);
+
+    ASSERT_EQ(res.condBranches, 1000u);
+    const auto &series = tel.intervals();
+    ASSERT_EQ(series.size(), res.condBranches / 64); // partial dropped
+    uint64_t insts = 0;
+    uint64_t misses = 0;
+    for (size_t i = 0; i < series.size(); ++i) {
+        EXPECT_EQ(series[i].index, i);
+        EXPECT_EQ(series[i].branches, 64 * (i + 1));
+        insts += series[i].instructions;
+        misses += series[i].mispredicts;
+    }
+    EXPECT_LE(insts, res.instructions);
+    EXPECT_LE(misses, res.mispredictions);
+    EXPECT_EQ(tel.counterValue("eval.cond_branches"),
+              res.condBranches);
+    EXPECT_EQ(tel.counterValue("eval.mispredictions"),
+              res.mispredictions);
+    EXPECT_GT(tel.gaugeValue("eval.seconds"), 0.0);
+}
+
+TEST(TelemetryEval, DisabledTelemetryIsBitIdentical)
+{
+    const auto recs = syntheticTrace(2000);
+
+    auto runWith = [&](Telemetry *tel) {
+        VectorTraceSource src(recs);
+        auto predictor = createPredictor("tage-15");
+        EvalOptions opts;
+        opts.telemetryInterval = 100;
+        opts.telemetry = tel;
+        return evaluate(src, *predictor, opts);
+    };
+
+    const EvalResult base = runWith(nullptr);
+    Telemetry off(false);
+    const EvalResult disabled = runWith(&off);
+    Telemetry on(true);
+    const EvalResult enabled = runWith(&on);
+
+    EXPECT_TRUE(off.counters().empty());
+    EXPECT_TRUE(off.intervals().empty());
+    for (const EvalResult *r : {&disabled, &enabled}) {
+        EXPECT_EQ(r->instructions, base.instructions);
+        EXPECT_EQ(r->condBranches, base.condBranches);
+        EXPECT_EQ(r->otherBranches, base.otherBranches);
+        EXPECT_EQ(r->mispredictions, base.mispredictions);
+    }
+}
+
+TEST(TelemetryEval, DeterministicAcrossIdenticalRuns)
+{
+    const auto recs = syntheticTrace(2000);
+
+    auto runOnce = [&](const std::string &spec) {
+        VectorTraceSource src(recs);
+        auto predictor = createPredictor(spec);
+        auto tel = std::make_unique<Telemetry>();
+        EvalOptions opts;
+        opts.telemetryInterval = 128;
+        opts.telemetry = tel.get();
+        evaluate(src, *predictor, opts);
+        return tel;
+    };
+
+    for (const std::string spec : {"bf-neural", "bf-tage-10"}) {
+        const auto a = runOnce(spec);
+        const auto b = runOnce(spec);
+        EXPECT_EQ(a->counters(), b->counters()) << spec;
+        EXPECT_EQ(a->intervals(), b->intervals()) << spec;
+        ASSERT_EQ(a->histograms().size(), b->histograms().size());
+        for (const auto &[name, ha] : a->histograms()) {
+            const Telemetry::Histogram *hb = b->findHistogram(name);
+            ASSERT_NE(hb, nullptr) << name;
+            EXPECT_EQ(ha.buckets, hb->buckets) << name;
+            EXPECT_EQ(ha.count, hb->count) << name;
+        }
+        EXPECT_FALSE(a->counters().empty()) << spec;
+    }
+}
+
+TEST(TelemetryEval, TageProviderCountersMatchProviderStats)
+{
+    const auto recs = syntheticTrace(3000);
+    VectorTraceSource src(recs);
+    auto predictor = createPredictor("tage-15");
+    evaluate(src, *predictor);
+
+    const ProviderStats *stats = predictor->providerStats();
+    ASSERT_NE(stats, nullptr);
+    Telemetry tel;
+    predictor->emitTelemetry(tel);
+    EXPECT_EQ(tel.counterValue("tage.predictions"),
+              stats->predictions);
+    for (size_t t = 0; t < stats->providerCount.size(); ++t) {
+        EXPECT_EQ(tel.counterValue("tage.provider.t" +
+                                   std::to_string(t)),
+                  stats->providerCount[t])
+            << "table " << t;
+    }
+
+    // Emitting twice *adds* (counters aggregate across runs).
+    predictor->emitTelemetry(tel);
+    EXPECT_EQ(tel.counterValue("tage.predictions"),
+              2 * stats->predictions);
+}
+
+} // anonymous namespace
+} // namespace bfbp
