@@ -49,6 +49,7 @@ avgMpkiOver(bench::RunArchive &archive, const std::string &label,
 int
 main(int argc, char **argv)
 {
+    return bfbp::bench::guardedMain("bench_ablation_bf", [&]() -> int {
     using namespace bfbp;
     auto opts = bench::Options::parse(
         argc, argv, "BF design-choice ablations");
@@ -155,4 +156,5 @@ main(int argc, char **argv)
     }
     archive.write();
     return 0;
+    });
 }

@@ -40,9 +40,35 @@
 #include "telemetry/sinks.hpp"
 #include "telemetry/telemetry.hpp"
 #include "tracegen/workloads.hpp"
+#include "util/errors.hpp"
 
 namespace bfbp::bench
 {
+
+/**
+ * Top-level exception guard every harness main() runs inside.
+ *
+ * A BfbpError (bad config, corrupt trace, evaluation fault) becomes
+ * a one-line diagnostic on stderr and exit code 2 — the same
+ * contract as the --scale/--traces argument validation — instead of
+ * an std::terminate that aborts a whole suite run with no hint of
+ * which input was at fault.
+ */
+template <typename Fn>
+int
+guardedMain(const char *tool, Fn &&body)
+{
+    try {
+        return body();
+    } catch (const BfbpError &e) {
+        std::cerr << tool << ": error: " << e.what() << "\n";
+        return 2;
+    } catch (const std::exception &e) {
+        std::cerr << tool << ": unexpected error: " << e.what()
+                  << "\n";
+        return 2;
+    }
+}
 
 /** Parsed command line shared by all harness binaries. */
 struct Options

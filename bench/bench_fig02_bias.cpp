@@ -19,6 +19,7 @@
 int
 main(int argc, char **argv)
 {
+    return bfbp::bench::guardedMain("bench_fig02_bias", [&]() -> int {
     using namespace bfbp;
     const auto opts = bench::Options::parse(
         argc, argv, "Figure 2: % of biased branches per trace");
@@ -63,4 +64,5 @@ main(int argc, char **argv)
     }
     archive.write();
     return 0;
+    });
 }

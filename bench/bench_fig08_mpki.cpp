@@ -16,6 +16,7 @@
 int
 main(int argc, char **argv)
 {
+    return bfbp::bench::guardedMain("bench_fig08_mpki", [&]() -> int {
     using namespace bfbp;
     const auto opts = bench::Options::parse(
         argc, argv,
@@ -74,4 +75,5 @@ main(int argc, char **argv)
     }
     archive.write();
     return 0;
+    });
 }

@@ -38,6 +38,7 @@ variant(bool filter_history, bool use_rs)
 int
 main(int argc, char **argv)
 {
+    return bfbp::bench::guardedMain("bench_fig09_ablation", [&]() -> int {
     using namespace bfbp;
     const auto opts = bench::Options::parse(
         argc, argv, "Figure 9: BF-Neural optimization breakdown");
@@ -103,4 +104,5 @@ main(int argc, char **argv)
     }
     archive.write();
     return 0;
+    });
 }

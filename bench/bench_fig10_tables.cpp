@@ -16,6 +16,7 @@
 int
 main(int argc, char **argv)
 {
+    return bfbp::bench::guardedMain("bench_fig10_tables", [&]() -> int {
     using namespace bfbp;
     const auto opts = bench::Options::parse(
         argc, argv,
@@ -70,4 +71,5 @@ main(int argc, char **argv)
               << "(7 tables: 2.57 vs 2.73), converging at 10\n";
     archive.write();
     return 0;
+    });
 }

@@ -18,6 +18,7 @@
 int
 main(int argc, char **argv)
 {
+    return bfbp::bench::guardedMain("bench_fig11_relative", [&]() -> int {
     using namespace bfbp;
     const auto opts = bench::Options::parse(
         argc, argv,
@@ -66,4 +67,5 @@ main(int argc, char **argv)
               << "MM5/SERV traces\n";
     archive.write();
     return 0;
+    });
 }

@@ -18,6 +18,7 @@
 int
 main(int argc, char **argv)
 {
+    return bfbp::bench::guardedMain("bench_fig12_histogram", [&]() -> int {
     using namespace bfbp;
     auto opts = bench::Options::parse(
         argc, argv, "Figure 12: per-table provider histograms");
@@ -101,4 +102,5 @@ main(int argc, char **argv)
               << "emitTelemetry export)\n";
     archive.write();
     return 0;
+    });
 }

@@ -19,6 +19,7 @@
 int
 main(int argc, char **argv)
 {
+    return bfbp::bench::guardedMain("bench_table1_storage", [&]() -> int {
     using namespace bfbp;
     const auto opts = bench::Options::parse(
         argc, argv, "Table I: storage budgets (no traces run)");
@@ -62,4 +63,5 @@ main(int argc, char **argv)
     }
     archive.write();
     return 0;
+    });
 }

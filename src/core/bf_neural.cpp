@@ -5,6 +5,7 @@
 
 #include "telemetry/telemetry.hpp"
 #include "util/bitops.hpp"
+#include "util/errors.hpp"
 #include "util/hashing.hpp"
 
 namespace bfbp
@@ -44,8 +45,30 @@ gatedPrediction(BiasState state, bool neural_pred)
 
 } // anonymous namespace
 
+void
+BfNeuralConfig::validate() const
+{
+    const std::string where = "BfNeuralConfig(" + label + ")";
+    configRange(bstLogEntries, 1u, 28u, where + ".bstLogEntries");
+    // Context::wmIndex/wmBit are fixed 32-entry arrays.
+    configRange(recentHistory, 1u, 32u, where + ".recentHistory");
+    configRange(wmRows, 1u, 1u << 24, where + ".wmRows");
+    // Context::wrsIndex/wrsBit are fixed 64-entry arrays.
+    configRange(rsDepth, 1u, 64u, where + ".rsDepth");
+    configRange(logWrs, 1u, 28u, where + ".logWrs");
+    configRange(logBias, 1u, 28u, where + ".logBias");
+    configRange(weightBits, 2u, 16u, where + ".weightBits");
+    configRange(biasWeightBits, 2u, 16u, where + ".biasWeightBits");
+    // Recent addresses are stored as 16-bit hashes.
+    configRange(addrHashBits, 1u, 16u, where + ".addrHashBits");
+    configRange<uint64_t>(maxPosDistance, 1, uint64_t{1} << 20,
+                          where + ".maxPosDistance");
+    configRange(thetaInit, 1, 1 << 14, where + ".thetaInit");
+    configRange(thetaTcBits, 2, 16, where + ".thetaTcBits");
+}
+
 BfNeuralPredictor::BfNeuralPredictor(BfNeuralConfig config)
-    : cfg(std::move(config)),
+    : cfg((config.validate(), std::move(config))),
       bst(cfg.bstLogEntries, cfg.probabilisticBst),
       rs(cfg.rsDepth, cfg.useRecencyStack),
       threshold(cfg.thetaInit, cfg.thetaTcBits),
@@ -57,8 +80,6 @@ BfNeuralPredictor::BfNeuralPredictor(BfNeuralConfig config)
                static_cast<size_t>(cfg.maxPosDistance) + 1),
       recentAddrs(cfg.recentHistory)
 {
-    assert(cfg.recentHistory <= 32);
-    assert(cfg.rsDepth <= 64);
 }
 
 BiasState

@@ -98,6 +98,17 @@ struct BfNeuralConfig
     uint64_t maxPosDistance = 2047; //!< pos_hist cap (11 bits).
     int thetaInit = 24;  //!< Initial adaptive training threshold.
     int thetaTcBits = 6; //!< Threshold-tuning counter width.
+
+    /**
+     * Checks every field against its hard implementation limit (the
+     * prediction context carries at most 32 Wm and 64 Wrs terms, the
+     * recent-address ring stores 16-bit hashes, weights are 2..16-bit
+     * saturating counters). Called by the BfNeuralPredictor
+     * constructor before any table is sized.
+     *
+     * @throws ConfigError naming the offending field and its range.
+     */
+    void validate() const;
 };
 
 /** The Bias-Free neural predictor. */

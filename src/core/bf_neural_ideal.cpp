@@ -4,13 +4,30 @@
 #include <cstdlib>
 
 #include "util/bitops.hpp"
+#include "util/errors.hpp"
 #include "util/hashing.hpp"
 
 namespace bfbp
 {
 
+void
+BfNeuralIdealConfig::validate() const
+{
+    const std::string where = "BfNeuralIdealConfig(" + label + ")";
+    // Context::index/bit are fixed 128-entry arrays.
+    configRange(historyDepth, 1u, 128u, where + ".historyDepth");
+    configRange(wmRows, 1u, 1u << 24, where + ".wmRows");
+    configRange(logBias, 1u, 28u, where + ".logBias");
+    configRange(weightBits, 2u, 16u, where + ".weightBits");
+    configRange(biasWeightBits, 2u, 16u, where + ".biasWeightBits");
+    configRange(bstLogEntries, 1u, 28u, where + ".bstLogEntries");
+    configRange(addrHashBits, 1u, 16u, where + ".addrHashBits");
+    configRange<uint64_t>(maxPosDistance, 1, uint64_t{1} << 20,
+                          where + ".maxPosDistance");
+}
+
 BfNeuralIdealPredictor::BfNeuralIdealPredictor(BfNeuralIdealConfig config)
-    : cfg(std::move(config)),
+    : cfg((config.validate(), std::move(config))),
       bst(cfg.bstLogEntries),
       rs(cfg.historyDepth, true),
       threshold(perceptronTheta(cfg.historyDepth) / 2),
@@ -18,7 +35,6 @@ BfNeuralIdealPredictor::BfNeuralIdealPredictor(BfNeuralIdealConfig config)
       wm(size_t{cfg.wmRows} * cfg.historyDepth,
          SignedSatCounter(cfg.weightBits))
 {
-    assert(cfg.historyDepth <= 128);
 }
 
 BiasState

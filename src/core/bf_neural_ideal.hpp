@@ -48,6 +48,10 @@ struct BfNeuralIdealConfig
     unsigned addrHashBits = 14;
     uint64_t maxPosDistance = 2047;
     std::shared_ptr<const BiasOracle> oracle; //!< Oracle detection.
+
+    /** @throws ConfigError on out-of-range fields. Called by the
+     *  BfNeuralIdealPredictor constructor. */
+    void validate() const;
 };
 
 /** Algorithm 1 rendered directly. */

@@ -1,7 +1,5 @@
 #include "core/factory.hpp"
 
-#include <stdexcept>
-
 #include "core/bf_neural_ideal.hpp"
 #include "predictors/bimodal.hpp"
 #include "predictors/gshare.hpp"
@@ -9,6 +7,7 @@
 #include "predictors/perceptron.hpp"
 #include "predictors/piecewise_linear.hpp"
 #include "predictors/sizing.hpp"
+#include "util/errors.hpp"
 
 namespace bfbp
 {
@@ -91,7 +90,10 @@ makeBfIslTage(unsigned tables, std::shared_ptr<const BiasOracle> oracle)
 namespace
 {
 
-/** Parses "name-N" suffixed specs; returns 0 when not matching. */
+/** Parses "name-N" suffixed specs; returns 0 when not matching.
+ *  @throws ConfigError on table counts too large to represent (a
+ *  raw std::stoul here used to escape as std::out_of_range and
+ *  std::terminate the harness). */
 unsigned
 parseSuffixed(const std::string &spec, const std::string &prefix)
 {
@@ -104,7 +106,17 @@ parseSuffixed(const std::string &spec, const std::string &prefix)
         if (c < '0' || c > '9')
             return 0;
     }
-    return static_cast<unsigned>(std::stoul(num));
+    try {
+        const unsigned long value = std::stoul(num);
+        if (value > 1000) {
+            throw ConfigError("table count " + num + " in '" + spec +
+                              "' is out of range");
+        }
+        return static_cast<unsigned>(value);
+    } catch (const std::out_of_range &) {
+        throw ConfigError("table count " + num + " in '" + spec +
+                          "' is out of range");
+    }
 }
 
 } // anonymous namespace
@@ -136,7 +148,13 @@ createPredictor(const std::string &spec)
     if (unsigned n = parseSuffixed(spec, "tage-"))
         return makeTage(n);
 
-    throw std::invalid_argument("unknown predictor spec: " + spec);
+    std::string known;
+    for (const auto &name : availablePredictors())
+        known += (known.empty() ? "" : ", ") + name;
+    throw ConfigError(
+        "unknown predictor spec '" + spec + "'; valid specs: " + known +
+        " (tage-N accepts N=1..15, bf-tage-N accepts N=1..10, "
+        "likewise the isl- variants)");
 }
 
 std::vector<std::string>

@@ -27,6 +27,7 @@
 #include "core/bf_tage.hpp"
 #include "predictors/isl_tage.hpp"
 #include "sim/predictor.hpp"
+#include "util/errors.hpp"
 
 namespace bfbp
 {
@@ -69,7 +70,8 @@ makeBfIslTage(unsigned tables,
  * "bf-neural-ideal", "tage-N" (N=1..15), "isl-tage-N",
  * "bf-tage-N" (N=1..10), "bf-isl-tage-N".
  *
- * @throws std::invalid_argument for unknown specs.
+ * @throws ConfigError for unknown specs or out-of-range table
+ *         counts; the message lists the valid options.
  */
 std::unique_ptr<BranchPredictor> createPredictor(const std::string &spec);
 

@@ -5,6 +5,7 @@
 
 #include "telemetry/telemetry.hpp"
 #include "util/bitops.hpp"
+#include "util/errors.hpp"
 #include "util/hashing.hpp"
 
 namespace bfbp
@@ -19,13 +20,31 @@ constexpr int scTageWeight = 33;
 
 } // anonymous namespace
 
+void
+IslConfig::validate() const
+{
+    const std::string where = "IslConfig(" + label + ")";
+    // Context::scIndices is a fixed 4-entry array.
+    configRange<size_t>(scHistoryLengths.size(), 1, 4,
+                        where + ".scHistoryLengths.size");
+    for (size_t i = 0; i < scHistoryLengths.size(); ++i) {
+        // The SC folds over a 256-outcome history register.
+        configRange(scHistoryLengths[i], 0u, 256u,
+                    where + ".scHistoryLengths[" + std::to_string(i) +
+                        "]");
+    }
+    configRange(scLogEntries, 1u, 24u, where + ".scLogEntries");
+    configRange(scCounterBits, 2u, 16u, where + ".scCounterBits");
+    configRange(iumCapacity, 1u, 1u << 16, where + ".iumCapacity");
+}
+
 IslTagePredictor::IslTagePredictor(std::unique_ptr<TageBase> tage_core,
                                    IslConfig config)
-    : cfg(std::move(config)), core(std::move(tage_core)),
-      scHist(256)
+    : cfg((config.validate(), std::move(config))),
+      core(std::move(tage_core)), scHist(256)
 {
-    assert(core != nullptr);
-    assert(cfg.scHistoryLengths.size() <= 4);
+    configRequire(core != nullptr,
+                  "IslTagePredictor requires a TAGE core");
     for (unsigned len : cfg.scHistoryLengths) {
         scTables.emplace_back(size_t{1} << cfg.scLogEntries,
                               SignedSatCounter(cfg.scCounterBits));

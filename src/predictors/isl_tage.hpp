@@ -46,6 +46,10 @@ struct IslConfig
     unsigned scCounterBits = 6;
     std::vector<unsigned> scHistoryLengths = {0, 11, 27};
     unsigned iumCapacity = 32;   //!< Max in-flight records tracked.
+
+    /** @throws ConfigError on out-of-range side-component knobs.
+     *  Called by the IslTagePredictor constructor. */
+    void validate() const;
 };
 
 /** TAGE + loop predictor + statistical corrector + IUM. */

@@ -2,11 +2,29 @@
 
 #include <cstdlib>
 
+#include "util/errors.hpp"
+
 namespace bfbp
 {
 
+void
+OhSnapConfig::validate() const
+{
+    configRange(historyLength, 1u, 2048u,
+                "OhSnapConfig.historyLength");
+    configRange(logWeights, 1u, 28u, "OhSnapConfig.logWeights");
+    configRange(logBias, 1u, 28u, "OhSnapConfig.logBias");
+    configRange(weightBits, 2u, 16u, "OhSnapConfig.weightBits");
+    configRange(biasBits, 2u, 16u, "OhSnapConfig.biasBits");
+    configRange(pcHashBits, 1u, 16u, "OhSnapConfig.pcHashBits");
+    configRange(coefNum, 1u, 1u << 16, "OhSnapConfig.coefNum");
+    // coefA is the f(0) denominator; zero would divide by zero.
+    configRange(coefA, 1u, 1u << 16, "OhSnapConfig.coefA");
+    configRange(coefB, 0u, 1u << 16, "OhSnapConfig.coefB");
+}
+
 OhSnapPredictor::OhSnapPredictor(const OhSnapConfig &config)
-    : cfg(config),
+    : cfg((config.validate(), config)),
       threshold(perceptronTheta(config.historyLength) / 2),
       weights(size_t{1} << config.logWeights,
               SignedSatCounter(config.weightBits)),

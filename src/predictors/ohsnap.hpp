@@ -48,6 +48,10 @@ struct OhSnapConfig
     unsigned coefNum = 96;
     unsigned coefA = 64;
     unsigned coefB = 1;
+
+    /** @throws ConfigError on out-of-range fields. Called by the
+     *  OhSnapPredictor constructor. */
+    void validate() const;
 };
 
 /** Scaled neural predictor in the OH-SNAP style. */

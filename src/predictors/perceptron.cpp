@@ -1,10 +1,23 @@
 #include "predictors/perceptron.hpp"
 
+#include "util/errors.hpp"
+
 namespace bfbp
 {
 
+void
+PerceptronConfig::validate() const
+{
+    configRange(historyLength, 1u, 1024u,
+                "PerceptronConfig.historyLength");
+    configRange(logPerceptrons, 1u, 24u,
+                "PerceptronConfig.logPerceptrons");
+    configRange(weightBits, 2u, 16u, "PerceptronConfig.weightBits");
+}
+
 PerceptronPredictor::PerceptronPredictor(const PerceptronConfig &config)
-    : cfg(config), theta(perceptronTheta(config.historyLength)),
+    : cfg((config.validate(), config)),
+      theta(perceptronTheta(config.historyLength)),
       weights((size_t{1} << config.logPerceptrons) *
                   (config.historyLength + 1),
               SignedSatCounter(config.weightBits)),

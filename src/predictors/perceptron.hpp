@@ -31,6 +31,10 @@ struct PerceptronConfig
     unsigned historyLength = 32; //!< Global history bits used.
     unsigned logPerceptrons = 9; //!< log2 number of perceptrons.
     unsigned weightBits = 8;     //!< Width of each weight.
+
+    /** @throws ConfigError on out-of-range fields. Called by the
+     *  PerceptronPredictor constructor. */
+    void validate() const;
 };
 
 /** Classic global perceptron predictor. */

@@ -2,12 +2,28 @@
 
 #include <cstdlib>
 
+#include "util/errors.hpp"
+
 namespace bfbp
 {
 
+void
+PiecewiseLinearConfig::validate() const
+{
+    configRange(historyLength, 1u, 2048u,
+                "PiecewiseLinearConfig.historyLength");
+    configRange(logWeights, 1u, 28u,
+                "PiecewiseLinearConfig.logWeights");
+    configRange(logBias, 1u, 28u, "PiecewiseLinearConfig.logBias");
+    configRange(weightBits, 2u, 16u,
+                "PiecewiseLinearConfig.weightBits");
+    configRange(pcHashBits, 1u, 16u,
+                "PiecewiseLinearConfig.pcHashBits");
+}
+
 PiecewiseLinearPredictor::PiecewiseLinearPredictor(
     const PiecewiseLinearConfig &config)
-    : cfg(config),
+    : cfg((config.validate(), config)),
       threshold(perceptronTheta(config.historyLength)),
       weights(size_t{1} << config.logWeights,
               SignedSatCounter(config.weightBits)),

@@ -37,6 +37,10 @@ struct PiecewiseLinearConfig
     unsigned logBias = 12;       //!< log2 entries of the bias table.
     unsigned weightBits = 8;
     unsigned pcHashBits = 14;    //!< Stored path-address hash width.
+
+    /** @throws ConfigError on out-of-range fields. Called by the
+     *  PiecewiseLinearPredictor constructor. */
+    void validate() const;
 };
 
 /** Hashed piecewise-linear neural predictor. */

@@ -1,6 +1,6 @@
 #include "predictors/sizing.hpp"
 
-#include <stdexcept>
+#include "util/errors.hpp"
 
 namespace bfbp
 {
@@ -51,8 +51,9 @@ TageConfig
 conventionalTageConfig(unsigned tables)
 {
     if (tables < 1 || tables > convHist.size()) {
-        throw std::invalid_argument(
-            "conventional TAGE supports 1..15 tagged tables");
+        throw ConfigError("conventional TAGE supports 1..15 tagged "
+                          "tables, got " +
+                          std::to_string(tables));
     }
     TageConfig cfg;
     cfg.label = "tage-" + std::to_string(tables);
@@ -67,8 +68,9 @@ TageConfig
 bfTageConfig(unsigned tables)
 {
     if (tables < 1 || tables > bfHist.size()) {
-        throw std::invalid_argument(
-            "BF-TAGE supports 1..10 tagged tables");
+        throw ConfigError("BF-TAGE supports 1..10 tagged tables, "
+                          "got " +
+                          std::to_string(tables));
     }
     TageConfig cfg;
     cfg.label = "bf-tage-" + std::to_string(tables);

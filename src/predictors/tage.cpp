@@ -4,19 +4,55 @@
 
 #include "telemetry/telemetry.hpp"
 #include "util/bitops.hpp"
+#include "util/errors.hpp"
 #include "util/hashing.hpp"
 
 namespace bfbp
 {
 
+void
+TageConfig::validate() const
+{
+    const std::string where = "TageConfig(" + label + ")";
+    configRange<size_t>(numTables(), 1, maxTageTables,
+                        where + ".historyLengths.size");
+    configRequire(logSizes.size() == numTables(),
+                  where + ".logSizes has " +
+                      std::to_string(logSizes.size()) +
+                      " entries for " + std::to_string(numTables()) +
+                      " tables");
+    configRequire(tagBits.size() == numTables(),
+                  where + ".tagBits has " +
+                      std::to_string(tagBits.size()) +
+                      " entries for " + std::to_string(numTables()) +
+                      " tables");
+    for (size_t t = 0; t < numTables(); ++t) {
+        const std::string at = "[" + std::to_string(t) + "]";
+        configRange(historyLengths[t], 1u, 1u << 16,
+                    where + ".historyLengths" + at);
+        configRange(logSizes[t], 1u, 26u, where + ".logSizes" + at);
+        configRange(tagBits[t], 1u, 16u, where + ".tagBits" + at);
+        configRequire(t == 0 ||
+                          historyLengths[t - 1] < historyLengths[t],
+                      where + ".historyLengths must be strictly "
+                              "increasing (table " +
+                          std::to_string(t) + ")");
+    }
+    configRange(logBase, 1u, 26u, where + ".logBase");
+    configRange(hystShift, 0u, logBase, where + ".hystShift");
+    // TaggedEntry stores the counter in an int8_t.
+    configRange(ctrBits, 2u, 8u, where + ".ctrBits");
+    configRange(uBits, 1u, 8u, where + ".uBits");
+    configRange(pathBits, 1u, 64u, where + ".pathBits");
+    configRequire(uResetPeriod >= 1,
+                  where + ".uResetPeriod must be >= 1");
+}
+
 TageBase::TageBase(TageConfig config)
-    : cfg(std::move(config)),
+    : cfg((config.validate(), std::move(config))),
       basePred(size_t{1} << cfg.logBase, 0),
       baseHyst(size_t{1} << (cfg.logBase - cfg.hystShift), 1)
 {
-    assert(cfg.numTables() >= 1 && cfg.numTables() <= maxTageTables);
-    assert(cfg.logSizes.size() == cfg.numTables());
-    assert(cfg.tagBits.size() == cfg.numTables());
     tables.reserve(cfg.numTables());
     for (unsigned logSize : cfg.logSizes)
         tables.emplace_back(size_t{1} << logSize);

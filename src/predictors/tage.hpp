@@ -53,6 +53,16 @@ struct TageConfig
     uint64_t uResetPeriod = 1 << 19; //!< Commits between u agings.
 
     size_t numTables() const { return historyLengths.size(); }
+
+    /**
+     * Checks geometry consistency (vector lengths, table count,
+     * strictly increasing history lengths) and every field's range.
+     * Called by the TageBase constructor, so an invalid config can
+     * never size a table.
+     *
+     * @throws ConfigError naming the offending field and its range.
+     */
+    void validate() const;
 };
 
 /** Shared machinery of the TAGE family. */

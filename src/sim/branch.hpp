@@ -47,6 +47,27 @@ struct BranchRecord
     operator==(const BranchRecord &other) const = default;
 };
 
+/** Is @p raw a defined BranchType encoding? */
+constexpr bool
+isValidBranchType(uint8_t raw)
+{
+    return raw <= static_cast<uint8_t>(BranchType::Return);
+}
+
+/**
+ * Structural validity of a record: a defined branch type and a
+ * nonzero instruction count (every record accounts at least for the
+ * branch itself). Fault injection and corrupted trace files are the
+ * only ways to produce records that fail this; the evaluator checks
+ * it per record and applies EvalOptions::onError.
+ */
+inline bool
+isStructurallyValid(const BranchRecord &r)
+{
+    return isValidBranchType(static_cast<uint8_t>(r.type)) &&
+        r.instCount > 0;
+}
+
 } // namespace bfbp
 
 #endif // BFBP_SIM_BRANCH_HPP

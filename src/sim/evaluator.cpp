@@ -43,7 +43,41 @@ evaluate(TraceSource &source, BranchPredictor &predictor,
     telemetry::ScopedTimer timer(tel, "eval");
 
     BranchRecord record;
-    while (source.next(record)) {
+    for (;;) {
+        // Source faults and invalid records go through the onError
+        // policy. Under Throw (the default) this block is
+        // transparent: exceptions propagate exactly as before the
+        // robustness layer existed.
+        try {
+            if (!source.next(record))
+                break;
+        } catch (const BfbpError &) {
+            if (options.onError == ErrorPolicy::Throw)
+                throw;
+            // A failed read leaves the stream position undefined;
+            // both remaining policies end the trace here.
+            ++result.streamErrors;
+            break;
+        }
+
+        if (!isStructurallyValid(record)) {
+            if (options.onError == ErrorPolicy::Throw) {
+                throw EvalError(
+                    "structurally invalid record in " + source.name() +
+                    " after " + std::to_string(result.condBranches +
+                                               result.otherBranches) +
+                    " branches (type " +
+                    std::to_string(static_cast<unsigned>(record.type)) +
+                    ", instCount " + std::to_string(record.instCount) +
+                    ")");
+            }
+            ++result.streamErrors;
+            if (options.onError == ErrorPolicy::StopTrace)
+                break;
+            ++result.recordsSkipped;
+            continue;
+        }
+
         result.instructions += record.instCount;
 
         if (!record.isConditional()) {
@@ -117,6 +151,8 @@ evaluate(TraceSource &source, BranchPredictor &predictor,
         tel->add("eval.cond_branches", result.condBranches);
         tel->add("eval.other_branches", result.otherBranches);
         tel->add("eval.mispredictions", result.mispredictions);
+        tel->add("eval.records_skipped", result.recordsSkipped);
+        tel->add("eval.errors", result.streamErrors);
         predictor.emitTelemetry(*tel);
     }
 

@@ -21,9 +21,37 @@
 #include "sim/predictor.hpp"
 #include "sim/trace_source.hpp"
 #include "telemetry/telemetry.hpp"
+#include "util/errors.hpp"
 
 namespace bfbp
 {
+
+/**
+ * What evaluate() does when the stream misbehaves — a structurally
+ * invalid record (corrupted archive, fault injection) or a source
+ * whose next() throws mid-trace.
+ */
+enum class ErrorPolicy
+{
+    /** Re-throw source exceptions; raise EvalError on invalid
+     *  records. The pre-robustness-layer behavior: on a clean trace
+     *  results are bit-identical to the other policies. */
+    Throw,
+
+    /**
+     * Drop the offending record and keep going; each drop counts
+     * into EvalResult::recordsSkipped ("eval.records_skipped").
+     * A throwing next() still ends the trace (a failed read leaves
+     * the stream position undefined, so there is nothing to skip
+     * past), recorded in EvalResult::streamErrors ("eval.errors").
+     * Long suite runs degrade gracefully and report what they lost.
+     */
+    SkipRecord,
+
+    /** First fault ends this trace; the partial result is returned
+     *  with the fault counted in streamErrors. */
+    StopTrace,
+};
 
 /** Knobs for a single evaluation run. */
 struct EvalOptions
@@ -67,6 +95,9 @@ struct EvalOptions
      * series, and calls predictor.emitTelemetry() at the end.
      */
     telemetry::Telemetry *telemetry = nullptr;
+
+    /** Fault handling policy; see ErrorPolicy. */
+    ErrorPolicy onError = ErrorPolicy::Throw;
 };
 
 /** Per-static-branch accuracy row (collectPerBranch). */
@@ -87,6 +118,14 @@ struct EvalResult
     uint64_t condBranches = 0;
     uint64_t otherBranches = 0;
     uint64_t mispredictions = 0;
+
+    /** Structurally invalid records dropped (SkipRecord policy). */
+    uint64_t recordsSkipped = 0;
+
+    /** Faults observed: invalid records plus source read failures.
+     *  Always 0 under ErrorPolicy::Throw (the fault propagates). */
+    uint64_t streamErrors = 0;
+
     std::vector<BranchProfile> perBranch; //!< Sorted by mispredictions.
 
     /** Mispredictions per 1000 instructions. */

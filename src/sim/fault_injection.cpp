@@ -1,0 +1,252 @@
+#include "sim/fault_injection.hpp"
+
+#include <cstdio>
+#include <cstring>
+#include <vector>
+
+#include "sim/trace_io.hpp"
+
+namespace bfbp
+{
+
+void
+FaultInjectionConfig::validate() const
+{
+    const auto prob = [](double p, const char *name) {
+        if (!(p >= 0.0 && p <= 1.0)) {
+            throw ConfigError(std::string("FaultInjectionConfig.") +
+                              name + " = " + std::to_string(p) +
+                              " out of range [0, 1]");
+        }
+    };
+    prob(corruptProb, "corruptProb");
+    prob(dropProb, "dropProb");
+    prob(duplicateProb, "duplicateProb");
+    prob(reorderProb, "reorderProb");
+}
+
+FaultInjectingSource::FaultInjectingSource(TraceSource &inner_source,
+                                           FaultInjectionConfig config)
+    : inner(inner_source), cfg(std::move(config)), rng(cfg.seed)
+{
+    cfg.validate();
+}
+
+std::string
+FaultInjectingSource::name() const
+{
+    return inner.name() + "+faults";
+}
+
+void
+FaultInjectingSource::reset()
+{
+    inner.reset();
+    rng.reseed(cfg.seed);
+    queued.clear();
+    counts = FaultStats{};
+}
+
+BranchRecord
+FaultInjectingSource::corruptRecord(const BranchRecord &r)
+{
+    // Route the corruption through the on-disk codec so the damage a
+    // consumer can observe is exactly the damage a flipped byte in
+    // an archive would produce (including invalid type bytes, which
+    // unpackRaw deliberately does not reject).
+    unsigned char buf[trace_format::recordBytes];
+    trace_format::pack(r, buf);
+    const size_t byte = rng.below(trace_format::recordBytes);
+    buf[byte] ^= static_cast<unsigned char>(1 + rng.below(255));
+    return trace_format::unpackRaw(buf);
+}
+
+bool
+FaultInjectingSource::next(BranchRecord &out)
+{
+    if (cfg.truncateAfter != 0 &&
+        counts.delivered >= cfg.truncateAfter) {
+        counts.truncated = true;
+        return false;
+    }
+
+    for (;;) {
+        BranchRecord r;
+        if (!queued.empty()) {
+            r = queued.front();
+            queued.pop_front();
+        } else {
+            if (!inner.next(r))
+                return false;
+            if (cfg.dropProb > 0.0 && rng.chance(cfg.dropProb)) {
+                ++counts.dropped;
+                continue;
+            }
+            if (cfg.reorderProb > 0.0 && rng.chance(cfg.reorderProb)) {
+                BranchRecord following;
+                if (inner.next(following)) {
+                    queued.push_back(r);
+                    r = following;
+                    ++counts.reordered;
+                }
+            }
+            if (cfg.duplicateProb > 0.0 &&
+                rng.chance(cfg.duplicateProb)) {
+                queued.push_back(r);
+                ++counts.duplicated;
+            }
+            if (cfg.corruptProb > 0.0 && rng.chance(cfg.corruptProb)) {
+                r = corruptRecord(r);
+                ++counts.corrupted;
+            }
+        }
+        out = r;
+        ++counts.delivered;
+        return true;
+    }
+}
+
+namespace
+{
+
+/** Reads a whole file into memory. */
+std::vector<unsigned char>
+slurp(const std::string &path)
+{
+    std::FILE *f = std::fopen(path.c_str(), "rb");
+    if (!f)
+        throw TraceIoError("fuzzer cannot open golden trace: " + path);
+    std::vector<unsigned char> bytes;
+    unsigned char buf[4096];
+    size_t got = 0;
+    while ((got = std::fread(buf, 1, sizeof(buf), f)) > 0)
+        bytes.insert(bytes.end(), buf, buf + got);
+    std::fclose(f);
+    return bytes;
+}
+
+void
+spit(const std::string &path, const unsigned char *data, size_t bytes)
+{
+    std::FILE *f = std::fopen(path.c_str(), "wb");
+    if (!f)
+        throw TraceIoError("fuzzer cannot write mutant: " + path);
+    if (bytes != 0 && std::fwrite(data, 1, bytes, f) != bytes) {
+        std::fclose(f);
+        throw TraceIoError("fuzzer short write on mutant: " + path);
+    }
+    std::fclose(f);
+}
+
+/** One fuzz case: write the mutant, run the full read path, tally. */
+void
+attempt(const std::vector<unsigned char> &mutant,
+        const std::string &scratch_path, FuzzReport &report)
+{
+    spit(scratch_path, mutant.data(), mutant.size());
+    ++report.cases;
+    try {
+        const auto records = readTrace(scratch_path);
+        ++report.readOk;
+        report.recordsRead += records.size();
+    } catch (const TraceIoError &) {
+        ++report.rejected;
+    }
+    // Anything else escapes: the fuzzer's contract is that the
+    // reader either succeeds or raises TraceIoError.
+}
+
+void
+overwriteCount(std::vector<unsigned char> &bytes, uint64_t count)
+{
+    std::memcpy(bytes.data() + trace_format::countOffset, &count, 8);
+}
+
+} // anonymous namespace
+
+FuzzReport
+fuzzTraceFile(const std::string &golden_path,
+              const std::string &scratch_path)
+{
+    const std::vector<unsigned char> golden = slurp(golden_path);
+    if (golden.size() < trace_format::headerBytes) {
+        throw TraceIoError("golden trace too small to fuzz: " +
+                           golden_path);
+    }
+
+    FuzzReport report;
+
+    // Byte regions: the whole header, the first record, the last
+    // record. Regions overlap for single-record traces; duplicates
+    // are just extra cases.
+    std::vector<size_t> offsets;
+    for (size_t i = 0; i < trace_format::headerBytes && i < golden.size();
+         ++i) {
+        offsets.push_back(i);
+    }
+    if (golden.size() >=
+        trace_format::headerBytes + trace_format::recordBytes) {
+        for (size_t i = 0; i < trace_format::recordBytes; ++i) {
+            offsets.push_back(trace_format::headerBytes + i);
+            offsets.push_back(golden.size() -
+                              trace_format::recordBytes + i);
+        }
+    }
+
+    const unsigned char patterns[3] = {0x00, 0xFF, 0x01};
+    std::vector<unsigned char> mutant;
+    for (size_t off : offsets) {
+        const unsigned char original = golden[off];
+        const unsigned char variants[4] = {
+            static_cast<unsigned char>(original ^ 0xFF), patterns[0],
+            patterns[1],
+            static_cast<unsigned char>(original ^ patterns[2])};
+        for (unsigned char v : variants) {
+            if (v == original)
+                continue;
+            mutant = golden;
+            mutant[off] = v;
+            attempt(mutant, scratch_path, report);
+        }
+    }
+
+    // Truncation at every length, including the zero-byte file and
+    // cuts inside every field of every record.
+    for (size_t len = 0; len < golden.size(); ++len) {
+        mutant.assign(golden.begin(), golden.begin() + len);
+        attempt(mutant, scratch_path, report);
+    }
+
+    // Header count lies, including the over-allocation probes: a
+    // hardened reader must reject these by size cross-check before
+    // reserving anything.
+    const uint64_t payload = golden.size() - trace_format::headerBytes;
+    const uint64_t actual = payload / trace_format::recordBytes;
+    const uint64_t lies[] = {0,
+                             actual + 1,
+                             actual > 0 ? actual - 1 : 2,
+                             actual / 2 + 1,
+                             actual + 1000000,
+                             UINT64_MAX / trace_format::recordBytes,
+                             UINT64_MAX};
+    for (uint64_t lie : lies) {
+        if (lie == actual)
+            continue;
+        mutant = golden;
+        overwriteCount(mutant, lie);
+        attempt(mutant, scratch_path, report);
+    }
+
+    // Trailing garbage: the size cross-check must notice bytes the
+    // count does not account for.
+    for (size_t extra : {size_t{1}, trace_format::recordBytes - 1}) {
+        mutant = golden;
+        mutant.insert(mutant.end(), extra, 0xAB);
+        attempt(mutant, scratch_path, report);
+    }
+
+    std::remove(scratch_path.c_str());
+    return report;
+}
+
+} // namespace bfbp

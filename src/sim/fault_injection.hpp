@@ -1,0 +1,137 @@
+/**
+ * @file
+ * Fault injection for the evaluation stack (docs/ROBUSTNESS.md).
+ *
+ * Two adversaries live here:
+ *
+ *  - FaultInjectingSource: a TraceSource decorator that perturbs a
+ *    clean stream with seeded, reproducible faults — single-byte
+ *    record corruption (through the on-disk codec, so the evaluator
+ *    sees exactly what a flipped byte in an archive would produce),
+ *    record drops, duplications, adjacent-pair reorderings, and hard
+ *    stream truncation. It exercises the evaluator's
+ *    EvalOptions::onError policies end to end.
+ *
+ *  - fuzzTraceFile(): a deterministic (seedless, exhaustive)
+ *    file-corruption fuzzer. It mutates every byte of a golden
+ *    archive's header, first record and last record, truncates the
+ *    file at every length, and lies in the header count field; for
+ *    every mutant it asserts the reader either round-trips or throws
+ *    TraceIoError — never crashes, hangs, or allocates from an
+ *    unvalidated count. Any non-TraceIoError exception propagates to
+ *    the caller, which is the fuzzer's failure signal.
+ */
+
+#ifndef BFBP_SIM_FAULT_INJECTION_HPP
+#define BFBP_SIM_FAULT_INJECTION_HPP
+
+#include <cstdint>
+#include <deque>
+#include <string>
+
+#include "sim/trace_source.hpp"
+#include "util/errors.hpp"
+#include "util/random.hpp"
+
+namespace bfbp
+{
+
+/** Fault mix for FaultInjectingSource. All faults are off by
+ *  default; probabilities are per delivered record. */
+struct FaultInjectionConfig
+{
+    uint64_t seed = 0xFA017;    //!< Drives every fault decision.
+    double corruptProb = 0.0;   //!< Flip one byte of the packed record.
+    double dropProb = 0.0;      //!< Silently lose the record.
+    double duplicateProb = 0.0; //!< Deliver the record twice.
+    double reorderProb = 0.0;   //!< Swap with the following record.
+    uint64_t truncateAfter = 0; //!< End the stream after this many
+                                //!< delivered records (0 = off).
+
+    /** @throws ConfigError on probabilities outside [0, 1]. */
+    void validate() const;
+};
+
+/** What a FaultInjectingSource did so far (since construction or the
+ *  last reset()). */
+struct FaultStats
+{
+    uint64_t delivered = 0;  //!< Records handed to the consumer.
+    uint64_t corrupted = 0;
+    uint64_t dropped = 0;
+    uint64_t duplicated = 0;
+    uint64_t reordered = 0;
+    bool truncated = false;  //!< truncateAfter limit was reached.
+};
+
+/**
+ * TraceSource decorator injecting seeded faults into a clean stream.
+ *
+ * Deterministic: a fixed (inner stream, config) pair yields the same
+ * faulted stream on every pass; reset() restarts both the inner
+ * source and the fault RNG. The decorator does not own the inner
+ * source, mirroring how decorated evaluations compose elsewhere.
+ *
+ * Corrupted records may be structurally invalid (bad branch type,
+ * zero instCount); the evaluator's per-record validation plus
+ * EvalOptions::onError decide what happens then.
+ */
+class FaultInjectingSource : public TraceSource
+{
+  public:
+    FaultInjectingSource(TraceSource &inner_source,
+                         FaultInjectionConfig config);
+
+    bool next(BranchRecord &out) override;
+    void reset() override;
+    std::string name() const override;
+
+    const FaultStats &stats() const { return counts; }
+    const FaultInjectionConfig &config() const { return cfg; }
+
+  private:
+    BranchRecord corruptRecord(const BranchRecord &r);
+
+    TraceSource &inner;
+    FaultInjectionConfig cfg;
+    Rng rng;
+    std::deque<BranchRecord> queued; //!< Duplicates/reorder leftovers.
+    FaultStats counts;
+};
+
+/** Outcome tally of one fuzzTraceFile() sweep. */
+struct FuzzReport
+{
+    uint64_t cases = 0;       //!< Mutants attempted.
+    uint64_t readOk = 0;      //!< Mutants the reader accepted.
+    uint64_t rejected = 0;    //!< Mutants rejected with TraceIoError.
+    uint64_t recordsRead = 0; //!< Records decoded across accepted
+                              //!< mutants (sanity ceiling check).
+};
+
+/**
+ * Exhaustive deterministic corruption sweep over a golden archive.
+ *
+ * For every mutant written to @p scratch_path, the full read path
+ * (open, header validation, every record) runs inside a
+ * catch(TraceIoError) harness. cases == readOk + rejected holds on
+ * return; any other exception (or crash) escapes and fails the
+ * caller. Mutation classes:
+ *
+ *  - every byte of the header, the first record and the last record,
+ *    each rewritten with ^0xFF, 0x00, 0xFF and ^0x01;
+ *  - truncation to every length in [0, size);
+ *  - header count lies: 0, count±1, payload/2, maxRecords+1 and
+ *    UINT64_MAX (the over-allocation probes);
+ *  - trailing garbage of 1 and recordBytes-1 bytes.
+ *
+ * @param golden_path  Existing well-formed trace archive.
+ * @param scratch_path Mutants are (re)written here; left removed.
+ * @throws TraceIoError when the golden file itself cannot be read.
+ */
+FuzzReport fuzzTraceFile(const std::string &golden_path,
+                         const std::string &scratch_path);
+
+} // namespace bfbp
+
+#endif // BFBP_SIM_FAULT_INJECTION_HPP

@@ -1,6 +1,6 @@
 #include "sim/trace_io.hpp"
 
-#include <array>
+#include <cerrno>
 #include <cstring>
 
 namespace bfbp
@@ -8,32 +8,6 @@ namespace bfbp
 
 namespace
 {
-
-constexpr uint32_t traceMagic = 0x54424642; // "BFBT" little endian
-constexpr uint32_t traceVersion = 1;
-constexpr size_t recordBytes = 8 + 8 + 4 + 1 + 1;
-
-void
-packRecord(const BranchRecord &r, unsigned char *buf)
-{
-    std::memcpy(buf + 0, &r.pc, 8);
-    std::memcpy(buf + 8, &r.target, 8);
-    std::memcpy(buf + 16, &r.instCount, 4);
-    buf[20] = static_cast<unsigned char>(r.type);
-    buf[21] = r.taken ? 1 : 0;
-}
-
-BranchRecord
-unpackRecord(const unsigned char *buf)
-{
-    BranchRecord r;
-    std::memcpy(&r.pc, buf + 0, 8);
-    std::memcpy(&r.target, buf + 8, 8);
-    std::memcpy(&r.instCount, buf + 16, 4);
-    r.type = static_cast<BranchType>(buf[20]);
-    r.taken = buf[21] != 0;
-    return r;
-}
 
 void
 writeRaw(std::FILE *file, const void *data, size_t bytes)
@@ -51,25 +25,83 @@ readRaw(std::FILE *file, void *data, size_t bytes)
 
 } // anonymous namespace
 
-TraceFileWriter::TraceFileWriter(const std::string &path)
-    : file(std::fopen(path.c_str(), "wb"))
+namespace trace_format
 {
-    if (!file)
-        throw TraceIoError("cannot open trace file for writing: " + path);
-    writeRaw(file, &traceMagic, 4);
-    writeRaw(file, &traceVersion, 4);
+
+void
+pack(const BranchRecord &r, unsigned char *buf)
+{
+    std::memcpy(buf + 0, &r.pc, 8);
+    std::memcpy(buf + 8, &r.target, 8);
+    std::memcpy(buf + 16, &r.instCount, 4);
+    buf[20] = static_cast<unsigned char>(r.type);
+    buf[21] = r.taken ? 1 : 0;
+}
+
+BranchRecord
+unpackRaw(const unsigned char *buf)
+{
+    BranchRecord r;
+    std::memcpy(&r.pc, buf + 0, 8);
+    std::memcpy(&r.target, buf + 8, 8);
+    std::memcpy(&r.instCount, buf + 16, 4);
+    r.type = static_cast<BranchType>(buf[20]);
+    r.taken = buf[21] != 0;
+    return r;
+}
+
+BranchRecord
+unpack(const unsigned char *buf)
+{
+    if (!isValidBranchType(buf[20])) {
+        throw TraceIoError("invalid branch type " +
+                           std::to_string(buf[20]) +
+                           " in trace record (valid: 0..4)");
+    }
+    if (buf[21] > 1) {
+        throw TraceIoError("invalid taken byte " +
+                           std::to_string(buf[21]) +
+                           " in trace record (valid: 0 or 1)");
+    }
+    BranchRecord r = unpackRaw(buf);
+    if (r.instCount == 0) {
+        throw TraceIoError(
+            "invalid zero instruction count in trace record");
+    }
+    return r;
+}
+
+} // namespace trace_format
+
+TraceFileWriter::TraceFileWriter(const std::string &path)
+    : finalPath(path), tmpPath(path + ".tmp"),
+      file(std::fopen(tmpPath.c_str(), "wb"))
+{
+    if (!file) {
+        throw TraceIoError("cannot open trace temp file for writing: " +
+                           tmpPath + " (" + std::strerror(errno) + ")");
+    }
+    writeRaw(file, &trace_format::magic, 4);
+    writeRaw(file, &trace_format::version, 4);
     uint64_t placeholder = 0;
     writeRaw(file, &placeholder, 8);
 }
 
 TraceFileWriter::~TraceFileWriter()
 {
-    try {
-        close();
-    } catch (const TraceIoError &) {
-        // Destructor must not throw; the file is left truncated,
-        // which the reader detects via the record count.
-    }
+    // Commit happens only through an explicit close(); an unwinding
+    // or forgotten writer must not publish a half-written archive.
+    discard();
+}
+
+void
+TraceFileWriter::discard() noexcept
+{
+    if (!file)
+        return;
+    std::fclose(file);
+    file = nullptr;
+    std::remove(tmpPath.c_str());
 }
 
 void
@@ -77,9 +109,15 @@ TraceFileWriter::append(const BranchRecord &record)
 {
     if (!file)
         throw TraceIoError("append on closed trace writer");
-    unsigned char buf[recordBytes];
-    packRecord(record, buf);
-    writeRaw(file, buf, recordBytes);
+    if (!isStructurallyValid(record)) {
+        throw TraceIoError(
+            "refusing to write structurally invalid record (type " +
+            std::to_string(static_cast<unsigned>(record.type)) +
+            ", instCount " + std::to_string(record.instCount) + ")");
+    }
+    unsigned char buf[trace_format::recordBytes];
+    trace_format::pack(record, buf);
+    writeRaw(file, buf, trace_format::recordBytes);
     ++count;
 }
 
@@ -88,28 +126,103 @@ TraceFileWriter::close()
 {
     if (!file)
         return;
-    if (std::fseek(file, 8, SEEK_SET) != 0)
-        throw TraceIoError("trace seek failed");
-    writeRaw(file, &count, 8);
-    std::fclose(file);
+    try {
+        if (std::fseek(file, trace_format::countOffset, SEEK_SET) != 0)
+            throw TraceIoError("trace seek failed while finalizing " +
+                               tmpPath);
+        writeRaw(file, &count, 8);
+        if (std::fflush(file) != 0) {
+            throw TraceIoError("trace flush failed for " + tmpPath +
+                               " (" + std::strerror(errno) + ")");
+        }
+    } catch (...) {
+        discard();
+        throw;
+    }
+    const int rc = std::fclose(file);
     file = nullptr;
+    if (rc != 0) {
+        std::remove(tmpPath.c_str());
+        throw TraceIoError("trace close failed for " + tmpPath + " (" +
+                           std::strerror(errno) + ")");
+    }
+    if (std::rename(tmpPath.c_str(), finalPath.c_str()) != 0) {
+        std::remove(tmpPath.c_str());
+        throw TraceIoError("cannot publish trace file " + finalPath +
+                           " (" + std::strerror(errno) + ")");
+    }
+    closedClean = true;
 }
 
 TraceFileSource::TraceFileSource(const std::string &path)
     : file(std::fopen(path.c_str(), "rb")), label(path)
 {
-    if (!file)
-        throw TraceIoError("cannot open trace file: " + path);
-    uint32_t magic = 0;
-    uint32_t version = 0;
-    readRaw(file, &magic, 4);
-    readRaw(file, &version, 4);
-    readRaw(file, &total, 8);
-    if (magic != traceMagic)
-        throw TraceIoError("bad trace magic in " + path);
-    if (version != traceVersion)
-        throw TraceIoError("unsupported trace version in " + path);
-    dataOffset = std::ftell(file);
+    if (!file) {
+        throw TraceIoError("cannot open trace file: " + path + " (" +
+                           std::strerror(errno) + ")");
+    }
+    try {
+        // Actual size first: the header count is validated against it
+        // before anything is allocated or read.
+        if (std::fseek(file, 0, SEEK_END) != 0)
+            throw TraceIoError("trace seek failed in " + path);
+        const long rawSize = std::ftell(file);
+        if (rawSize < 0)
+            throw TraceIoError("cannot determine size of " + path);
+        const uint64_t fileSize = static_cast<uint64_t>(rawSize);
+        if (std::fseek(file, 0, SEEK_SET) != 0)
+            throw TraceIoError("trace seek failed in " + path);
+
+        if (fileSize < trace_format::headerBytes) {
+            throw TraceIoError(
+                "trace file too small for header: " + path + " is " +
+                std::to_string(fileSize) + " bytes, header needs " +
+                std::to_string(trace_format::headerBytes));
+        }
+
+        uint32_t magic = 0;
+        uint32_t version = 0;
+        readRaw(file, &magic, 4);
+        readRaw(file, &version, 4);
+        readRaw(file, &total, 8);
+        if (magic != trace_format::magic)
+            throw TraceIoError("bad trace magic in " + path);
+        if (version != trace_format::version) {
+            throw TraceIoError("unsupported trace version " +
+                               std::to_string(version) + " in " + path +
+                               " (supported: " +
+                               std::to_string(trace_format::version) +
+                               ")");
+        }
+
+        // Overflow-safe count-vs-size cross-check. Any mismatch —
+        // count too large (truncated payload), too small (trailing
+        // bytes), or astronomically lying — is rejected here, so
+        // recordCount() is always safe to allocate against.
+        const uint64_t payload = fileSize - trace_format::headerBytes;
+        const uint64_t maxRecords = payload / trace_format::recordBytes;
+        if (total > maxRecords ||
+            total * trace_format::recordBytes != payload) {
+            const uint64_t countCeil =
+                (UINT64_MAX - trace_format::headerBytes) /
+                trace_format::recordBytes;
+            const std::string implied = total <= countCeil
+                ? std::to_string(trace_format::headerBytes +
+                                 total * trace_format::recordBytes) +
+                    " bytes"
+                : "more bytes than addressable";
+            throw TraceIoError(
+                "trace header count " + std::to_string(total) +
+                " implies " + implied + " but " + path + " is " +
+                std::to_string(fileSize) + " bytes");
+        }
+
+        dataOffset = std::ftell(file);
+    } catch (...) {
+        std::fclose(file);
+        file = nullptr;
+        throw;
+    }
 }
 
 TraceFileSource::~TraceFileSource()
@@ -123,9 +236,9 @@ TraceFileSource::next(BranchRecord &out)
 {
     if (consumed >= total)
         return false;
-    unsigned char buf[recordBytes];
-    readRaw(file, buf, recordBytes);
-    out = unpackRecord(buf);
+    unsigned char buf[trace_format::recordBytes];
+    readRaw(file, buf, trace_format::recordBytes);
+    out = trace_format::unpack(buf);
     ++consumed;
     return true;
 }

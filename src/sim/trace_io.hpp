@@ -12,31 +12,72 @@
  * The format exists so generated workloads can be archived and
  * exchanged like CBP trace files; the suite normally streams straight
  * from the generator instead.
+ *
+ * Robustness contract (docs/ROBUSTNESS.md):
+ *  - The reader cross-checks the header `count` against the actual
+ *    file size before any allocation, so a lying header can neither
+ *    over-allocate nor read past the payload.
+ *  - Every record is structurally validated as it is decoded (branch
+ *    type and taken ranges, nonzero instCount); violations raise
+ *    TraceIoError, never undefined behavior.
+ *  - The writer stages into "<path>.tmp" and atomically renames onto
+ *    the final path in close(). A crashed or abandoned run therefore
+ *    never leaves a half-written archive behind the final path: the
+ *    destructor of an unclosed writer discards the temp file.
  */
 
 #ifndef BFBP_SIM_TRACE_IO_HPP
 #define BFBP_SIM_TRACE_IO_HPP
 
+#include <cstdint>
 #include <cstdio>
 #include <memory>
-#include <stdexcept>
 #include <string>
 #include <vector>
 
 #include "sim/trace_source.hpp"
+#include "util/errors.hpp"
 
 namespace bfbp
 {
 
-/** Raised on malformed trace files or I/O failures. */
-class TraceIoError : public std::runtime_error
+/**
+ * On-disk format constants and record codecs, shared by the reader,
+ * the writer, the fault injector and the corruption fuzzer.
+ */
+namespace trace_format
 {
-  public:
-    using std::runtime_error::runtime_error;
-};
+
+constexpr uint32_t magic = 0x54424642; // "BFBT" little endian
+constexpr uint32_t version = 1;
+constexpr size_t headerBytes = 4 + 4 + 8;
+constexpr size_t countOffset = 8; //!< Byte offset of the u64 count.
+constexpr size_t recordBytes = 8 + 8 + 4 + 1 + 1;
+
+/** Serializes @p r into exactly recordBytes at @p buf. */
+void pack(const BranchRecord &r, unsigned char *buf);
+
+/**
+ * Decodes recordBytes at @p buf without validation. The result may
+ * be structurally invalid (see isStructurallyValid); the fault
+ * injector uses this to deliver corrupted records to the evaluator.
+ */
+BranchRecord unpackRaw(const unsigned char *buf);
+
+/**
+ * Decodes recordBytes at @p buf, validating the branch type, the
+ * taken byte and the instruction count.
+ *
+ * @throws TraceIoError on a structurally invalid record.
+ */
+BranchRecord unpack(const unsigned char *buf);
+
+} // namespace trace_format
 
 /** Streaming writer; records are appended and the count fixed up on
- *  close. */
+ *  close. Writes go to "<path>.tmp"; close() publishes the archive
+ *  by atomic rename. Destroying an unclosed writer discards the temp
+ *  file and publishes nothing. */
 class TraceFileWriter
 {
   public:
@@ -46,29 +87,52 @@ class TraceFileWriter
     TraceFileWriter(const TraceFileWriter &) = delete;
     TraceFileWriter &operator=(const TraceFileWriter &) = delete;
 
+    /** @throws TraceIoError on I/O failure or a structurally invalid
+     *  record (which would make the archive unreadable). */
     void append(const BranchRecord &record);
 
-    /** Flushes, writes the final record count, and closes the file.
-     *  Called automatically by the destructor if needed. */
+    /**
+     * Flushes, writes the final record count, closes the temp file
+     * and renames it onto the final path. Idempotent.
+     *
+     * @throws TraceIoError when any step fails; the temp file is
+     *         removed and the final path is left untouched.
+     */
     void close();
+
+    /** True once close() has completed successfully. */
+    bool closedOk() const { return closedClean; }
 
     uint64_t written() const { return count; }
 
   private:
+    void discard() noexcept;
+
+    std::string finalPath;
+    std::string tmpPath;
     std::FILE *file = nullptr;
     uint64_t count = 0;
+    bool closedClean = false;
 };
 
 /** Streaming reader implementing TraceSource. */
 class TraceFileSource : public TraceSource
 {
   public:
+    /**
+     * Opens and validates the container: magic, version, and the
+     * header count cross-checked against the actual file size
+     * (size must equal headerBytes + count * recordBytes exactly).
+     *
+     * @throws TraceIoError with an actionable message otherwise.
+     */
     explicit TraceFileSource(const std::string &path);
     ~TraceFileSource() override;
 
     TraceFileSource(const TraceFileSource &) = delete;
     TraceFileSource &operator=(const TraceFileSource &) = delete;
 
+    /** @throws TraceIoError on truncated reads or invalid records. */
     bool next(BranchRecord &out) override;
     void reset() override;
     std::string name() const override { return label; }
@@ -83,7 +147,7 @@ class TraceFileSource : public TraceSource
     long dataOffset = 0;
 };
 
-/** Writes a whole trace to @p path. */
+/** Writes a whole trace to @p path (atomic: temp file + rename). */
 void writeTrace(const std::string &path,
                 const std::vector<BranchRecord> &records);
 

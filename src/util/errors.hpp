@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Structured error taxonomy for the evaluation stack.
+ *
+ * Everything this library throws on purpose derives from BfbpError,
+ * so harnesses can catch one base type at their top level and turn it
+ * into a one-line diagnostic + nonzero exit instead of std::terminate
+ * (see docs/ROBUSTNESS.md). The subclasses partition the failure
+ * domains:
+ *
+ *  - TraceIoError:  malformed or truncated trace files, I/O failures.
+ *  - ConfigError:   rejected predictor/evaluator configuration — bad
+ *                   factory spec, out-of-range geometry, inconsistent
+ *                   table vectors. Raised before any table is sized,
+ *                   so a bad config can never allocate.
+ *  - EvalError:     structurally invalid records observed while a
+ *                   trace is replayed (EvalOptions::onError = Throw).
+ *
+ * Messages are diagnostics for humans: they name the offending field
+ * or file, the actual value, and the accepted range or option list.
+ */
+
+#ifndef BFBP_UTIL_ERRORS_HPP
+#define BFBP_UTIL_ERRORS_HPP
+
+#include <stdexcept>
+#include <string>
+
+namespace bfbp
+{
+
+/** Base of every intentional failure raised by this library. */
+class BfbpError : public std::runtime_error
+{
+  public:
+    using std::runtime_error::runtime_error;
+};
+
+/** Raised on malformed trace files or I/O failures. */
+class TraceIoError : public BfbpError
+{
+  public:
+    using BfbpError::BfbpError;
+};
+
+/** Raised when a configuration fails validation. */
+class ConfigError : public BfbpError
+{
+  public:
+    using BfbpError::BfbpError;
+};
+
+/** Raised by evaluate() on invalid records under the Throw policy. */
+class EvalError : public BfbpError
+{
+  public:
+    using BfbpError::BfbpError;
+};
+
+/** Throws ConfigError with @p message unless @p ok. */
+inline void
+configRequire(bool ok, const std::string &message)
+{
+    if (!ok)
+        throw ConfigError(message);
+}
+
+/**
+ * Throws ConfigError unless lo <= value <= hi. @p name identifies
+ * the field ("TageConfig.ctrBits"); the message carries the value
+ * and the accepted range so the caller can fix the config directly.
+ */
+template <typename T>
+void
+configRange(T value, T lo, T hi, const std::string &name)
+{
+    if (value < lo || value > hi) {
+        throw ConfigError(name + " = " + std::to_string(value) +
+                          " out of range [" + std::to_string(lo) +
+                          ", " + std::to_string(hi) + "]");
+    }
+}
+
+} // namespace bfbp
+
+#endif // BFBP_UTIL_ERRORS_HPP

@@ -1,0 +1,195 @@
+/** @file Tests for the validate() contract on every predictor
+ *  configuration: defaults pass, each out-of-range field raises a
+ *  ConfigError, and the message names the offending field. */
+
+#include <gtest/gtest.h>
+
+#include "core/bf_neural.hpp"
+#include "core/bf_neural_ideal.hpp"
+#include "predictors/isl_tage.hpp"
+#include "predictors/ohsnap.hpp"
+#include "predictors/perceptron.hpp"
+#include "predictors/piecewise_linear.hpp"
+#include "predictors/tage.hpp"
+#include "util/errors.hpp"
+
+namespace bfbp
+{
+namespace
+{
+
+/** Asserts that cfg.validate() throws a ConfigError whose message
+ *  mentions @p field. */
+template <typename Config>
+void
+expectRejects(const Config &cfg, const std::string &field)
+{
+    try {
+        cfg.validate();
+        FAIL() << "expected ConfigError naming " << field;
+    } catch (const ConfigError &e) {
+        EXPECT_NE(std::string(e.what()).find(field),
+                  std::string::npos)
+            << "message was: " << e.what();
+    }
+}
+
+TageConfig
+smallTage()
+{
+    TageConfig cfg;
+    cfg.historyLengths = {4, 9, 17};
+    cfg.logSizes = {9, 9, 9};
+    cfg.tagBits = {8, 9, 10};
+    return cfg;
+}
+
+TEST(ConfigValidation, TageAcceptsConsistentGeometry)
+{
+    EXPECT_NO_THROW(smallTage().validate());
+}
+
+TEST(ConfigValidation, TageRejectsMismatchedVectors)
+{
+    auto cfg = smallTage();
+    cfg.logSizes.pop_back();
+    expectRejects(cfg, "logSizes");
+    cfg = smallTage();
+    cfg.tagBits.push_back(8);
+    expectRejects(cfg, "tagBits");
+    cfg = smallTage();
+    cfg.historyLengths.clear();
+    cfg.logSizes.clear();
+    cfg.tagBits.clear();
+    expectRejects(cfg, "historyLengths.size");
+}
+
+TEST(ConfigValidation, TageRejectsNonIncreasingHistories)
+{
+    auto cfg = smallTage();
+    cfg.historyLengths = {9, 9, 17};
+    expectRejects(cfg, "strictly");
+}
+
+TEST(ConfigValidation, TageRejectsFieldRanges)
+{
+    auto cfg = smallTage();
+    cfg.ctrBits = 9; // TaggedEntry stores the counter in an int8_t.
+    expectRejects(cfg, "ctrBits");
+    cfg = smallTage();
+    cfg.logBase = 0;
+    expectRejects(cfg, "logBase");
+    cfg = smallTage();
+    cfg.hystShift = cfg.logBase + 1;
+    expectRejects(cfg, "hystShift");
+    cfg = smallTage();
+    cfg.tagBits[1] = 20;
+    expectRejects(cfg, "tagBits[1]");
+}
+
+TEST(ConfigValidation, TageConstructorValidates)
+{
+    auto cfg = smallTage();
+    cfg.logSizes[0] = 60; // Would allocate 2^60 entries unchecked.
+    EXPECT_THROW(TagePredictor{cfg}, ConfigError);
+}
+
+TEST(ConfigValidation, IslRejectsSideComponentRanges)
+{
+    IslConfig cfg;
+    EXPECT_NO_THROW(cfg.validate());
+    cfg.scHistoryLengths = {0, 1, 2, 3, 4}; // scIndices holds 4.
+    expectRejects(cfg, "scHistoryLengths.size");
+    cfg = IslConfig{};
+    cfg.scHistoryLengths[1] = 300; // Folds over a 256-bit register.
+    expectRejects(cfg, "scHistoryLengths[1]");
+    cfg = IslConfig{};
+    cfg.scCounterBits = 1;
+    expectRejects(cfg, "scCounterBits");
+    cfg = IslConfig{};
+    cfg.iumCapacity = 0;
+    expectRejects(cfg, "iumCapacity");
+}
+
+TEST(ConfigValidation, BfNeuralRejectsContextArrayOverflow)
+{
+    BfNeuralConfig cfg;
+    EXPECT_NO_THROW(cfg.validate());
+    cfg.recentHistory = 33; // Context::wmIndex is a 32-entry array.
+    expectRejects(cfg, "recentHistory");
+    cfg = BfNeuralConfig{};
+    cfg.rsDepth = 65; // Context::wrsIndex is a 64-entry array.
+    expectRejects(cfg, "rsDepth");
+    cfg = BfNeuralConfig{};
+    cfg.addrHashBits = 17; // Recent addresses hash to uint16_t.
+    expectRejects(cfg, "addrHashBits");
+    cfg = BfNeuralConfig{};
+    cfg.weightBits = 1;
+    expectRejects(cfg, "weightBits");
+    cfg = BfNeuralConfig{};
+    cfg.thetaInit = 0;
+    expectRejects(cfg, "thetaInit");
+}
+
+TEST(ConfigValidation, BfNeuralIdealRejectsDepthBeyondContext)
+{
+    BfNeuralIdealConfig cfg;
+    EXPECT_NO_THROW(cfg.validate());
+    cfg.historyDepth = 129; // Context::index is a 128-entry array.
+    expectRejects(cfg, "historyDepth");
+    cfg = BfNeuralIdealConfig{};
+    cfg.maxPosDistance = 0;
+    expectRejects(cfg, "maxPosDistance");
+}
+
+TEST(ConfigValidation, NeuralBaselinesRejectRanges)
+{
+    OhSnapConfig snap;
+    EXPECT_NO_THROW(snap.validate());
+    snap.historyLength = 0;
+    expectRejects(snap, "historyLength");
+    snap = OhSnapConfig{};
+    snap.coefA = 0; // f(0) would divide by zero.
+    expectRejects(snap, "coefA");
+
+    PiecewiseLinearConfig pwl;
+    EXPECT_NO_THROW(pwl.validate());
+    pwl.historyLength = 4096;
+    expectRejects(pwl, "historyLength");
+    pwl = PiecewiseLinearConfig{};
+    pwl.pcHashBits = 0;
+    expectRejects(pwl, "pcHashBits");
+
+    PerceptronConfig perc;
+    EXPECT_NO_THROW(perc.validate());
+    perc.logPerceptrons = 25;
+    expectRejects(perc, "logPerceptrons");
+    perc = PerceptronConfig{};
+    perc.weightBits = 17;
+    expectRejects(perc, "weightBits");
+}
+
+TEST(ConfigValidation, ErrorsNameTheConfigLabel)
+{
+    auto cfg = smallTage();
+    cfg.label = "my-experiment";
+    cfg.ctrBits = 1;
+    expectRejects(cfg, "my-experiment");
+}
+
+TEST(ConfigValidation, RangeMessageIncludesValueAndBounds)
+{
+    auto cfg = smallTage();
+    cfg.ctrBits = 42;
+    try {
+        cfg.validate();
+        FAIL() << "expected ConfigError";
+    } catch (const ConfigError &e) {
+        const std::string msg = e.what();
+        EXPECT_NE(msg.find("42"), std::string::npos) << msg;
+        EXPECT_NE(msg.find("[2, 8]"), std::string::npos) << msg;
+    }
+}
+
+} // anonymous namespace
+} // namespace bfbp

@@ -35,20 +35,35 @@ TEST(Factory, ParsesTableCounts)
 
 TEST(Factory, RejectsUnknownSpecs)
 {
-    EXPECT_THROW(createPredictor("nonsense"), std::invalid_argument);
-    EXPECT_THROW(createPredictor("tage-"), std::invalid_argument);
-    EXPECT_THROW(createPredictor("tage-abc"), std::invalid_argument);
-    EXPECT_THROW(createPredictor(""), std::invalid_argument);
+    EXPECT_THROW(createPredictor("nonsense"), ConfigError);
+    EXPECT_THROW(createPredictor("tage-"), ConfigError);
+    EXPECT_THROW(createPredictor("tage-abc"), ConfigError);
+    EXPECT_THROW(createPredictor(""), ConfigError);
+}
+
+TEST(Factory, UnknownSpecDiagnosticListsValidOptions)
+{
+    try {
+        createPredictor("tage15"); // A plausible typo.
+        FAIL() << "expected ConfigError";
+    } catch (const ConfigError &e) {
+        const std::string msg = e.what();
+        EXPECT_NE(msg.find("tage15"), std::string::npos) << msg;
+        EXPECT_NE(msg.find("valid specs"), std::string::npos) << msg;
+        EXPECT_NE(msg.find("bf-neural"), std::string::npos) << msg;
+    }
 }
 
 TEST(Factory, RejectsOutOfRangeTableCounts)
 {
-    EXPECT_THROW((void)createPredictor("tage-16"),
-                 std::invalid_argument);
-    EXPECT_THROW((void)createPredictor("bf-tage-11"),
-                 std::invalid_argument);
-    EXPECT_THROW((void)createPredictor("isl-tage-0"),
-                 std::invalid_argument);
+    EXPECT_THROW((void)createPredictor("tage-16"), ConfigError);
+    EXPECT_THROW((void)createPredictor("bf-tage-11"), ConfigError);
+    EXPECT_THROW((void)createPredictor("isl-tage-0"), ConfigError);
+    // Larger than unsigned long: used to escape as std::out_of_range
+    // and terminate the process.
+    EXPECT_THROW(
+        (void)createPredictor("tage-99999999999999999999999999"),
+        ConfigError);
 }
 
 TEST(Factory, SixtyFourKbClassBudgets)

@@ -1,0 +1,257 @@
+/** @file Unit tests for sim/fault_injection.hpp: the
+ *  FaultInjectingSource decorator and the evaluator's onError
+ *  policies driven end to end through it. */
+
+#include <gtest/gtest.h>
+
+#include "predictors/bimodal.hpp"
+#include "sim/evaluator.hpp"
+#include "sim/fault_injection.hpp"
+#include "telemetry/telemetry.hpp"
+#include "util/random.hpp"
+
+namespace bfbp
+{
+namespace
+{
+
+std::vector<BranchRecord>
+cleanRecords(size_t n, uint64_t seed = 11)
+{
+    Rng rng(seed);
+    std::vector<BranchRecord> recs;
+    recs.reserve(n);
+    for (size_t i = 0; i < n; ++i) {
+        BranchRecord r;
+        r.pc = 0x1000 + 4 * rng.below(512);
+        r.target = r.pc + 8;
+        r.instCount = static_cast<uint32_t>(1 + rng.below(6));
+        r.type = (i % 23 == 0) ? BranchType::Return
+                               : BranchType::CondDirect;
+        r.taken = rng.chance(0.5);
+        recs.push_back(r);
+    }
+    return recs;
+}
+
+TEST(FaultInjectionConfig, RejectsOutOfRangeProbabilities)
+{
+    VectorTraceSource inner(cleanRecords(4));
+    FaultInjectionConfig cfg;
+    cfg.corruptProb = 1.5;
+    EXPECT_THROW(FaultInjectingSource(inner, cfg), ConfigError);
+    cfg.corruptProb = -0.1;
+    EXPECT_THROW(FaultInjectingSource(inner, cfg), ConfigError);
+}
+
+TEST(FaultInjectingSource, NoFaultsIsTransparent)
+{
+    const auto recs = cleanRecords(300);
+    VectorTraceSource inner(recs, "clean");
+    FaultInjectingSource faulty(inner, FaultInjectionConfig{});
+    EXPECT_EQ(faulty.name(), "clean+faults");
+    const auto out = collect(faulty);
+    EXPECT_EQ(out, recs);
+    EXPECT_EQ(faulty.stats().delivered, recs.size());
+    EXPECT_EQ(faulty.stats().corrupted, 0u);
+}
+
+TEST(FaultInjectingSource, DeterministicUnderFixedSeed)
+{
+    const auto recs = cleanRecords(2000);
+    FaultInjectionConfig cfg;
+    cfg.seed = 42;
+    cfg.corruptProb = 0.05;
+    cfg.dropProb = 0.02;
+    cfg.duplicateProb = 0.02;
+    cfg.reorderProb = 0.02;
+
+    VectorTraceSource innerA(recs);
+    FaultInjectingSource a(innerA, cfg);
+    const auto passA = collect(a);
+
+    VectorTraceSource innerB(recs);
+    FaultInjectingSource b(innerB, cfg);
+    const auto passB = collect(b);
+
+    EXPECT_EQ(passA, passB);
+    EXPECT_GT(a.stats().corrupted, 0u);
+    EXPECT_GT(a.stats().dropped, 0u);
+    EXPECT_GT(a.stats().duplicated, 0u);
+    EXPECT_GT(a.stats().reordered, 0u);
+
+    // reset() replays the identical faulted stream.
+    a.reset();
+    EXPECT_EQ(a.stats().delivered, 0u);
+    EXPECT_EQ(collect(a), passA);
+
+    // A different seed perturbs different records.
+    FaultInjectionConfig other = cfg;
+    other.seed = 43;
+    VectorTraceSource innerC(recs);
+    FaultInjectingSource c(innerC, other);
+    EXPECT_NE(collect(c), passA);
+}
+
+TEST(FaultInjectingSource, TruncateAfterEndsStream)
+{
+    const auto recs = cleanRecords(100);
+    VectorTraceSource inner(recs);
+    FaultInjectionConfig cfg;
+    cfg.truncateAfter = 40;
+    FaultInjectingSource faulty(inner, cfg);
+    EXPECT_EQ(collect(faulty).size(), 40u);
+    EXPECT_TRUE(faulty.stats().truncated);
+    BranchRecord r;
+    EXPECT_FALSE(faulty.next(r));
+}
+
+TEST(FaultInjectingSource, DropLosesRecordsDuplicateAddsThem)
+{
+    const auto recs = cleanRecords(4000);
+    FaultInjectionConfig cfg;
+    cfg.dropProb = 0.5;
+    VectorTraceSource inner(recs);
+    FaultInjectingSource dropper(inner, cfg);
+    const size_t kept = collect(dropper).size();
+    EXPECT_LT(kept, recs.size());
+    EXPECT_EQ(kept + dropper.stats().dropped, recs.size());
+
+    FaultInjectionConfig dup;
+    dup.duplicateProb = 0.5;
+    VectorTraceSource inner2(recs);
+    FaultInjectingSource duper(inner2, dup);
+    const size_t total = collect(duper).size();
+    EXPECT_EQ(total, recs.size() + duper.stats().duplicated);
+}
+
+/** The acceptance scenario: a fault-injected 1M-branch stream under
+ *  onError=SkipRecord completes and reports what it dropped. */
+TEST(EvalFaultPolicy, SkipCompletesMillionBranchFaultedStream)
+{
+    const auto recs = cleanRecords(1000000, 7);
+    VectorTraceSource inner(recs, "million");
+    FaultInjectionConfig cfg;
+    cfg.seed = 9001;
+    cfg.corruptProb = 0.01;
+    FaultInjectingSource faulty(inner, cfg);
+
+    BimodalPredictor predictor;
+    telemetry::Telemetry tel;
+    EvalOptions opts;
+    opts.onError = ErrorPolicy::SkipRecord;
+    opts.telemetry = &tel;
+    const EvalResult res = evaluate(faulty, predictor, opts);
+
+    EXPECT_GT(faulty.stats().corrupted, 0u);
+    EXPECT_GT(res.recordsSkipped, 0u);
+    EXPECT_EQ(res.recordsSkipped, res.streamErrors);
+    // Skips only lose the skipped records themselves.
+    EXPECT_EQ(res.condBranches + res.otherBranches + res.recordsSkipped,
+              recs.size());
+    EXPECT_EQ(tel.counterValue("eval.records_skipped"),
+              res.recordsSkipped);
+    EXPECT_EQ(tel.counterValue("eval.errors"), res.streamErrors);
+}
+
+TEST(EvalFaultPolicy, ThrowRaisesEvalErrorOnCorruptedRecord)
+{
+    auto recs = cleanRecords(50);
+    recs[20].type = static_cast<BranchType>(200);
+    VectorTraceSource source(recs, "poisoned");
+    BimodalPredictor predictor;
+    EXPECT_THROW(evaluate(source, predictor), EvalError);
+}
+
+TEST(EvalFaultPolicy, StopTraceReturnsPartialResult)
+{
+    auto recs = cleanRecords(50);
+    for (auto &r : recs)
+        r.type = BranchType::CondDirect;
+    recs[30].instCount = 0;
+    VectorTraceSource source(recs, "poisoned");
+    BimodalPredictor predictor;
+    EvalOptions opts;
+    opts.onError = ErrorPolicy::StopTrace;
+    const EvalResult res = evaluate(source, predictor, opts);
+    EXPECT_EQ(res.condBranches, 30u);
+    EXPECT_EQ(res.streamErrors, 1u);
+    EXPECT_EQ(res.recordsSkipped, 0u);
+}
+
+/** A source whose next() throws mid-stream (as the hardened trace
+ *  reader does on a truncated archive). */
+class ThrowingSource : public TraceSource
+{
+  public:
+    ThrowingSource(std::vector<BranchRecord> recs, size_t throw_at)
+        : inner(std::move(recs)), failAt(throw_at)
+    {
+    }
+
+    bool
+    next(BranchRecord &out) override
+    {
+        if (pos == failAt)
+            throw TraceIoError("simulated truncated read");
+        ++pos;
+        return inner.next(out);
+    }
+
+    void
+    reset() override
+    {
+        inner.reset();
+        pos = 0;
+    }
+
+  private:
+    VectorTraceSource inner;
+    size_t failAt;
+    size_t pos = 0;
+};
+
+TEST(EvalFaultPolicy, SourceExceptionPropagatesUnderThrow)
+{
+    ThrowingSource source(cleanRecords(40), 10);
+    BimodalPredictor predictor;
+    EXPECT_THROW(evaluate(source, predictor), TraceIoError);
+}
+
+TEST(EvalFaultPolicy, SourceExceptionEndsTraceUnderSkip)
+{
+    ThrowingSource source(cleanRecords(40), 10);
+    BimodalPredictor predictor;
+    EvalOptions opts;
+    opts.onError = ErrorPolicy::SkipRecord;
+    const EvalResult res = evaluate(source, predictor, opts);
+    EXPECT_EQ(res.condBranches + res.otherBranches, 10u);
+    EXPECT_EQ(res.streamErrors, 1u);
+}
+
+/** onError policies are invisible on a clean trace: identical
+ *  results, predictor state, and zero fault counters. */
+TEST(EvalFaultPolicy, PoliciesBitIdenticalOnCleanTrace)
+{
+    const auto recs = cleanRecords(5000);
+    EvalResult results[3];
+    const ErrorPolicy policies[3] = {ErrorPolicy::Throw,
+                                     ErrorPolicy::SkipRecord,
+                                     ErrorPolicy::StopTrace};
+    for (int i = 0; i < 3; ++i) {
+        VectorTraceSource source(recs);
+        BimodalPredictor predictor;
+        EvalOptions opts;
+        opts.onError = policies[i];
+        results[i] = evaluate(source, predictor, opts);
+        EXPECT_EQ(results[i].streamErrors, 0u);
+        EXPECT_EQ(results[i].recordsSkipped, 0u);
+    }
+    EXPECT_EQ(results[0].mispredictions, results[1].mispredictions);
+    EXPECT_EQ(results[0].mispredictions, results[2].mispredictions);
+    EXPECT_EQ(results[0].instructions, results[1].instructions);
+    EXPECT_EQ(results[0].condBranches, results[1].condBranches);
+}
+
+} // anonymous namespace
+} // namespace bfbp

@@ -1,0 +1,211 @@
+/** @file Corruption-corpus tests: the deterministic file fuzzer of
+ *  sim/fault_injection.hpp plus targeted corrupt-archive cases. The
+ *  contract under test: the reader either succeeds or throws
+ *  TraceIoError — it never crashes, hangs, or allocates from an
+ *  unvalidated header count (CI runs this under ASan/UBSan). */
+
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+
+#include <gtest/gtest.h>
+
+#include "sim/fault_injection.hpp"
+#include "sim/trace_io.hpp"
+#include "util/random.hpp"
+
+namespace bfbp
+{
+namespace
+{
+
+std::string
+tempPath(const std::string &name)
+{
+    return (std::filesystem::temp_directory_path() / name).string();
+}
+
+std::vector<BranchRecord>
+goldenRecords(size_t n)
+{
+    Rng rng(17);
+    std::vector<BranchRecord> recs;
+    for (size_t i = 0; i < n; ++i) {
+        BranchRecord r;
+        r.pc = 0x400000 + 4 * rng.below(256);
+        r.target = r.pc + 12;
+        r.instCount = static_cast<uint32_t>(1 + rng.below(7));
+        r.type = (i % 9 == 0) ? BranchType::UncondDirect
+                              : BranchType::CondDirect;
+        r.taken = rng.chance(0.7);
+        recs.push_back(r);
+    }
+    return recs;
+}
+
+class TraceFuzzTest : public ::testing::Test
+{
+  protected:
+    void
+    TearDown() override
+    {
+        for (const auto &p : cleanup)
+            std::remove(p.c_str());
+    }
+
+    std::string
+    track(const std::string &p)
+    {
+        cleanup.push_back(p);
+        return p;
+    }
+
+    /** Writes raw bytes as a (possibly bogus) trace file. */
+    std::string
+    writeBytes(const std::string &name,
+               const std::vector<unsigned char> &bytes)
+    {
+        const auto path = track(tempPath(name));
+        std::FILE *f = std::fopen(path.c_str(), "wb");
+        EXPECT_NE(f, nullptr);
+        if (!bytes.empty())
+            std::fwrite(bytes.data(), 1, bytes.size(), f);
+        std::fclose(f);
+        return path;
+    }
+
+    std::vector<unsigned char>
+    slurp(const std::string &path)
+    {
+        std::FILE *f = std::fopen(path.c_str(), "rb");
+        EXPECT_NE(f, nullptr);
+        std::vector<unsigned char> bytes;
+        unsigned char buf[4096];
+        size_t got = 0;
+        while ((got = std::fread(buf, 1, sizeof(buf), f)) > 0)
+            bytes.insert(bytes.end(), buf, buf + got);
+        std::fclose(f);
+        return bytes;
+    }
+
+    std::vector<std::string> cleanup;
+};
+
+TEST_F(TraceFuzzTest, ExhaustiveSweepNeverEscapesTaxonomy)
+{
+    const auto golden = track(tempPath("bfbp_fuzz_golden.trace"));
+    writeTrace(golden, goldenRecords(64));
+    const auto scratch = track(tempPath("bfbp_fuzz_scratch.trace"));
+
+    // Any exception other than TraceIoError propagates out of
+    // fuzzTraceFile and fails this test; a crash/hang/over-allocation
+    // dies under the sanitizers in CI.
+    const FuzzReport report = fuzzTraceFile(golden, scratch);
+
+    EXPECT_GT(report.cases, 1000u);
+    EXPECT_EQ(report.cases, report.readOk + report.rejected);
+    // Header mutants, truncations and count lies must be rejected...
+    EXPECT_GT(report.rejected, 0u);
+    // ...while payload-byte mutants that stay structurally valid
+    // (pc/target/instCount bytes) must still read.
+    EXPECT_GT(report.readOk, 0u);
+    // No accepted mutant can invent records beyond the golden count.
+    EXPECT_LE(report.recordsRead, report.readOk * 64);
+}
+
+TEST_F(TraceFuzzTest, SweepIsDeterministic)
+{
+    const auto golden = track(tempPath("bfbp_fuzz_det.trace"));
+    writeTrace(golden, goldenRecords(16));
+    const auto scratch = track(tempPath("bfbp_fuzz_det_scratch.trace"));
+    const FuzzReport a = fuzzTraceFile(golden, scratch);
+    const FuzzReport b = fuzzTraceFile(golden, scratch);
+    EXPECT_EQ(a.cases, b.cases);
+    EXPECT_EQ(a.readOk, b.readOk);
+    EXPECT_EQ(a.rejected, b.rejected);
+    EXPECT_EQ(a.recordsRead, b.recordsRead);
+}
+
+TEST_F(TraceFuzzTest, ZeroByteFileThrows)
+{
+    const auto path = writeBytes("bfbp_zero.trace", {});
+    EXPECT_THROW(TraceFileSource src(path), TraceIoError);
+}
+
+TEST_F(TraceFuzzTest, BadVersionThrows)
+{
+    const auto golden = track(tempPath("bfbp_badver_golden.trace"));
+    writeTrace(golden, goldenRecords(3));
+    auto bytes = slurp(golden);
+    bytes[4] = 99; // version field
+    const auto path = writeBytes("bfbp_badver.trace", bytes);
+    EXPECT_THROW(TraceFileSource src(path), TraceIoError);
+}
+
+TEST_F(TraceFuzzTest, TruncationInsideEveryFieldOfLastRecordThrows)
+{
+    const auto golden = track(tempPath("bfbp_trunc_golden.trace"));
+    writeTrace(golden, goldenRecords(5));
+    const auto bytes = slurp(golden);
+    ASSERT_EQ(bytes.size(), trace_format::headerBytes +
+                                5 * trace_format::recordBytes);
+    // Cut 1..recordBytes bytes off the end: mid-pc, mid-target,
+    // mid-instCount, the type byte, the taken byte — every field.
+    for (size_t cut = 1; cut <= trace_format::recordBytes; ++cut) {
+        std::vector<unsigned char> mutant(bytes.begin(),
+                                          bytes.end() - cut);
+        const auto path = writeBytes("bfbp_trunc.trace", mutant);
+        EXPECT_THROW(readTrace(path), TraceIoError) << "cut " << cut;
+    }
+}
+
+TEST_F(TraceFuzzTest, HeaderCountLargerAndSmallerThanPayloadThrows)
+{
+    const auto golden = track(tempPath("bfbp_count_golden.trace"));
+    writeTrace(golden, goldenRecords(8));
+    auto bytes = slurp(golden);
+    for (uint64_t lie : {uint64_t{9}, uint64_t{7}, uint64_t{0},
+                         UINT64_MAX, UINT64_MAX / 22}) {
+        auto mutant = bytes;
+        std::memcpy(mutant.data() + trace_format::countOffset, &lie, 8);
+        const auto path = writeBytes("bfbp_count.trace", mutant);
+        EXPECT_THROW(TraceFileSource src(path), TraceIoError)
+            << "count " << lie;
+    }
+}
+
+TEST_F(TraceFuzzTest, TrailingGarbageThrows)
+{
+    const auto golden = track(tempPath("bfbp_tail_golden.trace"));
+    writeTrace(golden, goldenRecords(4));
+    auto bytes = slurp(golden);
+    bytes.push_back(0x5A);
+    const auto path = writeBytes("bfbp_tail.trace", bytes);
+    EXPECT_THROW(TraceFileSource src(path), TraceIoError);
+}
+
+TEST_F(TraceFuzzTest, InvalidTypeAndTakenBytesThrow)
+{
+    const auto golden = track(tempPath("bfbp_field_golden.trace"));
+    writeTrace(golden, goldenRecords(2));
+    const auto bytes = slurp(golden);
+    const size_t rec0 = trace_format::headerBytes;
+
+    auto badType = bytes;
+    badType[rec0 + 20] = 5; // First invalid BranchType encoding.
+    EXPECT_THROW(readTrace(writeBytes("bfbp_btype.trace", badType)),
+                 TraceIoError);
+
+    auto badTaken = bytes;
+    badTaken[rec0 + 21] = 2;
+    EXPECT_THROW(readTrace(writeBytes("bfbp_btaken.trace", badTaken)),
+                 TraceIoError);
+
+    auto zeroInst = bytes;
+    std::memset(zeroInst.data() + rec0 + 16, 0, 4);
+    EXPECT_THROW(readTrace(writeBytes("bfbp_binst.trace", zeroInst)),
+                 TraceIoError);
+}
+
+} // anonymous namespace
+} // namespace bfbp

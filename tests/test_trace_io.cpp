@@ -122,6 +122,77 @@ TEST_F(TraceIoTest, BadMagicThrows)
     EXPECT_THROW(TraceFileSource src(path), TraceIoError);
 }
 
+TEST_F(TraceIoTest, WriterStagesToTempAndPublishesOnClose)
+{
+    const auto path = track(tempPath("bfbp_atomic.trace"));
+    const auto tmp = track(path + ".tmp");
+    const auto recs = makeRecords(20);
+    {
+        TraceFileWriter writer(path);
+        for (const auto &r : recs)
+            writer.append(r);
+        // Before close: only the staging file exists.
+        EXPECT_TRUE(std::filesystem::exists(tmp));
+        EXPECT_FALSE(std::filesystem::exists(path));
+        EXPECT_FALSE(writer.closedOk());
+        writer.close();
+        EXPECT_TRUE(writer.closedOk());
+    }
+    EXPECT_TRUE(std::filesystem::exists(path));
+    EXPECT_FALSE(std::filesystem::exists(tmp));
+    EXPECT_EQ(readTrace(path), recs);
+}
+
+TEST_F(TraceIoTest, AbandonedWriterPublishesNothing)
+{
+    const auto path = track(tempPath("bfbp_abandoned.trace"));
+    const auto tmp = track(path + ".tmp");
+    {
+        TraceFileWriter writer(path);
+        for (const auto &r : makeRecords(10))
+            writer.append(r);
+        // Destroyed without close(): simulates a crashed run.
+    }
+    EXPECT_FALSE(std::filesystem::exists(path));
+    EXPECT_FALSE(std::filesystem::exists(tmp));
+}
+
+TEST_F(TraceIoTest, AbandonedWriterLeavesPriorArchiveIntact)
+{
+    const auto path = track(tempPath("bfbp_prior.trace"));
+    const auto recs = makeRecords(5);
+    writeTrace(path, recs);
+    {
+        TraceFileWriter writer(path);
+        writer.append(makeRecords(1)[0]);
+    }
+    // The old archive behind the final path survives untouched.
+    EXPECT_EQ(readTrace(path), recs);
+}
+
+TEST_F(TraceIoTest, WriterCloseIsIdempotent)
+{
+    const auto path = track(tempPath("bfbp_idem.trace"));
+    TraceFileWriter writer(path);
+    writer.append(makeRecords(1)[0]);
+    writer.close();
+    EXPECT_NO_THROW(writer.close());
+    EXPECT_TRUE(writer.closedOk());
+}
+
+TEST_F(TraceIoTest, WriterRejectsInvalidRecord)
+{
+    const auto path = track(tempPath("bfbp_badrec.trace"));
+    track(path + ".tmp");
+    TraceFileWriter writer(path);
+    BranchRecord bad = makeRecords(1)[0];
+    bad.instCount = 0;
+    EXPECT_THROW(writer.append(bad), TraceIoError);
+    bad = makeRecords(1)[0];
+    bad.type = static_cast<BranchType>(77);
+    EXPECT_THROW(writer.append(bad), TraceIoError);
+}
+
 TEST(VectorTraceSource, IteratesAndResets)
 {
     const auto recs = makeRecords(10);
