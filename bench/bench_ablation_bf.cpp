@@ -25,6 +25,9 @@ namespace
 
 using namespace bfbp;
 
+/** Average MPKI of @p make over @p traces, evaluated as one
+ *  suite-runner batch (the factory runs on worker threads and must
+ *  only read its captures). */
 double
 avgMpkiOver(bench::RunArchive &archive, const std::string &label,
             const std::vector<tracegen::TraceRecipe> &traces,
@@ -32,15 +35,22 @@ avgMpkiOver(bench::RunArchive &archive, const std::string &label,
             const std::function<std::unique_ptr<BranchPredictor>()> &make,
             uint64_t update_delay = 0)
 {
-    double sum = 0.0;
+    std::vector<SuiteJob> jobs;
     for (const auto &recipe : traces) {
-        auto src = tracegen::makeSource(recipe, scale);
-        auto p = make();
-        EvalOptions opts;
-        opts.updateDelay = update_delay;
-        sum += archive.evaluateRun(recipe.name, *src, *p, opts, label)
-                   .result.mpki();
+        SuiteJob job;
+        job.traceName = recipe.name;
+        job.predictorLabel = label;
+        job.makeSource = [recipe, scale] {
+            return tracegen::makeSource(recipe, scale);
+        };
+        job.makePredictor = make;
+        job.options.updateDelay = update_delay;
+        jobs.push_back(std::move(job));
     }
+    const auto runs = archive.runSuite(std::move(jobs));
+    double sum = 0.0;
+    for (const auto &run : runs)
+        sum += run.result.mpki();
     return sum / static_cast<double>(traces.size());
 }
 
@@ -106,21 +116,32 @@ main(int argc, char **argv)
                            traces, scale,
                            [&] { return makeBfNeural(prob); }));
         // Static profiling oracle (Sec. VI-D): profile each trace
-        // first, then predict with perfect classification.
-        double sum = 0.0;
+        // first, then predict with perfect classification. The
+        // profiling pass runs inside the worker's predictor factory,
+        // so it parallelizes with everything else.
+        std::vector<SuiteJob> oracleJobs;
         for (const auto &recipe : traces) {
-            auto profSrc = tracegen::makeSource(recipe, scale);
-            auto oracle = std::make_shared<BiasOracle>(
-                BiasOracle::profile(*profSrc));
-            BfNeuralConfig cfg;
-            cfg.oracle = oracle;
-            auto src = tracegen::makeSource(recipe, scale);
-            auto p = makeBfNeural(cfg);
-            sum += archive
-                       .evaluateRun(recipe.name, *src, *p, {},
-                                    "static profiling oracle")
-                       .result.mpki();
+            SuiteJob job;
+            job.traceName = recipe.name;
+            job.predictorLabel = "static profiling oracle";
+            job.makeSource = [recipe, scale] {
+                return tracegen::makeSource(recipe, scale);
+            };
+            job.makePredictor = [recipe, scale] {
+                auto profSrc = tracegen::makeSource(recipe, scale);
+                auto oracle = std::make_shared<BiasOracle>(
+                    BiasOracle::profile(*profSrc));
+                BfNeuralConfig cfg;
+                cfg.oracle = oracle;
+                return makeBfNeural(cfg);
+            };
+            oracleJobs.push_back(std::move(job));
         }
+        const auto oracleRuns =
+            archive.runSuite(std::move(oracleJobs));
+        double sum = 0.0;
+        for (const auto &run : oracleRuns)
+            sum += run.result.mpki();
         report("static profiling oracle",
                sum / static_cast<double>(traces.size()));
     }
@@ -155,6 +176,6 @@ main(int argc, char **argv)
         }
     }
     archive.write();
-    return 0;
+    return archive.exitCode();
     });
 }

@@ -5,12 +5,17 @@
  * Every bench accepts:
  *   --scale X     trace length multiplier (default: BFBP_TRACE_SCALE
  *                 environment variable, else 1.0); must be > 0
- *   --traces A,B  comma-separated trace-name filter (default: all 40)
+ *   --traces A,B  comma-separated trace-name filter (default: all 40);
+ *                 empty components are skipped, duplicates rejected
+ *   --jobs N      worker threads for the suite runner (default 1 =
+ *                 serial; 0 = all hardware threads). Results and all
+ *                 output are byte-identical at any worker count
+ *                 (wall-clock timing excepted).
  *   --csv         machine-readable output in addition to the table
  *   --json FILE   archive every run (summary, timing, counters,
  *                 interval series) as a bfbp-telemetry-v1 document
- *   --interval N  with --json: record windowed MPKI every N
- *                 conditional branches
+ *   --interval N  with --json (required): record windowed MPKI every
+ *                 N conditional branches
  *   --help        usage
  *
  * RunArchive is the bridge between the evaluator and the telemetry
@@ -19,6 +24,12 @@
  * records as one JSON document when --json is active. Without
  * --json, evaluations run with a null telemetry pointer, so results
  * are bit-identical to a build without telemetry.
+ *
+ * Suite benches submit their whole (trace, predictor) matrix as
+ * SuiteJobs through RunArchive::runSuite(), which schedules them on a
+ * SuiteRunner thread pool (--jobs) and archives the outcomes in
+ * submission order — each job evaluates into its own telemetry sink,
+ * so the archived document is identical to a serial run's.
  */
 
 #ifndef BFBP_BENCH_COMMON_HPP
@@ -37,6 +48,7 @@
 
 #include "sim/evaluator.hpp"
 #include "sim/predictor.hpp"
+#include "sim/suite_runner.hpp"
 #include "telemetry/sinks.hpp"
 #include "telemetry/telemetry.hpp"
 #include "tracegen/workloads.hpp"
@@ -75,6 +87,7 @@ struct Options
 {
     double scale = tracegen::envTraceScale();
     std::vector<std::string> traces; //!< Empty = whole suite.
+    unsigned jobs = 1;     //!< --jobs workers; 0 = hardware threads.
     bool csv = false;
     std::string jsonPath;  //!< --json destination; empty = off.
     uint64_t interval = 0; //!< --interval window, 0 = no series.
@@ -88,10 +101,33 @@ struct Options
             if (arg == "--scale" && i + 1 < argc) {
                 opts.scale = parseScale(argv[++i]);
             } else if (arg == "--traces" && i + 1 < argc) {
-                std::stringstream ss(argv[++i]);
+                // Tolerate stray commas (",A", "A,,B", "A,"); reject
+                // duplicates, which would otherwise silently run the
+                // trace once, and lists with no names at all.
+                const char *list = argv[++i];
+                std::stringstream ss(list);
                 std::string name;
-                while (std::getline(ss, name, ','))
+                bool any = false;
+                while (std::getline(ss, name, ',')) {
+                    if (name.empty())
+                        continue;
+                    if (std::find(opts.traces.begin(),
+                                  opts.traces.end(),
+                                  name) != opts.traces.end()) {
+                        std::cerr << "duplicate trace: " << name
+                                  << "\n";
+                        std::exit(2);
+                    }
                     opts.traces.push_back(name);
+                    any = true;
+                }
+                if (!any) {
+                    std::cerr << "invalid --traces '" << list
+                              << "': no trace names given\n";
+                    std::exit(2);
+                }
+            } else if (arg == "--jobs" && i + 1 < argc) {
+                opts.jobs = parseJobs(argv[++i]);
             } else if (arg == "--csv") {
                 opts.csv = true;
             } else if (arg == "--json" && i + 1 < argc) {
@@ -104,16 +140,28 @@ struct Options
                           << "  --scale X     trace length multiplier "
                           << "(default BFBP_TRACE_SCALE or 1.0)\n"
                           << "  --traces A,B  restrict to named traces\n"
+                          << "  --jobs N      evaluation worker threads "
+                          << "(default 1 = serial, 0 = all hardware "
+                          << "threads)\n"
                           << "  --csv         also print CSV rows\n"
                           << "  --json FILE   write run telemetry as "
                           << "JSON (schema bfbp-telemetry-v1)\n"
                           << "  --interval N  windowed MPKI series "
-                          << "every N cond branches (with --json)\n";
+                          << "every N cond branches (requires --json)\n";
                 std::exit(0);
             } else {
                 std::cerr << "unknown option: " << arg << "\n";
                 std::exit(2);
             }
+        }
+        // The interval series only exists inside the JSON document;
+        // accepting --interval without --json would silently record
+        // nothing.
+        if (opts.interval != 0 && opts.jsonPath.empty()) {
+            std::cerr << "--interval requires --json: the windowed "
+                      << "series is only emitted into the JSON "
+                      << "document\n";
+            std::exit(2);
         }
         return opts;
     }
@@ -173,12 +221,31 @@ struct Options
         char *end = nullptr;
         errno = 0;
         const unsigned long long value = std::strtoull(text, &end, 10);
-        if (end == text || *end != '\0' || errno == ERANGE) {
+        if (end == text || *end != '\0' || errno == ERANGE ||
+            text[0] == '-') {
             std::cerr << "invalid --interval '" << text
                       << "': expected a non-negative integer\n";
             std::exit(2);
         }
         return value;
+    }
+
+    static unsigned
+    parseJobs(const char *text)
+    {
+        char *end = nullptr;
+        errno = 0;
+        const unsigned long long value = std::strtoull(text, &end, 10);
+        // strtoull wraps "-1" to ULLONG_MAX-ish, hence the explicit
+        // sign check; 1024 bounds obvious typos, not real machines.
+        if (end == text || *end != '\0' || errno == ERANGE ||
+            text[0] == '-' || value > 1024) {
+            std::cerr << "invalid --jobs '" << text
+                      << "': expected an integer in [0, 1024] "
+                      << "(0 = all hardware threads)\n";
+            std::exit(2);
+        }
+        return static_cast<unsigned>(value);
     }
 };
 
@@ -187,6 +254,15 @@ struct BenchRun
 {
     EvalResult result;
     double seconds = 0.0;
+
+    /** Predictor budget, StorageReport::totalBits() (runSuite only). */
+    uint64_t storageBits = 0;
+
+    /** The job raised a BfbpError; result may be partial and error
+     *  carries the diagnostic (runSuite only — evaluateRun lets the
+     *  exception propagate to guardedMain). */
+    bool failed = false;
+    std::string error;
 };
 
 /**
@@ -260,8 +336,38 @@ class RunArchive
                 std::to_string(eval_options.maxBranches);
         }
         run.seconds = record.wallSeconds;
+        run.storageBits = record.storageBits;
         runs.push_back(std::move(record));
         return run;
+    }
+
+    /**
+     * Submits a whole (trace, predictor) matrix to a SuiteRunner
+     * pool of --jobs workers and archives every outcome in
+     * submission order, so tables, CSV rows and the JSON document
+     * are byte-identical to a serial run (timing excepted).
+     *
+     * A job that fails (BfbpError in its factories or evaluation)
+     * does not abort the suite: its BenchRun carries failed=true and
+     * the diagnostic (also archived as an "error" note and echoed to
+     * stderr), and exitCode() turns nonzero. Callers finish their
+     * mains with `return archive.exitCode();`.
+     */
+    std::vector<BenchRun>
+    runSuite(std::vector<SuiteJob> jobs)
+    {
+        for (auto &job : jobs) {
+            job.collectTelemetry = enabled();
+            job.options.telemetryInterval = opts.interval;
+        }
+        SuiteRunner runner(opts.jobs);
+        std::vector<SuiteOutcome> outcomes = runner.run(jobs);
+
+        std::vector<BenchRun> out;
+        out.reserve(outcomes.size());
+        for (size_t i = 0; i < outcomes.size(); ++i)
+            out.push_back(absorb(jobs[i], std::move(outcomes[i])));
+        return out;
     }
 
     const std::vector<telemetry::RunRecord> &records() const
@@ -269,10 +375,18 @@ class RunArchive
         return runs;
     }
 
+    /** 2 when any runSuite job failed, else 0. */
+    int exitCode() const { return failedJobs == 0 ? 0 : 2; }
+
     /**
      * Writes the document to the --json path (no-op when inactive).
-     * Call once at the end of main; exits with an error when the
-     * file cannot be written.
+     * Call once at the end of main.
+     *
+     * @throws TraceIoError when the file cannot be opened or the
+     *         stream fails after serialization (full disk, quota) —
+     *         guardedMain turns that into the usual exit-2
+     *         diagnostic instead of reporting a truncated file as
+     *         written.
      */
     void
     write() const
@@ -281,17 +395,75 @@ class RunArchive
             return;
         std::ofstream os(opts.jsonPath);
         if (!os) {
-            std::cerr << "cannot write --json file: " << opts.jsonPath
-                      << "\n";
-            std::exit(2);
+            throw TraceIoError("cannot open --json file for writing: " +
+                               opts.jsonPath);
         }
         telemetry::writeRunsJson(os, suite, runs);
+        os.flush();
+        if (os.fail()) {
+            throw TraceIoError("write failed for --json file " +
+                               opts.jsonPath + " (disk full?)");
+        }
         std::cerr << "wrote " << runs.size() << " run record"
                   << (runs.size() == 1 ? "" : "s") << " to "
                   << opts.jsonPath << "\n";
     }
 
   private:
+    /** Converts one suite outcome into a BenchRun, archiving the
+     *  RunRecord when --json is active (mirrors evaluateRun). */
+    BenchRun
+    absorb(const SuiteJob &job, SuiteOutcome &&outcome)
+    {
+        BenchRun run;
+        run.result = std::move(outcome.result);
+        run.seconds = outcome.seconds;
+        run.storageBits = outcome.storageBits;
+        run.failed = outcome.failed;
+        run.error = outcome.error;
+        if (outcome.failed) {
+            ++failedJobs;
+            std::cerr << "suite job failed: " << job.traceName << "/"
+                      << (outcome.predictorName.empty()
+                              ? "<unconstructed predictor>"
+                              : outcome.predictorName)
+                      << ": " << outcome.error << "\n";
+        }
+        if (!enabled())
+            return run;
+
+        telemetry::RunRecord record;
+        record.traceName = job.traceName;
+        record.predictorName = outcome.predictorName;
+        record.data = std::move(outcome.data);
+
+        const EvalResult &res = run.result;
+        record.instructions = res.instructions;
+        record.condBranches = res.condBranches;
+        record.otherBranches = res.otherBranches;
+        record.mispredictions = res.mispredictions;
+        record.mpki = res.mpki();
+        record.mispredictionRate = res.mispredictionRate();
+        record.wallSeconds = record.data.gaugeValue("eval.seconds");
+        record.branchesPerSecond =
+            record.data.gaugeValue("eval.per_second");
+        record.storageBits = outcome.storageBits;
+        record.options["scale"] = formatDouble(opts.scale);
+        record.options["interval"] = std::to_string(opts.interval);
+        if (job.options.updateDelay != 0) {
+            record.options["update_delay"] =
+                std::to_string(job.options.updateDelay);
+        }
+        if (job.options.maxBranches != 0) {
+            record.options["max_branches"] =
+                std::to_string(job.options.maxBranches);
+        }
+        if (outcome.failed)
+            record.data.note("error", outcome.error);
+        runs.push_back(std::move(record));
+        return run;
+    }
+
     static std::string
     formatDouble(double value)
     {
@@ -303,6 +475,7 @@ class RunArchive
     std::string suite;
     const Options &opts;
     std::vector<telemetry::RunRecord> runs;
+    uint64_t failedJobs = 0;
 };
 
 /** Prints a right-aligned numeric cell. */

@@ -26,6 +26,24 @@ main(int argc, char **argv)
                                                  "bf-neural"};
     bench::RunArchive archive("fig08_mpki", opts);
 
+    // Submit the whole (trace, predictor) matrix up front; the
+    // runner returns outcomes in submission order, so the table
+    // below is byte-identical at any --jobs count.
+    const auto traces = opts.selectedTraces();
+    std::vector<SuiteJob> jobs;
+    for (const auto &recipe : traces) {
+        for (const auto &spec : predictors) {
+            SuiteJob job;
+            job.traceName = recipe.name;
+            job.makeSource = [recipe, scale = opts.scale] {
+                return tracegen::makeSource(recipe, scale);
+            };
+            job.makePredictor = [spec] { return createPredictor(spec); };
+            jobs.push_back(std::move(job));
+        }
+    }
+    const auto runs = archive.runSuite(std::move(jobs));
+
     bench::banner("Figure 8: MPKI comparison at 64 KB");
     std::cout << std::left << std::setw(10) << "trace" << std::right;
     for (const auto &name : predictors)
@@ -36,26 +54,24 @@ main(int argc, char **argv)
 
     std::vector<double> sums(predictors.size(), 0.0);
     size_t count = 0;
-    for (const auto &recipe : opts.selectedTraces()) {
-        std::cout << std::left << std::setw(10) << recipe.name
-                  << std::right << std::flush;
+    for (size_t t = 0; t < traces.size(); ++t) {
+        std::cout << std::left << std::setw(10) << traces[t].name
+                  << std::right;
         std::vector<double> row;
         double traceSeconds = 0.0;
         for (size_t i = 0; i < predictors.size(); ++i) {
-            auto source = tracegen::makeSource(recipe, opts.scale);
-            auto predictor = createPredictor(predictors[i]);
-            const bench::BenchRun run =
-                archive.evaluateRun(recipe.name, *source, *predictor);
+            const bench::BenchRun &run =
+                runs[t * predictors.size() + i];
             sums[i] += run.result.mpki();
             row.push_back(run.result.mpki());
             traceSeconds += run.seconds;
-            std::cout << std::setw(12) << bench::cell(run.result.mpki())
-                      << std::flush;
+            std::cout << std::setw(12)
+                      << bench::cell(run.result.mpki());
         }
         std::cout << std::setw(10) << bench::cell(traceSeconds, 2)
                   << "\n";
         if (opts.csv) {
-            std::cout << "CSV," << recipe.name;
+            std::cout << "CSV," << traces[t].name;
             for (double v : row)
                 std::cout << "," << bench::cell(v);
             std::cout << "," << bench::cell(traceSeconds, 3) << "\n";
@@ -74,6 +90,6 @@ main(int argc, char **argv)
                   << "OH-SNAP 2.63, TAGE 2.445, BF-Neural 2.49\n";
     }
     archive.write();
-    return 0;
+    return archive.exitCode();
     });
 }

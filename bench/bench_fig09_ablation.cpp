@@ -56,6 +56,22 @@ main(int argc, char **argv)
     };
     bench::RunArchive archive("fig09_ablation", opts);
 
+    const auto traces = opts.selectedTraces();
+    std::vector<SuiteJob> jobs;
+    for (const auto &recipe : traces) {
+        for (const auto &column : columns) {
+            SuiteJob job;
+            job.traceName = recipe.name;
+            job.predictorLabel = column.label;
+            job.makeSource = [recipe, scale = opts.scale] {
+                return tracegen::makeSource(recipe, scale);
+            };
+            job.makePredictor = column.make;
+            jobs.push_back(std::move(job));
+        }
+    }
+    const auto runs = archive.runSuite(std::move(jobs));
+
     bench::banner("Figure 9: contribution of optimizations (MPKI)");
     std::cout << std::left << std::setw(10) << "trace" << std::right;
     for (const auto &c : columns)
@@ -66,25 +82,20 @@ main(int argc, char **argv)
 
     std::vector<double> sums(columns.size(), 0.0);
     size_t count = 0;
-    for (const auto &recipe : opts.selectedTraces()) {
-        std::cout << std::left << std::setw(10) << recipe.name
-                  << std::right << std::flush;
+    for (size_t t = 0; t < traces.size(); ++t) {
+        std::cout << std::left << std::setw(10) << traces[t].name
+                  << std::right;
         std::vector<double> row;
         for (size_t i = 0; i < columns.size(); ++i) {
-            auto source = tracegen::makeSource(recipe, opts.scale);
-            auto predictor = columns[i].make();
-            const EvalResult res =
-                archive.evaluateRun(recipe.name, *source, *predictor,
-                                    {}, columns[i].label)
-                    .result;
+            const EvalResult &res =
+                runs[t * columns.size() + i].result;
             sums[i] += res.mpki();
             row.push_back(res.mpki());
-            std::cout << std::setw(12) << bench::cell(res.mpki())
-                      << std::flush;
+            std::cout << std::setw(12) << bench::cell(res.mpki());
         }
         std::cout << "\n";
         if (opts.csv) {
-            std::cout << "CSV," << recipe.name;
+            std::cout << "CSV," << traces[t].name;
             for (double v : row)
                 std::cout << "," << bench::cell(v);
             std::cout << "\n";
@@ -103,6 +114,6 @@ main(int argc, char **argv)
                   << "3.28 -> 2.67 -> 2.59 -> 2.49\n";
     }
     archive.write();
-    return 0;
+    return archive.exitCode();
     });
 }

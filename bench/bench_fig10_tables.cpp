@@ -34,26 +34,44 @@ main(int argc, char **argv)
         std::cout << "CSV,tables,isl_tage,bf_isl_tage\n";
 
     const auto traces = opts.selectedTraces();
+
+    std::vector<SuiteJob> jobs;
+    for (unsigned tables = 4; tables <= 10; ++tables) {
+        for (const auto &recipe : traces) {
+            SuiteJob isl;
+            isl.traceName = recipe.name;
+            isl.makeSource = [recipe, scale = opts.scale] {
+                return tracegen::makeSource(recipe, scale);
+            };
+            isl.makePredictor = [tables] { return makeIslTage(tables); };
+            jobs.push_back(std::move(isl));
+
+            SuiteJob bf;
+            bf.traceName = recipe.name;
+            bf.makeSource = [recipe, scale = opts.scale] {
+                return tracegen::makeSource(recipe, scale);
+            };
+            bf.makePredictor = [tables] {
+                return makeBfIslTage(tables);
+            };
+            jobs.push_back(std::move(bf));
+        }
+    }
+    const auto runs = archive.runSuite(std::move(jobs));
+
     for (unsigned tables = 4; tables <= 10; ++tables) {
         double islSum = 0.0;
         double bfSum = 0.0;
         uint64_t islBytes = 0;
         uint64_t bfBytes = 0;
-        for (const auto &recipe : traces) {
-            {
-                auto source = tracegen::makeSource(recipe, opts.scale);
-                auto isl = makeIslTage(tables);
-                islBytes = isl->storage().totalBytes();
-                islSum += archive.evaluateRun(recipe.name, *source, *isl)
-                              .result.mpki();
-            }
-            {
-                auto source = tracegen::makeSource(recipe, opts.scale);
-                auto bf = makeBfIslTage(tables);
-                bfBytes = bf->storage().totalBytes();
-                bfSum += archive.evaluateRun(recipe.name, *source, *bf)
-                             .result.mpki();
-            }
+        const size_t base = (tables - 4) * traces.size() * 2;
+        for (size_t t = 0; t < traces.size(); ++t) {
+            const bench::BenchRun &isl = runs[base + 2 * t];
+            const bench::BenchRun &bf = runs[base + 2 * t + 1];
+            islBytes = (isl.storageBits + 7) / 8;
+            islSum += isl.result.mpki();
+            bfBytes = (bf.storageBits + 7) / 8;
+            bfSum += bf.result.mpki();
         }
         const double n = static_cast<double>(traces.size());
         std::cout << std::left << std::setw(8) << tables << std::right
@@ -70,6 +88,6 @@ main(int argc, char **argv)
     std::cout << "\npaper shape: BF ahead for 4..9 tables "
               << "(7 tables: 2.57 vs 2.73), converging at 10\n";
     archive.write();
-    return 0;
+    return archive.exitCode();
     });
 }

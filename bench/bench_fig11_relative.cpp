@@ -35,28 +35,40 @@ main(int argc, char **argv)
     if (opts.csv)
         std::cout << "CSV,trace,tage10_mpki,tage15_pct,bf10_pct\n";
 
-    for (const auto &recipe : opts.selectedTraces()) {
-        auto runOne = [&](const std::string &spec) {
-            auto source = tracegen::makeSource(recipe, opts.scale);
-            auto predictor = createPredictor(spec);
-            return archive.evaluateRun(recipe.name, *source, *predictor)
-                .result.mpki();
-        };
-        const double base = runOne("tage-10");
-        const double t15 = runOne("tage-15");
-        const double bf10 = runOne("bf-tage-10");
+    const std::vector<std::string> specs = {"tage-10", "tage-15",
+                                            "bf-tage-10"};
+    const auto traces = opts.selectedTraces();
+    std::vector<SuiteJob> jobs;
+    for (const auto &recipe : traces) {
+        for (const auto &spec : specs) {
+            SuiteJob job;
+            job.traceName = recipe.name;
+            job.makeSource = [recipe, scale = opts.scale] {
+                return tracegen::makeSource(recipe, scale);
+            };
+            job.makePredictor = [spec] { return createPredictor(spec); };
+            jobs.push_back(std::move(job));
+        }
+    }
+    const auto runs = archive.runSuite(std::move(jobs));
+
+    for (size_t t = 0; t < traces.size(); ++t) {
+        const double base =
+            runs[t * specs.size() + 0].result.mpki();
+        const double t15 = runs[t * specs.size() + 1].result.mpki();
+        const double bf10 = runs[t * specs.size() + 2].result.mpki();
         const double t15Pct =
             base > 0.0 ? 100.0 * (base - t15) / base : 0.0;
         const double bfPct =
             base > 0.0 ? 100.0 * (base - bf10) / base : 0.0;
-        std::cout << std::left << std::setw(10) << recipe.name
+        std::cout << std::left << std::setw(10) << traces[t].name
                   << std::right << std::setw(12) << bench::cell(base)
                   << std::setw(12) << bench::cell(t15)
                   << std::setw(12) << bench::cell(bf10)
                   << std::setw(12) << bench::cell(t15Pct, 1)
                   << std::setw(12) << bench::cell(bfPct, 1) << "\n";
         if (opts.csv) {
-            std::cout << "CSV," << recipe.name << ","
+            std::cout << "CSV," << traces[t].name << ","
                       << bench::cell(base) << ","
                       << bench::cell(t15Pct, 2) << ","
                       << bench::cell(bfPct, 2) << "\n";
@@ -66,6 +78,6 @@ main(int argc, char **argv)
               << "long-history traces; negative bars on SPEC07/FP2/"
               << "MM5/SERV traces\n";
     archive.write();
-    return 0;
+    return archive.exitCode();
     });
 }

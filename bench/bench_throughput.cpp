@@ -11,6 +11,7 @@
 #include <benchmark/benchmark.h>
 
 #include "core/factory.hpp"
+#include "sim/suite_runner.hpp"
 #include "sim/trace_source.hpp"
 #include "tracegen/workloads.hpp"
 
@@ -106,6 +107,59 @@ BENCHMARK(BM_BfNeural);
 BENCHMARK(BM_Tage15);
 BENCHMARK(BM_IslTage10);
 BENCHMARK(BM_BfIslTage10);
+
+/**
+ * Suite-runner scaling: a small (trace x predictor) matrix submitted
+ * as SuiteJobs at 1, 2 and 4 workers. Wall time per iteration is the
+ * whole batch, so the items/second ratio between worker counts is
+ * the thread-pool speedup (expect ~flat on single-core machines).
+ * The result checksum guards the determinism contract: every worker
+ * count must produce identical mispredictions.
+ */
+void
+BM_SuiteRunner(benchmark::State &state)
+{
+    const std::vector<std::string> traceNames = {"SPEC00", "SPEC13",
+                                                 "MM1", "SERV1"};
+    const std::vector<std::string> specs = {"gshare", "oh-snap"};
+    std::vector<bfbp::SuiteJob> jobs;
+    for (const auto &traceName : traceNames) {
+        const auto recipe = bfbp::tracegen::recipeByName(traceName);
+        for (const auto &spec : specs) {
+            bfbp::SuiteJob job;
+            job.traceName = traceName;
+            job.makeSource = [recipe] {
+                return bfbp::tracegen::makeSource(recipe, 0.05);
+            };
+            job.makePredictor = [spec] {
+                return bfbp::createPredictor(spec);
+            };
+            jobs.push_back(std::move(job));
+        }
+    }
+
+    const bfbp::SuiteRunner runner(
+        static_cast<unsigned>(state.range(0)));
+    uint64_t checksum = 0;
+    for (auto _ : state) {
+        const auto outcomes = runner.run(jobs);
+        checksum = 0;
+        for (const auto &o : outcomes)
+            checksum += o.result.mispredictions;
+        benchmark::DoNotOptimize(checksum);
+    }
+    state.SetItemsProcessed(
+        static_cast<int64_t>(state.iterations() * jobs.size()));
+    state.counters["mispredict_checksum"] =
+        static_cast<double>(checksum);
+    state.counters["workers"] =
+        static_cast<double>(runner.workerCount());
+}
+
+// Real time, not CPU time: the main thread sleeps in the pool join,
+// so CPU time would read near-zero for every multi-worker run.
+BENCHMARK(BM_SuiteRunner)->Arg(1)->Arg(2)->Arg(4)
+    ->UseRealTime()->Unit(benchmark::kMillisecond);
 
 /**
  * Tagged-table array accesses per prediction: the power argument of

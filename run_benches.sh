@@ -5,11 +5,13 @@ for b in build/bench/*; do
   if [ -x "$b" ] && [ -f "$b" ]; then
     name=$(basename "$b")
     args=()
-    # Every harness bench archives its runs; bench_throughput is a
-    # Google Benchmark binary and takes no --json flag.
+    # Every harness bench archives its runs and fans its suite out
+    # over all hardware threads (results are byte-identical to a
+    # serial run); bench_throughput is a Google Benchmark binary and
+    # takes neither flag.
     case "$name" in
       bench_throughput) ;;
-      *) args=(--json "BENCH_${name}.json") ;;
+      *) args=(--json "BENCH_${name}.json" --jobs 0) ;;
     esac
     echo "===== $b =====" >> bench_output.txt
     "$b" "${args[@]}" >> bench_output.txt 2>&1

@@ -1,0 +1,103 @@
+#include "sim/suite_runner.hpp"
+
+#include <atomic>
+#include <thread>
+
+#include "util/errors.hpp"
+
+namespace bfbp
+{
+
+namespace
+{
+
+/**
+ * Runs one job into its outcome slot. Everything this touches — the
+ * source, the predictor, the telemetry sink, the outcome — is private
+ * to the job, so workers never contend.
+ */
+void
+runJob(const SuiteJob &job, SuiteOutcome &out)
+{
+    out.predictorName = job.predictorLabel;
+    try {
+        auto source = job.makeSource();
+        auto predictor = job.makePredictor();
+        if (job.predictorLabel.empty())
+            out.predictorName = predictor->name();
+
+        EvalOptions options = job.options;
+        options.telemetry = job.collectTelemetry ? &out.data : nullptr;
+
+        telemetry::ScopedTimer timer(nullptr, "suite");
+        out.result = evaluate(*source, *predictor, options);
+        out.seconds = job.collectTelemetry
+            ? out.data.gaugeValue("eval.seconds")
+            : timer.elapsedSeconds();
+        out.storageBits = predictor->storage().totalBits();
+    } catch (const BfbpError &e) {
+        out.failed = true;
+        out.error = e.what();
+    } catch (const std::exception &e) {
+        out.failed = true;
+        out.error = std::string("unexpected error: ") + e.what();
+    }
+}
+
+} // anonymous namespace
+
+SuiteRunner::SuiteRunner(unsigned requested_jobs)
+    : workers(resolveWorkerCount(requested_jobs))
+{
+}
+
+unsigned
+SuiteRunner::resolveWorkerCount(unsigned requested)
+{
+    if (requested != 0)
+        return requested;
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw == 0 ? 1 : hw;
+}
+
+std::vector<SuiteOutcome>
+SuiteRunner::run(const std::vector<SuiteJob> &jobs) const
+{
+    std::vector<SuiteOutcome> outcomes(jobs.size());
+
+    // One worker (or one job): run inline, in order, no threads —
+    // byte-for-byte the historical serial bench behavior.
+    const unsigned pool =
+        std::min<size_t>(workers, jobs.size());
+    if (pool <= 1) {
+        for (size_t i = 0; i < jobs.size(); ++i)
+            runJob(jobs[i], outcomes[i]);
+        return outcomes;
+    }
+
+    // The work queue is the job vector itself: workers claim the
+    // next unstarted index with one fetch_add. Each outcome slot is
+    // written by exactly one worker; the jthread joins below form
+    // the release/acquire edge that publishes every slot before run()
+    // returns.
+    std::atomic<size_t> next{0};
+    {
+        std::vector<std::jthread> threads;
+        threads.reserve(pool);
+        for (unsigned t = 0; t < pool; ++t) {
+            threads.emplace_back([&] {
+                for (;;) {
+                    const size_t i =
+                        next.fetch_add(1, std::memory_order_relaxed);
+                    if (i >= jobs.size())
+                        return;
+                    runJob(jobs[i], outcomes[i]);
+                }
+            });
+        }
+    } // jthread dtors join here.
+
+    return outcomes;
+}
+
+} // namespace bfbp

@@ -1,0 +1,147 @@
+/**
+ * @file
+ * Parallel (trace, predictor) suite evaluation with deterministic,
+ * submission-ordered results.
+ *
+ * The figure/table benches replay up to 40 traces through a dozen
+ * predictor configurations each; every such (trace, predictor) pair
+ * is an independent, deterministic evaluation. SuiteRunner fans a
+ * vector of SuiteJobs out over a fixed-size pool of std::jthread
+ * workers pulling from a shared work queue, with *no shared state on
+ * the hot path*:
+ *
+ *  - each worker materializes its own TraceSource and
+ *    BranchPredictor from the job's factories (the factories are
+ *    invoked on the worker thread and must not share mutable state);
+ *  - each job owns its own telemetry::Telemetry sink (the
+ *    SuiteOutcome::data member), so counters, gauges and the
+ *    interval series are recorded without a single lock or atomic in
+ *    the evaluation loop;
+ *  - outcomes land in a pre-sized vector slot per job, so results
+ *    are returned in submission order no matter which worker
+ *    finished first.
+ *
+ * Because every evaluation is a deterministic state machine over a
+ * deterministic source, the outcome vector — results, counters,
+ * series, and anything serialized from them — is byte-identical
+ * between a 1-worker and an N-worker run (wall-clock timing gauges
+ * excepted, as everywhere in the telemetry layer).
+ *
+ * Error isolation: a job whose factory or evaluation throws a
+ * BfbpError (corrupt source, bad config, evaluation fault) fails
+ * *alone* — the outcome carries failed=true plus the diagnostic, and
+ * every other job runs to completion. This mirrors guardedMain's
+ * contract at per-job granularity.
+ *
+ * This header lives in sim/ and therefore knows nothing about
+ * tracegen: benches bind tracegen::TraceRecipe into the makeSource
+ * factory (see bench/bench_common.hpp, runSuite()).
+ */
+
+#ifndef BFBP_SIM_SUITE_RUNNER_HPP
+#define BFBP_SIM_SUITE_RUNNER_HPP
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sim/evaluator.hpp"
+#include "sim/predictor.hpp"
+#include "sim/trace_source.hpp"
+#include "telemetry/telemetry.hpp"
+
+namespace bfbp
+{
+
+/** One (trace, predictor) evaluation to be scheduled. */
+struct SuiteJob
+{
+    /** Trace identifier carried through to the outcome/record. */
+    std::string traceName;
+
+    /** Overrides predictor->name() in reports when non-empty (for
+     *  benches whose configurations share one label). */
+    std::string predictorLabel;
+
+    /** Creates this job's private trace source. Invoked on the
+     *  worker thread; must be safe to call concurrently with the
+     *  other jobs' factories. */
+    std::function<std::unique_ptr<TraceSource>()> makeSource;
+
+    /** Creates this job's private predictor instance. Same
+     *  concurrency contract as makeSource. */
+    std::function<std::unique_ptr<BranchPredictor>()> makePredictor;
+
+    /** Evaluator knobs (updateDelay, maxBranches, telemetryInterval,
+     *  onError). The telemetry pointer is overwritten: it is aimed at
+     *  the job's own sink when collectTelemetry is set, else null. */
+    EvalOptions options;
+
+    /** Record counters/gauges/series into SuiteOutcome::data. */
+    bool collectTelemetry = false;
+};
+
+/** What one job produced, in submission order. */
+struct SuiteOutcome
+{
+    EvalResult result;
+
+    /** Wall seconds of this job's evaluate() call (worker-local). */
+    double seconds = 0.0;
+
+    /** predictorLabel if given, else predictor->name(). Empty when
+     *  the job failed before a predictor existed. */
+    std::string predictorName;
+
+    /** Predictor hardware budget, StorageReport::totalBits(). 0 when
+     *  the job failed before a predictor existed. */
+    uint64_t storageBits = 0;
+
+    /** This job's private telemetry sink (empty unless the job had
+     *  collectTelemetry set). */
+    telemetry::Telemetry data{true};
+
+    /** The job threw; result may be partial, error holds the
+     *  diagnostic. */
+    bool failed = false;
+    std::string error;
+};
+
+/**
+ * Fixed-size thread pool evaluating SuiteJobs concurrently.
+ *
+ * A runner with one worker executes every job inline on the calling
+ * thread, in submission order — exactly the pre-runner serial bench
+ * behavior, with zero threads spawned.
+ */
+class SuiteRunner
+{
+  public:
+    /** @param requested_jobs Worker count; 0 = hardware concurrency.
+     *  Resolved once at construction, see workerCount(). */
+    explicit SuiteRunner(unsigned requested_jobs = 1);
+
+    /** The resolved pool size (>= 1). */
+    unsigned workerCount() const { return workers; }
+
+    /** 0 -> std::thread::hardware_concurrency() (>= 1), else the
+     *  requested count unchanged. */
+    static unsigned resolveWorkerCount(unsigned requested);
+
+    /**
+     * Evaluates every job and returns outcomes in submission order.
+     * Blocks until all jobs finish; never throws for per-job faults
+     * (see SuiteOutcome::failed). Non-BfbpError exceptions from a job
+     * are also captured per-job, mirroring guardedMain's
+     * "unexpected error" tier.
+     */
+    std::vector<SuiteOutcome> run(const std::vector<SuiteJob> &jobs) const;
+
+  private:
+    unsigned workers;
+};
+
+} // namespace bfbp
+
+#endif // BFBP_SIM_SUITE_RUNNER_HPP

@@ -33,7 +33,8 @@ TEST(BenchOptions, ParsesValidArguments)
 {
     const auto opts = parseArgs({"--scale", "0.5", "--traces",
                                  "SPEC00,MM1", "--csv", "--json",
-                                 "out.json", "--interval", "10000"});
+                                 "out.json", "--interval", "10000",
+                                 "--jobs", "4"});
     EXPECT_DOUBLE_EQ(opts.scale, 0.5);
     ASSERT_EQ(opts.traces.size(), 2u);
     EXPECT_EQ(opts.traces[0], "SPEC00");
@@ -41,6 +42,7 @@ TEST(BenchOptions, ParsesValidArguments)
     EXPECT_TRUE(opts.csv);
     EXPECT_EQ(opts.jsonPath, "out.json");
     EXPECT_EQ(opts.interval, 10000u);
+    EXPECT_EQ(opts.jobs, 4u);
 
     const auto selected = opts.selectedTraces();
     ASSERT_EQ(selected.size(), 2u);
@@ -53,8 +55,27 @@ TEST(BenchOptions, DefaultsSelectWholeSuite)
     EXPECT_FALSE(opts.csv);
     EXPECT_TRUE(opts.jsonPath.empty());
     EXPECT_EQ(opts.interval, 0u);
+    EXPECT_EQ(opts.jobs, 1u);
     EXPECT_EQ(opts.selectedTraces().size(),
               tracegen::standardSuite().size());
+}
+
+TEST(BenchOptions, SkipsEmptyTraceListComponents)
+{
+    // ",A", "A,,B" and trailing commas must not produce an empty
+    // trace name (which used to surface as "unknown trace: ").
+    const auto opts = parseArgs({"--traces", ",SPEC00,,MM1,"});
+    ASSERT_EQ(opts.traces.size(), 2u);
+    EXPECT_EQ(opts.traces[0], "SPEC00");
+    EXPECT_EQ(opts.traces[1], "MM1");
+    EXPECT_EQ(opts.selectedTraces().size(), 2u);
+}
+
+TEST(BenchOptions, ZeroJobsMeansHardwareConcurrency)
+{
+    const auto opts = parseArgs({"--jobs", "0"});
+    EXPECT_EQ(opts.jobs, 0u);
+    EXPECT_GE(SuiteRunner::resolveWorkerCount(opts.jobs), 1u);
 }
 
 using BenchOptionsDeath = ::testing::Test;
@@ -85,8 +106,49 @@ TEST(BenchOptionsDeath, RejectsTrailingJunkScale)
 
 TEST(BenchOptionsDeath, RejectsNonNumericInterval)
 {
-    EXPECT_EXIT(parseArgs({"--interval", "many"}),
+    EXPECT_EXIT(parseArgs({"--interval", "many", "--json", "o.json"}),
                 ::testing::ExitedWithCode(2), "invalid --interval");
+}
+
+TEST(BenchOptionsDeath, RejectsIntervalWithoutJson)
+{
+    // The series is only emitted into the JSON document; accepting
+    // the flag alone silently recorded nothing.
+    EXPECT_EXIT(parseArgs({"--interval", "10000"}),
+                ::testing::ExitedWithCode(2),
+                "--interval requires --json");
+}
+
+TEST(BenchOptionsDeath, RejectsDuplicateTraces)
+{
+    EXPECT_EXIT(parseArgs({"--traces", "SPEC00,MM1,SPEC00"}),
+                ::testing::ExitedWithCode(2),
+                "duplicate trace: SPEC00");
+}
+
+TEST(BenchOptionsDeath, RejectsAllEmptyTraceList)
+{
+    EXPECT_EXIT(parseArgs({"--traces", ","}),
+                ::testing::ExitedWithCode(2),
+                "invalid --traces ',': no trace names given");
+}
+
+TEST(BenchOptionsDeath, RejectsNegativeJobs)
+{
+    EXPECT_EXIT(parseArgs({"--jobs", "-2"}),
+                ::testing::ExitedWithCode(2), "invalid --jobs");
+}
+
+TEST(BenchOptionsDeath, RejectsNonNumericJobs)
+{
+    EXPECT_EXIT(parseArgs({"--jobs", "all"}),
+                ::testing::ExitedWithCode(2), "invalid --jobs");
+}
+
+TEST(BenchOptionsDeath, RejectsAbsurdJobs)
+{
+    EXPECT_EXIT(parseArgs({"--jobs", "99999"}),
+                ::testing::ExitedWithCode(2), "invalid --jobs");
 }
 
 TEST(BenchOptionsDeath, RejectsUnknownOption)
@@ -100,6 +162,16 @@ TEST(BenchOptionsDeath, UnknownTraceListsValidNames)
     const auto opts = parseArgs({"--traces", "SPEC00,NOPE42"});
     EXPECT_EXIT(opts.selectedTraces(), ::testing::ExitedWithCode(2),
                 "unknown trace: NOPE42(.|\n)*valid traces:(.|\n)* SPEC00");
+}
+
+TEST(RunArchive, WriteThrowsTraceIoErrorOnUnopenablePath)
+{
+    // Used to std::exit(2) from library-ish code; now it goes
+    // through the BfbpError taxonomy so guardedMain owns the exit.
+    const auto opts =
+        parseArgs({"--json", "/no/such/dir/bfbp-out.json"});
+    bench::RunArchive archive("write_test", opts);
+    EXPECT_THROW(archive.write(), TraceIoError);
 }
 
 } // anonymous namespace

@@ -1,0 +1,256 @@
+/**
+ * @file
+ * Tests for the parallel suite runner (sim/suite_runner.hpp): the
+ * determinism contract — a multi-trace, multi-predictor matrix run
+ * with 4 workers produces EvalResults, telemetry, CSV rows and JSON
+ * documents byte-identical to a 1-worker run — and per-job fault
+ * isolation (one poisoned job fails alone).
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/factory.hpp"
+#include "sim/fault_injection.hpp"
+#include "sim/suite_runner.hpp"
+#include "telemetry/sinks.hpp"
+#include "tracegen/workloads.hpp"
+
+namespace bfbp
+{
+namespace
+{
+
+constexpr double kScale = 0.02;
+
+/** Owning composition of a clean source and its fault decorator, so
+ *  a SuiteJob factory can hand out a single poisoned TraceSource. */
+class PoisonedSource : public TraceSource
+{
+  public:
+    PoisonedSource(std::unique_ptr<TraceSource> inner_source,
+                   FaultInjectionConfig config)
+        : inner(std::move(inner_source)), faulty(*inner, config)
+    {
+    }
+
+    bool next(BranchRecord &out) override { return faulty.next(out); }
+    void reset() override { faulty.reset(); }
+    std::string name() const override { return faulty.name(); }
+
+  private:
+    std::unique_ptr<TraceSource> inner;
+    FaultInjectingSource faulty;
+};
+
+/** The test matrix: 3 traces x 3 predictors, in submission order. */
+std::vector<SuiteJob>
+matrixJobs(bool collect_telemetry)
+{
+    const std::vector<std::string> traces = {"SPEC00", "MM1", "SERV1"};
+    const std::vector<std::string> specs = {"bimodal", "gshare",
+                                            "oh-snap"};
+    std::vector<SuiteJob> jobs;
+    for (const auto &traceName : traces) {
+        const auto recipe = tracegen::recipeByName(traceName);
+        for (const auto &spec : specs) {
+            SuiteJob job;
+            job.traceName = traceName;
+            job.makeSource = [recipe] {
+                return tracegen::makeSource(recipe, kScale);
+            };
+            job.makePredictor = [spec] {
+                return createPredictor(spec);
+            };
+            job.collectTelemetry = collect_telemetry;
+            job.options.telemetryInterval = 2000;
+            jobs.push_back(std::move(job));
+        }
+    }
+    return jobs;
+}
+
+/** Outcome -> RunRecord with the wall-clock fields zeroed, so the
+ *  serialized forms can be byte-compared across worker counts. */
+telemetry::RunRecord
+recordWithoutTiming(const std::string &trace, SuiteOutcome &&outcome)
+{
+    telemetry::RunRecord record;
+    record.traceName = trace;
+    record.predictorName = outcome.predictorName;
+    record.data = std::move(outcome.data);
+    record.instructions = outcome.result.instructions;
+    record.condBranches = outcome.result.condBranches;
+    record.otherBranches = outcome.result.otherBranches;
+    record.mispredictions = outcome.result.mispredictions;
+    record.mpki = outcome.result.mpki();
+    record.mispredictionRate = outcome.result.mispredictionRate();
+    record.storageBits = outcome.storageBits;
+    record.wallSeconds = 0.0;
+    record.branchesPerSecond = 0.0;
+    record.data.setGauge("eval.seconds", 0.0);
+    record.data.setGauge("eval.per_second", 0.0);
+    return record;
+}
+
+/** Fixed-width table + CSV text a bench would print, minus timing. */
+std::string
+tableText(const std::vector<SuiteOutcome> &outcomes)
+{
+    std::ostringstream os;
+    for (const auto &o : outcomes) {
+        os << o.result.traceName << "," << o.predictorName << ","
+           << o.result.condBranches << "," << o.result.mispredictions
+           << "," << o.result.mpki() << "\n";
+    }
+    return os.str();
+}
+
+TEST(SuiteRunner, ResolvesWorkerCount)
+{
+    EXPECT_EQ(SuiteRunner::resolveWorkerCount(1), 1u);
+    EXPECT_EQ(SuiteRunner::resolveWorkerCount(7), 7u);
+    EXPECT_GE(SuiteRunner::resolveWorkerCount(0), 1u);
+    EXPECT_EQ(SuiteRunner(0).workerCount(),
+              SuiteRunner::resolveWorkerCount(0));
+}
+
+TEST(SuiteRunner, EmptyJobVector)
+{
+    EXPECT_TRUE(SuiteRunner(4).run({}).empty());
+}
+
+TEST(SuiteRunner, ParallelResultsMatchSerial)
+{
+    const auto serial = SuiteRunner(1).run(matrixJobs(false));
+    const auto parallel = SuiteRunner(4).run(matrixJobs(false));
+
+    ASSERT_EQ(serial.size(), parallel.size());
+    ASSERT_EQ(serial.size(), 9u);
+    for (size_t i = 0; i < serial.size(); ++i) {
+        SCOPED_TRACE(i);
+        EXPECT_FALSE(serial[i].failed);
+        EXPECT_FALSE(parallel[i].failed);
+        EXPECT_EQ(serial[i].predictorName, parallel[i].predictorName);
+        EXPECT_EQ(serial[i].storageBits, parallel[i].storageBits);
+        const EvalResult &a = serial[i].result;
+        const EvalResult &b = parallel[i].result;
+        EXPECT_EQ(a.instructions, b.instructions);
+        EXPECT_EQ(a.condBranches, b.condBranches);
+        EXPECT_EQ(a.otherBranches, b.otherBranches);
+        EXPECT_EQ(a.mispredictions, b.mispredictions);
+        EXPECT_EQ(a.recordsSkipped, b.recordsSkipped);
+        EXPECT_EQ(a.streamErrors, b.streamErrors);
+        EXPECT_GT(a.condBranches, 0u);
+    }
+    EXPECT_EQ(tableText(serial), tableText(parallel));
+}
+
+TEST(SuiteRunner, ParallelTelemetryAndJsonMatchSerial)
+{
+    auto serial = SuiteRunner(1).run(matrixJobs(true));
+    auto parallel = SuiteRunner(4).run(matrixJobs(true));
+    ASSERT_EQ(serial.size(), parallel.size());
+
+    // Per-job sinks: counters and the interval series must agree
+    // exactly, and the series must be present (interval 2000 over a
+    // scale-0.02 trace yields complete windows).
+    bool sawIntervals = false;
+    for (size_t i = 0; i < serial.size(); ++i) {
+        SCOPED_TRACE(i);
+        EXPECT_EQ(serial[i].data.counters(),
+                  parallel[i].data.counters());
+        EXPECT_EQ(serial[i].data.intervals(),
+                  parallel[i].data.intervals());
+        sawIntervals |= !serial[i].data.intervals().empty();
+    }
+    EXPECT_TRUE(sawIntervals);
+
+    // Byte-identical serialized forms once the (documented) wall-
+    // clock exception is zeroed out.
+    std::vector<telemetry::RunRecord> serialRecords;
+    std::vector<telemetry::RunRecord> parallelRecords;
+    for (size_t i = 0; i < serial.size(); ++i) {
+        serialRecords.push_back(recordWithoutTiming(
+            serial[i].result.traceName, std::move(serial[i])));
+        parallelRecords.push_back(recordWithoutTiming(
+            parallel[i].result.traceName, std::move(parallel[i])));
+    }
+
+    std::ostringstream serialJson, parallelJson;
+    telemetry::writeRunsJson(serialJson, "suite_runner_test",
+                             serialRecords);
+    telemetry::writeRunsJson(parallelJson, "suite_runner_test",
+                             parallelRecords);
+    EXPECT_EQ(serialJson.str(), parallelJson.str());
+    EXPECT_NE(serialJson.str().find("bfbp-telemetry-v1"),
+              std::string::npos);
+
+    std::ostringstream serialCsv, parallelCsv;
+    telemetry::writeRunsCsv(serialCsv, serialRecords);
+    telemetry::writeRunsCsv(parallelCsv, parallelRecords);
+    EXPECT_EQ(serialCsv.str(), parallelCsv.str());
+
+    std::ostringstream serialCounters, parallelCounters;
+    telemetry::writeCountersCsv(serialCounters, serialRecords);
+    telemetry::writeCountersCsv(parallelCounters, parallelRecords);
+    EXPECT_EQ(serialCounters.str(), parallelCounters.str());
+}
+
+TEST(SuiteRunner, PoisonedJobFailsAlone)
+{
+    auto jobs = matrixJobs(false);
+    // Poison the middle job: corrupt every delivered record until a
+    // structurally invalid one trips the default Throw policy.
+    const auto recipe = tracegen::recipeByName("MM1");
+    jobs[4].makeSource = [recipe] {
+        FaultInjectionConfig cfg;
+        cfg.corruptProb = 1.0;
+        return std::make_unique<PoisonedSource>(
+            tracegen::makeSource(recipe, kScale), cfg);
+    };
+
+    for (const unsigned workers : {1u, 4u}) {
+        SCOPED_TRACE(workers);
+        const auto outcomes = SuiteRunner(workers).run(jobs);
+        ASSERT_EQ(outcomes.size(), 9u);
+        for (size_t i = 0; i < outcomes.size(); ++i) {
+            SCOPED_TRACE(i);
+            if (i == 4) {
+                EXPECT_TRUE(outcomes[i].failed);
+                EXPECT_NE(outcomes[i].error.find("invalid"),
+                          std::string::npos)
+                    << outcomes[i].error;
+            } else {
+                EXPECT_FALSE(outcomes[i].failed);
+                EXPECT_GT(outcomes[i].result.condBranches, 0u);
+            }
+        }
+    }
+}
+
+TEST(SuiteRunner, FailingFactoryIsIsolatedToo)
+{
+    auto jobs = matrixJobs(false);
+    jobs[0].makePredictor = [] {
+        return createPredictor("no-such-predictor");
+    };
+    const auto outcomes = SuiteRunner(4).run(jobs);
+    ASSERT_EQ(outcomes.size(), 9u);
+    EXPECT_TRUE(outcomes[0].failed);
+    EXPECT_NE(outcomes[0].error.find("unknown predictor"),
+              std::string::npos)
+        << outcomes[0].error;
+    for (size_t i = 1; i < outcomes.size(); ++i) {
+        SCOPED_TRACE(i);
+        EXPECT_FALSE(outcomes[i].failed);
+    }
+}
+
+} // anonymous namespace
+} // namespace bfbp
