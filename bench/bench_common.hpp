@@ -16,6 +16,12 @@
  *                 interval series) as a bfbp-telemetry-v1 document
  *   --interval N  with --json (required): record windowed MPKI every
  *                 N conditional branches
+ *   --checkpoint-dir D  persist per-job outcomes and mid-trace
+ *                 predictor snapshots under D/<suite>/ so a killed
+ *                 run can be restarted (docs/SERIALIZATION.md)
+ *   --resume      with --checkpoint-dir (required): skip jobs whose
+ *                 outcome is already persisted, resume in-flight
+ *                 evaluations from their mid-trace checkpoint
  *   --help        usage
  *
  * RunArchive is the bridge between the evaluator and the telemetry
@@ -91,6 +97,8 @@ struct Options
     bool csv = false;
     std::string jsonPath;  //!< --json destination; empty = off.
     uint64_t interval = 0; //!< --interval window, 0 = no series.
+    std::string checkpointDir; //!< --checkpoint-dir; empty = off.
+    bool resume = false;       //!< --resume a checkpointed suite run.
 
     static Options
     parse(int argc, char **argv, const std::string &description)
@@ -134,6 +142,10 @@ struct Options
                 opts.jsonPath = argv[++i];
             } else if (arg == "--interval" && i + 1 < argc) {
                 opts.interval = parseInterval(argv[++i]);
+            } else if (arg == "--checkpoint-dir" && i + 1 < argc) {
+                opts.checkpointDir = argv[++i];
+            } else if (arg == "--resume") {
+                opts.resume = true;
             } else if (arg == "--help" || arg == "-h") {
                 std::cout << description << "\n\n"
                           << "options:\n"
@@ -147,7 +159,13 @@ struct Options
                           << "  --json FILE   write run telemetry as "
                           << "JSON (schema bfbp-telemetry-v1)\n"
                           << "  --interval N  windowed MPKI series "
-                          << "every N cond branches (requires --json)\n";
+                          << "every N cond branches (requires --json)\n"
+                          << "  --checkpoint-dir D  persist per-job "
+                          << "outcomes and mid-trace predictor "
+                          << "snapshots under D\n"
+                          << "  --resume      skip finished jobs and "
+                          << "resume in-flight ones from "
+                          << "--checkpoint-dir\n";
                 std::exit(0);
             } else {
                 std::cerr << "unknown option: " << arg << "\n";
@@ -161,6 +179,13 @@ struct Options
             std::cerr << "--interval requires --json: the windowed "
                       << "series is only emitted into the JSON "
                       << "document\n";
+            std::exit(2);
+        }
+        // Resuming without a directory has nothing to resume from.
+        if (opts.resume && opts.checkpointDir.empty()) {
+            std::cerr << "--resume requires --checkpoint-dir: "
+                      << "checkpoints live in the checkpoint "
+                      << "directory\n";
             std::exit(2);
         }
         return opts;
@@ -276,6 +301,12 @@ struct BenchRun
 class RunArchive
 {
   public:
+    /** Conditional branches between mid-trace evaluator checkpoint
+     *  writes under --checkpoint-dir: frequent enough that a killed
+     *  full-scale run loses at most a couple of seconds of work,
+     *  rare enough to be invisible in the run time. */
+    static constexpr uint64_t midTraceCheckpointInterval = 200000;
+
     RunArchive(std::string suite_name, const Options &options)
         : suite(std::move(suite_name)), opts(options)
     {
@@ -361,7 +392,16 @@ class RunArchive
             job.options.telemetryInterval = opts.interval;
         }
         SuiteRunner runner(opts.jobs);
-        std::vector<SuiteOutcome> outcomes = runner.run(jobs);
+        SuiteCheckpointOptions ckpt;
+        if (!opts.checkpointDir.empty()) {
+            // Each bench checkpoints into its own subdirectory so one
+            // --checkpoint-dir serves a multi-bench campaign without
+            // job indices colliding across suites.
+            ckpt.dir = opts.checkpointDir + "/" + suite;
+            ckpt.interval = midTraceCheckpointInterval;
+            ckpt.resume = opts.resume;
+        }
+        std::vector<SuiteOutcome> outcomes = runner.run(jobs, ckpt);
 
         std::vector<BenchRun> out;
         out.reserve(outcomes.size());

@@ -1,0 +1,128 @@
+/**
+ * @file
+ * libFuzzer entry point over the two byte-stream parsers with a
+ * "reject, never crash" contract: the trace-file container reader
+ * (TraceFileSource) and the predictor snapshot loader
+ * (docs/SERIALIZATION.md). Anything other than a clean parse or a
+ * TraceIoError — a sanitizer report, an uncaught exception, an
+ * assert — is a finding.
+ *
+ * Build with -DBFBP_FUZZ=ON. Under clang the target links against
+ * libFuzzer (-fsanitize=fuzzer); other compilers get a standalone
+ * driver that replays files given on the command line, so the CI
+ * smoke corpus stays runnable everywhere.
+ *
+ * Input layout: byte 0 selects the target (even = trace container,
+ * odd = snapshot loader; for snapshots byte 1 selects the predictor),
+ * the rest is the parser's input verbatim.
+ */
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include <unistd.h>
+
+#include "core/factory.hpp"
+#include "sim/trace_io.hpp"
+#include "util/errors.hpp"
+
+#include <sstream>
+
+namespace
+{
+
+/** Temp file reused across iterations (the container reader's only
+ *  interface is a path). */
+const std::string &
+scratchPath()
+{
+    static const std::string path = [] {
+        const char *tmp = std::getenv("TMPDIR");
+        return std::string(tmp ? tmp : "/tmp") + "/bfbp_fuzz_" +
+               std::to_string(static_cast<unsigned long>(getpid())) +
+               ".trace";
+    }();
+    return path;
+}
+
+void
+fuzzTraceContainer(const uint8_t *data, size_t size)
+{
+    std::FILE *f = std::fopen(scratchPath().c_str(), "wb");
+    if (!f)
+        return;
+    if (size != 0)
+        std::fwrite(data, 1, size, f);
+    std::fclose(f);
+
+    try {
+        bfbp::TraceFileSource source(scratchPath());
+        bfbp::BranchRecord record;
+        while (source.next(record)) {
+        }
+    } catch (const bfbp::TraceIoError &) {
+        // The expected rejection path.
+    }
+}
+
+void
+fuzzSnapshotLoader(const uint8_t *data, size_t size)
+{
+    // Small, cheap-to-construct predictors keep iterations fast;
+    // the envelope and codec paths under test are shared by all.
+    const char *specs[] = {"bimodal", "gshare", "tage-5"};
+    const char *spec = size == 0 ? specs[0] : specs[data[0] % 3];
+    const uint8_t *body = size == 0 ? data : data + 1;
+    const size_t bodySize = size == 0 ? 0 : size - 1;
+
+    auto predictor = bfbp::createPredictor(spec);
+    std::istringstream is(
+        std::string(reinterpret_cast<const char *>(body), bodySize));
+    try {
+        predictor->loadState(is);
+    } catch (const bfbp::TraceIoError &) {
+        // The expected rejection path.
+    }
+}
+
+} // anonymous namespace
+
+extern "C" int
+LLVMFuzzerTestOneInput(const uint8_t *data, size_t size)
+{
+    if (size == 0)
+        return 0;
+    if (data[0] % 2 == 0)
+        fuzzTraceContainer(data + 1, size - 1);
+    else
+        fuzzSnapshotLoader(data + 1, size - 1);
+    return 0;
+}
+
+#ifdef BFBP_FUZZ_STANDALONE
+/** Replay driver for compilers without libFuzzer: each argument is a
+ *  corpus file fed through the entry point once. */
+int
+main(int argc, char **argv)
+{
+    for (int i = 1; i < argc; ++i) {
+        std::FILE *f = std::fopen(argv[i], "rb");
+        if (!f) {
+            std::fprintf(stderr, "cannot open %s\n", argv[i]);
+            return 2;
+        }
+        std::vector<uint8_t> bytes;
+        uint8_t buf[4096];
+        size_t n;
+        while ((n = std::fread(buf, 1, sizeof buf, f)) > 0)
+            bytes.insert(bytes.end(), buf, buf + n);
+        std::fclose(f);
+        LLVMFuzzerTestOneInput(bytes.data(), bytes.size());
+        std::printf("%s: ok\n", argv[i]);
+    }
+    return 0;
+}
+#endif

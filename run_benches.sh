@@ -1,4 +1,5 @@
 #!/bin/bash
+set -euo pipefail
 cd /root/repo
 : > bench_output.txt
 for b in build/bench/*; do

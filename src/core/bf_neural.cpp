@@ -329,4 +329,135 @@ BfNeuralPredictor::storage() const
     return report;
 }
 
+void
+BfNeuralPredictor::saveStateBody(StateSink &sink) const
+{
+    bst.saveState(sink);
+    rs.saveState(sink);
+    loop.saveState(sink);
+    threshold.saveState(sink);
+    sink.u64(wb.size());
+    for (const auto &w : wb)
+        w.saveState(sink);
+    sink.u64(wm.size());
+    for (const auto &w : wm)
+        w.saveState(sink);
+    sink.u64(wrs.size());
+    for (const auto &w : wrs)
+        w.saveState(sink);
+    foldBank.saveState(sink);
+    recentAddrs.saveState(sink,
+                          [](StateSink &s, uint16_t v) { s.u16(v); });
+    sink.u64(commitCount);
+    sink.u64(pending.size());
+    for (const Context &ctx : pending) {
+        sink.u64(ctx.pc);
+        sink.u8(static_cast<uint8_t>(ctx.state));
+        sink.boolean(ctx.finalPred);
+        sink.boolean(ctx.neuralPred);
+        sink.i32(ctx.sum);
+        sink.u64(ctx.biasIndex);
+        sink.u32(ctx.wmCount);
+        sink.u32(ctx.wrsCount);
+        for (unsigned i = 0; i < ctx.wmCount; ++i) {
+            sink.u32(ctx.wmIndex[i]);
+            sink.boolean(ctx.wmBit[i]);
+        }
+        for (unsigned j = 0; j < ctx.wrsCount; ++j) {
+            sink.u32(ctx.wrsIndex[j]);
+            sink.boolean(ctx.wrsBit[j]);
+        }
+        sink.boolean(ctx.loop.hit);
+        sink.boolean(ctx.loop.valid);
+        sink.boolean(ctx.loop.prediction);
+        sink.u64(ctx.loop.entryIndex);
+    }
+    sink.u64(events.bstDirect);
+    sink.u64(events.neuralUsed);
+    sink.u64(events.loopOverrides);
+    sink.u64(events.trainEvents);
+    sink.u64(events.biasBreaks);
+    sink.u64(events.rsInserts);
+    sink.u64(events.filteredOut);
+}
+
+void
+BfNeuralPredictor::loadStateBody(StateSource &source)
+{
+    bst.loadState(source);
+    rs.loadState(source);
+    loop.loadState(source);
+    threshold.loadState(source);
+    const uint64_t nWb = source.count(wb.size(), "Wb weight");
+    if (nWb != wb.size())
+        throw TraceIoError("snapshot corrupt: Wb table size mismatch");
+    for (auto &w : wb)
+        w.loadState(source);
+    const uint64_t nWm = source.count(wm.size(), "Wm weight");
+    if (nWm != wm.size())
+        throw TraceIoError("snapshot corrupt: Wm table size mismatch");
+    for (auto &w : wm)
+        w.loadState(source);
+    const uint64_t nWrs = source.count(wrs.size(), "Wrs weight");
+    if (nWrs != wrs.size())
+        throw TraceIoError("snapshot corrupt: Wrs table size mismatch");
+    for (auto &w : wrs)
+        w.loadState(source);
+    foldBank.loadState(source);
+    recentAddrs.loadState(
+        source, [](StateSource &s, uint16_t &v) { v = s.u16(); });
+    commitCount = source.u64();
+    const uint64_t nPending =
+        source.count(uint64_t{1} << 16, "pending context");
+    pending.clear();
+    for (uint64_t i = 0; i < nPending; ++i) {
+        Context ctx;
+        ctx.pc = source.u64();
+        const uint8_t state = source.u8();
+        loadRange(state, uint8_t{0}, uint8_t{3}, "context bias state");
+        ctx.state = static_cast<BiasState>(state);
+        ctx.finalPred = source.boolean();
+        ctx.neuralPred = source.boolean();
+        ctx.sum = source.i32();
+        ctx.biasIndex = source.u64();
+        loadRange<uint64_t>(ctx.biasIndex, 0, wb.size() - 1,
+                            "context bias index");
+        ctx.wmCount = source.u32();
+        loadRange<uint64_t>(ctx.wmCount, 0, 32, "context Wm count");
+        ctx.wrsCount = source.u32();
+        loadRange<uint64_t>(ctx.wrsCount, 0, 64, "context Wrs count");
+        for (unsigned k = 0; k < ctx.wmCount; ++k) {
+            ctx.wmIndex[k] = source.u32();
+            if (ctx.wmIndex[k] >= wm.size()) {
+                throw TraceIoError("snapshot corrupt: context Wm "
+                                   "index beyond table");
+            }
+            ctx.wmBit[k] = source.boolean();
+        }
+        for (unsigned k = 0; k < ctx.wrsCount; ++k) {
+            ctx.wrsIndex[k] = source.u32();
+            if (ctx.wrsIndex[k] >= wrs.size()) {
+                throw TraceIoError("snapshot corrupt: context Wrs "
+                                   "index beyond table");
+            }
+            ctx.wrsBit[k] = source.boolean();
+        }
+        ctx.loop.hit = source.boolean();
+        ctx.loop.valid = source.boolean();
+        ctx.loop.prediction = source.boolean();
+        ctx.loop.entryIndex = source.u64();
+        loadRange<uint64_t>(ctx.loop.entryIndex, 0,
+                            loop.entryCount() - 1,
+                            "context loop entry index");
+        pending.push_back(ctx);
+    }
+    events.bstDirect = source.u64();
+    events.neuralUsed = source.u64();
+    events.loopOverrides = source.u64();
+    events.trainEvents = source.u64();
+    events.biasBreaks = source.u64();
+    events.rsInserts = source.u64();
+    events.filteredOut = source.u64();
+}
+
 } // namespace bfbp

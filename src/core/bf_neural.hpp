@@ -135,6 +135,9 @@ class BfNeuralPredictor : public BranchPredictor
     const BranchStatusTable &biasTable() const { return bst; }
     const RecencyStack &recencyStack() const { return rs; }
 
+    void saveStateBody(StateSink &sink) const override;
+    void loadStateBody(StateSource &source) override;
+
   private:
     /** Per-prediction context carried to commit-time training. */
     struct Context

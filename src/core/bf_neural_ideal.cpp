@@ -147,4 +147,77 @@ BfNeuralIdealPredictor::storage() const
     return report;
 }
 
+void
+BfNeuralIdealPredictor::saveStateBody(StateSink &sink) const
+{
+    bst.saveState(sink);
+    rs.saveState(sink);
+    threshold.saveState(sink);
+    sink.u64(wb.size());
+    for (const auto &w : wb)
+        w.saveState(sink);
+    sink.u64(wm.size());
+    for (const auto &w : wm)
+        w.saveState(sink);
+    sink.u64(commitCount);
+    sink.u64(pending.size());
+    for (const Context &ctx : pending) {
+        sink.u64(ctx.pc);
+        sink.u8(static_cast<uint8_t>(ctx.state));
+        sink.boolean(ctx.neuralPred);
+        sink.i32(ctx.sum);
+        sink.u64(ctx.biasIndex);
+        sink.u32(ctx.count);
+        for (unsigned i = 0; i < ctx.count; ++i) {
+            sink.u32(ctx.index[i]);
+            sink.boolean(ctx.bit[i]);
+        }
+    }
+}
+
+void
+BfNeuralIdealPredictor::loadStateBody(StateSource &source)
+{
+    bst.loadState(source);
+    rs.loadState(source);
+    threshold.loadState(source);
+    const uint64_t nWb = source.count(wb.size(), "Wb weight");
+    if (nWb != wb.size())
+        throw TraceIoError("snapshot corrupt: Wb table size mismatch");
+    for (auto &w : wb)
+        w.loadState(source);
+    const uint64_t nWm = source.count(wm.size(), "Wm weight");
+    if (nWm != wm.size())
+        throw TraceIoError("snapshot corrupt: Wm table size mismatch");
+    for (auto &w : wm)
+        w.loadState(source);
+    commitCount = source.u64();
+    const uint64_t nPending =
+        source.count(uint64_t{1} << 16, "pending context");
+    pending.clear();
+    for (uint64_t i = 0; i < nPending; ++i) {
+        Context ctx;
+        ctx.pc = source.u64();
+        const uint8_t state = source.u8();
+        loadRange(state, uint8_t{0}, uint8_t{3}, "context bias state");
+        ctx.state = static_cast<BiasState>(state);
+        ctx.neuralPred = source.boolean();
+        ctx.sum = source.i32();
+        ctx.biasIndex = source.u64();
+        loadRange<uint64_t>(ctx.biasIndex, 0, wb.size() - 1,
+                            "context bias index");
+        ctx.count = source.u32();
+        loadRange<uint64_t>(ctx.count, 0, 128, "context term count");
+        for (unsigned k = 0; k < ctx.count; ++k) {
+            ctx.index[k] = source.u32();
+            if (ctx.index[k] >= wm.size()) {
+                throw TraceIoError("snapshot corrupt: context weight "
+                                   "index beyond table");
+            }
+            ctx.bit[k] = source.boolean();
+        }
+        pending.push_back(ctx);
+    }
+}
+
 } // namespace bfbp

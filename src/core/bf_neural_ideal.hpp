@@ -66,6 +66,9 @@ class BfNeuralIdealPredictor : public BranchPredictor
     std::string name() const override { return cfg.label; }
     StorageReport storage() const override;
 
+    void saveStateBody(StateSink &sink) const override;
+    void loadStateBody(StateSource &source) override;
+
   private:
     struct Context
     {

@@ -104,4 +104,28 @@ BfTagePredictor::reportHistoryStorage(StorageReport &report) const
     report.addBits("path history", cfg.pathBits);
 }
 
+void
+BfTagePredictor::saveHistoryState(StateSink &sink) const
+{
+    // Fold caches are recomputed from the BF-GHR on load, so only
+    // the BST, the segmented stacks and the path history persist.
+    bst.saveState(sink);
+    stacks.saveState(sink);
+    sink.u64(pathHist);
+}
+
+void
+BfTagePredictor::loadHistoryState(StateSource &source)
+{
+    bst.loadState(source);
+    stacks.loadState(source);
+    const uint64_t path = source.u64();
+    if ((path & ~maskBits(cfg.pathBits)) != 0) {
+        throw TraceIoError("snapshot corrupt: path history wider than "
+                           "its configured window");
+    }
+    pathHist = path;
+    refreshFolds();
+}
+
 } // namespace bfbp

@@ -71,6 +71,8 @@ class BfTagePredictor : public TageBase
     void updateHistories(uint64_t pc, bool taken,
                          uint64_t target) override;
     void reportHistoryStorage(StorageReport &report) const override;
+    void saveHistoryState(StateSink &sink) const override;
+    void loadHistoryState(StateSource &source) override;
 
   private:
     void refreshFolds();

@@ -25,6 +25,7 @@
 #include "util/bitops.hpp"
 #include "util/hashing.hpp"
 #include "util/random.hpp"
+#include "util/state_codec.hpp"
 #include "util/storage.hpp"
 
 namespace bfbp
@@ -148,6 +149,55 @@ class BranchStatusTable
                 ++n;
         }
         return n;
+    }
+
+    void
+    saveState(StateSink &sink) const
+    {
+        sink.u64(states.size());
+        for (const BiasState s : states)
+            sink.u8(static_cast<uint8_t>(s));
+        sink.u64(runLength.size());
+        for (const uint8_t r : runLength)
+            sink.u8(r);
+        rng.saveState(sink);
+        sink.u64(transitionCounts.toTaken);
+        sink.u64(transitionCounts.toNotTaken);
+        sink.u64(transitionCounts.toNonBiased);
+        sink.u64(transitionCounts.reverts);
+    }
+
+    void
+    loadState(StateSource &source)
+    {
+        const uint64_t nStates = source.count(states.size(), "BST state");
+        if (nStates != states.size()) {
+            throw TraceIoError("snapshot corrupt: BST holds " +
+                               std::to_string(nStates) +
+                               " entries, expected " +
+                               std::to_string(states.size()));
+        }
+        for (auto &s : states) {
+            const uint8_t v = source.u8();
+            loadRange(v, uint8_t{0}, uint8_t{3}, "BST FSM state");
+            s = static_cast<BiasState>(v);
+        }
+        const uint64_t nRuns =
+            source.count(runLength.size(), "BST run counter");
+        if (nRuns != runLength.size()) {
+            throw TraceIoError("snapshot corrupt: BST run-counter "
+                               "array size mismatch");
+        }
+        for (auto &r : runLength) {
+            const uint8_t v = source.u8();
+            loadRange(v, uint8_t{0}, uint8_t{7}, "BST run counter");
+            r = v;
+        }
+        rng.loadState(source);
+        transitionCounts.toTaken = source.u64();
+        transitionCounts.toNotTaken = source.u64();
+        transitionCounts.toNonBiased = source.u64();
+        transitionCounts.reverts = source.u64();
     }
 
   private:

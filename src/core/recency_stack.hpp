@@ -26,6 +26,7 @@
 #include <deque>
 #include <vector>
 
+#include "util/state_codec.hpp"
 #include "util/storage.hpp"
 
 namespace bfbp
@@ -126,6 +127,46 @@ class RecencyStack
         // addr hash (14) + outcome (1) + pos_hist (11, capped 2048).
         report.addTable("RS entries", maxDepth, 26);
         return report;
+    }
+
+    void
+    saveState(StateSink &sink) const
+    {
+        sink.u64(entries.size());
+        for (const Entry &e : entries) {
+            sink.u16(e.addrHash);
+            sink.boolean(e.outcome);
+            sink.u64(e.insertAge);
+        }
+        sink.u64(hitDepthCounts.size());
+        for (uint64_t c : hitDepthCounts)
+            sink.u64(c);
+        sink.u64(pushCount);
+        sink.u64(missCount);
+    }
+
+    void
+    loadState(StateSource &source)
+    {
+        const uint64_t n = source.count(maxDepth, "RS entry");
+        entries.clear();
+        for (uint64_t i = 0; i < n; ++i) {
+            Entry e;
+            e.addrHash = source.u16();
+            e.outcome = source.boolean();
+            e.insertAge = source.u64();
+            entries.push_back(e);
+        }
+        const uint64_t nHits =
+            source.count(hitDepthCounts.size(), "RS hit-depth");
+        if (nHits != hitDepthCounts.size()) {
+            throw TraceIoError("snapshot corrupt: RS hit-depth array "
+                               "size mismatch");
+        }
+        for (auto &c : hitDepthCounts)
+            c = source.u64();
+        pushCount = source.u64();
+        missCount = source.u64();
     }
 
   private:

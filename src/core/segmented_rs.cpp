@@ -120,6 +120,62 @@ SegmentedRecencyStacks::fold(unsigned length, unsigned width) const
     return folded;
 }
 
+void
+SegmentedRecencyStacks::saveState(StateSink &sink) const
+{
+    queue.saveState(sink, [](StateSink &s, const QueueEntry &e) {
+        s.u16(e.addrHash);
+        s.boolean(e.outcome);
+        s.boolean(e.nonBiased);
+    });
+    sink.u64(segments.size());
+    for (const auto &seg : segments) {
+        sink.u64(seg.size());
+        for (const SegEntry &e : seg) {
+            sink.u16(e.addrHash);
+            sink.boolean(e.outcome);
+            sink.u64(e.absIndex);
+        }
+    }
+    sink.u64(churnCounts.inserts);
+    sink.u64(churnCounts.evictions);
+    sink.u64(churnCounts.overflows);
+    sink.u64(churnCounts.prunes);
+}
+
+void
+SegmentedRecencyStacks::loadState(StateSource &source)
+{
+    queue.loadState(source, [](StateSource &s, QueueEntry &e) {
+        e.addrHash = s.u16();
+        e.outcome = s.boolean();
+        e.nonBiased = s.boolean();
+    });
+    const uint64_t nSegs = source.count(segments.size(), "segment");
+    if (nSegs != segments.size()) {
+        throw TraceIoError("snapshot corrupt: segmented RS holds " +
+                           std::to_string(nSegs) +
+                           " segments, expected " +
+                           std::to_string(segments.size()));
+    }
+    for (auto &seg : segments) {
+        const uint64_t n = source.count(cfg.perSegment, "segment entry");
+        seg.clear();
+        for (uint64_t i = 0; i < n; ++i) {
+            SegEntry e;
+            e.addrHash = source.u16();
+            e.outcome = source.boolean();
+            e.absIndex = source.u64();
+            seg.push_back(e);
+        }
+    }
+    churnCounts.inserts = source.u64();
+    churnCounts.evictions = source.u64();
+    churnCounts.overflows = source.u64();
+    churnCounts.prunes = source.u64();
+    rematerialize();
+}
+
 StorageReport
 SegmentedRecencyStacks::storage() const
 {

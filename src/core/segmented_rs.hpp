@@ -31,6 +31,7 @@
 #include <vector>
 
 #include "util/ring_buffer.hpp"
+#include "util/state_codec.hpp"
 #include "util/storage.hpp"
 
 namespace bfbp
@@ -97,6 +98,12 @@ class SegmentedRecencyStacks
     const ChurnCounts &churn() const { return churnCounts; }
 
     StorageReport storage() const;
+
+    void saveState(StateSink &sink) const;
+
+    /** Restores queue, segments and churn counts, then rebuilds the
+     *  materialized BF-GHR words from them. */
+    void loadState(StateSource &source);
 
   private:
     /** One queued unfiltered-history record. */

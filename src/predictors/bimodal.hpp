@@ -53,6 +53,26 @@ class BimodalPredictor : public BranchPredictor
 
     std::string name() const override { return "bimodal"; }
 
+    void
+    saveStateBody(StateSink &sink) const override
+    {
+        sink.u64(table.size());
+        for (const auto &ctr : table)
+            ctr.saveState(sink);
+    }
+
+    void
+    loadStateBody(StateSource &source) override
+    {
+        const uint64_t n = source.count(table.size(), "bimodal counter");
+        if (n != table.size()) {
+            throw TraceIoError("snapshot corrupt: bimodal table size "
+                               "mismatch");
+        }
+        for (auto &ctr : table)
+            ctr.loadState(source);
+    }
+
     StorageReport
     storage() const override
     {

@@ -54,6 +54,33 @@ class GsharePredictor : public BranchPredictor
 
     std::string name() const override { return "gshare"; }
 
+    void
+    saveStateBody(StateSink &sink) const override
+    {
+        sink.u64(ghist);
+        sink.u64(table.size());
+        for (const auto &ctr : table)
+            ctr.saveState(sink);
+    }
+
+    void
+    loadStateBody(StateSource &source) override
+    {
+        const uint64_t hist = source.u64();
+        if ((hist & ~maskBits(histBits)) != 0) {
+            throw TraceIoError("snapshot corrupt: gshare history "
+                               "wider than its configured window");
+        }
+        const uint64_t n = source.count(table.size(), "gshare counter");
+        if (n != table.size()) {
+            throw TraceIoError("snapshot corrupt: gshare table size "
+                               "mismatch");
+        }
+        ghist = hist;
+        for (auto &ctr : table)
+            ctr.loadState(source);
+    }
+
     StorageReport
     storage() const override
     {

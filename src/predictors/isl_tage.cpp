@@ -169,6 +169,125 @@ IslTagePredictor::update(uint64_t pc, bool taken, bool predicted,
 }
 
 void
+IslTagePredictor::saveContext(StateSink &sink, const Context &ctx) const
+{
+    sink.u64(ctx.pc);
+    sink.boolean(ctx.finalPred);
+    sink.boolean(ctx.tagePred);
+    sink.boolean(ctx.scUsed);
+    sink.boolean(ctx.scPred);
+    sink.i32(ctx.provider);
+    sink.u32(ctx.providerIndex);
+    sink.boolean(ctx.loop.hit);
+    sink.boolean(ctx.loop.valid);
+    sink.boolean(ctx.loop.prediction);
+    sink.u64(ctx.loop.entryIndex);
+    for (size_t i = 0; i < scTables.size(); ++i)
+        sink.u32(ctx.scIndices[i]);
+}
+
+IslTagePredictor::Context
+IslTagePredictor::loadContext(StateSource &source) const
+{
+    Context ctx;
+    ctx.pc = source.u64();
+    ctx.finalPred = source.boolean();
+    ctx.tagePred = source.boolean();
+    ctx.scUsed = source.boolean();
+    ctx.scPred = source.boolean();
+    ctx.provider = source.i32();
+    loadRange<int64_t>(ctx.provider, -1,
+                       static_cast<int64_t>(core->config().numTables()) -
+                           1,
+                       "ISL context provider");
+    ctx.providerIndex = source.u32();
+    if (ctx.provider >= 0 &&
+        ctx.providerIndex >=
+            (uint64_t{1} << core->config()
+                 .logSizes[static_cast<size_t>(ctx.provider)])) {
+        throw TraceIoError("snapshot corrupt: ISL context provider "
+                           "index beyond its table");
+    }
+    ctx.loop.hit = source.boolean();
+    ctx.loop.valid = source.boolean();
+    ctx.loop.prediction = source.boolean();
+    ctx.loop.entryIndex = source.u64();
+    loadRange<uint64_t>(ctx.loop.entryIndex, 0, loop.entryCount() - 1,
+                        "ISL loop entry index");
+    for (size_t i = 0; i < scTables.size(); ++i) {
+        ctx.scIndices[i] = source.u32();
+        if (ctx.scIndices[i] >= scTables[i].size()) {
+            throw TraceIoError("snapshot corrupt: ISL context SC "
+                               "index beyond its table");
+        }
+    }
+    return ctx;
+}
+
+void
+IslTagePredictor::saveStateBody(StateSink &sink) const
+{
+    core->saveStateBody(sink);
+    loop.saveState(sink);
+    sink.u64(scTables.size());
+    for (const auto &table : scTables) {
+        sink.u64(table.size());
+        for (const auto &ctr : table)
+            ctr.saveState(sink);
+    }
+    for (const auto &f : scFolds)
+        f.saveState(sink);
+    scHist.saveState(sink);
+    useSc.saveState(sink);
+    sink.u64(pending.size());
+    for (const Context &ctx : pending)
+        saveContext(sink, ctx);
+    sink.u64(inFlight.size());
+    for (const Context &ctx : inFlight)
+        saveContext(sink, ctx);
+    sink.u64(scConsulted);
+    sink.u64(scReverts);
+    sink.u64(iumHits);
+    sink.u64(loopOverrides);
+}
+
+void
+IslTagePredictor::loadStateBody(StateSource &source)
+{
+    core->loadStateBody(source);
+    loop.loadState(source);
+    const uint64_t nTables = source.count(scTables.size(), "SC table");
+    if (nTables != scTables.size())
+        throw TraceIoError("snapshot corrupt: SC table count mismatch");
+    for (auto &table : scTables) {
+        const uint64_t n = source.count(table.size(), "SC counter");
+        if (n != table.size())
+            throw TraceIoError("snapshot corrupt: SC table size "
+                               "mismatch");
+        for (auto &ctr : table)
+            ctr.loadState(source);
+    }
+    for (auto &f : scFolds)
+        f.loadState(source);
+    scHist.loadState(source);
+    useSc.loadState(source);
+    const uint64_t nPending =
+        source.count(uint64_t{1} << 16, "ISL pending context");
+    pending.clear();
+    for (uint64_t i = 0; i < nPending; ++i)
+        pending.push_back(loadContext(source));
+    const uint64_t nInFlight =
+        source.count(cfg.iumCapacity, "ISL in-flight context");
+    inFlight.clear();
+    for (uint64_t i = 0; i < nInFlight; ++i)
+        inFlight.push_back(loadContext(source));
+    scConsulted = source.u64();
+    scReverts = source.u64();
+    iumHits = source.u64();
+    loopOverrides = source.u64();
+}
+
+void
 IslTagePredictor::emitTelemetry(telemetry::Telemetry &sink) const
 {
     core->emitTelemetry(sink);

@@ -81,6 +81,9 @@ class IslTagePredictor : public BranchPredictor
     /** Access to the wrapped TAGE core (tests, analysis). */
     const TageBase &tage() const { return *core; }
 
+    void saveStateBody(StateSink &sink) const override;
+    void loadStateBody(StateSource &source) override;
+
   private:
     /** Per-prediction context carried to commit. */
     struct Context
@@ -95,6 +98,9 @@ class IslTagePredictor : public BranchPredictor
         LoopPredictor::Context loop;
         std::array<uint32_t, 4> scIndices{};
     };
+
+    void saveContext(StateSink &sink, const Context &ctx) const;
+    Context loadContext(StateSource &source) const;
 
     int scSum(uint64_t pc, bool tage_pred,
               std::array<uint32_t, 4> &indices) const;

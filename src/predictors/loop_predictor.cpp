@@ -170,6 +170,54 @@ LoopPredictor::update(const Context &ctx, uint64_t pc, bool taken,
 }
 
 void
+LoopPredictor::saveState(StateSink &sink) const
+{
+    sink.u64(entries.size());
+    for (const Entry &e : entries) {
+        sink.u16(e.tag);
+        sink.u16(e.pastIter);
+        sink.u16(e.currIter);
+        sink.u8(e.confidence);
+        sink.u8(e.age);
+        sink.boolean(e.direction);
+    }
+    sink.i32(withLoop);
+    sink.u64(statAllocs);
+    sink.u64(statConfident);
+    sink.u64(statGateRight);
+    sink.u64(statGateWrong);
+}
+
+void
+LoopPredictor::loadState(StateSource &source)
+{
+    const uint64_t n = source.count(entries.size(), "loop entry");
+    if (n != entries.size()) {
+        throw TraceIoError("snapshot corrupt: loop predictor holds " +
+                           std::to_string(n) + " entries, expected " +
+                           std::to_string(entries.size()));
+    }
+    for (Entry &e : entries) {
+        e.tag = source.u16();
+        e.pastIter = source.u16();
+        loadRange(e.pastIter, uint16_t{0}, maxIter, "loop pastIter");
+        e.currIter = source.u16();
+        loadRange(e.currIter, uint16_t{0}, maxIter, "loop currIter");
+        e.confidence = source.u8();
+        loadRange(e.confidence, uint8_t{0}, confMax, "loop confidence");
+        e.age = source.u8();
+        e.direction = source.boolean();
+    }
+    const int32_t gate = source.i32();
+    loadRange(gate, withLoopMin, withLoopMax, "WITHLOOP gate");
+    withLoop = gate;
+    statAllocs = source.u64();
+    statConfident = source.u64();
+    statGateRight = source.u64();
+    statGateWrong = source.u64();
+}
+
+void
 LoopPredictor::emitTelemetry(telemetry::Telemetry &sink,
                              const std::string &prefix) const
 {

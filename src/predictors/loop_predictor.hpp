@@ -21,6 +21,7 @@
 #include <string>
 #include <vector>
 
+#include "util/state_codec.hpp"
 #include "util/storage.hpp"
 
 namespace bfbp
@@ -86,6 +87,12 @@ class LoopPredictor
      */
     void emitTelemetry(telemetry::Telemetry &sink,
                        const std::string &prefix) const;
+
+    void saveState(StateSink &sink) const;
+    void loadState(StateSource &source);
+
+    /** Total entry slots (context entryIndex bound). */
+    size_t entryCount() const { return entries.size(); }
 
   private:
     struct Entry

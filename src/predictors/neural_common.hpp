@@ -9,6 +9,8 @@
 #include <cstdint>
 #include <cstdlib>
 
+#include "util/state_codec.hpp"
+
 namespace bfbp
 {
 
@@ -47,6 +49,26 @@ class AdaptiveThreshold
                 tc = 0;
             }
         }
+    }
+
+    void
+    saveState(StateSink &sink) const
+    {
+        sink.i32(theta);
+        sink.i32(tc);
+    }
+
+    void
+    loadState(StateSource &source)
+    {
+        const int32_t t = source.i32();
+        // theta only grows one step per tcMax mispredictions, so a
+        // generous ceiling still rejects corrupt values.
+        loadRange(t, 1, 1 << 20, "adaptive threshold theta");
+        const int32_t c = source.i32();
+        loadRange(c, -tcMax - 1, tcMax, "adaptive threshold tc");
+        theta = t;
+        tc = c;
     }
 
   private:

@@ -87,6 +87,54 @@ OhSnapPredictor::update(uint64_t pc, bool taken, bool predicted,
     path.push(static_cast<uint16_t>(hashPc(pc, cfg.pcHashBits)));
 }
 
+void
+OhSnapPredictor::saveStateBody(StateSink &sink) const
+{
+    threshold.saveState(sink);
+    sink.u64(weights.size());
+    for (const auto &w : weights)
+        w.saveState(sink);
+    sink.u64(bias.size());
+    for (const auto &b : bias)
+        b.saveState(sink);
+    sink.u64(adapt.size());
+    for (const auto &a : adapt)
+        a.saveState(sink);
+    history.saveState(sink);
+    path.saveState(sink, [](StateSink &s, uint16_t v) { s.u16(v); });
+}
+
+void
+OhSnapPredictor::loadStateBody(StateSource &source)
+{
+    threshold.loadState(source);
+    const uint64_t nW = source.count(weights.size(), "oh-snap weight");
+    if (nW != weights.size()) {
+        throw TraceIoError("snapshot corrupt: oh-snap weight table "
+                           "size mismatch");
+    }
+    for (auto &w : weights)
+        w.loadState(source);
+    const uint64_t nB = source.count(bias.size(), "oh-snap bias weight");
+    if (nB != bias.size()) {
+        throw TraceIoError("snapshot corrupt: oh-snap bias table size "
+                           "mismatch");
+    }
+    for (auto &b : bias)
+        b.loadState(source);
+    const uint64_t nA =
+        source.count(adapt.size(), "oh-snap adaptation counter");
+    if (nA != adapt.size()) {
+        throw TraceIoError("snapshot corrupt: oh-snap adaptation "
+                           "table size mismatch");
+    }
+    for (auto &a : adapt)
+        a.loadState(source);
+    history.loadState(source);
+    path.loadState(source,
+                   [](StateSource &s, uint16_t &v) { v = s.u16(); });
+}
+
 StorageReport
 OhSnapPredictor::storage() const
 {

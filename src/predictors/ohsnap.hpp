@@ -66,6 +66,9 @@ class OhSnapPredictor : public BranchPredictor
     std::string name() const override { return "oh-snap"; }
     StorageReport storage() const override;
 
+    void saveStateBody(StateSink &sink) const override;
+    void loadStateBody(StateSource &source) override;
+
   private:
     size_t
     weightIndex(uint64_t pc, unsigned i) const

@@ -74,4 +74,28 @@ PerceptronPredictor::storage() const
     return report;
 }
 
+void
+PerceptronPredictor::saveStateBody(StateSink &sink) const
+{
+    sink.u64(weights.size());
+    for (const auto &w : weights)
+        w.saveState(sink);
+    history.saveState(sink);
+    sink.i32(lastSum);
+}
+
+void
+PerceptronPredictor::loadStateBody(StateSource &source)
+{
+    const uint64_t n = source.count(weights.size(), "perceptron weight");
+    if (n != weights.size()) {
+        throw TraceIoError("snapshot corrupt: perceptron weight table "
+                           "size mismatch");
+    }
+    for (auto &w : weights)
+        w.loadState(source);
+    history.loadState(source);
+    lastSum = source.i32();
+}
+
 } // namespace bfbp

@@ -52,6 +52,9 @@ class PerceptronPredictor : public BranchPredictor
     /** Output magnitude of the last predict() call (for tests). */
     int lastOutput() const { return lastSum; }
 
+    void saveStateBody(StateSink &sink) const override;
+    void loadStateBody(StateSource &source) override;
+
   private:
     size_t
     row(uint64_t pc) const

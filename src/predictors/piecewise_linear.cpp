@@ -72,6 +72,43 @@ PiecewiseLinearPredictor::update(uint64_t pc, bool taken, bool predicted,
     path.push(static_cast<uint16_t>(hashPc(pc, cfg.pcHashBits)));
 }
 
+void
+PiecewiseLinearPredictor::saveStateBody(StateSink &sink) const
+{
+    threshold.saveState(sink);
+    sink.u64(weights.size());
+    for (const auto &w : weights)
+        w.saveState(sink);
+    sink.u64(bias.size());
+    for (const auto &b : bias)
+        b.saveState(sink);
+    history.saveState(sink);
+    path.saveState(sink, [](StateSink &s, uint16_t v) { s.u16(v); });
+}
+
+void
+PiecewiseLinearPredictor::loadStateBody(StateSource &source)
+{
+    threshold.loadState(source);
+    const uint64_t nW = source.count(weights.size(), "pwl weight");
+    if (nW != weights.size()) {
+        throw TraceIoError("snapshot corrupt: pwl weight table size "
+                           "mismatch");
+    }
+    for (auto &w : weights)
+        w.loadState(source);
+    const uint64_t nB = source.count(bias.size(), "pwl bias weight");
+    if (nB != bias.size()) {
+        throw TraceIoError("snapshot corrupt: pwl bias table size "
+                           "mismatch");
+    }
+    for (auto &b : bias)
+        b.loadState(source);
+    history.loadState(source);
+    path.loadState(source,
+                   [](StateSource &s, uint16_t &v) { v = s.u16(); });
+}
+
 StorageReport
 PiecewiseLinearPredictor::storage() const
 {

@@ -56,6 +56,9 @@ class PiecewiseLinearPredictor : public BranchPredictor
     std::string name() const override { return "pwl"; }
     StorageReport storage() const override;
 
+    void saveStateBody(StateSink &sink) const override;
+    void loadStateBody(StateSource &source) override;
+
   private:
     size_t
     weightIndex(uint64_t pc, unsigned i) const

@@ -308,6 +308,141 @@ TageBase::storage() const
     return report;
 }
 
+void
+TageBase::saveStateBody(StateSink &sink) const
+{
+    sink.u64(basePred.size());
+    for (uint8_t b : basePred)
+        sink.u8(b);
+    sink.u64(baseHyst.size());
+    for (uint8_t b : baseHyst)
+        sink.u8(b);
+    sink.u64(tables.size());
+    for (const auto &table : tables) {
+        sink.u64(table.size());
+        for (const TaggedEntry &e : table) {
+            sink.i16(e.ctr);
+            sink.u16(e.tag);
+            sink.u8(e.useful);
+        }
+    }
+    sink.u64(pending.size());
+    for (const PredictionInfo &info : pending) {
+        sink.u64(info.pc);
+        sink.boolean(info.pred);
+        sink.boolean(info.altPred);
+        sink.boolean(info.basePred);
+        sink.i32(info.provider);
+        sink.i32(info.altProvider);
+        sink.boolean(info.providerWeak);
+        sink.i32(info.providerCtr);
+        for (size_t t = 0; t < cfg.numTables(); ++t) {
+            sink.u32(info.indices[t]);
+            sink.u16(info.tags[t]);
+        }
+    }
+    useAltOnNa.saveState(sink);
+    allocRng.saveState(sink);
+    sink.u64(commits);
+    stats.saveState(sink);
+    sink.u64(allocSuccess);
+    sink.u64(allocFailed);
+    sink.u64(uResets);
+    saveHistoryState(sink);
+}
+
+void
+TageBase::loadStateBody(StateSource &source)
+{
+    const int16_t ctrMax =
+        static_cast<int16_t>((1 << (cfg.ctrBits - 1)) - 1);
+    const int16_t ctrMin =
+        static_cast<int16_t>(-(1 << (cfg.ctrBits - 1)));
+    const uint8_t uMax =
+        static_cast<uint8_t>((1 << cfg.uBits) - 1);
+
+    const uint64_t nPred = source.count(basePred.size(), "bimodal pred");
+    if (nPred != basePred.size())
+        throw TraceIoError("snapshot corrupt: bimodal pred array size "
+                           "mismatch");
+    for (auto &b : basePred) {
+        b = source.u8();
+        loadRange(b, uint8_t{0}, uint8_t{1}, "bimodal pred bit");
+    }
+    const uint64_t nHyst = source.count(baseHyst.size(), "bimodal hyst");
+    if (nHyst != baseHyst.size())
+        throw TraceIoError("snapshot corrupt: bimodal hyst array size "
+                           "mismatch");
+    for (auto &b : baseHyst) {
+        b = source.u8();
+        loadRange(b, uint8_t{0}, uint8_t{1}, "bimodal hyst bit");
+    }
+
+    const uint64_t nTables = source.count(tables.size(), "tagged table");
+    if (nTables != tables.size())
+        throw TraceIoError("snapshot corrupt: tagged table count "
+                           "mismatch");
+    for (size_t t = 0; t < tables.size(); ++t) {
+        const uint64_t n =
+            source.count(tables[t].size(), "tagged entry");
+        if (n != tables[t].size())
+            throw TraceIoError("snapshot corrupt: tagged table size "
+                               "mismatch");
+        const uint16_t tagMax =
+            static_cast<uint16_t>(maskBits(cfg.tagBits[t]));
+        for (TaggedEntry &e : tables[t]) {
+            const int16_t ctr = source.i16();
+            loadRange(ctr, ctrMin, ctrMax, "tagged counter");
+            e.ctr = static_cast<int8_t>(ctr);
+            e.tag = source.u16();
+            loadRange(e.tag, uint16_t{0}, tagMax, "tagged tag");
+            e.useful = source.u8();
+            loadRange(e.useful, uint8_t{0}, uMax, "useful flag");
+        }
+    }
+
+    const uint64_t nPending =
+        source.count(uint64_t{1} << 16, "pending prediction");
+    pending.clear();
+    for (uint64_t i = 0; i < nPending; ++i) {
+        PredictionInfo info;
+        info.pc = source.u64();
+        info.pred = source.boolean();
+        info.altPred = source.boolean();
+        info.basePred = source.boolean();
+        info.provider = source.i32();
+        loadRange<int64_t>(info.provider, -1,
+                           static_cast<int64_t>(cfg.numTables()) - 1,
+                           "pending provider");
+        info.altProvider = source.i32();
+        loadRange<int64_t>(info.altProvider, -1,
+                           static_cast<int64_t>(cfg.numTables()) - 1,
+                           "pending alt provider");
+        info.providerWeak = source.boolean();
+        info.providerCtr = source.i32();
+        loadRange<int64_t>(info.providerCtr, ctrMin, ctrMax,
+                           "pending provider counter");
+        for (size_t t = 0; t < cfg.numTables(); ++t) {
+            info.indices[t] = source.u32();
+            if (info.indices[t] >= tables[t].size()) {
+                throw TraceIoError("snapshot corrupt: pending index "
+                                   "beyond table size");
+            }
+            info.tags[t] = source.u16();
+        }
+        pending.push_back(info);
+    }
+
+    useAltOnNa.loadState(source);
+    allocRng.loadState(source);
+    commits = source.u64();
+    stats.loadState(source);
+    allocSuccess = source.u64();
+    allocFailed = source.u64();
+    uResets = source.u64();
+    loadHistoryState(source);
+}
+
 // ---------------------------------------------------------------
 // Conventional TAGE
 // ---------------------------------------------------------------
@@ -366,6 +501,37 @@ TagePredictor::reportHistoryStorage(StorageReport &report) const
 {
     report.addBits("global history", cfg.historyLengths.back());
     report.addBits("path history", cfg.pathBits);
+}
+
+void
+TagePredictor::saveHistoryState(StateSink &sink) const
+{
+    ghist.saveState(sink);
+    for (const auto &f : idxFold)
+        f.saveState(sink);
+    for (const auto &f : tagFold1)
+        f.saveState(sink);
+    for (const auto &f : tagFold2)
+        f.saveState(sink);
+    sink.u64(pathHist);
+}
+
+void
+TagePredictor::loadHistoryState(StateSource &source)
+{
+    ghist.loadState(source);
+    for (auto &f : idxFold)
+        f.loadState(source);
+    for (auto &f : tagFold1)
+        f.loadState(source);
+    for (auto &f : tagFold2)
+        f.loadState(source);
+    const uint64_t path = source.u64();
+    if ((path & ~maskBits(cfg.pathBits)) != 0) {
+        throw TraceIoError("snapshot corrupt: path history wider than "
+                           "its configured window");
+    }
+    pathHist = path;
 }
 
 } // namespace bfbp

@@ -111,6 +111,9 @@ class TageBase : public BranchPredictor
      */
     const PredictionInfo &lastPrediction() const { return pending.back(); }
 
+    void saveStateBody(StateSink &sink) const override;
+    void loadStateBody(StateSource &source) override;
+
   protected:
     /** Raw index hash for tagged table @p t (before masking). */
     virtual uint64_t indexHash(size_t t, uint64_t pc) const = 0;
@@ -124,6 +127,13 @@ class TageBase : public BranchPredictor
 
     /** Extra storage beyond tables (histories etc.), for reports. */
     virtual void reportHistoryStorage(StorageReport &report) const = 0;
+
+    /** Serializes the variant's history state (appended after the
+     *  shared TageBase state by saveStateBody()). */
+    virtual void saveHistoryState(StateSink &sink) const = 0;
+
+    /** Inverse of saveHistoryState(). */
+    virtual void loadHistoryState(StateSource &source) = 0;
 
     TageConfig cfg;
 
@@ -167,6 +177,8 @@ class TagePredictor : public TageBase
     void updateHistories(uint64_t pc, bool taken,
                          uint64_t target) override;
     void reportHistoryStorage(StorageReport &report) const override;
+    void saveHistoryState(StateSink &sink) const override;
+    void loadHistoryState(StateSource &source) override;
 
   private:
     HistoryRegister ghist;

@@ -1,7 +1,12 @@
 #include "sim/evaluator.hpp"
 
 #include <algorithm>
+#include <cstdio>
 #include <deque>
+#include <filesystem>
+#include <sstream>
+
+#include "sim/snapshot.hpp"
 
 namespace bfbp
 {
@@ -17,6 +22,162 @@ struct PendingUpdate
     bool taken;
     bool predicted;
 };
+
+/** Envelope kind of a mid-trace evaluator checkpoint. */
+constexpr const char *evalCheckpointKind = "eval-checkpoint";
+
+/**
+ * Atomically rewrites the checkpoint file with everything a restart
+ * needs: the source position (records consumed so far), the partial
+ * result counters, the telemetry window origin, the pending delayed
+ * updates, the per-branch profiles, the telemetry registry and the
+ * full predictor state.
+ */
+void
+writeEvalCheckpoint(
+    const std::string &path, uint64_t recordsConsumed,
+    const EvalResult &result, uint64_t windowStartInstructions,
+    uint64_t windowStartMispredicts,
+    const std::deque<PendingUpdate> &pending,
+    const std::unordered_map<uint64_t, BranchProfile> &profiles,
+    const telemetry::Telemetry *tel, const BranchPredictor &predictor)
+{
+    StateSink sink;
+    sink.u64(recordsConsumed);
+    sink.u64(result.instructions);
+    sink.u64(result.condBranches);
+    sink.u64(result.otherBranches);
+    sink.u64(result.mispredictions);
+    sink.u64(result.recordsSkipped);
+    sink.u64(result.streamErrors);
+    sink.u64(windowStartInstructions);
+    sink.u64(windowStartMispredicts);
+
+    sink.u64(pending.size());
+    for (const PendingUpdate &u : pending) {
+        sink.u64(u.pc);
+        sink.u64(u.target);
+        sink.boolean(u.taken);
+        sink.boolean(u.predicted);
+    }
+
+    // Profiles in pc order: the map's iteration order is not
+    // deterministic and checkpoint bytes should be.
+    std::vector<const BranchProfile *> rows;
+    rows.reserve(profiles.size());
+    for (const auto &[pc, prof] : profiles)
+        rows.push_back(&prof);
+    std::sort(rows.begin(), rows.end(),
+              [](const BranchProfile *a, const BranchProfile *b) {
+                  return a->pc < b->pc;
+              });
+    sink.u64(rows.size());
+    for (const BranchProfile *prof : rows) {
+        sink.u64(prof->pc);
+        sink.u64(prof->executions);
+        sink.u64(prof->taken);
+        sink.u64(prof->mispredictions);
+    }
+
+    sink.boolean(tel != nullptr);
+    if (tel)
+        saveTelemetry(sink, *tel);
+
+    sink.str(predictor.name());
+    sink.blob(serializePredictorBody(predictor));
+
+    std::ostringstream os;
+    writeEnvelope(os, evalCheckpointKind, sink.take());
+    const std::string bytes = os.str();
+    writeFileAtomic(path, std::vector<uint8_t>(bytes.begin(),
+                                               bytes.end()));
+}
+
+/** State restored from a checkpoint file by loadEvalCheckpoint(). */
+struct EvalCheckpoint
+{
+    uint64_t recordsConsumed = 0;
+    uint64_t instructions = 0;
+    uint64_t condBranches = 0;
+    uint64_t otherBranches = 0;
+    uint64_t mispredictions = 0;
+    uint64_t recordsSkipped = 0;
+    uint64_t streamErrors = 0;
+    uint64_t windowStartInstructions = 0;
+    uint64_t windowStartMispredicts = 0;
+    std::deque<PendingUpdate> pending;
+    std::unordered_map<uint64_t, BranchProfile> profiles;
+};
+
+/**
+ * Loads @p path into @p ck, restores @p predictor and (when present
+ * in both the file and the run) @p tel. @throws TraceIoError on any
+ * corruption or when the checkpoint belongs to another predictor.
+ */
+void
+loadEvalCheckpoint(const std::string &path, EvalCheckpoint &ck,
+                   telemetry::Telemetry *tel,
+                   BranchPredictor &predictor)
+{
+    const std::vector<uint8_t> bytes = readFileBytes(path);
+    std::istringstream is(std::string(bytes.begin(), bytes.end()));
+    const std::vector<uint8_t> payload =
+        readEnvelope(is, evalCheckpointKind);
+    StateSource source(payload);
+
+    ck.recordsConsumed = source.u64();
+    ck.instructions = source.u64();
+    ck.condBranches = source.u64();
+    ck.otherBranches = source.u64();
+    ck.mispredictions = source.u64();
+    ck.recordsSkipped = source.u64();
+    ck.streamErrors = source.u64();
+    ck.windowStartInstructions = source.u64();
+    ck.windowStartMispredicts = source.u64();
+
+    const uint64_t nPending =
+        source.count(uint64_t{1} << 16, "checkpoint pending update");
+    for (uint64_t i = 0; i < nPending; ++i) {
+        PendingUpdate u{};
+        u.pc = source.u64();
+        u.target = source.u64();
+        u.taken = source.boolean();
+        u.predicted = source.boolean();
+        ck.pending.push_back(u);
+    }
+
+    const uint64_t nProfiles =
+        source.count(uint64_t{1} << 24, "checkpoint branch profile");
+    for (uint64_t i = 0; i < nProfiles; ++i) {
+        BranchProfile prof;
+        prof.pc = source.u64();
+        prof.executions = source.u64();
+        prof.taken = source.u64();
+        prof.mispredictions = source.u64();
+        ck.profiles[prof.pc] = prof;
+    }
+
+    const bool hasTelemetry = source.boolean();
+    if (hasTelemetry) {
+        if (tel) {
+            loadTelemetry(source, *tel);
+        } else {
+            // Decode into a scratch registry so the stream stays in
+            // sync even when this run has no telemetry sink.
+            telemetry::Telemetry scratch(true);
+            loadTelemetry(source, scratch);
+        }
+    }
+
+    const std::string savedName = source.str();
+    if (savedName != predictor.name()) {
+        throw TraceIoError("checkpoint predictor mismatch: file holds '" +
+                           savedName + "', run uses '" +
+                           predictor.name() + "'");
+    }
+    restorePredictorBody(predictor, source.blob());
+    source.requireExhausted("eval checkpoint");
+}
 
 } // anonymous namespace
 
@@ -42,7 +203,40 @@ evaluate(TraceSource &source, BranchPredictor &predictor,
     uint64_t windowStartMispredicts = 0;
     telemetry::ScopedTimer timer(tel, "eval");
 
+    const bool checkpointing = !options.checkpointPath.empty() &&
+                               options.checkpointInterval != 0;
+    uint64_t recordsConsumed = 0;
+
     BranchRecord record;
+
+    if (checkpointing && options.resume &&
+        std::filesystem::exists(options.checkpointPath)) {
+        EvalCheckpoint ck;
+        loadEvalCheckpoint(options.checkpointPath, ck, tel, predictor);
+        result.instructions = ck.instructions;
+        result.condBranches = ck.condBranches;
+        result.otherBranches = ck.otherBranches;
+        result.mispredictions = ck.mispredictions;
+        result.recordsSkipped = ck.recordsSkipped;
+        result.streamErrors = ck.streamErrors;
+        windowStartInstructions = ck.windowStartInstructions;
+        windowStartMispredicts = ck.windowStartMispredicts;
+        pending = std::move(ck.pending);
+        profiles = std::move(ck.profiles);
+
+        // Fast-forward a fresh source past the records the
+        // checkpointed run already consumed. A trace that ends early
+        // cannot be the one the checkpoint was taken on.
+        for (uint64_t i = 0; i < ck.recordsConsumed; ++i) {
+            if (!source.next(record)) {
+                throw TraceIoError(
+                    "cannot resume: " + source.name() + " ended after " +
+                    std::to_string(i) + " records, checkpoint was " +
+                    "taken at " + std::to_string(ck.recordsConsumed));
+            }
+        }
+        recordsConsumed = ck.recordsConsumed;
+    }
     for (;;) {
         // Source faults and invalid records go through the onError
         // policy. Under Throw (the default) this block is
@@ -59,6 +253,7 @@ evaluate(TraceSource &source, BranchPredictor &predictor,
             ++result.streamErrors;
             break;
         }
+        ++recordsConsumed;
 
         if (!isStructurallyValid(record)) {
             if (options.onError == ErrorPolicy::Throw) {
@@ -129,11 +324,24 @@ evaluate(TraceSource &source, BranchPredictor &predictor,
             windowStartMispredicts = result.mispredictions;
         }
 
+        if (checkpointing &&
+            result.condBranches % options.checkpointInterval == 0) {
+            writeEvalCheckpoint(options.checkpointPath, recordsConsumed,
+                                result, windowStartInstructions,
+                                windowStartMispredicts, pending,
+                                profiles, tel, predictor);
+        }
+
         if (options.maxBranches != 0 &&
             result.condBranches >= options.maxBranches) {
             break;
         }
     }
+
+    // A completed run needs no restart point; leaving the file would
+    // make a later --resume replay a finished trace.
+    if (checkpointing)
+        std::remove(options.checkpointPath.c_str());
 
     if (tel)
         tel->add("eval.inflight_at_stop", pending.size());

@@ -98,6 +98,32 @@ struct EvalOptions
 
     /** Fault handling policy; see ErrorPolicy. */
     ErrorPolicy onError = ErrorPolicy::Throw;
+
+    /**
+     * Mid-trace checkpoint file ("eval-checkpoint" snapshot
+     * envelope). When set together with checkpointInterval,
+     * evaluate() atomically rewrites this file every
+     * checkpointInterval conditional branches with everything a
+     * restart needs — source position, partial counters, pending
+     * delayed updates, per-branch profiles, telemetry and the full
+     * predictor state — and deletes it when the run completes
+     * normally. See docs/SERIALIZATION.md.
+     */
+    std::string checkpointPath;
+
+    /** Conditional branches between checkpoint writes (0 disables
+     *  checkpointing even when checkpointPath is set). */
+    uint64_t checkpointInterval = 0;
+
+    /**
+     * Resume from checkpointPath when the file exists: restores the
+     * saved state and fast-forwards the (fresh) source past the
+     * records already consumed, then continues as if never
+     * interrupted — results are bit-identical to an uninterrupted
+     * run (timing gauges excepted). A missing file is a normal fresh
+     * start; a corrupt one throws TraceIoError.
+     */
+    bool resume = false;
 };
 
 /** Per-static-branch accuracy row (collectPerBranch). */

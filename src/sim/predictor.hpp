@@ -17,10 +17,12 @@
 #define BFBP_SIM_PREDICTOR_HPP
 
 #include <cstdint>
+#include <iosfwd>
 #include <string>
 #include <vector>
 
 #include "sim/branch.hpp"
+#include "util/state_codec.hpp"
 #include "util/storage.hpp"
 
 namespace bfbp
@@ -64,6 +66,34 @@ struct ProviderStats
             return 0.0;
         return 100.0 * static_cast<double>(providerCount[table]) /
             static_cast<double>(predictions);
+    }
+
+    void
+    saveState(StateSink &sink) const
+    {
+        sink.u64(providerCount.size());
+        for (uint64_t c : providerCount)
+            sink.u64(c);
+        sink.u64(predictions);
+    }
+
+    /** Table count must match the live geometry; a snapshot cannot
+     *  resize provider accounting. */
+    void
+    loadState(StateSource &source)
+    {
+        const uint64_t n =
+            source.count(providerCount.size(), "provider table");
+        if (n != providerCount.size()) {
+            throw TraceIoError(
+                "snapshot corrupt: provider table count " +
+                std::to_string(n) + " does not match the " +
+                std::to_string(providerCount.size()) +
+                " live tables");
+        }
+        for (auto &c : providerCount)
+            c = source.u64();
+        predictions = source.u64();
     }
 };
 
@@ -120,6 +150,38 @@ class BranchPredictor
     {
         (void)sink;
     }
+
+    /**
+     * Writes this predictor's complete mutable state to @p os inside
+     * a versioned, checksummed snapshot envelope keyed by name().
+     * Restoring the snapshot into an identically-configured instance
+     * makes it bit-identical to this one: every later predict() and
+     * emitTelemetry() matches (docs/SERIALIZATION.md).
+     *
+     * @throws TraceIoError on stream failure or when this predictor
+     *         does not implement snapshots.
+     */
+    void saveState(std::ostream &os) const;
+
+    /**
+     * Restores state written by saveState() on an instance built from
+     * the same configuration. @throws TraceIoError when the snapshot
+     * is corrupt, truncated, or was written by a different predictor
+     * kind.
+     */
+    void loadState(std::istream &is);
+
+    /**
+     * Serializes the raw state body (no envelope) into @p sink.
+     * Public so composite predictors can embed a sub-predictor's body
+     * inside their own. The default throws TraceIoError: predictors
+     * opt in explicitly rather than silently snapshotting nothing.
+     */
+    virtual void saveStateBody(StateSink &sink) const;
+
+    /** Inverse of saveStateBody(). Every decoded value is validated
+     *  against the live geometry; @throws TraceIoError on mismatch. */
+    virtual void loadStateBody(StateSource &source);
 };
 
 } // namespace bfbp

@@ -1,0 +1,328 @@
+#include "sim/snapshot.hpp"
+
+#include <cstdio>
+#include <istream>
+#include <ostream>
+
+#include "telemetry/telemetry.hpp"
+#include "util/errors.hpp"
+
+namespace bfbp
+{
+
+namespace
+{
+
+void
+putU32(std::ostream &os, uint32_t v)
+{
+    unsigned char buf[4];
+    for (size_t i = 0; i < 4; ++i)
+        buf[i] = static_cast<unsigned char>(v >> (8 * i));
+    os.write(reinterpret_cast<const char *>(buf), 4);
+}
+
+void
+putU64(std::ostream &os, uint64_t v)
+{
+    unsigned char buf[8];
+    for (size_t i = 0; i < 8; ++i)
+        buf[i] = static_cast<unsigned char>(v >> (8 * i));
+    os.write(reinterpret_cast<const char *>(buf), 8);
+}
+
+uint32_t
+getU32(std::istream &is, const char *what)
+{
+    unsigned char buf[4];
+    if (!is.read(reinterpret_cast<char *>(buf), 4)) {
+        throw TraceIoError(std::string("snapshot truncated reading ") +
+                           what);
+    }
+    uint32_t v = 0;
+    for (size_t i = 0; i < 4; ++i)
+        v |= static_cast<uint32_t>(buf[i]) << (8 * i);
+    return v;
+}
+
+uint64_t
+getU64(std::istream &is, const char *what)
+{
+    unsigned char buf[8];
+    if (!is.read(reinterpret_cast<char *>(buf), 8)) {
+        throw TraceIoError(std::string("snapshot truncated reading ") +
+                           what);
+    }
+    uint64_t v = 0;
+    for (size_t i = 0; i < 8; ++i)
+        v |= static_cast<uint64_t>(buf[i]) << (8 * i);
+    return v;
+}
+
+} // anonymous namespace
+
+void
+writeEnvelope(std::ostream &os, const std::string &kind,
+              const std::vector<uint8_t> &payload)
+{
+    putU32(os, snapshot_format::magic);
+    putU32(os, snapshot_format::version);
+    putU32(os, static_cast<uint32_t>(kind.size()));
+    os.write(kind.data(), static_cast<std::streamsize>(kind.size()));
+    putU64(os, payload.size());
+    os.write(reinterpret_cast<const char *>(payload.data()),
+             static_cast<std::streamsize>(payload.size()));
+    putU64(os, fnv1a64(payload.data(), payload.size()));
+    if (!os) {
+        throw TraceIoError("snapshot write failed for '" + kind +
+                           "' (stream error)");
+    }
+}
+
+std::vector<uint8_t>
+readEnvelope(std::istream &is, const std::string &expected_kind)
+{
+    const uint32_t magic = getU32(is, "magic");
+    if (magic != snapshot_format::magic) {
+        throw TraceIoError(
+            "not a snapshot: bad magic 0x" + [&] {
+                char buf[16];
+                std::snprintf(buf, sizeof buf, "%08x", magic);
+                return std::string(buf);
+            }());
+    }
+    const uint32_t version = getU32(is, "version");
+    if (version != snapshot_format::version) {
+        throw TraceIoError(
+            "unsupported snapshot version " + std::to_string(version) +
+            " (this build reads version " +
+            std::to_string(snapshot_format::version) + ")");
+    }
+    const uint32_t kindLen = getU32(is, "kind length");
+    if (kindLen > 4096) {
+        throw TraceIoError("snapshot corrupt: kind length " +
+                           std::to_string(kindLen));
+    }
+    std::string kind(kindLen, '\0');
+    if (kindLen != 0 &&
+        !is.read(kind.data(), static_cast<std::streamsize>(kindLen))) {
+        throw TraceIoError("snapshot truncated reading kind");
+    }
+    if (kind != expected_kind) {
+        throw TraceIoError("snapshot kind mismatch: file holds '" +
+                           kind + "', expected '" + expected_kind +
+                           "'");
+    }
+    const uint64_t payloadLen = getU64(is, "payload length");
+    if (payloadLen > snapshot_format::maxPayloadBytes) {
+        throw TraceIoError("snapshot corrupt: payload length " +
+                           std::to_string(payloadLen) +
+                           " exceeds the format ceiling");
+    }
+    std::vector<uint8_t> payload(payloadLen);
+    if (payloadLen != 0 &&
+        !is.read(reinterpret_cast<char *>(payload.data()),
+                 static_cast<std::streamsize>(payloadLen))) {
+        throw TraceIoError("snapshot truncated: payload shorter than "
+                           "its declared " +
+                           std::to_string(payloadLen) + " bytes");
+    }
+    const uint64_t expectSum = getU64(is, "checksum");
+    const uint64_t actualSum = fnv1a64(payload.data(), payload.size());
+    if (expectSum != actualSum) {
+        throw TraceIoError("snapshot corrupt: payload checksum "
+                           "mismatch for '" + kind + "'");
+    }
+    return payload;
+}
+
+std::vector<uint8_t>
+serializePredictorBody(const BranchPredictor &predictor)
+{
+    StateSink sink;
+    predictor.saveStateBody(sink);
+    return sink.take();
+}
+
+void
+restorePredictorBody(BranchPredictor &predictor,
+                     const std::vector<uint8_t> &body)
+{
+    StateSource source(body);
+    predictor.loadStateBody(source);
+    source.requireExhausted("predictor state body");
+}
+
+void
+BranchPredictor::saveState(std::ostream &os) const
+{
+    writeEnvelope(os, name(), serializePredictorBody(*this));
+}
+
+void
+BranchPredictor::loadState(std::istream &is)
+{
+    restorePredictorBody(*this, readEnvelope(is, name()));
+}
+
+void
+BranchPredictor::saveStateBody(StateSink &sink) const
+{
+    (void)sink;
+    throw TraceIoError("predictor '" + name() +
+                       "' does not implement state snapshots");
+}
+
+void
+BranchPredictor::loadStateBody(StateSource &source)
+{
+    (void)source;
+    throw TraceIoError("predictor '" + name() +
+                       "' does not implement state snapshots");
+}
+
+void
+writeFileAtomic(const std::string &path,
+                const std::vector<uint8_t> &data)
+{
+    const std::string tmpPath = path + ".tmp";
+    std::FILE *file = std::fopen(tmpPath.c_str(), "wb");
+    if (file == nullptr) {
+        throw TraceIoError("cannot open checkpoint temp file for "
+                           "writing: " + tmpPath);
+    }
+    const size_t written =
+        data.empty() ? 0 : std::fwrite(data.data(), 1, data.size(), file);
+    const bool writeOk = written == data.size();
+    const bool flushOk = std::fflush(file) == 0;
+    const bool closeOk = std::fclose(file) == 0;
+    if (!writeOk || !flushOk || !closeOk) {
+        std::remove(tmpPath.c_str());
+        throw TraceIoError("write failed for checkpoint temp file " +
+                           tmpPath + " (disk full?)");
+    }
+    if (std::rename(tmpPath.c_str(), path.c_str()) != 0) {
+        std::remove(tmpPath.c_str());
+        throw TraceIoError("cannot rename checkpoint " + tmpPath +
+                           " onto " + path);
+    }
+}
+
+std::vector<uint8_t>
+readFileBytes(const std::string &path)
+{
+    std::FILE *file = std::fopen(path.c_str(), "rb");
+    if (file == nullptr)
+        throw TraceIoError("cannot open checkpoint file: " + path);
+    std::vector<uint8_t> data;
+    if (std::fseek(file, 0, SEEK_END) != 0) {
+        std::fclose(file);
+        throw TraceIoError("cannot seek checkpoint file: " + path);
+    }
+    const long size = std::ftell(file);
+    if (size < 0 ||
+        static_cast<uint64_t>(size) >
+            snapshot_format::maxPayloadBytes + 4096) {
+        std::fclose(file);
+        throw TraceIoError("checkpoint file has implausible size: " +
+                           path);
+    }
+    std::rewind(file);
+    data.resize(static_cast<size_t>(size));
+    const size_t got =
+        data.empty() ? 0 : std::fread(data.data(), 1, data.size(), file);
+    std::fclose(file);
+    if (got != data.size())
+        throw TraceIoError("short read on checkpoint file: " + path);
+    return data;
+}
+
+void
+saveTelemetry(StateSink &sink, const telemetry::Telemetry &data)
+{
+    sink.u64(data.counters().size());
+    for (const auto &[name, value] : data.counters()) {
+        sink.str(name);
+        sink.u64(value);
+    }
+    sink.u64(data.gauges().size());
+    for (const auto &[name, value] : data.gauges()) {
+        sink.str(name);
+        sink.f64(value);
+    }
+    sink.u64(data.histograms().size());
+    for (const auto &[name, hist] : data.histograms()) {
+        sink.str(name);
+        sink.u64(hist.bounds.size());
+        for (double b : hist.bounds)
+            sink.f64(b);
+        sink.u64(hist.buckets.size());
+        for (uint64_t b : hist.buckets)
+            sink.u64(b);
+        sink.u64(hist.count);
+        sink.f64(hist.sum);
+    }
+    sink.u64(data.notes().size());
+    for (const auto &[key, value] : data.notes()) {
+        sink.str(key);
+        sink.str(value);
+    }
+    sink.u64(data.intervals().size());
+    for (const auto &s : data.intervals()) {
+        sink.u64(s.index);
+        sink.u64(s.branches);
+        sink.u64(s.instructions);
+        sink.u64(s.mispredicts);
+    }
+}
+
+void
+loadTelemetry(StateSource &source, telemetry::Telemetry &data)
+{
+    constexpr uint64_t maxEntries = 1 << 20;
+    data.clear();
+    const uint64_t nCounters = source.count(maxEntries, "counter");
+    for (uint64_t i = 0; i < nCounters; ++i) {
+        const std::string name = source.str();
+        data.counter(name) = source.u64();
+    }
+    const uint64_t nGauges = source.count(maxEntries, "gauge");
+    for (uint64_t i = 0; i < nGauges; ++i) {
+        const std::string name = source.str();
+        data.setGauge(name, source.f64());
+    }
+    const uint64_t nHists = source.count(maxEntries, "histogram");
+    for (uint64_t i = 0; i < nHists; ++i) {
+        const std::string name = source.str();
+        const uint64_t nBounds = source.count(maxEntries, "bounds");
+        std::vector<double> bounds(nBounds);
+        for (auto &b : bounds)
+            b = source.f64();
+        auto &hist = data.histogram(name, bounds);
+        const uint64_t nBuckets = source.count(maxEntries, "buckets");
+        if (nBuckets != bounds.size() + 1) {
+            throw TraceIoError("snapshot corrupt: histogram '" + name +
+                               "' bucket count does not match bounds");
+        }
+        hist.buckets.assign(nBuckets, 0);
+        for (auto &b : hist.buckets)
+            b = source.u64();
+        hist.count = source.u64();
+        hist.sum = source.f64();
+    }
+    const uint64_t nNotes = source.count(maxEntries, "note");
+    for (uint64_t i = 0; i < nNotes; ++i) {
+        const std::string key = source.str();
+        data.note(key, source.str());
+    }
+    const uint64_t nSamples = source.count(maxEntries, "interval");
+    data.intervals().resize(nSamples);
+    for (auto &s : data.intervals()) {
+        s.index = source.u64();
+        s.branches = source.u64();
+        s.instructions = source.u64();
+        s.mispredicts = source.u64();
+    }
+}
+
+} // namespace bfbp

@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Predictor snapshot envelope and checkpoint file I/O.
+ *
+ * A snapshot is a versioned, length-prefixed, checksummed envelope
+ * around a predictor's serialized state body (docs/SERIALIZATION.md):
+ *
+ *   magic    u32   'B','F','B','S'
+ *   version  u32   snapshot format version (currently 1)
+ *   kind     str   producer identity (predictor name() or a section
+ *                  kind like "eval-checkpoint"); the loader rejects
+ *                  a mismatch so a TAGE snapshot can never be poured
+ *                  into a gshare
+ *   length   u64   payload byte count
+ *   payload  bytes
+ *   checksum u64   FNV-1a over the payload
+ *
+ * The loader validates magic, version, kind, length and checksum
+ * before the body decoder sees a single byte, and the body decoder
+ * itself reads through the bounds-checked StateSource — corrupted or
+ * truncated snapshots are rejected with TraceIoError, never crash
+ * (the same contract as the trace reader, and fuzzed the same way).
+ *
+ * File-level helpers reuse the hardened trace_io writer pattern:
+ * checkpoint files are staged to "<path>.tmp" and atomically renamed
+ * onto the final path, so a killed run never leaves a half-written
+ * checkpoint behind the final name.
+ */
+
+#ifndef BFBP_SIM_SNAPSHOT_HPP
+#define BFBP_SIM_SNAPSHOT_HPP
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "sim/predictor.hpp"
+#include "util/state_codec.hpp"
+
+namespace bfbp
+{
+
+namespace telemetry
+{
+class Telemetry;
+} // namespace telemetry
+
+namespace snapshot_format
+{
+
+constexpr uint32_t magic = 0x53424642; // "BFBS" little endian
+constexpr uint32_t version = 1;
+
+/** Hard ceiling on a single envelope payload (defends allocation
+ *  against a corrupted length field; generous: the largest bundled
+ *  predictor serializes to well under 8 MB). */
+constexpr uint64_t maxPayloadBytes = uint64_t{1} << 28;
+
+} // namespace snapshot_format
+
+/**
+ * Writes @p payload to @p os inside a snapshot envelope under
+ * @p kind. @throws TraceIoError when the stream fails.
+ */
+void writeEnvelope(std::ostream &os, const std::string &kind,
+                   const std::vector<uint8_t> &payload);
+
+/**
+ * Reads one envelope from @p os and returns its payload after
+ * validating magic, version, kind, length and checksum. Consumes
+ * exactly the envelope's bytes, so envelopes can be embedded in
+ * larger streams.
+ *
+ * @throws TraceIoError on any validation failure or short read.
+ */
+std::vector<uint8_t> readEnvelope(std::istream &os,
+                                  const std::string &expected_kind);
+
+/** Serializes @p predictor's state body (no envelope). */
+std::vector<uint8_t> serializePredictorBody(
+    const BranchPredictor &predictor);
+
+/**
+ * Restores @p predictor from a body produced by
+ * serializePredictorBody() on an identically-configured instance.
+ * @throws TraceIoError on corrupt or mismatched bodies.
+ */
+void restorePredictorBody(BranchPredictor &predictor,
+                          const std::vector<uint8_t> &body);
+
+/**
+ * Atomically writes @p data to @p path: staged to "<path>.tmp",
+ * flushed, then renamed onto the final path (the trace_io writer
+ * pattern). @throws TraceIoError on any I/O failure; the final path
+ * is left untouched.
+ */
+void writeFileAtomic(const std::string &path,
+                     const std::vector<uint8_t> &data);
+
+/**
+ * Reads a whole file. @throws TraceIoError when the file cannot be
+ * opened or read, or is larger than the snapshot payload ceiling.
+ */
+std::vector<uint8_t> readFileBytes(const std::string &path);
+
+/** Serializes a Telemetry registry (counters, gauges, histograms,
+ *  notes, interval series; the enable flag is not serialized). */
+void saveTelemetry(StateSink &sink, const telemetry::Telemetry &data);
+
+/** Restores a Telemetry registry serialized by saveTelemetry() into
+ *  @p data (cleared first; its enable flag is preserved). */
+void loadTelemetry(StateSource &source, telemetry::Telemetry &data);
+
+} // namespace bfbp
+
+#endif // BFBP_SIM_SNAPSHOT_HPP

@@ -1,9 +1,14 @@
 #include "sim/suite_runner.hpp"
 
 #include <atomic>
+#include <cstdio>
+#include <filesystem>
+#include <sstream>
 #include <thread>
 
+#include "sim/snapshot.hpp"
 #include "util/errors.hpp"
+#include "util/state_codec.hpp"
 
 namespace bfbp
 {
@@ -11,14 +16,119 @@ namespace bfbp
 namespace
 {
 
+/** Envelope kind of a persisted per-job SuiteOutcome. */
+constexpr const char *suiteOutcomeKind = "suite-outcome";
+
+/** Per-job checkpoint paths, keyed by submission index. */
+std::string
+outcomePath(const std::string &dir, size_t index)
+{
+    return dir + "/job_" + std::to_string(index) + ".outcome";
+}
+
+std::string
+midTracePath(const std::string &dir, size_t index)
+{
+    return dir + "/job_" + std::to_string(index) + ".ckpt";
+}
+
+/** Atomically persists a completed (non-failed) outcome. */
+void
+writeOutcomeFile(const std::string &path, const SuiteOutcome &out)
+{
+    StateSink sink;
+    sink.str(out.result.traceName);
+    sink.str(out.result.predictorName);
+    sink.u64(out.result.instructions);
+    sink.u64(out.result.condBranches);
+    sink.u64(out.result.otherBranches);
+    sink.u64(out.result.mispredictions);
+    sink.u64(out.result.recordsSkipped);
+    sink.u64(out.result.streamErrors);
+    sink.u64(out.result.perBranch.size());
+    for (const BranchProfile &prof : out.result.perBranch) {
+        sink.u64(prof.pc);
+        sink.u64(prof.executions);
+        sink.u64(prof.taken);
+        sink.u64(prof.mispredictions);
+    }
+    sink.f64(out.seconds);
+    sink.str(out.predictorName);
+    sink.u64(out.storageBits);
+    saveTelemetry(sink, out.data);
+
+    std::ostringstream os;
+    writeEnvelope(os, suiteOutcomeKind, sink.take());
+    const std::string bytes = os.str();
+    writeFileAtomic(path, std::vector<uint8_t>(bytes.begin(),
+                                               bytes.end()));
+}
+
+/** Restores a persisted outcome. @throws TraceIoError on corruption. */
+void
+loadOutcomeFile(const std::string &path, SuiteOutcome &out)
+{
+    const std::vector<uint8_t> bytes = readFileBytes(path);
+    std::istringstream is(std::string(bytes.begin(), bytes.end()));
+    const std::vector<uint8_t> payload =
+        readEnvelope(is, suiteOutcomeKind);
+    StateSource source(payload);
+
+    out.result.traceName = source.str();
+    out.result.predictorName = source.str();
+    out.result.instructions = source.u64();
+    out.result.condBranches = source.u64();
+    out.result.otherBranches = source.u64();
+    out.result.mispredictions = source.u64();
+    out.result.recordsSkipped = source.u64();
+    out.result.streamErrors = source.u64();
+    const uint64_t nProfiles =
+        source.count(uint64_t{1} << 24, "outcome branch profile");
+    out.result.perBranch.clear();
+    out.result.perBranch.reserve(nProfiles);
+    for (uint64_t i = 0; i < nProfiles; ++i) {
+        BranchProfile prof;
+        prof.pc = source.u64();
+        prof.executions = source.u64();
+        prof.taken = source.u64();
+        prof.mispredictions = source.u64();
+        out.result.perBranch.push_back(prof);
+    }
+    out.seconds = source.f64();
+    out.predictorName = source.str();
+    out.storageBits = source.u64();
+    loadTelemetry(source, out.data);
+    source.requireExhausted("suite outcome");
+    out.failed = false;
+    out.error.clear();
+}
+
 /**
  * Runs one job into its outcome slot. Everything this touches — the
- * source, the predictor, the telemetry sink, the outcome — is private
- * to the job, so workers never contend.
+ * source, the predictor, the telemetry sink, the outcome, its
+ * index-keyed checkpoint files — is private to the job, so workers
+ * never contend.
  */
 void
-runJob(const SuiteJob &job, SuiteOutcome &out)
+runJob(const SuiteJob &job, SuiteOutcome &out, size_t index,
+       const SuiteCheckpointOptions &ckpt)
 {
+    const bool checkpointing = !ckpt.dir.empty();
+
+    if (checkpointing && ckpt.resume) {
+        const std::string path = outcomePath(ckpt.dir, index);
+        if (std::filesystem::exists(path)) {
+            try {
+                loadOutcomeFile(path, out);
+                return; // Finished in a previous run; skip.
+            } catch (const TraceIoError &) {
+                // Corrupt/truncated outcome: discard and rerun.
+                out = SuiteOutcome{};
+                std::remove(path.c_str());
+            }
+        }
+    }
+
     out.predictorName = job.predictorLabel;
     try {
         auto source = job.makeSource();
@@ -27,14 +137,27 @@ runJob(const SuiteJob &job, SuiteOutcome &out)
             out.predictorName = predictor->name();
 
         EvalOptions options = job.options;
-        options.telemetry = job.collectTelemetry ? &out.data : nullptr;
+        // When checkpointing, collect telemetry even if the caller did
+        // not ask for it: the outcome file must be self-sufficient, so
+        // a later --resume invocation that *does* want telemetry finds
+        // the full registry for jobs finished in the earlier run.
+        const bool collectTel = job.collectTelemetry || checkpointing;
+        options.telemetry = collectTel ? &out.data : nullptr;
+        if (checkpointing && ckpt.interval != 0) {
+            options.checkpointPath = midTracePath(ckpt.dir, index);
+            options.checkpointInterval = ckpt.interval;
+            options.resume = ckpt.resume;
+        }
 
         telemetry::ScopedTimer timer(nullptr, "suite");
         out.result = evaluate(*source, *predictor, options);
-        out.seconds = job.collectTelemetry
+        out.seconds = collectTel
             ? out.data.gaugeValue("eval.seconds")
             : timer.elapsedSeconds();
         out.storageBits = predictor->storage().totalBits();
+
+        if (checkpointing)
+            writeOutcomeFile(outcomePath(ckpt.dir, index), out);
     } catch (const BfbpError &e) {
         out.failed = true;
         out.error = e.what();
@@ -63,6 +186,22 @@ SuiteRunner::resolveWorkerCount(unsigned requested)
 std::vector<SuiteOutcome>
 SuiteRunner::run(const std::vector<SuiteJob> &jobs) const
 {
+    return run(jobs, SuiteCheckpointOptions{});
+}
+
+std::vector<SuiteOutcome>
+SuiteRunner::run(const std::vector<SuiteJob> &jobs,
+                 const SuiteCheckpointOptions &ckpt) const
+{
+    if (!ckpt.dir.empty()) {
+        std::error_code ec;
+        std::filesystem::create_directories(ckpt.dir, ec);
+        if (ec) {
+            throw TraceIoError("cannot create checkpoint directory '" +
+                               ckpt.dir + "': " + ec.message());
+        }
+    }
+
     std::vector<SuiteOutcome> outcomes(jobs.size());
 
     // One worker (or one job): run inline, in order, no threads —
@@ -71,7 +210,7 @@ SuiteRunner::run(const std::vector<SuiteJob> &jobs) const
         std::min<size_t>(workers, jobs.size());
     if (pool <= 1) {
         for (size_t i = 0; i < jobs.size(); ++i)
-            runJob(jobs[i], outcomes[i]);
+            runJob(jobs[i], outcomes[i], i, ckpt);
         return outcomes;
     }
 
@@ -91,7 +230,7 @@ SuiteRunner::run(const std::vector<SuiteJob> &jobs) const
                         next.fetch_add(1, std::memory_order_relaxed);
                     if (i >= jobs.size())
                         return;
-                    runJob(jobs[i], outcomes[i]);
+                    runJob(jobs[i], outcomes[i], i, ckpt);
                 }
             });
         }

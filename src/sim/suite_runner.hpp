@@ -109,6 +109,35 @@ struct SuiteOutcome
 };
 
 /**
+ * Suite-level checkpointing (docs/SERIALIZATION.md).
+ *
+ * With a checkpoint directory set, the runner persists every
+ * completed job's SuiteOutcome to "<dir>/job_<index>.outcome" (a
+ * "suite-outcome" snapshot envelope, written atomically) and points
+ * the evaluator's mid-trace checkpoint at "<dir>/job_<index>.ckpt".
+ * A killed 40-trace run restarted with resume=true then skips every
+ * finished job outright and resumes in-flight ones mid-trace; the
+ * outcome vector is byte-identical to an uninterrupted run (wall
+ * timing fields excepted). Checkpoint identity is positional: a
+ * resumed run must submit the same jobs in the same order.
+ */
+struct SuiteCheckpointOptions
+{
+    /** Checkpoint directory (created if missing). Empty disables
+     *  checkpointing entirely. */
+    std::string dir;
+
+    /** Conditional branches between mid-trace evaluator checkpoint
+     *  writes; 0 persists per-job outcomes only. */
+    uint64_t interval = 0;
+
+    /** Skip jobs with a valid persisted outcome and resume in-flight
+     *  evaluations from their mid-trace checkpoints. A corrupt or
+     *  truncated outcome file is deleted and the job reruns. */
+    bool resume = false;
+};
+
+/**
  * Fixed-size thread pool evaluating SuiteJobs concurrently.
  *
  * A runner with one worker executes every job inline on the calling
@@ -137,6 +166,17 @@ class SuiteRunner
      * "unexpected error" tier.
      */
     std::vector<SuiteOutcome> run(const std::vector<SuiteJob> &jobs) const;
+
+    /**
+     * Like run(jobs), with suite checkpoint/resume: completed
+     * outcomes are persisted per job index and skipped on resume,
+     * in-flight evaluations checkpoint mid-trace. Failed jobs are
+     * never persisted, so a resumed run retries them.
+     * @throws TraceIoError when the checkpoint directory cannot be
+     * created.
+     */
+    std::vector<SuiteOutcome> run(const std::vector<SuiteJob> &jobs,
+                                  const SuiteCheckpointOptions &ckpt) const;
 
   private:
     unsigned workers;

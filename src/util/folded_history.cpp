@@ -48,4 +48,27 @@ FoldedHistoryBank::reset()
         f.reset();
 }
 
+void
+FoldedHistoryBank::saveState(StateSink &sink) const
+{
+    hist.saveState(sink);
+    sink.u64(folds.size());
+    for (const auto &f : folds)
+        f.saveState(sink);
+}
+
+void
+FoldedHistoryBank::loadState(StateSource &source)
+{
+    hist.loadState(source);
+    const uint64_t n = source.count(folds.size(), "fold");
+    if (n != folds.size()) {
+        throw TraceIoError("snapshot corrupt: fold bank holds " +
+                           std::to_string(n) + " folds, expected " +
+                           std::to_string(folds.size()));
+    }
+    for (auto &f : folds)
+        f.loadState(source);
+}
+
 } // namespace bfbp

@@ -27,6 +27,7 @@
 
 #include "util/bitops.hpp"
 #include "util/history_register.hpp"
+#include "util/state_codec.hpp"
 
 namespace bfbp
 {
@@ -87,6 +88,22 @@ class FoldedHistory
         return fold;
     }
 
+    void saveState(StateSink &sink) const { sink.u64(comp); }
+
+    /** Length/width are configuration; only the compressed value is
+     *  restored, and it must fit the fold's width. */
+    void
+    loadState(StateSource &source)
+    {
+        const uint64_t v = source.u64();
+        if ((v & ~maskBits(wid)) != 0) {
+            throw TraceIoError(
+                "snapshot corrupt: folded history value wider than " +
+                std::to_string(wid) + " bits");
+        }
+        comp = v;
+    }
+
   private:
     uint64_t
     rotl(uint64_t x) const
@@ -136,6 +153,9 @@ class FoldedHistoryBank
     const HistoryRegister &history() const { return hist; }
 
     void reset();
+
+    void saveState(StateSink &sink) const;
+    void loadState(StateSource &source);
 
   private:
     HistoryRegister hist;

@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "util/bitops.hpp"
+#include "util/state_codec.hpp"
 
 namespace bfbp
 {
@@ -78,6 +79,31 @@ class HistoryRegister
     {
         std::fill(words.begin(), words.end(), 0);
         pushed = 0;
+    }
+
+    void
+    saveState(StateSink &sink) const
+    {
+        sink.u64(pushed);
+        sink.u64(words.size());
+        for (uint64_t w : words)
+            sink.u64(w);
+    }
+
+    /** Capacity is configuration; the stored word count must match. */
+    void
+    loadState(StateSource &source)
+    {
+        pushed = source.u64();
+        const uint64_t n = source.count(words.size(), "history word");
+        if (n != words.size()) {
+            throw TraceIoError(
+                "snapshot corrupt: history register holds " +
+                std::to_string(n) + " words, expected " +
+                std::to_string(words.size()));
+        }
+        for (auto &w : words)
+            w = source.u64();
     }
 
   private:

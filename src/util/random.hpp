@@ -17,6 +17,7 @@
 #include <cstdint>
 
 #include "util/hashing.hpp"
+#include "util/state_codec.hpp"
 
 namespace bfbp
 {
@@ -88,6 +89,30 @@ class Rng
     chance(double p)
     {
         return uniform() < p;
+    }
+
+    void
+    saveState(StateSink &sink) const
+    {
+        for (uint64_t word : state)
+            sink.u64(word);
+    }
+
+    /** All-zero state is invalid for xoshiro (the generator would
+     *  emit zeros forever), so it can only mean corruption. */
+    void
+    loadState(StateSource &source)
+    {
+        uint64_t next[4];
+        uint64_t accum = 0;
+        for (auto &word : next) {
+            word = source.u64();
+            accum |= word;
+        }
+        if (accum == 0)
+            throw TraceIoError("snapshot corrupt: all-zero RNG state");
+        for (size_t i = 0; i < 4; ++i)
+            state[i] = next[i];
     }
 
   private:

@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "util/bitops.hpp"
+#include "util/state_codec.hpp"
 
 namespace bfbp
 {
@@ -75,6 +76,36 @@ class RingBuffer
     reset()
     {
         pushed = 0;
+    }
+
+    /** Serializes the push count and every slot (in physical index
+     *  order) via the element writer @p writeElem(sink, element). */
+    template <typename WriteElem>
+    void
+    saveState(StateSink &sink, WriteElem &&writeElem) const
+    {
+        sink.u64(pushed);
+        sink.u64(slots.size());
+        for (const T &slot : slots)
+            writeElem(sink, slot);
+    }
+
+    /** Capacity is configuration; the stored slot count must match.
+     *  @p readElem(source, element) decodes one slot in place. */
+    template <typename ReadElem>
+    void
+    loadState(StateSource &source, ReadElem &&readElem)
+    {
+        pushed = source.u64();
+        const uint64_t n = source.count(slots.size(), "ring slot");
+        if (n != slots.size()) {
+            throw TraceIoError(
+                "snapshot corrupt: ring buffer holds " +
+                std::to_string(n) + " slots, expected " +
+                std::to_string(slots.size()));
+        }
+        for (T &slot : slots)
+            readElem(source, slot);
     }
 
   private:

@@ -19,6 +19,8 @@
 #include <cassert>
 #include <cstdint>
 
+#include "util/state_codec.hpp"
+
 namespace bfbp
 {
 
@@ -71,6 +73,18 @@ class SignedSatCounter
 
     void set(int16_t v) { assert(v >= minVal && v <= maxVal); val = v; }
 
+    void saveState(StateSink &sink) const { sink.i16(val); }
+
+    /** Restores the value; the counter's width is configuration and
+     *  must already match. @throws TraceIoError out of range. */
+    void
+    loadState(StateSource &source)
+    {
+        const int16_t v = source.i16();
+        loadRange(v, minVal, maxVal, "signed counter value");
+        val = v;
+    }
+
   private:
     int16_t val;
     int16_t maxVal;
@@ -117,6 +131,16 @@ class UnsignedSatCounter
     }
 
     void set(uint16_t v) { assert(v <= maxVal); val = v; }
+
+    void saveState(StateSink &sink) const { sink.u16(val); }
+
+    void
+    loadState(StateSource &source)
+    {
+        const uint16_t v = source.u16();
+        loadRange(v, uint16_t{0}, maxVal, "unsigned counter value");
+        val = v;
+    }
 
   private:
     uint16_t val;

@@ -1,0 +1,272 @@
+/**
+ * @file
+ * Byte-level codec for predictor state snapshots.
+ *
+ * StateSink serializes primitives into a growable little-endian byte
+ * buffer; StateSource reads them back with bounds checking. Every
+ * read that would run past the end of the buffer — or decode a value
+ * that cannot have been produced by the matching write — throws
+ * TraceIoError, never asserts or reads out of bounds, which is the
+ * same "reject, never crash" contract the trace reader honors
+ * (docs/ROBUSTNESS.md). The snapshot envelope on top of this codec
+ * lives in sim/snapshot.hpp; docs/SERIALIZATION.md describes the
+ * full format.
+ *
+ * The encoding is fixed-width little endian on every platform, so
+ * snapshots are portable and byte-identical across runs — the
+ * round-trip tests compare whole snapshots for equality.
+ */
+
+#ifndef BFBP_UTIL_STATE_CODEC_HPP
+#define BFBP_UTIL_STATE_CODEC_HPP
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "util/errors.hpp"
+
+namespace bfbp
+{
+
+/** FNV-1a 64-bit hash; the snapshot envelope's payload checksum. */
+inline uint64_t
+fnv1a64(const uint8_t *data, size_t size)
+{
+    uint64_t hash = 0xcbf29ce484222325ULL;
+    for (size_t i = 0; i < size; ++i) {
+        hash ^= data[i];
+        hash *= 0x100000001b3ULL;
+    }
+    return hash;
+}
+
+/** Little-endian serializer into a byte buffer. */
+class StateSink
+{
+  public:
+    const std::vector<uint8_t> &bytes() const { return buffer; }
+    std::vector<uint8_t> take() { return std::move(buffer); }
+    size_t size() const { return buffer.size(); }
+
+    void
+    u8(uint8_t v)
+    {
+        buffer.push_back(v);
+    }
+
+    void
+    u16(uint16_t v)
+    {
+        raw(v);
+    }
+
+    void
+    u32(uint32_t v)
+    {
+        raw(v);
+    }
+
+    void
+    u64(uint64_t v)
+    {
+        raw(v);
+    }
+
+    void i16(int16_t v) { raw(static_cast<uint16_t>(v)); }
+    void i32(int32_t v) { raw(static_cast<uint32_t>(v)); }
+    void i64(int64_t v) { raw(static_cast<uint64_t>(v)); }
+
+    /** Booleans are a strict 0/1 byte so corruption is detectable. */
+    void boolean(bool v) { u8(v ? 1 : 0); }
+
+    /** IEEE-754 bit pattern; exact round trip, no text formatting. */
+    void
+    f64(double v)
+    {
+        uint64_t bits;
+        std::memcpy(&bits, &v, sizeof bits);
+        u64(bits);
+    }
+
+    /** Length-prefixed string. */
+    void
+    str(const std::string &s)
+    {
+        u32(static_cast<uint32_t>(s.size()));
+        buffer.insert(buffer.end(), s.begin(), s.end());
+    }
+
+    /** Length-prefixed opaque blob. */
+    void
+    blob(const std::vector<uint8_t> &data)
+    {
+        u64(data.size());
+        buffer.insert(buffer.end(), data.begin(), data.end());
+    }
+
+  private:
+    template <typename T>
+    void
+    raw(T v)
+    {
+        for (size_t i = 0; i < sizeof(T); ++i)
+            buffer.push_back(static_cast<uint8_t>(v >> (8 * i)));
+    }
+
+    std::vector<uint8_t> buffer;
+};
+
+/** Bounds-checked little-endian reader over a byte span. */
+class StateSource
+{
+  public:
+    StateSource(const uint8_t *data, size_t size)
+        : base(data), len(size)
+    {
+    }
+
+    explicit StateSource(const std::vector<uint8_t> &data)
+        : StateSource(data.data(), data.size())
+    {
+    }
+
+    size_t remaining() const { return len - pos; }
+    bool exhausted() const { return pos == len; }
+
+    uint8_t
+    u8()
+    {
+        need(1);
+        return base[pos++];
+    }
+
+    uint16_t u16() { return raw<uint16_t>(); }
+    uint32_t u32() { return raw<uint32_t>(); }
+    uint64_t u64() { return raw<uint64_t>(); }
+    int16_t i16() { return static_cast<int16_t>(raw<uint16_t>()); }
+    int32_t i32() { return static_cast<int32_t>(raw<uint32_t>()); }
+    int64_t i64() { return static_cast<int64_t>(raw<uint64_t>()); }
+
+    bool
+    boolean()
+    {
+        const uint8_t v = u8();
+        if (v > 1) {
+            throw TraceIoError("snapshot corrupt: boolean byte is " +
+                               std::to_string(v));
+        }
+        return v == 1;
+    }
+
+    double
+    f64()
+    {
+        const uint64_t bits = u64();
+        double v;
+        std::memcpy(&v, &bits, sizeof v);
+        return v;
+    }
+
+    std::string
+    str()
+    {
+        const uint32_t n = u32();
+        need(n);
+        std::string s(reinterpret_cast<const char *>(base + pos), n);
+        pos += n;
+        return s;
+    }
+
+    std::vector<uint8_t>
+    blob()
+    {
+        const uint64_t n = u64();
+        need(n);
+        std::vector<uint8_t> data(base + pos, base + pos + n);
+        pos += n;
+        return data;
+    }
+
+    /**
+     * Reads a u64 count and validates it against @p max, so a
+     * corrupted length can never drive an allocation or a loop
+     * beyond what the loading structure actually holds.
+     */
+    uint64_t
+    count(uint64_t max, const char *what)
+    {
+        const uint64_t n = u64();
+        if (n > max) {
+            throw TraceIoError(
+                "snapshot corrupt: " + std::string(what) + " count " +
+                std::to_string(n) + " exceeds limit " +
+                std::to_string(max));
+        }
+        return n;
+    }
+
+    /** @throws TraceIoError unless the buffer is fully consumed. */
+    void
+    requireExhausted(const char *what) const
+    {
+        if (pos != len) {
+            throw TraceIoError(
+                "snapshot corrupt: " + std::to_string(len - pos) +
+                " trailing bytes after " + std::string(what));
+        }
+    }
+
+  private:
+    void
+    need(uint64_t n) const
+    {
+        if (n > len - pos) {
+            throw TraceIoError(
+                "snapshot truncated: need " + std::to_string(n) +
+                " bytes at offset " + std::to_string(pos) +
+                ", only " + std::to_string(len - pos) + " left");
+        }
+    }
+
+    template <typename T>
+    T
+    raw()
+    {
+        need(sizeof(T));
+        T v = 0;
+        for (size_t i = 0; i < sizeof(T); ++i)
+            v = static_cast<T>(v | (static_cast<T>(base[pos + i])
+                                    << (8 * i)));
+        pos += sizeof(T);
+        return v;
+    }
+
+    const uint8_t *base;
+    size_t len;
+    size_t pos = 0;
+};
+
+/**
+ * Throws TraceIoError naming @p what unless lo <= value <= hi. The
+ * snapshot-load counterpart of configRange(): loaded values must be
+ * validated against the live structure's geometry before being
+ * stored, because set()-style mutators only assert.
+ */
+template <typename T>
+void
+loadRange(T value, T lo, T hi, const char *what)
+{
+    if (value < lo || value > hi) {
+        throw TraceIoError(
+            "snapshot corrupt: " + std::string(what) + " = " +
+            std::to_string(value) + " out of range [" +
+            std::to_string(lo) + ", " + std::to_string(hi) + "]");
+    }
+}
+
+} // namespace bfbp
+
+#endif // BFBP_UTIL_STATE_CODEC_HPP

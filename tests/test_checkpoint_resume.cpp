@@ -1,0 +1,309 @@
+/**
+ * @file
+ * Kill-and-resume determinism for the checkpoint layer
+ * (sim/snapshot.hpp + evaluator checkpointing + SuiteRunner
+ * checkpoint/resume): a run killed mid-trace and resumed must
+ * produce results, per-branch profiles, telemetry and serialized
+ * JSON byte-identical to a run that was never interrupted (wall
+ * timing excepted, as everywhere in the telemetry layer).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/factory.hpp"
+#include "sim/evaluator.hpp"
+#include "sim/suite_runner.hpp"
+#include "telemetry/sinks.hpp"
+#include "test_util.hpp"
+#include "tracegen/workloads.hpp"
+
+namespace bfbp
+{
+namespace
+{
+
+constexpr double kScale = 0.02;
+
+/** Simulates a kill: delivers @p limit records, then throws a
+ *  non-BfbpError so it escapes every ErrorPolicy, exactly as a
+ *  SIGKILL would leave the checkpoint file as the only survivor. */
+class InterruptingSource : public TraceSource
+{
+  public:
+    InterruptingSource(std::unique_ptr<TraceSource> inner_source,
+                       uint64_t limit)
+        : inner(std::move(inner_source)), remaining(limit)
+    {
+    }
+
+    bool
+    next(BranchRecord &out) override
+    {
+        if (remaining == 0)
+            throw std::runtime_error("simulated kill");
+        --remaining;
+        return inner->next(out);
+    }
+
+    void reset() override { inner->reset(); }
+    std::string name() const override { return inner->name(); }
+
+  private:
+    std::unique_ptr<TraceSource> inner;
+    uint64_t remaining;
+};
+
+/** A fresh per-test checkpoint directory under the system tmpdir. */
+std::filesystem::path
+freshDir(const std::string &tag)
+{
+    const auto dir = std::filesystem::temp_directory_path() /
+                     ("bfbp_ckpt_" + tag);
+    std::filesystem::remove_all(dir);
+    std::filesystem::create_directories(dir);
+    return dir;
+}
+
+void
+expectSameResult(const EvalResult &a, const EvalResult &b)
+{
+    EXPECT_EQ(a.traceName, b.traceName);
+    EXPECT_EQ(a.predictorName, b.predictorName);
+    EXPECT_EQ(a.instructions, b.instructions);
+    EXPECT_EQ(a.condBranches, b.condBranches);
+    EXPECT_EQ(a.otherBranches, b.otherBranches);
+    EXPECT_EQ(a.mispredictions, b.mispredictions);
+    EXPECT_EQ(a.recordsSkipped, b.recordsSkipped);
+    EXPECT_EQ(a.streamErrors, b.streamErrors);
+    ASSERT_EQ(a.perBranch.size(), b.perBranch.size());
+    for (size_t i = 0; i < a.perBranch.size(); ++i) {
+        SCOPED_TRACE(i);
+        EXPECT_EQ(a.perBranch[i].pc, b.perBranch[i].pc);
+        EXPECT_EQ(a.perBranch[i].executions, b.perBranch[i].executions);
+        EXPECT_EQ(a.perBranch[i].taken, b.perBranch[i].taken);
+        EXPECT_EQ(a.perBranch[i].mispredictions,
+                  b.perBranch[i].mispredictions);
+    }
+}
+
+TEST(CheckpointResume, EvaluatorResumeMatchesUninterrupted)
+{
+    const auto dir = freshDir("eval");
+    const std::string ckptPath = (dir / "trace.ckpt").string();
+    const auto recipe = tracegen::recipeByName("SPEC00");
+
+    EvalOptions options;
+    options.updateDelay = 6; // In-flight updates cross the checkpoint.
+    options.collectPerBranch = true;
+    options.telemetryInterval = 1000;
+    options.checkpointInterval = 700;
+    options.checkpointPath = ckptPath;
+
+    // Baseline: never interrupted. Checkpointing itself must not
+    // perturb results — the file is write-only until a resume.
+    telemetry::Telemetry baseTel(true);
+    auto basePredictor = createPredictor("gshare");
+    auto baseSource = tracegen::makeSource(recipe, kScale);
+    EvalOptions baseOptions = options;
+    baseOptions.telemetry = &baseTel;
+    const EvalResult base =
+        evaluate(*baseSource, *basePredictor, baseOptions);
+    EXPECT_FALSE(std::filesystem::exists(ckptPath))
+        << "completed run must remove its checkpoint";
+
+    // Killed run: dies mid-trace, leaving only the checkpoint.
+    telemetry::Telemetry killedTel(true);
+    auto killedPredictor = createPredictor("gshare");
+    InterruptingSource killedSource(
+        tracegen::makeSource(recipe, kScale), 5000);
+    EvalOptions killedOptions = options;
+    killedOptions.telemetry = &killedTel;
+    EXPECT_THROW(evaluate(killedSource, *killedPredictor, killedOptions),
+                 std::runtime_error);
+    ASSERT_TRUE(std::filesystem::exists(ckptPath));
+
+    // Resumed run: fresh source, fresh predictor, fresh telemetry.
+    telemetry::Telemetry resumedTel(true);
+    auto resumedPredictor = createPredictor("gshare");
+    auto resumedSource = tracegen::makeSource(recipe, kScale);
+    EvalOptions resumedOptions = options;
+    resumedOptions.telemetry = &resumedTel;
+    resumedOptions.resume = true;
+    const EvalResult resumed =
+        evaluate(*resumedSource, *resumedPredictor, resumedOptions);
+
+    expectSameResult(base, resumed);
+    EXPECT_EQ(baseTel.counters(), resumedTel.counters());
+    EXPECT_EQ(baseTel.intervals(), resumedTel.intervals());
+    EXPECT_FALSE(std::filesystem::exists(ckptPath));
+
+    std::filesystem::remove_all(dir);
+}
+
+TEST(CheckpointResume, ResumeRejectsMismatchedPredictor)
+{
+    const auto dir = freshDir("mismatch");
+    const std::string ckptPath = (dir / "trace.ckpt").string();
+    const auto recipe = tracegen::recipeByName("MM1");
+
+    EvalOptions options;
+    options.checkpointInterval = 500;
+    options.checkpointPath = ckptPath;
+
+    auto gshare = createPredictor("gshare");
+    InterruptingSource killed(tracegen::makeSource(recipe, kScale),
+                              4000);
+    EXPECT_THROW(evaluate(killed, *gshare, options),
+                 std::runtime_error);
+    ASSERT_TRUE(std::filesystem::exists(ckptPath));
+
+    auto bimodal = createPredictor("bimodal");
+    auto source = tracegen::makeSource(recipe, kScale);
+    options.resume = true;
+    EXPECT_THROW(evaluate(*source, *bimodal, options), TraceIoError);
+
+    std::filesystem::remove_all(dir);
+}
+
+/** The suite matrix: 2 traces x 2 predictors, per-branch profiles
+ *  and telemetry on, as a figure bench would submit it. */
+std::vector<SuiteJob>
+matrixJobs()
+{
+    std::vector<SuiteJob> jobs;
+    for (const std::string traceName : {"SPEC00", "SERV1"}) {
+        const auto recipe = tracegen::recipeByName(traceName);
+        for (const std::string spec : {"gshare", "oh-snap"}) {
+            SuiteJob job;
+            job.traceName = traceName;
+            job.makeSource = [recipe] {
+                return tracegen::makeSource(recipe, kScale);
+            };
+            job.makePredictor = [spec] {
+                return createPredictor(spec);
+            };
+            job.collectTelemetry = true;
+            job.options.telemetryInterval = 2000;
+            job.options.collectPerBranch = true;
+            jobs.push_back(std::move(job));
+        }
+    }
+    return jobs;
+}
+
+/** Serialized document of a whole outcome vector, timing zeroed. */
+std::string
+outcomesJson(std::vector<SuiteOutcome> outcomes)
+{
+    std::vector<telemetry::RunRecord> records;
+    for (auto &o : outcomes) {
+        records.push_back(testutil::recordWithoutTiming(
+            o.result.traceName, std::move(o)));
+    }
+    std::ostringstream os;
+    telemetry::writeRunsJson(os, "checkpoint_resume_test", records);
+    return os.str();
+}
+
+TEST(CheckpointResume, SuiteKillAndResumeMatchesUninterrupted)
+{
+    const auto dir = freshDir("suite");
+
+    // Baseline: serial, no checkpointing.
+    auto baseline = SuiteRunner(1).run(matrixJobs());
+    ASSERT_EQ(baseline.size(), 4u);
+    for (const auto &o : baseline)
+        ASSERT_FALSE(o.failed) << o.error;
+
+    SuiteCheckpointOptions ckpt;
+    ckpt.dir = dir.string();
+    ckpt.interval = 1000;
+
+    // "Killed" run: job 2's source dies mid-trace, so the run ends
+    // with job 2 unfinished — its mid-trace checkpoint on disk —
+    // while the other jobs persisted their outcomes.
+    auto killedJobs = matrixJobs();
+    const auto recipe = tracegen::recipeByName("SERV1");
+    killedJobs[2].makeSource = [recipe] {
+        return std::make_unique<InterruptingSource>(
+            tracegen::makeSource(recipe, kScale), 5000);
+    };
+    auto killed = SuiteRunner(1).run(killedJobs, ckpt);
+    ASSERT_EQ(killed.size(), 4u);
+    EXPECT_TRUE(killed[2].failed);
+    EXPECT_TRUE(std::filesystem::exists(dir / "job_2.ckpt"));
+    EXPECT_FALSE(std::filesystem::exists(dir / "job_2.outcome"));
+    EXPECT_TRUE(std::filesystem::exists(dir / "job_0.outcome"));
+
+    // Damage one persisted outcome: resume must rerun that job, not
+    // trust the corrupt file.
+    {
+        std::ofstream os(dir / "job_1.outcome",
+                         std::ios::binary | std::ios::trunc);
+        os << "not a snapshot";
+    }
+
+    // Resumed run: clean factories, resume on. Jobs 0 and 3 are
+    // skipped from their outcome files, job 1 reruns (corrupt file),
+    // job 2 resumes mid-trace from its evaluator checkpoint.
+    ckpt.resume = true;
+    auto resumed = SuiteRunner(2).run(matrixJobs(), ckpt);
+    ASSERT_EQ(resumed.size(), 4u);
+    for (const auto &o : resumed)
+        ASSERT_FALSE(o.failed) << o.error;
+
+    for (size_t i = 0; i < baseline.size(); ++i) {
+        SCOPED_TRACE(i);
+        expectSameResult(baseline[i].result, resumed[i].result);
+        EXPECT_EQ(baseline[i].predictorName, resumed[i].predictorName);
+        EXPECT_EQ(baseline[i].storageBits, resumed[i].storageBits);
+    }
+    EXPECT_EQ(outcomesJson(std::move(baseline)),
+              outcomesJson(std::move(resumed)));
+    EXPECT_FALSE(std::filesystem::exists(dir / "job_2.ckpt"))
+        << "resumed job must clean up its mid-trace checkpoint";
+
+    std::filesystem::remove_all(dir);
+}
+
+TEST(CheckpointResume, SecondResumeSkipsEveryJob)
+{
+    const auto dir = freshDir("skip");
+    SuiteCheckpointOptions ckpt;
+    ckpt.dir = dir.string();
+    ckpt.interval = 1000;
+
+    auto first = SuiteRunner(1).run(matrixJobs(), ckpt);
+
+    // Every job persisted; a resume must reproduce the outcomes from
+    // the files alone — even with factories that cannot run at all.
+    auto poisoned = matrixJobs();
+    for (auto &job : poisoned) {
+        job.makeSource = []() -> std::unique_ptr<TraceSource> {
+            throw std::runtime_error("factory must not be invoked");
+        };
+    }
+    ckpt.resume = true;
+    auto second = SuiteRunner(1).run(poisoned, ckpt);
+
+    ASSERT_EQ(first.size(), second.size());
+    for (const auto &o : second)
+        ASSERT_FALSE(o.failed) << o.error;
+    EXPECT_EQ(outcomesJson(std::move(first)),
+              outcomesJson(std::move(second)));
+
+    std::filesystem::remove_all(dir);
+}
+
+} // anonymous namespace
+} // namespace bfbp

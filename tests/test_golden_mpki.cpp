@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Golden MPKI regression fixtures: the checked-in JSON document
+ * tests/data/golden_mpki.json records the exact per-trace evaluation
+ * counts (instructions, conditional branches, mispredictions — all
+ * integers, so the comparison is exact) of the main predictors over
+ * the whole 40-trace suite at a small scale. Any behavioral drift in
+ * a predictor, the evaluator, or the trace generator shows up as a
+ * byte-level diff here, pinned to the exact (trace, predictor) cell.
+ *
+ * Intentional changes regenerate the fixture:
+ *
+ *     BFBP_UPDATE_GOLDEN=1 ./bfbp_tests --gtest_filter='GoldenMpki.*'
+ *
+ * then commit the updated JSON alongside the change that moved it.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/factory.hpp"
+#include "sim/suite_runner.hpp"
+#include "tracegen/workloads.hpp"
+
+#ifndef BFBP_TEST_DATA_DIR
+#error "BFBP_TEST_DATA_DIR must point at tests/data"
+#endif
+
+namespace bfbp
+{
+namespace
+{
+
+constexpr double kScale = 0.02;
+
+const std::vector<std::string> &
+goldenPredictors()
+{
+    static const std::vector<std::string> specs = {
+        "bimodal", "gshare", "oh-snap", "tage-5", "bf-neural"};
+    return specs;
+}
+
+/** Evaluates the full matrix and renders the fixture document. */
+std::string
+generateGoldenJson()
+{
+    std::vector<SuiteJob> jobs;
+    for (const auto &recipe : tracegen::standardSuite()) {
+        for (const auto &spec : goldenPredictors()) {
+            SuiteJob job;
+            job.traceName = recipe.name;
+            job.predictorLabel = spec;
+            job.makeSource = [recipe] {
+                return tracegen::makeSource(recipe, kScale);
+            };
+            job.makePredictor = [spec] {
+                return createPredictor(spec);
+            };
+            jobs.push_back(std::move(job));
+        }
+    }
+    // Worker count never changes results (the suite-runner
+    // determinism contract), so use every core.
+    const auto outcomes = SuiteRunner(0).run(jobs);
+
+    std::ostringstream os;
+    os << "{\n"
+       << "  \"schema\": \"bfbp-golden-mpki-v1\",\n"
+       << "  \"scale\": \"0.02\",\n"
+       << "  \"rows\": [\n";
+    for (size_t i = 0; i < outcomes.size(); ++i) {
+        const auto &o = outcomes[i];
+        if (o.failed) {
+            // A failed evaluation must never be committed as golden.
+            os << "    {\"trace\": \"" << jobs[i].traceName
+               << "\", \"predictor\": \"" << jobs[i].predictorLabel
+               << "\", \"error\": \"" << o.error << "\"}";
+        } else {
+            os << "    {\"trace\": \"" << o.result.traceName
+               << "\", \"predictor\": \"" << o.predictorName
+               << "\", \"instructions\": " << o.result.instructions
+               << ", \"condBranches\": " << o.result.condBranches
+               << ", \"mispredictions\": " << o.result.mispredictions
+               << "}";
+        }
+        os << (i + 1 < outcomes.size() ? ",\n" : "\n");
+    }
+    os << "  ]\n}\n";
+    return os.str();
+}
+
+TEST(GoldenMpki, SuiteMatchesCheckedInFixture)
+{
+    const std::string path =
+        std::string(BFBP_TEST_DATA_DIR) + "/golden_mpki.json";
+    const std::string generated = generateGoldenJson();
+    ASSERT_EQ(generated.find("\"error\""), std::string::npos)
+        << "an evaluation failed:\n"
+        << generated;
+
+    if (std::getenv("BFBP_UPDATE_GOLDEN") != nullptr) {
+        std::ofstream os(path, std::ios::binary | std::ios::trunc);
+        ASSERT_TRUE(os) << "cannot write " << path;
+        os << generated;
+        ASSERT_TRUE(os.good());
+        GTEST_SKIP() << "regenerated " << path;
+    }
+
+    std::ifstream is(path, std::ios::binary);
+    ASSERT_TRUE(is) << "missing fixture " << path
+                    << "; regenerate with BFBP_UPDATE_GOLDEN=1";
+    std::ostringstream expected;
+    expected << is.rdbuf();
+
+    EXPECT_EQ(expected.str(), generated)
+        << "MPKI drift against " << path << " — if intentional, "
+        << "regenerate with BFBP_UPDATE_GOLDEN=1 and commit the diff";
+}
+
+} // anonymous namespace
+} // namespace bfbp

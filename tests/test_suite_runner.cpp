@@ -19,6 +19,7 @@
 #include "sim/fault_injection.hpp"
 #include "sim/suite_runner.hpp"
 #include "telemetry/sinks.hpp"
+#include "test_util.hpp"
 #include "tracegen/workloads.hpp"
 
 namespace bfbp
@@ -75,28 +76,7 @@ matrixJobs(bool collect_telemetry)
     return jobs;
 }
 
-/** Outcome -> RunRecord with the wall-clock fields zeroed, so the
- *  serialized forms can be byte-compared across worker counts. */
-telemetry::RunRecord
-recordWithoutTiming(const std::string &trace, SuiteOutcome &&outcome)
-{
-    telemetry::RunRecord record;
-    record.traceName = trace;
-    record.predictorName = outcome.predictorName;
-    record.data = std::move(outcome.data);
-    record.instructions = outcome.result.instructions;
-    record.condBranches = outcome.result.condBranches;
-    record.otherBranches = outcome.result.otherBranches;
-    record.mispredictions = outcome.result.mispredictions;
-    record.mpki = outcome.result.mpki();
-    record.mispredictionRate = outcome.result.mispredictionRate();
-    record.storageBits = outcome.storageBits;
-    record.wallSeconds = 0.0;
-    record.branchesPerSecond = 0.0;
-    record.data.setGauge("eval.seconds", 0.0);
-    record.data.setGauge("eval.per_second", 0.0);
-    return record;
-}
+using testutil::recordWithoutTiming;
 
 /** Fixed-width table + CSV text a bench would print, minus timing. */
 std::string

@@ -1,0 +1,158 @@
+/**
+ * @file
+ * Calibration invariants of the synthetic workload suite: the
+ * engineered per-recipe properties the evaluation hinges on — bias
+ * fractions, correlation-distance windows, irreducible noise floors —
+ * must hold not just for the shipped master seeds but across seed
+ * perturbations, because they come from trace *structure* (counts
+ * per cycle, filler windows), not from lucky RNG draws. A recipe
+ * whose property collapses under a reseed is miscalibrated even if
+ * the shipped seed happens to look right.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+#include "core/bias_oracle.hpp"
+#include "tracegen/program.hpp"
+#include "tracegen/workloads.hpp"
+
+namespace bfbp::tracegen
+{
+namespace
+{
+
+double
+biasFraction(const TraceRecipe &recipe, double scale = 0.02)
+{
+    auto src = makeSource(recipe, scale);
+    return BiasOracle::profile(*src).dynamicBiasedFraction();
+}
+
+/** Drains a source; returns (condBranches, expectedFloor). */
+std::pair<uint64_t, double>
+drainFloor(const TraceRecipe &recipe, double scale)
+{
+    auto src = makeSource(recipe, scale);
+    auto *program = dynamic_cast<ProgramTraceSource *>(src.get());
+    EXPECT_NE(program, nullptr);
+    uint64_t cond = 0;
+    BranchRecord r;
+    while (src->next(r))
+        cond += r.isConditional();
+    return {cond, program->expectedFloorMispredictions()};
+}
+
+TEST(TracegenInvariants, CorrelationDistanceWindowsCalibrated)
+{
+    // The long-distance window is the paper's headline case: it must
+    // exceed conventional history reach (tens of branches) while
+    // staying inside what the bias-free history can span, and every
+    // window must be well-formed.
+    bool anyLong = false;
+    for (const auto &recipe : standardSuite()) {
+        SCOPED_TRACE(recipe.name);
+        if (recipe.longCorr > 0) {
+            anyLong = true;
+            EXPECT_GE(recipe.longDistMin, 64);
+            EXPECT_LE(recipe.longDistMax, 5000);
+            EXPECT_LT(recipe.longDistMin, recipe.longDistMax);
+            EXPECT_GT(recipe.longReaders, 0);
+        }
+        if (recipe.shortCorr > 0)
+            EXPECT_LT(recipe.shortCorrFiller, 64);
+        if (recipe.localBranches > 0) {
+            EXPECT_GE(recipe.localPeriod, 2);
+            EXPECT_LE(recipe.localPeriod, 64);
+        }
+    }
+    EXPECT_TRUE(anyLong);
+}
+
+TEST(TracegenInvariants, BiasFractionStableAcrossSeeds)
+{
+    // Heavy (SPEC02) and light (SPEC12) Fig. 2 anchors: the fraction
+    // must survive a reseed within a tight band, and the heavy/light
+    // separation must never invert.
+    for (const char *name : {"SPEC02", "SPEC12", "SERV1"}) {
+        SCOPED_TRACE(name);
+        TraceRecipe recipe = recipeByName(name);
+        const double master = biasFraction(recipe);
+        for (uint64_t bump : {1000u, 2000u, 3000u}) {
+            TraceRecipe reseeded = recipe;
+            reseeded.seed += bump;
+            EXPECT_NEAR(biasFraction(reseeded), master, 0.08)
+                << "seed +" << bump;
+        }
+    }
+    TraceRecipe heavy = recipeByName("SPEC02");
+    TraceRecipe light = recipeByName("SPEC12");
+    heavy.seed += 4242;
+    light.seed += 4242;
+    EXPECT_GT(biasFraction(heavy), biasFraction(light) + 0.2);
+}
+
+TEST(TracegenInvariants, NoiseFloorsWithinTolerance)
+{
+    // Every trace that emits Bernoulli noise must carry a nonzero
+    // floor, and the floor can never exceed what the noise volume
+    // alone explains by much (other constructs contribute smaller
+    // per-branch entropy). The per-branch bound: a noise branch
+    // costs at most min(p, 1-p) = noiseTakenProb expected
+    // mispredictions, and noise is a minority of the stream.
+    for (const char *name : {"SPEC00", "MM1", "SERV1", "FP1"}) {
+        SCOPED_TRACE(name);
+        const auto &recipe = recipeByName(name);
+        const auto [cond, floor] = drainFloor(recipe, 0.02);
+        ASSERT_GT(cond, 0u);
+        if (recipe.noisePerCycle > 0)
+            EXPECT_GT(floor, 0.0);
+        EXPECT_LT(floor, 0.5 * static_cast<double>(cond));
+    }
+}
+
+TEST(TracegenInvariants, NoiseFloorStableAcrossSeeds)
+{
+    const auto &recipe = recipeByName("SPEC00");
+    const auto [condA, floorA] = drainFloor(recipe, 0.02);
+    ASSERT_GT(floorA, 0.0);
+    const double ratioA = floorA / static_cast<double>(condA);
+    for (uint64_t bump : {777u, 1555u}) {
+        TraceRecipe reseeded = recipe;
+        reseeded.seed += bump;
+        const auto [condB, floorB] = drainFloor(reseeded, 0.02);
+        const double ratioB = floorB / static_cast<double>(condB);
+        EXPECT_NEAR(ratioB, ratioA, ratioA * 0.35) << "seed +" << bump;
+    }
+}
+
+TEST(TracegenInvariants, NoiseFloorScalesLinearly)
+{
+    // The floor is a volume: doubling the trace must double it
+    // (within tolerance — section budgets round per cycle).
+    for (const char *name : {"SPEC00", "MM1"}) {
+        SCOPED_TRACE(name);
+        const auto &recipe = recipeByName(name);
+        const auto [condSmall, floorSmall] = drainFloor(recipe, 0.02);
+        const auto [condLarge, floorLarge] = drainFloor(recipe, 0.04);
+        ASSERT_GT(floorSmall, 0.0);
+        EXPECT_NEAR(floorLarge / floorSmall, 2.0, 0.6);
+        EXPECT_NEAR(static_cast<double>(condLarge) /
+                        static_cast<double>(condSmall),
+                    2.0, 0.5);
+    }
+}
+
+TEST(TracegenInvariants, FloorIsDeterministic)
+{
+    const auto &recipe = recipeByName("INT2");
+    const auto a = drainFloor(recipe, 0.02);
+    const auto b = drainFloor(recipe, 0.02);
+    EXPECT_EQ(a.first, b.first);
+    EXPECT_EQ(a.second, b.second);
+}
+
+} // anonymous namespace
+} // namespace bfbp::tracegen

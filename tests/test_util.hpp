@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Helpers shared across the test suite.
+ */
+
+#ifndef BFBP_TESTS_TEST_UTIL_HPP
+#define BFBP_TESTS_TEST_UTIL_HPP
+
+#include <string>
+#include <utility>
+
+#include "sim/suite_runner.hpp"
+#include "telemetry/telemetry.hpp"
+
+namespace bfbp::testutil
+{
+
+/**
+ * Outcome -> RunRecord with the wall-clock fields zeroed, so the
+ * serialized forms can be byte-compared across worker counts or
+ * across an interrupt/resume boundary (timing is the telemetry
+ * layer's one documented nondeterminism).
+ */
+inline telemetry::RunRecord
+recordWithoutTiming(const std::string &trace, SuiteOutcome &&outcome)
+{
+    telemetry::RunRecord record;
+    record.traceName = trace;
+    record.predictorName = outcome.predictorName;
+    record.data = std::move(outcome.data);
+    record.instructions = outcome.result.instructions;
+    record.condBranches = outcome.result.condBranches;
+    record.otherBranches = outcome.result.otherBranches;
+    record.mispredictions = outcome.result.mispredictions;
+    record.mpki = outcome.result.mpki();
+    record.mispredictionRate = outcome.result.mispredictionRate();
+    record.storageBits = outcome.storageBits;
+    record.wallSeconds = 0.0;
+    record.branchesPerSecond = 0.0;
+    record.data.setGauge("eval.seconds", 0.0);
+    record.data.setGauge("eval.per_second", 0.0);
+    return record;
+}
+
+} // namespace bfbp::testutil
+
+#endif // BFBP_TESTS_TEST_UTIL_HPP
