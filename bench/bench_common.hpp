@@ -44,6 +44,7 @@
 #include <algorithm>
 #include <cerrno>
 #include <cstdlib>
+#include <filesystem>
 #include <fstream>
 #include <iomanip>
 #include <iostream>
@@ -54,6 +55,7 @@
 
 #include "sim/evaluator.hpp"
 #include "sim/predictor.hpp"
+#include "sim/snapshot.hpp"
 #include "sim/suite_runner.hpp"
 #include "telemetry/sinks.hpp"
 #include "telemetry/telemetry.hpp"
@@ -99,6 +101,7 @@ struct Options
     uint64_t interval = 0; //!< --interval window, 0 = no series.
     std::string checkpointDir; //!< --checkpoint-dir; empty = off.
     bool resume = false;       //!< --resume a checkpointed suite run.
+    std::string warmupDir;     //!< --warmup-snapshot; empty = off.
 
     static Options
     parse(int argc, char **argv, const std::string &description)
@@ -146,6 +149,8 @@ struct Options
                 opts.checkpointDir = argv[++i];
             } else if (arg == "--resume") {
                 opts.resume = true;
+            } else if (arg == "--warmup-snapshot" && i + 1 < argc) {
+                opts.warmupDir = argv[++i];
             } else if (arg == "--help" || arg == "-h") {
                 std::cout << description << "\n\n"
                           << "options:\n"
@@ -165,7 +170,13 @@ struct Options
                           << "snapshots under D\n"
                           << "  --resume      skip finished jobs and "
                           << "resume in-flight ones from "
-                          << "--checkpoint-dir\n";
+                          << "--checkpoint-dir\n"
+                          << "  --warmup-snapshot D  warm each (trace, "
+                          << "predictor) pair once, snapshot the "
+                          << "warmed state under D, and restore it on "
+                          << "later runs instead of re-warming "
+                          << "(docs/PERFORMANCE.md; changes the "
+                          << "measured region to post-warmup)\n";
                 std::exit(0);
             } else {
                 std::cerr << "unknown option: " << arg << "\n";
@@ -272,6 +283,187 @@ struct Options
         }
         return static_cast<unsigned>(value);
     }
+};
+
+/**
+ * Snapshot-backed predictor warmup for suite benches
+ * (--warmup-snapshot, docs/PERFORMANCE.md).
+ *
+ * The first run of a (trace, predictor-label) pair evaluates
+ * warmupBranches conditional branches to train the predictor, then
+ * snapshots the warmed state (a "bench-warmup" envelope) into the
+ * cache directory. Later runs — typically ablation sweeps forking
+ * what-if configurations from a shared baseline, or repeated
+ * invocations of the same bench — restore the snapshot and bulk
+ * fast-forward the source past the warmup records instead of
+ * re-evaluating them. Restored-vs-rewarmed runs are byte-identical.
+ *
+ * Identical-config requirement: a snapshot can only be restored into
+ * a predictor configured exactly as the one that produced it. The
+ * cache keys on (suite, trace, label, scale, warmup length) and
+ * cross-checks the stored predictor name(), but two *different*
+ * configurations sharing one label in one suite would collide —
+ * benches must keep labels unique per configuration (all bundled
+ * benches do), and a stale cache directory must be deleted after any
+ * configuration change that does not change the label.
+ */
+class WarmupCache
+{
+  public:
+    /** Conditional branches of predictor warmup per pair at --scale
+     *  1.0; scaled down with --scale (floor 1000) so short
+     *  smoke-test traces keep a measured region after warmup. */
+    static constexpr uint64_t warmupBranchesFullScale = 50000;
+
+    WarmupCache(std::string cache_dir, std::string suite_name,
+                double trace_scale)
+        : dir(std::move(cache_dir)), suite(std::move(suite_name)),
+          scale(trace_scale)
+    {
+    }
+
+    /** The effective warmup length for this cache's --scale. */
+    uint64_t
+    warmupLength() const
+    {
+        const double scaled =
+            static_cast<double>(warmupBranchesFullScale) * scale;
+        return std::max<uint64_t>(1000, static_cast<uint64_t>(scaled));
+    }
+
+    /**
+     * The prepare hook for one job: warm-or-restore as described
+     * above. @p label must uniquely identify the predictor
+     * configuration within the suite; an empty label keys on
+     * predictor.name() instead. @p warm_options carries the job's
+     * evaluator knobs (updateDelay in particular) so warmup trains
+     * under the same regime the measurement will use.
+     */
+    std::function<void(TraceSource &, BranchPredictor &)>
+    hook(const std::string &trace_name, const std::string &label,
+         EvalOptions warm_options) const
+    {
+        // Measurement-only knobs must not leak into the warmup pass.
+        warm_options.telemetry = nullptr;
+        warm_options.telemetryInterval = 0;
+        warm_options.collectPerBranch = false;
+        warm_options.checkpointPath.clear();
+        warm_options.checkpointInterval = 0;
+        warm_options.resume = false;
+        warm_options.maxBranches = warmupLength();
+
+        return [cache = *this, trace_name, label, warm_options](
+                   TraceSource &source, BranchPredictor &predictor) {
+            const std::string key =
+                label.empty() ? predictor.name() : label;
+            const std::string path =
+                cache.snapshotPath(trace_name, key);
+            std::ifstream probe(path, std::ios::binary);
+            if (probe.good()) {
+                probe.close();
+                restoreWarmup(path, key, source, predictor);
+            } else {
+                runWarmup(path, key, warm_options, source, predictor);
+            }
+        };
+    }
+
+  private:
+    static constexpr const char *envelopeKind = "bench-warmup";
+
+    /** Filesystem-safe cache file name: labels carry spaces and
+     *  punctuation, so the key is hashed. */
+    std::string
+    snapshotPath(const std::string &trace_name,
+                 const std::string &label) const
+    {
+        std::ostringstream key;
+        key << suite << "|" << trace_name << "|" << label << "|"
+            << scale << "|" << warmupLength();
+        const std::string k = key.str();
+        const uint64_t h = fnv1a64(
+            reinterpret_cast<const uint8_t *>(k.data()), k.size());
+        std::ostringstream name;
+        name << dir << "/warm_" << std::hex << std::setw(16)
+             << std::setfill('0') << h << ".snap";
+        return name.str();
+    }
+
+    static void
+    runWarmup(const std::string &path, const std::string &label,
+              const EvalOptions &warm_options, TraceSource &source,
+              BranchPredictor &predictor)
+    {
+        const EvalResult warm =
+            evaluate(source, predictor, warm_options);
+        // The evaluator never reads past its maxBranches cutoff, so
+        // the source sits exactly past the records accounted for in
+        // the branch counters (plus any policy-skipped records).
+        const uint64_t records = warm.condBranches +
+                                 warm.otherBranches +
+                                 warm.recordsSkipped;
+
+        StateSink sink;
+        sink.u64(records);
+        sink.str(label);
+        sink.str(predictor.name());
+        sink.blob(serializePredictorBody(predictor));
+        std::ostringstream os;
+        writeEnvelope(os, envelopeKind, sink.take());
+        const std::string bytes = os.str();
+        writeFileAtomic(path, std::vector<uint8_t>(bytes.begin(),
+                                                   bytes.end()));
+    }
+
+    static void
+    restoreWarmup(const std::string &path, const std::string &label,
+                  TraceSource &source, BranchPredictor &predictor)
+    {
+        const std::vector<uint8_t> bytes = readFileBytes(path);
+        std::istringstream is(std::string(bytes.begin(), bytes.end()));
+        const std::vector<uint8_t> payload =
+            readEnvelope(is, envelopeKind);
+        StateSource src(payload);
+        const uint64_t records = src.u64();
+        const std::string storedLabel = src.str();
+        const std::string storedName = src.str();
+        if (storedLabel != label || storedName != predictor.name()) {
+            throw TraceIoError(
+                "warmup snapshot " + path + " was taken for '" +
+                storedLabel + "' (predictor '" + storedName +
+                "'), not '" + label + "' (predictor '" +
+                predictor.name() +
+                "'); warmup snapshots restore only into an "
+                "identically-configured predictor — delete the "
+                "--warmup-snapshot directory after configuration "
+                "changes");
+        }
+        const std::vector<uint8_t> body = src.blob();
+        src.requireExhausted("bench-warmup snapshot");
+        restorePredictorBody(predictor, body);
+
+        // Bulk fast-forward to where the warmup left the source.
+        std::vector<BranchRecord> block(4096);
+        uint64_t skipped = 0;
+        while (skipped < records) {
+            const size_t want = static_cast<size_t>(
+                std::min<uint64_t>(block.size(), records - skipped));
+            const size_t got = source.nextBlock(block.data(), want);
+            if (got == 0) {
+                throw TraceIoError(
+                    "cannot fast-forward past warmup: " +
+                    source.name() + " ended after " +
+                    std::to_string(skipped) +
+                    " records, warmup snapshot consumed " +
+                    std::to_string(records));
+            }
+            skipped += got;
+        }
+    }
+
+    std::string dir;
+    std::string suite;
+    double scale;
 };
 
 /** One archived evaluation: the result plus its wall time. */
@@ -390,6 +582,24 @@ class RunArchive
         for (auto &job : jobs) {
             job.collectTelemetry = enabled();
             job.options.telemetryInterval = opts.interval;
+        }
+        if (!opts.warmupDir.empty()) {
+            std::error_code ec;
+            std::filesystem::create_directories(opts.warmupDir, ec);
+            if (ec) {
+                throw TraceIoError(
+                    "cannot create --warmup-snapshot directory '" +
+                    opts.warmupDir + "': " + ec.message());
+            }
+            const WarmupCache cache(opts.warmupDir, suite, opts.scale);
+            for (auto &job : jobs) {
+                // The label keys the cache; jobs without one (single-
+                // config benches) key on the predictor name via the
+                // stored-name cross-check with an empty label.
+                job.prepare = cache.hook(job.traceName,
+                                         job.predictorLabel,
+                                         job.options);
+            }
         }
         SuiteRunner runner(opts.jobs);
         SuiteCheckpointOptions ckpt;

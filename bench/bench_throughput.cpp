@@ -10,8 +10,12 @@
 
 #include <benchmark/benchmark.h>
 
+#include <filesystem>
+
 #include "core/factory.hpp"
+#include "sim/evaluator.hpp"
 #include "sim/suite_runner.hpp"
+#include "sim/trace_io.hpp"
 #include "sim/trace_source.hpp"
 #include "tracegen/workloads.hpp"
 
@@ -107,6 +111,95 @@ BENCHMARK(BM_BfNeural);
 BENCHMARK(BM_Tage15);
 BENCHMARK(BM_IslTage10);
 BENCHMARK(BM_BfIslTage10);
+
+/**
+ * End-to-end evaluation throughput over a *file-backed* trace: the
+ * whole record path (container read, decode, validation, evaluator
+ * loop, predictor) in records per second. This is the number
+ * BENCH_throughput.json tracks across PRs (docs/PERFORMANCE.md);
+ * the per-iteration work is one full evaluate() of ISL-TAGE over
+ * the archived SPEC13 trace, so items/second == records/second.
+ */
+const std::string &
+evalTracePath()
+{
+    static const std::string path = [] {
+        const std::string p =
+            (std::filesystem::temp_directory_path() /
+             "bfbp_bm_evaluate.trace")
+                .string();
+        auto src = bfbp::tracegen::makeSource(
+            bfbp::tracegen::recipeByName("SPEC13"), 0.5);
+        bfbp::TraceFileWriter writer(p);
+        bfbp::BranchRecord r;
+        while (src->next(r))
+            writer.append(r);
+        writer.close();
+        return p;
+    }();
+    return path;
+}
+
+void
+runEvaluateFile(benchmark::State &state, const std::string &spec,
+                bool per_branch)
+{
+    const std::string &path = evalTracePath();
+    uint64_t records = 0;
+    uint64_t mispredicts = 0;
+    for (auto _ : state) {
+        bfbp::TraceFileSource source(path);
+        auto predictor = bfbp::createPredictor(spec);
+        bfbp::EvalOptions options;
+        options.collectPerBranch = per_branch;
+        const auto result = bfbp::evaluate(source, *predictor, options);
+        mispredicts = result.mispredictions;
+        records = source.recordCount();
+        benchmark::DoNotOptimize(mispredicts);
+    }
+    state.SetItemsProcessed(
+        static_cast<int64_t>(state.iterations() * records));
+    state.counters["mispredict_checksum"] =
+        static_cast<double>(mispredicts);
+}
+
+void
+BM_Evaluate(benchmark::State &state)
+{
+    runEvaluateFile(state, "isl-tage-10", false);
+}
+
+void
+BM_EvaluatePerBranch(benchmark::State &state)
+{
+    runEvaluateFile(state, "isl-tage-10", true);
+}
+
+/** The trace-archive write path (pack + buffered fwrite), records
+ *  per second; reads back through the evaluate path are BM_Evaluate. */
+void
+BM_TraceWrite(benchmark::State &state)
+{
+    const auto &records = sampleTrace();
+    const std::string path =
+        (std::filesystem::temp_directory_path() /
+         "bfbp_bm_tracewrite.trace")
+            .string();
+    for (auto _ : state) {
+        bfbp::TraceFileWriter writer(path);
+        for (const auto &r : records)
+            writer.append(r);
+        writer.close();
+        benchmark::DoNotOptimize(writer.written());
+    }
+    std::remove(path.c_str());
+    state.SetItemsProcessed(
+        static_cast<int64_t>(state.iterations() * records.size()));
+}
+
+BENCHMARK(BM_Evaluate)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_EvaluatePerBranch)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_TraceWrite)->Unit(benchmark::kMillisecond);
 
 /**
  * Suite-runner scaling: a small (trace x predictor) matrix submitted

@@ -15,8 +15,26 @@ for b in build/bench/*; do
       *) args=(--json "BENCH_${name}.json" --jobs 0) ;;
     esac
     echo "===== $b =====" >> bench_output.txt
+    start=$SECONDS
     "$b" "${args[@]}" >> bench_output.txt 2>&1
+    elapsed=$((SECONDS - start))
+    echo "$name: ${elapsed}s"
+    echo "--- wall time: ${elapsed}s" >> bench_output.txt
     echo "" >> bench_output.txt
   fi
 done
+
+# Throughput check against the checked-in baseline
+# (BENCH_throughput.json, tools/check_bench_regression.py). The check
+# prints the measured records/sec either way; it is report-only unless
+# BFBP_BENCH_CHECK=1 is set, in which case a reading below the
+# baseline floor fails this script.
+echo "===== throughput regression check =====" >> bench_output.txt
+if python3 tools/check_bench_regression.py >> bench_output.txt 2>&1; then
+  echo "throughput check: OK"
+else
+  echo "throughput check: FAILED (see bench_output.txt)"
+  exit 1
+fi
+
 echo "ALL_BENCHES_DONE" >> bench_output.txt

@@ -58,12 +58,20 @@ IslTagePredictor::scSum(uint64_t pc, bool tage_pred,
                         std::array<uint32_t, 4> &indices) const
 {
     int sum = tage_pred ? scTageWeight : -scTageWeight;
+    // hashMany({pc >> 1, fold, i, tage_pred}) with the accumulator's
+    // pc-dependent prefix hoisted out of the loop: the remaining
+    // combines are identical, so the indices are bit-for-bit the
+    // same while the serial mixing chain shrinks by a quarter.
+    const uint64_t base = hashCombine(hashManySeed, pc >> 1);
+    const uint64_t predBit = tage_pred ? 1ull : 0ull;
+    const uint64_t idxMask = maskBits(cfg.scLogEntries);
     for (size_t i = 0; i < scTables.size(); ++i) {
         const uint64_t fold =
             cfg.scHistoryLengths[i] == 0 ? 0 : scFolds[i].value();
         indices[i] = static_cast<uint32_t>(
-            hashMany({pc >> 1, fold, i, tage_pred ? 1ull : 0ull}) &
-            maskBits(cfg.scLogEntries));
+            hashCombine(hashCombine(hashCombine(base, fold), i),
+                        predBit) &
+            idxMask);
         sum += 2 * scTables[i][indices[i]].value() + 1;
     }
     return sum;
@@ -86,10 +94,11 @@ IslTagePredictor::predict(uint64_t pc)
     // provider entry, reuse its final prediction — the entry would
     // already have been updated under immediate update.
     if (cfg.useIum && ctx.provider >= 0) {
-        for (auto it = inFlight.rbegin(); it != inFlight.rend(); ++it) {
-            if (it->provider == ctx.provider &&
-                it->providerIndex == ctx.providerIndex) {
-                pred = it->finalPred;
+        for (size_t k = inFlight.size(); k-- > 0;) {
+            const Context &flight = inFlight.at(k);
+            if (flight.provider == ctx.provider &&
+                flight.providerIndex == ctx.providerIndex) {
+                pred = flight.finalPred;
                 ++iumHits;
                 break;
             }
@@ -136,8 +145,10 @@ IslTagePredictor::update(uint64_t pc, bool taken, bool predicted,
 {
     (void)predicted;
     assert(!pending.empty());
-    Context ctx = pending.front();
-    pending.pop_front();
+    // Consume in place (pop at the end): update never pushes into
+    // this FIFO, so the front context stays valid and the per-commit
+    // copy is avoided.
+    const Context &ctx = pending.front();
     assert(ctx.pc == pc);
 
     if (cfg.useIum && !inFlight.empty() && inFlight.front().pc == pc)
@@ -166,6 +177,7 @@ IslTagePredictor::update(uint64_t pc, bool taken, bool predicted,
     }
 
     core->update(pc, taken, ctx.tagePred, target);
+    pending.pop_front();
 }
 
 void
@@ -240,11 +252,11 @@ IslTagePredictor::saveStateBody(StateSink &sink) const
     scHist.saveState(sink);
     useSc.saveState(sink);
     sink.u64(pending.size());
-    for (const Context &ctx : pending)
-        saveContext(sink, ctx);
+    for (size_t i = 0; i < pending.size(); ++i)
+        saveContext(sink, pending.at(i));
     sink.u64(inFlight.size());
-    for (const Context &ctx : inFlight)
-        saveContext(sink, ctx);
+    for (size_t i = 0; i < inFlight.size(); ++i)
+        saveContext(sink, inFlight.at(i));
     sink.u64(scConsulted);
     sink.u64(scReverts);
     sink.u64(iumHits);

@@ -25,7 +25,6 @@
 #ifndef BFBP_PREDICTORS_ISL_TAGE_HPP
 #define BFBP_PREDICTORS_ISL_TAGE_HPP
 
-#include <deque>
 #include <memory>
 
 #include "predictors/loop_predictor.hpp"
@@ -112,8 +111,8 @@ class IslTagePredictor : public BranchPredictor
     std::vector<FoldedHistory> scFolds;
     HistoryRegister scHist;
     SignedSatCounter useSc{8};
-    std::deque<Context> pending;   //!< predict() -> update() FIFO.
-    std::deque<Context> inFlight;  //!< IUM window (same contexts).
+    RingFifo<Context> pending;     //!< predict() -> update() FIFO.
+    RingFifo<Context> inFlight;    //!< IUM window (same contexts).
 
     // Event counters exported by emitTelemetry().
     uint64_t scConsulted = 0;    //!< Weak predictions the SC judged.

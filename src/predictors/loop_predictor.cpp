@@ -21,7 +21,8 @@ constexpr int withLoopMin = -64;
 
 LoopPredictor::LoopPredictor(unsigned log_entries, unsigned ways)
     : entries(size_t{1} << log_entries),
-      sets((1u << log_entries) / ways), numWays(ways)
+      sets((1u << log_entries) / ways), numWays(ways),
+      setMask(isPowerOfTwo(sets) ? sets - 1 : 0)
 {
     assert(ways >= 1 && (1u << log_entries) % ways == 0);
 }
@@ -29,9 +30,23 @@ LoopPredictor::LoopPredictor(unsigned log_entries, unsigned ways)
 size_t
 LoopPredictor::slot(uint64_t pc, unsigned way) const
 {
+    return slotFromBase(hashCombine(hashManySeed, pc >> 1), way);
+}
+
+size_t
+LoopPredictor::slotFromBase(uint64_t pc_base, unsigned way) const
+{
     // Skewed associativity: each way uses a different index hash so
     // conflicting branches in one way spread across sets in others.
-    const size_t set = hashMany({pc >> 1, way * 0x9e37ULL}) % sets;
+    // pc_base is hashMany's accumulator after folding in the pc —
+    // hoisted by the per-way loops so the hash values match
+    // hashMany({pc >> 1, way * 0x9e37}) bit for bit. The common
+    // power-of-two set count reduces `% sets` to a mask (same value,
+    // no per-lookup divide).
+    const uint64_t hash = hashCombine(pc_base, way * 0x9e37ULL);
+    const size_t set = setMask != 0
+        ? static_cast<size_t>(hash & setMask)
+        : static_cast<size_t>(hash % sets);
     return static_cast<size_t>(way) * sets + set;
 }
 
@@ -46,8 +61,9 @@ LoopPredictor::lookup(uint64_t pc) const
 {
     Context ctx;
     const uint16_t tag = tagOf(pc);
+    const uint64_t base = hashCombine(hashManySeed, pc >> 1);
     for (unsigned way = 0; way < numWays; ++way) {
-        const size_t idx = slot(pc, way);
+        const size_t idx = slotFromBase(base, way);
         const Entry &e = entries[idx];
         if (e.tag == tag && e.pastIter != 0) {
             ctx.hit = true;
@@ -147,8 +163,9 @@ LoopPredictor::update(const Context &ctx, uint64_t pc, bool taken,
     // iterating direction.
     if (!main_mispredicted)
         return;
+    const uint64_t base = hashCombine(hashManySeed, pc >> 1);
     for (unsigned way = 0; way < numWays; ++way) {
-        Entry &e = entries[slot(pc, way)];
+        Entry &e = entries[slotFromBase(base, way)];
         if (e.age == 0) {
             ++statAllocs;
             e = Entry{};
@@ -163,7 +180,7 @@ LoopPredictor::update(const Context &ctx, uint64_t pc, bool taken,
         }
     }
     for (unsigned way = 0; way < numWays; ++way) {
-        Entry &e = entries[slot(pc, way)];
+        Entry &e = entries[slotFromBase(base, way)];
         if (e.age > 0)
             --e.age;
     }

@@ -106,11 +106,13 @@ class LoopPredictor
     };
 
     size_t slot(uint64_t pc, unsigned way) const;
+    size_t slotFromBase(uint64_t pc_base, unsigned way) const;
     uint16_t tagOf(uint64_t pc) const;
 
     std::vector<Entry> entries;
     unsigned sets;
     unsigned numWays;
+    uint64_t setMask; //!< sets - 1 when sets is pow2, else 0 (use %).
     int withLoop = -1; //!< 7-bit signed gate, starts distrusting.
 
     // Event counters exported by emitTelemetry().

@@ -51,7 +51,8 @@ TageConfig::validate() const
 TageBase::TageBase(TageConfig config)
     : cfg((config.validate(), std::move(config))),
       basePred(size_t{1} << cfg.logBase, 0),
-      baseHyst(size_t{1} << (cfg.logBase - cfg.hystShift), 1)
+      baseHyst(size_t{1} << (cfg.logBase - cfg.hystShift), 1),
+      uResetCountdown(cfg.uResetPeriod)
 {
     tables.reserve(cfg.numTables());
     for (unsigned logSize : cfg.logSizes)
@@ -86,6 +87,19 @@ TageBase::baseUpdate(uint64_t pc, bool taken)
 }
 
 void
+TageBase::computeTableHashes(uint64_t pc, uint32_t *indices,
+                             uint16_t *tags) const
+{
+    const size_t n = cfg.numTables();
+    for (size_t t = 0; t < n; ++t) {
+        indices[t] = static_cast<uint32_t>(indexHash(t, pc) &
+                                           maskBits(cfg.logSizes[t]));
+        tags[t] = static_cast<uint16_t>(tagHash(t, pc) &
+                                        maskBits(cfg.tagBits[t]));
+    }
+}
+
+void
 TageBase::computeContext(uint64_t pc, PredictionInfo &info) const
 {
     info.pc = pc;
@@ -94,12 +108,14 @@ TageBase::computeContext(uint64_t pc, PredictionInfo &info) const
     info.altProvider = -1;
 
     const size_t n = cfg.numTables();
-    for (size_t t = 0; t < n; ++t) {
-        info.indices[t] = static_cast<uint32_t>(
-            indexHash(t, pc) & maskBits(cfg.logSizes[t]));
-        info.tags[t] = static_cast<uint16_t>(
-            tagHash(t, pc) & maskBits(cfg.tagBits[t]));
-    }
+    computeTableHashes(pc, info.indices.data(), info.tags.data());
+
+    // The tagged tables span far more memory than fits in L1, so the
+    // provider scan's loads mostly miss. Issuing them all up front
+    // lets the misses overlap instead of serializing behind the
+    // early-exit branches below.
+    for (size_t t = 0; t < n; ++t)
+        __builtin_prefetch(&tables[t][info.indices[t]], 0, 3);
 
     // Longest history with a tag match provides; next longest (or
     // the base) is the alternate.
@@ -149,8 +165,11 @@ TageBase::computeContext(uint64_t pc, PredictionInfo &info) const
 bool
 TageBase::predict(uint64_t pc)
 {
-    pending.emplace_back();
-    PredictionInfo &info = pending.back();
+    // push_raw: computeContext() assigns every scalar field, and the
+    // index/tag slots at or beyond numTables() are never read or
+    // serialized, so clearing the 100+-byte context on every predict
+    // would be pure overhead.
+    PredictionInfo &info = pending.push_raw();
     computeContext(pc, info);
     stats.record(static_cast<size_t>(info.provider + 1));
     return info.pred;
@@ -200,8 +219,10 @@ TageBase::update(uint64_t pc, bool taken, bool predicted, uint64_t target)
 {
     (void)predicted;
     assert(!pending.empty());
-    PredictionInfo info = pending.front();
-    pending.pop_front();
+    // Consume in place: nothing below pushes into the FIFO, so the
+    // front entry stays valid until the pop at the end, avoiding a
+    // per-commit copy of the index/tag arrays.
+    const PredictionInfo &info = pending.front();
     assert(info.pc == pc);
 
     const bool mispredicted = info.pred != taken;
@@ -264,10 +285,14 @@ TageBase::update(uint64_t pc, bool taken, bool predicted, uint64_t target)
 
     if (mispredicted)
         allocate(info, taken);
+    pending.pop_front();
 
-    // Periodic useful-bit aging keeps the tables recyclable.
+    // Periodic useful-bit aging keeps the tables recyclable. The
+    // countdown mirrors `commits % uResetPeriod == 0` without a
+    // per-commit divide.
     ++commits;
-    if (commits % cfg.uResetPeriod == 0) {
+    if (--uResetCountdown == 0) {
+        uResetCountdown = cfg.uResetPeriod;
         ++uResets;
         for (auto &table : tables) {
             for (auto &e : table)
@@ -327,7 +352,8 @@ TageBase::saveStateBody(StateSink &sink) const
         }
     }
     sink.u64(pending.size());
-    for (const PredictionInfo &info : pending) {
+    for (size_t i = 0; i < pending.size(); ++i) {
+        const PredictionInfo &info = pending.at(i);
         sink.u64(info.pc);
         sink.boolean(info.pred);
         sink.boolean(info.altPred);
@@ -436,6 +462,7 @@ TageBase::loadStateBody(StateSource &source)
     useAltOnNa.loadState(source);
     allocRng.loadState(source);
     commits = source.u64();
+    uResetCountdown = cfg.uResetPeriod - (commits % cfg.uResetPeriod);
     stats.loadState(source);
     allocSuccess = source.u64();
     allocFailed = source.u64();
@@ -460,7 +487,16 @@ TagePredictor::TagePredictor(TageConfig config)
         tagFold2.emplace_back(cfg.historyLengths[t],
                               cfg.tagBits[t] > 1 ? cfg.tagBits[t] - 1
                                                  : 1);
+        HashConsts hc;
+        hc.pathMask = maskBits(std::min<unsigned>(
+            cfg.historyLengths[t], cfg.pathBits));
+        hc.pathAdd = static_cast<uint64_t>(t) << 7;
+        hc.idxMask = maskBits(cfg.logSizes[t]);
+        hc.tagMask = maskBits(cfg.tagBits[t]);
+        hc.logSize = cfg.logSizes[t];
+        hashConsts.push_back(hc);
     }
+    shadowCovers = cfg.historyLengths.back() <= shadowBits;
 }
 
 uint64_t
@@ -483,14 +519,61 @@ TagePredictor::tagHash(size_t t, uint64_t pc) const
 }
 
 void
+TagePredictor::computeTableHashes(uint64_t pc, uint32_t *indices,
+                                  uint16_t *tags) const
+{
+    // Same arithmetic as indexHash()/tagHash() above, with the
+    // per-table masks and offsets precomputed and one loop over
+    // contiguous arrays instead of two virtual calls per table.
+    const uint64_t addr = pc >> 1;
+    const size_t n = hashConsts.size();
+    const HashConsts *hc = hashConsts.data();
+    const FoldedHistory *fIdx = idxFold.data();
+    const FoldedHistory *fTag1 = tagFold1.data();
+    const FoldedHistory *fTag2 = tagFold2.data();
+    for (size_t t = 0; t < n; ++t) {
+        const uint64_t pathMix =
+            mix64((pathHist & hc[t].pathMask) + hc[t].pathAdd);
+        indices[t] = static_cast<uint32_t>(
+            (addr ^ (addr >> hc[t].logSize) ^ fIdx[t].value() ^
+             pathMix) &
+            hc[t].idxMask);
+        tags[t] = static_cast<uint16_t>(
+            (addr ^ fTag1[t].value() ^ (fTag2[t].value() << 1)) &
+            hc[t].tagMask);
+    }
+}
+
+void
 TagePredictor::updateHistories(uint64_t pc, bool taken, uint64_t target)
 {
     (void)target;
-    for (size_t t = 0; t < cfg.numTables(); ++t) {
-        const bool out = ghist[cfg.historyLengths[t] - 1];
-        idxFold[t].update(taken, out);
-        tagFold1[t].update(taken, out);
-        tagFold2[t].update(taken, out);
+    const size_t n = cfg.numTables();
+    if (shadowCovers) {
+        FoldedHistory *fIdx = idxFold.data();
+        FoldedHistory *fTag1 = tagFold1.data();
+        FoldedHistory *fTag2 = tagFold2.data();
+        const unsigned *lens = cfg.historyLengths.data();
+        for (size_t t = 0; t < n; ++t) {
+            const unsigned d = lens[t] - 1;
+            const bool out = (recentHist[d >> 6] >> (d & 63)) & 1;
+            fIdx[t].update(taken, out);
+            fTag1[t].update(taken, out);
+            fTag2[t].update(taken, out);
+        }
+        for (size_t w = recentHist.size(); w-- > 1;) {
+            recentHist[w] =
+                (recentHist[w] << 1) | (recentHist[w - 1] >> 63);
+        }
+        recentHist[0] = (recentHist[0] << 1) |
+            static_cast<uint64_t>(taken);
+    } else {
+        for (size_t t = 0; t < n; ++t) {
+            const bool out = ghist[cfg.historyLengths[t] - 1];
+            idxFold[t].update(taken, out);
+            tagFold1[t].update(taken, out);
+            tagFold2[t].update(taken, out);
+        }
     }
     ghist.push(taken);
     pathHist = ((pathHist << 1) | ((pc >> 1) & 1)) & maskBits(cfg.pathBits);
@@ -532,6 +615,15 @@ TagePredictor::loadHistoryState(StateSource &source)
                            "its configured window");
     }
     pathHist = path;
+
+    // Rebuild the shadow window from the restored ring (depths past
+    // what was pushed read as zero there, matching the shadow's
+    // zero-fill).
+    recentHist.fill(0);
+    for (size_t d = 0; d < shadowBits; ++d) {
+        if (ghist[d])
+            recentHist[d >> 6] |= uint64_t{1} << (d & 63);
+    }
 }
 
 } // namespace bfbp

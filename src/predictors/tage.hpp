@@ -23,13 +23,13 @@
 
 #include <array>
 #include <cstdint>
-#include <deque>
 #include <string>
 #include <vector>
 
 #include "sim/predictor.hpp"
 #include "util/folded_history.hpp"
 #include "util/random.hpp"
+#include "util/ring_fifo.hpp"
 #include "util/saturating_counter.hpp"
 
 namespace bfbp
@@ -121,6 +121,17 @@ class TageBase : public BranchPredictor
     /** Raw tag hash for tagged table @p t (before masking). */
     virtual uint64_t tagHash(size_t t, uint64_t pc) const = 0;
 
+    /**
+     * Fills the masked index and tag for every tagged table in one
+     * call. The default loops over indexHash()/tagHash(); variants
+     * on the prediction hot path override it so the whole loop —
+     * ten-plus hash computations — costs a single virtual dispatch
+     * and can keep its per-table constants in registers. Overrides
+     * must produce bit-identical values to the per-table virtuals.
+     */
+    virtual void computeTableHashes(uint64_t pc, uint32_t *indices,
+                                    uint16_t *tags) const;
+
     /** Advances all histories for a committed conditional branch. */
     virtual void updateHistories(uint64_t pc, bool taken,
                                  uint64_t target) = 0;
@@ -153,10 +164,11 @@ class TageBase : public BranchPredictor
     std::vector<uint8_t> basePred;   //!< Bimodal prediction bits.
     std::vector<uint8_t> baseHyst;   //!< Shared hysteresis bits.
     std::vector<std::vector<TaggedEntry>> tables;
-    std::deque<PredictionInfo> pending; //!< predict() -> update() FIFO.
+    RingFifo<PredictionInfo> pending; //!< predict() -> update() FIFO.
     SignedSatCounter useAltOnNa{4};  //!< Trust alt on new entries.
     Rng allocRng{0xA110C8ULL};       //!< Allocation tie breaking.
     uint64_t commits = 0;
+    uint64_t uResetCountdown;        //!< Commits until the next aging.
     ProviderStats stats;
 
     // Event counters exported by emitTelemetry().
@@ -174,6 +186,8 @@ class TagePredictor : public TageBase
   protected:
     uint64_t indexHash(size_t t, uint64_t pc) const override;
     uint64_t tagHash(size_t t, uint64_t pc) const override;
+    void computeTableHashes(uint64_t pc, uint32_t *indices,
+                            uint16_t *tags) const override;
     void updateHistories(uint64_t pc, bool taken,
                          uint64_t target) override;
     void reportHistoryStorage(StorageReport &report) const override;
@@ -181,11 +195,36 @@ class TagePredictor : public TageBase
     void loadHistoryState(StateSource &source) override;
 
   private:
+    /** Per-table constants of the index/tag hashes, precomputed so
+     *  the batched hash loop touches no config vectors. */
+    struct HashConsts
+    {
+        uint64_t pathMask; //!< Path bits folded into this table.
+        uint64_t pathAdd;  //!< Table-specific mixing offset (t << 7).
+        uint64_t idxMask;  //!< maskBits(logSizes[t]).
+        uint64_t tagMask;  //!< maskBits(tagBits[t]).
+        unsigned logSize;  //!< logSizes[t] (pc shift in the index).
+    };
+
+    /** Bits the shadow history below retains (covers the deepest
+     *  outgoing-bit read of common geometries). */
+    static constexpr size_t shadowBits = 256;
+
     HistoryRegister ghist;
     std::vector<FoldedHistory> idxFold;
     std::vector<FoldedHistory> tagFold1;
     std::vector<FoldedHistory> tagFold2;
+    std::vector<HashConsts> hashConsts;
     uint64_t pathHist = 0;
+
+    /** Shadow of the newest shadowBits ghist outcomes (bit d =
+     *  outcome d branches ago), maintained only when every table's
+     *  outgoing-bit depth fits. The per-branch fold updates then
+     *  read their outgoing bits with constant offsets from one
+     *  cache line instead of going through the ring's depth
+     *  addressing. Rebuilt from ghist on load, never serialized. */
+    std::array<uint64_t, shadowBits / 64> recentHist{};
+    bool shadowCovers = false;
 };
 
 } // namespace bfbp

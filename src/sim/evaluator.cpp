@@ -2,11 +2,12 @@
 
 #include <algorithm>
 #include <cstdio>
-#include <deque>
 #include <filesystem>
 #include <sstream>
 
 #include "sim/snapshot.hpp"
+#include "util/flat_map.hpp"
+#include "util/ring_fifo.hpp"
 
 namespace bfbp
 {
@@ -23,6 +24,9 @@ struct PendingUpdate
     bool predicted;
 };
 
+/** Records pulled from the source per nextBlock() call (~96 KiB). */
+constexpr size_t evalBlockRecords = 4096;
+
 /** Envelope kind of a mid-trace evaluator checkpoint. */
 constexpr const char *evalCheckpointKind = "eval-checkpoint";
 
@@ -38,8 +42,8 @@ writeEvalCheckpoint(
     const std::string &path, uint64_t recordsConsumed,
     const EvalResult &result, uint64_t windowStartInstructions,
     uint64_t windowStartMispredicts,
-    const std::deque<PendingUpdate> &pending,
-    const std::unordered_map<uint64_t, BranchProfile> &profiles,
+    const RingFifo<PendingUpdate> &pending,
+    const FlatU64Map<BranchProfile> &profiles,
     const telemetry::Telemetry *tel, const BranchPredictor &predictor)
 {
     StateSink sink;
@@ -54,7 +58,8 @@ writeEvalCheckpoint(
     sink.u64(windowStartMispredicts);
 
     sink.u64(pending.size());
-    for (const PendingUpdate &u : pending) {
+    for (size_t i = 0; i < pending.size(); ++i) {
+        const PendingUpdate &u = pending.at(i);
         sink.u64(u.pc);
         sink.u64(u.target);
         sink.boolean(u.taken);
@@ -65,8 +70,9 @@ writeEvalCheckpoint(
     // deterministic and checkpoint bytes should be.
     std::vector<const BranchProfile *> rows;
     rows.reserve(profiles.size());
-    for (const auto &[pc, prof] : profiles)
+    profiles.forEach([&rows](uint64_t, const BranchProfile &prof) {
         rows.push_back(&prof);
+    });
     std::sort(rows.begin(), rows.end(),
               [](const BranchProfile *a, const BranchProfile *b) {
                   return a->pc < b->pc;
@@ -105,8 +111,8 @@ struct EvalCheckpoint
     uint64_t streamErrors = 0;
     uint64_t windowStartInstructions = 0;
     uint64_t windowStartMispredicts = 0;
-    std::deque<PendingUpdate> pending;
-    std::unordered_map<uint64_t, BranchProfile> profiles;
+    RingFifo<PendingUpdate> pending;
+    FlatU64Map<BranchProfile> profiles;
 };
 
 /**
@@ -189,8 +195,8 @@ evaluate(TraceSource &source, BranchPredictor &predictor,
     result.traceName = source.name();
     result.predictorName = predictor.name();
 
-    std::unordered_map<uint64_t, BranchProfile> profiles;
-    std::deque<PendingUpdate> pending;
+    FlatU64Map<BranchProfile> profiles;
+    RingFifo<PendingUpdate> pending;
 
     // Telemetry enablement is resolved once per run; with tel null
     // the per-branch overhead is a single interval==0 compare.
@@ -207,7 +213,9 @@ evaluate(TraceSource &source, BranchPredictor &predictor,
                                options.checkpointInterval != 0;
     uint64_t recordsConsumed = 0;
 
-    BranchRecord record;
+    std::vector<BranchRecord> block(evalBlockRecords);
+    size_t blockLen = 0;
+    size_t blockPos = 0;
 
     if (checkpointing && options.resume &&
         std::filesystem::exists(options.checkpointPath)) {
@@ -225,92 +233,168 @@ evaluate(TraceSource &source, BranchPredictor &predictor,
         profiles = std::move(ck.profiles);
 
         // Fast-forward a fresh source past the records the
-        // checkpointed run already consumed. A trace that ends early
-        // cannot be the one the checkpoint was taken on.
-        for (uint64_t i = 0; i < ck.recordsConsumed; ++i) {
-            if (!source.next(record)) {
+        // checkpointed run already consumed, a block at a time. A
+        // trace that ends early cannot be the one the checkpoint was
+        // taken on.
+        uint64_t skipped = 0;
+        while (skipped < ck.recordsConsumed) {
+            const size_t want = static_cast<size_t>(
+                std::min<uint64_t>(block.size(),
+                                   ck.recordsConsumed - skipped));
+            const size_t got = source.nextBlock(block.data(), want);
+            if (got == 0) {
                 throw TraceIoError(
                     "cannot resume: " + source.name() + " ended after " +
-                    std::to_string(i) + " records, checkpoint was " +
-                    "taken at " + std::to_string(ck.recordsConsumed));
+                    std::to_string(skipped) + " records, checkpoint " +
+                    "was taken at " +
+                    std::to_string(ck.recordsConsumed));
             }
+            skipped += got;
         }
         recordsConsumed = ck.recordsConsumed;
     }
-    for (;;) {
-        // Source faults and invalid records go through the onError
-        // policy. Under Throw (the default) this block is
-        // transparent: exceptions propagate exactly as before the
-        // robustness layer existed.
-        try {
-            if (!source.next(record))
-                break;
-        } catch (const BfbpError &) {
-            if (options.onError == ErrorPolicy::Throw)
-                throw;
-            // A failed read leaves the stream position undefined;
-            // both remaining policies end the trace here.
-            ++result.streamErrors;
-            break;
-        }
-        ++recordsConsumed;
 
-        if (!isStructurallyValid(record)) {
-            if (options.onError == ErrorPolicy::Throw) {
-                throw EvalError(
-                    "structurally invalid record in " + source.name() +
-                    " after " + std::to_string(result.condBranches +
-                                               result.otherBranches) +
-                    " branches (type " +
-                    std::to_string(static_cast<unsigned>(record.type)) +
-                    ", instCount " + std::to_string(record.instCount) +
-                    ")");
+    // The hot loop consumes records a block at a time. Stream faults
+    // surface at block boundaries (the source defers an exception
+    // raised mid-block until the next call, so the caller-visible
+    // record sequence is identical to pulling one record through
+    // next() at a time). Periodic work — telemetry interval samples,
+    // checkpoints, the maxBranches cutoff — is scheduled by counting
+    // the conditional branches left until the nearest boundary, so
+    // the per-record path does no modulo checks at all.
+    bool stop = false;
+    while (!stop) {
+        if (blockPos == blockLen) {
+            // Never read past the maxBranches cutoff: a pull of R
+            // records holds at most R conditional branches, so capping
+            // the pull by the remaining budget guarantees the cutoff
+            // lands exactly on a block boundary and the source is left
+            // positioned right after the last processed record (the
+            // warmup cache's fast-forward depends on this).
+            size_t want = block.size();
+            if (options.maxBranches != 0) {
+                const uint64_t left =
+                    options.maxBranches > result.condBranches
+                        ? options.maxBranches - result.condBranches
+                        : uint64_t{1};
+                want = static_cast<size_t>(
+                    std::min<uint64_t>(want, left));
             }
-            ++result.streamErrors;
-            if (options.onError == ErrorPolicy::StopTrace)
+            // Source faults go through the onError policy. Under
+            // Throw (the default) this block is transparent:
+            // exceptions propagate exactly as before the robustness
+            // layer existed.
+            try {
+                blockLen = source.nextBlock(block.data(), want);
+            } catch (const BfbpError &) {
+                if (options.onError == ErrorPolicy::Throw)
+                    throw;
+                // A failed read leaves the stream position undefined;
+                // both remaining policies end the trace here.
+                ++result.streamErrors;
                 break;
-            ++result.recordsSkipped;
-            continue;
+            }
+            blockPos = 0;
+            if (blockLen == 0)
+                break;
         }
 
-        result.instructions += record.instCount;
-
-        if (!record.isConditional()) {
-            ++result.otherBranches;
-            predictor.trackOtherInst(record);
-            continue;
+        // Conditional branches until the nearest boundary event. The
+        // subtraction for maxBranches is guarded: a checkpoint taken
+        // at or past the cutoff resumes with one final branch, which
+        // is what the per-record loop did.
+        uint64_t budget = UINT64_MAX;
+        if (interval != 0)
+            budget = interval - result.condBranches % interval;
+        if (checkpointing) {
+            budget = std::min(budget,
+                              options.checkpointInterval -
+                                  result.condBranches %
+                                      options.checkpointInterval);
+        }
+        if (options.maxBranches != 0) {
+            budget = std::min(budget,
+                              options.maxBranches > result.condBranches
+                                  ? options.maxBranches -
+                                        result.condBranches
+                                  : uint64_t{1});
         }
 
-        const bool predicted = predictor.predict(record.pc);
-        const bool mispredicted = predicted != record.taken;
+        while (blockPos < blockLen && budget != 0) {
+            const BranchRecord &record = block[blockPos];
+            ++blockPos;
+            ++recordsConsumed;
 
-        ++result.condBranches;
-        if (mispredicted)
-            ++result.mispredictions;
+            if (!isStructurallyValid(record)) {
+                if (options.onError == ErrorPolicy::Throw) {
+                    throw EvalError(
+                        "structurally invalid record in " +
+                        source.name() + " after " +
+                        std::to_string(result.condBranches +
+                                       result.otherBranches) +
+                        " branches (type " +
+                        std::to_string(
+                            static_cast<unsigned>(record.type)) +
+                        ", instCount " +
+                        std::to_string(record.instCount) + ")");
+                }
+                ++result.streamErrors;
+                if (options.onError == ErrorPolicy::StopTrace) {
+                    stop = true;
+                    break;
+                }
+                ++result.recordsSkipped;
+                continue;
+            }
 
-        if (options.collectPerBranch) {
-            auto &prof = profiles[record.pc];
-            prof.pc = record.pc;
-            ++prof.executions;
-            if (record.taken)
-                ++prof.taken;
+            result.instructions += record.instCount;
+
+            if (!record.isConditional()) {
+                ++result.otherBranches;
+                predictor.trackOtherInst(record);
+                continue;
+            }
+
+            const bool predicted = predictor.predict(record.pc);
+            const bool mispredicted = predicted != record.taken;
+
+            ++result.condBranches;
             if (mispredicted)
-                ++prof.mispredictions;
-        }
+                ++result.mispredictions;
 
-        if (options.updateDelay == 0) {
-            predictor.update(record.pc, record.taken, predicted,
-                             record.target);
-        } else {
-            pending.push_back({record.pc, record.target, record.taken,
-                               predicted});
-            if (pending.size() > options.updateDelay) {
-                const PendingUpdate &u = pending.front();
-                predictor.update(u.pc, u.taken, u.predicted, u.target);
-                pending.pop_front();
+            if (options.collectPerBranch) {
+                auto &prof = profiles[record.pc];
+                prof.pc = record.pc;
+                ++prof.executions;
+                if (record.taken)
+                    ++prof.taken;
+                if (mispredicted)
+                    ++prof.mispredictions;
             }
-        }
 
+            if (options.updateDelay == 0) {
+                predictor.update(record.pc, record.taken, predicted,
+                                 record.target);
+            } else {
+                pending.push_back({record.pc, record.target,
+                                   record.taken, predicted});
+                if (pending.size() > options.updateDelay) {
+                    const PendingUpdate &u = pending.front();
+                    predictor.update(u.pc, u.taken, u.predicted,
+                                     u.target);
+                    pending.pop_front();
+                }
+            }
+
+            --budget;
+        }
+        if (stop)
+            break;
+        if (budget != 0)
+            continue;
+
+        // At a boundary: fire whichever events are due, in the order
+        // the per-record loop checked them.
         if (interval != 0 && result.condBranches % interval == 0) {
             telemetry::Telemetry::IntervalSample sample;
             sample.index = result.condBranches / interval - 1;
@@ -348,8 +432,10 @@ evaluate(TraceSource &source, BranchPredictor &predictor,
 
     // Drain delayed updates (arrival order) so predictor state is
     // complete at exit; see the EvalOptions::updateDelay contract.
-    for (const PendingUpdate &u : pending)
+    for (size_t i = 0; i < pending.size(); ++i) {
+        const PendingUpdate &u = pending.at(i);
         predictor.update(u.pc, u.taken, u.predicted, u.target);
+    }
 
     if (tel) {
         // Gauges "eval.seconds" (wall time) and "eval.per_second"
@@ -366,8 +452,9 @@ evaluate(TraceSource &source, BranchPredictor &predictor,
 
     if (options.collectPerBranch) {
         result.perBranch.reserve(profiles.size());
-        for (const auto &[pc, prof] : profiles)
+        profiles.forEach([&result](uint64_t, const BranchProfile &prof) {
             result.perBranch.push_back(prof);
+        });
         std::sort(result.perBranch.begin(), result.perBranch.end(),
                   [](const BranchProfile &a, const BranchProfile &b) {
                       if (a.mispredictions != b.mispredictions)

@@ -39,7 +39,7 @@ FaultInjectingSource::name() const
 }
 
 void
-FaultInjectingSource::reset()
+FaultInjectingSource::resetImpl()
 {
     inner.reset();
     rng.reseed(cfg.seed);

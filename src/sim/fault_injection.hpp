@@ -83,11 +83,13 @@ class FaultInjectingSource : public TraceSource
                          FaultInjectionConfig config);
 
     bool next(BranchRecord &out) override;
-    void reset() override;
     std::string name() const override;
 
     const FaultStats &stats() const { return counts; }
     const FaultInjectionConfig &config() const { return cfg; }
+
+  protected:
+    void resetImpl() override;
 
   private:
     BranchRecord corruptRecord(const BranchRecord &r);

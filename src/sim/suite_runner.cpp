@@ -135,6 +135,8 @@ runJob(const SuiteJob &job, SuiteOutcome &out, size_t index,
         auto predictor = job.makePredictor();
         if (job.predictorLabel.empty())
             out.predictorName = predictor->name();
+        if (job.prepare)
+            job.prepare(*source, *predictor);
 
         EvalOptions options = job.options;
         // When checkpointing, collect telemetry even if the caller did

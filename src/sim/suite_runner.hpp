@@ -73,6 +73,17 @@ struct SuiteJob
      *  concurrency contract as makeSource. */
     std::function<std::unique_ptr<BranchPredictor>()> makePredictor;
 
+    /**
+     * Optional preparation step run on the worker thread after both
+     * factories and before evaluate(): the benches' warmup hook
+     * advances the source and trains (or restores) the predictor
+     * here, so the measured evaluation starts from a warmed state.
+     * Must be deterministic; a BfbpError thrown here fails the job
+     * with the usual isolation. Touches only the job's own source
+     * and predictor (same concurrency contract as the factories).
+     */
+    std::function<void(TraceSource &, BranchPredictor &)> prepare;
+
     /** Evaluator knobs (updateDelay, maxBranches, telemetryInterval,
      *  onError). The telemetry pointer is overwritten: it is aimed at
      *  the job's own sink when collectTelemetry is set, else null. */

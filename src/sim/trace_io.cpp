@@ -1,5 +1,6 @@
 #include "sim/trace_io.hpp"
 
+#include <algorithm>
 #include <cerrno>
 #include <cstring>
 
@@ -73,9 +74,28 @@ unpack(const unsigned char *buf)
 
 } // namespace trace_format
 
-TraceFileWriter::TraceFileWriter(const std::string &path)
+size_t
+TraceSource::nextBlock(BranchRecord *out, size_t max)
+{
+    rethrowDeferred();
+    size_t n = 0;
+    try {
+        while (n < max && next(out[n]))
+            ++n;
+    } catch (...) {
+        // Keep the decoded prefix; the caller sees the exception —
+        // the same object — on its next call, i.e. at the exact
+        // record boundary where next() would have thrown.
+        return deferOrThrow(n);
+    }
+    return n;
+}
+
+TraceFileWriter::TraceFileWriter(const std::string &path,
+                                 size_t buffer_bytes)
     : finalPath(path), tmpPath(path + ".tmp"),
-      file(std::fopen(tmpPath.c_str(), "wb"))
+      file(std::fopen(tmpPath.c_str(), "wb")),
+      packBuf(std::max(buffer_bytes, trace_format::recordBytes))
 {
     if (!file) {
         throw TraceIoError("cannot open trace temp file for writing: " +
@@ -115,10 +135,20 @@ TraceFileWriter::append(const BranchRecord &record)
             std::to_string(static_cast<unsigned>(record.type)) +
             ", instCount " + std::to_string(record.instCount) + ")");
     }
-    unsigned char buf[trace_format::recordBytes];
-    trace_format::pack(record, buf);
-    writeRaw(file, buf, trace_format::recordBytes);
+    if (packBuf.size() - packUsed < trace_format::recordBytes)
+        flushBlock();
+    trace_format::pack(record, packBuf.data() + packUsed);
+    packUsed += trace_format::recordBytes;
     ++count;
+}
+
+void
+TraceFileWriter::flushBlock()
+{
+    if (packUsed == 0)
+        return;
+    writeRaw(file, packBuf.data(), packUsed);
+    packUsed = 0;
 }
 
 void
@@ -127,6 +157,7 @@ TraceFileWriter::close()
     if (!file)
         return;
     try {
+        flushBlock();
         if (std::fseek(file, trace_format::countOffset, SEEK_SET) != 0)
             throw TraceIoError("trace seek failed while finalizing " +
                                tmpPath);
@@ -154,8 +185,10 @@ TraceFileWriter::close()
     closedClean = true;
 }
 
-TraceFileSource::TraceFileSource(const std::string &path)
-    : file(std::fopen(path.c_str(), "rb")), label(path)
+TraceFileSource::TraceFileSource(const std::string &path,
+                                 size_t buffer_bytes)
+    : file(std::fopen(path.c_str(), "rb")), label(path),
+      buf(std::max(buffer_bytes, trace_format::recordBytes))
 {
     if (!file) {
         throw TraceIoError("cannot open trace file: " + path + " (" +
@@ -231,24 +264,78 @@ TraceFileSource::~TraceFileSource()
         std::fclose(file);
 }
 
+void
+TraceFileSource::refill()
+{
+    // Carry the undecoded tail (normally empty; a partial record
+    // only survives a refill when the file shrank after open) to the
+    // front, then top the buffer up from the stream.
+    const size_t tail = buffered();
+    if (tail != 0 && bufPos != 0)
+        std::memmove(buf.data(), buf.data() + bufPos, tail);
+    bufPos = 0;
+    bufLen = tail;
+    bufLen += std::fread(buf.data() + tail, 1, buf.size() - tail, file);
+}
+
 bool
 TraceFileSource::next(BranchRecord &out)
 {
-    if (consumed >= total)
-        return false;
-    unsigned char buf[trace_format::recordBytes];
-    readRaw(file, buf, trace_format::recordBytes);
-    out = trace_format::unpack(buf);
-    ++consumed;
-    return true;
+    return nextBlock(&out, 1) == 1;
+}
+
+size_t
+TraceFileSource::nextBlock(BranchRecord *out, size_t max)
+{
+    rethrowDeferred();
+    size_t n = 0;
+    while (n < max && consumed < total) {
+        if (buffered() < trace_format::recordBytes) {
+            refill();
+            if (buffered() < trace_format::recordBytes) {
+                // The size/count cross-check passed at open, so the
+                // payload must have been truncated since (same
+                // condition the unbuffered reader hit per record).
+                try {
+                    throw TraceIoError(
+                        "trace read failed (truncated file?)");
+                } catch (...) {
+                    return deferOrThrow(n);
+                }
+            }
+        }
+        size_t take = std::min(max - n, buffered() /
+                                            trace_format::recordBytes);
+        take = static_cast<size_t>(
+            std::min<uint64_t>(take, total - consumed));
+        try {
+            for (size_t i = 0; i < take; ++i) {
+                out[n] = trace_format::unpack(buf.data() + bufPos);
+                bufPos += trace_format::recordBytes;
+                ++consumed;
+                ++n;
+            }
+        } catch (...) {
+            // A structurally invalid record: everything before it is
+            // delivered and the exception surfaces on the next call —
+            // exactly where the per-record reader threw. Like that
+            // reader, the stream skips past the bad record's bytes
+            // without counting it as consumed.
+            bufPos += trace_format::recordBytes;
+            return deferOrThrow(n);
+        }
+    }
+    return n;
 }
 
 void
-TraceFileSource::reset()
+TraceFileSource::resetImpl()
 {
     if (std::fseek(file, dataOffset, SEEK_SET) != 0)
         throw TraceIoError("trace seek failed");
     consumed = 0;
+    bufPos = 0;
+    bufLen = 0;
 }
 
 void

@@ -6,11 +6,21 @@
  * evaluator consumes them through a pull interface instead of
  * materialized vectors. Sources must be resettable: ablation studies
  * replay the same trace through many predictor configurations.
+ *
+ * The hot path is block-oriented: nextBlock() delivers up to a full
+ * batch of records per virtual call, which lets file-backed sources
+ * amortize I/O and lets the evaluator keep its per-record loop free
+ * of stream plumbing. next() remains the simple record-at-a-time
+ * interface; decorators and generators that only implement next()
+ * get batching for free through the default nextBlock().
  */
 
 #ifndef BFBP_SIM_TRACE_SOURCE_HPP
 #define BFBP_SIM_TRACE_SOURCE_HPP
 
+#include <algorithm>
+#include <cstddef>
+#include <exception>
 #include <string>
 #include <utility>
 #include <vector>
@@ -34,11 +44,68 @@ class TraceSource
      */
     virtual bool next(BranchRecord &out) = 0;
 
-    /** Restarts the stream from the first record. */
-    virtual void reset() = 0;
+    /**
+     * Produces up to @p max records in commit order.
+     *
+     * Deferred-error contract: when a record deep inside a batch
+     * raises, the successfully decoded prefix is returned and the
+     * exception is re-thrown — the exact same exception object — by
+     * the next call. The caller therefore observes the identical
+     * record-by-record sequence of results and throws as it would
+     * have through next(); only the call boundaries differ. A call
+     * that cannot produce even one record throws immediately.
+     *
+     * @param out Array with room for @p max records.
+     * @param max Maximum records to produce (>= 1).
+     * @return Number of records written; 0 means end of trace.
+     */
+    virtual size_t nextBlock(BranchRecord *out, size_t max);
+
+    /**
+     * Restarts the stream from the first record and drops any
+     * deferred block error (the position it described is gone).
+     */
+    void
+    reset()
+    {
+        deferredError = nullptr;
+        resetImpl();
+    }
 
     /** Identifier used in reports. */
     virtual std::string name() const { return "trace"; }
+
+  protected:
+    /** Restarts the stream from the first record. */
+    virtual void resetImpl() = 0;
+
+    /** Rethrows (and clears) an error deferred by a previous block. */
+    void
+    rethrowDeferred()
+    {
+        if (deferredError) {
+            std::exception_ptr err = std::move(deferredError);
+            deferredError = nullptr;
+            std::rethrow_exception(err);
+        }
+    }
+
+    /**
+     * From a catch block inside nextBlock(): defers the in-flight
+     * exception for the next call when @p produced records were
+     * already decoded, rethrows it when the batch is empty.
+     */
+    size_t
+    deferOrThrow(size_t produced)
+    {
+        if (produced == 0)
+            throw;
+        deferredError = std::current_exception();
+        return produced;
+    }
+
+  private:
+    std::exception_ptr deferredError;
 };
 
 /** In-memory trace. Convenient for tests and small experiments. */
@@ -60,10 +127,21 @@ class VectorTraceSource : public TraceSource
         return true;
     }
 
-    void reset() override { pos = 0; }
+    size_t
+    nextBlock(BranchRecord *out, size_t max) override
+    {
+        const size_t n = std::min(max, records.size() - pos);
+        std::copy_n(records.data() + pos, n, out);
+        pos += n;
+        return n;
+    }
+
     std::string name() const override { return label; }
 
     const std::vector<BranchRecord> &data() const { return records; }
+
+  protected:
+    void resetImpl() override { pos = 0; }
 
   private:
     std::vector<BranchRecord> records;

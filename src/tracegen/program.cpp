@@ -192,7 +192,7 @@ ProgramTraceSource::ProgramTraceSource(ProgramFactory prog_factory)
 }
 
 void
-ProgramTraceSource::reset()
+ProgramTraceSource::resetImpl()
 {
     program = factory();
     assert(!program.sections.empty());

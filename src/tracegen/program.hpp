@@ -388,7 +388,6 @@ class ProgramTraceSource : public TraceSource
     explicit ProgramTraceSource(ProgramFactory factory);
 
     bool next(BranchRecord &out) override;
-    void reset() override;
     std::string name() const override { return program.name; }
 
     /**
@@ -401,6 +400,9 @@ class ProgramTraceSource : public TraceSource
     {
         return state->expectedFloor;
     }
+
+  protected:
+    void resetImpl() override;
 
   private:
     void refill();

@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Open-addressed hash map keyed by uint64_t.
+ *
+ * The evaluator keeps one BranchProfile per static branch and touches
+ * it on every conditional record, so the map lookup sits directly on
+ * the hot path. std::unordered_map pays a node allocation per entry
+ * and a pointer chase per lookup; this flat table keeps the slots in
+ * one contiguous array with linear probing, which for the typical
+ * few-thousand-branch footprint stays cache-resident.
+ *
+ * Deliberately minimal: insertion via operator[] and whole-table
+ * iteration are all the evaluator needs. No erase.
+ */
+
+#ifndef BFBP_UTIL_FLAT_MAP_HPP
+#define BFBP_UTIL_FLAT_MAP_HPP
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "util/hashing.hpp"
+
+namespace bfbp
+{
+
+/** Flat open-addressed uint64 -> T map (linear probing). */
+template <typename T>
+class FlatU64Map
+{
+  public:
+    /** @param min_capacity Entries to accommodate without growing. */
+    explicit FlatU64Map(size_t min_capacity = 0)
+    {
+        size_t cap = 16;
+        // Size so min_capacity entries stay under the load cap.
+        while (cap * maxLoadNum < min_capacity * loadDen)
+            cap *= 2;
+        slots.resize(cap);
+    }
+
+    /** Finds or default-inserts the entry for @p key. */
+    T &
+    operator[](uint64_t key)
+    {
+        if ((count + 1) * loadDen > slots.size() * maxLoadNum)
+            grow();
+        const size_t i = probe(key);
+        Slot &s = slots[i];
+        if (!s.used) {
+            s.used = true;
+            s.key = key;
+            ++count;
+        }
+        return s.value;
+    }
+
+    /** @return The entry for @p key, or nullptr when absent. */
+    const T *
+    find(uint64_t key) const
+    {
+        const Slot &s = slots[probe(key)];
+        return s.used ? &s.value : nullptr;
+    }
+
+    size_t size() const { return count; }
+    bool empty() const { return count == 0; }
+
+    /** Calls fn(key, value) for every entry, in unspecified order. */
+    template <typename Fn>
+    void
+    forEach(Fn &&fn) const
+    {
+        for (const Slot &s : slots) {
+            if (s.used)
+                fn(s.key, s.value);
+        }
+    }
+
+  private:
+    struct Slot
+    {
+        uint64_t key = 0;
+        T value{};
+        bool used = false;
+    };
+
+    // Maximum load factor 7/10 before doubling.
+    static constexpr size_t maxLoadNum = 7;
+    static constexpr size_t loadDen = 10;
+
+    size_t
+    probe(uint64_t key) const
+    {
+        const size_t mask = slots.size() - 1;
+        size_t i = static_cast<size_t>(mix64(key)) & mask;
+        while (slots[i].used && slots[i].key != key)
+            i = (i + 1) & mask;
+        return i;
+    }
+
+    void
+    grow()
+    {
+        std::vector<Slot> old = std::move(slots);
+        slots.clear();
+        slots.resize(old.size() * 2);
+        for (Slot &s : old) {
+            if (!s.used)
+                continue;
+            const size_t i = probe(s.key);
+            slots[i].used = true;
+            slots[i].key = s.key;
+            slots[i].value = std::move(s.value);
+        }
+    }
+
+    std::vector<Slot> slots;
+    size_t count = 0;
+};
+
+} // namespace bfbp
+
+#endif // BFBP_UTIL_FLAT_MAP_HPP

@@ -40,11 +40,16 @@ hashCombine(uint64_t a, uint64_t b)
     return mix64(a ^ (b + 0x9e3779b97f4a7c15ULL + (a << 6) + (a >> 2)));
 }
 
+/** Accumulator seed of hashMany() (pi fractional bits). Exposed so
+ *  hot paths can hoist a loop-invariant hashCombine prefix while
+ *  producing values bit-identical to the full hashMany() chain. */
+constexpr uint64_t hashManySeed = 0x243f6a8885a308d3ULL;
+
 /** Folds an arbitrary list of inputs into one mixed 64-bit hash. */
 constexpr uint64_t
 hashMany(std::initializer_list<uint64_t> values)
 {
-    uint64_t acc = 0x243f6a8885a308d3ULL; // pi fractional bits
+    uint64_t acc = hashManySeed;
     for (uint64_t v : values)
         acc = hashCombine(acc, v);
     return acc;

@@ -36,7 +36,7 @@ class HistoryRegister
      */
     explicit HistoryRegister(size_t capacity = 4096)
         : words(nextPowerOfTwo((capacity + 63) / 64), 0),
-          capacityBits(words.size() * 64)
+          capacityBits(words.size() * 64), posMask(capacityBits - 1)
     {
     }
 
@@ -50,7 +50,9 @@ class HistoryRegister
     void
     push(bool taken)
     {
-        const uint64_t pos = pushed % capacityBits;
+        // capacityBits is a power of two; masking instead of % keeps
+        // the per-branch history pushes free of hardware divides.
+        const uint64_t pos = pushed & posMask;
         const uint64_t word = pos / 64;
         const uint64_t bit = pos % 64;
         if (taken)
@@ -69,7 +71,7 @@ class HistoryRegister
     {
         if (depth >= pushed || depth >= capacityBits)
             return false;
-        const uint64_t pos = (pushed - 1 - depth) % capacityBits;
+        const uint64_t pos = (pushed - 1 - depth) & posMask;
         return (words[pos / 64] >> (pos % 64)) & 1;
     }
 
@@ -109,6 +111,7 @@ class HistoryRegister
   private:
     std::vector<uint64_t> words;
     size_t capacityBits;
+    uint64_t posMask; //!< capacityBits - 1 (capacity is pow2).
     uint64_t pushed = 0;
 };
 

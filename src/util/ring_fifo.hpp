@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Fixed-stride FIFO over a power-of-two ring buffer.
+ *
+ * The predictors keep small predict()->update() queues that push and
+ * pop on every branch. std::deque pays a node allocation every few
+ * dozen pushes (and a matching free on the pop side), which shows up
+ * directly in the evaluator hot loop. This ring reuses one flat
+ * allocation: push/pop are an index increment, and the buffer only
+ * reallocates when the queue outgrows its capacity (rare — queue
+ * depth is bounded by the update delay or the IUM window).
+ *
+ * Iteration is index-based (at(0) is the front), in insertion order,
+ * matching the front-to-back order the deques serialized in.
+ */
+
+#ifndef BFBP_UTIL_RING_FIFO_HPP
+#define BFBP_UTIL_RING_FIFO_HPP
+
+#include <cassert>
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+namespace bfbp
+{
+
+/** Growable single-ended FIFO (push back, pop front). */
+template <typename T>
+class RingFifo
+{
+  public:
+    RingFifo() : slots(minCapacity) {}
+
+    bool empty() const { return count == 0; }
+    size_t size() const { return count; }
+
+    /** Element @p i positions behind the front (at(0) == front()). */
+    const T &
+    at(size_t i) const
+    {
+        assert(i < count);
+        return slots[(head + i) & (slots.size() - 1)];
+    }
+
+    T &front() { return slots[head]; }
+    const T &front() const { return slots[head]; }
+
+    T &
+    back()
+    {
+        return slots[(head + count - 1) & (slots.size() - 1)];
+    }
+    const T &
+    back() const
+    {
+        return slots[(head + count - 1) & (slots.size() - 1)];
+    }
+
+    void
+    push_back(const T &value)
+    {
+        // Copy-assignment overwrites every member, so the slot does
+        // not need the value-initialization emplace_back() pays for.
+        push_raw() = value;
+    }
+
+    /** Appends a freshly value-initialized element. */
+    T &
+    emplace_back()
+    {
+        T &slot = push_raw();
+        slot = T{};
+        return slot;
+    }
+
+    /**
+     * Appends an element WITHOUT reinitializing the slot: contents
+     * are whatever a previous occupant left there. For hot paths
+     * that overwrite every field they later read (saves clearing a
+     * large element on every push).
+     */
+    T &
+    push_raw()
+    {
+        if (count == slots.size())
+            grow();
+        T &slot = slots[(head + count) & (slots.size() - 1)];
+        ++count;
+        return slot;
+    }
+
+    void
+    pop_front()
+    {
+        assert(count != 0);
+        head = (head + 1) & (slots.size() - 1);
+        --count;
+    }
+
+    void
+    clear()
+    {
+        head = 0;
+        count = 0;
+    }
+
+  private:
+    static constexpr size_t minCapacity = 8;
+
+    void
+    grow()
+    {
+        std::vector<T> bigger(slots.size() * 2);
+        for (size_t i = 0; i < count; ++i)
+            bigger[i] = std::move(slots[(head + i) & (slots.size() - 1)]);
+        slots = std::move(bigger);
+        head = 0;
+    }
+
+    std::vector<T> slots;
+    size_t head = 0;
+    size_t count = 0;
+};
+
+} // namespace bfbp
+
+#endif // BFBP_UTIL_RING_FIFO_HPP

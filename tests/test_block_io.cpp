@@ -1,0 +1,557 @@
+/**
+ * @file
+ * Block-path coverage for the batched trace pipeline: byte-identity
+ * of TraceSource::nextBlock() against repeated next() — over clean
+ * archives, over a corruption corpus, and through the default
+ * fallback of a next()-only decorator (FaultInjectingSource) —
+ * plus the deferred-error contract, checkpoint fast-forward across
+ * buffer/block boundaries, the buffered writer, and the bench
+ * warmup-snapshot cache built on top of the block reader.
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "bench_common.hpp"
+#include "core/factory.hpp"
+#include "sim/evaluator.hpp"
+#include "sim/fault_injection.hpp"
+#include "sim/trace_io.hpp"
+#include "util/random.hpp"
+
+namespace bfbp
+{
+namespace
+{
+
+std::string
+tempPath(const std::string &name)
+{
+    return (std::filesystem::temp_directory_path() / name).string();
+}
+
+std::vector<BranchRecord>
+makeRecords(size_t n, uint64_t seed = 11)
+{
+    Rng rng(seed);
+    std::vector<BranchRecord> recs;
+    for (size_t i = 0; i < n; ++i) {
+        BranchRecord r;
+        r.pc = 0x400000 + 4 * rng.below(512);
+        r.target = r.pc + 8;
+        r.instCount = static_cast<uint32_t>(1 + rng.below(6));
+        r.type = (i % 13 == 0) ? BranchType::Call
+                               : BranchType::CondDirect;
+        r.taken = rng.chance(0.55);
+        recs.push_back(r);
+    }
+    return recs;
+}
+
+/** What one full read of a source produced, including how it ended. */
+struct ReadOutcome
+{
+    std::vector<BranchRecord> records;
+    bool threw = false;
+    std::string error;
+};
+
+bool
+operator==(const ReadOutcome &a, const ReadOutcome &b)
+{
+    return a.records == b.records && a.threw == b.threw &&
+           a.error == b.error;
+}
+
+/** Drains @p source one record at a time. */
+ReadOutcome
+readViaNext(TraceSource &source)
+{
+    ReadOutcome out;
+    BranchRecord r;
+    try {
+        while (source.next(r))
+            out.records.push_back(r);
+    } catch (const TraceIoError &e) {
+        out.threw = true;
+        out.error = e.what();
+    }
+    return out;
+}
+
+/** Drains @p source in blocks of up to @p max records. */
+ReadOutcome
+readViaBlocks(TraceSource &source, size_t max)
+{
+    ReadOutcome out;
+    std::vector<BranchRecord> block(max);
+    try {
+        for (;;) {
+            const size_t got = source.nextBlock(block.data(), max);
+            if (got == 0)
+                break;
+            out.records.insert(out.records.end(), block.begin(),
+                               block.begin() + got);
+        }
+    } catch (const TraceIoError &e) {
+        out.threw = true;
+        out.error = e.what();
+    }
+    return out;
+}
+
+/** Opens @p path and drains it; an open failure counts as a throw
+ *  with zero records, exactly like the per-record reader's. */
+ReadOutcome
+readFileViaNext(const std::string &path)
+{
+    try {
+        TraceFileSource source(path);
+        return readViaNext(source);
+    } catch (const TraceIoError &e) {
+        ReadOutcome out;
+        out.threw = true;
+        out.error = e.what();
+        return out;
+    }
+}
+
+ReadOutcome
+readFileViaBlocks(const std::string &path, size_t max,
+                  size_t buffer_bytes)
+{
+    try {
+        TraceFileSource source(path, buffer_bytes);
+        return readViaBlocks(source, max);
+    } catch (const TraceIoError &e) {
+        ReadOutcome out;
+        out.threw = true;
+        out.error = e.what();
+        return out;
+    }
+}
+
+class BlockIoTest : public ::testing::Test
+{
+  protected:
+    void
+    TearDown() override
+    {
+        for (const auto &p : cleanup)
+            std::remove(p.c_str());
+    }
+
+    std::string
+    track(const std::string &p)
+    {
+        cleanup.push_back(p);
+        return p;
+    }
+
+    std::string
+    writeBytes(const std::string &name,
+               const std::vector<unsigned char> &bytes)
+    {
+        const auto path = track(tempPath(name));
+        std::FILE *f = std::fopen(path.c_str(), "wb");
+        EXPECT_NE(f, nullptr);
+        if (!bytes.empty())
+            std::fwrite(bytes.data(), 1, bytes.size(), f);
+        std::fclose(f);
+        return path;
+    }
+
+    std::vector<unsigned char>
+    slurp(const std::string &path)
+    {
+        std::FILE *f = std::fopen(path.c_str(), "rb");
+        EXPECT_NE(f, nullptr);
+        std::vector<unsigned char> bytes;
+        unsigned char buf[4096];
+        size_t got = 0;
+        while ((got = std::fread(buf, 1, sizeof(buf), f)) > 0)
+            bytes.insert(bytes.end(), buf, buf + got);
+        std::fclose(f);
+        return bytes;
+    }
+
+    std::vector<std::string> cleanup;
+};
+
+TEST_F(BlockIoTest, BlockReadMatchesPerRecordRead)
+{
+    const auto path = track(tempPath("bfbp_blk_clean.trace"));
+    const auto recs = makeRecords(5000);
+    writeTrace(path, recs);
+
+    const ReadOutcome base = readFileViaNext(path);
+    ASSERT_FALSE(base.threw);
+    ASSERT_EQ(base.records, recs);
+
+    for (size_t max : {size_t{1}, size_t{7}, size_t{64}, size_t{4096},
+                       size_t{8192}}) {
+        const ReadOutcome blk =
+            readFileViaBlocks(path, max, 256 * 1024);
+        EXPECT_TRUE(blk == base) << "block max " << max;
+    }
+}
+
+TEST_F(BlockIoTest, TinyBuffersCarryPartialRecordsAcrossRefills)
+{
+    const auto path = track(tempPath("bfbp_blk_tiny.trace"));
+    const auto recs = makeRecords(600);
+    writeTrace(path, recs);
+
+    // 22 = exactly one record per refill; 23 and 45 land every refill
+    // boundary mid-record, exercising the carry path.
+    for (size_t buffer : {size_t{22}, size_t{23}, size_t{45}}) {
+        const ReadOutcome blk = readFileViaBlocks(path, 64, buffer);
+        EXPECT_FALSE(blk.threw) << "buffer " << buffer;
+        EXPECT_EQ(blk.records, recs) << "buffer " << buffer;
+    }
+}
+
+TEST_F(BlockIoTest, FinalPartialBlockThenZeroForever)
+{
+    const auto path = track(tempPath("bfbp_blk_tail.trace"));
+    const size_t max = 64;
+    const auto recs = makeRecords(2 * max + 37);
+    writeTrace(path, recs);
+
+    TraceFileSource source(path, 45);
+    std::vector<BranchRecord> block(max);
+    EXPECT_EQ(source.nextBlock(block.data(), max), max);
+    EXPECT_EQ(source.nextBlock(block.data(), max), max);
+    EXPECT_EQ(source.nextBlock(block.data(), max), 37u);
+    EXPECT_EQ(source.nextBlock(block.data(), max), 0u);
+    EXPECT_EQ(source.nextBlock(block.data(), max), 0u);
+}
+
+TEST_F(BlockIoTest, DeferredErrorReplaysAtSamePosition)
+{
+    const auto golden = track(tempPath("bfbp_blk_defer_golden.trace"));
+    writeTrace(golden, makeRecords(300));
+    auto bytes = slurp(golden);
+
+    // Invalid branch type in record 257: deep inside the third
+    // 100-record block, past the first few 45-byte buffer refills.
+    const size_t victim = 257;
+    bytes[trace_format::headerBytes +
+          victim * trace_format::recordBytes + 20] = 9;
+    const auto path = writeBytes("bfbp_blk_defer.trace", bytes);
+
+    const ReadOutcome base = readFileViaNext(path);
+    ASSERT_TRUE(base.threw);
+    ASSERT_EQ(base.records.size(), victim);
+
+    // Block path: the decoded prefix comes back first, the exception
+    // on the *next* call — same message, same total record position.
+    TraceFileSource source(path, 45);
+    std::vector<BranchRecord> block(100);
+    EXPECT_EQ(source.nextBlock(block.data(), 100), 100u);
+    EXPECT_EQ(source.nextBlock(block.data(), 100), 100u);
+    EXPECT_EQ(source.nextBlock(block.data(), 100), 57u);
+    try {
+        source.nextBlock(block.data(), 100);
+        FAIL() << "deferred error was not rethrown";
+    } catch (const TraceIoError &e) {
+        EXPECT_EQ(std::string(e.what()), base.error);
+    }
+
+    // Whole-stream comparison for good measure, at several shapes.
+    for (size_t max : {size_t{1}, size_t{57}, size_t{100},
+                       size_t{4096}}) {
+        EXPECT_TRUE(readFileViaBlocks(path, max, 45) == base)
+            << "block max " << max;
+        EXPECT_TRUE(readFileViaBlocks(path, max, 256 * 1024) == base)
+            << "block max " << max << " (big buffer)";
+    }
+}
+
+TEST_F(BlockIoTest, ErrorOnBlocksFirstRecordThrowsImmediately)
+{
+    const auto golden = track(tempPath("bfbp_blk_first_golden.trace"));
+    writeTrace(golden, makeRecords(120));
+    auto bytes = slurp(golden);
+    // Record 100 is the first record of the second 100-block: a batch
+    // that cannot produce even one record must throw immediately.
+    bytes[trace_format::headerBytes +
+          100 * trace_format::recordBytes + 21] = 7; // taken byte
+    const auto path = writeBytes("bfbp_blk_first.trace", bytes);
+
+    TraceFileSource source(path, 64 * 1024);
+    std::vector<BranchRecord> block(100);
+    EXPECT_EQ(source.nextBlock(block.data(), 100), 100u);
+    EXPECT_THROW(source.nextBlock(block.data(), 100), TraceIoError);
+}
+
+TEST_F(BlockIoTest, ResetDropsDeferredError)
+{
+    const auto golden = track(tempPath("bfbp_blk_reset_golden.trace"));
+    writeTrace(golden, makeRecords(50));
+    auto bytes = slurp(golden);
+    bytes[trace_format::headerBytes +
+          30 * trace_format::recordBytes + 20] = 9;
+    const auto path = writeBytes("bfbp_blk_reset.trace", bytes);
+
+    TraceFileSource source(path, 45);
+    std::vector<BranchRecord> block(50);
+    EXPECT_EQ(source.nextBlock(block.data(), 50), 30u);
+    source.reset(); // Drops the pending throw along with the position.
+    EXPECT_EQ(source.nextBlock(block.data(), 50), 30u);
+    EXPECT_THROW(source.nextBlock(block.data(), 50), TraceIoError);
+}
+
+TEST_F(BlockIoTest, CorruptionCorpusBlockIdentity)
+{
+    const auto golden = track(tempPath("bfbp_blk_corpus_golden.trace"));
+    writeTrace(golden, makeRecords(8, 29));
+    const auto bytes = slurp(golden);
+    ASSERT_EQ(bytes.size(), trace_format::headerBytes +
+                                8 * trace_format::recordBytes);
+
+    std::vector<std::vector<unsigned char>> corpus;
+    // Every byte of the file rewritten four ways (covers the header,
+    // every record field, and both block-boundary-straddling spots).
+    for (size_t i = 0; i < bytes.size(); ++i) {
+        for (unsigned char mut :
+             {static_cast<unsigned char>(bytes[i] ^ 0xFF),
+              static_cast<unsigned char>(bytes[i] ^ 0x01),
+              static_cast<unsigned char>(0x00),
+              static_cast<unsigned char>(0xFF)}) {
+            auto mutant = bytes;
+            mutant[i] = mut;
+            corpus.push_back(std::move(mutant));
+        }
+    }
+    // Truncation to every length, and header count lies.
+    for (size_t len = 0; len < bytes.size(); ++len)
+        corpus.emplace_back(bytes.begin(), bytes.begin() + len);
+    for (uint64_t lie : {uint64_t{0}, uint64_t{7}, uint64_t{9},
+                         UINT64_MAX, UINT64_MAX / 22}) {
+        auto mutant = bytes;
+        std::memcpy(mutant.data() + trace_format::countOffset, &lie, 8);
+        corpus.push_back(std::move(mutant));
+    }
+
+    size_t accepted = 0, rejected = 0;
+    for (size_t c = 0; c < corpus.size(); ++c) {
+        const auto path = writeBytes("bfbp_blk_corpus.trace",
+                                     corpus[c]);
+        const ReadOutcome base = readFileViaNext(path);
+        // Identity must hold for block shapes that split the stream
+        // mid-record-run and for a buffer that splits records.
+        for (size_t max : {size_t{3}, size_t{4096}}) {
+            const ReadOutcome blk = readFileViaBlocks(path, max, 45);
+            ASSERT_TRUE(blk == base)
+                << "corpus case " << c << " block max " << max;
+        }
+        base.threw ? ++rejected : ++accepted;
+    }
+    // The sweep must have exercised both outcomes.
+    EXPECT_GT(accepted, 0u);
+    EXPECT_GT(rejected, 0u);
+}
+
+TEST_F(BlockIoTest, DefaultNextBlockFallbackMatchesNext)
+{
+    // FaultInjectingSource implements only next(); its nextBlock()
+    // is the TraceSource default and must deliver the identical
+    // faulted stream.
+    const auto recs = makeRecords(2000, 41);
+    FaultInjectionConfig cfg;
+    cfg.corruptProb = 0.01;
+    cfg.dropProb = 0.01;
+    cfg.duplicateProb = 0.02;
+    cfg.reorderProb = 0.02;
+    cfg.truncateAfter = 1500;
+
+    VectorTraceSource innerA(recs), innerB(recs);
+    FaultInjectingSource faultedA(innerA, cfg);
+    FaultInjectingSource faultedB(innerB, cfg);
+
+    const ReadOutcome viaNext = readViaNext(faultedA);
+    for (size_t max : {size_t{1}, size_t{64}, size_t{4096}}) {
+        faultedB.reset();
+        const ReadOutcome viaBlocks = readViaBlocks(faultedB, max);
+        EXPECT_TRUE(viaBlocks == viaNext) << "block max " << max;
+    }
+    EXPECT_EQ(faultedB.stats().delivered,
+              faultedA.stats().delivered);
+    EXPECT_TRUE(faultedA.stats().truncated);
+}
+
+/** Delivers @p limit records, then throws a non-BfbpError — the
+ *  checkpoint file is the only survivor, as after a SIGKILL. */
+class InterruptingSource : public TraceSource
+{
+  public:
+    InterruptingSource(std::unique_ptr<TraceSource> inner_source,
+                       uint64_t limit)
+        : inner(std::move(inner_source)), remaining(limit)
+    {
+    }
+
+    bool
+    next(BranchRecord &out) override
+    {
+        if (remaining == 0)
+            throw std::runtime_error("simulated kill");
+        --remaining;
+        return inner->next(out);
+    }
+
+    std::string name() const override { return inner->name(); }
+
+  protected:
+    void resetImpl() override { inner->reset(); }
+
+  private:
+    std::unique_ptr<TraceSource> inner;
+    uint64_t remaining;
+};
+
+TEST_F(BlockIoTest, CheckpointFastForwardCrossesBlockBoundaries)
+{
+    const auto tracePath = track(tempPath("bfbp_blk_ckpt.trace"));
+    const auto ckptPath = track(tempPath("bfbp_blk_ckpt.state"));
+    writeTrace(tracePath, makeRecords(6000, 53));
+
+    EvalOptions options;
+    options.collectPerBranch = true;
+    options.checkpointPath = ckptPath;
+    // 700 is coprime with the evaluator block and deliberately not a
+    // divisor of anything: the resume fast-forward lands mid-block
+    // and mid-read-buffer.
+    options.checkpointInterval = 700;
+
+    // Baseline: never interrupted.
+    auto basePredictor = createPredictor("gshare");
+    TraceFileSource baseSource(tracePath);
+    const EvalResult base =
+        evaluate(baseSource, *basePredictor, options);
+    std::remove(ckptPath.c_str());
+
+    // Interrupted run, killed mid-trace past several checkpoints.
+    {
+        auto predictor = createPredictor("gshare");
+        auto inner =
+            std::make_unique<TraceFileSource>(tracePath);
+        InterruptingSource source(std::move(inner), 2500);
+        EXPECT_THROW(evaluate(source, *predictor, options),
+                     std::runtime_error);
+    }
+
+    // Resume with a fresh file source using a 45-byte buffer, so the
+    // bulk fast-forward crosses hundreds of refills and lands on a
+    // record that is neither block- nor buffer-aligned.
+    auto resumePredictor = createPredictor("gshare");
+    TraceFileSource resumeSource(tracePath, 45);
+    EvalOptions resumeOptions = options;
+    resumeOptions.resume = true;
+    const EvalResult resumed =
+        evaluate(resumeSource, *resumePredictor, resumeOptions);
+
+    EXPECT_EQ(resumed.instructions, base.instructions);
+    EXPECT_EQ(resumed.condBranches, base.condBranches);
+    EXPECT_EQ(resumed.otherBranches, base.otherBranches);
+    EXPECT_EQ(resumed.mispredictions, base.mispredictions);
+    ASSERT_EQ(resumed.perBranch.size(), base.perBranch.size());
+    for (size_t i = 0; i < base.perBranch.size(); ++i) {
+        EXPECT_EQ(resumed.perBranch[i].pc, base.perBranch[i].pc);
+        EXPECT_EQ(resumed.perBranch[i].mispredictions,
+                  base.perBranch[i].mispredictions);
+    }
+}
+
+TEST_F(BlockIoTest, TinyPackBufferWriterMatchesBulkWrite)
+{
+    const auto recs = makeRecords(333, 61);
+    const auto bulkPath = track(tempPath("bfbp_blk_wbulk.trace"));
+    writeTrace(bulkPath, recs);
+
+    // 23 bytes: every flush boundary lands mid-record.
+    const auto tinyPath = track(tempPath("bfbp_blk_wtiny.trace"));
+    track(tinyPath + ".tmp");
+    TraceFileWriter writer(tinyPath, 23);
+    for (const auto &r : recs)
+        writer.append(r);
+    writer.close();
+    EXPECT_EQ(writer.written(), recs.size());
+
+    EXPECT_EQ(slurp(tinyPath), slurp(bulkPath));
+}
+
+TEST_F(BlockIoTest, AbandonedBufferedWriterPublishesNothing)
+{
+    const auto path = track(tempPath("bfbp_blk_wcrash.trace"));
+    track(path + ".tmp");
+    {
+        TraceFileWriter writer(path, 23);
+        for (const auto &r : makeRecords(40))
+            writer.append(r);
+        // Destroyed without close(): a crashed run.
+    }
+    EXPECT_FALSE(std::filesystem::exists(path));
+    EXPECT_FALSE(std::filesystem::exists(path + ".tmp"));
+}
+
+TEST_F(BlockIoTest, WarmupSnapshotRestoreIsIdenticalToRewarming)
+{
+    namespace fs = std::filesystem;
+    const auto tracePath = track(tempPath("bfbp_blk_warm.trace"));
+    writeTrace(tracePath, makeRecords(5000, 71));
+    const auto dir = fs::temp_directory_path() / "bfbp_blk_warmcache";
+    fs::remove_all(dir);
+    fs::create_directories(dir);
+
+    // scale 0.02 -> warmupLength() floors at 1000 of 5000 records.
+    bench::WarmupCache cache(dir.string(), "block-io-test", 0.02);
+    ASSERT_EQ(cache.warmupLength(), 1000u);
+    const auto hook =
+        cache.hook("WARM", "gshare-config-a", EvalOptions{});
+
+    auto runOnce = [&](bool expect_cached) {
+        const bool hadSnapshot =
+            !fs::is_empty(dir);
+        EXPECT_EQ(hadSnapshot, expect_cached);
+        auto predictor = createPredictor("gshare");
+        TraceFileSource source(tracePath);
+        hook(source, *predictor);
+        return evaluate(source, *predictor, EvalOptions{});
+    };
+
+    const EvalResult warmed = runOnce(false);   // trains + saves
+    const EvalResult restored = runOnce(true);  // restores + skips
+    EXPECT_EQ(restored.condBranches, warmed.condBranches);
+    EXPECT_EQ(restored.otherBranches, warmed.otherBranches);
+    EXPECT_EQ(restored.mispredictions, warmed.mispredictions);
+
+    // A different label must not restore into this predictor: the
+    // cache keys on the label, so it warms (and saves) separately.
+    const auto otherHook =
+        cache.hook("WARM", "gshare-config-b", EvalOptions{});
+    {
+        auto predictor = createPredictor("gshare");
+        TraceFileSource source(tracePath);
+        otherHook(source, *predictor);
+    }
+    size_t snapshots = 0;
+    for (const auto &entry : fs::directory_iterator(dir)) {
+        (void)entry;
+        ++snapshots;
+    }
+    EXPECT_EQ(snapshots, 2u);
+
+    fs::remove_all(dir);
+}
+
+} // anonymous namespace
+} // namespace bfbp

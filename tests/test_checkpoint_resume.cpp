@@ -55,8 +55,10 @@ class InterruptingSource : public TraceSource
         return inner->next(out);
     }
 
-    void reset() override { inner->reset(); }
     std::string name() const override { return inner->name(); }
+
+  protected:
+    void resetImpl() override { inner->reset(); }
 
   private:
     std::unique_ptr<TraceSource> inner;

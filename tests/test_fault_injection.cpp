@@ -198,8 +198,9 @@ class ThrowingSource : public TraceSource
         return inner.next(out);
     }
 
+  protected:
     void
-    reset() override
+    resetImpl() override
     {
         inner.reset();
         pos = 0;

@@ -41,8 +41,10 @@ class PoisonedSource : public TraceSource
     }
 
     bool next(BranchRecord &out) override { return faulty.next(out); }
-    void reset() override { faulty.reset(); }
     std::string name() const override { return faulty.name(); }
+
+  protected:
+    void resetImpl() override { faulty.reset(); }
 
   private:
     std::unique_ptr<TraceSource> inner;

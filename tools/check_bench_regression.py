@@ -1,0 +1,100 @@
+#!/usr/bin/env python3
+"""Throughput-regression check against the checked-in baseline.
+
+Runs the Google Benchmark throughput harness (``bench_throughput``),
+extracts the BM_Evaluate records/sec figure, and compares it against
+``BENCH_throughput.json`` at the repository root.
+
+The check is *report-only* by default: shared CI runners and the
+development VM both show large clock wander, so a single reading below
+the floor is usually noise. It exits non-zero only with ``--strict``
+(or ``BFBP_BENCH_CHECK=1`` in the environment), which run_benches.sh
+forwards for local, quiet-machine runs.
+
+Refreshing the baseline after an intentional perf change: take several
+interleaved old/new pairs (see docs/PERFORMANCE.md for the protocol),
+then update the medians, samples and floor in BENCH_throughput.json by
+hand -- the floor should sit 40-50% below the post median so routine
+wander stays green.
+
+Usage:
+    tools/check_bench_regression.py [--bench PATH] [--baseline PATH]
+                                    [--min-time SECS] [--strict]
+"""
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+
+def run_benchmark(bench_path, min_time):
+    """Returns BM_Evaluate items_per_second from one benchmark run."""
+    cmd = [
+        bench_path,
+        "--benchmark_filter=BM_Evaluate$",
+        # Plain numeric: the packaged google-benchmark predates the
+        # "0.1s" suffix syntax.
+        "--benchmark_min_time=%g" % min_time,
+        "--benchmark_format=json",
+    ]
+    out = subprocess.run(cmd, check=True, capture_output=True, text=True)
+    doc = json.loads(out.stdout)
+    for bench in doc.get("benchmarks", []):
+        if bench.get("name") == "BM_Evaluate":
+            return float(bench["items_per_second"])
+    raise SystemExit("BM_Evaluate not found in benchmark output")
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--bench",
+        default=os.path.join(REPO_ROOT, "build", "bench",
+                             "bench_throughput"),
+        help="bench_throughput binary (default: build/bench/)")
+    parser.add_argument(
+        "--baseline",
+        default=os.path.join(REPO_ROOT, "BENCH_throughput.json"),
+        help="baseline file (default: BENCH_throughput.json)")
+    parser.add_argument(
+        "--min-time", type=float, default=1.0,
+        help="benchmark min time in seconds (default: 1.0)")
+    parser.add_argument(
+        "--strict", action="store_true",
+        help="exit 1 on regression (also: BFBP_BENCH_CHECK=1)")
+    args = parser.parse_args()
+
+    strict = args.strict or os.environ.get("BFBP_BENCH_CHECK") == "1"
+
+    with open(args.baseline) as f:
+        baseline = json.load(f)
+    floor = float(baseline["regression_check"]["floor_records_per_sec"])
+    post = float(baseline["post_block_pipeline"]["median_records_per_sec"])
+
+    measured = run_benchmark(args.bench, args.min_time)
+
+    print("BM_Evaluate: %.2f M records/s "
+          "(baseline post median %.2f M/s, regression floor %.2f M/s)"
+          % (measured / 1e6, post / 1e6, floor / 1e6))
+
+    if measured >= floor:
+        print("throughput check OK")
+        return 0
+
+    msg = ("throughput below regression floor: %.2f < %.2f M records/s"
+           % (measured / 1e6, floor / 1e6))
+    if strict:
+        print("FAIL: " + msg, file=sys.stderr)
+        return 1
+    print("WARNING: %s (report-only; machine noise is the usual cause "
+          "-- rerun interleaved with a known-good build before "
+          "believing it)" % msg)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
