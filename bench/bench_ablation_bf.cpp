@@ -175,7 +175,6 @@ main(int argc, char **argv)
                        delay));
         }
     }
-    archive.write();
-    return archive.exitCode();
+    return archive.finish();
     });
 }

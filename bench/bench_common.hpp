@@ -48,6 +48,7 @@
 #include <fstream>
 #include <iomanip>
 #include <iostream>
+#include <optional>
 #include <sstream>
 #include <string>
 #include <utility>
@@ -57,8 +58,10 @@
 #include "sim/predictor.hpp"
 #include "sim/snapshot.hpp"
 #include "sim/suite_runner.hpp"
+#include "telemetry/h2p.hpp"
 #include "telemetry/sinks.hpp"
 #include "telemetry/telemetry.hpp"
+#include "telemetry/tracing.hpp"
 #include "tracegen/workloads.hpp"
 #include "util/errors.hpp"
 
@@ -102,11 +105,18 @@ struct Options
     std::string checkpointDir; //!< --checkpoint-dir; empty = off.
     bool resume = false;       //!< --resume a checkpointed suite run.
     std::string warmupDir;     //!< --warmup-snapshot; empty = off.
+    std::string traceOut;      //!< --trace-out span trace; empty = off.
+    bool h2pReport = false;    //!< --h2p-report per-branch H2P report.
+    uint64_t h2pTop = 64;      //!< --h2p-top table size.
+    std::string heartbeatPath; //!< --heartbeat file; empty = off.
+    double heartbeatInterval = 1.0; //!< --heartbeat-interval seconds.
 
     static Options
     parse(int argc, char **argv, const std::string &description)
     {
         Options opts;
+        bool h2pTopSet = false;
+        bool heartbeatIntervalSet = false;
         for (int i = 1; i < argc; ++i) {
             const std::string arg = argv[i];
             if (arg == "--scale" && i + 1 < argc) {
@@ -151,6 +161,19 @@ struct Options
                 opts.resume = true;
             } else if (arg == "--warmup-snapshot" && i + 1 < argc) {
                 opts.warmupDir = argv[++i];
+            } else if (arg == "--trace-out" && i + 1 < argc) {
+                opts.traceOut = argv[++i];
+            } else if (arg == "--h2p-report") {
+                opts.h2pReport = true;
+            } else if (arg == "--h2p-top" && i + 1 < argc) {
+                opts.h2pTop = parseH2pTop(argv[++i]);
+                h2pTopSet = true;
+            } else if (arg == "--heartbeat" && i + 1 < argc) {
+                opts.heartbeatPath = argv[++i];
+            } else if (arg == "--heartbeat-interval" && i + 1 < argc) {
+                opts.heartbeatInterval =
+                    parseSeconds(argv[++i], "--heartbeat-interval");
+                heartbeatIntervalSet = true;
             } else if (arg == "--help" || arg == "-h") {
                 std::cout << description << "\n\n"
                           << "options:\n"
@@ -176,7 +199,23 @@ struct Options
                           << "warmed state under D, and restore it on "
                           << "later runs instead of re-warming "
                           << "(docs/PERFORMANCE.md; changes the "
-                          << "measured region to post-warmup)\n";
+                          << "measured region to post-warmup)\n"
+                          << "  --trace-out FILE  export a span trace "
+                          << "of the run as Chrome Trace Event JSON "
+                          << "(load in https://ui.perfetto.dev)\n"
+                          << "  --h2p-report  rank hard-to-predict "
+                          << "static branches per run and embed the "
+                          << "report in the JSON document (requires "
+                          << "--json)\n"
+                          << "  --h2p-top N   H2P table size "
+                          << "(default 64; requires --h2p-report)\n"
+                          << "  --heartbeat FILE  rewrite FILE "
+                          << "atomically with live per-job progress "
+                          << "while the suite runs (JSONL, schema "
+                          << "bfbp-heartbeat-v1)\n"
+                          << "  --heartbeat-interval S  seconds "
+                          << "between heartbeats (default 1.0; "
+                          << "requires --heartbeat)\n";
                 std::exit(0);
             } else {
                 std::cerr << "unknown option: " << arg << "\n";
@@ -197,6 +236,21 @@ struct Options
             std::cerr << "--resume requires --checkpoint-dir: "
                       << "checkpoints live in the checkpoint "
                       << "directory\n";
+            std::exit(2);
+        }
+        // Like --interval: the H2P report only lives inside the JSON
+        // document (and the derived CSV).
+        if (opts.h2pReport && opts.jsonPath.empty()) {
+            std::cerr << "--h2p-report requires --json: the report is "
+                      << "only emitted into the JSON document\n";
+            std::exit(2);
+        }
+        if (h2pTopSet && !opts.h2pReport) {
+            std::cerr << "--h2p-top requires --h2p-report\n";
+            std::exit(2);
+        }
+        if (heartbeatIntervalSet && opts.heartbeatPath.empty()) {
+            std::cerr << "--heartbeat-interval requires --heartbeat\n";
             std::exit(2);
         }
         return opts;
@@ -261,6 +315,36 @@ struct Options
             text[0] == '-') {
             std::cerr << "invalid --interval '" << text
                       << "': expected a non-negative integer\n";
+            std::exit(2);
+        }
+        return value;
+    }
+
+    static uint64_t
+    parseH2pTop(const char *text)
+    {
+        char *end = nullptr;
+        errno = 0;
+        const unsigned long long value = std::strtoull(text, &end, 10);
+        if (end == text || *end != '\0' || errno == ERANGE ||
+            text[0] == '-' || value == 0) {
+            std::cerr << "invalid --h2p-top '" << text
+                      << "': expected a positive integer\n";
+            std::exit(2);
+        }
+        return value;
+    }
+
+    static double
+    parseSeconds(const char *text, const char *flag)
+    {
+        char *end = nullptr;
+        errno = 0;
+        const double value = std::strtod(text, &end);
+        if (end == text || *end != '\0' || errno == ERANGE ||
+            !(value > 0.0)) {
+            std::cerr << "invalid " << flag << " '" << text
+                      << "': expected a positive number of seconds\n";
             std::exit(2);
         }
         return value;
@@ -361,8 +445,10 @@ class WarmupCache
             std::ifstream probe(path, std::ios::binary);
             if (probe.good()) {
                 probe.close();
+                telemetry::ScopedSpan span("bench", "warmup.restore");
                 restoreWarmup(path, key, source, predictor);
             } else {
+                telemetry::ScopedSpan span("bench", "warmup.run");
                 runWarmup(path, key, warm_options, source, predictor);
             }
         };
@@ -502,6 +588,11 @@ class RunArchive
     RunArchive(std::string suite_name, const Options &options)
         : suite(std::move(suite_name)), opts(options)
     {
+        if (!opts.traceOut.empty()) {
+            auto &session = telemetry::TraceSession::instance();
+            session.start(suite);
+            session.setCurrentThreadName("main");
+        }
     }
 
     /** Archive and JSON output active? */
@@ -535,6 +626,7 @@ class RunArchive
             ? predictor.name() : predictor_label;
         eval_options.telemetryInterval = opts.interval;
         eval_options.telemetry = &record.data;
+        eval_options.collectPerBranch |= opts.h2pReport;
         run.result = evaluate(source, predictor, eval_options);
 
         const EvalResult &res = run.result;
@@ -560,6 +652,7 @@ class RunArchive
         }
         run.seconds = record.wallSeconds;
         run.storageBits = record.storageBits;
+        attachH2p(record, run.result);
         runs.push_back(std::move(record));
         return run;
     }
@@ -579,9 +672,12 @@ class RunArchive
     std::vector<BenchRun>
     runSuite(std::vector<SuiteJob> jobs)
     {
+        std::optional<telemetry::ScopedSpan> setupSpan;
+        setupSpan.emplace("bench", "suite.setup");
         for (auto &job : jobs) {
             job.collectTelemetry = enabled();
             job.options.telemetryInterval = opts.interval;
+            job.options.collectPerBranch |= opts.h2pReport;
         }
         if (!opts.warmupDir.empty()) {
             std::error_code ec;
@@ -611,7 +707,16 @@ class RunArchive
             ckpt.interval = midTraceCheckpointInterval;
             ckpt.resume = opts.resume;
         }
-        std::vector<SuiteOutcome> outcomes = runner.run(jobs, ckpt);
+        SuiteHeartbeatOptions heartbeat;
+        heartbeat.path = opts.heartbeatPath;
+        heartbeat.intervalSeconds = opts.heartbeatInterval;
+        setupSpan.reset();
+
+        std::vector<SuiteOutcome> outcomes;
+        {
+            telemetry::ScopedSpan runSpan("bench", "suite " + suite);
+            outcomes = runner.run(jobs, ckpt, heartbeat);
+        }
 
         std::vector<BenchRun> out;
         out.reserve(outcomes.size());
@@ -627,6 +732,38 @@ class RunArchive
 
     /** 2 when any runSuite job failed, else 0. */
     int exitCode() const { return failedJobs == 0 ? 0 : 2; }
+
+    /**
+     * End-of-main sequence, in one call: writes the JSON document,
+     * exports and disarms the span trace (--trace-out), prints the
+     * H2P CSV to stdout when --h2p-report rides with --csv, repeats
+     * every job failure on stderr (per-job diagnostics scroll away in
+     * long runs; this summary is the last thing printed), and returns
+     * the process exit code. Benches end with
+     * `return archive.finish();`.
+     */
+    int
+    finish() const
+    {
+        write();
+        if (!opts.traceOut.empty()) {
+            auto &session = telemetry::TraceSession::instance();
+            session.stop();
+            session.writeFile(opts.traceOut);
+            std::cerr << "wrote " << session.eventCount()
+                      << " trace events to " << opts.traceOut << "\n";
+        }
+        if (opts.h2pReport && opts.csv)
+            telemetry::writeH2pCsv(std::cout, runs);
+        if (!failures.empty()) {
+            std::cerr << failures.size() << " suite job"
+                      << (failures.size() == 1 ? "" : "s")
+                      << " failed:\n";
+            for (const std::string &f : failures)
+                std::cerr << "  " << f << "\n";
+        }
+        return exitCode();
+    }
 
     /**
      * Writes the document to the --json path (no-op when inactive).
@@ -673,11 +810,13 @@ class RunArchive
         run.error = outcome.error;
         if (outcome.failed) {
             ++failedJobs;
-            std::cerr << "suite job failed: " << job.traceName << "/"
-                      << (outcome.predictorName.empty()
-                              ? "<unconstructed predictor>"
-                              : outcome.predictorName)
-                      << ": " << outcome.error << "\n";
+            const std::string who = job.traceName + "/" +
+                (outcome.predictorName.empty()
+                     ? "<unconstructed predictor>"
+                     : outcome.predictorName);
+            failures.push_back(who + ": " + outcome.error);
+            std::cerr << "suite job failed: " << who << ": "
+                      << outcome.error << "\n";
         }
         if (!enabled())
             return run;
@@ -710,8 +849,31 @@ class RunArchive
         }
         if (outcome.failed)
             record.data.note("error", outcome.error);
+        attachH2p(record, run.result);
         runs.push_back(std::move(record));
         return run;
+    }
+
+    /** Builds the per-run H2P report from the evaluator's per-branch
+     *  profiles when --h2p-report is active. */
+    void
+    attachH2p(telemetry::RunRecord &record, const EvalResult &res) const
+    {
+        if (!opts.h2pReport)
+            return;
+        std::vector<telemetry::H2pInput> rows;
+        rows.reserve(res.perBranch.size());
+        for (const BranchProfile &prof : res.perBranch) {
+            telemetry::H2pInput row;
+            row.pc = prof.pc;
+            row.executions = prof.executions;
+            row.taken = prof.taken;
+            row.transitions = prof.transitions;
+            row.mispredictions = prof.mispredictions;
+            rows.push_back(row);
+        }
+        record.h2p = telemetry::buildH2pReport(
+            std::move(rows), res.instructions, opts.h2pTop);
     }
 
     static std::string
@@ -726,6 +888,7 @@ class RunArchive
     const Options &opts;
     std::vector<telemetry::RunRecord> runs;
     uint64_t failedJobs = 0;
+    std::vector<std::string> failures;
 };
 
 /** Prints a right-aligned numeric cell. */

@@ -62,7 +62,6 @@ main(int argc, char **argv)
                   << bench::cell(sum / static_cast<double>(count), 1)
                   << "\n";
     }
-    archive.write();
-    return 0;
+    return archive.finish();
     });
 }

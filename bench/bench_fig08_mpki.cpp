@@ -89,7 +89,6 @@ main(int argc, char **argv)
         std::cout << "\n\npaper (full-size CBP-4 traces): "
                   << "OH-SNAP 2.63, TAGE 2.445, BF-Neural 2.49\n";
     }
-    archive.write();
-    return archive.exitCode();
+    return archive.finish();
     });
 }

@@ -113,7 +113,6 @@ main(int argc, char **argv)
         std::cout << "\n\npaper (full-size CBP-4 traces): "
                   << "3.28 -> 2.67 -> 2.59 -> 2.49\n";
     }
-    archive.write();
-    return archive.exitCode();
+    return archive.finish();
     });
 }

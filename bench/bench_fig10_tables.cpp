@@ -87,7 +87,6 @@ main(int argc, char **argv)
     }
     std::cout << "\npaper shape: BF ahead for 4..9 tables "
               << "(7 tables: 2.57 vs 2.73), converging at 10\n";
-    archive.write();
-    return archive.exitCode();
+    return archive.finish();
     });
 }

@@ -77,7 +77,6 @@ main(int argc, char **argv)
     std::cout << "\npaper shape: BF-TAGE-10 tracks TAGE-15 on "
               << "long-history traces; negative bars on SPEC07/FP2/"
               << "MM5/SERV traces\n";
-    archive.write();
-    return archive.exitCode();
+    return archive.finish();
     });
 }

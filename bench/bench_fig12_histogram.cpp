@@ -100,7 +100,6 @@ main(int argc, char **argv)
               << "shorter-history tables\n"
               << "(provider counters cross-checked against the "
               << "emitTelemetry export)\n";
-    archive.write();
-    return 0;
+    return archive.finish();
     });
 }

@@ -61,7 +61,6 @@ main(int argc, char **argv)
                   << bench::cell(static_cast<double>(bytes) / 1024.0, 1)
                   << "\n";
     }
-    archive.write();
-    return 0;
+    return archive.finish();
     });
 }

@@ -3,9 +3,11 @@
 #include <algorithm>
 #include <cstdio>
 #include <filesystem>
+#include <optional>
 #include <sstream>
 
 #include "sim/snapshot.hpp"
+#include "telemetry/tracing.hpp"
 #include "util/flat_map.hpp"
 #include "util/ring_fifo.hpp"
 
@@ -82,7 +84,9 @@ writeEvalCheckpoint(
         sink.u64(prof->pc);
         sink.u64(prof->executions);
         sink.u64(prof->taken);
+        sink.u64(prof->transitions);
         sink.u64(prof->mispredictions);
+        sink.boolean(prof->lastTaken);
     }
 
     sink.boolean(tel != nullptr);
@@ -159,7 +163,9 @@ loadEvalCheckpoint(const std::string &path, EvalCheckpoint &ck,
         prof.pc = source.u64();
         prof.executions = source.u64();
         prof.taken = source.u64();
+        prof.transitions = source.u64();
         prof.mispredictions = source.u64();
+        prof.lastTaken = source.boolean();
         ck.profiles[prof.pc] = prof;
     }
 
@@ -209,6 +215,23 @@ evaluate(TraceSource &source, BranchPredictor &predictor,
     uint64_t windowStartMispredicts = 0;
     telemetry::ScopedTimer timer(tel, "eval");
 
+    // Span tracing is resolved once per run, like telemetry. When
+    // disarmed the hot loop pays nothing; when armed the evaluator
+    // emits one span/counter pair per *block boundary* (≤4096
+    // records), never per record — tracing observes, it never
+    // perturbs, and predictor outputs stay byte-identical.
+    telemetry::TraceSession &trace = telemetry::TraceSession::instance();
+    const bool tracing = telemetry::TraceSession::enabled();
+    std::optional<telemetry::ScopedSpan> runSpan;
+    std::string branchTrack;
+    std::string mispredictTrack;
+    if (tracing) {
+        runSpan.emplace("eval", "evaluate " + result.traceName + "/" +
+                                    result.predictorName);
+        branchTrack = "branches " + result.traceName;
+        mispredictTrack = "mispredicts " + result.traceName;
+    }
+
     const bool checkpointing = !options.checkpointPath.empty() &&
                                options.checkpointInterval != 0;
     uint64_t recordsConsumed = 0;
@@ -219,6 +242,7 @@ evaluate(TraceSource &source, BranchPredictor &predictor,
 
     if (checkpointing && options.resume &&
         std::filesystem::exists(options.checkpointPath)) {
+        telemetry::ScopedSpan resumeSpan("eval", "eval.resume");
         EvalCheckpoint ck;
         loadEvalCheckpoint(options.checkpointPath, ck, tel, predictor);
         result.instructions = ck.instructions;
@@ -284,6 +308,7 @@ evaluate(TraceSource &source, BranchPredictor &predictor,
             // Throw (the default) this block is transparent:
             // exceptions propagate exactly as before the robustness
             // layer existed.
+            const uint64_t pullStart = tracing ? trace.nowNs() : 0;
             try {
                 blockLen = source.nextBlock(block.data(), want);
             } catch (const BfbpError &) {
@@ -293,6 +318,10 @@ evaluate(TraceSource &source, BranchPredictor &predictor,
                 // both remaining policies end the trace here.
                 ++result.streamErrors;
                 break;
+            }
+            if (tracing) {
+                trace.complete("eval", "eval.pull", pullStart,
+                               trace.nowNs());
             }
             blockPos = 0;
             if (blockLen == 0)
@@ -320,6 +349,7 @@ evaluate(TraceSource &source, BranchPredictor &predictor,
                                   : uint64_t{1});
         }
 
+        const uint64_t chunkStart = tracing ? trace.nowNs() : 0;
         while (blockPos < blockLen && budget != 0) {
             const BranchRecord &record = block[blockPos];
             ++blockPos;
@@ -365,6 +395,11 @@ evaluate(TraceSource &source, BranchPredictor &predictor,
             if (options.collectPerBranch) {
                 auto &prof = profiles[record.pc];
                 prof.pc = record.pc;
+                if (prof.executions > 0 &&
+                    record.taken != prof.lastTaken) {
+                    ++prof.transitions;
+                }
+                prof.lastTaken = record.taken;
                 ++prof.executions;
                 if (record.taken)
                     ++prof.taken;
@@ -388,6 +423,25 @@ evaluate(TraceSource &source, BranchPredictor &predictor,
 
             --budget;
         }
+
+        // Block boundary: the predict/update work since the last
+        // boundary becomes one span, and the running totals become
+        // one sample on each counter track. Same cadence for the
+        // live-progress counter — one relaxed store, never per
+        // record.
+        if (tracing) {
+            trace.complete("eval", "eval.block", chunkStart,
+                           trace.nowNs());
+            trace.counter(branchTrack,
+                          static_cast<double>(result.condBranches));
+            trace.counter(mispredictTrack,
+                          static_cast<double>(result.mispredictions));
+        }
+        if (options.progress != nullptr) {
+            options.progress->store(result.condBranches,
+                                    std::memory_order_relaxed);
+        }
+
         if (stop)
             break;
         if (budget != 0)
@@ -410,6 +464,7 @@ evaluate(TraceSource &source, BranchPredictor &predictor,
 
         if (checkpointing &&
             result.condBranches % options.checkpointInterval == 0) {
+            telemetry::ScopedSpan ckptSpan("eval", "eval.checkpoint");
             writeEvalCheckpoint(options.checkpointPath, recordsConsumed,
                                 result, windowStartInstructions,
                                 windowStartMispredicts, pending,
@@ -432,9 +487,19 @@ evaluate(TraceSource &source, BranchPredictor &predictor,
 
     // Drain delayed updates (arrival order) so predictor state is
     // complete at exit; see the EvalOptions::updateDelay contract.
-    for (size_t i = 0; i < pending.size(); ++i) {
-        const PendingUpdate &u = pending.at(i);
-        predictor.update(u.pc, u.taken, u.predicted, u.target);
+    if (!pending.empty()) {
+        telemetry::ScopedSpan drainSpan("eval", "eval.drain");
+        for (size_t i = 0; i < pending.size(); ++i) {
+            const PendingUpdate &u = pending.at(i);
+            predictor.update(u.pc, u.taken, u.predicted, u.target);
+        }
+    }
+
+    // Publish the final branch count so a heartbeat reader sees the
+    // run's true total even when it ended mid-block.
+    if (options.progress != nullptr) {
+        options.progress->store(result.condBranches,
+                                std::memory_order_relaxed);
     }
 
     if (tel) {

@@ -13,6 +13,7 @@
 #ifndef BFBP_SIM_EVALUATOR_HPP
 #define BFBP_SIM_EVALUATOR_HPP
 
+#include <atomic>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -123,6 +124,16 @@ struct EvalOptions
      * start; a corrupt one throws TraceIoError.
      */
     bool resume = false;
+
+    /**
+     * Optional live-progress counter. When set, evaluate() stores
+     * the running conditional-branch count into it with relaxed
+     * ordering once per record block (~4096 records), never per
+     * record — cheap enough to leave on always. Another thread (the
+     * suite heartbeat) may read it concurrently; the final value is
+     * published before evaluate() returns.
+     */
+    std::atomic<uint64_t> *progress = nullptr;
 };
 
 /** Per-static-branch accuracy row (collectPerBranch). */
@@ -131,7 +142,17 @@ struct BranchProfile
     uint64_t pc = 0;
     uint64_t executions = 0;
     uint64_t taken = 0;
+
+    /** Taken/not-taken direction changes between consecutive
+     *  executions of this branch (first execution never counts). */
+    uint64_t transitions = 0;
     uint64_t mispredictions = 0;
+
+    /** Direction of the most recent execution, carried so
+     *  transitions can be counted incrementally (and across a
+     *  checkpoint/resume boundary). Meaningless until
+     *  executions > 0. */
+    bool lastTaken = false;
 };
 
 /** Outcome of one evaluation run. */

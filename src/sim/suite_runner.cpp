@@ -1,12 +1,16 @@
 #include "sim/suite_runner.hpp"
 
+#include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <filesystem>
 #include <sstream>
 #include <thread>
 
 #include "sim/snapshot.hpp"
+#include "telemetry/json_writer.hpp"
+#include "telemetry/tracing.hpp"
 #include "util/errors.hpp"
 #include "util/state_codec.hpp"
 
@@ -50,7 +54,9 @@ writeOutcomeFile(const std::string &path, const SuiteOutcome &out)
         sink.u64(prof.pc);
         sink.u64(prof.executions);
         sink.u64(prof.taken);
+        sink.u64(prof.transitions);
         sink.u64(prof.mispredictions);
+        sink.boolean(prof.lastTaken);
     }
     sink.f64(out.seconds);
     sink.str(out.predictorName);
@@ -91,7 +97,9 @@ loadOutcomeFile(const std::string &path, SuiteOutcome &out)
         prof.pc = source.u64();
         prof.executions = source.u64();
         prof.taken = source.u64();
+        prof.transitions = source.u64();
         prof.mispredictions = source.u64();
+        prof.lastTaken = source.boolean();
         out.result.perBranch.push_back(prof);
     }
     out.seconds = source.f64();
@@ -104,23 +112,191 @@ loadOutcomeFile(const std::string &path, SuiteOutcome &out)
 }
 
 /**
+ * Live view of one job, shared between the worker running it and the
+ * heartbeat thread. Workers publish with release stores and the
+ * heartbeat reads with acquire loads, so a reader that observes
+ * Running also observes the start stamp, and one that observes
+ * Done/Failed observes the final branch count and end stamp. The
+ * branch counter itself is additionally fed *during* the run by the
+ * evaluator's relaxed per-block progress store.
+ */
+struct JobProgress
+{
+    enum State : uint32_t
+    {
+        Queued = 0,
+        Running = 1,
+        Done = 2,
+        Failed = 3,
+    };
+
+    std::atomic<uint32_t> state{Queued};
+    std::atomic<uint64_t> branches{0};
+    std::atomic<uint64_t> startNs{0};
+    std::atomic<uint64_t> endNs{0};
+};
+
+uint64_t
+nsSince(std::chrono::steady_clock::time_point epoch)
+{
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - epoch)
+            .count());
+}
+
+const char *
+stateName(uint32_t s)
+{
+    switch (s) {
+    case JobProgress::Running: return "running";
+    case JobProgress::Done: return "done";
+    case JobProgress::Failed: return "failed";
+    default: return "queued";
+    }
+}
+
+/**
+ * One heartbeat: the whole file is rebuilt in memory and swapped in
+ * atomically, so readers always see a complete, consistent document.
+ * Job identity comes from the immutable submission vector
+ * (predictorLabel may be empty when only the factory knows the
+ * name); everything live comes from the JobProgress atomics.
+ */
+void
+writeHeartbeat(const std::string &path,
+               const std::vector<SuiteJob> &jobs,
+               const std::vector<JobProgress> &progress,
+               std::chrono::steady_clock::time_point epoch,
+               unsigned workers)
+{
+    const uint64_t nowNs = nsSince(epoch);
+    const double elapsed = static_cast<double>(nowNs) * 1e-9;
+
+    uint64_t counts[4] = {0, 0, 0, 0};
+    uint64_t totalBranches = 0;
+    double doneSeconds = 0.0;
+    std::ostringstream lines;
+    {
+        telemetry::JsonWriter w(lines, 0);
+        for (size_t i = 0; i < jobs.size(); ++i) {
+            const uint32_t s =
+                progress[i].state.load(std::memory_order_acquire);
+            const uint64_t branches =
+                progress[i].branches.load(std::memory_order_relaxed);
+            const uint64_t start =
+                progress[i].startNs.load(std::memory_order_relaxed);
+            const uint64_t end = s >= JobProgress::Done
+                ? progress[i].endNs.load(std::memory_order_relaxed)
+                : nowNs;
+            const double jobSeconds = s == JobProgress::Queued
+                ? 0.0
+                : static_cast<double>(end - start) * 1e-9;
+            ++counts[s & 3];
+            totalBranches += branches;
+            if (s == JobProgress::Done)
+                doneSeconds += jobSeconds;
+
+            w.beginObject();
+            w.member("job", static_cast<uint64_t>(i));
+            w.member("trace", jobs[i].traceName);
+            w.member("predictor", jobs[i].predictorLabel);
+            w.member("state", stateName(s));
+            w.member("cond_branches", branches);
+            w.member("elapsed_seconds", jobSeconds);
+            w.member("branches_per_second",
+                     jobSeconds > 0.0
+                         ? static_cast<double>(branches) / jobSeconds
+                         : 0.0);
+            w.endObject();
+            lines << '\n';
+        }
+    }
+
+    // Suite-level ETA: mean completed-job wall time, applied to the
+    // jobs not yet finished, divided over the pool. Crude before the
+    // first completion (reported as 0), useful immediately after.
+    const uint64_t unfinished =
+        counts[JobProgress::Queued] + counts[JobProgress::Running];
+    double eta = 0.0;
+    if (counts[JobProgress::Done] > 0 && unfinished > 0) {
+        const double meanJob =
+            doneSeconds / static_cast<double>(counts[JobProgress::Done]);
+        eta = meanJob * static_cast<double>(unfinished) /
+              static_cast<double>(std::max(1u, workers));
+    }
+
+    std::ostringstream doc;
+    {
+        telemetry::JsonWriter w(doc, 0);
+        w.beginObject();
+        w.member("schema", "bfbp-heartbeat-v1");
+        w.member("elapsed_seconds", elapsed);
+        w.member("workers", static_cast<uint64_t>(workers));
+        w.member("jobs", static_cast<uint64_t>(jobs.size()));
+        w.member("queued", counts[JobProgress::Queued]);
+        w.member("running", counts[JobProgress::Running]);
+        w.member("done", counts[JobProgress::Done]);
+        w.member("failed", counts[JobProgress::Failed]);
+        w.member("cond_branches", totalBranches);
+        w.member("branches_per_second",
+                 elapsed > 0.0
+                     ? static_cast<double>(totalBranches) / elapsed
+                     : 0.0);
+        w.member("eta_seconds", eta);
+        w.endObject();
+    }
+    doc << '\n' << lines.str();
+
+    const std::string bytes = doc.str();
+    writeFileAtomic(path,
+                    std::vector<uint8_t>(bytes.begin(), bytes.end()));
+}
+
+/**
  * Runs one job into its outcome slot. Everything this touches — the
  * source, the predictor, the telemetry sink, the outcome, its
  * index-keyed checkpoint files — is private to the job, so workers
- * never contend.
+ * never contend; the JobProgress atomics are the only cross-thread
+ * traffic and only the heartbeat reads them.
  */
 void
 runJob(const SuiteJob &job, SuiteOutcome &out, size_t index,
-       const SuiteCheckpointOptions &ckpt)
+       const SuiteCheckpointOptions &ckpt,
+       JobProgress &progress,
+       std::chrono::steady_clock::time_point epoch)
 {
     const bool checkpointing = !ckpt.dir.empty();
+
+    progress.startNs.store(nsSince(epoch), std::memory_order_relaxed);
+    progress.state.store(JobProgress::Running,
+                         std::memory_order_release);
+    telemetry::TraceSession &trace = telemetry::TraceSession::instance();
+    const bool tracing = telemetry::TraceSession::enabled();
+    const uint64_t spanStart = tracing ? trace.nowNs() : 0;
+
+    // Publishes the terminal state (and the job's span, whose name —
+    // the predictor's — is only known once the factory has run) on
+    // every exit path.
+    const auto settle = [&](uint32_t state) {
+        progress.branches.store(out.result.condBranches,
+                                std::memory_order_relaxed);
+        progress.endNs.store(nsSince(epoch), std::memory_order_relaxed);
+        progress.state.store(state, std::memory_order_release);
+        if (tracing) {
+            trace.complete("suite",
+                           job.traceName + "/" + out.predictorName,
+                           spanStart, trace.nowNs());
+        }
+    };
 
     if (checkpointing && ckpt.resume) {
         const std::string path = outcomePath(ckpt.dir, index);
         if (std::filesystem::exists(path)) {
             try {
                 loadOutcomeFile(path, out);
-                return; // Finished in a previous run; skip.
+                settle(JobProgress::Done); // Finished earlier; skip.
+                return;
             } catch (const TraceIoError &) {
                 // Corrupt/truncated outcome: discard and rerun.
                 out = SuiteOutcome{};
@@ -145,6 +321,7 @@ runJob(const SuiteJob &job, SuiteOutcome &out, size_t index,
         // the full registry for jobs finished in the earlier run.
         const bool collectTel = job.collectTelemetry || checkpointing;
         options.telemetry = collectTel ? &out.data : nullptr;
+        options.progress = &progress.branches;
         if (checkpointing && ckpt.interval != 0) {
             options.checkpointPath = midTracePath(ckpt.dir, index);
             options.checkpointInterval = ckpt.interval;
@@ -160,12 +337,15 @@ runJob(const SuiteJob &job, SuiteOutcome &out, size_t index,
 
         if (checkpointing)
             writeOutcomeFile(outcomePath(ckpt.dir, index), out);
+        settle(JobProgress::Done);
     } catch (const BfbpError &e) {
         out.failed = true;
         out.error = e.what();
+        settle(JobProgress::Failed);
     } catch (const std::exception &e) {
         out.failed = true;
         out.error = std::string("unexpected error: ") + e.what();
+        settle(JobProgress::Failed);
     }
 }
 
@@ -195,6 +375,14 @@ std::vector<SuiteOutcome>
 SuiteRunner::run(const std::vector<SuiteJob> &jobs,
                  const SuiteCheckpointOptions &ckpt) const
 {
+    return run(jobs, ckpt, SuiteHeartbeatOptions{});
+}
+
+std::vector<SuiteOutcome>
+SuiteRunner::run(const std::vector<SuiteJob> &jobs,
+                 const SuiteCheckpointOptions &ckpt,
+                 const SuiteHeartbeatOptions &heartbeat) const
+{
     if (!ckpt.dir.empty()) {
         std::error_code ec;
         std::filesystem::create_directories(ckpt.dir, ec);
@@ -205,38 +393,82 @@ SuiteRunner::run(const std::vector<SuiteJob> &jobs,
     }
 
     std::vector<SuiteOutcome> outcomes(jobs.size());
+    std::vector<JobProgress> progress(jobs.size());
+    const auto epoch = std::chrono::steady_clock::now();
 
     // One worker (or one job): run inline, in order, no threads —
-    // byte-for-byte the historical serial bench behavior.
+    // byte-for-byte the historical serial bench behavior. (The
+    // heartbeat thread still runs when asked for: progress within the
+    // current job comes from the evaluator's per-block stores.)
     const unsigned pool =
         std::min<size_t>(workers, jobs.size());
-    if (pool <= 1) {
-        for (size_t i = 0; i < jobs.size(); ++i)
-            runJob(jobs[i], outcomes[i], i, ckpt);
-        return outcomes;
-    }
 
-    // The work queue is the job vector itself: workers claim the
-    // next unstarted index with one fetch_add. Each outcome slot is
-    // written by exactly one worker; the jthread joins below form
-    // the release/acquire edge that publishes every slot before run()
-    // returns.
-    std::atomic<size_t> next{0};
+    const bool beating = !heartbeat.path.empty();
+    const double beatSeconds =
+        std::max(0.05, heartbeat.intervalSeconds);
     {
-        std::vector<std::jthread> threads;
-        threads.reserve(pool);
-        for (unsigned t = 0; t < pool; ++t) {
-            threads.emplace_back([&] {
-                for (;;) {
-                    const size_t i =
-                        next.fetch_add(1, std::memory_order_relaxed);
-                    if (i >= jobs.size())
+        std::jthread beat;
+        if (beating) {
+            beat = std::jthread([&](std::stop_token st) {
+                // Sleep in short slices so a finished suite is not
+                // held hostage to a long interval.
+                constexpr auto slice =
+                    std::chrono::milliseconds(20);
+                while (!st.stop_requested()) {
+                    try {
+                        writeHeartbeat(heartbeat.path, jobs, progress,
+                                       epoch, pool);
+                    } catch (const BfbpError &) {
+                        // An unwritable heartbeat must not take the
+                        // suite down; the final beat below reports
+                        // the failure to the caller.
                         return;
-                    runJob(jobs[i], outcomes[i], i, ckpt);
+                    }
+                    double slept = 0.0;
+                    while (!st.stop_requested() &&
+                           slept < beatSeconds) {
+                        std::this_thread::sleep_for(slice);
+                        slept += 0.02;
+                    }
                 }
             });
         }
-    } // jthread dtors join here.
+
+        if (pool <= 1) {
+            for (size_t i = 0; i < jobs.size(); ++i)
+                runJob(jobs[i], outcomes[i], i, ckpt, progress[i],
+                       epoch);
+        } else {
+            // The work queue is the job vector itself: workers claim
+            // the next unstarted index with one fetch_add. Each
+            // outcome slot is written by exactly one worker; the
+            // jthread joins below form the release/acquire edge that
+            // publishes every slot before run() returns.
+            std::atomic<size_t> next{0};
+            std::vector<std::jthread> threads;
+            threads.reserve(pool);
+            for (unsigned t = 0; t < pool; ++t) {
+                threads.emplace_back([&, t] {
+                    telemetry::TraceSession::instance()
+                        .setCurrentThreadName(
+                            "worker " + std::to_string(t));
+                    for (;;) {
+                        const size_t i = next.fetch_add(
+                            1, std::memory_order_relaxed);
+                        if (i >= jobs.size())
+                            return;
+                        runJob(jobs[i], outcomes[i], i, ckpt,
+                               progress[i], epoch);
+                    }
+                });
+            }
+        } // jthread dtors join the pool here.
+    }     // ...then the heartbeat thread (stop requested by its dtor).
+
+    // Final beat after everything joined: the file's last state shows
+    // every job settled (done/failed) with final counts.
+    if (beating)
+        writeHeartbeat(heartbeat.path, jobs, progress, epoch, pool);
 
     return outcomes;
 }

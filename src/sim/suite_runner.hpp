@@ -149,6 +149,34 @@ struct SuiteCheckpointOptions
 };
 
 /**
+ * Live run progress (docs/TELEMETRY.md, "Heartbeat file").
+ *
+ * With a path set, a dedicated heartbeat thread rewrites the file
+ * every intervalSeconds while the suite runs — atomically (tmp +
+ * rename), so a reader (`watch cat`, `tail -n +1 -f` with an
+ * inotify-aware tail, a dashboard) never sees a torn write. The file
+ * is JSONL: one "bfbp-heartbeat-v1" suite-summary line (elapsed,
+ * queued/running/done/failed counts, aggregate branches/second, ETA)
+ * followed by one line per job with its state and live
+ * conditional-branch count.
+ *
+ * The heartbeat reads only per-job atomics published by the workers
+ * (job state, branch progress, start/end stamps) plus immutable
+ * submission data — it takes no locks and perturbs nothing, and the
+ * outcome vector stays byte-identical with or without it. A final
+ * beat is written after the pool joins, so the last file state always
+ * shows every job settled.
+ */
+struct SuiteHeartbeatOptions
+{
+    /** Heartbeat file path. Empty disables the heartbeat thread. */
+    std::string path;
+
+    /** Seconds between rewrites (clamped to >= 0.05). */
+    double intervalSeconds = 1.0;
+};
+
+/**
  * Fixed-size thread pool evaluating SuiteJobs concurrently.
  *
  * A runner with one worker executes every job inline on the calling
@@ -188,6 +216,17 @@ class SuiteRunner
      */
     std::vector<SuiteOutcome> run(const std::vector<SuiteJob> &jobs,
                                   const SuiteCheckpointOptions &ckpt) const;
+
+    /**
+     * Like run(jobs, ckpt), additionally emitting the periodic
+     * heartbeat file while jobs are in flight (see
+     * SuiteHeartbeatOptions). Results are identical to the other
+     * overloads; the heartbeat only observes.
+     */
+    std::vector<SuiteOutcome> run(const std::vector<SuiteJob> &jobs,
+                                  const SuiteCheckpointOptions &ckpt,
+                                  const SuiteHeartbeatOptions &heartbeat)
+        const;
 
   private:
     unsigned workers;

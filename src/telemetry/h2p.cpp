@@ -1,0 +1,91 @@
+#include "telemetry/h2p.hpp"
+
+#include <algorithm>
+
+namespace bfbp::telemetry
+{
+
+H2pReport
+buildH2pReport(std::vector<H2pInput> rows, uint64_t instructions,
+               uint64_t top_k)
+{
+    H2pReport report;
+    report.topK = std::max<uint64_t>(1, top_k);
+    report.instructions = instructions;
+
+    rows.erase(std::remove_if(rows.begin(), rows.end(),
+                              [](const H2pInput &r) {
+                                  return r.executions == 0;
+                              }),
+               rows.end());
+    std::sort(rows.begin(), rows.end(),
+              [](const H2pInput &a, const H2pInput &b) {
+                  if (a.mispredictions != b.mispredictions)
+                      return a.mispredictions > b.mispredictions;
+                  return a.pc < b.pc;
+              });
+
+    report.staticBranches = rows.size();
+    for (const H2pInput &r : rows) {
+        report.profiledExecutions += r.executions;
+        report.totalMispredictions += r.mispredictions;
+    }
+    const double totalMisp =
+        static_cast<double>(report.totalMispredictions);
+
+    // Top-K table with running cumulative share.
+    const size_t tableRows = static_cast<size_t>(
+        std::min<uint64_t>(report.topK, rows.size()));
+    report.top.reserve(tableRows);
+    uint64_t cumulative = 0;
+    for (size_t i = 0; i < tableRows; ++i) {
+        const H2pInput &r = rows[i];
+        cumulative += r.mispredictions;
+        H2pReport::Row row;
+        row.pc = r.pc;
+        row.executions = r.executions;
+        row.taken = r.taken;
+        row.transitions = r.transitions;
+        row.mispredictions = r.mispredictions;
+        row.mpki = instructions == 0
+            ? 0.0
+            : 1000.0 * static_cast<double>(r.mispredictions) /
+                static_cast<double>(instructions);
+        row.takenRate = static_cast<double>(r.taken) /
+            static_cast<double>(r.executions);
+        row.transitionRate = r.executions > 1
+            ? static_cast<double>(r.transitions) /
+                static_cast<double>(r.executions - 1)
+            : 0.0;
+        row.share = totalMisp == 0.0
+            ? 0.0
+            : static_cast<double>(r.mispredictions) / totalMisp;
+        row.cumulativeShare = totalMisp == 0.0
+            ? 0.0
+            : static_cast<double>(cumulative) / totalMisp;
+        report.top.push_back(row);
+    }
+
+    // Concentration curve at power-of-two prefixes plus the full
+    // population, computed over a running prefix sum.
+    std::vector<uint64_t> prefix(rows.size() + 1, 0);
+    for (size_t i = 0; i < rows.size(); ++i)
+        prefix[i + 1] = prefix[i] + rows[i].mispredictions;
+    auto pushPoint = [&](uint64_t branches) {
+        H2pReport::Point p;
+        p.branches = branches;
+        p.mispredictions = prefix[static_cast<size_t>(branches)];
+        p.fraction = totalMisp == 0.0
+            ? 0.0
+            : static_cast<double>(p.mispredictions) / totalMisp;
+        report.curve.push_back(p);
+    };
+    for (uint64_t k = 1; k < rows.size(); k *= 2)
+        pushPoint(k);
+    if (!rows.empty())
+        pushPoint(rows.size());
+
+    return report;
+}
+
+} // namespace bfbp::telemetry

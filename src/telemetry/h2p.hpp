@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Per-branch predictability (H2P) report.
+ *
+ * The workload-characterization literature ("Branch Prediction Is
+ * Not a Solved Problem", the Bullseye H2P work) observes that the
+ * mispredictions of a run concentrate in a small set of static
+ * hard-to-predict (H2P) branches. This module turns the evaluator's
+ * flat per-branch profile into that view:
+ *
+ *  - the top-K static branches by misprediction count, each with its
+ *    per-branch MPKI (against whole-run instructions), taken rate,
+ *    transition rate (how often the direction flips between
+ *    consecutive executions — the classic H2P signature is a high
+ *    transition rate that history-based predictors still fail on),
+ *    and its share of the run's total mispredictions;
+ *
+ *  - a misprediction concentration curve: the fraction of all
+ *    mispredictions carried by the top 1, 2, 4, 8, ... branches, up
+ *    to the full static-branch population.
+ *
+ * The report is deterministic (ties broken by ascending pc) and pure
+ * arithmetic over profile rows, so it serializes byte-identically
+ * across runs and worker counts. It is exported through the JSON/CSV
+ * sinks (sinks.hpp) under the per-run "h2p" key and aggregated
+ * across a suite by tools/trace_report.py; every suite bench
+ * surfaces it behind --h2p-report (docs/TELEMETRY.md).
+ */
+
+#ifndef BFBP_TELEMETRY_H2P_HPP
+#define BFBP_TELEMETRY_H2P_HPP
+
+#include <cstdint>
+#include <vector>
+
+namespace bfbp::telemetry
+{
+
+/** One static branch's raw profile counters (the evaluator's
+ *  BranchProfile, minus the sim-layer dependency). */
+struct H2pInput
+{
+    uint64_t pc = 0;
+    uint64_t executions = 0;
+    uint64_t taken = 0;
+    uint64_t transitions = 0; //!< Direction flips between executions.
+    uint64_t mispredictions = 0;
+};
+
+/** Top-K + concentration-curve view over one run's branch profiles. */
+struct H2pReport
+{
+    /** One ranked row of the top-K table. */
+    struct Row
+    {
+        uint64_t pc = 0;
+        uint64_t executions = 0;
+        uint64_t taken = 0;
+        uint64_t transitions = 0;
+        uint64_t mispredictions = 0;
+        double mpki = 0.0;           //!< Against whole-run instructions.
+        double takenRate = 0.0;      //!< taken / executions.
+        double transitionRate = 0.0; //!< transitions / (executions - 1).
+        double share = 0.0;          //!< Of total mispredictions.
+        double cumulativeShare = 0.0;
+    };
+
+    /** One point of the concentration curve. */
+    struct Point
+    {
+        uint64_t branches = 0;        //!< Top-N static branches...
+        uint64_t mispredictions = 0;  //!< ...carry this many mispredicts
+        double fraction = 0.0;        //!< ...i.e. this fraction of all.
+    };
+
+    uint64_t topK = 0;            //!< Requested table size.
+    uint64_t staticBranches = 0;  //!< Distinct profiled pcs.
+    uint64_t profiledExecutions = 0;
+    uint64_t totalMispredictions = 0;
+    uint64_t instructions = 0;    //!< Whole-run denominator for mpki.
+    std::vector<Row> top;         //!< min(topK, staticBranches) rows.
+    std::vector<Point> curve;     //!< At 1, 2, 4, ... and staticBranches.
+
+    bool present() const { return topK != 0; }
+};
+
+/**
+ * Builds the report from raw profile rows (any order; sorted
+ * internally by mispredictions descending, pc ascending) against the
+ * run's @p instructions total. @p top_k must be >= 1; rows with zero
+ * executions are ignored.
+ */
+H2pReport buildH2pReport(std::vector<H2pInput> rows,
+                         uint64_t instructions, uint64_t top_k);
+
+} // namespace bfbp::telemetry
+
+#endif // BFBP_TELEMETRY_H2P_HPP

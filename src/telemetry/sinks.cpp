@@ -1,5 +1,6 @@
 #include "telemetry/sinks.hpp"
 
+#include <cstdio>
 #include <iomanip>
 #include <ostream>
 
@@ -25,6 +26,58 @@ writeHistogramJson(JsonWriter &w, const Telemetry::Histogram &h)
     w.endArray();
     w.member("count", h.count);
     w.member("sum", h.sum);
+    w.endObject();
+}
+
+/** Branch addresses as hex strings: JSON numbers lose precision
+ *  above 2^53 and hex is what readers cross-reference anyway. */
+std::string
+hexPc(uint64_t pc)
+{
+    char buf[2 + 16 + 1];
+    std::snprintf(buf, sizeof(buf), "0x%llx",
+                  static_cast<unsigned long long>(pc));
+    return buf;
+}
+
+void
+writeH2pJson(JsonWriter &w, const H2pReport &h2p)
+{
+    w.beginObject();
+    w.member("top_k", h2p.topK);
+    w.member("static_branches", h2p.staticBranches);
+    w.member("profiled_executions", h2p.profiledExecutions);
+    w.member("total_mispredictions", h2p.totalMispredictions);
+    w.member("instructions", h2p.instructions);
+
+    w.key("top").beginArray();
+    for (size_t i = 0; i < h2p.top.size(); ++i) {
+        const H2pReport::Row &row = h2p.top[i];
+        w.beginObject();
+        w.member("rank", static_cast<uint64_t>(i + 1));
+        w.member("pc", hexPc(row.pc));
+        w.member("executions", row.executions);
+        w.member("taken", row.taken);
+        w.member("transitions", row.transitions);
+        w.member("mispredictions", row.mispredictions);
+        w.member("mpki", row.mpki);
+        w.member("taken_rate", row.takenRate);
+        w.member("transition_rate", row.transitionRate);
+        w.member("share", row.share);
+        w.member("cumulative_share", row.cumulativeShare);
+        w.endObject();
+    }
+    w.endArray();
+
+    w.key("concentration").beginArray();
+    for (const H2pReport::Point &p : h2p.curve) {
+        w.beginObject();
+        w.member("branches", p.branches);
+        w.member("mispredictions", p.mispredictions);
+        w.member("fraction", p.fraction);
+        w.endObject();
+    }
+    w.endArray();
     w.endObject();
 }
 
@@ -98,6 +151,11 @@ writeRunJson(JsonWriter &w, const RunRecord &run)
         w.member(k, v);
     w.endObject();
 
+    if (run.h2p.present()) {
+        w.key("h2p");
+        writeH2pJson(w, run.h2p);
+    }
+
     w.key("intervals").beginArray();
     for (const auto &s : run.data.intervals()) {
         w.beginObject();
@@ -157,6 +215,31 @@ writeCountersCsv(std::ostream &os, const std::vector<RunRecord> &runs)
             os << csvField(r.traceName) << ','
                << csvField(r.predictorName) << ',' << csvField(name)
                << ',' << value << '\n';
+        }
+    }
+}
+
+void
+writeH2pCsv(std::ostream &os, const std::vector<RunRecord> &runs)
+{
+    os << "trace,predictor,rank,pc,executions,taken,transitions,"
+          "mispredictions,mpki,taken_rate,transition_rate,share,"
+          "cumulative_share\n";
+    for (const RunRecord &r : runs) {
+        if (!r.h2p.present())
+            continue;
+        for (size_t i = 0; i < r.h2p.top.size(); ++i) {
+            const H2pReport::Row &row = r.h2p.top[i];
+            os << csvField(r.traceName) << ','
+               << csvField(r.predictorName) << ',' << (i + 1) << ','
+               << hexPc(row.pc) << ',' << row.executions << ','
+               << row.taken << ',' << row.transitions << ','
+               << row.mispredictions << ',' << std::fixed
+               << std::setprecision(4) << row.mpki << ','
+               << std::setprecision(6) << row.takenRate << ','
+               << row.transitionRate << ',' << row.share << ','
+               << row.cumulativeShare << '\n';
+            os.unsetf(std::ios::floatfield);
         }
     }
 }

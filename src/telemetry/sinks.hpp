@@ -20,6 +20,7 @@
 #include <string>
 #include <vector>
 
+#include "telemetry/h2p.hpp"
 #include "telemetry/telemetry.hpp"
 
 namespace bfbp::telemetry
@@ -53,6 +54,10 @@ struct RunRecord
 
     // Counters, gauges, histograms, notes, interval series.
     Telemetry data{true};
+
+    // Per-branch H2P report (--h2p-report); h2p.present() gates the
+    // "h2p" key in the serialized record.
+    H2pReport h2p;
 };
 
 /** Writes one run as a JSON object into an open writer. */
@@ -76,6 +81,14 @@ void writeRunsCsv(std::ostream &os, const std::vector<RunRecord> &runs);
 /** Counter CSV: (trace, predictor, counter, value) rows. */
 void writeCountersCsv(std::ostream &os,
                       const std::vector<RunRecord> &runs);
+
+/**
+ * H2P CSV: one row per ranked top-K branch of every run that carries
+ * a report (trace, predictor, rank, pc (hex), executions, taken,
+ * transitions, mispredictions, mpki, taken_rate, transition_rate,
+ * share, cumulative_share). Runs without a report emit nothing.
+ */
+void writeH2pCsv(std::ostream &os, const std::vector<RunRecord> &runs);
 
 /** Pretty text report for one run (summary + counters + series). */
 void writeRunText(std::ostream &os, const RunRecord &run);

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cmath>
 
 namespace bfbp::telemetry
 {
@@ -19,6 +20,32 @@ Telemetry::Histogram::recordN(double value, uint64_t n)
     buckets[bucket] += n;
     count += n;
     sum += value * static_cast<double>(n);
+}
+
+double
+Telemetry::Histogram::percentile(double p) const
+{
+    if (count == 0)
+        return 0.0;
+    p = std::clamp(p, 0.0, 1.0);
+    // ceil(p * count), at least 1: percentile(0) is the smallest
+    // recorded sample's bucket, percentile(1) the largest.
+    const uint64_t target = std::max<uint64_t>(
+        1, static_cast<uint64_t>(
+               std::ceil(p * static_cast<double>(count))));
+    uint64_t cumulative = 0;
+    for (size_t i = 0; i < buckets.size(); ++i) {
+        cumulative += buckets[i];
+        if (cumulative >= target) {
+            if (i < bounds.size())
+                return bounds[i];
+            // Overflow bucket: no finite upper bound recorded.
+            return bounds.empty() ? sum / static_cast<double>(count)
+                                  : bounds.back();
+        }
+    }
+    return bounds.empty() ? sum / static_cast<double>(count)
+                          : bounds.back();
 }
 
 double

@@ -45,6 +45,20 @@ class Telemetry
 
         void record(double value) { recordN(value, 1); }
         void recordN(double value, uint64_t n);
+
+        /**
+         * Bucket-resolution quantile estimate: the upper bound of
+         * the first bucket whose cumulative count reaches
+         * ceil(p * count) samples (p clamped to [0, 1]). Values in
+         * the overflow bucket report the last finite bound; with no
+         * bounds at all the mean (sum / count) is the only estimate
+         * available. An empty histogram returns 0.0.
+         *
+         * The estimate is exact whenever every recorded value sits
+         * on a bucket bound (integer-valued histograms with integer
+         * bounds) and otherwise correct to bucket granularity.
+         */
+        double percentile(double p) const;
     };
 
     /** One windowed sample of the per-interval time series. */

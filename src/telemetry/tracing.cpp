@@ -1,0 +1,265 @@
+#include "telemetry/tracing.hpp"
+
+#include <fstream>
+#include <ostream>
+
+#include "telemetry/json_writer.hpp"
+#include "util/errors.hpp"
+
+namespace bfbp::telemetry
+{
+
+TraceSession &
+TraceSession::instance()
+{
+    static TraceSession session;
+    return session;
+}
+
+void
+TraceSession::start(std::string process_name)
+{
+    std::lock_guard<std::mutex> lock(registry);
+    buffers.clear();
+    processName = std::move(process_name);
+    epoch = std::chrono::steady_clock::now();
+    // Invalidate thread-local buffer pointers cached during earlier
+    // sessions *before* arming, so no thread can append to a freed
+    // buffer (threadBuffer() re-checks the generation).
+    generation.fetch_add(1, std::memory_order_release);
+    running.store(true, std::memory_order_release);
+}
+
+void
+TraceSession::stop()
+{
+    running.store(false, std::memory_order_release);
+}
+
+uint64_t
+TraceSession::nowNs() const
+{
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - epoch)
+            .count());
+}
+
+TraceBuffer &
+TraceSession::threadBuffer()
+{
+    thread_local TraceBuffer *cached = nullptr;
+    thread_local uint64_t cachedGeneration = ~uint64_t{0};
+    const uint64_t current = generation.load(std::memory_order_acquire);
+    if (cached != nullptr && cachedGeneration == current)
+        return *cached;
+
+    std::lock_guard<std::mutex> lock(registry);
+    auto buffer = std::make_unique<TraceBuffer>(
+        static_cast<uint32_t>(buffers.size()));
+    cached = buffer.get();
+    cachedGeneration = current;
+    buffers.push_back(std::move(buffer));
+    return *cached;
+}
+
+void
+TraceSession::setCurrentThreadName(const std::string &name)
+{
+    if (!enabled())
+        return;
+    threadBuffer().threadName = name;
+}
+
+void
+TraceSession::counter(const char *name, double value)
+{
+    if (!enabled())
+        return;
+    TraceEvent event;
+    event.phase = TraceEvent::Phase::Counter;
+    event.staticName = name;
+    event.startNs = nowNs();
+    event.value = value;
+    threadBuffer().append(std::move(event));
+}
+
+void
+TraceSession::counter(const std::string &name, double value)
+{
+    if (!enabled())
+        return;
+    TraceEvent event;
+    event.phase = TraceEvent::Phase::Counter;
+    event.name = name;
+    event.startNs = nowNs();
+    event.value = value;
+    threadBuffer().append(std::move(event));
+}
+
+void
+TraceSession::instant(const char *category, std::string name)
+{
+    if (!enabled())
+        return;
+    TraceEvent event;
+    event.phase = TraceEvent::Phase::Instant;
+    event.category = category;
+    event.name = std::move(name);
+    event.startNs = nowNs();
+    threadBuffer().append(std::move(event));
+}
+
+void
+TraceSession::complete(const char *category, std::string name,
+                       uint64_t start_ns, uint64_t end_ns)
+{
+    if (!enabled())
+        return;
+    TraceEvent event;
+    event.phase = TraceEvent::Phase::Complete;
+    event.category = category;
+    event.name = std::move(name);
+    event.startNs = start_ns;
+    event.durationNs = end_ns >= start_ns ? end_ns - start_ns : 0;
+    threadBuffer().append(std::move(event));
+}
+
+size_t
+TraceSession::eventCount() const
+{
+    std::lock_guard<std::mutex> lock(registry);
+    size_t n = 0;
+    for (const auto &buffer : buffers)
+        n += buffer->events.size();
+    return n;
+}
+
+namespace
+{
+
+/** Microseconds (Chrome trace unit) from nanoseconds. */
+double
+micros(uint64_t ns)
+{
+    return static_cast<double>(ns) / 1000.0;
+}
+
+void
+writeEventJson(JsonWriter &w, const TraceEvent &event, uint32_t tid)
+{
+    w.beginObject();
+    switch (event.phase) {
+    case TraceEvent::Phase::Complete:
+        w.member("ph", "X");
+        w.member("cat", event.category);
+        w.member("name", event.displayName());
+        w.member("ts", micros(event.startNs));
+        w.member("dur", micros(event.durationNs));
+        break;
+    case TraceEvent::Phase::Instant:
+        w.member("ph", "i");
+        w.member("cat", event.category);
+        w.member("name", event.displayName());
+        w.member("ts", micros(event.startNs));
+        w.member("s", "t"); // Thread-scoped instant.
+        break;
+    case TraceEvent::Phase::Counter:
+        w.member("ph", "C");
+        w.member("name", event.displayName());
+        w.member("ts", micros(event.startNs));
+        w.key("args").beginObject();
+        w.member("value", event.value);
+        w.endObject();
+        break;
+    }
+    w.member("pid", 1);
+    w.member("tid", tid);
+    w.endObject();
+}
+
+} // anonymous namespace
+
+void
+TraceSession::writeJson(std::ostream &os) const
+{
+    std::lock_guard<std::mutex> lock(registry);
+    JsonWriter w(os, 0);
+    w.beginObject();
+    w.member("displayTimeUnit", "ms");
+    w.key("traceEvents").beginArray();
+
+    // Metadata: process name plus one thread_name row per buffer, so
+    // Perfetto labels the per-worker tracks.
+    w.beginObject();
+    w.member("ph", "M");
+    w.member("name", "process_name");
+    w.member("pid", 1);
+    w.member("tid", 0);
+    w.key("args").beginObject();
+    w.member("name", processName.empty() ? "bfbp" : processName);
+    w.endObject();
+    w.endObject();
+    for (const auto &buffer : buffers) {
+        w.beginObject();
+        w.member("ph", "M");
+        w.member("name", "thread_name");
+        w.member("pid", 1);
+        w.member("tid", buffer->tid);
+        w.key("args").beginObject();
+        w.member("name", buffer->threadName.empty()
+                             ? "thread " + std::to_string(buffer->tid)
+                             : buffer->threadName);
+        w.endObject();
+        w.endObject();
+    }
+
+    for (const auto &buffer : buffers) {
+        for (const TraceEvent &event : buffer->events)
+            writeEventJson(w, event, buffer->tid);
+    }
+
+    w.endArray();
+    w.endObject();
+    os << '\n';
+}
+
+void
+TraceSession::writeFile(const std::string &path) const
+{
+    std::ofstream os(path);
+    if (!os) {
+        throw TraceIoError("cannot open trace output file for writing: " +
+                           path);
+    }
+    writeJson(os);
+    os.flush();
+    if (os.fail()) {
+        throw TraceIoError("write failed for trace output file " + path +
+                           " (disk full?)");
+    }
+}
+
+void
+TraceSession::clear()
+{
+    std::lock_guard<std::mutex> lock(registry);
+    buffers.clear();
+    generation.fetch_add(1, std::memory_order_release);
+}
+
+void
+ScopedSpan::finish()
+{
+    const uint64_t endNs = session->nowNs();
+    TraceEvent event;
+    event.phase = TraceEvent::Phase::Complete;
+    event.category = cat;
+    event.staticName = staticName;
+    event.name = std::move(dynName);
+    event.startNs = startNs;
+    event.durationNs = endNs >= startNs ? endNs - startNs : 0;
+    session->threadBuffer().append(std::move(event));
+}
+
+} // namespace bfbp::telemetry

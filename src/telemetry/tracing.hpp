@@ -1,0 +1,235 @@
+/**
+ * @file
+ * Span tracing: nestable scoped spans, per-thread event buffers, and
+ * counter-track samples, exported as Chrome Trace Event JSON that
+ * loads directly in Perfetto (https://ui.perfetto.dev) or
+ * chrome://tracing.
+ *
+ * Design constraints (see docs/TELEMETRY.md, "Span tracing"):
+ *
+ *  - Zero-cost when disabled. Every emission point first checks
+ *    TraceSession::enabled() — a single relaxed atomic load — and
+ *    does nothing else. The evaluator additionally resolves the flag
+ *    once per run and only instruments *block boundaries* (one
+ *    span/counter pair per ≤4096 records), never the per-record
+ *    path, so predictor outputs are byte-identical with tracing on,
+ *    off, or absent: tracing observes, it never perturbs.
+ *
+ *  - Lock-free on the hot path. Each thread appends to its own
+ *    buffer through a thread-local pointer; the global registry
+ *    mutex is taken only when a thread emits its *first* event of a
+ *    session. Export happens after the emitting threads have been
+ *    joined (the suite runner's pool joins before run() returns), so
+ *    readers and writers never overlap.
+ *
+ *  - Sessions are explicit. start() arms collection and stamps the
+ *    time origin; stop() disarms it; writeJson()/writeFile() export
+ *    everything collected. start() invalidates buffers from earlier
+ *    sessions, so a process can record several traces in sequence.
+ *
+ * The exported document is the Chrome Trace Event "JSON object
+ * format": {"displayTimeUnit": "ms", "traceEvents": [...]} with
+ * complete ("X"), instant ("i"), counter ("C") and metadata ("M")
+ * events; timestamps are microseconds from the session epoch.
+ */
+
+#ifndef BFBP_TELEMETRY_TRACING_HPP
+#define BFBP_TELEMETRY_TRACING_HPP
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <iosfwd>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace bfbp::telemetry
+{
+
+/** One recorded event, before JSON export. Span/counter names may be
+ *  static strings (no allocation on record) or owned std::strings
+ *  (for per-job names like "SPEC00/oh-snap"). */
+struct TraceEvent
+{
+    enum class Phase : uint8_t
+    {
+        Complete, //!< "X": a span with start + duration.
+        Instant,  //!< "i": a point-in-time marker.
+        Counter,  //!< "C": one sample on a counter track.
+    };
+
+    Phase phase = Phase::Complete;
+    const char *category = "";
+    const char *staticName = nullptr; //!< Fast path; nullptr -> name.
+    std::string name;                 //!< Owned dynamic name.
+    uint64_t startNs = 0;             //!< Nanoseconds from epoch.
+    uint64_t durationNs = 0;          //!< Complete events only.
+    double value = 0.0;               //!< Counter events only.
+
+    const char *
+    displayName() const
+    {
+        return staticName != nullptr ? staticName : name.c_str();
+    }
+};
+
+/** Per-thread event buffer; appended to only by its owning thread. */
+class TraceBuffer
+{
+  public:
+    explicit TraceBuffer(uint32_t thread_id) : tid(thread_id)
+    {
+        events.reserve(1024);
+    }
+
+    void append(TraceEvent event) { events.push_back(std::move(event)); }
+
+    uint32_t threadId() const { return tid; }
+
+  private:
+    friend class TraceSession;
+    uint32_t tid;
+    std::string threadName; //!< Set via setCurrentThreadName().
+    std::vector<TraceEvent> events;
+};
+
+/**
+ * Process-wide tracing session (one per process, like a profiler).
+ *
+ * Thread contract: start(), stop(), clear(), writeJson() and
+ * writeFile() are *control-plane* calls — they must not run
+ * concurrently with threads emitting events. The bundled
+ * instrumentation satisfies this structurally: benches start the
+ * session before submitting suite jobs and export after the worker
+ * pool has joined.
+ */
+class TraceSession
+{
+  public:
+    static TraceSession &instance();
+
+    /** Collection armed? One relaxed load; safe from any thread. */
+    static bool
+    enabled()
+    {
+        return instance().running.load(std::memory_order_relaxed);
+    }
+
+    /** Arms collection: drops buffers from any previous session,
+     *  stamps the time origin, records @p process_name for the
+     *  exporter's process_name metadata event. */
+    void start(std::string process_name);
+
+    /** Disarms collection; buffered events are kept for export. */
+    void stop();
+
+    /** Nanoseconds since the session epoch. */
+    uint64_t nowNs() const;
+
+    /** Names the calling thread on the exported timeline ("main",
+     *  "worker 3"). No-op while disarmed. */
+    void setCurrentThreadName(const std::string &name);
+
+    /** One sample on the counter track @p name. No-op while
+     *  disarmed. The const char* overload stores only the pointer
+     *  (must be a static string); the string overload copies. */
+    void counter(const char *name, double value);
+    void counter(const std::string &name, double value);
+
+    /** Point-in-time marker. No-op while disarmed. */
+    void instant(const char *category, std::string name);
+
+    /** A complete span with explicit bounds, for callers that only
+     *  know the span's name at its end (e.g. a suite job named after
+     *  the predictor its factory built). No-op while disarmed. */
+    void complete(const char *category, std::string name,
+                  uint64_t start_ns, uint64_t end_ns);
+
+    /** The calling thread's buffer, registering it on first use. */
+    TraceBuffer &threadBuffer();
+
+    /** Events buffered across all threads (export-time helper). */
+    size_t eventCount() const;
+
+    /** Exports everything collected as Chrome Trace Event JSON. */
+    void writeJson(std::ostream &os) const;
+
+    /** writeJson() into @p path. @throws TraceIoError via the
+     *  caller-provided stream state on failure (see tracing.cpp). */
+    void writeFile(const std::string &path) const;
+
+    /** Drops all buffers (armed state unchanged). */
+    void clear();
+
+  private:
+    TraceSession() = default;
+
+    mutable std::mutex registry;
+    std::vector<std::unique_ptr<TraceBuffer>> buffers;
+    std::atomic<bool> running{false};
+    std::atomic<uint64_t> generation{0};
+    std::chrono::steady_clock::time_point epoch{};
+    std::string processName;
+};
+
+/**
+ * RAII span: records a Complete event from construction to
+ * destruction on the calling thread's buffer. When the session is
+ * disarmed at construction the span is inert (one relaxed load, no
+ * allocation — with the const char* constructor — and no clock
+ * read).
+ *
+ * Spans nest naturally: Perfetto derives the nesting from the
+ * containment of [start, start+duration) intervals per thread.
+ */
+class ScopedSpan
+{
+  public:
+    /** Static-name span; no allocation even when armed. */
+    ScopedSpan(const char *category, const char *static_name)
+    {
+        TraceSession &s = TraceSession::instance();
+        if (!TraceSession::enabled())
+            return;
+        session = &s;
+        cat = category;
+        staticName = static_name;
+        startNs = s.nowNs();
+    }
+
+    /** Dynamic-name span (copies @p dynamic_name when armed). */
+    ScopedSpan(const char *category, const std::string &dynamic_name)
+    {
+        TraceSession &s = TraceSession::instance();
+        if (!TraceSession::enabled())
+            return;
+        session = &s;
+        cat = category;
+        dynName = dynamic_name;
+        startNs = s.nowNs();
+    }
+
+    ~ScopedSpan()
+    {
+        if (session != nullptr)
+            finish();
+    }
+
+    ScopedSpan(const ScopedSpan &) = delete;
+    ScopedSpan &operator=(const ScopedSpan &) = delete;
+
+  private:
+    void finish();
+
+    TraceSession *session = nullptr;
+    const char *cat = "";
+    const char *staticName = nullptr;
+    std::string dynName;
+    uint64_t startNs = 0;
+};
+
+} // namespace bfbp::telemetry
+
+#endif // BFBP_TELEMETRY_TRACING_HPP

@@ -1,0 +1,241 @@
+/**
+ * @file
+ * Tests for the H2P (hard-to-predict branch) report
+ * (telemetry/h2p.hpp): builder arithmetic over hand-written profile
+ * rows, and an end-to-end run over a constructed trace whose ranking,
+ * transition counts and concentration curve are known analytically.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/evaluator.hpp"
+#include "sim/trace_source.hpp"
+#include "telemetry/h2p.hpp"
+
+namespace bfbp
+{
+namespace
+{
+
+using telemetry::H2pInput;
+using telemetry::H2pReport;
+using telemetry::buildH2pReport;
+
+H2pInput
+row(uint64_t pc, uint64_t executions, uint64_t taken,
+    uint64_t transitions, uint64_t mispredictions)
+{
+    H2pInput r;
+    r.pc = pc;
+    r.executions = executions;
+    r.taken = taken;
+    r.transitions = transitions;
+    r.mispredictions = mispredictions;
+    return r;
+}
+
+TEST(H2pReport, RanksByMispredictionsWithPcTiebreak)
+{
+    // Two rows tie at 40 mispredictions: ascending pc breaks the tie
+    // deterministically.
+    const H2pReport report = buildH2pReport(
+        {row(0x30, 10, 5, 2, 40), row(0x10, 10, 5, 2, 7),
+         row(0x20, 10, 5, 2, 40), row(0x40, 10, 5, 2, 100)},
+        1000, 64);
+
+    ASSERT_EQ(report.top.size(), 4u);
+    EXPECT_EQ(report.top[0].pc, 0x40u);
+    EXPECT_EQ(report.top[1].pc, 0x20u);
+    EXPECT_EQ(report.top[2].pc, 0x30u);
+    EXPECT_EQ(report.top[3].pc, 0x10u);
+    EXPECT_EQ(report.staticBranches, 4u);
+    EXPECT_EQ(report.totalMispredictions, 187u);
+    EXPECT_EQ(report.profiledExecutions, 40u);
+}
+
+TEST(H2pReport, RatesAndShares)
+{
+    const H2pReport report = buildH2pReport(
+        {row(0x100, 100, 25, 99, 75), row(0x200, 50, 50, 0, 25)},
+        10000, 64);
+
+    ASSERT_EQ(report.top.size(), 2u);
+    const H2pReport::Row &a = report.top[0];
+    EXPECT_EQ(a.pc, 0x100u);
+    EXPECT_DOUBLE_EQ(a.mpki, 1000.0 * 75 / 10000);
+    EXPECT_DOUBLE_EQ(a.takenRate, 0.25);
+    EXPECT_DOUBLE_EQ(a.transitionRate, 1.0); // 99 flips / 99 gaps.
+    EXPECT_DOUBLE_EQ(a.share, 0.75);
+    EXPECT_DOUBLE_EQ(a.cumulativeShare, 0.75);
+    const H2pReport::Row &b = report.top[1];
+    EXPECT_DOUBLE_EQ(b.share, 0.25);
+    EXPECT_DOUBLE_EQ(b.cumulativeShare, 1.0);
+}
+
+TEST(H2pReport, TopKTruncatesButCurveAndTotalsCoverEverything)
+{
+    std::vector<H2pInput> rows;
+    for (uint64_t i = 0; i < 10; ++i)
+        rows.push_back(row(0x1000 + i, 10, 5, 1, 100 - i));
+    const H2pReport report = buildH2pReport(rows, 1000, 3);
+
+    EXPECT_EQ(report.topK, 3u);
+    ASSERT_EQ(report.top.size(), 3u);
+    EXPECT_EQ(report.staticBranches, 10u);
+    // Curve points at 1, 2, 4, 8 and the full population.
+    ASSERT_EQ(report.curve.size(), 5u);
+    EXPECT_EQ(report.curve[0].branches, 1u);
+    EXPECT_EQ(report.curve[1].branches, 2u);
+    EXPECT_EQ(report.curve[2].branches, 4u);
+    EXPECT_EQ(report.curve[3].branches, 8u);
+    EXPECT_EQ(report.curve[4].branches, 10u);
+    EXPECT_DOUBLE_EQ(report.curve[4].fraction, 1.0);
+    // Monotone non-decreasing in both coordinates.
+    for (size_t i = 1; i < report.curve.size(); ++i) {
+        EXPECT_GE(report.curve[i].mispredictions,
+                  report.curve[i - 1].mispredictions);
+        EXPECT_GE(report.curve[i].fraction,
+                  report.curve[i - 1].fraction);
+    }
+}
+
+TEST(H2pReport, PopulationSizedExactlyAtPowerOfTwoHasNoDuplicatePoint)
+{
+    std::vector<H2pInput> rows;
+    for (uint64_t i = 0; i < 4; ++i)
+        rows.push_back(row(0x10 + i, 5, 2, 1, 10 + i));
+    const H2pReport report = buildH2pReport(rows, 100, 64);
+
+    // k runs 1, 2 (4 is not < 4), then the final full-population
+    // point lands on 4 exactly once.
+    ASSERT_EQ(report.curve.size(), 3u);
+    EXPECT_EQ(report.curve[0].branches, 1u);
+    EXPECT_EQ(report.curve[1].branches, 2u);
+    EXPECT_EQ(report.curve[2].branches, 4u);
+}
+
+TEST(H2pReport, DropsZeroExecutionRowsAndSurvivesDegenerateInputs)
+{
+    const H2pReport empty = buildH2pReport({}, 0, 64);
+    EXPECT_TRUE(empty.present());
+    EXPECT_EQ(empty.staticBranches, 0u);
+    EXPECT_TRUE(empty.top.empty());
+    EXPECT_TRUE(empty.curve.empty());
+
+    // A never-executed pc contributes nothing; a run with zero
+    // mispredictions reports zero shares instead of dividing by zero.
+    const H2pReport clean = buildH2pReport(
+        {row(0x1, 0, 0, 0, 0), row(0x2, 10, 10, 0, 0)}, 0, 0);
+    EXPECT_EQ(clean.topK, 1u); // top_k is clamped to >= 1.
+    EXPECT_EQ(clean.staticBranches, 1u);
+    ASSERT_EQ(clean.top.size(), 1u);
+    EXPECT_DOUBLE_EQ(clean.top[0].share, 0.0);
+    EXPECT_DOUBLE_EQ(clean.top[0].mpki, 0.0);
+    // One execution has no gap between executions: rate is 0, not
+    // 0/0.
+    const H2pReport single =
+        buildH2pReport({row(0x3, 1, 1, 0, 1)}, 10, 8);
+    EXPECT_DOUBLE_EQ(single.top[0].transitionRate, 0.0);
+}
+
+/** Predicts taken unconditionally: the misprediction count of a
+ *  branch is exactly its not-taken count, so the test's H2P ranking
+ *  is known analytically. */
+class AlwaysTakenPredictor final : public BranchPredictor
+{
+  public:
+    bool predict(uint64_t) override { return true; }
+    void update(uint64_t, bool, bool, uint64_t) override {}
+    std::string name() const override { return "always-taken"; }
+    StorageReport storage() const override { return StorageReport{}; }
+};
+
+/** Appends @p n executions of branch @p pc with directions taken
+ *  from @p pattern (repeated cyclically). */
+void
+appendBranch(std::vector<BranchRecord> &records, uint64_t pc, int n,
+             const std::vector<bool> &pattern)
+{
+    for (int i = 0; i < n; ++i) {
+        BranchRecord r;
+        r.pc = pc;
+        r.target = pc + 4;
+        r.instCount = 1;
+        r.type = BranchType::CondDirect;
+        r.taken = pattern[static_cast<size_t>(i) % pattern.size()];
+        records.push_back(r);
+    }
+}
+
+TEST(H2pReport, EndToEndRankingOverConstructedTrace)
+{
+    // Four static branches with analytically known profiles under an
+    // always-taken predictor (mispredictions = not-taken count):
+    //   A 0x400: 90 x NT            -> 90 misp, 0 taken, 0 flips
+    //   B 0x300: 100 x alternating  -> 50 misp, 50 taken, 99 flips
+    //   C 0x200: 10 x T then 10 x NT-> 10 misp, 10 taken, 1 flip
+    //   D 0x100: 30 x T             ->  0 misp, 30 taken, 0 flips
+    std::vector<BranchRecord> records;
+    appendBranch(records, 0x400, 90, {false});
+    appendBranch(records, 0x300, 100, {true, false});
+    appendBranch(records, 0x200, 10, {true});
+    appendBranch(records, 0x200, 10, {false});
+    appendBranch(records, 0x100, 30, {true});
+
+    VectorTraceSource source(records, "h2p-synthetic");
+    AlwaysTakenPredictor predictor;
+    EvalOptions options;
+    options.collectPerBranch = true;
+    const EvalResult result = evaluate(source, predictor, options);
+
+    ASSERT_EQ(result.instructions, 240u);
+    ASSERT_EQ(result.mispredictions, 150u);
+
+    // perBranch is sorted by mispredictions desc, pc asc — the same
+    // order the report ranks in.
+    ASSERT_EQ(result.perBranch.size(), 4u);
+    EXPECT_EQ(result.perBranch[0].pc, 0x400u);
+    EXPECT_EQ(result.perBranch[1].pc, 0x300u);
+    EXPECT_EQ(result.perBranch[2].pc, 0x200u);
+    EXPECT_EQ(result.perBranch[3].pc, 0x100u);
+    EXPECT_EQ(result.perBranch[0].transitions, 0u);
+    EXPECT_EQ(result.perBranch[1].transitions, 99u);
+    EXPECT_EQ(result.perBranch[2].transitions, 1u);
+    EXPECT_EQ(result.perBranch[3].transitions, 0u);
+
+    std::vector<H2pInput> rows;
+    for (const BranchProfile &prof : result.perBranch) {
+        rows.push_back(row(prof.pc, prof.executions, prof.taken,
+                           prof.transitions, prof.mispredictions));
+    }
+    const H2pReport report =
+        buildH2pReport(rows, result.instructions, 64);
+
+    ASSERT_EQ(report.top.size(), 4u);
+    EXPECT_EQ(report.top[0].pc, 0x400u);
+    EXPECT_EQ(report.top[0].mispredictions, 90u);
+    EXPECT_DOUBLE_EQ(report.top[0].mpki, 1000.0 * 90 / 240);
+    EXPECT_DOUBLE_EQ(report.top[0].takenRate, 0.0);
+    EXPECT_DOUBLE_EQ(report.top[0].share, 90.0 / 150.0);
+    EXPECT_EQ(report.top[1].pc, 0x300u);
+    EXPECT_DOUBLE_EQ(report.top[1].transitionRate, 1.0);
+    EXPECT_DOUBLE_EQ(report.top[1].cumulativeShare, 140.0 / 150.0);
+    EXPECT_EQ(report.top[2].pc, 0x200u);
+    EXPECT_DOUBLE_EQ(report.top[2].transitionRate, 1.0 / 19.0);
+    EXPECT_EQ(report.top[3].mispredictions, 0u);
+    EXPECT_DOUBLE_EQ(report.top[3].takenRate, 1.0);
+
+    // Curve: top-1 carries 90/150, top-2 140/150, all four 150/150.
+    ASSERT_EQ(report.curve.size(), 3u);
+    EXPECT_DOUBLE_EQ(report.curve[0].fraction, 90.0 / 150.0);
+    EXPECT_DOUBLE_EQ(report.curve[1].fraction, 140.0 / 150.0);
+    EXPECT_EQ(report.curve[2].branches, 4u);
+    EXPECT_DOUBLE_EQ(report.curve[2].fraction, 1.0);
+}
+
+} // namespace
+} // namespace bfbp

@@ -9,6 +9,10 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
 #include <memory>
 #include <sstream>
 #include <string>
@@ -19,6 +23,7 @@
 #include "sim/fault_injection.hpp"
 #include "sim/suite_runner.hpp"
 #include "telemetry/sinks.hpp"
+#include "telemetry/tracing.hpp"
 #include "test_util.hpp"
 #include "tracegen/workloads.hpp"
 
@@ -214,6 +219,111 @@ TEST(SuiteRunner, PoisonedJobFailsAlone)
             }
         }
     }
+}
+
+std::string
+readWholeFile(const std::string &path)
+{
+    std::ifstream is(path, std::ios::binary);
+    std::ostringstream os;
+    os << is.rdbuf();
+    return os.str();
+}
+
+TEST(SuiteRunner, HeartbeatFileShowsEveryJobSettled)
+{
+    const auto dir = std::filesystem::temp_directory_path() /
+                     "bfbp_suite_heartbeat";
+    std::filesystem::create_directories(dir);
+    const std::string path = (dir / "heartbeat.jsonl").string();
+    std::remove(path.c_str());
+
+    SuiteHeartbeatOptions heartbeat;
+    heartbeat.path = path;
+    heartbeat.intervalSeconds = 0.05;
+
+    // One poisoned job so the final beat reports both terminal
+    // states.
+    auto jobs = matrixJobs(false);
+    const auto recipe = tracegen::recipeByName("MM1");
+    jobs[4].makeSource = [recipe] {
+        FaultInjectionConfig cfg;
+        cfg.corruptProb = 1.0;
+        return std::make_unique<PoisonedSource>(
+            tracegen::makeSource(recipe, kScale), cfg);
+    };
+
+    const auto outcomes =
+        SuiteRunner(4).run(jobs, SuiteCheckpointOptions{}, heartbeat);
+    ASSERT_EQ(outcomes.size(), 9u);
+
+    const std::string beat = readWholeFile(path);
+    ASSERT_FALSE(beat.empty());
+    // 1 summary line + 9 job lines, every job settled.
+    EXPECT_EQ(std::count(beat.begin(), beat.end(), '\n'), 10);
+    EXPECT_NE(beat.find("\"schema\":\"bfbp-heartbeat-v1\""),
+              std::string::npos);
+    EXPECT_NE(beat.find("\"queued\":0"), std::string::npos);
+    EXPECT_NE(beat.find("\"running\":0"), std::string::npos);
+    EXPECT_NE(beat.find("\"done\":8"), std::string::npos);
+    EXPECT_NE(beat.find("\"failed\":1"), std::string::npos);
+    EXPECT_NE(beat.find("\"state\":\"failed\""), std::string::npos);
+    EXPECT_EQ(beat.find("\"state\":\"running\""), std::string::npos);
+    EXPECT_NE(beat.find("\"trace\":\"SPEC00\""), std::string::npos);
+
+    // The heartbeat only observes: results match a plain run.
+    const auto plain = SuiteRunner(1).run(matrixJobs(false));
+    for (size_t i = 0; i < outcomes.size(); ++i) {
+        if (i == 4)
+            continue;
+        EXPECT_EQ(outcomes[i].result.mispredictions,
+                  plain[i].result.mispredictions);
+    }
+    std::filesystem::remove_all(dir);
+}
+
+TEST(SuiteRunner, ConcurrentWorkersWithTracingAndHeartbeatAreClean)
+{
+    // Stress the cross-thread surfaces under TSan (the CI
+    // thread-sanitizer job runs --gtest_filter='SuiteRunner*'): four
+    // workers emitting into per-thread trace buffers and publishing
+    // progress atomics while the heartbeat thread reads them.
+    const auto dir = std::filesystem::temp_directory_path() /
+                     "bfbp_suite_tracing";
+    std::filesystem::create_directories(dir);
+    const std::string path = (dir / "heartbeat.jsonl").string();
+
+    auto &session = telemetry::TraceSession::instance();
+    session.start("suite-runner-test");
+
+    SuiteHeartbeatOptions heartbeat;
+    heartbeat.path = path;
+    heartbeat.intervalSeconds = 0.05;
+    const auto traced = SuiteRunner(4).run(
+        matrixJobs(true), SuiteCheckpointOptions{}, heartbeat);
+
+    session.stop();
+    EXPECT_GT(session.eventCount(), 0u);
+    std::ostringstream os;
+    session.writeJson(os);
+    const std::string json = os.str();
+    // Per-job suite spans landed on named worker tracks.
+    EXPECT_NE(json.find("\"name\":\"SPEC00/bimodal\""),
+              std::string::npos);
+    EXPECT_NE(json.find("\"name\":\"worker 0\""), std::string::npos);
+    session.clear();
+
+    // Tracing + heartbeat observed without perturbing: telemetry is
+    // byte-identical to a serial, un-instrumented run.
+    auto plain = SuiteRunner(1).run(matrixJobs(true));
+    ASSERT_EQ(traced.size(), plain.size());
+    for (size_t i = 0; i < traced.size(); ++i) {
+        SCOPED_TRACE(i);
+        EXPECT_EQ(traced[i].data.counters(), plain[i].data.counters());
+        EXPECT_EQ(traced[i].result.mispredictions,
+                  plain[i].result.mispredictions);
+    }
+    std::filesystem::remove_all(dir);
 }
 
 TEST(SuiteRunner, FailingFactoryIsIsolatedToo)

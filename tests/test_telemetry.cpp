@@ -286,6 +286,57 @@ TEST(Telemetry, HistogramBucketPlacement)
     EXPECT_EQ(t.findHistogram("nope"), nullptr);
 }
 
+TEST(Telemetry, HistogramPercentileEdgeCases)
+{
+    Telemetry t;
+
+    // Empty histogram: 0.0 at every quantile.
+    Telemetry::Histogram &empty = t.histogram("empty", {1.0, 2.0});
+    EXPECT_DOUBLE_EQ(empty.percentile(0.0), 0.0);
+    EXPECT_DOUBLE_EQ(empty.percentile(0.5), 0.0);
+    EXPECT_DOUBLE_EQ(empty.percentile(1.0), 0.0);
+
+    // Single sample: every quantile reports its bucket bound.
+    Telemetry::Histogram &one = t.histogram("one", {1.0, 2.0, 4.0});
+    one.record(1.5);
+    EXPECT_DOUBLE_EQ(one.percentile(0.0), 2.0);
+    EXPECT_DOUBLE_EQ(one.percentile(0.5), 2.0);
+    EXPECT_DOUBLE_EQ(one.percentile(1.0), 2.0);
+
+    // All samples equal: a flat distribution has one answer
+    // everywhere.
+    Telemetry::Histogram &flat = t.histogram("flat", {1.0, 2.0, 4.0});
+    flat.recordN(2.0, 1000);
+    EXPECT_DOUBLE_EQ(flat.percentile(0.01), 2.0);
+    EXPECT_DOUBLE_EQ(flat.percentile(0.99), 2.0);
+
+    // Uniform over bucket bounds: quantiles land on exact bounds.
+    Telemetry::Histogram &quartiles =
+        t.histogram("quartiles", {1.0, 2.0, 3.0, 4.0});
+    for (double v : {1.0, 2.0, 3.0, 4.0})
+        quartiles.record(v);
+    EXPECT_DOUBLE_EQ(quartiles.percentile(0.25), 1.0);
+    EXPECT_DOUBLE_EQ(quartiles.percentile(0.5), 2.0);
+    EXPECT_DOUBLE_EQ(quartiles.percentile(0.75), 3.0);
+    EXPECT_DOUBLE_EQ(quartiles.percentile(1.0), 4.0);
+
+    // Out-of-range p clamps instead of reading out of bounds.
+    EXPECT_DOUBLE_EQ(quartiles.percentile(-3.0), 1.0);
+    EXPECT_DOUBLE_EQ(quartiles.percentile(7.0), 4.0);
+
+    // Samples in the overflow bucket report the last finite bound.
+    Telemetry::Histogram &over = t.histogram("over", {1.0, 2.0});
+    over.record(50.0);
+    over.record(60.0);
+    EXPECT_DOUBLE_EQ(over.percentile(0.99), 2.0);
+
+    // No finite bounds at all: the mean is the only estimate.
+    Telemetry::Histogram &unbounded = t.histogram("unbounded", {});
+    unbounded.record(10.0);
+    unbounded.record(20.0);
+    EXPECT_DOUBLE_EQ(unbounded.percentile(0.5), 15.0);
+}
+
 TEST(Telemetry, ScopedTimerRecordsGauges)
 {
     Telemetry t;

@@ -1,0 +1,206 @@
+/**
+ * @file
+ * Tests for the span-tracing subsystem (telemetry/tracing.hpp): the
+ * disarmed no-op contract, span/counter/instant export as Chrome
+ * Trace Event JSON, per-thread buffers and thread naming, the
+ * evaluator's byte-identity with tracing armed, and the live
+ * progress counter.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/factory.hpp"
+#include "sim/evaluator.hpp"
+#include "telemetry/tracing.hpp"
+#include "tracegen/workloads.hpp"
+
+namespace bfbp
+{
+namespace
+{
+
+using telemetry::ScopedSpan;
+using telemetry::TraceSession;
+
+/** Disarms the process-wide session and drops its buffers after each
+ *  test, so tests compose in any order within one process. */
+class Tracing : public ::testing::Test
+{
+  protected:
+    void
+    TearDown() override
+    {
+        TraceSession::instance().stop();
+        TraceSession::instance().clear();
+    }
+};
+
+std::string
+exportedJson()
+{
+    std::ostringstream os;
+    TraceSession::instance().writeJson(os);
+    return os.str();
+}
+
+TEST_F(Tracing, DisarmedSessionRecordsNothing)
+{
+    auto &session = TraceSession::instance();
+    ASSERT_FALSE(TraceSession::enabled());
+    {
+        ScopedSpan span("test", "should-not-appear");
+        session.counter("ctr", 1.0);
+        session.instant("test", "marker");
+        session.complete("test", "span", 0, 10);
+    }
+    EXPECT_EQ(session.eventCount(), 0u);
+}
+
+TEST_F(Tracing, ExportsSpansCountersAndInstants)
+{
+    auto &session = TraceSession::instance();
+    session.start("test-process");
+    session.setCurrentThreadName("main");
+    {
+        ScopedSpan outer("phase", "outer-span");
+        {
+            ScopedSpan inner("phase", std::string("inner-span"));
+        }
+        session.counter("branches", 42.0);
+        session.instant("phase", "checkpoint-hit");
+    }
+    session.stop();
+
+    // 2 spans + 1 counter + 1 instant.
+    EXPECT_EQ(session.eventCount(), 4u);
+
+    const std::string json = exportedJson();
+    EXPECT_NE(json.find("\"displayTimeUnit\":\"ms\""),
+              std::string::npos);
+    EXPECT_NE(json.find("\"traceEvents\":["), std::string::npos);
+    EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+    EXPECT_NE(json.find("\"name\":\"outer-span\""), std::string::npos);
+    EXPECT_NE(json.find("\"name\":\"inner-span\""), std::string::npos);
+    EXPECT_NE(json.find("\"ph\":\"C\""), std::string::npos);
+    EXPECT_NE(json.find("\"name\":\"branches\""), std::string::npos);
+    EXPECT_NE(json.find("\"ph\":\"i\""), std::string::npos);
+    EXPECT_NE(json.find("\"ph\":\"M\""), std::string::npos);
+    EXPECT_NE(json.find("\"name\":\"test-process\""),
+              std::string::npos);
+    EXPECT_NE(json.find("\"name\":\"main\""), std::string::npos);
+    // Valid JSON object format end-to-end (cheap structural check:
+    // balanced braces, newline-terminated).
+    EXPECT_EQ(json.front(), '{');
+    EXPECT_EQ(json[json.size() - 2], '}');
+}
+
+TEST_F(Tracing, ThreadsGetPrivateBuffersAndNames)
+{
+    auto &session = TraceSession::instance();
+    session.start("mt");
+    session.setCurrentThreadName("main");
+    {
+        ScopedSpan span("test", "main-span");
+    }
+    std::vector<std::thread> threads;
+    for (int t = 0; t < 2; ++t) {
+        threads.emplace_back([t, &session] {
+            session.setCurrentThreadName("worker " +
+                                         std::to_string(t));
+            ScopedSpan span("test", "worker-span");
+        });
+    }
+    for (auto &th : threads)
+        th.join();
+    session.stop();
+
+    EXPECT_EQ(session.eventCount(), 3u);
+    const std::string json = exportedJson();
+    EXPECT_NE(json.find("\"name\":\"worker 0\""), std::string::npos);
+    EXPECT_NE(json.find("\"name\":\"worker 1\""), std::string::npos);
+    // Three registered buffers -> tids 0, 1, 2 all appear.
+    EXPECT_NE(json.find("\"tid\":2"), std::string::npos);
+}
+
+TEST_F(Tracing, RestartDropsEarlierSession)
+{
+    auto &session = TraceSession::instance();
+    session.start("first");
+    session.instant("test", "old-event");
+    session.stop();
+    session.start("second");
+    session.instant("test", "new-event");
+    session.stop();
+
+    EXPECT_EQ(session.eventCount(), 1u);
+    const std::string json = exportedJson();
+    EXPECT_EQ(json.find("old-event"), std::string::npos);
+    EXPECT_NE(json.find("new-event"), std::string::npos);
+}
+
+TEST_F(Tracing, EvaluationIsByteIdenticalWithTracingArmed)
+{
+    const auto recipe = tracegen::recipeByName("SPEC00");
+    EvalOptions options;
+    options.collectPerBranch = true;
+
+    auto plainSource = tracegen::makeSource(recipe, 0.02);
+    auto plainPredictor = createPredictor("gshare");
+    const EvalResult plain =
+        evaluate(*plainSource, *plainPredictor, options);
+
+    TraceSession::instance().start("identity-check");
+    auto tracedSource = tracegen::makeSource(recipe, 0.02);
+    auto tracedPredictor = createPredictor("gshare");
+    const EvalResult traced =
+        evaluate(*tracedSource, *tracedPredictor, options);
+    TraceSession::instance().stop();
+
+    // Tracing observed the run (spans + counters exist) without
+    // perturbing a single counted event.
+    EXPECT_GT(TraceSession::instance().eventCount(), 0u);
+    EXPECT_EQ(plain.instructions, traced.instructions);
+    EXPECT_EQ(plain.condBranches, traced.condBranches);
+    EXPECT_EQ(plain.mispredictions, traced.mispredictions);
+    ASSERT_EQ(plain.perBranch.size(), traced.perBranch.size());
+    for (size_t i = 0; i < plain.perBranch.size(); ++i) {
+        EXPECT_EQ(plain.perBranch[i].pc, traced.perBranch[i].pc);
+        EXPECT_EQ(plain.perBranch[i].executions,
+                  traced.perBranch[i].executions);
+        EXPECT_EQ(plain.perBranch[i].transitions,
+                  traced.perBranch[i].transitions);
+        EXPECT_EQ(plain.perBranch[i].mispredictions,
+                  traced.perBranch[i].mispredictions);
+    }
+
+    const std::string json = exportedJson();
+    EXPECT_NE(json.find("evaluate SPEC00/gshare"), std::string::npos);
+    EXPECT_NE(json.find("\"name\":\"eval.pull\""), std::string::npos);
+    EXPECT_NE(json.find("\"name\":\"eval.block\""), std::string::npos);
+    EXPECT_NE(json.find("\"name\":\"branches SPEC00\""),
+              std::string::npos);
+}
+
+TEST_F(Tracing, ProgressCounterPublishesFinalBranchCount)
+{
+    const auto recipe = tracegen::recipeByName("MM1");
+    auto source = tracegen::makeSource(recipe, 0.02);
+    auto predictor = createPredictor("bimodal");
+
+    std::atomic<uint64_t> progress{0};
+    EvalOptions options;
+    options.progress = &progress;
+    const EvalResult result = evaluate(*source, *predictor, options);
+
+    EXPECT_GT(result.condBranches, 0u);
+    EXPECT_EQ(progress.load(), result.condBranches);
+}
+
+} // namespace
+} // namespace bfbp

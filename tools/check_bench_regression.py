@@ -49,6 +49,50 @@ def run_benchmark(bench_path, min_time):
     raise SystemExit("BM_Evaluate not found in benchmark output")
 
 
+def load_baseline(path, strict):
+    """Returns (floor, post_median) from the baseline file.
+
+    A missing file or a baseline without the regression_check entry is
+    a normal state for a fresh checkout or a just-refreshed baseline,
+    not a crash: returns (None, None) after explaining what was
+    missing so the caller can decide (pass in report-only mode, fail
+    in strict mode).
+    """
+    try:
+        with open(path) as f:
+            baseline = json.load(f)
+    except FileNotFoundError:
+        print("no baseline: %s does not exist" % path)
+        return None, None
+    except (json.JSONDecodeError, OSError) as err:
+        print("no baseline: %s is unreadable (%s)" % (path, err))
+        return None, None
+
+    check = baseline.get("regression_check")
+    if not isinstance(check, dict) or \
+            "floor_records_per_sec" not in check:
+        print("no baseline: %s has no regression_check/"
+              "floor_records_per_sec entry" % path)
+        return None, None
+    try:
+        floor = float(check["floor_records_per_sec"])
+    except (TypeError, ValueError):
+        print("no baseline: floor_records_per_sec in %s is not a "
+              "number" % path)
+        return None, None
+
+    # The post median is display-only; fall back to the floor when a
+    # hand-edited baseline omits it.
+    post = floor
+    block = baseline.get("post_block_pipeline")
+    if isinstance(block, dict):
+        try:
+            post = float(block.get("median_records_per_sec", floor))
+        except (TypeError, ValueError):
+            post = floor
+    return floor, post
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -70,10 +114,18 @@ def main():
 
     strict = args.strict or os.environ.get("BFBP_BENCH_CHECK") == "1"
 
-    with open(args.baseline) as f:
-        baseline = json.load(f)
-    floor = float(baseline["regression_check"]["floor_records_per_sec"])
-    post = float(baseline["post_block_pipeline"]["median_records_per_sec"])
+    floor, post = load_baseline(args.baseline, strict)
+    if floor is None:
+        # load_baseline already printed what was missing. Without a
+        # floor there is nothing to compare against: pass in
+        # report-only mode, fail loudly in strict mode.
+        if strict:
+            print("FAIL: no usable baseline for strict check "
+                  "(see message above)", file=sys.stderr)
+            return 1
+        print("throughput check skipped (no baseline; report-only "
+              "pass)")
+        return 0
 
     measured = run_benchmark(args.bench, args.min_time)
 

@@ -1,0 +1,148 @@
+#!/usr/bin/env python3
+"""Aggregate per-branch H2P reports across telemetry JSON documents.
+
+Reads one or more ``bfbp-telemetry-v1`` documents (the ``--json`` +
+``--h2p-report`` output of any suite bench, e.g. ``BENCH_*.json``) and
+summarises where mispredictions concentrate:
+
+* per predictor, the mean fraction of mispredictions carried by the
+  top-1 / top-8 / top-64 static branches (averaged over traces), and
+* a global hottest-branches table ranked by absolute mispredictions
+  across every (trace, predictor) run.
+
+Runs written without ``--h2p-report`` carry no ``h2p`` object and are
+skipped with a note, so the tool can be pointed at a mixed directory
+of bench outputs.
+
+Usage:
+    tools/trace_report.py BENCH_fig08_mpki.json [MORE.json ...]
+                          [--top N] [--csv]
+"""
+
+import argparse
+import json
+import sys
+
+
+def concentration_at(curve, k):
+    """Fraction of mispredictions carried by the top-k branches.
+
+    The curve stores points at 1, 2, 4, ... plus the full population;
+    the fraction at k is the fraction at the largest recorded point
+    not beyond k (the curve is cumulative and monotone). A population
+    smaller than k is fully covered, so its last point applies.
+    """
+    best = 0.0
+    for point in curve:
+        if point["branches"] <= k:
+            best = float(point["fraction"])
+        else:
+            break
+    return best
+
+
+def load_runs(paths):
+    """Yields (path, run) for every run in every document."""
+    for path in paths:
+        try:
+            with open(path) as f:
+                doc = json.load(f)
+        except (OSError, json.JSONDecodeError) as err:
+            raise SystemExit("%s: unreadable (%s)" % (path, err))
+        if doc.get("schema") != "bfbp-telemetry-v1":
+            raise SystemExit("%s: not a bfbp-telemetry-v1 document"
+                             % path)
+        for run in doc.get("runs", []):
+            yield path, run
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description=__doc__.splitlines()[0])
+    parser.add_argument("files", nargs="+",
+                        help="telemetry JSON documents")
+    parser.add_argument("--top", type=int, default=20,
+                        help="rows in the hottest-branches table "
+                             "(default: 20)")
+    parser.add_argument("--csv", action="store_true",
+                        help="emit the per-predictor summary as CSV")
+    args = parser.parse_args()
+
+    # predictor -> list of (top1, top8, top64) fractions, one per run.
+    by_predictor = {}
+    hottest = []
+    skipped = 0
+    for path, run in load_runs(args.files):
+        h2p = run.get("h2p")
+        if not h2p:
+            skipped += 1
+            continue
+        curve = h2p.get("concentration", [])
+        by_predictor.setdefault(run["predictor"], []).append(
+            (concentration_at(curve, 1), concentration_at(curve, 8),
+             concentration_at(curve, 64)))
+        for row in h2p.get("top", []):
+            hottest.append({
+                "trace": run["trace"],
+                "predictor": run["predictor"],
+                "pc": row["pc"],
+                "executions": row["executions"],
+                "mispredictions": row["mispredictions"],
+                "mpki": row["mpki"],
+                "transition_rate": row["transition_rate"],
+            })
+
+    if not by_predictor:
+        raise SystemExit("no h2p reports found -- rerun the benches "
+                         "with --h2p-report")
+
+    summary = []
+    for predictor in sorted(by_predictor):
+        rows = by_predictor[predictor]
+        n = len(rows)
+        summary.append({
+            "predictor": predictor,
+            "runs": n,
+            "mean_top1": sum(r[0] for r in rows) / n,
+            "mean_top8": sum(r[1] for r in rows) / n,
+            "mean_top64": sum(r[2] for r in rows) / n,
+        })
+
+    if args.csv:
+        print("predictor,runs,mean_top1_fraction,mean_top8_fraction,"
+              "mean_top64_fraction")
+        for s in summary:
+            print("%s,%d,%.6f,%.6f,%.6f"
+                  % (s["predictor"], s["runs"], s["mean_top1"],
+                     s["mean_top8"], s["mean_top64"]))
+        return 0
+
+    print("misprediction concentration by predictor "
+          "(mean over %d run(s)%s):"
+          % (sum(s["runs"] for s in summary),
+             ", %d without h2p skipped" % skipped if skipped else ""))
+    print("  %-24s %6s %10s %10s %10s"
+          % ("predictor", "runs", "top-1", "top-8", "top-64"))
+    for s in summary:
+        print("  %-24s %6d %9.1f%% %9.1f%% %9.1f%%"
+              % (s["predictor"], s["runs"], 100 * s["mean_top1"],
+                 100 * s["mean_top8"], 100 * s["mean_top64"]))
+
+    hottest.sort(key=lambda r: (-r["mispredictions"], r["trace"],
+                                r["predictor"], r["pc"]))
+    print()
+    print("hottest static branches (top %d by mispredictions):"
+          % min(args.top, len(hottest)))
+    print("  %-10s %-24s %-14s %12s %12s %8s %6s"
+          % ("trace", "predictor", "pc", "executions",
+             "mispredicts", "mpki", "trans"))
+    for row in hottest[:args.top]:
+        print("  %-10s %-24s %-14s %12d %12d %8.2f %6.2f"
+              % (row["trace"], row["predictor"], row["pc"],
+                 row["executions"], row["mispredictions"],
+                 row["mpki"], row["transition_rate"]))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

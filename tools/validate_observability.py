@@ -1,0 +1,258 @@
+#!/usr/bin/env python3
+"""Structural validator for the observability artifacts of one run.
+
+CI runs a small suite bench with ``--trace-out``, ``--h2p-report``
+and ``--heartbeat``, then points this script at the three outputs.
+Each check asserts the documented structure, not specific numbers, so
+the validation is stable across trace scales and machine speeds:
+
+* ``--trace``: Chrome Trace Event JSON (Perfetto-loadable object
+  form) with metadata, complete spans, non-negative timestamps, and
+  the expected evaluator + suite span names.
+* ``--h2p``: a ``bfbp-telemetry-v1`` document in which every run
+  carries an ``h2p`` report with a ranked top table (mispredictions
+  non-increasing, cumulative share non-decreasing) and a monotone
+  concentration curve ending at the full population.
+* ``--heartbeat``: the ``bfbp-heartbeat-v1`` JSONL file, whose final
+  beat must show every job settled (done or failed, none queued or
+  running) and one line per job.
+
+Any structural violation exits 1 with a message naming the artifact
+and the failed expectation.
+
+Usage:
+    tools/validate_observability.py [--trace trace.json]
+                                    [--h2p h2p.json]
+                                    [--heartbeat heartbeat.jsonl]
+                                    [--expect-workers N]
+"""
+
+import argparse
+import json
+import sys
+
+FAILURES = []
+
+
+def fail(artifact, message):
+    FAILURES.append("%s: %s" % (artifact, message))
+
+
+def check(artifact, condition, message):
+    if not condition:
+        fail(artifact, message)
+    return condition
+
+
+def load_json(path, artifact):
+    try:
+        with open(path) as f:
+            return json.load(f)
+    except (OSError, json.JSONDecodeError) as err:
+        fail(artifact, "unreadable (%s)" % err)
+        return None
+
+
+def validate_trace(path, expect_workers):
+    doc = load_json(path, "trace")
+    if doc is None:
+        return
+    check("trace", doc.get("displayTimeUnit") == "ms",
+          "displayTimeUnit must be 'ms'")
+    events = doc.get("traceEvents")
+    if not check("trace", isinstance(events, list) and events,
+                 "traceEvents must be a non-empty array"):
+        return
+
+    names_by_ph = {}
+    thread_names = set()
+    for event in events:
+        ph = event.get("ph")
+        if not check("trace", ph in ("X", "i", "C", "M"),
+                     "unexpected event phase %r" % ph):
+            return
+        names_by_ph.setdefault(ph, set()).add(event.get("name", ""))
+        # Metadata events name a pid/tid; only timed events carry ts.
+        fields = ("pid", "tid") if ph == "M" else ("pid", "tid", "ts")
+        for field in fields:
+            check("trace",
+                  isinstance(event.get(field), (int, float))
+                  and event[field] >= 0,
+                  "%s event needs non-negative %s" % (ph, field))
+        if ph == "X":
+            check("trace",
+                  isinstance(event.get("dur"), (int, float))
+                  and event["dur"] >= 0,
+                  "complete span %r needs non-negative dur"
+                  % event.get("name"))
+        if ph == "M" and event.get("name") == "thread_name":
+            thread_names.add(event.get("args", {}).get("name", ""))
+
+    check("trace", "M" in names_by_ph,
+          "no metadata events (process/thread names)")
+    spans = names_by_ph.get("X", set())
+    check("trace", any(n.startswith("evaluate ") for n in spans),
+          "no 'evaluate <trace>/<predictor>' span")
+    check("trace", "eval.block" in spans,
+          "no 'eval.block' phase span")
+    check("trace", any(n.startswith("suite") for n in spans),
+          "no suite-level span")
+    check("trace", any("/" in n and not n.startswith("evaluate")
+                       for n in spans),
+          "no per-job '<trace>/<predictor>' worker span")
+    if expect_workers:
+        missing = [w for w in range(expect_workers)
+                   if "worker %d" % w not in thread_names]
+        check("trace", not missing,
+              "missing worker thread names: %s" % missing)
+    counters = names_by_ph.get("C", set())
+    check("trace", any(n.startswith("branches ") for n in counters),
+          "no per-trace branch counter track")
+
+
+def validate_h2p_report(h2p, where):
+    for field in ("top_k", "static_branches", "profiled_executions",
+                  "total_mispredictions", "instructions"):
+        check(where, isinstance(h2p.get(field), int),
+              "missing integer field %r" % field)
+    top = h2p.get("top")
+    if not check(where, isinstance(top, list), "missing top array"):
+        return
+    prev_misp, prev_cum = None, 0.0
+    for i, row in enumerate(top):
+        check(where, row.get("rank") == i + 1,
+              "rank must be dense from 1 (row %d)" % i)
+        pc = row.get("pc")
+        check(where,
+              isinstance(pc, str) and pc.startswith("0x"),
+              "pc must be a hex string (row %d)" % i)
+        misp = row.get("mispredictions")
+        if prev_misp is not None:
+            check(where, misp <= prev_misp,
+                  "top table must be sorted by mispredictions desc")
+        prev_misp = misp
+        cum = row.get("cumulative_share", 0.0)
+        check(where, cum + 1e-9 >= prev_cum,
+              "cumulative_share must be non-decreasing")
+        prev_cum = cum
+        for rate in ("taken_rate", "transition_rate", "share"):
+            check(where, 0.0 <= row.get(rate, -1.0) <= 1.0,
+                  "%s out of [0,1] (row %d)" % (rate, i))
+
+    curve = h2p.get("concentration")
+    if not check(where, isinstance(curve, list),
+                 "missing concentration array"):
+        return
+    prev = None
+    for point in curve:
+        for field in ("branches", "mispredictions", "fraction"):
+            check(where, field in point,
+                  "curve point missing %r" % field)
+        if prev is not None:
+            check(where, point["branches"] > prev["branches"],
+                  "curve branches must be strictly increasing")
+            check(where,
+                  point["fraction"] + 1e-9 >= prev["fraction"],
+                  "curve fraction must be non-decreasing")
+        prev = point
+    if curve and h2p.get("total_mispredictions", 0) > 0:
+        check(where, abs(curve[-1]["fraction"] - 1.0) < 1e-9,
+              "curve must end at the full population (fraction 1)")
+        check(where,
+              curve[-1]["branches"] == h2p.get("static_branches"),
+              "last curve point must cover every static branch")
+
+
+def validate_h2p(path):
+    doc = load_json(path, "h2p")
+    if doc is None:
+        return
+    check("h2p", doc.get("schema") == "bfbp-telemetry-v1",
+          "schema must be bfbp-telemetry-v1")
+    runs = doc.get("runs", [])
+    if not check("h2p", runs, "document has no runs"):
+        return
+    for run in runs:
+        where = "h2p[%s/%s]" % (run.get("trace", "?"),
+                                run.get("predictor", "?"))
+        if check(where, "h2p" in run,
+                 "run missing h2p report (bench run without "
+                 "--h2p-report?)"):
+            validate_h2p_report(run["h2p"], where)
+
+
+def validate_heartbeat(path):
+    try:
+        with open(path) as f:
+            lines = [ln for ln in f.read().splitlines() if ln]
+    except OSError as err:
+        fail("heartbeat", "unreadable (%s)" % err)
+        return
+    if not check("heartbeat", lines, "file is empty"):
+        return
+    try:
+        docs = [json.loads(ln) for ln in lines]
+    except json.JSONDecodeError as err:
+        fail("heartbeat", "line is not JSON (%s)" % err)
+        return
+
+    summary, jobs = docs[0], docs[1:]
+    check("heartbeat", summary.get("schema") == "bfbp-heartbeat-v1",
+          "first line must carry schema bfbp-heartbeat-v1")
+    check("heartbeat", summary.get("jobs") == len(jobs),
+          "summary jobs=%r but %d job lines"
+          % (summary.get("jobs"), len(jobs)))
+    # The validator runs after the bench exits, so the final beat must
+    # show a fully settled suite.
+    check("heartbeat", summary.get("queued") == 0
+          and summary.get("running") == 0,
+          "final beat still has queued/running jobs")
+    check("heartbeat",
+          summary.get("done", 0) + summary.get("failed", 0)
+          == len(jobs),
+          "done+failed must equal the job count")
+    for i, job in enumerate(jobs):
+        check("heartbeat", job.get("state") in ("done", "failed"),
+              "job %d not settled (state=%r)"
+              % (i, job.get("state")))
+        for field in ("job", "trace", "predictor", "cond_branches"):
+            check("heartbeat", field in job,
+                  "job %d missing %r" % (i, field))
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description=__doc__.splitlines()[0])
+    parser.add_argument("--trace", help="Chrome trace JSON to check")
+    parser.add_argument("--h2p", help="telemetry JSON with h2p "
+                                      "reports to check")
+    parser.add_argument("--heartbeat", help="heartbeat JSONL to "
+                                            "check")
+    parser.add_argument("--expect-workers", type=int, default=0,
+                        help="require thread-name metadata for "
+                             "workers 0..N-1 in the trace")
+    args = parser.parse_args()
+    if not (args.trace or args.h2p or args.heartbeat):
+        parser.error("nothing to validate: pass --trace, --h2p "
+                     "and/or --heartbeat")
+
+    if args.trace:
+        validate_trace(args.trace, args.expect_workers)
+    if args.h2p:
+        validate_h2p(args.h2p)
+    if args.heartbeat:
+        validate_heartbeat(args.heartbeat)
+
+    if FAILURES:
+        for failure in FAILURES:
+            print("FAIL %s" % failure, file=sys.stderr)
+        return 1
+    checked = [name for name, value in
+               (("trace", args.trace), ("h2p", args.h2p),
+                ("heartbeat", args.heartbeat)) if value]
+    print("observability artifacts OK (%s)" % ", ".join(checked))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
