@@ -22,6 +22,11 @@
  *   --resume      with --checkpoint-dir (required): skip jobs whose
  *                 outcome is already persisted, resume in-flight
  *                 evaluations from their mid-trace checkpoint
+ *   --dump-traces D  archive each evaluated trace under D before the
+ *                 suite runs (one ".trace" file per trace name)
+ *   --trace-v2    with --dump-traces (required): write the dumps in
+ *                 the v2 container — checksummed, delta-compressed,
+ *                 seekable (docs/SERIALIZATION.md)
  *   --help        usage
  *
  * RunArchive is the bridge between the evaluator and the telemetry
@@ -58,6 +63,7 @@
 #include "sim/predictor.hpp"
 #include "sim/snapshot.hpp"
 #include "sim/suite_runner.hpp"
+#include "sim/trace_io.hpp"
 #include "telemetry/h2p.hpp"
 #include "telemetry/sinks.hpp"
 #include "telemetry/telemetry.hpp"
@@ -110,6 +116,8 @@ struct Options
     uint64_t h2pTop = 64;      //!< --h2p-top table size.
     std::string heartbeatPath; //!< --heartbeat file; empty = off.
     double heartbeatInterval = 1.0; //!< --heartbeat-interval seconds.
+    std::string dumpTracesDir; //!< --dump-traces dir; empty = off.
+    bool traceV2 = false;      //!< --trace-v2 container for dumps.
 
     static Options
     parse(int argc, char **argv, const std::string &description)
@@ -174,6 +182,10 @@ struct Options
                 opts.heartbeatInterval =
                     parseSeconds(argv[++i], "--heartbeat-interval");
                 heartbeatIntervalSet = true;
+            } else if (arg == "--dump-traces" && i + 1 < argc) {
+                opts.dumpTracesDir = argv[++i];
+            } else if (arg == "--trace-v2") {
+                opts.traceV2 = true;
             } else if (arg == "--help" || arg == "-h") {
                 std::cout << description << "\n\n"
                           << "options:\n"
@@ -215,7 +227,14 @@ struct Options
                           << "bfbp-heartbeat-v1)\n"
                           << "  --heartbeat-interval S  seconds "
                           << "between heartbeats (default 1.0; "
-                          << "requires --heartbeat)\n";
+                          << "requires --heartbeat)\n"
+                          << "  --dump-traces D  archive each "
+                          << "evaluated trace under D before the "
+                          << "suite runs (docs/SERIALIZATION.md)\n"
+                          << "  --trace-v2    write dumped traces in "
+                          << "the v2 container (checksummed, "
+                          << "compressed, seekable; requires "
+                          << "--dump-traces)\n";
                 std::exit(0);
             } else {
                 std::cerr << "unknown option: " << arg << "\n";
@@ -251,6 +270,11 @@ struct Options
         }
         if (heartbeatIntervalSet && opts.heartbeatPath.empty()) {
             std::cerr << "--heartbeat-interval requires --heartbeat\n";
+            std::exit(2);
+        }
+        if (opts.traceV2 && opts.dumpTracesDir.empty()) {
+            std::cerr << "--trace-v2 requires --dump-traces: it "
+                      << "selects the container for dumped traces\n";
             std::exit(2);
         }
         return opts;
@@ -528,7 +552,11 @@ class WarmupCache
         src.requireExhausted("bench-warmup snapshot");
         restorePredictorBody(predictor, body);
 
-        // Bulk fast-forward to where the warmup left the source.
+        // Reposition the source where the warmup left it: seekable
+        // sources (v2 trace archives) jump there, the rest
+        // fast-forward in bulk.
+        if (source.seekToRecord(records))
+            return;
         std::vector<BranchRecord> block(4096);
         uint64_t skipped = 0;
         while (skipped < records) {
@@ -679,6 +707,8 @@ class RunArchive
             job.options.telemetryInterval = opts.interval;
             job.options.collectPerBranch |= opts.h2pReport;
         }
+        if (!opts.dumpTracesDir.empty())
+            dumpTraces(jobs);
         if (!opts.warmupDir.empty()) {
             std::error_code ec;
             std::filesystem::create_directories(opts.warmupDir, ec);
@@ -797,6 +827,44 @@ class RunArchive
     }
 
   private:
+    /**
+     * --dump-traces: archive each distinct trace of the suite once
+     * under the dump directory (".trace" files named after the
+     * trace), in the container --trace-v2 selects. Runs before the
+     * evaluations; a dump failure aborts the bench rather than
+     * leaving a half-written archive unnoticed (the writer's atomic
+     * rename means no partial file survives either way).
+     */
+    void
+    dumpTraces(const std::vector<SuiteJob> &jobs)
+    {
+        std::error_code ec;
+        std::filesystem::create_directories(opts.dumpTracesDir, ec);
+        if (ec) {
+            throw TraceIoError("cannot create --dump-traces directory '" +
+                               opts.dumpTracesDir + "': " + ec.message());
+        }
+        const TraceFormat format =
+            opts.traceV2 ? TraceFormat::V2 : TraceFormat::V1;
+        std::vector<std::string> done;
+        for (const auto &job : jobs) {
+            if (std::find(done.begin(), done.end(), job.traceName) !=
+                done.end())
+                continue;
+            done.push_back(job.traceName);
+            telemetry::ScopedSpan span("bench",
+                                       "dump " + job.traceName);
+            const std::string path =
+                opts.dumpTracesDir + "/" + job.traceName + ".trace";
+            auto source = job.makeSource();
+            TraceFileWriter writer(path, 64 * 1024, format);
+            BranchRecord r;
+            while (source->next(r))
+                writer.append(r);
+            writer.close();
+        }
+    }
+
     /** Converts one suite outcome into a BenchRun, archiving the
      *  RunRecord when --json is active (mirrors evaluateRun). */
     BenchRun

@@ -121,30 +121,34 @@ BENCHMARK(BM_BfIslTage10);
  * the archived SPEC13 trace, so items/second == records/second.
  */
 const std::string &
-evalTracePath()
+evalTracePath(bfbp::TraceFormat format)
 {
-    static const std::string path = [] {
+    static const auto make = [](bfbp::TraceFormat fmt,
+                                const char *name) {
         const std::string p =
-            (std::filesystem::temp_directory_path() /
-             "bfbp_bm_evaluate.trace")
-                .string();
+            (std::filesystem::temp_directory_path() / name).string();
         auto src = bfbp::tracegen::makeSource(
             bfbp::tracegen::recipeByName("SPEC13"), 0.5);
-        bfbp::TraceFileWriter writer(p);
+        bfbp::TraceFileWriter writer(p, fmt);
         bfbp::BranchRecord r;
         while (src->next(r))
             writer.append(r);
         writer.close();
         return p;
-    }();
-    return path;
+    };
+    static const std::string v1 =
+        make(bfbp::TraceFormat::V1, "bfbp_bm_evaluate.trace");
+    static const std::string v2 =
+        make(bfbp::TraceFormat::V2, "bfbp_bm_evaluate_v2.trace");
+    return format == bfbp::TraceFormat::V2 ? v2 : v1;
 }
 
 void
 runEvaluateFile(benchmark::State &state, const std::string &spec,
-                bool per_branch)
+                bool per_branch,
+                bfbp::TraceFormat format = bfbp::TraceFormat::V1)
 {
-    const std::string &path = evalTracePath();
+    const std::string &path = evalTracePath(format);
     uint64_t records = 0;
     uint64_t mispredicts = 0;
     for (auto _ : state) {
@@ -175,10 +179,21 @@ BM_EvaluatePerBranch(benchmark::State &state)
     runEvaluateFile(state, "isl-tage-10", true);
 }
 
-/** The trace-archive write path (pack + buffered fwrite), records
- *  per second; reads back through the evaluate path are BM_Evaluate. */
+/** BM_Evaluate over the v2 container: same records, but every block
+ *  is checksum-verified and delta-decoded on the way in. The gap to
+ *  BM_Evaluate is the read-side cost of end-to-end integrity. */
 void
-BM_TraceWrite(benchmark::State &state)
+BM_EvaluateV2(benchmark::State &state)
+{
+    runEvaluateFile(state, "isl-tage-10", false,
+                    bfbp::TraceFormat::V2);
+}
+
+/** The trace-archive write path (pack + buffered fwrite; v2 adds
+ *  delta encoding + checksumming), records per second; reads back
+ *  through the evaluate path are BM_Evaluate / BM_EvaluateV2. */
+void
+runTraceWrite(benchmark::State &state, bfbp::TraceFormat format)
 {
     const auto &records = sampleTrace();
     const std::string path =
@@ -186,7 +201,7 @@ BM_TraceWrite(benchmark::State &state)
          "bfbp_bm_tracewrite.trace")
             .string();
     for (auto _ : state) {
-        bfbp::TraceFileWriter writer(path);
+        bfbp::TraceFileWriter writer(path, format);
         for (const auto &r : records)
             writer.append(r);
         writer.close();
@@ -197,9 +212,23 @@ BM_TraceWrite(benchmark::State &state)
         static_cast<int64_t>(state.iterations() * records.size()));
 }
 
+void
+BM_TraceWrite(benchmark::State &state)
+{
+    runTraceWrite(state, bfbp::TraceFormat::V1);
+}
+
+void
+BM_TraceWriteV2(benchmark::State &state)
+{
+    runTraceWrite(state, bfbp::TraceFormat::V2);
+}
+
 BENCHMARK(BM_Evaluate)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_EvaluatePerBranch)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_EvaluateV2)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_TraceWrite)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_TraceWriteV2)->Unit(benchmark::kMillisecond);
 
 /**
  * Suite-runner scaling: a small (trace x predictor) matrix submitted

@@ -12,8 +12,12 @@
  * driver that replays files given on the command line, so the CI
  * smoke corpus stays runnable everywhere.
  *
- * Input layout: byte 0 selects the target (even = trace container,
- * odd = snapshot loader; for snapshots byte 1 selects the predictor),
+ * Input layout: byte 0 mod 4 selects the target:
+ *   0 = trace container reader (v1 and v2 by auto-detection),
+ *   1 = snapshot loader (byte 1 selects the predictor),
+ *   2 = v2 delta block codec fed directly (bytes 1-2 = record count),
+ *   3 = trace container under IntegrityPolicy::SkipBlock, plus a
+ *       seekToRecord() probe on anything that opens;
  * the rest is the parser's input verbatim.
  */
 
@@ -49,7 +53,8 @@ scratchPath()
 }
 
 void
-fuzzTraceContainer(const uint8_t *data, size_t size)
+fuzzTraceContainer(const uint8_t *data, size_t size,
+                   bfbp::IntegrityPolicy policy)
 {
     std::FILE *f = std::fopen(scratchPath().c_str(), "wb");
     if (!f)
@@ -59,12 +64,56 @@ fuzzTraceContainer(const uint8_t *data, size_t size)
     std::fclose(f);
 
     try {
-        bfbp::TraceFileSource source(scratchPath());
+        bfbp::TraceFileSource source(scratchPath(), 256 * 1024, policy);
         bfbp::BranchRecord record;
-        while (source.next(record)) {
+        if (policy == bfbp::IntegrityPolicy::SkipBlock) {
+            // Exercise the seek index on whatever opened, then read
+            // out the tail. Under SkipBlock corrupt blocks vanish
+            // silently; structural record errors still throw.
+            try {
+                source.seekToRecord(source.recordCount() / 2);
+            } catch (const bfbp::TraceIoError &) {
+            }
+        }
+        // Drain with a budget: record-level errors are worth riding
+        // past (they exercise the skip paths), but a reader stuck at
+        // a sticky error (e.g. a truncated v1 payload re-raising at
+        // the same position) must not hang the fuzzer.
+        size_t errorBudget = size + 16;
+        for (;;) {
+            try {
+                if (!source.next(record))
+                    break;
+            } catch (const bfbp::TraceIoError &) {
+                if (errorBudget-- == 0)
+                    break;
+            }
         }
     } catch (const bfbp::TraceIoError &) {
         // The expected rejection path.
+    }
+}
+
+void
+fuzzDeltaCodec(const uint8_t *data, size_t size)
+{
+    // Bytes 0-1: claimed record count (bounded); rest: raw payload
+    // fed straight to the block decoder, bypassing the container's
+    // checksum — the codec must reject or decode, never crash, even
+    // on byte streams no writer would produce.
+    if (size < 2)
+        return;
+    const size_t claimed = static_cast<size_t>(data[0]) |
+                           (static_cast<size_t>(data[1]) << 8);
+    const size_t records = claimed % 8192;
+    bfbp::trace_format::DeltaBlockDecoder decoder(data + 2, size - 2);
+    for (size_t i = 0; i < records; ++i) {
+        try {
+            (void)decoder.next();
+        } catch (const bfbp::TraceIoError &) {
+            if (decoder.frameBroken())
+                break; // rest of the payload is unreachable
+        }
     }
 }
 
@@ -95,10 +144,22 @@ LLVMFuzzerTestOneInput(const uint8_t *data, size_t size)
 {
     if (size == 0)
         return 0;
-    if (data[0] % 2 == 0)
-        fuzzTraceContainer(data + 1, size - 1);
-    else
+    switch (data[0] % 4) {
+    case 0:
+        fuzzTraceContainer(data + 1, size - 1,
+                           bfbp::IntegrityPolicy::Throw);
+        break;
+    case 1:
         fuzzSnapshotLoader(data + 1, size - 1);
+        break;
+    case 2:
+        fuzzDeltaCodec(data + 1, size - 1);
+        break;
+    default:
+        fuzzTraceContainer(data + 1, size - 1,
+                           bfbp::IntegrityPolicy::SkipBlock);
+        break;
+    }
     return 0;
 }
 

@@ -256,24 +256,27 @@ evaluate(TraceSource &source, BranchPredictor &predictor,
         pending = std::move(ck.pending);
         profiles = std::move(ck.profiles);
 
-        // Fast-forward a fresh source past the records the
-        // checkpointed run already consumed, a block at a time. A
-        // trace that ends early cannot be the one the checkpoint was
-        // taken on.
-        uint64_t skipped = 0;
-        while (skipped < ck.recordsConsumed) {
-            const size_t want = static_cast<size_t>(
-                std::min<uint64_t>(block.size(),
-                                   ck.recordsConsumed - skipped));
-            const size_t got = source.nextBlock(block.data(), want);
-            if (got == 0) {
-                throw TraceIoError(
-                    "cannot resume: " + source.name() + " ended after " +
-                    std::to_string(skipped) + " records, checkpoint " +
-                    "was taken at " +
-                    std::to_string(ck.recordsConsumed));
+        // Reposition a fresh source at the first unconsumed record.
+        // Seekable sources (v2 trace archives, in-memory vectors)
+        // jump there through their seek index; everything else is
+        // fast-forwarded a block at a time. A trace that ends early
+        // cannot be the one the checkpoint was taken on.
+        if (!source.seekToRecord(ck.recordsConsumed)) {
+            uint64_t skipped = 0;
+            while (skipped < ck.recordsConsumed) {
+                const size_t want = static_cast<size_t>(
+                    std::min<uint64_t>(block.size(),
+                                       ck.recordsConsumed - skipped));
+                const size_t got = source.nextBlock(block.data(), want);
+                if (got == 0) {
+                    throw TraceIoError(
+                        "cannot resume: " + source.name() +
+                        " ended after " + std::to_string(skipped) +
+                        " records, checkpoint was taken at " +
+                        std::to_string(ck.recordsConsumed));
+                }
+                skipped += got;
             }
-            skipped += got;
         }
         recordsConsumed = ck.recordsConsumed;
     }

@@ -249,4 +249,232 @@ fuzzTraceFile(const std::string &golden_path,
     return report;
 }
 
+namespace
+{
+
+/** Parsed v2 file geometry, taken from a trusted golden archive. */
+struct V2Layout
+{
+    struct Entry
+    {
+        uint64_t offset;
+        uint64_t firstRecord;
+        uint64_t recordCount;
+    };
+    uint64_t total = 0;
+    size_t indexOffset = 0;
+    std::vector<Entry> entries;
+};
+
+uint64_t
+readU64At(const std::vector<unsigned char> &bytes, size_t off)
+{
+    uint64_t v;
+    std::memcpy(&v, bytes.data() + off, 8);
+    return v;
+}
+
+uint32_t
+readU32At(const std::vector<unsigned char> &bytes, size_t off)
+{
+    uint32_t v;
+    std::memcpy(&v, bytes.data() + off, 4);
+    return v;
+}
+
+V2Layout
+parseV2Golden(const std::vector<unsigned char> &bytes,
+              const std::string &golden_path)
+{
+    using namespace trace_format;
+    if (bytes.size() < headerBytes + trailerBytes ||
+        readU32At(bytes, 0) != magic || readU32At(bytes, 4) != version2) {
+        throw TraceIoError("fuzzer golden trace is not a v2 archive: " +
+                           golden_path);
+    }
+    V2Layout layout;
+    layout.total = readU64At(bytes, countOffset);
+    const size_t trailerOff = bytes.size() - trailerBytes;
+    const uint64_t blockCount = readU64At(bytes, trailerOff);
+    layout.indexOffset =
+        trailerOff - static_cast<size_t>(blockCount) * indexEntryBytes;
+    for (uint64_t i = 0; i < blockCount; ++i) {
+        const size_t e = layout.indexOffset + i * indexEntryBytes;
+        layout.entries.push_back({readU64At(bytes, e),
+                                  readU64At(bytes, e + 8),
+                                  readU64At(bytes, e + 16)});
+    }
+    return layout;
+}
+
+/** Recomputes and stores block @p i's checksum over its (possibly
+ *  mutated) frame fields and original payload extent. */
+void
+fixBlockChecksum(std::vector<unsigned char> &bytes, const V2Layout &layout,
+                 size_t i)
+{
+    using namespace trace_format;
+    const size_t off = static_cast<size_t>(layout.entries[i].offset);
+    const size_t payloadStart = off + blockHeaderBytes;
+    const size_t blockEnd = static_cast<size_t>(
+        i + 1 < layout.entries.size()
+            ? layout.entries[i + 1].offset
+            : layout.indexOffset);
+    // The payload extent comes from the trusted layout, not from the
+    // (possibly mutated) payloadBytes field — a lying length must be
+    // rejected by the frame check, not hidden by a resized checksum.
+    const uint32_t payloadBytes =
+        static_cast<uint32_t>(blockEnd - payloadStart);
+    const uint64_t sum =
+        blockChecksum(readU32At(bytes, off), payloadBytes,
+                      readU32At(bytes, off + 8), bytes.data() + payloadStart);
+    std::memcpy(bytes.data() + off + 12, &sum, 8);
+}
+
+void
+fixIndexChecksum(std::vector<unsigned char> &bytes, const V2Layout &layout)
+{
+    using namespace trace_format;
+    const size_t trailerOff = bytes.size() - trailerBytes;
+    const uint64_t blockCount = layout.entries.size();
+    const uint64_t sum =
+        indexChecksum(bytes.data() + layout.indexOffset,
+                      trailerOff - layout.indexOffset, blockCount);
+    std::memcpy(bytes.data() + trailerOff + 8, &sum, 8);
+}
+
+/** One checksum-fixup case: mutate, re-seal, run the full read path.
+ *  The reader may survive (different records are fine) or reject;
+ *  anything else escapes. */
+void
+attemptFixup(const std::vector<unsigned char> &mutant,
+             const std::string &scratch_path, FuzzReport &report)
+{
+    spit(scratch_path, mutant.data(), mutant.size());
+    ++report.fixupCases;
+    try {
+        const auto records = readTrace(scratch_path);
+        ++report.fixupReadOk;
+        report.recordsRead += records.size();
+    } catch (const TraceIoError &) {
+        ++report.fixupRejected;
+    }
+}
+
+} // anonymous namespace
+
+FuzzReport
+fuzzTraceFileV2(const std::string &golden_path,
+                const std::string &scratch_path)
+{
+    using namespace trace_format;
+    const std::vector<unsigned char> golden = slurp(golden_path);
+    const V2Layout layout = parseV2Golden(golden, golden_path);
+
+    FuzzReport report;
+    std::vector<unsigned char> mutant;
+
+    // ---- Class 1: checksum-oblivious. Every byte of the file, four
+    // variants each. Unlike v1 (where payload bytes decode to
+    // plausible records), every one of these must be detected.
+    for (size_t off = 0; off < golden.size(); ++off) {
+        const unsigned char original = golden[off];
+        const unsigned char variants[4] = {
+            static_cast<unsigned char>(original ^ 0xFF), 0x00, 0xFF,
+            static_cast<unsigned char>(original ^ 0x01)};
+        for (unsigned char v : variants) {
+            if (v == original)
+                continue;
+            mutant = golden;
+            mutant[off] = v;
+            attempt(mutant, scratch_path, report);
+        }
+    }
+
+    // Truncation at every length and trailing garbage: the trailer
+    // anchors at end-of-file, so any size change must be caught.
+    for (size_t len = 0; len < golden.size(); ++len) {
+        mutant.assign(golden.begin(), golden.begin() + len);
+        attempt(mutant, scratch_path, report);
+    }
+    for (size_t extra : {size_t{1}, trailerBytes}) {
+        mutant = golden;
+        mutant.insert(mutant.end(), extra, 0xAB);
+        attempt(mutant, scratch_path, report);
+    }
+
+    // Version rewritten to v1: the v1 size cross-check must reject a
+    // v2 body (only attempted when the geometry guarantees the
+    // mismatch, which any compressed or indexed file satisfies).
+    if (headerBytes + layout.total * recordBytes != golden.size()) {
+        mutant = golden;
+        const uint32_t v1 = version;
+        std::memcpy(mutant.data() + 4, &v1, 4);
+        attempt(mutant, scratch_path, report);
+    }
+
+    // ---- Class 2: checksum-fixup. Damage that predates the
+    // checksum: flip a byte, then re-seal the enclosing checksum.
+    // Block payloads and frame fields first.
+    for (size_t b = 0; b < layout.entries.size(); ++b) {
+        const size_t frameOff =
+            static_cast<size_t>(layout.entries[b].offset);
+        const size_t blockEnd = static_cast<size_t>(
+            b + 1 < layout.entries.size() ? layout.entries[b + 1].offset
+                                          : layout.indexOffset);
+        // Frame fields (recordCount/payloadBytes/codec; skip the
+        // checksum field itself — rewriting it is class 1).
+        for (size_t off = frameOff; off < frameOff + 12; ++off) {
+            for (unsigned char v :
+                 {static_cast<unsigned char>(golden[off] ^ 0x01),
+                  static_cast<unsigned char>(golden[off] ^ 0xFF)}) {
+                mutant = golden;
+                mutant[off] = v;
+                fixBlockChecksum(mutant, layout, b);
+                attemptFixup(mutant, scratch_path, report);
+            }
+        }
+        // Every payload byte, two variants.
+        for (size_t off = frameOff + blockHeaderBytes; off < blockEnd;
+             ++off) {
+            for (unsigned char v :
+                 {static_cast<unsigned char>(golden[off] ^ 0x01),
+                  static_cast<unsigned char>(golden[off] ^ 0xFF)}) {
+                mutant = golden;
+                mutant[off] = v;
+                fixBlockChecksum(mutant, layout, b);
+                attemptFixup(mutant, scratch_path, report);
+            }
+        }
+    }
+
+    // Index entries (re-sealed with the index checksum): the
+    // structural chain validation must reject what the checksum no
+    // longer can. Includes header-count lies for good measure — the
+    // count is covered by the index cross-check, not a checksum.
+    const size_t trailerOff = golden.size() - trailerBytes;
+    for (size_t off = layout.indexOffset; off < trailerOff; ++off) {
+        for (unsigned char v :
+             {static_cast<unsigned char>(golden[off] ^ 0x01),
+              static_cast<unsigned char>(golden[off] ^ 0xFF)}) {
+            mutant = golden;
+            mutant[off] = v;
+            fixIndexChecksum(mutant, layout);
+            attemptFixup(mutant, scratch_path, report);
+        }
+    }
+    for (uint64_t lie :
+         {uint64_t{0}, layout.total + 1,
+          layout.total > 0 ? layout.total - 1 : uint64_t{2}, UINT64_MAX}) {
+        if (lie == layout.total)
+            continue;
+        mutant = golden;
+        overwriteCount(mutant, lie);
+        attemptFixup(mutant, scratch_path, report);
+    }
+
+    std::remove(scratch_path.c_str());
+    return report;
+}
+
 } // namespace bfbp

@@ -101,7 +101,7 @@ class FaultInjectingSource : public TraceSource
     FaultStats counts;
 };
 
-/** Outcome tally of one fuzzTraceFile() sweep. */
+/** Outcome tally of one fuzzTraceFile()/fuzzTraceFileV2() sweep. */
 struct FuzzReport
 {
     uint64_t cases = 0;       //!< Mutants attempted.
@@ -109,6 +109,14 @@ struct FuzzReport
     uint64_t rejected = 0;    //!< Mutants rejected with TraceIoError.
     uint64_t recordsRead = 0; //!< Records decoded across accepted
                               //!< mutants (sanity ceiling check).
+
+    // v2 checksum-fixup class (fuzzTraceFileV2 only): mutants whose
+    // enclosing block/index checksum was recomputed after the byte
+    // flip, so detection cannot come from the checksum itself.
+    uint64_t fixupCases = 0;
+    uint64_t fixupReadOk = 0;   //!< Survived (possibly different
+                                //!< records — that is allowed).
+    uint64_t fixupRejected = 0; //!< Structurally rejected.
 };
 
 /**
@@ -133,6 +141,35 @@ struct FuzzReport
  */
 FuzzReport fuzzTraceFile(const std::string &golden_path,
                          const std::string &scratch_path);
+
+/**
+ * Exhaustive deterministic corruption sweep over a **v2** archive
+ * (docs/ROBUSTNESS.md). Same harness contract as fuzzTraceFile():
+ * every mutant runs the full read path and must either round-trip or
+ * raise TraceIoError — anything else escapes and fails the caller.
+ * Two mutation classes:
+ *
+ *  - Checksum-oblivious: **every** byte of the file rewritten with
+ *    ^0xFF, 0x00, 0xFF and ^0x01, plus truncation to every length,
+ *    trailing garbage, and a version-field rewrite to v1. Every v2
+ *    byte is covered by the header cross-checks, a block checksum,
+ *    the index checksum or the trailer magic, so these mutants must
+ *    all be *detected*: the caller asserts readOk == 0.
+ *
+ *  - Checksum-fixup: single-byte mutations of block payloads, block
+ *    frame headers and index entries with the enclosing block/index
+ *    checksum recomputed afterwards — modeling damage that happened
+ *    before the checksum was taken. These must be *structurally
+ *    rejected or survive* (fixupCases == fixupRejected +
+ *    fixupReadOk); surviving with different decoded records is
+ *    acceptable, crashing is not.
+ *
+ * @param golden_path  Existing well-formed v2 trace archive.
+ * @param scratch_path Mutants are (re)written here; left removed.
+ * @throws TraceIoError when the golden file is unreadable or not v2.
+ */
+FuzzReport fuzzTraceFileV2(const std::string &golden_path,
+                           const std::string &scratch_path);
 
 } // namespace bfbp
 

@@ -2,7 +2,13 @@
 
 #include <algorithm>
 #include <cerrno>
+#include <climits>
 #include <cstring>
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include "util/checksum.hpp"
 
 namespace bfbp
 {
@@ -22,6 +28,82 @@ readRaw(std::FILE *file, void *data, size_t bytes)
 {
     if (std::fread(data, 1, bytes, file) != bytes)
         throw TraceIoError("trace read failed (truncated file?)");
+}
+
+void
+seekTo(std::FILE *file, uint64_t offset, const std::string &what)
+{
+    if (offset > static_cast<uint64_t>(LONG_MAX) ||
+        std::fseek(file, static_cast<long>(offset), SEEK_SET) != 0)
+        throw TraceIoError("trace seek failed " + what);
+}
+
+/** Durability for the atomic-rename publish: after renaming the temp
+ *  file onto @p path, fsync the containing directory so the rename
+ *  itself survives power loss. Best-effort — some filesystems refuse
+ *  directory fsync, and the data itself was already fsynced. */
+void
+fsyncParentDir(const std::string &path) noexcept
+{
+    const size_t slash = path.find_last_of('/');
+    const std::string dir =
+        slash == std::string::npos ? "." : path.substr(0, slash + 1);
+    const int fd = ::open(dir.c_str(), O_RDONLY);
+    if (fd >= 0) {
+        ::fsync(fd);
+        ::close(fd);
+    }
+}
+
+/**
+ * Decodes one delta-coded record. Shared by the file reader and
+ * DeltaBlockDecoder so both expose identical semantics: framing
+ * errors (truncated varint, exhausted payload) set @p broken — the
+ * rest of the payload is undecodable; structural errors (bad meta
+ * byte, bad instCount) advance @p pos and @p prev_pc past the record
+ * first, so the stream can skip it and continue.
+ */
+BranchRecord
+decodeDeltaRecord(const unsigned char *data, size_t len, size_t &pos,
+                  uint64_t &prev_pc, bool &broken)
+{
+    using namespace trace_format;
+    uint64_t dPc, dTarget, instCount;
+    unsigned char meta;
+    try {
+        dPc = getVarint(data, len, pos);
+        dTarget = getVarint(data, len, pos);
+        instCount = getVarint(data, len, pos);
+        if (pos >= len)
+            throw TraceIoError("truncated record meta byte in "
+                               "delta-coded trace block");
+        meta = data[pos++];
+    } catch (...) {
+        broken = true;
+        throw;
+    }
+
+    const uint64_t pc = prev_pc + unzigzag(dPc);
+    prev_pc = pc;
+
+    if ((meta & 0xF0u) != 0 ||
+        !isValidBranchType(static_cast<unsigned>(meta & 0x07u))) {
+        throw TraceIoError("invalid meta byte " + std::to_string(meta) +
+                           " in delta-coded trace record");
+    }
+    if (instCount == 0 || instCount > UINT32_MAX) {
+        throw TraceIoError("invalid instruction count " +
+                           std::to_string(instCount) +
+                           " in delta-coded trace record");
+    }
+
+    BranchRecord r;
+    r.pc = pc;
+    r.target = pc + unzigzag(dTarget);
+    r.instCount = static_cast<uint32_t>(instCount);
+    r.type = static_cast<BranchType>(meta & 0x07u);
+    r.taken = (meta & 0x08u) != 0;
+    return r;
 }
 
 } // anonymous namespace
@@ -72,6 +154,92 @@ unpack(const unsigned char *buf)
     return r;
 }
 
+void
+putVarint(std::vector<unsigned char> &out, uint64_t value)
+{
+    while (value >= 0x80) {
+        out.push_back(static_cast<unsigned char>(value) | 0x80u);
+        value >>= 7;
+    }
+    out.push_back(static_cast<unsigned char>(value));
+}
+
+uint64_t
+getVarint(const unsigned char *data, size_t len, size_t &pos)
+{
+    uint64_t value = 0;
+    for (size_t i = 0; i < maxVarintBytes; ++i) {
+        if (pos >= len) {
+            throw TraceIoError(
+                "truncated varint in delta-coded trace block");
+        }
+        const unsigned char byte = data[pos++];
+        // Byte 10 holds the top bit of a 64-bit value: only 0x00 or
+        // 0x01 fit, and it must terminate.
+        if (i == maxVarintBytes - 1 && byte > 0x01) {
+            throw TraceIoError(
+                "varint overflows 64 bits in delta-coded trace block");
+        }
+        value |= static_cast<uint64_t>(byte & 0x7Fu) << (7 * i);
+        if ((byte & 0x80u) == 0)
+            return value;
+    }
+    throw TraceIoError(
+        "varint overflows 64 bits in delta-coded trace block");
+}
+
+uint64_t
+blockChecksum(uint32_t record_count, uint32_t payload_bytes,
+              uint32_t codec, const unsigned char *payload)
+{
+    unsigned char hdr[12];
+    std::memcpy(hdr + 0, &record_count, 4);
+    std::memcpy(hdr + 4, &payload_bytes, 4);
+    std::memcpy(hdr + 8, &codec, 4);
+    const uint64_t seed = xxh64(hdr, sizeof hdr, checksumSeed);
+    return xxh64(payload, payload_bytes, seed);
+}
+
+uint64_t
+indexChecksum(const unsigned char *index_bytes, size_t len,
+              uint64_t block_count)
+{
+    unsigned char pre[8];
+    std::memcpy(pre, &block_count, 8);
+    const uint64_t seed = xxh64(pre, sizeof pre, checksumSeed);
+    return xxh64(index_bytes, len, seed);
+}
+
+std::vector<unsigned char>
+encodeBlockDelta(const BranchRecord *recs, size_t n)
+{
+    std::vector<unsigned char> out;
+    out.reserve(n * 6); // typical: 2-3 byte pc delta + small fields
+    uint64_t prevPc = 0;
+    for (size_t i = 0; i < n; ++i) {
+        const BranchRecord &r = recs[i];
+        putVarint(out, zigzag(r.pc - prevPc));
+        putVarint(out, zigzag(r.target - r.pc));
+        putVarint(out, r.instCount);
+        out.push_back(static_cast<unsigned char>(
+            (static_cast<unsigned>(r.type) & 0x07u) |
+            (r.taken ? 0x08u : 0x00u)));
+        prevPc = r.pc;
+    }
+    return out;
+}
+
+BranchRecord
+DeltaBlockDecoder::next()
+{
+    if (broken) {
+        throw TraceIoError(
+            "delta-coded trace block is poisoned by an earlier "
+            "framing error");
+    }
+    return decodeDeltaRecord(data, len, pos, prevPc, broken);
+}
+
 } // namespace trace_format
 
 size_t
@@ -92,19 +260,28 @@ TraceSource::nextBlock(BranchRecord *out, size_t max)
 }
 
 TraceFileWriter::TraceFileWriter(const std::string &path,
-                                 size_t buffer_bytes)
+                                 size_t buffer_bytes, TraceFormat fmt,
+                                 size_t block_records)
     : finalPath(path), tmpPath(path + ".tmp"),
-      file(std::fopen(tmpPath.c_str(), "wb")),
-      packBuf(std::max(buffer_bytes, trace_format::recordBytes))
+      file(std::fopen(tmpPath.c_str(), "wb")), format(fmt),
+      packBuf(fmt == TraceFormat::V1
+                  ? std::max(buffer_bytes, trace_format::recordBytes)
+                  : 0),
+      blockRecords(std::clamp<size_t>(block_records, 1, 1u << 20))
 {
     if (!file) {
         throw TraceIoError("cannot open trace temp file for writing: " +
                            tmpPath + " (" + std::strerror(errno) + ")");
     }
+    const uint32_t version = format == TraceFormat::V1
+                                 ? trace_format::version
+                                 : trace_format::version2;
     writeRaw(file, &trace_format::magic, 4);
-    writeRaw(file, &trace_format::version, 4);
+    writeRaw(file, &version, 4);
     uint64_t placeholder = 0;
     writeRaw(file, &placeholder, 8);
+    if (format == TraceFormat::V2)
+        recBuf.reserve(blockRecords);
 }
 
 TraceFileWriter::~TraceFileWriter()
@@ -135,6 +312,13 @@ TraceFileWriter::append(const BranchRecord &record)
             std::to_string(static_cast<unsigned>(record.type)) +
             ", instCount " + std::to_string(record.instCount) + ")");
     }
+    if (format == TraceFormat::V2) {
+        recBuf.push_back(record);
+        ++count;
+        if (recBuf.size() >= blockRecords)
+            emitBlockV2();
+        return;
+    }
     if (packBuf.size() - packUsed < trace_format::recordBytes)
         flushBlock();
     trace_format::pack(record, packBuf.data() + packUsed);
@@ -152,18 +336,86 @@ TraceFileWriter::flushBlock()
 }
 
 void
+TraceFileWriter::emitBlockV2()
+{
+    if (recBuf.empty())
+        return;
+    const long pos = std::ftell(file);
+    if (pos < 0)
+        throw TraceIoError("trace tell failed for " + tmpPath);
+
+    std::vector<unsigned char> payload =
+        trace_format::encodeBlockDelta(recBuf.data(), recBuf.size());
+    uint32_t codec = trace_format::codecDelta;
+    const size_t rawBytes = recBuf.size() * trace_format::recordBytes;
+    if (payload.size() >= rawBytes) {
+        // Incompressible block: store the plain v1 packing instead.
+        payload.resize(rawBytes);
+        for (size_t i = 0; i < recBuf.size(); ++i) {
+            trace_format::pack(recBuf[i],
+                               payload.data() +
+                                   i * trace_format::recordBytes);
+        }
+        codec = trace_format::codecRaw;
+    }
+
+    const uint32_t nrec = static_cast<uint32_t>(recBuf.size());
+    const uint32_t payloadBytes = static_cast<uint32_t>(payload.size());
+    const uint64_t sum = trace_format::blockChecksum(
+        nrec, payloadBytes, codec, payload.data());
+    writeRaw(file, &nrec, 4);
+    writeRaw(file, &payloadBytes, 4);
+    writeRaw(file, &codec, 4);
+    writeRaw(file, &sum, 8);
+    writeRaw(file, payload.data(), payload.size());
+
+    index.push_back({static_cast<uint64_t>(pos), emitted,
+                     static_cast<uint64_t>(nrec)});
+    emitted += nrec;
+    recBuf.clear();
+}
+
+void
 TraceFileWriter::close()
 {
     if (!file)
         return;
     try {
-        flushBlock();
+        if (format == TraceFormat::V2) {
+            emitBlockV2();
+            std::vector<unsigned char> rawIndex(
+                index.size() * trace_format::indexEntryBytes);
+            for (size_t i = 0; i < index.size(); ++i) {
+                unsigned char *p = rawIndex.data() +
+                                   i * trace_format::indexEntryBytes;
+                std::memcpy(p + 0, &index[i].offset, 8);
+                std::memcpy(p + 8, &index[i].firstRecord, 8);
+                std::memcpy(p + 16, &index[i].recordCount, 8);
+            }
+            const uint64_t blockCount = index.size();
+            const uint64_t isum = trace_format::indexChecksum(
+                rawIndex.data(), rawIndex.size(), blockCount);
+            if (!rawIndex.empty())
+                writeRaw(file, rawIndex.data(), rawIndex.size());
+            writeRaw(file, &blockCount, 8);
+            writeRaw(file, &isum, 8);
+            writeRaw(file, &trace_format::trailerMagic, 4);
+        } else {
+            flushBlock();
+        }
         if (std::fseek(file, trace_format::countOffset, SEEK_SET) != 0)
             throw TraceIoError("trace seek failed while finalizing " +
                                tmpPath);
         writeRaw(file, &count, 8);
         if (std::fflush(file) != 0) {
             throw TraceIoError("trace flush failed for " + tmpPath +
+                               " (" + std::strerror(errno) + ")");
+        }
+        // Push the bytes to stable storage before publishing: rename
+        // is atomic, but without this a power loss after close()
+        // could still reveal a truncated archive at the final path.
+        if (::fsync(::fileno(file)) != 0) {
+            throw TraceIoError("trace fsync failed for " + tmpPath +
                                " (" + std::strerror(errno) + ")");
         }
     } catch (...) {
@@ -182,12 +434,15 @@ TraceFileWriter::close()
         throw TraceIoError("cannot publish trace file " + finalPath +
                            " (" + std::strerror(errno) + ")");
     }
+    fsyncParentDir(finalPath);
     closedClean = true;
 }
 
 TraceFileSource::TraceFileSource(const std::string &path,
-                                 size_t buffer_bytes)
+                                 size_t buffer_bytes,
+                                 IntegrityPolicy integrity_policy)
     : file(std::fopen(path.c_str(), "rb")), label(path),
+      integrity(integrity_policy),
       buf(std::max(buffer_bytes, trace_format::recordBytes))
 {
     if (!file) {
@@ -214,47 +469,147 @@ TraceFileSource::TraceFileSource(const std::string &path,
         }
 
         uint32_t magic = 0;
-        uint32_t version = 0;
         readRaw(file, &magic, 4);
-        readRaw(file, &version, 4);
+        readRaw(file, &formatVersion, 4);
         readRaw(file, &total, 8);
         if (magic != trace_format::magic)
             throw TraceIoError("bad trace magic in " + path);
-        if (version != trace_format::version) {
-            throw TraceIoError("unsupported trace version " +
-                               std::to_string(version) + " in " + path +
-                               " (supported: " +
-                               std::to_string(trace_format::version) +
-                               ")");
-        }
-
-        // Overflow-safe count-vs-size cross-check. Any mismatch —
-        // count too large (truncated payload), too small (trailing
-        // bytes), or astronomically lying — is rejected here, so
-        // recordCount() is always safe to allocate against.
-        const uint64_t payload = fileSize - trace_format::headerBytes;
-        const uint64_t maxRecords = payload / trace_format::recordBytes;
-        if (total > maxRecords ||
-            total * trace_format::recordBytes != payload) {
-            const uint64_t countCeil =
-                (UINT64_MAX - trace_format::headerBytes) /
-                trace_format::recordBytes;
-            const std::string implied = total <= countCeil
-                ? std::to_string(trace_format::headerBytes +
-                                 total * trace_format::recordBytes) +
-                    " bytes"
-                : "more bytes than addressable";
+        if (formatVersion != trace_format::version &&
+            formatVersion != trace_format::version2) {
             throw TraceIoError(
-                "trace header count " + std::to_string(total) +
-                " implies " + implied + " but " + path + " is " +
-                std::to_string(fileSize) + " bytes");
+                "unsupported trace version " +
+                std::to_string(formatVersion) + " in " + path +
+                " (supported: " + std::to_string(trace_format::version) +
+                ", " + std::to_string(trace_format::version2) + ")");
         }
 
-        dataOffset = std::ftell(file);
+        if (formatVersion == trace_format::version2) {
+            openV2(fileSize);
+        } else {
+            // Overflow-safe count-vs-size cross-check. Any mismatch —
+            // count too large (truncated payload), too small (trailing
+            // bytes), or astronomically lying — is rejected here, so
+            // recordCount() is always safe to allocate against.
+            const uint64_t payloadSize =
+                fileSize - trace_format::headerBytes;
+            const uint64_t maxRecords =
+                payloadSize / trace_format::recordBytes;
+            if (total > maxRecords ||
+                total * trace_format::recordBytes != payloadSize) {
+                const uint64_t countCeil =
+                    (UINT64_MAX - trace_format::headerBytes) /
+                    trace_format::recordBytes;
+                const std::string implied = total <= countCeil
+                    ? std::to_string(trace_format::headerBytes +
+                                     total * trace_format::recordBytes) +
+                        " bytes"
+                    : "more bytes than addressable";
+                throw TraceIoError(
+                    "trace header count " + std::to_string(total) +
+                    " implies " + implied + " but " + path + " is " +
+                    std::to_string(fileSize) + " bytes");
+            }
+
+            dataOffset = std::ftell(file);
+        }
     } catch (...) {
         std::fclose(file);
         file = nullptr;
         throw;
+    }
+}
+
+void
+TraceFileSource::openV2(uint64_t file_size)
+{
+    using namespace trace_format;
+    if (file_size < headerBytes + trailerBytes) {
+        throw TraceIoError(
+            "trace file too small for a v2 trailer: " + label + " is " +
+            std::to_string(file_size) + " bytes");
+    }
+
+    seekTo(file, file_size - trailerBytes, "reading trailer of " + label);
+    uint64_t blockCount = 0;
+    uint64_t storedIndexSum = 0;
+    uint32_t tmagic = 0;
+    readRaw(file, &blockCount, 8);
+    readRaw(file, &storedIndexSum, 8);
+    readRaw(file, &tmagic, 4);
+    if (tmagic != trailerMagic)
+        throw TraceIoError("bad trace trailer magic in " + label);
+
+    // Bound every allocation by the actual file size before trusting
+    // any stored count.
+    const uint64_t avail = file_size - headerBytes - trailerBytes;
+    if (blockCount > avail / indexEntryBytes) {
+        throw TraceIoError("trace trailer claims " +
+                           std::to_string(blockCount) +
+                           " blocks, more than " + label + " can hold");
+    }
+    if (total > avail / minDeltaRecordBytes) {
+        throw TraceIoError("trace header count " + std::to_string(total) +
+                           " is larger than " + label + " can hold");
+    }
+
+    const uint64_t indexBytes = blockCount * indexEntryBytes;
+    indexOffset = file_size - trailerBytes - indexBytes;
+    std::vector<unsigned char> rawIndex(indexBytes);
+    seekTo(file, indexOffset, "reading seek index of " + label);
+    if (!rawIndex.empty())
+        readRaw(file, rawIndex.data(), rawIndex.size());
+    const uint64_t actualIndexSum =
+        indexChecksum(rawIndex.data(), rawIndex.size(), blockCount);
+    if (actualIndexSum != storedIndexSum) {
+        throw TraceIoError("trace seek index checksum mismatch in " +
+                           label);
+    }
+
+    index.reserve(blockCount);
+    for (uint64_t i = 0; i < blockCount; ++i) {
+        const unsigned char *p = rawIndex.data() + i * indexEntryBytes;
+        V2Block e;
+        std::memcpy(&e.offset, p + 0, 8);
+        std::memcpy(&e.firstRecord, p + 8, 8);
+        std::memcpy(&e.recordCount, p + 16, 8);
+        index.push_back(e);
+    }
+
+    // Structural validation of the (checksum-verified) index: blocks
+    // tile the region between header and index exactly, the
+    // first-record chain is contiguous, and record counts add up to
+    // the header count. After this, every block load can be verified
+    // against its entry.
+    uint64_t expectRecord = 0;
+    for (size_t i = 0; i < index.size(); ++i) {
+        const V2Block &e = index[i];
+        const uint64_t end =
+            i + 1 < index.size() ? index[i + 1].offset : indexOffset;
+        bool bad = e.firstRecord != expectRecord || e.recordCount == 0 ||
+                   e.recordCount > UINT32_MAX ||
+                   e.recordCount > total - expectRecord ||
+                   end <= e.offset ||
+                   end - e.offset <
+                       blockHeaderBytes +
+                           e.recordCount * minDeltaRecordBytes;
+        if (i == 0)
+            bad = bad || e.offset != headerBytes;
+        if (bad) {
+            throw TraceIoError("trace seek index entry " +
+                               std::to_string(i) +
+                               " is inconsistent in " + label);
+        }
+        expectRecord += e.recordCount;
+    }
+    if (expectRecord != total) {
+        throw TraceIoError(
+            "trace header count " + std::to_string(total) +
+            " disagrees with the seek index total " +
+            std::to_string(expectRecord) + " in " + label);
+    }
+    if (index.empty() && indexOffset != headerBytes) {
+        throw TraceIoError("trace file has unindexed bytes between "
+                           "header and trailer: " + label);
     }
 }
 
@@ -288,6 +643,14 @@ size_t
 TraceFileSource::nextBlock(BranchRecord *out, size_t max)
 {
     rethrowDeferred();
+    if (formatVersion == trace_format::version2)
+        return nextBlockV2(out, max);
+    return nextBlockV1(out, max);
+}
+
+size_t
+TraceFileSource::nextBlockV1(BranchRecord *out, size_t max)
+{
     size_t n = 0;
     while (n < max && consumed < total) {
         if (buffered() < trace_format::recordBytes) {
@@ -329,8 +692,145 @@ TraceFileSource::nextBlock(BranchRecord *out, size_t max)
 }
 
 void
+TraceFileSource::loadBlockChecked(size_t i)
+{
+    using namespace trace_format;
+    const V2Block &e = index[i];
+    const std::string blockName = "trace block " + std::to_string(i);
+
+    seekTo(file, e.offset, "loading " + blockName + " of " + label);
+    unsigned char hdr[blockHeaderBytes];
+    readRaw(file, hdr, blockHeaderBytes);
+    uint32_t nrec, payloadBytes, codec;
+    uint64_t storedSum;
+    std::memcpy(&nrec, hdr + 0, 4);
+    std::memcpy(&payloadBytes, hdr + 4, 4);
+    std::memcpy(&codec, hdr + 8, 4);
+    std::memcpy(&storedSum, hdr + 12, 8);
+
+    // The frame must agree with the (checksum-verified) index entry
+    // and tile exactly up to the next block, so neither a lying
+    // record count nor a lying payload length can move the read
+    // window or the decode loop out of bounds.
+    const uint64_t end =
+        i + 1 < index.size() ? index[i + 1].offset : indexOffset;
+    if (nrec != e.recordCount || codec > codecDelta ||
+        e.offset + blockHeaderBytes + payloadBytes != end ||
+        (codec == codecRaw &&
+         payloadBytes != e.recordCount * recordBytes) ||
+        (codec == codecDelta &&
+         payloadBytes < e.recordCount * minDeltaRecordBytes)) {
+        throw TraceIoError(blockName + " has a corrupt frame header in " +
+                           label);
+    }
+
+    payload.resize(payloadBytes);
+    if (payloadBytes != 0)
+        readRaw(file, payload.data(), payload.size());
+    const uint64_t actualSum =
+        blockChecksum(nrec, payloadBytes, codec, payload.data());
+    if (actualSum != storedSum) {
+        throw TraceIoError(blockName + " checksum mismatch in " + label +
+                           " (stored " + std::to_string(storedSum) +
+                           ", computed " + std::to_string(actualSum) +
+                           ")");
+    }
+
+    blockCodec = codec;
+    blockRemaining = nrec;
+    payloadPos = 0;
+    prevPc = 0;
+    frameBroken = false;
+}
+
+BranchRecord
+TraceFileSource::decodeOneV2()
+{
+    using namespace trace_format;
+    if (blockCodec == codecRaw) {
+        if (payload.size() - payloadPos < recordBytes) {
+            // Unreachable for a checksum-valid block (the frame check
+            // pinned payloadBytes to recordCount * recordBytes), but
+            // keeps the decoder safe on its own.
+            frameBroken = true;
+            blockRemaining = 0;
+            throw TraceIoError("trace block payload exhausted in " +
+                               label);
+        }
+        const unsigned char *p = payload.data() + payloadPos;
+        // Advance first: a structurally invalid record is skipped and
+        // the stream continues at the next one (v1 semantics).
+        payloadPos += recordBytes;
+        return unpack(p);
+    }
+    try {
+        return decodeDeltaRecord(payload.data(), payload.size(),
+                                 payloadPos, prevPc, frameBroken);
+    } catch (...) {
+        if (frameBroken)
+            blockRemaining = 0; // rest of the block is undecodable
+        throw;
+    }
+}
+
+size_t
+TraceFileSource::nextBlockV2(BranchRecord *out, size_t max)
+{
+    size_t n = 0;
+    while (n < max) {
+        if (blockRemaining == 0) {
+            bool loaded = false;
+            while (curBlock < index.size()) {
+                const size_t i = curBlock;
+                try {
+                    loadBlockChecked(i);
+                    ++curBlock;
+                    loaded = true;
+                    break;
+                } catch (const TraceIoError &) {
+                    // Move past the bad block either way, so a caller
+                    // that catches (or the SkipBlock policy) resumes
+                    // at the next block boundary.
+                    ++curBlock;
+                    ++skippedBlocks;
+                    if (integrity == IntegrityPolicy::SkipBlock)
+                        continue;
+                    return deferOrThrow(n);
+                }
+            }
+            if (!loaded)
+                break; // end of trace
+        }
+        --blockRemaining;
+        try {
+            out[n] = decodeOneV2();
+            ++consumed;
+            ++n;
+        } catch (const TraceIoError &) {
+            // Structural error: this record is skipped, the stream
+            // continues at the next one. Framing error: decodeOneV2
+            // already zeroed blockRemaining, the stream continues at
+            // the next block. Either way the error surfaces at this
+            // exact record position, per the deferred-error contract.
+            return deferOrThrow(n);
+        }
+    }
+    return n;
+}
+
+void
 TraceFileSource::resetImpl()
 {
+    if (formatVersion == trace_format::version2) {
+        consumed = 0;
+        curBlock = 0;
+        blockRemaining = 0;
+        payloadPos = 0;
+        prevPc = 0;
+        frameBroken = false;
+        skippedBlocks = 0;
+        return;
+    }
     if (std::fseek(file, dataOffset, SEEK_SET) != 0)
         throw TraceIoError("trace seek failed");
     consumed = 0;
@@ -338,10 +838,75 @@ TraceFileSource::resetImpl()
     bufLen = 0;
 }
 
-void
-writeTrace(const std::string &path, const std::vector<BranchRecord> &records)
+bool
+TraceFileSource::seekToRecordImpl(uint64_t record_index)
 {
-    TraceFileWriter writer(path);
+    if (record_index > total) {
+        throw TraceIoError(
+            "cannot seek to record " + std::to_string(record_index) +
+            ": " + label + " has only " + std::to_string(total) +
+            " records");
+    }
+
+    if (formatVersion == trace_format::version) {
+        seekTo(file,
+               static_cast<uint64_t>(dataOffset) +
+                   record_index * trace_format::recordBytes,
+               "in " + label);
+        consumed = record_index;
+        bufPos = 0;
+        bufLen = 0;
+        return true;
+    }
+
+    consumed = record_index;
+    blockRemaining = 0;
+    payloadPos = 0;
+    prevPc = 0;
+    frameBroken = false;
+    if (record_index == total) {
+        curBlock = index.size();
+        return true;
+    }
+
+    // Binary search for the block containing record_index: the last
+    // entry with firstRecord <= record_index.
+    size_t lo = 0, hi = index.size();
+    while (hi - lo > 1) {
+        const size_t mid = lo + (hi - lo) / 2;
+        if (index[mid].firstRecord <= record_index)
+            lo = mid;
+        else
+            hi = mid;
+    }
+    // A corrupt target block always throws here, even under
+    // SkipBlock: skipping it would silently land the stream at the
+    // wrong position.
+    loadBlockChecked(lo);
+    curBlock = lo + 1;
+
+    const uint64_t skip = record_index - index[lo].firstRecord;
+    for (uint64_t k = 0; k < skip; ++k) {
+        --blockRemaining;
+        try {
+            decodeOneV2();
+        } catch (const TraceIoError &) {
+            // A structurally invalid record still occupies its slot;
+            // discarding it is exactly what the seek asked for. A
+            // framing error loses the rest of the block — and with it
+            // the target position.
+            if (frameBroken)
+                throw;
+        }
+    }
+    return true;
+}
+
+void
+writeTrace(const std::string &path,
+           const std::vector<BranchRecord> &records, TraceFormat format)
+{
+    TraceFileWriter writer(path, 64 * 1024, format);
     for (const auto &r : records)
         writer.append(r);
     writer.close();

@@ -1,28 +1,71 @@
 /**
  * @file
- * Binary trace file format (reader/writer).
+ * Binary trace file format (reader/writer), versions 1 and 2.
  *
- * Layout (little endian):
+ * v1 layout (little endian) — the interchange default:
  *   magic   u32  'B','F','B','T'
- *   version u32  format version (currently 1)
+ *   version u32  1
  *   count   u64  number of records
  *   records count x 22 bytes:
  *     pc u64, target u64, instCount u32, type u8, taken u8
+ *
+ * v2 layout (little endian) — checksummed, compressed, seekable:
+ *   magic   u32  'B','F','B','T'
+ *   version u32  2
+ *   count   u64  number of records
+ *   blocks  blockCount x:
+ *     recordCount  u32  records in this block (> 0)
+ *     payloadBytes u32  encoded payload size
+ *     codec        u32  0 = raw (recordCount x 22 packed bytes),
+ *                       1 = delta (zigzag varint pc/target deltas)
+ *     checksum     u64  XXH64 over the three fields above + payload
+ *     payload      payloadBytes bytes
+ *   index   blockCount x 24 bytes:
+ *     offset       u64  file offset of the block frame header
+ *     firstRecord  u64  index of the block's first record
+ *     recordCount  u64  records in the block
+ *   trailer:
+ *     blockCount    u64
+ *     indexChecksum u64  XXH64 over the raw index bytes, seeded by
+ *                        the checksum of blockCount
+ *     trailerMagic  u32  'B','F','B','X'
+ *
+ * Delta codec (per block, so every block decodes independently —
+ * the prerequisite for seeking): for each record, with prevPc
+ * starting at 0,
+ *     varint(zigzag(pc - prevPc))
+ *     varint(zigzag(target - pc))
+ *     varint(instCount)
+ *     meta byte: type in bits 0..2, taken in bit 3, bits 4..7 zero
+ * Varints are LEB128 (7 bits per byte, high bit = continue, max 10
+ * bytes); zigzag maps small signed deltas to small unsigned values
+ * and makes uint64_t wraparound exact. A block whose delta encoding
+ * would be no smaller than the raw packing is stored raw
+ * (codec 0) — branch records with text-segment locality compress
+ * ~4-6x, adversarial ones cost nothing.
  *
  * The format exists so generated workloads can be archived and
  * exchanged like CBP trace files; the suite normally streams straight
  * from the generator instead.
  *
- * Robustness contract (docs/ROBUSTNESS.md):
- *  - The reader cross-checks the header `count` against the actual
- *    file size before any allocation, so a lying header can neither
- *    over-allocate nor read past the payload.
+ * Robustness contract (docs/ROBUSTNESS.md, docs/SERIALIZATION.md):
+ *  - v1: the reader cross-checks the header `count` against the
+ *    actual file size before any allocation, so a lying header can
+ *    neither over-allocate nor read past the payload.
+ *  - v2: the trailer magic, index checksum and header count are
+ *    cross-validated against each other and the file size before any
+ *    allocation; every block is verified against its checksum before
+ *    a single record is decoded from it. Corruption is reported as a
+ *    TraceIoError naming the block index; IntegrityPolicy::SkipBlock
+ *    instead drops corrupt blocks and keeps streaming (feeding the
+ *    evaluator's onError machinery).
  *  - Every record is structurally validated as it is decoded (branch
  *    type and taken ranges, nonzero instCount); violations raise
  *    TraceIoError, never undefined behavior.
- *  - The writer stages into "<path>.tmp" and atomically renames onto
- *    the final path in close(). A crashed or abandoned run therefore
- *    never leaves a half-written archive behind the final path: the
+ *  - The writer stages into "<path>.tmp", fsyncs it, and atomically
+ *    renames onto the final path in close() (with a best-effort
+ *    parent-directory fsync), so neither a crash nor a power loss can
+ *    publish a truncated archive behind the final path: the
  *    destructor of an unclosed writer discards the temp file.
  */
 
@@ -43,16 +86,34 @@ namespace bfbp
 
 /**
  * On-disk format constants and record codecs, shared by the reader,
- * the writer, the fault injector and the corruption fuzzer.
+ * the writer, the fault injector, the corruption fuzzer and
+ * tools/trace_tool.
  */
 namespace trace_format
 {
 
 constexpr uint32_t magic = 0x54424642; // "BFBT" little endian
 constexpr uint32_t version = 1;
+constexpr uint32_t version2 = 2;
 constexpr size_t headerBytes = 4 + 4 + 8;
 constexpr size_t countOffset = 8; //!< Byte offset of the u64 count.
 constexpr size_t recordBytes = 8 + 8 + 4 + 1 + 1;
+
+// v2 framing.
+constexpr uint32_t trailerMagic = 0x58424642; // "BFBX" little endian
+constexpr size_t blockHeaderBytes = 4 + 4 + 4 + 8;
+constexpr size_t indexEntryBytes = 8 + 8 + 8;
+constexpr size_t trailerBytes = 8 + 8 + 4;
+constexpr uint32_t codecRaw = 0;
+constexpr uint32_t codecDelta = 1;
+/** Fixed seed for every container checksum. */
+constexpr uint64_t checksumSeed = 0x0bfb0bfb0bfb0bfbULL;
+/** Writer default: records per v2 block. */
+constexpr size_t defaultBlockRecords = 4096;
+/** Smallest possible delta-coded record (three 1-byte varints plus
+ *  the meta byte); bounds allocations against lying headers. */
+constexpr size_t minDeltaRecordBytes = 4;
+constexpr size_t maxVarintBytes = 10;
 
 /** Serializes @p r into exactly recordBytes at @p buf. */
 void pack(const BranchRecord &r, unsigned char *buf);
@@ -72,25 +133,140 @@ BranchRecord unpackRaw(const unsigned char *buf);
  */
 BranchRecord unpack(const unsigned char *buf);
 
+/** Maps two's-complement deltas onto small unsigned values
+ *  (0, -1, 1, -2, ... -> 0, 1, 2, 3, ...). Exact for any uint64_t
+ *  difference, including wraparound. */
+constexpr uint64_t
+zigzag(uint64_t delta)
+{
+    return (delta << 1) ^ (0 - (delta >> 63));
+}
+
+constexpr uint64_t
+unzigzag(uint64_t z)
+{
+    return (z >> 1) ^ (0 - (z & 1));
+}
+
+/** Appends the LEB128 encoding of @p value to @p out. */
+void putVarint(std::vector<unsigned char> &out, uint64_t value);
+
+/**
+ * Decodes an LEB128 varint from @p data at @p pos (advanced past the
+ * encoding on success).
+ *
+ * @throws TraceIoError when the varint is truncated by @p len or
+ *         runs past maxVarintBytes.
+ */
+uint64_t getVarint(const unsigned char *data, size_t len, size_t &pos);
+
+/** Checksum of a v2 block: the three frame-header fields followed by
+ *  the payload, so a corrupted codec or count is detected exactly
+ *  like corrupted payload bytes. */
+uint64_t blockChecksum(uint32_t record_count, uint32_t payload_bytes,
+                       uint32_t codec, const unsigned char *payload);
+
+/** Checksum of the v2 seek index (raw entry bytes + block count). */
+uint64_t indexChecksum(const unsigned char *index_bytes, size_t len,
+                       uint64_t block_count);
+
+/** Delta-encodes @p n records into a fresh payload (prevPc = 0). */
+std::vector<unsigned char> encodeBlockDelta(const BranchRecord *recs,
+                                            size_t n);
+
+/**
+ * Incremental decoder for one delta-coded block payload. Framing
+ * errors (truncated or oversized varint, exhausted payload) poison
+ * the rest of the payload; structural errors (bad meta byte, zero or
+ * oversized instCount) advance past the record so the stream can
+ * continue, mirroring the v1 per-record skip semantics.
+ */
+class DeltaBlockDecoder
+{
+  public:
+    DeltaBlockDecoder(const unsigned char *payload, size_t bytes)
+        : data(payload), len(bytes)
+    {
+    }
+
+    /** @throws TraceIoError on framing or structural errors; after a
+     *  framing error frameBroken() is true and no further records can
+     *  be decoded from this payload. */
+    BranchRecord next();
+
+    bool frameBroken() const { return broken; }
+
+    /** Bytes consumed so far (test/inspection hook). */
+    size_t position() const { return pos; }
+
+  private:
+    const unsigned char *data;
+    size_t len;
+    size_t pos = 0;
+    uint64_t prevPc = 0;
+    bool broken = false;
+};
+
 } // namespace trace_format
 
+/** Container format selector for the writer. v1 remains the
+ *  interchange default until a deprecation PR. */
+enum class TraceFormat
+{
+    V1,
+    V2,
+};
+
+/**
+ * What the v2 reader does when a block fails integrity verification
+ * (checksum mismatch, inconsistent frame header):
+ *  - Throw: raise TraceIoError naming the block index, honoring the
+ *    nextBlock() deferred-error contract. The stream is positioned
+ *    past the bad block, so a caller that catches can keep reading.
+ *  - SkipBlock: silently drop the block, count it (see
+ *    corruptBlocksSkipped()) and keep streaming — the lossy analogue
+ *    of ErrorPolicy::SkipRecord for whole-block damage.
+ * Open-time failures (bad trailer, index checksum, lying header) and
+ * per-record structural errors inside a checksum-valid block always
+ * throw regardless of policy.
+ */
+enum class IntegrityPolicy
+{
+    Throw,
+    SkipBlock,
+};
+
 /** Streaming writer; records are appended and the count fixed up on
- *  close. Records are packed into an in-memory block and written out
- *  on block boundaries, so the stdio cost is paid once per ~64 KiB
- *  instead of once per record. Writes go to "<path>.tmp"; close()
- *  flushes the final partial block, then publishes the archive by
- *  atomic rename. Destroying an unclosed writer discards the temp
+ *  close. v1 packs records into an in-memory block and writes out on
+ *  block boundaries, so the stdio cost is paid once per ~64 KiB
+ *  instead of once per record. v2 buffers block_records records,
+ *  emits each as a checksummed (and usually delta-compressed) block,
+ *  and writes the seek index + trailer on close. Writes go to
+ *  "<path>.tmp"; close() flushes, fsyncs, then publishes the archive
+ *  by atomic rename. Destroying an unclosed writer discards the temp
  *  file and publishes nothing. */
 class TraceFileWriter
 {
   public:
     /**
      * @param path Final archive path ("<path>.tmp" is staged).
-     * @param buffer_bytes Pack-buffer size; rounded up to hold at
+     * @param buffer_bytes v1 pack-buffer size; rounded up to hold at
      *        least one record. The default matches the reader.
+     * @param format Container version to write.
+     * @param block_records v2 records per block (clamped to
+     *        [1, 1 << 20]); ignored for v1.
      */
-    explicit TraceFileWriter(const std::string &path,
-                             size_t buffer_bytes = 64 * 1024);
+    explicit TraceFileWriter(
+        const std::string &path, size_t buffer_bytes = 64 * 1024,
+        TraceFormat format = TraceFormat::V1,
+        size_t block_records = trace_format::defaultBlockRecords);
+
+    /** Convenience: default buffer, explicit format. */
+    TraceFileWriter(const std::string &path, TraceFormat format)
+        : TraceFileWriter(path, 64 * 1024, format)
+    {
+    }
+
     ~TraceFileWriter();
 
     TraceFileWriter(const TraceFileWriter &) = delete;
@@ -103,9 +279,11 @@ class TraceFileWriter
     void append(const BranchRecord &record);
 
     /**
-     * Flushes buffered records, writes the final record count,
-     * closes the temp file and renames it onto the final path.
-     * Idempotent.
+     * Flushes buffered records (v2: final partial block + seek index
+     * + trailer), writes the final record count, fsyncs and closes
+     * the temp file, and renames it onto the final path (followed by
+     * a best-effort fsync of the parent directory, so the rename
+     * itself survives power loss). Idempotent.
      *
      * @throws TraceIoError when any step fails; the temp file is
      *         removed and the final path is left untouched.
@@ -119,39 +297,69 @@ class TraceFileWriter
 
   private:
     void flushBlock();
+    void emitBlockV2();
     void discard() noexcept;
+
+    struct IndexEntry
+    {
+        uint64_t offset;
+        uint64_t firstRecord;
+        uint64_t recordCount;
+    };
 
     std::string finalPath;
     std::string tmpPath;
     std::FILE *file = nullptr;
+    TraceFormat format = TraceFormat::V1;
     std::vector<unsigned char> packBuf;
     size_t packUsed = 0;
+    size_t blockRecords = trace_format::defaultBlockRecords;
+    std::vector<BranchRecord> recBuf;  //!< v2 pending block.
+    std::vector<IndexEntry> index;     //!< v2 seek index (in memory).
+    uint64_t emitted = 0;              //!< v2 records already framed.
     uint64_t count = 0;
     bool closedClean = false;
 };
 
-/** Streaming reader implementing TraceSource. Reads the payload a
- *  block (~256 KiB by default) at a time and unpacks records straight
- *  out of the byte buffer, so nextBlock() costs one fread per several
- *  thousand records instead of one per record. */
+/** Streaming reader implementing TraceSource; auto-detects v1 vs v2
+ *  by the header version field. v1 reads the payload a block
+ *  (~256 KiB by default) at a time and unpacks records straight out
+ *  of the byte buffer. v2 loads one checksummed block at a time
+ *  through the seek index and decodes records lazily from the
+ *  verified payload; seekToRecord() jumps via the index instead of
+ *  fast-forwarding. */
 class TraceFileSource : public TraceSource
 {
   public:
     /**
-     * Opens and validates the container: magic, version, and the
-     * header count cross-checked against the actual file size
-     * (size must equal headerBytes + count * recordBytes exactly).
+     * Opens and validates the container. v1: magic, version, and the
+     * header count cross-checked against the actual file size (size
+     * must equal headerBytes + count * recordBytes exactly). v2:
+     * trailer magic, index checksum, and full structural validation
+     * of the seek index (offsets contiguous from the header,
+     * first-record chain, per-block record counts consistent with
+     * the header count and the block spans) — all before any
+     * payload-sized allocation.
      *
      * @param path Trace archive to open.
-     * @param buffer_bytes Read-buffer size; rounded up to hold at
+     * @param buffer_bytes v1 read-buffer size; rounded up to hold at
      *        least one record. Small odd values (tests) exercise the
      *        partial-record carry across refills. The default covers
      *        several evaluator blocks (4096 records x 22 bytes) per
-     *        refill.
+     *        refill. v2 ignores it (reads are block-sized).
+     * @param integrity v2 corrupt-block policy; see IntegrityPolicy.
      * @throws TraceIoError with an actionable message otherwise.
      */
-    explicit TraceFileSource(const std::string &path,
-                             size_t buffer_bytes = 256 * 1024);
+    explicit TraceFileSource(
+        const std::string &path, size_t buffer_bytes = 256 * 1024,
+        IntegrityPolicy integrity = IntegrityPolicy::Throw);
+
+    /** Convenience: default buffer, explicit integrity policy. */
+    TraceFileSource(const std::string &path, IntegrityPolicy integrity)
+        : TraceFileSource(path, 256 * 1024, integrity)
+    {
+    }
+
     ~TraceFileSource() override;
 
     TraceFileSource(const TraceFileSource &) = delete;
@@ -169,29 +377,80 @@ class TraceFileSource : public TraceSource
 
     uint64_t recordCount() const { return total; }
 
+    /** Container version of the open file (1 or 2). */
+    uint32_t version() const { return formatVersion; }
+
+    /** v2: blocks in the seek index. v1: 0 (no block structure). */
+    uint64_t blockCount() const { return index.size(); }
+
+    /** Blocks dropped so far because they failed integrity checks
+     *  (counted under both policies; only SkipBlock keeps going
+     *  silently). Reset by reset(). */
+    uint64_t corruptBlocksSkipped() const { return skippedBlocks; }
+
   protected:
     void resetImpl() override;
 
+    /** v1 seeks arithmetically (fixed-size records); v2 binary-
+     *  searches the seek index, verifies the target block and
+     *  discards the intra-block prefix. Always returns true;
+     *  @throws TraceIoError when @p record_index > recordCount() or
+     *  the target block fails verification. */
+    bool seekToRecordImpl(uint64_t record_index) override;
+
   private:
-    /** Bytes currently buffered and not yet decoded. */
+    struct V2Block
+    {
+        uint64_t offset;
+        uint64_t firstRecord;
+        uint64_t recordCount;
+    };
+
+    /** Bytes currently buffered and not yet decoded (v1). */
     size_t buffered() const { return bufLen - bufPos; }
     void refill();
+    size_t nextBlockV1(BranchRecord *out, size_t max);
+
+    void openV2(uint64_t file_size);
+    /** Seeks to, reads and checksum-verifies block @p i into
+     *  payload[]. @throws TraceIoError naming the block index. */
+    void loadBlockChecked(size_t i);
+    size_t nextBlockV2(BranchRecord *out, size_t max);
+    /** Decodes one record from the loaded block (payload already
+     *  verified). Structural errors skip the record; framing errors
+     *  poison the rest of the block (frameBroken). */
+    BranchRecord decodeOneV2();
 
     std::FILE *file = nullptr;
     std::string label;
+    uint32_t formatVersion = trace_format::version;
+    IntegrityPolicy integrity = IntegrityPolicy::Throw;
     uint64_t total = 0;
     uint64_t consumed = 0;
     long dataOffset = 0;
     std::vector<unsigned char> buf;
-    size_t bufPos = 0; //!< First undecoded byte in buf.
-    size_t bufLen = 0; //!< Valid bytes in buf.
+    size_t bufPos = 0; //!< First undecoded byte in buf (v1).
+    size_t bufLen = 0; //!< Valid bytes in buf (v1).
+
+    // v2 state.
+    std::vector<V2Block> index;
+    uint64_t indexOffset = 0; //!< File offset of the seek index.
+    size_t curBlock = 0;      //!< Next index entry to load.
+    std::vector<unsigned char> payload;
+    size_t payloadPos = 0;
+    uint64_t blockRemaining = 0;
+    uint32_t blockCodec = trace_format::codecRaw;
+    uint64_t prevPc = 0;
+    bool frameBroken = false;
+    uint64_t skippedBlocks = 0;
 };
 
 /** Writes a whole trace to @p path (atomic: temp file + rename). */
 void writeTrace(const std::string &path,
-                const std::vector<BranchRecord> &records);
+                const std::vector<BranchRecord> &records,
+                TraceFormat format = TraceFormat::V1);
 
-/** Reads a whole trace from @p path. */
+/** Reads a whole trace from @p path (either container version). */
 std::vector<BranchRecord> readTrace(const std::string &path);
 
 } // namespace bfbp

@@ -20,12 +20,14 @@
 
 #include <algorithm>
 #include <cstddef>
+#include <cstdint>
 #include <exception>
 #include <string>
 #include <utility>
 #include <vector>
 
 #include "sim/branch.hpp"
+#include "util/errors.hpp"
 
 namespace bfbp
 {
@@ -72,12 +74,40 @@ class TraceSource
         resetImpl();
     }
 
+    /**
+     * Repositions the stream so the next record produced is record
+     * @p record_index (0-based; recordCount() positions at end of
+     * stream). Drops any deferred block error (the position it
+     * described is gone).
+     *
+     * @return false when the source cannot seek (the default);
+     *         callers fall back to fast-forwarding through
+     *         nextBlock(). Sources that can seek return true or
+     *         throw TraceIoError when @p record_index lies beyond
+     *         the end of the stream or the target region fails
+     *         integrity verification.
+     */
+    bool
+    seekToRecord(uint64_t record_index)
+    {
+        deferredError = nullptr;
+        return seekToRecordImpl(record_index);
+    }
+
     /** Identifier used in reports. */
     virtual std::string name() const { return "trace"; }
 
   protected:
     /** Restarts the stream from the first record. */
     virtual void resetImpl() = 0;
+
+    /** Seek support hook; the default is "cannot seek". */
+    virtual bool
+    seekToRecordImpl(uint64_t record_index)
+    {
+        (void)record_index;
+        return false;
+    }
 
     /** Rethrows (and clears) an error deferred by a previous block. */
     void
@@ -142,6 +172,19 @@ class VectorTraceSource : public TraceSource
 
   protected:
     void resetImpl() override { pos = 0; }
+
+    bool
+    seekToRecordImpl(uint64_t record_index) override
+    {
+        if (record_index > records.size()) {
+            throw TraceIoError(
+                "cannot seek to record " + std::to_string(record_index) +
+                ": " + label + " has only " +
+                std::to_string(records.size()) + " records");
+        }
+        pos = static_cast<size_t>(record_index);
+        return true;
+    }
 
   private:
     std::vector<BranchRecord> records;

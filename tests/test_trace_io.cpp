@@ -219,5 +219,37 @@ TEST(Collect, HonorsLimit)
     EXPECT_EQ(rest.size(), 70u);
 }
 
+TEST_F(TraceIoTest, WriterCloseFailsLoudlyWhenDeviceIsFull)
+{
+    // Route the staged temp file to /dev/full: every flushed write
+    // (and the fsync) reports ENOSPC. close() must throw, clean up
+    // the temp link, and leave no archive behind — silently
+    // publishing a short trace would corrupt downstream suites.
+    if (!std::filesystem::exists("/dev/full"))
+        GTEST_SKIP() << "/dev/full not available";
+    const auto path = track(tempPath("bfbp_enospc.trace"));
+    const auto tmp = track(path + ".tmp");
+    std::error_code ec;
+    std::filesystem::create_symlink("/dev/full", tmp, ec);
+    if (ec)
+        GTEST_SKIP() << "cannot create symlink: " << ec.message();
+
+    for (const TraceFormat format :
+         {TraceFormat::V1, TraceFormat::V2}) {
+        std::filesystem::create_symlink("/dev/full", tmp, ec);
+        TraceFileWriter writer(path, format);
+        for (const auto &r : makeRecords(100))
+            writer.append(r);
+        EXPECT_THROW(writer.close(), TraceIoError);
+        EXPECT_FALSE(writer.closedOk());
+        EXPECT_FALSE(std::filesystem::exists(path));
+        // The failed close removed the staged symlink, not the
+        // device it pointed at.
+        EXPECT_EQ(std::filesystem::symlink_status(tmp).type(),
+                  std::filesystem::file_type::not_found);
+        EXPECT_TRUE(std::filesystem::exists("/dev/full"));
+    }
+}
+
 } // anonymous namespace
 } // namespace bfbp

@@ -1,0 +1,837 @@
+/** @file Trace container v2 tests: block checksums, the delta/varint
+ *  codec, the seek index, IntegrityPolicy, and the end-to-end
+ *  corruption-detection guarantee (every single-byte mutation of a
+ *  v2 archive is rejected — docs/ROBUSTNESS.md). */
+
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "core/factory.hpp"
+#include "sim/evaluator.hpp"
+#include "sim/fault_injection.hpp"
+#include "sim/trace_io.hpp"
+#include "tracegen/workloads.hpp"
+#include "util/checksum.hpp"
+#include "util/random.hpp"
+
+namespace bfbp
+{
+namespace
+{
+
+std::string
+tempPath(const std::string &name)
+{
+    return (std::filesystem::temp_directory_path() / name).string();
+}
+
+/** Records with text-segment locality (small pc deltas, short
+ *  targets) — the delta codec's home turf. */
+std::vector<BranchRecord>
+makeRecords(size_t n, uint64_t seed = 3)
+{
+    Rng rng(seed);
+    std::vector<BranchRecord> recs;
+    uint64_t pc = 0x400000;
+    for (size_t i = 0; i < n; ++i) {
+        BranchRecord r;
+        pc += 4 * (1 + rng.below(64));
+        if (rng.chance(0.05))
+            pc -= 4 * rng.below(512); // loop back-edges
+        r.pc = pc;
+        r.target = pc + 16 - 8 * rng.below(64);
+        r.instCount = static_cast<uint32_t>(1 + rng.below(8));
+        r.type = (i % 17 == 0) ? BranchType::Call
+                               : BranchType::CondDirect;
+        r.taken = rng.chance(0.6);
+        recs.push_back(r);
+    }
+    return recs;
+}
+
+/** Adversarial records: uniformly random 64-bit pcs/targets defeat
+ *  delta coding, forcing the raw-codec fallback. */
+std::vector<BranchRecord>
+makeIncompressibleRecords(size_t n, uint64_t seed = 11)
+{
+    Rng rng(seed);
+    std::vector<BranchRecord> recs;
+    for (size_t i = 0; i < n; ++i) {
+        BranchRecord r;
+        r.pc = rng.next();
+        r.target = rng.next();
+        r.instCount = static_cast<uint32_t>(1 + (rng.next() >> 40));
+        r.type = BranchType::CondDirect;
+        r.taken = rng.chance(0.5);
+        recs.push_back(r);
+    }
+    return recs;
+}
+
+void
+writeV2(const std::string &path, const std::vector<BranchRecord> &recs,
+        size_t block_records = trace_format::defaultBlockRecords)
+{
+    TraceFileWriter writer(path, 64 * 1024, TraceFormat::V2,
+                           block_records);
+    for (const auto &r : recs)
+        writer.append(r);
+    writer.close();
+}
+
+/** Minimal v2 geometry parse of a trusted file (mirrors the layout
+ *  documented in trace_io.hpp; used to aim targeted corruption). */
+struct Layout
+{
+    struct Entry
+    {
+        uint64_t offset, firstRecord, recordCount;
+    };
+    size_t indexOffset = 0;
+    std::vector<Entry> entries;
+};
+
+Layout
+parseLayout(const std::vector<unsigned char> &bytes)
+{
+    Layout layout;
+    uint64_t blockCount = 0;
+    std::memcpy(&blockCount,
+                bytes.data() + bytes.size() - trace_format::trailerBytes,
+                8);
+    layout.indexOffset = bytes.size() - trace_format::trailerBytes -
+                         static_cast<size_t>(blockCount) *
+                             trace_format::indexEntryBytes;
+    for (uint64_t i = 0; i < blockCount; ++i) {
+        const unsigned char *p = bytes.data() + layout.indexOffset +
+                                 i * trace_format::indexEntryBytes;
+        Layout::Entry e;
+        std::memcpy(&e.offset, p + 0, 8);
+        std::memcpy(&e.firstRecord, p + 8, 8);
+        std::memcpy(&e.recordCount, p + 16, 8);
+        layout.entries.push_back(e);
+    }
+    return layout;
+}
+
+class TraceV2Test : public ::testing::Test
+{
+  protected:
+    void
+    TearDown() override
+    {
+        for (const auto &p : cleanup)
+            std::remove(p.c_str());
+    }
+
+    std::string
+    track(const std::string &p)
+    {
+        cleanup.push_back(p);
+        return p;
+    }
+
+    std::vector<unsigned char>
+    slurp(const std::string &path)
+    {
+        std::FILE *f = std::fopen(path.c_str(), "rb");
+        EXPECT_NE(f, nullptr);
+        std::vector<unsigned char> bytes;
+        unsigned char buf[4096];
+        size_t got = 0;
+        while ((got = std::fread(buf, 1, sizeof(buf), f)) > 0)
+            bytes.insert(bytes.end(), buf, buf + got);
+        std::fclose(f);
+        return bytes;
+    }
+
+    std::string
+    writeBytes(const std::string &name,
+               const std::vector<unsigned char> &bytes)
+    {
+        const auto path = track(tempPath(name));
+        std::FILE *f = std::fopen(path.c_str(), "wb");
+        EXPECT_NE(f, nullptr);
+        if (!bytes.empty())
+            std::fwrite(bytes.data(), 1, bytes.size(), f);
+        std::fclose(f);
+        return path;
+    }
+
+    std::vector<std::string> cleanup;
+};
+
+// ---------------------------------------------------------------
+// Round trips and auto-detection.
+
+TEST_F(TraceV2Test, RoundTripPreservesRecords)
+{
+    for (size_t n : {size_t{1}, size_t{63}, size_t{64}, size_t{65},
+                     size_t{500}}) {
+        const auto path =
+            track(tempPath("bfbp_v2_rt" + std::to_string(n) + ".trace"));
+        const auto recs = makeRecords(n);
+        writeV2(path, recs, 64);
+        TraceFileSource source(path);
+        EXPECT_EQ(source.version(), trace_format::version2);
+        EXPECT_EQ(source.recordCount(), n);
+        EXPECT_EQ(source.blockCount(), (n + 63) / 64);
+        EXPECT_EQ(readTrace(path), recs) << n << " records";
+    }
+}
+
+TEST_F(TraceV2Test, EmptyTraceRoundTrips)
+{
+    const auto path = track(tempPath("bfbp_v2_empty.trace"));
+    writeV2(path, {});
+    TraceFileSource source(path);
+    EXPECT_EQ(source.version(), trace_format::version2);
+    EXPECT_EQ(source.blockCount(), 0u);
+    BranchRecord r;
+    EXPECT_FALSE(source.next(r));
+    EXPECT_TRUE(readTrace(path).empty());
+}
+
+TEST_F(TraceV2Test, WriteTraceDefaultsToV1)
+{
+    const auto path = track(tempPath("bfbp_v2_default.trace"));
+    writeTrace(path, makeRecords(10));
+    TraceFileSource source(path);
+    EXPECT_EQ(source.version(), trace_format::version);
+}
+
+TEST_F(TraceV2Test, CompressesTypicalTraces)
+{
+    const auto recs = makeRecords(4000);
+    const auto v1 = track(tempPath("bfbp_v2_cmp1.trace"));
+    const auto v2 = track(tempPath("bfbp_v2_cmp2.trace"));
+    writeTrace(v1, recs);
+    writeV2(v2, recs);
+    const auto v1Size = std::filesystem::file_size(v1);
+    const auto v2Size = std::filesystem::file_size(v2);
+    // Local pc deltas should compress several-fold; require 2x so the
+    // test is not brittle against codec tuning.
+    EXPECT_LT(v2Size * 2, v1Size)
+        << "v1 " << v1Size << " bytes, v2 " << v2Size << " bytes";
+    EXPECT_EQ(readTrace(v2), recs);
+}
+
+TEST_F(TraceV2Test, IncompressibleBlocksFallBackToRaw)
+{
+    const auto recs = makeIncompressibleRecords(300);
+    const auto path = track(tempPath("bfbp_v2_raw.trace"));
+    writeV2(path, recs, 100);
+    // Raw fallback caps the cost at the v1 packing plus framing.
+    const auto layout = parseLayout(slurp(path));
+    ASSERT_EQ(layout.entries.size(), 3u);
+    for (size_t b = 0; b < layout.entries.size(); ++b) {
+        const auto bytes = slurp(path);
+        uint32_t codec = 0;
+        std::memcpy(&codec, bytes.data() + layout.entries[b].offset + 8,
+                    4);
+        EXPECT_EQ(codec, trace_format::codecRaw) << "block " << b;
+    }
+    EXPECT_EQ(readTrace(path), recs);
+}
+
+TEST_F(TraceV2Test, StreamingMatchesBulkAndResets)
+{
+    const auto path = track(tempPath("bfbp_v2_stream.trace"));
+    const auto recs = makeRecords(321, 9);
+    writeV2(path, recs, 50);
+
+    TraceFileSource source(path);
+    BranchRecord r;
+    size_t i = 0;
+    while (source.next(r))
+        ASSERT_EQ(r, recs[i++]);
+    EXPECT_EQ(i, recs.size());
+
+    source.reset();
+    std::vector<BranchRecord> block(7); // never aligned with 50
+    std::vector<BranchRecord> again;
+    size_t got = 0;
+    while ((got = source.nextBlock(block.data(), block.size())) != 0)
+        again.insert(again.end(), block.begin(), block.begin() + got);
+    EXPECT_EQ(again, recs);
+}
+
+TEST_F(TraceV2Test, EvaluationMatchesV1Archive)
+{
+    // The container must be invisible to evaluation: same records
+    // through either version produce the identical result (the CI
+    // convert/round-trip check leans on this).
+    auto gen = tracegen::makeSource(tracegen::recipeByName("SPEC00"),
+                                    0.02);
+    const auto recs = collect(*gen);
+    const auto v1 = track(tempPath("bfbp_v2_eval1.trace"));
+    const auto v2 = track(tempPath("bfbp_v2_eval2.trace"));
+    writeTrace(v1, recs);
+    writeV2(v2, recs);
+
+    auto p1 = createPredictor("gshare");
+    auto p2 = createPredictor("gshare");
+    TraceFileSource s1(v1);
+    TraceFileSource s2(v2);
+    const EvalResult r1 = evaluate(s1, *p1);
+    const EvalResult r2 = evaluate(s2, *p2);
+    EXPECT_EQ(r1.instructions, r2.instructions);
+    EXPECT_EQ(r1.condBranches, r2.condBranches);
+    EXPECT_EQ(r1.otherBranches, r2.otherBranches);
+    EXPECT_EQ(r1.mispredictions, r2.mispredictions);
+}
+
+// ---------------------------------------------------------------
+// Seeking.
+
+TEST_F(TraceV2Test, SeekToRecordMatchesSequentialRead)
+{
+    const auto path = track(tempPath("bfbp_v2_seek.trace"));
+    const auto recs = makeRecords(333, 21);
+    writeV2(path, recs, 64);
+
+    TraceFileSource source(path);
+    // Forward, backward, block-aligned, mid-block, first, last, end.
+    const uint64_t positions[] = {100, 0, 64, 63, 65, 332, 1, 200, 333};
+    for (uint64_t pos : positions) {
+        ASSERT_TRUE(source.seekToRecord(pos)) << "pos " << pos;
+        BranchRecord r;
+        if (pos == recs.size()) {
+            EXPECT_FALSE(source.next(r));
+            continue;
+        }
+        ASSERT_TRUE(source.next(r)) << "pos " << pos;
+        EXPECT_EQ(r, recs[pos]) << "pos " << pos;
+    }
+
+    // After a seek the rest of the stream is intact.
+    ASSERT_TRUE(source.seekToRecord(311));
+    const auto tail = collect(source);
+    ASSERT_EQ(tail.size(), recs.size() - 311);
+    for (size_t i = 0; i < tail.size(); ++i)
+        EXPECT_EQ(tail[i], recs[311 + i]);
+
+    EXPECT_THROW(source.seekToRecord(recs.size() + 1), TraceIoError);
+}
+
+TEST_F(TraceV2Test, SeekWorksOnV1Archives)
+{
+    const auto path = track(tempPath("bfbp_v2_seek1.trace"));
+    const auto recs = makeRecords(100, 23);
+    writeTrace(path, recs);
+
+    TraceFileSource source(path);
+    for (uint64_t pos : {uint64_t{50}, uint64_t{0}, uint64_t{99}}) {
+        ASSERT_TRUE(source.seekToRecord(pos));
+        BranchRecord r;
+        ASSERT_TRUE(source.next(r));
+        EXPECT_EQ(r, recs[pos]) << "pos " << pos;
+    }
+    ASSERT_TRUE(source.seekToRecord(recs.size()));
+    BranchRecord r;
+    EXPECT_FALSE(source.next(r));
+    EXPECT_THROW(source.seekToRecord(recs.size() + 1), TraceIoError);
+}
+
+TEST_F(TraceV2Test, VectorSourceSeeksAndDecoratorsDecline)
+{
+    const auto recs = makeRecords(40);
+    VectorTraceSource vec(recs);
+    ASSERT_TRUE(vec.seekToRecord(25));
+    BranchRecord r;
+    ASSERT_TRUE(vec.next(r));
+    EXPECT_EQ(r, recs[25]);
+    EXPECT_THROW(vec.seekToRecord(recs.size() + 1), TraceIoError);
+
+    // A next()-only decorator cannot seek; callers must fall back.
+    VectorTraceSource inner(recs);
+    FaultInjectingSource faulty(inner, FaultInjectionConfig{});
+    EXPECT_FALSE(faulty.seekToRecord(10));
+}
+
+/** Counts the records nextBlock() hands out — distinguishes a
+ *  seek-index resume (only post-checkpoint records flow) from a
+ *  record-by-record fast-forward (the whole trace flows again). */
+class CountingV2Source : public TraceFileSource
+{
+  public:
+    using TraceFileSource::TraceFileSource;
+
+    size_t
+    nextBlock(BranchRecord *out, size_t max) override
+    {
+        const size_t n = TraceFileSource::nextBlock(out, max);
+        pulled += n;
+        return n;
+    }
+
+    uint64_t pulled = 0;
+};
+
+/** Delivers @p limit records, then throws a non-BfbpError — the
+ *  checkpoint file is the only survivor, as after a SIGKILL. */
+class InterruptingSource : public TraceSource
+{
+  public:
+    InterruptingSource(std::unique_ptr<TraceSource> inner_source,
+                       uint64_t limit)
+        : inner(std::move(inner_source)), remaining(limit)
+    {
+    }
+
+    bool
+    next(BranchRecord &out) override
+    {
+        if (remaining == 0)
+            throw std::runtime_error("simulated kill");
+        --remaining;
+        return inner->next(out);
+    }
+
+    std::string name() const override { return inner->name(); }
+
+  protected:
+    void resetImpl() override { inner->reset(); }
+
+  private:
+    std::unique_ptr<TraceSource> inner;
+    uint64_t remaining;
+};
+
+TEST_F(TraceV2Test, CheckpointResumeUsesSeekIndex)
+{
+    const auto tracePath = track(tempPath("bfbp_v2_ckpt.trace"));
+    const auto ckptPath = track(tempPath("bfbp_v2_ckpt.state"));
+    const auto recs = makeRecords(6000, 53);
+    writeV2(tracePath, recs, 256);
+
+    EvalOptions options;
+    options.collectPerBranch = true;
+    options.checkpointPath = ckptPath;
+    // Coprime with both the evaluator block and the container block,
+    // so the resume position is block-aligned with neither.
+    options.checkpointInterval = 700;
+
+    // Baseline: never interrupted.
+    auto basePredictor = createPredictor("gshare");
+    TraceFileSource baseSource(tracePath);
+    const EvalResult base =
+        evaluate(baseSource, *basePredictor, options);
+    std::remove(ckptPath.c_str());
+
+    // Interrupted run, killed mid-trace past several checkpoints.
+    {
+        auto predictor = createPredictor("gshare");
+        auto inner = std::make_unique<TraceFileSource>(tracePath);
+        InterruptingSource source(std::move(inner), 2500);
+        EXPECT_THROW(evaluate(source, *predictor, options),
+                     std::runtime_error);
+    }
+
+    // Resume on the raw v2 source: the evaluator must jump through
+    // the seek index, not fast-forward.
+    auto resumePredictor = createPredictor("gshare");
+    CountingV2Source resumeSource(tracePath);
+    EvalOptions resumeOptions = options;
+    resumeOptions.resume = true;
+    const EvalResult resumed =
+        evaluate(resumeSource, *resumePredictor, resumeOptions);
+
+    // A fast-forwarding resume would pull all 6000 records through
+    // nextBlock(); a seeking resume pulls only what lies past the
+    // last checkpoint (at least one interval before the kill).
+    EXPECT_LE(resumeSource.pulled, recs.size() - 700);
+    EXPECT_GE(resumeSource.pulled, recs.size() - 2500);
+
+    EXPECT_EQ(resumed.instructions, base.instructions);
+    EXPECT_EQ(resumed.condBranches, base.condBranches);
+    EXPECT_EQ(resumed.otherBranches, base.otherBranches);
+    EXPECT_EQ(resumed.mispredictions, base.mispredictions);
+    ASSERT_EQ(resumed.perBranch.size(), base.perBranch.size());
+    for (size_t i = 0; i < base.perBranch.size(); ++i) {
+        EXPECT_EQ(resumed.perBranch[i].pc, base.perBranch[i].pc);
+        EXPECT_EQ(resumed.perBranch[i].mispredictions,
+                  base.perBranch[i].mispredictions);
+    }
+}
+
+// ---------------------------------------------------------------
+// Corruption detection and IntegrityPolicy.
+
+TEST_F(TraceV2Test, ChecksumErrorNamesTheBlock)
+{
+    const auto path = track(tempPath("bfbp_v2_name.trace"));
+    writeV2(path, makeRecords(300), 64);
+    auto bytes = slurp(path);
+    const auto layout = parseLayout(bytes);
+    ASSERT_GE(layout.entries.size(), 3u);
+    // Flip one payload byte of block 2.
+    bytes[layout.entries[2].offset + trace_format::blockHeaderBytes] ^=
+        0x10;
+    const auto corrupt = writeBytes("bfbp_v2_name_bad.trace", bytes);
+
+    TraceFileSource source(corrupt);
+    std::vector<BranchRecord> block(4096);
+    source.nextBlock(block.data(), block.size()); // blocks 0+1 fine
+    try {
+        while (source.nextBlock(block.data(), block.size()) != 0) {
+        }
+        FAIL() << "corrupt block was not detected";
+    } catch (const TraceIoError &e) {
+        EXPECT_NE(std::string(e.what()).find("trace block 2"),
+                  std::string::npos)
+            << e.what();
+    }
+}
+
+TEST_F(TraceV2Test, ThrowPolicyResumesAfterCorruptBlock)
+{
+    const auto path = track(tempPath("bfbp_v2_resume.trace"));
+    const auto recs = makeRecords(300, 31);
+    writeV2(path, recs, 64);
+    auto bytes = slurp(path);
+    const auto layout = parseLayout(bytes);
+    bytes[layout.entries[1].offset + trace_format::blockHeaderBytes +
+          3] ^= 0xFF;
+    const auto corrupt = writeBytes("bfbp_v2_resume_bad.trace", bytes);
+
+    // Catching the deferred error and reading on yields exactly the
+    // records of the undamaged blocks.
+    TraceFileSource source(corrupt);
+    std::vector<BranchRecord> got;
+    BranchRecord r;
+    size_t errors = 0;
+    for (;;) {
+        try {
+            if (!source.next(r))
+                break;
+            got.push_back(r);
+        } catch (const TraceIoError &) {
+            ++errors;
+        }
+    }
+    EXPECT_EQ(errors, 1u);
+    EXPECT_EQ(source.corruptBlocksSkipped(), 1u);
+    ASSERT_EQ(got.size(), recs.size() - 64);
+    for (size_t i = 0; i < 64; ++i)
+        EXPECT_EQ(got[i], recs[i]);
+    for (size_t i = 64; i < got.size(); ++i)
+        EXPECT_EQ(got[i], recs[i + 64]);
+}
+
+TEST_F(TraceV2Test, SkipBlockPolicyDropsCorruptBlocksSilently)
+{
+    const auto path = track(tempPath("bfbp_v2_skip.trace"));
+    const auto recs = makeRecords(300, 37);
+    writeV2(path, recs, 64);
+    auto bytes = slurp(path);
+    const auto layout = parseLayout(bytes);
+    bytes[layout.entries[1].offset + trace_format::blockHeaderBytes] ^=
+        0x40;
+    const auto corrupt = writeBytes("bfbp_v2_skip_bad.trace", bytes);
+
+    TraceFileSource source(corrupt, IntegrityPolicy::SkipBlock);
+    const auto got = collect(source);
+    EXPECT_EQ(source.corruptBlocksSkipped(), 1u);
+    EXPECT_EQ(got.size(), recs.size() - 64);
+
+    // reset() restarts the stream and the diagnostic counter.
+    source.reset();
+    EXPECT_EQ(source.corruptBlocksSkipped(), 0u);
+    EXPECT_EQ(collect(source).size(), recs.size() - 64);
+
+    // The evaluator sees a clean (shorter) stream under SkipBlock.
+    source.reset();
+    auto predictor = createPredictor("gshare");
+    const EvalResult result = evaluate(source, *predictor);
+    EXPECT_EQ(result.condBranches + result.otherBranches,
+              recs.size() - 64);
+}
+
+TEST_F(TraceV2Test, EvalSkipRecordPolicyEndsTraceAtCorruptBlock)
+{
+    // Under IntegrityPolicy::Throw the evaluator's SkipRecord policy
+    // counts the stream error and ends the trace with the partial
+    // result (evaluator.hpp: a failed read leaves the position
+    // undefined). Use IntegrityPolicy::SkipBlock to ride past.
+    const auto path = track(tempPath("bfbp_v2_policy.trace"));
+    const auto recs = makeRecords(300, 41);
+    writeV2(path, recs, 64);
+    auto bytes = slurp(path);
+    const auto layout = parseLayout(bytes);
+    bytes[layout.entries[3].offset + trace_format::blockHeaderBytes +
+          7] ^= 0x02;
+    const auto corrupt = writeBytes("bfbp_v2_policy_bad.trace", bytes);
+
+    TraceFileSource source(corrupt); // IntegrityPolicy::Throw
+    auto predictor = createPredictor("gshare");
+    EvalOptions options;
+    options.onError = ErrorPolicy::SkipRecord;
+    const EvalResult result = evaluate(source, *predictor, options);
+    EXPECT_EQ(result.streamErrors, 1u);
+    // Blocks 0-2 (records before the corrupt block) were evaluated.
+    EXPECT_EQ(result.condBranches + result.otherBranches, 192u);
+}
+
+TEST_F(TraceV2Test, ZeroRecordBlockIsRejected)
+{
+    // The writer never emits empty blocks, so a hand-built archive
+    // with one must fail the index validation.
+    using namespace trace_format;
+    std::vector<unsigned char> bytes(headerBytes);
+    std::memcpy(bytes.data(), &magic, 4);
+    std::memcpy(bytes.data() + 4, &version2, 4);
+    const uint64_t count = 0;
+    std::memcpy(bytes.data() + countOffset, &count, 8);
+
+    const uint32_t nrec = 0, payloadBytes = 0, codec = codecDelta;
+    const uint64_t bsum = blockChecksum(nrec, payloadBytes, codec,
+                                        bytes.data()); // empty payload
+    bytes.resize(bytes.size() + blockHeaderBytes);
+    unsigned char *bh = bytes.data() + headerBytes;
+    std::memcpy(bh + 0, &nrec, 4);
+    std::memcpy(bh + 4, &payloadBytes, 4);
+    std::memcpy(bh + 8, &codec, 4);
+    std::memcpy(bh + 12, &bsum, 8);
+
+    std::vector<unsigned char> rawIndex(indexEntryBytes);
+    const uint64_t offset = headerBytes, firstRecord = 0, recCount = 0;
+    std::memcpy(rawIndex.data() + 0, &offset, 8);
+    std::memcpy(rawIndex.data() + 8, &firstRecord, 8);
+    std::memcpy(rawIndex.data() + 16, &recCount, 8);
+    const uint64_t blockCountField = 1;
+    const uint64_t isum = indexChecksum(rawIndex.data(),
+                                        rawIndex.size(), blockCountField);
+    bytes.insert(bytes.end(), rawIndex.begin(), rawIndex.end());
+    bytes.resize(bytes.size() + trailerBytes);
+    unsigned char *tr = bytes.data() + bytes.size() - trailerBytes;
+    std::memcpy(tr + 0, &blockCountField, 8);
+    std::memcpy(tr + 8, &isum, 8);
+    std::memcpy(tr + 16, &trailerMagic, 4);
+
+    const auto path = writeBytes("bfbp_v2_zeroblock.trace", bytes);
+    EXPECT_THROW(TraceFileSource src(path), TraceIoError);
+}
+
+// ---------------------------------------------------------------
+// Exhaustive corruption sweeps (the acceptance criterion).
+
+TEST_F(TraceV2Test, ExhaustiveSingleByteMutationIsAlwaysDetected)
+{
+    const auto golden = track(tempPath("bfbp_v2_fuzz_golden.trace"));
+    writeV2(golden, makeRecords(100, 47), 40);
+    const auto scratch = track(tempPath("bfbp_v2_fuzz_scratch.trace"));
+
+    const FuzzReport report = fuzzTraceFileV2(golden, scratch);
+
+    // Checksum-oblivious class: every byte of the file is covered by
+    // the header cross-checks, a block checksum, the index checksum
+    // or the trailer magic — nothing may slip through.
+    EXPECT_GT(report.cases, 3000u);
+    EXPECT_EQ(report.cases, report.readOk + report.rejected);
+    EXPECT_EQ(report.readOk, 0u)
+        << "a single-byte mutation went undetected";
+
+    // Checksum-fixup class: structurally rejected or survived, and
+    // both outcomes actually occur in the corpus.
+    EXPECT_GT(report.fixupCases, 500u);
+    EXPECT_EQ(report.fixupCases,
+              report.fixupReadOk + report.fixupRejected);
+    EXPECT_GT(report.fixupRejected, 0u);
+    EXPECT_GT(report.fixupReadOk, 0u);
+}
+
+TEST_F(TraceV2Test, FuzzSweepIsDeterministic)
+{
+    const auto golden = track(tempPath("bfbp_v2_det_golden.trace"));
+    writeV2(golden, makeRecords(50, 49), 32);
+    const auto scratch = track(tempPath("bfbp_v2_det_scratch.trace"));
+    const FuzzReport a = fuzzTraceFileV2(golden, scratch);
+    const FuzzReport b = fuzzTraceFileV2(golden, scratch);
+    EXPECT_EQ(a.cases, b.cases);
+    EXPECT_EQ(a.readOk, b.readOk);
+    EXPECT_EQ(a.rejected, b.rejected);
+    EXPECT_EQ(a.fixupCases, b.fixupCases);
+    EXPECT_EQ(a.fixupReadOk, b.fixupReadOk);
+    EXPECT_EQ(a.fixupRejected, b.fixupRejected);
+}
+
+// ---------------------------------------------------------------
+// Codec edge cases.
+
+TEST(TraceV2Codec, VarintRoundTripsAndRejectsOverlong)
+{
+    using namespace trace_format;
+    const uint64_t values[] = {0,       1,        127,       128,
+                               16383,   16384,    UINT32_MAX,
+                               1ULL << 56, UINT64_MAX - 1, UINT64_MAX};
+    std::vector<unsigned char> buf;
+    for (uint64_t v : values)
+        putVarint(buf, v);
+    size_t pos = 0;
+    for (uint64_t v : values)
+        EXPECT_EQ(getVarint(buf.data(), buf.size(), pos), v);
+    EXPECT_EQ(pos, buf.size());
+
+    // Truncation: UINT64_MAX encodes to 10 bytes; every shorter
+    // prefix must throw rather than return a value.
+    std::vector<unsigned char> full;
+    putVarint(full, UINT64_MAX);
+    ASSERT_EQ(full.size(), maxVarintBytes);
+    for (size_t len = 0; len < full.size(); ++len) {
+        size_t p = 0;
+        EXPECT_THROW(getVarint(full.data(), len, p), TraceIoError)
+            << "len " << len;
+    }
+
+    // A tenth byte above 0x01 would overflow 64 bits.
+    std::vector<unsigned char> overlong(maxVarintBytes, 0x80);
+    overlong.back() = 0x02;
+    size_t p = 0;
+    EXPECT_THROW(getVarint(overlong.data(), overlong.size(), p),
+                 TraceIoError);
+}
+
+TEST(TraceV2Codec, ZigzagIsExactIncludingWraparound)
+{
+    using namespace trace_format;
+    const uint64_t deltas[] = {0, 1, UINT64_MAX /* -1 */, 2,
+                               UINT64_MAX - 1 /* -2 */,
+                               1ULL << 63, (1ULL << 63) - 1, 12345,
+                               0 - uint64_t{12345}};
+    for (uint64_t d : deltas)
+        EXPECT_EQ(unzigzag(zigzag(d)), d) << d;
+    // Small magnitudes stay small: |d| <= 64 encodes in one varint
+    // byte either direction.
+    EXPECT_LT(zigzag(63), 128u);
+    EXPECT_LT(zigzag(0 - uint64_t{64}), 128u);
+}
+
+TEST(TraceV2Codec, MaxForwardAndBackwardDeltasRoundTrip)
+{
+    using namespace trace_format;
+    std::vector<BranchRecord> recs;
+    BranchRecord r;
+    r.instCount = 1;
+    r.type = BranchType::CondDirect;
+    r.taken = true;
+    // pc leaps across the whole 64-bit space in both directions;
+    // targets sit maximally far from their pcs.
+    const uint64_t pcs[] = {0, UINT64_MAX, 1, UINT64_MAX - 1,
+                            1ULL << 63, 0, 42};
+    for (uint64_t pc : pcs) {
+        r.pc = pc;
+        r.target = ~pc; // delta from pc spans the space
+        recs.push_back(r);
+    }
+
+    const auto payload = encodeBlockDelta(recs.data(), recs.size());
+    DeltaBlockDecoder decoder(payload.data(), payload.size());
+    for (const auto &expect : recs)
+        EXPECT_EQ(decoder.next(), expect);
+    EXPECT_EQ(decoder.position(), payload.size());
+}
+
+TEST(TraceV2Codec, ZeroRecordBlockEncodesToNothing)
+{
+    using namespace trace_format;
+    const auto payload = encodeBlockDelta(nullptr, 0);
+    EXPECT_TRUE(payload.empty());
+    DeltaBlockDecoder decoder(payload.data(), payload.size());
+    EXPECT_THROW(decoder.next(), TraceIoError);
+    EXPECT_TRUE(decoder.frameBroken());
+}
+
+TEST(TraceV2Codec, TruncatedVarintAtBlockBoundaryPoisonsTheBlock)
+{
+    using namespace trace_format;
+    const auto recs = [] {
+        std::vector<BranchRecord> v;
+        BranchRecord r;
+        r.pc = 1ULL << 40; // multi-byte pc delta
+        r.target = r.pc + 8;
+        r.instCount = 3;
+        r.type = BranchType::CondDirect;
+        r.taken = false;
+        v.push_back(r);
+        r.pc += 1ULL << 33; // second record: another long varint
+        v.push_back(r);
+        return v;
+    }();
+    auto payload = encodeBlockDelta(recs.data(), recs.size());
+
+    // Cut mid-varint inside the second record: record one decodes,
+    // record two raises, and the decoder refuses to continue.
+    const size_t afterFirst = [&] {
+        DeltaBlockDecoder probe(payload.data(), payload.size());
+        probe.next();
+        return probe.position();
+    }();
+    DeltaBlockDecoder decoder(payload.data(), afterFirst + 2);
+    EXPECT_EQ(decoder.next(), recs[0]);
+    EXPECT_THROW(decoder.next(), TraceIoError);
+    EXPECT_TRUE(decoder.frameBroken());
+    EXPECT_THROW(decoder.next(), TraceIoError);
+}
+
+TEST(TraceV2Codec, StructuralErrorsSkipTheRecordOnly)
+{
+    using namespace trace_format;
+    auto recs = makeRecords(3, 77);
+    auto payload = encodeBlockDelta(recs.data(), recs.size());
+
+    // Poison record 1's meta byte (last byte of its encoding) with a
+    // reserved high bit; records 0 and 2 must still decode.
+    const size_t metaOfRecord1 = [&] {
+        DeltaBlockDecoder probe(payload.data(), payload.size());
+        probe.next();
+        probe.next();
+        return probe.position() - 1;
+    }();
+    payload[metaOfRecord1] |= 0x80;
+
+    DeltaBlockDecoder decoder(payload.data(), payload.size());
+    EXPECT_EQ(decoder.next(), recs[0]);
+    EXPECT_THROW(decoder.next(), TraceIoError);
+    EXPECT_FALSE(decoder.frameBroken());
+    EXPECT_EQ(decoder.next(), recs[2]);
+}
+
+// ---------------------------------------------------------------
+// The checksum itself.
+
+TEST(TraceV2Checksum, MatchesPublishedXxh64Vectors)
+{
+    // Reference test vectors of the public XXH64 algorithm; the
+    // Python twin in tools/trace_inspect.py is pinned to the same
+    // values by the CI inspector step.
+    EXPECT_EQ(xxh64("", 0, 0), 0xEF46DB3751D8E999ULL);
+    const unsigned char one = 42;
+    EXPECT_NE(xxh64(&one, 1, 0), xxh64(&one, 1, 1));
+}
+
+TEST(TraceV2Checksum, AvalanchesOnSingleBitFlips)
+{
+    // Every bit position of a 100-byte buffer flips the checksum.
+    std::vector<unsigned char> buf(100);
+    Rng rng(5);
+    for (auto &b : buf)
+        b = static_cast<unsigned char>(rng.below(256));
+    const uint64_t clean =
+        xxh64(buf.data(), buf.size(), trace_format::checksumSeed);
+    for (size_t bit = 0; bit < buf.size() * 8; ++bit) {
+        buf[bit / 8] ^= static_cast<unsigned char>(1u << (bit % 8));
+        EXPECT_NE(xxh64(buf.data(), buf.size(),
+                        trace_format::checksumSeed),
+                  clean)
+            << "bit " << bit;
+        buf[bit / 8] ^= static_cast<unsigned char>(1u << (bit % 8));
+    }
+}
+
+} // anonymous namespace
+} // namespace bfbp

@@ -1,0 +1,241 @@
+#!/usr/bin/env python3
+"""Independent inspector/verifier for bfbp trace archives.
+
+Parses both container versions (docs/SERIALIZATION.md) with its own
+pure-Python XXH64 — deliberately sharing no code with the C++ reader,
+so CI's corruption gate has two independent implementations that must
+agree:
+
+    trace_inspect.py <trace> [--blocks] [--quiet]
+
+Prints the header, the seek-index block table (--blocks), per-block
+codec and compression ratio, and verifies every checksum plus the
+header/index record-count cross-checks. Exit codes: 0 clean,
+2 corrupt or unparseable.
+"""
+
+import argparse
+import struct
+import sys
+
+MAGIC = 0x54424642          # "BFBT"
+TRAILER_MAGIC = 0x58424642  # "BFBX"
+HEADER_BYTES = 16
+RECORD_BYTES = 22
+BLOCK_HEADER_BYTES = 20
+INDEX_ENTRY_BYTES = 24
+TRAILER_BYTES = 20
+CHECKSUM_SEED = 0x0BFB0BFB0BFB0BFB
+CODEC_NAMES = {0: "raw", 1: "delta"}
+
+MASK = (1 << 64) - 1
+P1 = 0x9E3779B185EBCA87
+P2 = 0xC2B2AE3D27D4EB4F
+P3 = 0x165667B19E3779F9
+P4 = 0x85EBCA77C2B2AE63
+P5 = 0x27D4EB2F165667C5
+
+
+def _rotl(x, r):
+    return ((x << r) | (x >> (64 - r))) & MASK
+
+
+def _round(acc, lane):
+    acc = (acc + lane * P2) & MASK
+    return (_rotl(acc, 31) * P1) & MASK
+
+
+def _merge(acc, lane):
+    acc ^= _round(0, lane)
+    return (acc * P1 + P4) & MASK
+
+
+def xxh64(data, seed=0):
+    """XXH64 of *data* — must match src/util/checksum.hpp bit for bit
+    (pinned by the shared test vector xxh64(b"") == EF46DB3751D8E999).
+    """
+    n = len(data)
+    pos = 0
+    if n >= 32:
+        v1 = (seed + P1 + P2) & MASK
+        v2 = (seed + P2) & MASK
+        v3 = seed & MASK
+        v4 = (seed - P1) & MASK
+        while pos + 32 <= n:
+            lanes = struct.unpack_from("<4Q", data, pos)
+            v1 = _round(v1, lanes[0])
+            v2 = _round(v2, lanes[1])
+            v3 = _round(v3, lanes[2])
+            v4 = _round(v4, lanes[3])
+            pos += 32
+        h = (_rotl(v1, 1) + _rotl(v2, 7) + _rotl(v3, 12) +
+             _rotl(v4, 18)) & MASK
+        for v in (v1, v2, v3, v4):
+            h = _merge(h, v)
+    else:
+        h = (seed + P5) & MASK
+    h = (h + n) & MASK
+    while pos + 8 <= n:
+        (lane,) = struct.unpack_from("<Q", data, pos)
+        h ^= _round(0, lane)
+        h = (_rotl(h, 27) * P1 + P4) & MASK
+        pos += 8
+    if pos + 4 <= n:
+        (lane,) = struct.unpack_from("<I", data, pos)
+        h ^= (lane * P1) & MASK
+        h = (_rotl(h, 23) * P2 + P3) & MASK
+        pos += 4
+    while pos < n:
+        h ^= (data[pos] * P5) & MASK
+        h = (_rotl(h, 11) * P1) & MASK
+        pos += 1
+    h ^= h >> 33
+    h = (h * P2) & MASK
+    h ^= h >> 29
+    h = (h * P3) & MASK
+    h ^= h >> 32
+    return h
+
+
+def block_checksum(record_count, payload_bytes, codec, payload):
+    seed = xxh64(struct.pack("<III", record_count, payload_bytes,
+                             codec), CHECKSUM_SEED)
+    return xxh64(payload, seed)
+
+
+def index_checksum(index_bytes, block_count):
+    seed = xxh64(struct.pack("<Q", block_count), CHECKSUM_SEED)
+    return xxh64(index_bytes, seed)
+
+
+class Corrupt(Exception):
+    pass
+
+
+def inspect_v1(data, total, out):
+    payload = len(data) - HEADER_BYTES
+    out(f"records: {total}")
+    if payload != total * RECORD_BYTES:
+        raise Corrupt(
+            f"v1 payload is {payload} bytes, header count {total} "
+            f"needs {total * RECORD_BYTES}")
+    out(f"payload: {payload} bytes ({RECORD_BYTES} bytes/record, "
+        "no checksums in v1)")
+
+
+def inspect_v2(data, total, out, show_blocks):
+    if len(data) < HEADER_BYTES + TRAILER_BYTES:
+        raise Corrupt("file too small for a v2 trailer")
+    block_count, isum, tmagic = struct.unpack_from(
+        "<QQI", data, len(data) - TRAILER_BYTES)
+    if tmagic != TRAILER_MAGIC:
+        raise Corrupt(f"bad trailer magic 0x{tmagic:08x}")
+    index_off = (len(data) - TRAILER_BYTES -
+                 block_count * INDEX_ENTRY_BYTES)
+    if index_off < HEADER_BYTES:
+        raise Corrupt(f"trailer claims {block_count} blocks, file too "
+                      "small to hold the index")
+    index_bytes = data[index_off:len(data) - TRAILER_BYTES]
+    computed = index_checksum(index_bytes, block_count)
+    if computed != isum:
+        raise Corrupt(f"seek index checksum mismatch "
+                      f"(stored {isum:016x}, computed {computed:016x})")
+
+    out(f"records: {total}")
+    out(f"blocks:  {block_count}")
+    if show_blocks:
+        out(f"{'block':>5} {'offset':>10} {'first':>10} {'count':>7} "
+            f"{'codec':>5} {'payload':>9} {'ratio':>6}")
+
+    expect_offset = HEADER_BYTES
+    expect_record = 0
+    raw_total = delta_total = 0
+    for b in range(block_count):
+        offset, first, count = struct.unpack_from(
+            "<QQQ", index_bytes, b * INDEX_ENTRY_BYTES)
+        if offset != expect_offset or first != expect_record:
+            raise Corrupt(f"index entry {b} breaks the block chain")
+        if count == 0:
+            raise Corrupt(f"index entry {b} claims an empty block")
+        if offset + BLOCK_HEADER_BYTES > index_off:
+            raise Corrupt(f"block {b} frame runs past the index")
+        nrec, payload_bytes, codec, stored = struct.unpack_from(
+            "<IIIQ", data, offset)
+        if nrec != count:
+            raise Corrupt(f"block {b} frame says {nrec} records, "
+                          f"index says {count}")
+        if codec not in CODEC_NAMES:
+            raise Corrupt(f"block {b} has unknown codec {codec}")
+        payload_end = offset + BLOCK_HEADER_BYTES + payload_bytes
+        if payload_end > index_off:
+            raise Corrupt(f"block {b} payload runs past the index")
+        payload = data[offset + BLOCK_HEADER_BYTES:payload_end]
+        computed = block_checksum(nrec, payload_bytes, codec, payload)
+        if computed != stored:
+            raise Corrupt(f"block {b} checksum mismatch "
+                          f"(stored {stored:016x}, "
+                          f"computed {computed:016x})")
+        raw = count * RECORD_BYTES
+        raw_total += raw
+        delta_total += payload_bytes
+        if show_blocks:
+            out(f"{b:>5} {offset:>10} {first:>10} {count:>7} "
+                f"{CODEC_NAMES[codec]:>5} {payload_bytes:>9} "
+                f"{payload_bytes / raw:>6.2f}")
+        expect_offset = payload_end
+        expect_record += count
+
+    if expect_record != total:
+        raise Corrupt(f"header count {total} disagrees with index "
+                      f"total {expect_record}")
+    if expect_offset != index_off:
+        raise Corrupt("unindexed bytes between last block and index")
+    if raw_total:
+        out(f"payload: {delta_total} bytes "
+            f"({delta_total / raw_total:.2f}x of raw v1 packing)")
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description="Inspect and verify a bfbp trace archive.")
+    parser.add_argument("trace", help="archive path")
+    parser.add_argument("--blocks", action="store_true",
+                        help="print the per-block table (v2)")
+    parser.add_argument("--quiet", action="store_true",
+                        help="only report corruption")
+    args = parser.parse_args()
+
+    def out(line):
+        if not args.quiet:
+            print(line)
+
+    try:
+        with open(args.trace, "rb") as f:
+            data = f.read()
+        if len(data) < HEADER_BYTES:
+            raise Corrupt("file too small for a header")
+        magic, version = struct.unpack_from("<II", data, 0)
+        (total,) = struct.unpack_from("<Q", data, 8)
+        if magic != MAGIC:
+            raise Corrupt(f"bad magic 0x{magic:08x}")
+        out(f"file:    {args.trace}")
+        out(f"version: {version}")
+        if version == 1:
+            inspect_v1(data, total, out)
+        elif version == 2:
+            inspect_v2(data, total, out, args.blocks)
+        else:
+            raise Corrupt(f"unsupported version {version}")
+    except Corrupt as e:
+        print(f"trace_inspect: {args.trace}: CORRUPT: {e}",
+              file=sys.stderr)
+        return 2
+    except OSError as e:
+        print(f"trace_inspect: {e}", file=sys.stderr)
+        return 2
+    out("integrity: ok")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
