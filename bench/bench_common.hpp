@@ -140,6 +140,20 @@ struct Options
                 while (std::getline(ss, name, ',')) {
                     if (name.empty())
                         continue;
+                    // Trace names are joined into --dump-traces /
+                    // --warmup-snapshot paths, so a name carrying a
+                    // path separator or a ".." component would write
+                    // outside the chosen directory. Reject before
+                    // any path is formed (unknown names are caught
+                    // later by selectedTraces()).
+                    if (name.find('/') != std::string::npos ||
+                        name.find('\\') != std::string::npos ||
+                        name.find("..") != std::string::npos) {
+                        std::cerr << "invalid --traces name '" << name
+                                  << "': path separators and '..' "
+                                  << "are not allowed\n";
+                        std::exit(2);
+                    }
                     if (std::find(opts.traces.begin(),
                                   opts.traces.end(),
                                   name) != opts.traces.end()) {
@@ -281,13 +295,17 @@ struct Options
     }
 
     /**
-     * The selected suite subset, in suite order. Exits with an error
+     * The selected suite subset, in suite order. Names resolve
+     * across the standard and extended suites, but the empty default
+     * stays the standard 40 traces — extended families (H2P*, LOAD*,
+     * ANA*) are opt-in by explicit naming. Exits with an error
      * listing the valid names when a requested trace does not exist.
      */
     std::vector<tracegen::TraceRecipe>
     selectedTraces() const
     {
-        const auto suite = tracegen::standardSuite();
+        const auto suite = traces.empty() ? tracegen::standardSuite()
+                                          : tracegen::allRecipes();
         for (const auto &want : traces) {
             const bool known = std::any_of(
                 suite.begin(), suite.end(),

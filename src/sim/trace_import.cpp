@@ -1,0 +1,332 @@
+#include "sim/trace_import.hpp"
+
+#include <cctype>
+#include <cstdio>
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <vector>
+
+#include "util/errors.hpp"
+
+namespace bfbp
+{
+
+namespace
+{
+
+[[noreturn]] void
+lineError(uint64_t line_no, const std::string &what,
+          const std::string &content)
+{
+    // Clamp the echoed content: a malformed line may be huge, and
+    // the diagnostic must stay readable.
+    std::string shown = content.substr(0, 80);
+    if (shown.size() < content.size())
+        shown += "...";
+    throw TraceIoError("import: line " + std::to_string(line_no) +
+                       ": " + what + ": \"" + shown + "\"");
+}
+
+/**
+ * Reads one line of at most @p max_bytes into @p out, stripping a
+ * trailing '\r' (CRLF logs). Returns false at EOF with nothing read.
+ * @throws TraceIoError on an over-long line or a stream error.
+ */
+bool
+readLine(std::istream &in, std::string &out, uint64_t line_no,
+         size_t max_bytes)
+{
+    out.clear();
+    char c;
+    while (in.get(c)) {
+        if (c == '\n') {
+            if (!out.empty() && out.back() == '\r')
+                out.pop_back();
+            return true;
+        }
+        if (out.size() >= max_bytes)
+            lineError(line_no, "line exceeds " +
+                      std::to_string(max_bytes) + " bytes", out);
+        out.push_back(c);
+    }
+    if (in.bad())
+        throw TraceIoError("import: read failure at line " +
+                           std::to_string(line_no));
+    if (out.empty())
+        return false;
+    // Final line without a trailing newline.
+    if (out.back() == '\r')
+        out.pop_back();
+    return true;
+}
+
+/** Splits on commas (CSV) — no quoting; the format has none. */
+std::vector<std::string>
+splitCsv(const std::string &line)
+{
+    std::vector<std::string> fields;
+    size_t start = 0;
+    while (true) {
+        size_t comma = line.find(',', start);
+        if (comma == std::string::npos) {
+            fields.push_back(line.substr(start));
+            return fields;
+        }
+        fields.push_back(line.substr(start, comma - start));
+        start = comma + 1;
+    }
+}
+
+std::string
+trim(const std::string &s)
+{
+    size_t a = 0, b = s.size();
+    while (a < b && std::isspace(static_cast<unsigned char>(s[a])))
+        ++a;
+    while (b > a && std::isspace(static_cast<unsigned char>(s[b - 1])))
+        --b;
+    return s.substr(a, b - a);
+}
+
+/** Strict hex parse (optional 0x prefix); false on any junk. */
+bool
+parseHexU64(const std::string &text, uint64_t &out)
+{
+    std::string t = text;
+    if (t.size() > 2 && (t.compare(0, 2, "0x") == 0 ||
+                         t.compare(0, 2, "0X") == 0))
+        t = t.substr(2);
+    if (t.empty() || t.size() > 16)
+        return false;
+    uint64_t v = 0;
+    for (char c : t) {
+        int digit;
+        if (c >= '0' && c <= '9')
+            digit = c - '0';
+        else if (c >= 'a' && c <= 'f')
+            digit = 10 + (c - 'a');
+        else if (c >= 'A' && c <= 'F')
+            digit = 10 + (c - 'A');
+        else
+            return false;
+        v = (v << 4) | static_cast<uint64_t>(digit);
+    }
+    out = v;
+    return true;
+}
+
+/** Strict decimal parse; false on junk or overflow past @p max. */
+bool
+parseDecU64(const std::string &text, uint64_t max, uint64_t &out)
+{
+    if (text.empty() || text.size() > 20)
+        return false;
+    uint64_t v = 0;
+    for (char c : text) {
+        if (c < '0' || c > '9')
+            return false;
+        const uint64_t digit = static_cast<uint64_t>(c - '0');
+        if (v > (UINT64_MAX - digit) / 10)
+            return false;
+        v = v * 10 + digit;
+    }
+    if (v > max)
+        return false;
+    out = v;
+    return true;
+}
+
+bool
+parseTaken(const std::string &text, bool &out)
+{
+    if (text == "1" || text == "T" || text == "t") {
+        out = true;
+        return true;
+    }
+    if (text == "0" || text == "N" || text == "n") {
+        out = false;
+        return true;
+    }
+    return false;
+}
+
+const char *const typeNames[] = {"cond", "uncond", "ind", "call",
+                                 "ret"};
+
+bool
+parseType(const std::string &text, BranchType &out)
+{
+    for (size_t i = 0; i < 5; ++i) {
+        if (text == typeNames[i]) {
+            out = static_cast<BranchType>(i);
+            return true;
+        }
+    }
+    return false;
+}
+
+constexpr const char *csvHeader = "pc,target,inst_count,type,taken";
+
+/** Parses one PinText line into @p rec; false for skippable lines. */
+bool
+parsePinLine(const std::string &line, uint64_t line_no,
+             BranchRecord &rec)
+{
+    const std::string t = trim(line);
+    if (t.empty() || t[0] == '#')
+        return false;
+    const size_t space = t.find_first_of(" \t");
+    if (space == std::string::npos)
+        lineError(line_no, "expected \"<pc> <taken>\"", line);
+    const std::string pcText = t.substr(0, space);
+    const std::string takenText = trim(t.substr(space));
+    if (takenText.find_first_of(" \t") != std::string::npos)
+        lineError(line_no, "trailing fields after \"<pc> <taken>\"",
+                  line);
+    uint64_t pc;
+    if (!parseHexU64(pcText, pc))
+        lineError(line_no, "bad pc (want hex)", line);
+    bool taken;
+    if (!parseTaken(takenText, taken))
+        lineError(line_no, "bad taken flag (want 0/1/T/N)", line);
+    rec = BranchRecord{};
+    rec.pc = pc;
+    rec.target = pc + 4; // the format carries no target
+    rec.instCount = 1;
+    rec.type = BranchType::CondDirect;
+    rec.taken = taken;
+    return true;
+}
+
+/** Parses one CSV data row into @p rec; false for skippable lines. */
+bool
+parseCsvLine(const std::string &line, uint64_t line_no,
+             BranchRecord &rec)
+{
+    const std::string t = trim(line);
+    if (t.empty() || t[0] == '#')
+        return false;
+    const auto fields = splitCsv(t);
+    if (fields.size() != 5)
+        lineError(line_no, "expected 5 fields \"" +
+                  std::string(csvHeader) + "\"", line);
+    uint64_t pc, target, inst;
+    BranchType type;
+    bool taken;
+    if (!parseHexU64(trim(fields[0]), pc))
+        lineError(line_no, "bad pc (want hex)", line);
+    if (!parseHexU64(trim(fields[1]), target))
+        lineError(line_no, "bad target (want hex)", line);
+    if (!parseDecU64(trim(fields[2]), UINT32_MAX, inst) || inst == 0)
+        lineError(line_no, "bad inst_count (want decimal >= 1)", line);
+    if (!parseType(trim(fields[3]), type))
+        lineError(line_no,
+                  "bad type (want cond/uncond/ind/call/ret)", line);
+    if (!parseTaken(trim(fields[4]), taken))
+        lineError(line_no, "bad taken flag (want 0/1/T/N)", line);
+    rec = BranchRecord{};
+    rec.pc = pc;
+    rec.target = target;
+    rec.instCount = static_cast<uint32_t>(inst);
+    rec.type = type;
+    rec.taken = taken;
+    return true;
+}
+
+} // anonymous namespace
+
+uint64_t
+importText(std::istream &in, const std::string &out_path,
+           const ImportOptions &opts)
+{
+    TraceFileWriter writer(out_path, 64 * 1024, opts.container,
+                           opts.blockRecords);
+    std::string line;
+    uint64_t line_no = 0;
+    bool sawCsvHeader = false;
+    BranchRecord rec;
+    while (readLine(in, line, line_no + 1, opts.maxLineBytes)) {
+        ++line_no;
+        if (opts.format == InterchangeFormat::PinText) {
+            if (parsePinLine(line, line_no, rec))
+                writer.append(rec);
+            continue;
+        }
+        // CSV: the first non-skippable line must be the header.
+        const std::string t = trim(line);
+        if (t.empty() || t[0] == '#')
+            continue;
+        if (!sawCsvHeader) {
+            if (t != csvHeader)
+                lineError(line_no, "missing CSV header \"" +
+                          std::string(csvHeader) + "\"", line);
+            sawCsvHeader = true;
+            continue;
+        }
+        if (parseCsvLine(line, line_no, rec))
+            writer.append(rec);
+    }
+    writer.close();
+    return writer.written();
+}
+
+uint64_t
+importTextFile(const std::string &in_path,
+               const std::string &out_path, const ImportOptions &opts)
+{
+    std::ifstream in(in_path, std::ios::binary);
+    if (!in.is_open())
+        throw TraceIoError("import: cannot open " + in_path);
+    return importText(in, out_path, opts);
+}
+
+uint64_t
+exportText(const std::string &in_path, std::ostream &out,
+           InterchangeFormat format)
+{
+    TraceFileSource source(in_path);
+    char buf[96];
+    BranchRecord r;
+    uint64_t n = 0;
+    if (format == InterchangeFormat::Csv)
+        out << csvHeader << '\n';
+    while (source.next(r)) {
+        if (format == InterchangeFormat::PinText) {
+            std::snprintf(buf, sizeof buf, "0x%llx %c\n",
+                          static_cast<unsigned long long>(r.pc),
+                          r.taken ? 'T' : 'N');
+        } else {
+            std::snprintf(
+                buf, sizeof buf, "0x%llx,0x%llx,%u,%s,%u\n",
+                static_cast<unsigned long long>(r.pc),
+                static_cast<unsigned long long>(r.target),
+                r.instCount,
+                typeNames[static_cast<uint8_t>(r.type)],
+                r.taken ? 1u : 0u);
+        }
+        out << buf;
+        ++n;
+    }
+    if (!out.good())
+        throw TraceIoError("export: write failure after " +
+                           std::to_string(n) + " records");
+    return n;
+}
+
+uint64_t
+exportTextFile(const std::string &in_path,
+               const std::string &out_path, InterchangeFormat format)
+{
+    std::ofstream out(out_path, std::ios::binary);
+    if (!out.is_open())
+        throw TraceIoError("export: cannot open " + out_path);
+    const uint64_t n = exportText(in_path, out, format);
+    out.flush();
+    if (!out.good())
+        throw TraceIoError("export: write failure closing " +
+                           out_path);
+    return n;
+}
+
+} // namespace bfbp

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * External-trace import/export: converts captured branch streams in
+ * foreign formats into the native v1/v2 container (and back), so
+ * real traces — not just the synthetic suite — can be evaluated.
+ *
+ * Two interchange formats are supported (docs/WORKLOADS.md):
+ *
+ *  - PinText: Pin-tool style text logs, one branch per line:
+ *        <pc> <taken>
+ *    where <pc> is hexadecimal (optional 0x prefix) and <taken> is
+ *    one of {0, 1, T, N, t, n}. Blank lines and lines starting with
+ *    '#' are skipped; CRLF line endings are tolerated. Records
+ *    import as conditional direct branches with target = pc + 4 and
+ *    instCount = 1 (the format carries neither), so export back to
+ *    PinText is lossy for non-conditional records (type and target
+ *    are dropped) but the (pc, taken) stream round-trips exactly.
+ *
+ *  - Csv: a lossless text twin of the container. Header line
+ *        pc,target,inst_count,type,taken
+ *    then one record per line with pc/target hexadecimal (0x
+ *    prefix), inst_count decimal, type one of
+ *    {cond,uncond,call,ret,ind} and taken 0/1. Import -> container
+ *    -> export reproduces the CSV byte-for-byte (modulo the
+ *    canonical hex case produced by the exporter).
+ *
+ * Import is streaming (line at a time into the crash-safe
+ * TraceFileWriter — never the whole log in memory) and validated:
+ * any malformed line raises TraceIoError naming the 1-based line
+ * number, and the output archive is never published (the writer's
+ * tmp+rename protocol discards it).
+ */
+
+#ifndef BFBP_SIM_TRACE_IMPORT_HPP
+#define BFBP_SIM_TRACE_IMPORT_HPP
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+
+#include "sim/trace_io.hpp"
+
+namespace bfbp
+{
+
+/** Interchange format selector for import/export. */
+enum class InterchangeFormat
+{
+    PinText, //!< "<pc> <taken>" per line (Pin-tool style).
+    Csv,     //!< Lossless pc,target,inst_count,type,taken rows.
+};
+
+/** Import knobs. */
+struct ImportOptions
+{
+    InterchangeFormat format = InterchangeFormat::PinText;
+    TraceFormat container = TraceFormat::V1;
+    size_t blockRecords = trace_format::defaultBlockRecords;
+    //! Longest accepted input line; longer lines raise TraceIoError
+    //! (a captured log should never come close — this bounds memory
+    //! against hostile or corrupt input).
+    size_t maxLineBytes = 4096;
+};
+
+/**
+ * Streams @p in (foreign text) into a native container at
+ * @p out_path. Returns the number of records written.
+ *
+ * @throws TraceIoError on any malformed line (message carries the
+ *         1-based line number and the offending content) or on I/O
+ *         failure; the destination path is left untouched.
+ */
+uint64_t importText(std::istream &in, const std::string &out_path,
+                    const ImportOptions &opts);
+
+/** importText() over a file. @throws TraceIoError if @p in_path
+ *  cannot be opened. */
+uint64_t importTextFile(const std::string &in_path,
+                        const std::string &out_path,
+                        const ImportOptions &opts);
+
+/**
+ * Streams a native container at @p in_path out as interchange text.
+ * PinText drops type/target/instCount (documented lossy projection);
+ * Csv is lossless. Returns the number of records exported.
+ *
+ * @throws TraceIoError on unreadable input or I/O failure.
+ */
+uint64_t exportText(const std::string &in_path, std::ostream &out,
+                    InterchangeFormat format);
+
+/** exportText() into a file (plain ofstream; interchange text has no
+ *  durability contract). */
+uint64_t exportTextFile(const std::string &in_path,
+                        const std::string &out_path,
+                        InterchangeFormat format);
+
+} // namespace bfbp
+
+#endif // BFBP_SIM_TRACE_IMPORT_HPP

@@ -178,6 +178,47 @@ Fig4Block::emit(GenState &state)
     }
 }
 
+DataDependentBlock::DataDependentBlock(uint64_t first_pc,
+                                       size_t pool_size, size_t count,
+                                       size_t array_size,
+                                       double replace_prob,
+                                       double taken_frac,
+                                       uint64_t value_seed)
+    : firstPc(first_pc), poolSize(pool_size), emitCount(count),
+      replaceProb(replace_prob)
+{
+    assert(pool_size >= 1 && array_size >= 1);
+    assert(taken_frac > 0.0 && taken_frac < 1.0);
+    threshold = static_cast<uint32_t>(
+        taken_frac * 4294967296.0); // quantile of the u32 value range
+    values.reserve(array_size);
+    Rng rng(value_seed);
+    for (size_t i = 0; i < array_size; ++i)
+        values.push_back(static_cast<uint32_t>(rng.next()));
+}
+
+void
+DataDependentBlock::emit(GenState &state)
+{
+    for (size_t i = 0; i < emitCount; ++i) {
+        const bool taken = values[valCursor] < threshold;
+        state.branch(firstPc + 4 * pcCursor, taken);
+        if (replaceProb > 0.0) {
+            // Replacement randomizes the slot's *next* outcome:
+            // irreducible unpredictability at the replacement rate,
+            // scaled by the entropy of the new draw.
+            const double frac =
+                static_cast<double>(threshold) / 4294967296.0;
+            state.expectedFloor +=
+                replaceProb * std::min(frac, 1.0 - frac);
+            if (state.rng.chance(replaceProb))
+                values[valCursor] = static_cast<uint32_t>(state.rng.next());
+        }
+        valCursor = (valCursor + 1) % values.size();
+        pcCursor = (pcCursor + 1) % poolSize;
+    }
+}
+
 void
 SequenceBlock::emit(GenState &state)
 {
@@ -196,7 +237,8 @@ ProgramTraceSource::resetImpl()
 {
     program = factory();
     assert(!program.sections.empty());
-    state = std::make_unique<GenState>(program.seed, program.numRegs);
+    state = std::make_unique<GenState>(program.seed, program.numRegs,
+                                       program.fixedInstCount);
     bufferPos = 0;
     sectionIdx = 0;
     blockIdx = 0;

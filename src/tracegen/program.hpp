@@ -51,8 +51,15 @@ namespace bfbp::tracegen
 class GenState
 {
   public:
-    explicit GenState(uint64_t seed, size_t num_regs)
-        : rng(seed), regs(num_regs, false)
+    /**
+     * @param fixed_inst_count When nonzero, every record carries
+     *        exactly this instruction count instead of a random draw
+     *        in [2, 8]. Analytic microbenchmarks use this so their
+     *        closed-form MPKI derivations are exact.
+     */
+    explicit GenState(uint64_t seed, size_t num_regs,
+                      uint32_t fixed_inst_count = 0)
+        : rng(seed), regs(num_regs, false), fixedInst(fixed_inst_count)
     {
     }
 
@@ -90,13 +97,16 @@ class GenState
         BranchRecord r;
         r.pc = pc;
         r.target = pc + 64 + (pc & 0xff); // synthetic forward target
-        r.instCount = static_cast<uint32_t>(2 + rng.below(7));
+        r.instCount = fixedInst != 0
+                          ? fixedInst
+                          : static_cast<uint32_t>(2 + rng.below(7));
         r.type = type;
         r.taken = taken;
         out.push_back(r);
     }
 
     std::vector<bool> regs;
+    uint32_t fixedInst;
 };
 
 /** A unit of synthetic control flow. Blocks own their cursors. */
@@ -340,6 +350,43 @@ class Fig4Block : public Block
     size_t pos;
 };
 
+/**
+ * Data-dependent branches: outcomes are a function of a synthetic
+ * "loaded value" stream, modeling load-driven branches (LDBP-style).
+ *
+ * A value array of @p array_size slots is filled deterministically at
+ * construction. Each execution emits @p count branches cycling over a
+ * pool of static PCs; branch i reads the next array slot (a walking
+ * index) and resolves taken iff value < threshold, where the
+ * threshold is the @p taken_frac quantile of the value range. After
+ * each read the slot is replaced with a fresh random value with
+ * probability @p replace_prob (the irreducible-noise knob).
+ *
+ * With a small array (period <= global-history length) and
+ * replace_prob == 0 the outcome sequence is periodic and learnable;
+ * with a large array and nonzero replacement it behaves like a
+ * classic data-dependent hard-to-predict branch.
+ */
+class DataDependentBlock : public Block
+{
+  public:
+    DataDependentBlock(uint64_t first_pc, size_t pool_size, size_t count,
+                       size_t array_size, double replace_prob,
+                       double taken_frac, uint64_t value_seed);
+
+    void emit(GenState &state) override;
+
+  private:
+    uint64_t firstPc;
+    size_t poolSize;
+    size_t emitCount;
+    double replaceProb;
+    uint32_t threshold;
+    std::vector<uint32_t> values;
+    size_t pcCursor = 0;
+    size_t valCursor = 0;
+};
+
 /** Executes a fixed sequence of sub-blocks. */
 class SequenceBlock : public Block
 {
@@ -369,6 +416,9 @@ struct Program
     uint64_t seed = 1;
     uint64_t targetBranches = 100000; //!< Conditional branches to emit.
     size_t numRegs = 16;
+    //! Nonzero = every record carries exactly this instruction count
+    //! (analytic microbenchmarks; makes MPKI derivable on paper).
+    uint32_t fixedInstCount = 0;
     std::vector<Section> sections;
 };
 

@@ -20,6 +20,9 @@ categoryName(Category c)
       case Category::Int:  return "INT";
       case Category::Mm:   return "MM";
       case Category::Serv: return "SERV";
+      case Category::H2p:  return "H2P";
+      case Category::Load: return "LOAD";
+      case Category::Ana:  return "ANA";
     }
     return "?";
 }
@@ -103,6 +106,28 @@ class PhaseBuilder
     {
         Section sec;
         auto &blocks = sec.blocks;
+
+        // Analytic loop nest: a pure TT..TN pattern (optionally
+        // nested) and nothing else in the block. Expected bimodal
+        // mispredictions equal the not-taken record count; gshare's
+        // transient is derivable by hand (docs/WORKLOADS.md).
+        if (r.anaInnerTrip > 0) {
+            std::vector<BlockPtr> inner;
+            auto innerLoop = std::make_unique<LoopBlock>(
+                allocPc(), static_cast<size_t>(r.anaInnerTrip),
+                static_cast<size_t>(r.anaInnerTrip),
+                std::vector<BlockPtr>{});
+            if (r.anaOuterTrip > 0) {
+                std::vector<BlockPtr> body;
+                body.push_back(std::move(innerLoop));
+                blocks.push_back(std::make_unique<LoopBlock>(
+                    allocPc(), static_cast<size_t>(r.anaOuterTrip),
+                    static_cast<size_t>(r.anaOuterTrip),
+                    std::move(body)));
+            } else {
+                blocks.push_back(std::move(innerLoop));
+            }
+        }
 
         // Local periodic patterns in a tight loop: many instances of
         // the same static branch with biased spacing. Predictable
@@ -212,6 +237,30 @@ class PhaseBuilder
                 r.noiseTakenProb));
         }
 
+        // H2P skew: K static p=0.5 branches whose emission volume
+        // (h2pPerCycle) dominates the misprediction budget against
+        // the soft-biased background, concentrating misses in a few
+        // statics the way real H2P branches do.
+        if (r.h2pPerCycle > 0) {
+            const size_t pool = static_cast<size_t>(
+                std::max(1, r.h2pBranches));
+            blocks.push_back(std::make_unique<NoiseRunBlock>(
+                allocPc(pool), pool,
+                static_cast<size_t>(r.h2pPerCycle), r.h2pTakenProb));
+        }
+
+        // Data-dependent (load-driven) branches: outcomes follow a
+        // synthetic loaded-value stream whose predictability is set
+        // by the array size and replacement probability.
+        if (r.ddPerCycle > 0) {
+            const size_t pool = static_cast<size_t>(
+                std::max(1, r.ddPool));
+            blocks.push_back(std::make_unique<DataDependentBlock>(
+                allocPc(pool), pool, static_cast<size_t>(r.ddPerCycle),
+                static_cast<size_t>(std::max(1, r.ddArraySize)),
+                r.ddReplaceProb, r.ddTakenFrac, cfg.next()));
+        }
+
         // Quasi-biased branches: almost always one direction, so the
         // runtime bias detector flips them to non-biased at an
         // unpredictable point (server-trace churn, Sec. VI-D).
@@ -304,6 +353,8 @@ buildProgram(const TraceRecipe &recipe, double scale)
     prog.targetBranches = std::max<uint64_t>(
         1000, static_cast<uint64_t>(
             static_cast<double>(recipe.branches) * scale));
+    prog.fixedInstCount =
+        static_cast<uint32_t>(std::max(0, recipe.fixedInstPerBranch));
 
     const int phases = std::max(1, recipe.phases);
     size_t maxRegs = 1;
@@ -674,6 +725,107 @@ buildSuite()
     return suite;
 }
 
+/** Strips the structural defaults so only explicit content remains. */
+void
+bare(TraceRecipe &r)
+{
+    r.noisePerCycle = 0;
+    r.constLoops = 0;
+    r.varLoops = 0;
+    r.shortCorr = 0;
+    r.extraBiasedPerCycle = 0;
+    r.phases = 1;
+}
+
+std::vector<TraceRecipe>
+buildExtendedSuite()
+{
+    std::vector<TraceRecipe> suite;
+    uint64_t idx = 0;
+    auto add = [&](Category cat, const std::string &name,
+                   auto &&customize) {
+        TraceRecipe r = base(name, cat, idx++);
+        r.seed += 1000; // extended suite: seeds 2000+
+        customize(r);
+        suite.push_back(std::move(r));
+    };
+
+    // ---------------- H2P misprediction skew ----------------
+    // Hard mispredictions/cycle ~= h2pPerCycle * min(p, 1-p);
+    // background ~= softPerCycle * softFlip. The target share is
+    // hard / (hard + background); the concentration test checks the
+    // measured --h2p-report curve against it.
+    add(Category::H2p, "H2P1", [](TraceRecipe &r) {
+        bare(r);
+        // Concentrated: 4 statics carry ~85% of mispredictions.
+        // Mass math: hard = 36*0.5 = 18/cycle vs soft background
+        // = 200*0.01 = 2/cycle, diluted a few points further by the
+        // soft pool's warmup transients and guaranteed first flips.
+        r.h2pBranches = 4; r.h2pPerCycle = 36;
+        r.h2pTargetShare = 0.85;
+        r.softPerCycle = 200; r.softPool = 64; r.softFlip = 0.01;
+        r.extraBiasedPerCycle = 150;
+    });
+    add(Category::H2p, "H2P2", [](TraceRecipe &r) {
+        bare(r);
+        // Diluted: 16 statics carry ~45% — the regime where H2P-
+        // targeted mechanisms stop paying off. hard = 16*0.5 = 8
+        // vs soft = 650*0.01 = 6.5 per cycle, plus the heavier soft
+        // pool's transients.
+        r.h2pBranches = 16; r.h2pPerCycle = 16;
+        r.h2pTargetShare = 0.45;
+        r.softPerCycle = 650; r.softPool = 96; r.softFlip = 0.01;
+        r.extraBiasedPerCycle = 150;
+    });
+
+    // ---------------- Data-dependent (load-driven) ----------------
+    add(Category::Load, "LOAD1", [](TraceRecipe &r) {
+        bare(r);
+        // Periodic value stream (12 slots, no replacement): the
+        // outcome sequence has period lcm(4,12)=12, inside gshare's
+        // history reach, so it is learnable.
+        r.ddPool = 4; r.ddPerCycle = 24;
+        r.ddArraySize = 12; r.ddReplaceProb = 0.0;
+        r.ddTakenFrac = 0.5;
+        r.extraBiasedPerCycle = 100;
+    });
+    add(Category::Load, "LOAD2", [](TraceRecipe &r) {
+        bare(r);
+        // 4096-slot array with 2% replacement: effectively a
+        // data-dependent H2P branch pool (LDBP's target regime).
+        r.ddPool = 8; r.ddPerCycle = 32;
+        r.ddArraySize = 4096; r.ddReplaceProb = 0.02;
+        r.ddTakenFrac = 0.4;
+        r.extraBiasedPerCycle = 100;
+    });
+
+    // ---------------- Analytic loop nests ----------------
+    // Pure loop patterns, fixed 4 instructions per record: MPKI has
+    // a closed form (docs/WORKLOADS.md derivations; asserted exactly
+    // in test_analytic_mpki.cpp).
+    add(Category::Ana, "ANA1", [](TraceRecipe &r) {
+        bare(r);
+        r.anaInnerTrip = 8; // TTTTTTTN
+        r.fixedInstPerBranch = 4;
+        r.branches = 200000;
+    });
+    add(Category::Ana, "ANA2", [](TraceRecipe &r) {
+        bare(r);
+        r.anaInnerTrip = 4; // TTTN
+        r.fixedInstPerBranch = 4;
+        r.branches = 200000;
+    });
+    add(Category::Ana, "ANA3", [](TraceRecipe &r) {
+        bare(r);
+        r.anaInnerTrip = 8; // nested: 4 x (TTTTTTTN) + outer TTTN
+        r.anaOuterTrip = 4;
+        r.fixedInstPerBranch = 4;
+        r.branches = 200000;
+    });
+
+    return suite;
+}
+
 } // anonymous namespace
 
 const std::vector<TraceRecipe> &
@@ -683,10 +835,29 @@ standardSuite()
     return suite;
 }
 
+const std::vector<TraceRecipe> &
+extendedSuite()
+{
+    static const std::vector<TraceRecipe> suite = buildExtendedSuite();
+    return suite;
+}
+
+const std::vector<TraceRecipe> &
+allRecipes()
+{
+    static const std::vector<TraceRecipe> all = [] {
+        std::vector<TraceRecipe> v = standardSuite();
+        const auto &ext = extendedSuite();
+        v.insert(v.end(), ext.begin(), ext.end());
+        return v;
+    }();
+    return all;
+}
+
 const TraceRecipe &
 recipeByName(const std::string &name)
 {
-    for (const auto &r : standardSuite()) {
+    for (const auto &r : allRecipes()) {
         if (r.name == name)
             return r;
     }

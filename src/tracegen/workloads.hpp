@@ -32,6 +32,9 @@ enum class Category
     Int,  //!< Integer.
     Mm,   //!< Multi-media.
     Serv, //!< Server.
+    H2p,  //!< Skewed-misprediction: few statics carry most misses.
+    Load, //!< Data-dependent / load-driven outcomes (LDBP-style).
+    Ana,  //!< Analytic microbenchmarks with closed-form MPKI.
 };
 
 /** Category label, e.g. "SPEC". */
@@ -106,6 +109,31 @@ struct TraceRecipe
     int fig4Scenes = 0;
     int fig4LoopCount = 24;
 
+    // --- H2P skew (extended suite): a small pool of p=0.5 hard
+    //     branches carries a target share of all mispredictions ---
+    int h2pBranches = 0;      //!< K: distinct hard statics (0 = off).
+    int h2pPerCycle = 0;      //!< Hard-branch emissions per cycle.
+    double h2pTakenProb = 0.5; //!< Their taken probability.
+    //! Design-target share of mispredictions carried by the top K
+    //! statics (documentation + concentration-test target; the
+    //! actual share emerges from h2pPerCycle vs the soft background).
+    double h2pTargetShare = 0.0;
+
+    // --- data-dependent outcomes (extended suite) ---
+    int ddPool = 0;           //!< Distinct load-driven statics (0 = off).
+    int ddPerCycle = 0;       //!< Emissions per cycle.
+    int ddArraySize = 12;     //!< Backing value-array slots.
+    double ddReplaceProb = 0.0; //!< Per-read slot replacement prob.
+    double ddTakenFrac = 0.5; //!< Taken quantile of the value range.
+
+    // --- analytic loop nests (extended suite): pure TT..TN loop
+    //     patterns whose expected MPKI is derivable on paper ---
+    int anaInnerTrip = 0;     //!< Inner loop trip count (0 = off).
+    int anaOuterTrip = 0;     //!< Outer loop trip (0 = single loop).
+    //! Nonzero: every record carries exactly this instruction count
+    //! so instructions = records * fixed and MPKI is exact.
+    int fixedInstPerBranch = 0;
+
     // --- phase behavior (server traces) ---
     int phases = 1;           //!< Sections with re-rolled behavior.
 
@@ -123,7 +151,21 @@ std::unique_ptr<TraceSource> makeSource(const TraceRecipe &recipe,
 /** The 40 recipes of the standard suite, in CBP listing order. */
 const std::vector<TraceRecipe> &standardSuite();
 
-/** Looks up a recipe by name; throws std::out_of_range if unknown. */
+/**
+ * The extended families beyond the paper's structural knobs: H2P
+ * misprediction-skew traces, data-dependent (load-driven) traces,
+ * and analytic loop-nest microbenchmarks. Opt-in: benches default to
+ * the standard suite; name these explicitly via --traces.
+ */
+const std::vector<TraceRecipe> &extendedSuite();
+
+/** standardSuite() followed by extendedSuite(). */
+const std::vector<TraceRecipe> &allRecipes();
+
+/**
+ * Looks up a recipe by name across standard + extended suites;
+ * throws std::out_of_range if unknown.
+ */
 const TraceRecipe &recipeByName(const std::string &name);
 
 /**

@@ -1,0 +1,142 @@
+/**
+ * @file
+ * Exact-value tests over the analytic microbenchmark traces.
+ *
+ * The ANA* families are pure TT..TN loop nests with a fixed
+ * instruction count per record, so their expected misprediction
+ * counts under bimodal and gshare have closed forms (derived in
+ * docs/WORKLOADS.md). Unlike the golden fixtures — which pin
+ * whatever the code produced — these assert numbers derived on
+ * paper, making them an end-to-end oracle over tracegen, the
+ * evaluator and the MPKI arithmetic. Every comparison is on exact
+ * integers; MPKI itself is checked against the same closed form.
+ *
+ * Closed forms (M = loop-nest instances, trips >= 2):
+ *  - bimodal(14, 2-bit, init weakly-taken): the counter saturates
+ *    taken during the T-run and loses exactly the one not-taken
+ *    exit per loop instance, so mispredictions == not-taken records.
+ *  - gshare(15/15, init weakly-taken) on a single TT..TN loop of
+ *    trip t (t <= 15): each of the t steady-state history phases
+ *    maps to its own counter; only the N phase's first visit
+ *    mispredicts, plus one misprediction per zero-padded warmup
+ *    window with outcome N. Those warmup windows occur at
+ *    t-1, 2t-1, ... < 15, so:
+ *        mispredictions == ceil(15 / t) == floor((15 + t - 1) / t)
+ *    (trip 8 -> 2, trip 4 -> 4), independent of M for M large
+ *    enough to reach the steady state.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+#include "core/factory.hpp"
+#include "sim/evaluator.hpp"
+#include "tracegen/workloads.hpp"
+
+namespace bfbp
+{
+namespace
+{
+
+constexpr double kScale = 0.02;
+constexpr uint64_t kFixedInst = 4;
+
+struct TraceShape
+{
+    uint64_t records = 0;
+    uint64_t notTaken = 0;
+};
+
+void
+drainShape(TraceSource &source, TraceShape &shape)
+{
+    BranchRecord r;
+    while (source.next(r)) {
+        ASSERT_EQ(r.type, BranchType::CondDirect) << "analytic traces "
+            "must contain only conditional records";
+        ASSERT_EQ(r.instCount, kFixedInst);
+        ++shape.records;
+        if (!r.taken)
+            ++shape.notTaken;
+    }
+}
+
+EvalResult
+run(TraceSource &source, const std::string &spec)
+{
+    source.reset();
+    auto predictor = createPredictor(spec);
+    return evaluate(source, *predictor);
+}
+
+class AnalyticMpki : public ::testing::TestWithParam<const char *>
+{
+};
+
+TEST_P(AnalyticMpki, BimodalLosesExactlyTheLoopExits)
+{
+    const auto &recipe = tracegen::recipeByName(GetParam());
+    auto source = tracegen::makeSource(recipe, kScale);
+    TraceShape shape;
+    {
+        SCOPED_TRACE(recipe.name);
+        drainShape(*source, shape);
+    }
+    ASSERT_GT(shape.records, 0u);
+    ASSERT_GT(shape.notTaken, 1u);
+
+    const EvalResult result = run(*source, "bimodal");
+    EXPECT_EQ(result.condBranches, shape.records);
+    EXPECT_EQ(result.instructions, kFixedInst * shape.records);
+    // The closed form: one misprediction per not-taken loop exit,
+    // nothing else, exactly.
+    EXPECT_EQ(result.mispredictions, shape.notTaken);
+    EXPECT_DOUBLE_EQ(result.mpki(),
+                     1000.0 * static_cast<double>(shape.notTaken) /
+                         static_cast<double>(kFixedInst *
+                                             shape.records));
+}
+
+INSTANTIATE_TEST_SUITE_P(LoopNests, AnalyticMpki,
+                         ::testing::Values("ANA1", "ANA2", "ANA3"));
+
+TEST(AnalyticMpkiGshare, SingleLoopTransientHasClosedForm)
+{
+    struct Case
+    {
+        const char *name;
+        uint64_t trip;
+    };
+    for (const Case c : {Case{"ANA1", 8}, Case{"ANA2", 4}}) {
+        SCOPED_TRACE(c.name);
+        const auto &recipe = tracegen::recipeByName(c.name);
+        auto source = tracegen::makeSource(recipe, kScale);
+        const EvalResult result = run(*source, "gshare");
+        ASSERT_GT(result.condBranches, 16u);
+        // ceil(15 / trip) zero-padded warmup windows end in N (at
+        // records trip-1, 2*trip-1, ... below the 15-bit horizon);
+        // the last of them doubles as the steady-state N entry's
+        // first visit. Every other (phase, counter) pair starts
+        // weakly-taken and never errs.
+        const uint64_t expected = (15 + c.trip - 1) / c.trip;
+        EXPECT_EQ(result.mispredictions, expected);
+    }
+}
+
+TEST(AnalyticMpkiGshare, TraceLengthDoesNotChangeTheTransient)
+{
+    // The gshare misprediction count is a pure warmup transient:
+    // doubling the trace length must not add a single miss.
+    const auto &recipe = tracegen::recipeByName("ANA1");
+    auto shorter = tracegen::makeSource(recipe, kScale);
+    auto longer = tracegen::makeSource(recipe, 2 * kScale);
+    const EvalResult a = run(*shorter, "gshare");
+    const EvalResult b = run(*longer, "gshare");
+    EXPECT_GT(b.condBranches, a.condBranches);
+    EXPECT_EQ(a.mispredictions, b.mispredictions);
+}
+
+} // anonymous namespace
+} // namespace bfbp

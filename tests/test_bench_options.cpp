@@ -164,6 +164,43 @@ TEST(BenchOptionsDeath, UnknownTraceListsValidNames)
                 "unknown trace: NOPE42(.|\n)*valid traces:(.|\n)* SPEC00");
 }
 
+TEST(BenchOptionsDeath, TraceNameWithPathSeparatorRejected)
+{
+    // Trace names are joined into --dump-traces/--warmup-snapshot
+    // paths; a separator must die in parse(), before any join.
+    EXPECT_EXIT(parseArgs({"--traces", "SPEC00,../../etc/passwd"}),
+                ::testing::ExitedWithCode(2),
+                "invalid --traces name");
+    EXPECT_EXIT(parseArgs({"--traces", "a/b"}),
+                ::testing::ExitedWithCode(2),
+                "invalid --traces name");
+    EXPECT_EXIT(parseArgs({"--traces", "a\\b"}),
+                ::testing::ExitedWithCode(2),
+                "invalid --traces name");
+    EXPECT_EXIT(parseArgs({"--traces", "SPEC.."}),
+                ::testing::ExitedWithCode(2),
+                "invalid --traces name");
+}
+
+TEST(BenchOptions, ExtendedFamiliesAreSelectableButNotDefault)
+{
+    // Explicit naming resolves the extended families...
+    const auto opts = parseArgs({"--traces", "H2P1,ANA1,SPEC00"});
+    const auto selected = opts.selectedTraces();
+    ASSERT_EQ(selected.size(), 3u);
+    // ...in suite order: standard first, then extended.
+    EXPECT_EQ(selected[0].name, "SPEC00");
+    EXPECT_EQ(selected[1].name, "H2P1");
+    EXPECT_EQ(selected[2].name, "ANA1");
+
+    // ...but the empty default stays the standard 40.
+    const auto defaults = parseArgs({}).selectedTraces();
+    EXPECT_EQ(defaults.size(), tracegen::standardSuite().size());
+    for (const auto &r : defaults)
+        EXPECT_NE(tracegen::categoryName(r.category), "H2P")
+            << r.name;
+}
+
 TEST(RunArchive, WriteThrowsTraceIoErrorOnUnopenablePath)
 {
     // Used to std::exit(2) from library-ish code; now it goes

@@ -1,0 +1,210 @@
+/**
+ * @file
+ * seekToRecord() edge-case contract, parameterized across every
+ * seekable source implementation: v1 arithmetic seek, v2 index seek
+ * (default and tiny blocks — the tiny-block variant exercises the
+ * multi-block binary search), and the in-memory VectorTraceSource.
+ *
+ * The contract under test, uniform across implementations:
+ *  - seek(k) for any k in [0, recordCount()] succeeds; the stream
+ *    then replays exactly the records from k on (and seek(count)
+ *    positions at end-of-trace: next() returns false) — the
+ *    end-of-trace checkpoint/resume case.
+ *  - seek on an *empty* archive: seek(0) succeeds and next() is
+ *    false.
+ *  - seek(recordCount() + 1) throws TraceIoError and the error does
+ *    not linger: the source remains usable (reset() recovers).
+ */
+
+#include <cstdio>
+#include <filesystem>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "sim/trace_io.hpp"
+#include "sim/trace_source.hpp"
+#include "util/errors.hpp"
+#include "util/random.hpp"
+
+namespace bfbp
+{
+namespace
+{
+
+std::string
+tempPath(const std::string &name)
+{
+    return (std::filesystem::temp_directory_path() / name).string();
+}
+
+std::vector<BranchRecord>
+makeRecords(size_t n, uint64_t seed = 7)
+{
+    Rng rng(seed);
+    std::vector<BranchRecord> recs;
+    uint64_t pc = 0x400000;
+    for (size_t i = 0; i < n; ++i) {
+        BranchRecord r;
+        pc += 4 * (1 + rng.below(32));
+        r.pc = pc;
+        r.target = pc + 32;
+        r.instCount = static_cast<uint32_t>(1 + rng.below(6));
+        r.type = (i % 13 == 0) ? BranchType::Return
+                               : BranchType::CondDirect;
+        r.taken = rng.chance(0.5);
+        recs.push_back(r);
+    }
+    return recs;
+}
+
+/** A named way of turning records into a seekable TraceSource. */
+struct SourceKind
+{
+    const char *name;
+    std::function<std::unique_ptr<TraceSource>(
+        const std::vector<BranchRecord> &, const std::string &path)>
+        make;
+};
+
+std::unique_ptr<TraceSource>
+makeFileSource(const std::vector<BranchRecord> &recs,
+               const std::string &path, TraceFormat format,
+               size_t block_records)
+{
+    TraceFileWriter writer(path, 64 * 1024, format, block_records);
+    for (const auto &r : recs)
+        writer.append(r);
+    writer.close();
+    return std::make_unique<TraceFileSource>(path);
+}
+
+const SourceKind kKinds[] = {
+    {"v1",
+     [](const std::vector<BranchRecord> &recs, const std::string &p) {
+         return makeFileSource(recs, p, TraceFormat::V1,
+                               trace_format::defaultBlockRecords);
+     }},
+    {"v2",
+     [](const std::vector<BranchRecord> &recs, const std::string &p) {
+         return makeFileSource(recs, p, TraceFormat::V2,
+                               trace_format::defaultBlockRecords);
+     }},
+    {"v2TinyBlocks",
+     [](const std::vector<BranchRecord> &recs, const std::string &p) {
+         return makeFileSource(recs, p, TraceFormat::V2, 3);
+     }},
+    {"vector",
+     [](const std::vector<BranchRecord> &recs, const std::string &) {
+         return std::make_unique<VectorTraceSource>(recs, "vec");
+     }},
+};
+
+struct SeekCase
+{
+    const SourceKind *kind;
+    size_t records;
+};
+
+std::string
+caseName(const ::testing::TestParamInfo<SeekCase> &info)
+{
+    return std::string(info.param.kind->name) + "_" +
+        std::to_string(info.param.records) + "rec";
+}
+
+class SeekEdges : public ::testing::TestWithParam<SeekCase>
+{
+  protected:
+    void
+    SetUp() override
+    {
+        recs = makeRecords(GetParam().records);
+        path = tempPath("seek_edges_" +
+                        std::string(GetParam().kind->name) + "_" +
+                        std::to_string(GetParam().records) +
+                        ".trace");
+        source = GetParam().kind->make(recs, path);
+    }
+
+    void
+    TearDown() override
+    {
+        source.reset();
+        std::remove(path.c_str());
+    }
+
+    /** Expects the stream to yield exactly recs[from..] then end. */
+    void
+    expectSuffix(size_t from)
+    {
+        BranchRecord r;
+        for (size_t i = from; i < recs.size(); ++i) {
+            ASSERT_TRUE(source->next(r)) << "ended early at " << i;
+            EXPECT_EQ(r, recs[i]) << "record " << i;
+        }
+        EXPECT_FALSE(source->next(r)) << "stream past the end";
+    }
+
+    std::vector<BranchRecord> recs;
+    std::string path;
+    std::unique_ptr<TraceSource> source;
+};
+
+TEST_P(SeekEdges, SeekToZeroReplaysEverything)
+{
+    // Disturb the position first so seek(0) is a real rewind.
+    BranchRecord r;
+    source->next(r);
+    ASSERT_TRUE(source->seekToRecord(0));
+    expectSuffix(0);
+}
+
+TEST_P(SeekEdges, SeekToRecordCountIsEndOfTrace)
+{
+    ASSERT_TRUE(source->seekToRecord(recs.size()));
+    BranchRecord r;
+    EXPECT_FALSE(source->next(r));
+    // An end-of-trace position is a valid checkpoint: seeking back
+    // afterwards works.
+    ASSERT_TRUE(source->seekToRecord(0));
+    expectSuffix(0);
+}
+
+TEST_P(SeekEdges, SeekToEveryPositionReplaysTheSuffix)
+{
+    for (size_t k = 0; k <= recs.size(); ++k) {
+        ASSERT_TRUE(source->seekToRecord(k)) << "seek " << k;
+        SCOPED_TRACE("seek " + std::to_string(k));
+        expectSuffix(k);
+    }
+}
+
+TEST_P(SeekEdges, SeekPastEndThrowsAndDoesNotPoison)
+{
+    EXPECT_THROW(source->seekToRecord(recs.size() + 1), TraceIoError);
+    // The failed seek must not leave a deferred error or a corrupt
+    // position behind: the source recovers via a valid seek.
+    ASSERT_TRUE(source->seekToRecord(0));
+    expectSuffix(0);
+}
+
+std::vector<SeekCase>
+allCases()
+{
+    std::vector<SeekCase> cases;
+    for (const auto &kind : kKinds) {
+        for (size_t n : {size_t{0}, size_t{1}, size_t{257}})
+            cases.push_back({&kind, n});
+    }
+    return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSources, SeekEdges,
+                         ::testing::ValuesIn(allCases()), caseName);
+
+} // anonymous namespace
+} // namespace bfbp

@@ -1,0 +1,262 @@
+/**
+ * @file
+ * External-trace importer tests: PinText/CSV round trips into v1 and
+ * v2 containers, the documented lossy PinText projection, and a
+ * malformed-input corpus asserting every bad line is rejected with
+ * TraceIoError (never a crash, never a published archive).
+ */
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "sim/trace_import.hpp"
+#include "sim/trace_io.hpp"
+#include "util/errors.hpp"
+
+namespace bfbp
+{
+namespace
+{
+
+std::string
+tempPath(const std::string &name)
+{
+    return (std::filesystem::temp_directory_path() / name).string();
+}
+
+struct TempFile
+{
+    explicit TempFile(const std::string &n) : path(tempPath(n)) {}
+    ~TempFile() { std::remove(path.c_str()); }
+    std::string path;
+};
+
+std::vector<BranchRecord>
+collect(const std::string &archive)
+{
+    TraceFileSource source(archive);
+    std::vector<BranchRecord> recs;
+    BranchRecord r;
+    while (source.next(r))
+        recs.push_back(r);
+    return recs;
+}
+
+class TraceImportTest : public ::testing::Test
+{
+};
+
+TEST_F(TraceImportTest, PinTextImportsIntoBothContainers)
+{
+    std::istringstream in("# a captured log\n"
+                          "0x400000 T\n"
+                          "400004 0\n"
+                          "\n"
+                          "0x400008 1\n"
+                          "40000c n\n");
+    for (TraceFormat fmt : {TraceFormat::V1, TraceFormat::V2}) {
+        TempFile out(fmt == TraceFormat::V1 ? "imp_pin.v1"
+                                            : "imp_pin.v2");
+        ImportOptions opts;
+        opts.format = InterchangeFormat::PinText;
+        opts.container = fmt;
+        in.clear();
+        in.seekg(0);
+        EXPECT_EQ(importText(in, out.path, opts), 4u);
+
+        const auto recs = collect(out.path);
+        ASSERT_EQ(recs.size(), 4u);
+        EXPECT_EQ(recs[0].pc, 0x400000u);
+        EXPECT_TRUE(recs[0].taken);
+        EXPECT_EQ(recs[1].pc, 0x400004u);
+        EXPECT_FALSE(recs[1].taken);
+        EXPECT_TRUE(recs[3].pc == 0x40000cu && !recs[3].taken);
+        for (const auto &r : recs) {
+            EXPECT_EQ(r.type, BranchType::CondDirect);
+            EXPECT_EQ(r.instCount, 1u);
+            EXPECT_EQ(r.target, r.pc + 4);
+        }
+    }
+}
+
+TEST_F(TraceImportTest, PinTextStreamRoundTripsExactly)
+{
+    // (pc, taken) stream: import -> container -> export must be
+    // identical text in the exporter's canonical form.
+    const std::string canonical = "0x400000 T\n"
+                                  "0x400004 N\n"
+                                  "0xffffffffffffffff T\n";
+    std::istringstream in(canonical);
+    TempFile archive("imp_pin_rt.v2");
+    ImportOptions opts;
+    opts.format = InterchangeFormat::PinText;
+    opts.container = TraceFormat::V2;
+    ASSERT_EQ(importText(in, archive.path, opts), 3u);
+
+    std::ostringstream out;
+    EXPECT_EQ(exportText(archive.path, out,
+                         InterchangeFormat::PinText),
+              3u);
+    EXPECT_EQ(out.str(), canonical);
+}
+
+TEST_F(TraceImportTest, CsvRoundTripsLosslessly)
+{
+    const std::string csv = "pc,target,inst_count,type,taken\n"
+                            "0x400000,0x400040,3,cond,1\n"
+                            "0x400010,0x400080,1,call,1\n"
+                            "0x400014,0x400018,7,ret,1\n"
+                            "0x400020,0x400000,2,cond,0\n"
+                            "0x400024,0x500000,4,uncond,1\n"
+                            "0x400028,0x600000,5,ind,1\n";
+    for (TraceFormat fmt : {TraceFormat::V1, TraceFormat::V2}) {
+        std::istringstream in(csv);
+        TempFile archive(fmt == TraceFormat::V1 ? "imp_csv.v1"
+                                                : "imp_csv.v2");
+        ImportOptions opts;
+        opts.format = InterchangeFormat::Csv;
+        opts.container = fmt;
+        ASSERT_EQ(importText(in, archive.path, opts), 6u);
+
+        // Lossless: every field of every record survives, and the
+        // re-exported CSV is byte-identical to the input.
+        const auto recs = collect(archive.path);
+        ASSERT_EQ(recs.size(), 6u);
+        EXPECT_EQ(recs[1].type, BranchType::Call);
+        EXPECT_EQ(recs[2].instCount, 7u);
+        EXPECT_EQ(recs[4].target, 0x500000u);
+        std::ostringstream out;
+        EXPECT_EQ(exportText(archive.path, out,
+                             InterchangeFormat::Csv),
+                  6u);
+        EXPECT_EQ(out.str(), csv);
+    }
+}
+
+TEST_F(TraceImportTest, CrlfAndCommentsAreTolerated)
+{
+    std::istringstream in("# comment\r\n"
+                          "0x400000 T\r\n"
+                          "0x400004 N\r\n"
+                          "0x400008 T"); // no final newline
+    TempFile archive("imp_crlf.v1");
+    ImportOptions opts;
+    EXPECT_EQ(importText(in, archive.path, opts), 3u);
+    EXPECT_EQ(collect(archive.path).size(), 3u);
+}
+
+TEST_F(TraceImportTest, FileRoundTripThroughBothCliFormats)
+{
+    // importTextFile/exportTextFile over real files (the CLI path).
+    TempFile log("imp_file.txt");
+    {
+        std::ofstream out(log.path);
+        for (int i = 0; i < 500; ++i)
+            out << "0x" << std::hex << (0x400000 + 4 * i) << std::dec
+                << (i % 3 == 0 ? " N" : " T") << "\n";
+    }
+    TempFile archive("imp_file.v2");
+    ImportOptions opts;
+    opts.container = TraceFormat::V2;
+    opts.blockRecords = 64; // multi-block archive
+    ASSERT_EQ(importTextFile(log.path, archive.path, opts), 500u);
+
+    TempFile back("imp_file_back.txt");
+    EXPECT_EQ(exportTextFile(archive.path, back.path,
+                             InterchangeFormat::PinText),
+              500u);
+    std::ifstream a(log.path), b(back.path);
+    std::stringstream sa, sb;
+    sa << a.rdbuf();
+    sb << b.rdbuf();
+    EXPECT_EQ(sa.str(), sb.str());
+}
+
+TEST_F(TraceImportTest, MissingInputFileThrows)
+{
+    ImportOptions opts;
+    EXPECT_THROW(importTextFile(tempPath("no_such_log.txt"),
+                                tempPath("never_written.v1"), opts),
+                 TraceIoError);
+}
+
+/** Every malformed input must raise TraceIoError naming the line —
+ *  and must not publish a destination archive. */
+struct BadInput
+{
+    const char *label;
+    InterchangeFormat format;
+    std::string text;
+};
+
+class TraceImportMalformed
+    : public ::testing::TestWithParam<BadInput>
+{
+};
+
+TEST_P(TraceImportMalformed, RejectsWithoutPublishing)
+{
+    const BadInput &bad = GetParam();
+    TempFile out(std::string("imp_bad_") + bad.label + ".v1");
+    std::istringstream in(bad.text);
+    ImportOptions opts;
+    opts.format = bad.format;
+    EXPECT_THROW(importText(in, out.path, opts), TraceIoError);
+    // The crash-safe writer never published the partial archive.
+    EXPECT_FALSE(std::filesystem::exists(out.path));
+}
+
+const BadInput kBadInputs[] = {
+    {"badpc", InterchangeFormat::PinText, "0xZZZ T\n"},
+    {"badpc2", InterchangeFormat::PinText, "12x44 1\n"},
+    {"overlongpc", InterchangeFormat::PinText,
+     "0x12345678123456781 T\n"}, // 17 hex digits > 64 bits
+    {"badtaken", InterchangeFormat::PinText, "0x400000 X\n"},
+    {"missingfield", InterchangeFormat::PinText, "0x400000\n"},
+    {"extrafield", InterchangeFormat::PinText, "0x400000 T T\n"},
+    {"hugeline", InterchangeFormat::PinText,
+     "0x400000 " + std::string(8192, 'T') + "\n"},
+    {"csvnoheader", InterchangeFormat::Csv,
+     "0x400000,0x400040,3,cond,1\n"},
+    {"csvmissing", InterchangeFormat::Csv,
+     "pc,target,inst_count,type,taken\n0x400000,0x400040,3,cond\n"},
+    {"csvbadtype", InterchangeFormat::Csv,
+     "pc,target,inst_count,type,taken\n0x400000,0x400040,3,jmp,1\n"},
+    {"csvzeroinst", InterchangeFormat::Csv,
+     "pc,target,inst_count,type,taken\n0x400000,0x400040,0,cond,1\n"},
+    {"csvoverflowinst", InterchangeFormat::Csv,
+     "pc,target,inst_count,type,taken\n"
+     "0x400000,0x400040,4294967296,cond,1\n"},
+    {"csvbadtaken", InterchangeFormat::Csv,
+     "pc,target,inst_count,type,taken\n0x400000,0x400040,3,cond,2\n"},
+};
+
+INSTANTIATE_TEST_SUITE_P(
+    Corpus, TraceImportMalformed, ::testing::ValuesIn(kBadInputs),
+    [](const ::testing::TestParamInfo<BadInput> &info) {
+        return std::string(info.param.label);
+    });
+
+TEST_F(TraceImportTest, DiagnosticsNameTheLine)
+{
+    std::istringstream in("0x400000 T\n0x400004 T\nbogus line here\n");
+    TempFile out("imp_diag.v1");
+    ImportOptions opts;
+    try {
+        importText(in, out.path, opts);
+        FAIL() << "malformed line was accepted";
+    } catch (const TraceIoError &e) {
+        EXPECT_NE(std::string(e.what()).find("line 3"),
+                  std::string::npos)
+            << "diagnostic missing the line number: " << e.what();
+    }
+}
+
+} // anonymous namespace
+} // namespace bfbp

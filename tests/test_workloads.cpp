@@ -1,10 +1,14 @@
-/** @file Tests for the 40-trace suite (tracegen/workloads.hpp). */
+/** @file Tests for the 40-trace suite (tracegen/workloads.hpp) and
+ *  the extended H2P / data-dependent / analytic families. */
 
 #include <set>
 
 #include <gtest/gtest.h>
 
 #include "core/bias_oracle.hpp"
+#include "core/factory.hpp"
+#include "sim/evaluator.hpp"
+#include "telemetry/h2p.hpp"
 #include "tracegen/workloads.hpp"
 
 namespace bfbp::tracegen
@@ -152,6 +156,151 @@ INSTANTIATE_TEST_SUITE_P(AllForty, EveryTrace,
                          [](const auto &info) {
                              return standardSuite()[info.param].name;
                          });
+
+// ----------------- extended suite (H2P / LOAD / ANA) -----------------
+
+TEST(ExtendedSuite, RegistersTheNewFamilies)
+{
+    const auto &ext = extendedSuite();
+    size_t h2p = 0, load = 0, ana = 0;
+    for (const auto &r : ext) {
+        switch (r.category) {
+          case Category::H2p:  ++h2p; break;
+          case Category::Load: ++load; break;
+          case Category::Ana:  ++ana; break;
+          default:
+            FAIL() << r.name << ": extended suite must contain only "
+                      "the new categories";
+        }
+        const std::string cat = categoryName(r.category);
+        EXPECT_EQ(r.name.compare(0, cat.size(), cat), 0)
+            << r.name << " vs " << cat;
+    }
+    EXPECT_GE(h2p, 2u);
+    EXPECT_GE(load, 2u);
+    EXPECT_GE(ana, 2u);
+    EXPECT_GE(ext.size(), 6u);
+}
+
+TEST(ExtendedSuite, AllRecipesIsStandardPlusExtendedWithUniqueNames)
+{
+    const auto &all = allRecipes();
+    ASSERT_EQ(all.size(),
+              standardSuite().size() + extendedSuite().size());
+    std::set<std::string> names;
+    std::set<uint64_t> seeds;
+    for (const auto &r : all) {
+        EXPECT_TRUE(names.insert(r.name).second) << r.name;
+        EXPECT_TRUE(seeds.insert(r.seed).second) << r.name;
+        // recipeByName must resolve every family, extended included.
+        EXPECT_EQ(recipeByName(r.name).seed, r.seed);
+    }
+    // The standard suite is untouched by the extension.
+    EXPECT_EQ(standardSuite().size(), 40u);
+}
+
+/** Every extended trace streams deterministically and mixes
+ *  outcomes, like the standard 40. */
+class ExtendedTrace : public ::testing::TestWithParam<size_t>
+{
+};
+
+TEST_P(ExtendedTrace, StreamsAndMixesOutcomes)
+{
+    const auto &recipe = extendedSuite()[GetParam()];
+    auto src = makeSource(recipe, 0.02);
+    size_t taken = 0;
+    size_t total = 0;
+    BranchRecord r;
+    while (src->next(r)) {
+        if (!r.isConditional())
+            continue;
+        ++total;
+        taken += r.taken;
+        ASSERT_GE(r.instCount, 1u);
+    }
+    EXPECT_GT(total, 1000u) << recipe.name;
+    EXPECT_GT(taken, total / 20) << recipe.name;
+    EXPECT_LT(taken, total - total / 20) << recipe.name;
+
+    // Determinism: a reset replays the identical stream.
+    src->reset();
+    size_t taken2 = 0, total2 = 0;
+    while (src->next(r)) {
+        if (!r.isConditional())
+            continue;
+        ++total2;
+        taken2 += r.taken;
+    }
+    EXPECT_EQ(total, total2) << recipe.name;
+    EXPECT_EQ(taken, taken2) << recipe.name;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllExtended, ExtendedTrace,
+                         ::testing::Range<size_t>(
+                             0, extendedSuite().size()),
+                         [](const auto &info) {
+                             return extendedSuite()[info.param].name;
+                         });
+
+/** The H2P families' defining property: the configured top-K static
+ *  branches carry the designed share of all mispredictions, visible
+ *  in the --h2p-report concentration curve. */
+TEST(ExtendedSuite, H2pConcentrationMatchesTargetShare)
+{
+    for (const auto &recipe : extendedSuite()) {
+        if (recipe.category != Category::H2p)
+            continue;
+        SCOPED_TRACE(recipe.name);
+        ASSERT_GT(recipe.h2pBranches, 0);
+        ASSERT_GT(recipe.h2pTargetShare, 0.0);
+
+        // A history-based predictor strong enough to learn the soft
+        // background (gshare cannot: the hard branches' random
+        // outcomes scramble its single global-history index), so the
+        // residual mispredictions are the designed skew.
+        auto source = makeSource(recipe, 0.25);
+        auto predictor = createPredictor("tage-5");
+        EvalOptions opts;
+        opts.collectPerBranch = true;
+        const EvalResult result = evaluate(*source, *predictor, opts);
+        ASSERT_GT(result.mispredictions, 0u);
+
+        std::vector<telemetry::H2pInput> rows;
+        for (const auto &p : result.perBranch) {
+            rows.push_back({p.pc, p.executions, p.taken,
+                            p.transitions, p.mispredictions});
+        }
+        const auto report = telemetry::buildH2pReport(
+            std::move(rows), result.instructions,
+            static_cast<uint64_t>(recipe.h2pBranches));
+        ASSERT_EQ(report.top.size(),
+                  static_cast<size_t>(recipe.h2pBranches));
+        const double share = report.top.back().cumulativeShare;
+        EXPECT_NEAR(share, recipe.h2pTargetShare, 0.12)
+            << "top-" << recipe.h2pBranches
+            << " misprediction share drifted from the design target";
+        // And the skew is real: those K statics are a small minority
+        // of the static-branch population.
+        EXPECT_GT(report.staticBranches,
+                  4 * static_cast<uint64_t>(recipe.h2pBranches));
+    }
+}
+
+/** LOAD1's value stream is periodic and inside gshare's history
+ *  reach, so it must be learned almost perfectly; LOAD2's replaced
+ *  large-array stream must stay hard. Both facts pin the
+ *  data-dependent machinery (not just that the traces stream). */
+TEST(ExtendedSuite, DataDependentPredictabilityBrackets)
+{
+    auto rate = [](const char *name) {
+        auto source = makeSource(recipeByName(name), 0.1);
+        auto predictor = createPredictor("gshare");
+        return evaluate(*source, *predictor).mispredictionRate();
+    };
+    EXPECT_LT(rate("LOAD1"), 0.02);
+    EXPECT_GT(rate("LOAD2"), 0.05);
+}
 
 } // anonymous namespace
 } // namespace bfbp::tracegen

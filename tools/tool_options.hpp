@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Flag parsing shared by the trace CLIs (trace_tool, trace_import).
+ *
+ * Numeric flag values are parsed strictly — a non-numeric, overflowed
+ * or out-of-domain value prints a diagnostic and makes the parse
+ * fail, so the caller can print usage and exit 2 instead of
+ * terminating on an uncaught std::invalid_argument (the PR-2
+ * hardening pattern from core/factory.cpp applied to the tools).
+ */
+
+#ifndef BFBP_TOOLS_TOOL_OPTIONS_HPP
+#define BFBP_TOOLS_TOOL_OPTIONS_HPP
+
+#include <cerrno>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "sim/trace_io.hpp"
+
+namespace tool_opts
+{
+
+/** Strict decimal uint64 parse: the whole string must be digits. */
+inline bool
+parseU64(const std::string &text, uint64_t &out)
+{
+    if (text.empty() || text.size() > 20)
+        return false;
+    uint64_t v = 0;
+    for (char c : text) {
+        if (c < '0' || c > '9')
+            return false;
+        const uint64_t digit = static_cast<uint64_t>(c - '0');
+        if (v > (UINT64_MAX - digit) / 10)
+            return false;
+        v = v * 10 + digit;
+    }
+    out = v;
+    return true;
+}
+
+/** Strict double parse: whole string consumed, finite result. */
+inline bool
+parseDouble(const std::string &text, double &out)
+{
+    if (text.empty())
+        return false;
+    errno = 0;
+    char *end = nullptr;
+    const double v = std::strtod(text.c_str(), &end);
+    if (end == text.c_str() || *end != '\0' || errno == ERANGE ||
+        !std::isfinite(v))
+        return false;
+    out = v;
+    return true;
+}
+
+/** Container flags shared by gen/convert/import commands. */
+struct FormatOpts
+{
+    bfbp::TraceFormat format = bfbp::TraceFormat::V1;
+    size_t blockRecords = bfbp::trace_format::defaultBlockRecords;
+    double scale = 1.0;
+};
+
+/**
+ * Consumes [--v2] [--block-records N] [--scale X] from @p args
+ * starting at @p from. @p allow_scale gates --scale (import has no
+ * scale). Returns false (after a diagnostic naming @p tool) on an
+ * unknown flag, a missing value, a non-numeric value,
+ * --block-records 0, or a non-positive --scale.
+ */
+inline bool
+parseFormatFlags(const char *tool,
+                 const std::vector<std::string> &args, size_t from,
+                 FormatOpts &opts, bool allow_scale = true)
+{
+    for (size_t i = from; i < args.size(); ++i) {
+        if (args[i] == "--v2") {
+            opts.format = bfbp::TraceFormat::V2;
+        } else if (args[i] == "--block-records") {
+            uint64_t n = 0;
+            if (i + 1 >= args.size() || !parseU64(args[++i], n) ||
+                n == 0) {
+                std::fprintf(stderr,
+                             "%s: --block-records wants a positive "
+                             "integer, got \"%s\"\n",
+                             tool,
+                             i < args.size() ? args[i].c_str() : "");
+                return false;
+            }
+            opts.blockRecords = static_cast<size_t>(n);
+        } else if (allow_scale && args[i] == "--scale") {
+            double s = 0.0;
+            if (i + 1 >= args.size() || !parseDouble(args[++i], s) ||
+                s <= 0.0) {
+                std::fprintf(stderr,
+                             "%s: --scale wants a positive number, "
+                             "got \"%s\"\n",
+                             tool,
+                             i < args.size() ? args[i].c_str() : "");
+                return false;
+            }
+            opts.scale = s;
+        } else {
+            std::fprintf(stderr, "%s: unknown flag %s\n", tool,
+                         args[i].c_str());
+            return false;
+        }
+    }
+    return true;
+}
+
+} // namespace tool_opts
+
+#endif // BFBP_TOOLS_TOOL_OPTIONS_HPP

@@ -23,11 +23,14 @@
 #include <vector>
 
 #include "sim/trace_io.hpp"
+#include "tool_options.hpp"
 #include "tracegen/workloads.hpp"
 #include "util/errors.hpp"
 
 namespace
 {
+
+using tool_opts::FormatOpts;
 
 int
 usage()
@@ -42,34 +45,16 @@ usage()
     return 2;
 }
 
-struct FormatOpts
-{
-    bfbp::TraceFormat format = bfbp::TraceFormat::V1;
-    size_t blockRecords = bfbp::trace_format::defaultBlockRecords;
-    double scale = 1.0;
-};
-
 /** Consumes the optional flags shared by gen/convert; returns false
- *  on an unknown or malformed flag. */
+ *  (after a diagnostic) on an unknown or malformed flag. Numeric
+ *  values are parsed strictly: non-numeric input, --block-records 0
+ *  and non-positive --scale are rejected instead of terminating on
+ *  an uncaught std::stoull/std::stod exception. */
 bool
 parseFlags(const std::vector<std::string> &args, size_t from,
            FormatOpts &opts)
 {
-    for (size_t i = from; i < args.size(); ++i) {
-        if (args[i] == "--v2") {
-            opts.format = bfbp::TraceFormat::V2;
-        } else if (args[i] == "--block-records" && i + 1 < args.size()) {
-            opts.blockRecords =
-                static_cast<size_t>(std::stoull(args[++i]));
-        } else if (args[i] == "--scale" && i + 1 < args.size()) {
-            opts.scale = std::stod(args[++i]);
-        } else {
-            std::fprintf(stderr, "trace_tool: unknown flag %s\n",
-                         args[i].c_str());
-            return false;
-        }
-    }
-    return true;
+    return tool_opts::parseFormatFlags("trace_tool", args, from, opts);
 }
 
 /** Streams @p source into a fresh archive at @p out. */
@@ -93,7 +78,7 @@ cmdGen(const std::vector<std::string> &args)
         return usage();
     FormatOpts opts;
     if (!parseFlags(args, 2, opts))
-        return 2;
+        return usage();
     auto source = bfbp::tracegen::makeSource(
         bfbp::tracegen::recipeByName(args[0]), opts.scale);
     const uint64_t n = archive(*source, args[1], opts);
@@ -110,7 +95,7 @@ cmdConvert(const std::vector<std::string> &args)
         return usage();
     FormatOpts opts;
     if (!parseFlags(args, 2, opts))
-        return 2;
+        return usage();
     bfbp::TraceFileSource source(args[0]);
     const uint64_t n = archive(source, args[1], opts);
     std::printf("%s: %llu records (v%u -> %s)\n", args[1].c_str(),
