@@ -11,6 +11,10 @@
  *                 serial; 0 = all hardware threads). Results and all
  *                 output are byte-identical at any worker count
  *                 (wall-clock timing excepted).
+ *   --fast        run every spec-built predictor in fast semantics
+ *                 mode (the ":fast" spec suffix: SWAR folds, fused
+ *                 hashing — docs/PERFORMANCE.md); predictor names
+ *                 and archive labels carry the ":fast" tag
  *   --csv         machine-readable output in addition to the table
  *   --json FILE   archive every run (summary, timing, counters,
  *                 interval series) as a bfbp-telemetry-v1 document
@@ -61,6 +65,7 @@
 
 #include "sim/evaluator.hpp"
 #include "sim/predictor.hpp"
+#include "sim/predictor_mode.hpp"
 #include "sim/snapshot.hpp"
 #include "sim/suite_runner.hpp"
 #include "sim/trace_io.hpp"
@@ -105,6 +110,7 @@ struct Options
     double scale = tracegen::envTraceScale();
     std::vector<std::string> traces; //!< Empty = whole suite.
     unsigned jobs = 1;     //!< --jobs workers; 0 = hardware threads.
+    bool fast = false;     //!< --fast: ":fast" semantics mode.
     bool csv = false;
     std::string jsonPath;  //!< --json destination; empty = off.
     uint64_t interval = 0; //!< --interval window, 0 = no series.
@@ -171,6 +177,8 @@ struct Options
                 }
             } else if (arg == "--jobs" && i + 1 < argc) {
                 opts.jobs = parseJobs(argv[++i]);
+            } else if (arg == "--fast") {
+                opts.fast = true;
             } else if (arg == "--csv") {
                 opts.csv = true;
             } else if (arg == "--json" && i + 1 < argc) {
@@ -209,6 +217,9 @@ struct Options
                           << "  --jobs N      evaluation worker threads "
                           << "(default 1 = serial, 0 = all hardware "
                           << "threads)\n"
+                          << "  --fast        fast semantics mode for "
+                          << "spec-built predictors (':fast' suffix; "
+                          << "docs/PERFORMANCE.md)\n"
                           << "  --csv         also print CSV rows\n"
                           << "  --json FILE   write run telemetry as "
                           << "JSON (schema bfbp-telemetry-v1)\n"
@@ -328,6 +339,23 @@ struct Options
             }
         }
         return out;
+    }
+
+    /** Applies --fast to a base predictor spec: "tage-15" becomes
+     *  "tage-15:fast" under --fast, and is returned unchanged
+     *  otherwise. Benches route every spec they evaluate through
+     *  this, so one flag switches the whole matrix. */
+    std::string
+    modeSpec(const std::string &base_spec) const
+    {
+        return fast ? base_spec + ":fast" : base_spec;
+    }
+
+    /** The PredictorMode --fast selects (for direct factory calls). */
+    PredictorMode
+    mode() const
+    {
+        return fast ? PredictorMode::Fast : PredictorMode::Reference;
     }
 
   private:

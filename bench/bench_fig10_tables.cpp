@@ -43,7 +43,9 @@ main(int argc, char **argv)
             isl.makeSource = [recipe, scale = opts.scale] {
                 return tracegen::makeSource(recipe, scale);
             };
-            isl.makePredictor = [tables] { return makeIslTage(tables); };
+            isl.makePredictor = [tables, mode = opts.mode()] {
+                return makeIslTage(tables, mode);
+            };
             jobs.push_back(std::move(isl));
 
             SuiteJob bf;
@@ -51,8 +53,13 @@ main(int argc, char **argv)
             bf.makeSource = [recipe, scale = opts.scale] {
                 return tracegen::makeSource(recipe, scale);
             };
-            bf.makePredictor = [tables] {
-                return makeBfIslTage(tables);
+            // BF-ISL-TAGE has no dedicated fast path; the spec route
+            // still applies the mode tag so a --fast run's labels are
+            // consistent across both columns.
+            bf.makePredictor = [spec = opts.modeSpec(
+                                    "bf-isl-tage-" +
+                                    std::to_string(tables))] {
+                return createPredictor(spec);
             };
             jobs.push_back(std::move(bf));
         }

@@ -46,7 +46,9 @@ main(int argc, char **argv)
             job.makeSource = [recipe, scale = opts.scale] {
                 return tracegen::makeSource(recipe, scale);
             };
-            job.makePredictor = [spec] { return createPredictor(spec); };
+            job.makePredictor = [spec = opts.modeSpec(spec)] {
+                return createPredictor(spec);
+            };
             jobs.push_back(std::move(job));
         }
     }

@@ -36,7 +36,7 @@ main(int argc, char **argv)
         std::cout << "\n--- " << recipe.name << " ---\n";
         for (const std::string spec : {"tage-15", "bf-tage-10"}) {
             auto source = tracegen::makeSource(recipe, opts.scale);
-            auto predictor = createPredictor(spec);
+            auto predictor = createPredictor(opts.modeSpec(spec));
             archive.evaluateRun(recipe.name, *source, *predictor);
             const ProviderStats *stats = predictor->providerStats();
             if (!stats) {

@@ -54,7 +54,10 @@ main(int argc, char **argv)
           std::string("isl-tage-10"), std::string("bf-isl-tage-10"),
           std::string("isl-tage-4"), std::string("bf-isl-tage-4"),
           std::string("isl-tage-7"), std::string("bf-isl-tage-7")}) {
-        auto p = createPredictor(spec);
+        // Fast mode changes arithmetic, never table geometry, so the
+        // budgets must be identical under --fast; printing them under
+        // the flag makes that auditable.
+        auto p = createPredictor(opts.modeSpec(spec));
         const auto bytes = p->storage().totalBytes();
         std::cout << std::left << std::setw(18) << spec << std::right
                   << std::setw(12) << bytes << std::setw(10)

@@ -92,9 +92,21 @@ BM_Tage15(benchmark::State &state)
 }
 
 void
+BM_Tage15Fast(benchmark::State &state)
+{
+    runPredictor(state, "tage-15:fast");
+}
+
+void
 BM_IslTage10(benchmark::State &state)
 {
     runPredictor(state, "isl-tage-10");
+}
+
+void
+BM_IslTage10Fast(benchmark::State &state)
+{
+    runPredictor(state, "isl-tage-10:fast");
 }
 
 void
@@ -109,7 +121,9 @@ BENCHMARK(BM_Pwl);
 BENCHMARK(BM_OhSnap);
 BENCHMARK(BM_BfNeural);
 BENCHMARK(BM_Tage15);
+BENCHMARK(BM_Tage15Fast);
 BENCHMARK(BM_IslTage10);
+BENCHMARK(BM_IslTage10Fast);
 BENCHMARK(BM_BfIslTage10);
 
 /**
@@ -173,6 +187,18 @@ BM_Evaluate(benchmark::State &state)
     runEvaluateFile(state, "isl-tage-10", false);
 }
 
+/** BM_Evaluate with the same predictor in fast semantics mode
+ *  (":fast": SWAR folds, fused hashing, batched SC — the opt-in
+ *  throughput path of docs/PERFORMANCE.md). Registered directly
+ *  after BM_Evaluate so every run measures the pair back to back on
+ *  the same machine state; BENCH_throughput.json records both and
+ *  tools/check_bench_regression.py holds each to its own floor. */
+void
+BM_EvaluateFast(benchmark::State &state)
+{
+    runEvaluateFile(state, "isl-tage-10:fast", false);
+}
+
 void
 BM_EvaluatePerBranch(benchmark::State &state)
 {
@@ -225,6 +251,7 @@ BM_TraceWriteV2(benchmark::State &state)
 }
 
 BENCHMARK(BM_Evaluate)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_EvaluateFast)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_EvaluatePerBranch)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_EvaluateV2)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_TraceWrite)->Unit(benchmark::kMillisecond);

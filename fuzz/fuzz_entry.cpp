@@ -122,8 +122,12 @@ fuzzSnapshotLoader(const uint8_t *data, size_t size)
 {
     // Small, cheap-to-construct predictors keep iterations fast;
     // the envelope and codec paths under test are shared by all.
-    const char *specs[] = {"bimodal", "gshare", "tage-5"};
-    const char *spec = size == 0 ? specs[0] : specs[data[0] % 3];
+    // The fast variants route the same bytes through the SWAR-lane
+    // rebuild and the mode-mismatch diagnosis.
+    const char *specs[] = {"bimodal", "gshare", "tage-5",
+                           "tage-5:fast", "isl-tage-4:fast"};
+    constexpr size_t numSpecs = sizeof specs / sizeof specs[0];
+    const char *spec = size == 0 ? specs[0] : specs[data[0] % numSpecs];
     const uint8_t *body = size == 0 ? data : data + 1;
     const size_t bodySize = size == 0 ? 0 : size - 1;
 
@@ -134,6 +138,9 @@ fuzzSnapshotLoader(const uint8_t *data, size_t size)
         predictor->loadState(is);
     } catch (const bfbp::TraceIoError &) {
         // The expected rejection path.
+    } catch (const bfbp::ConfigError &) {
+        // A fuzzed kind that decodes to the same predictor in the
+        // other mode: the wrong-mode diagnosis, also a clean reject.
     }
 }
 

@@ -24,11 +24,28 @@ for b in build/bench/*; do
   fi
 done
 
+# Fast-semantics mode: one archived suite run under --fast so every
+# bench round records both modes' MPKI side by side (the differential
+# contract itself -- bounded fast-vs-reference deltas -- is enforced
+# by tests/test_fast_mode.cpp; this archive is for eyeballing drift).
+if [ -x build/bench/bench_fig08_mpki ]; then
+  echo "===== build/bench/bench_fig08_mpki --fast =====" >> bench_output.txt
+  start=$SECONDS
+  build/bench/bench_fig08_mpki --fast \
+    --json BENCH_bench_fig08_mpki_fast.json --jobs 0 \
+    >> bench_output.txt 2>&1
+  elapsed=$((SECONDS - start))
+  echo "bench_fig08_mpki --fast: ${elapsed}s"
+  echo "--- wall time: ${elapsed}s" >> bench_output.txt
+  echo "" >> bench_output.txt
+fi
+
 # Throughput check against the checked-in baseline
-# (BENCH_throughput.json, tools/check_bench_regression.py). The check
-# prints the measured records/sec either way; it is report-only unless
-# BFBP_BENCH_CHECK=1 is set, in which case a reading below the
-# baseline floor fails this script.
+# (BENCH_throughput.json, tools/check_bench_regression.py): both
+# modes, BM_Evaluate and BM_EvaluateFast, each against its own floor.
+# The check prints the measured records/sec either way; it is
+# report-only unless BFBP_BENCH_CHECK=1 is set, in which case a
+# reading below a baseline floor fails this script.
 echo "===== throughput regression check =====" >> bench_output.txt
 if python3 tools/check_bench_regression.py >> bench_output.txt 2>&1; then
   echo "throughput check: OK"

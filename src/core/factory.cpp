@@ -34,27 +34,47 @@ makeBfNeural(BfNeuralConfig cfg)
     return std::make_unique<BfNeuralPredictor>(std::move(cfg));
 }
 
-std::unique_ptr<BranchPredictor>
-makeTage(unsigned tables, bool with_loop)
+namespace
 {
-    auto core = std::make_unique<TagePredictor>(
-        conventionalTageConfig(tables));
+
+/** The conventional TAGE core in the requested mode; the config's
+ *  label carries the mode suffix so a bare core's snapshot kind is
+ *  mode-tagged like everything else. */
+std::unique_ptr<TageBase>
+makeConventionalCore(unsigned tables, PredictorMode mode)
+{
+    TageConfig cfg = conventionalTageConfig(tables);
+    cfg.label += predictorModeSuffix(mode);
+    if (mode == PredictorMode::Fast)
+        return std::make_unique<FastTagePredictor>(std::move(cfg));
+    return std::make_unique<TagePredictor>(std::move(cfg));
+}
+
+} // anonymous namespace
+
+std::unique_ptr<BranchPredictor>
+makeTage(unsigned tables, bool with_loop, PredictorMode mode)
+{
+    auto core = makeConventionalCore(tables, mode);
     if (!with_loop)
         return core;
     IslConfig isl;
-    isl.label = "tage-" + std::to_string(tables) + "+loop";
+    isl.label = "tage-" + std::to_string(tables) + "+loop" +
+        predictorModeSuffix(mode);
     isl.useSc = false;
     isl.useIum = false;
+    isl.mode = mode;
     return std::make_unique<IslTagePredictor>(std::move(core), isl);
 }
 
 std::unique_ptr<BranchPredictor>
-makeIslTage(unsigned tables)
+makeIslTage(unsigned tables, PredictorMode mode)
 {
-    auto core = std::make_unique<TagePredictor>(
-        conventionalTageConfig(tables));
+    auto core = makeConventionalCore(tables, mode);
     IslConfig isl;
-    isl.label = "isl-tage-" + std::to_string(tables);
+    isl.label = "isl-tage-" + std::to_string(tables) +
+        predictorModeSuffix(mode);
+    isl.mode = mode;
     return std::make_unique<IslTagePredictor>(std::move(core), isl);
 }
 
@@ -119,34 +139,120 @@ parseSuffixed(const std::string &spec, const std::string &prefix)
     }
 }
 
+/**
+ * Forwarding decorator tagging a reference-semantics predictor with
+ * the fast-mode name suffix. Specs without a dedicated fast
+ * implementation (the neural family, gshare/bimodal, the BF-TAGE
+ * variants whose compressed-history folds are already cheap) run
+ * identical arithmetic in both modes; the wrapper keeps their
+ * names — and therefore snapshot envelope kinds, archive labels and
+ * warmup-cache keys — mode-tagged so the harness treats every spec
+ * uniformly and fast/reference state still never mixes.
+ */
+class ModeLabeledPredictor final : public BranchPredictor
+{
+  public:
+    ModeLabeledPredictor(std::unique_ptr<BranchPredictor> wrapped,
+                         PredictorMode mode)
+        : inner(std::move(wrapped)),
+          label(inner->name() + predictorModeSuffix(mode))
+    {
+    }
+
+    bool predict(uint64_t pc) override { return inner->predict(pc); }
+
+    void
+    update(uint64_t pc, bool taken, bool predicted,
+           uint64_t target) override
+    {
+        inner->update(pc, taken, predicted, target);
+    }
+
+    void
+    trackOtherInst(const BranchRecord &record) override
+    {
+        inner->trackOtherInst(record);
+    }
+
+    std::string name() const override { return label; }
+    StorageReport storage() const override { return inner->storage(); }
+
+    const ProviderStats *
+    providerStats() const override
+    {
+        return inner->providerStats();
+    }
+
+    void
+    emitTelemetry(telemetry::Telemetry &sink) const override
+    {
+        inner->emitTelemetry(sink);
+    }
+
+    void
+    saveStateBody(StateSink &sink) const override
+    {
+        inner->saveStateBody(sink);
+    }
+
+    void
+    loadStateBody(StateSource &source) override
+    {
+        inner->loadStateBody(source);
+    }
+
+  private:
+    std::unique_ptr<BranchPredictor> inner;
+    std::string label;
+};
+
+/** The spec dispatch, after the mode suffix has been split off. */
+std::unique_ptr<BranchPredictor>
+createPredictorBase(const std::string &base, PredictorMode mode)
+{
+    // Specs with a dedicated fast implementation take the mode
+    // directly; everything else is handled by the caller's wrapper.
+    if (unsigned n = parseSuffixed(base, "isl-tage-"))
+        return makeIslTage(n, mode);
+    if (unsigned n = parseSuffixed(base, "tage-"))
+        return makeTage(n, true, mode);
+
+    std::unique_ptr<BranchPredictor> made;
+    if (base == "bimodal")
+        made = std::make_unique<BimodalPredictor>();
+    else if (base == "gshare")
+        made = std::make_unique<GsharePredictor>();
+    else if (base == "perceptron")
+        made = std::make_unique<PerceptronPredictor>();
+    else if (base == "pwl" || base == "conventional-perceptron")
+        made = makeConventionalPerceptron();
+    else if (base == "oh-snap" || base == "ohsnap")
+        made = makeOhSnap();
+    else if (base == "bf-neural")
+        made = makeBfNeural();
+    else if (base == "bf-neural-ideal")
+        made = std::make_unique<BfNeuralIdealPredictor>();
+    else if (unsigned n = parseSuffixed(base, "bf-isl-tage-"))
+        made = makeBfIslTage(n);
+    else if (unsigned n = parseSuffixed(base, "bf-tage-"))
+        made = makeBfTage(n);
+
+    if (made != nullptr && mode != PredictorMode::Reference) {
+        return std::make_unique<ModeLabeledPredictor>(std::move(made),
+                                                      mode);
+    }
+    return made;
+}
+
 } // anonymous namespace
 
 std::unique_ptr<BranchPredictor>
 createPredictor(const std::string &spec)
 {
-    if (spec == "bimodal")
-        return std::make_unique<BimodalPredictor>();
-    if (spec == "gshare")
-        return std::make_unique<GsharePredictor>();
-    if (spec == "perceptron")
-        return std::make_unique<PerceptronPredictor>();
-    if (spec == "pwl" || spec == "conventional-perceptron")
-        return makeConventionalPerceptron();
-    if (spec == "oh-snap" || spec == "ohsnap")
-        return makeOhSnap();
-    if (spec == "bf-neural")
-        return makeBfNeural();
-    if (spec == "bf-neural-ideal")
-        return std::make_unique<BfNeuralIdealPredictor>();
-
-    if (unsigned n = parseSuffixed(spec, "bf-isl-tage-"))
-        return makeBfIslTage(n);
-    if (unsigned n = parseSuffixed(spec, "bf-tage-"))
-        return makeBfTage(n);
-    if (unsigned n = parseSuffixed(spec, "isl-tage-"))
-        return makeIslTage(n);
-    if (unsigned n = parseSuffixed(spec, "tage-"))
-        return makeTage(n);
+    const auto [base, mode] = splitSpecMode(spec);
+    auto made = createPredictorBase(base, mode);
+    if (made != nullptr)
+        return made;
 
     std::string known;
     for (const auto &name : availablePredictors())
@@ -154,7 +260,8 @@ createPredictor(const std::string &spec)
     throw ConfigError(
         "unknown predictor spec '" + spec + "'; valid specs: " + known +
         " (tage-N accepts N=1..15, bf-tage-N accepts N=1..10, "
-        "likewise the isl- variants)");
+        "likewise the isl- variants; any spec accepts a ':reference' "
+        "or ':fast' mode suffix)");
 }
 
 std::vector<std::string>

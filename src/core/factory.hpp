@@ -27,6 +27,7 @@
 #include "core/bf_tage.hpp"
 #include "predictors/isl_tage.hpp"
 #include "sim/predictor.hpp"
+#include "sim/predictor_mode.hpp"
 #include "util/errors.hpp"
 
 namespace bfbp
@@ -42,12 +43,18 @@ std::unique_ptr<BranchPredictor> makeOhSnap();
 std::unique_ptr<BranchPredictor> makeBfNeural(BfNeuralConfig cfg = {});
 
 /** Conventional TAGE with @p tables tagged tables + loop predictor
- *  (the "TAGE" baseline of Fig. 8: ISL-TAGE without SC and IUM). */
-std::unique_ptr<BranchPredictor> makeTage(unsigned tables,
-                                          bool with_loop = true);
+ *  (the "TAGE" baseline of Fig. 8: ISL-TAGE without SC and IUM).
+ *  Fast mode swaps in the SWAR/fused-hash core (FastTagePredictor)
+ *  and suffixes ":fast" onto the name. */
+std::unique_ptr<BranchPredictor>
+makeTage(unsigned tables, bool with_loop = true,
+         PredictorMode mode = PredictorMode::Reference);
 
-/** Full ISL-TAGE (loop + SC + IUM) with @p tables tagged tables. */
-std::unique_ptr<BranchPredictor> makeIslTage(unsigned tables);
+/** Full ISL-TAGE (loop + SC + IUM) with @p tables tagged tables.
+ *  Fast mode additionally batches the SC index computation. */
+std::unique_ptr<BranchPredictor>
+makeIslTage(unsigned tables,
+            PredictorMode mode = PredictorMode::Reference);
 
 /** BF-TAGE core with @p tables tagged tables (<= 10). */
 std::unique_ptr<BfTagePredictor>
@@ -70,8 +77,16 @@ makeBfIslTage(unsigned tables,
  * "bf-neural-ideal", "tage-N" (N=1..15), "isl-tage-N",
  * "bf-tage-N" (N=1..10), "bf-isl-tage-N".
  *
- * @throws ConfigError for unknown specs or out-of-range table
- *         counts; the message lists the valid options.
+ * Every spec accepts an optional mode suffix (":reference" — the
+ * default — or ":fast", e.g. "tage-5:fast"); see
+ * sim/predictor_mode.hpp. The TAGE-family specs get dedicated fast
+ * implementations; the rest run reference arithmetic under a
+ * fast-tagged name so harness plumbing (snapshots, archives,
+ * warmup caches) treats every spec uniformly.
+ *
+ * @throws ConfigError for unknown specs, out-of-range table counts,
+ *         or malformed mode suffixes; the message lists the valid
+ *         options.
  */
 std::unique_ptr<BranchPredictor> createPredictor(const std::string &spec);
 

@@ -77,6 +77,29 @@ IslTagePredictor::scSum(uint64_t pc, bool tage_pred,
     return sum;
 }
 
+int
+IslTagePredictor::scSumFast(uint64_t pc, bool tage_pred,
+                            std::array<uint32_t, 4> &indices) const
+{
+    int sum = tage_pred ? scTageWeight : -scTageWeight;
+    // One mix for the whole sum: each table's index is a distinct
+    // 13-bit-shifted slice of the mixed (pc, prediction) word xored
+    // with that table's fold — the serial hashCombine chain of the
+    // reference path (~3 mixes per table) collapses to one multiply
+    // pair total. Different indices than reference, by design.
+    const uint64_t base =
+        mix64(((pc >> 1) << 1) | (tage_pred ? 1u : 0u));
+    const uint64_t idxMask = maskBits(cfg.scLogEntries);
+    for (size_t i = 0; i < scTables.size(); ++i) {
+        const uint64_t fold =
+            cfg.scHistoryLengths[i] == 0 ? 0 : scFolds[i].value();
+        indices[i] = static_cast<uint32_t>(
+            ((base >> (13 * i)) ^ fold) & idxMask);
+        sum += 2 * scTables[i][indices[i]].value() + 1;
+    }
+    return sum;
+}
+
 bool
 IslTagePredictor::predict(uint64_t pc)
 {
@@ -107,7 +130,9 @@ IslTagePredictor::predict(uint64_t pc)
 
     // Statistical corrector: monitors weak TAGE predictions.
     if (cfg.useSc) {
-        const int sum = scSum(pc, pred, ctx.scIndices);
+        const int sum = cfg.mode == PredictorMode::Fast
+            ? scSumFast(pc, pred, ctx.scIndices)
+            : scSum(pc, pred, ctx.scIndices);
         ctx.scPred = sum >= 0;
         ctx.scUsed = info.providerWeak;
         if (ctx.scUsed) {

@@ -29,6 +29,7 @@
 
 #include "predictors/loop_predictor.hpp"
 #include "predictors/tage.hpp"
+#include "sim/predictor_mode.hpp"
 #include "util/folded_history.hpp"
 
 namespace bfbp
@@ -45,6 +46,16 @@ struct IslConfig
     unsigned scCounterBits = 6;
     std::vector<unsigned> scHistoryLengths = {0, 11, 27};
     unsigned iumCapacity = 32;   //!< Max in-flight records tracked.
+
+    /**
+     * Fast mode batches the SC index computation: one mix over
+     * (pc, prediction) whose rotated slices are xored with the SC
+     * folds, replacing the reference's per-table hashCombine chains
+     * (~3 serial mixes per table). Indices — and therefore the SC's
+     * votes — differ from reference; the differential tests bound
+     * the effect. The loop predictor and IUM are mode-independent.
+     */
+    PredictorMode mode = PredictorMode::Reference;
 
     /** @throws ConfigError on out-of-range side-component knobs.
      *  Called by the IslTagePredictor constructor. */
@@ -103,6 +114,8 @@ class IslTagePredictor : public BranchPredictor
 
     int scSum(uint64_t pc, bool tage_pred,
               std::array<uint32_t, 4> &indices) const;
+    int scSumFast(uint64_t pc, bool tage_pred,
+                  std::array<uint32_t, 4> &indices) const;
 
     IslConfig cfg;
     std::unique_ptr<TageBase> core;

@@ -119,17 +119,38 @@ TageBase::computeContext(uint64_t pc, PredictionInfo &info) const
 
     // Longest history with a tag match provides; next longest (or
     // the base) is the alternate.
-    for (size_t t = n; t-- > 0; ) {
-        if (tables[t][info.indices[t]].tag == info.tags[t]) {
-            info.provider = static_cast<int>(t);
-            break;
+    if (branchFreeScan) {
+        // Fast mode: one match bit per table, then providers fall
+        // out of count-leading-zeros — no data-dependent branches,
+        // and every table load was already prefetched above.
+        uint32_t match = 0;
+        for (size_t t = 0; t < n; ++t) {
+            match |= static_cast<uint32_t>(
+                         tables[t][info.indices[t]].tag ==
+                         info.tags[t])
+                << t;
         }
-    }
-    if (info.provider > 0) {
-        for (size_t a = static_cast<size_t>(info.provider); a-- > 0; ) {
-            if (tables[a][info.indices[a]].tag == info.tags[a]) {
-                info.altProvider = static_cast<int>(a);
+        if (match != 0) {
+            info.provider = 31 - __builtin_clz(match);
+            const uint32_t below =
+                match & ((uint32_t{1} << info.provider) - 1);
+            if (below != 0)
+                info.altProvider = 31 - __builtin_clz(below);
+        }
+    } else {
+        for (size_t t = n; t-- > 0; ) {
+            if (tables[t][info.indices[t]].tag == info.tags[t]) {
+                info.provider = static_cast<int>(t);
                 break;
+            }
+        }
+        if (info.provider > 0) {
+            for (size_t a = static_cast<size_t>(info.provider);
+                 a-- > 0; ) {
+                if (tables[a][info.indices[a]].tag == info.tags[a]) {
+                    info.altProvider = static_cast<int>(a);
+                    break;
+                }
             }
         }
     }
@@ -624,6 +645,125 @@ TagePredictor::loadHistoryState(StateSource &source)
         if (ghist[d])
             recentHist[d >> 6] |= uint64_t{1} << (d & 63);
     }
+}
+
+// ---------------------------------------------------------------
+// Fast-semantics conventional TAGE
+// ---------------------------------------------------------------
+
+namespace
+{
+
+/** Finalizing mix of the fused hash: cheaper than a full mix64 (one
+ *  multiply instead of two) yet enough avalanche that index and tag
+ *  bits are decorrelated — the lane multiply upstream already
+ *  spreads the fold across the word. */
+inline uint64_t
+fastMixTail(uint64_t x)
+{
+    x ^= x >> 29;
+    x *= 0xff51afd7ed558ccdULL;
+    x ^= x >> 32;
+    return x;
+}
+
+/** Multiplier spreading a 16-bit fold lane over the word. */
+constexpr uint64_t kLaneSpread = 0x9E3779B97F4A7C15ULL;
+
+} // anonymous namespace
+
+FastTagePredictor::FastTagePredictor(TageConfig config)
+    : TageBase(std::move(config)), folds(cfg.historyLengths)
+{
+    branchFreeScan = true;
+    hashConsts.reserve(cfg.numTables());
+    for (size_t t = 0; t < cfg.numTables(); ++t) {
+        FastHashConsts hc;
+        hc.salt = mix64(0x5157ae5b9c3f11d7ULL + t);
+        hc.idxMask = maskBits(cfg.logSizes[t]);
+        hc.tagMask = maskBits(cfg.tagBits[t]);
+        hashConsts.push_back(hc);
+    }
+}
+
+uint64_t
+FastTagePredictor::fusedHash(size_t t, uint64_t addr,
+                             uint64_t path_mix) const
+{
+    // One word feeds both index and tag: the lane multiply spreads
+    // the 16-bit fold over 64 bits, the tail mix decorrelates the
+    // low (index) bits from the high (tag) bits. Unlike reference,
+    // the path history is mixed once per prediction and shared by
+    // every table — the per-table salt does the decorrelation the
+    // reference's per-table path masks used to.
+    return fastMixTail(addr ^ path_mix ^
+                       (folds.lane(t) * kLaneSpread) ^
+                       hashConsts[t].salt);
+}
+
+uint64_t
+FastTagePredictor::indexHash(size_t t, uint64_t pc) const
+{
+    return fusedHash(t, pc >> 1, mix64(pathHist));
+}
+
+uint64_t
+FastTagePredictor::tagHash(size_t t, uint64_t pc) const
+{
+    // Tag bits come from the top of the fused word (tagBits <= 16,
+    // so bits 48..63 never overlap the index's low bits).
+    return fusedHash(t, pc >> 1, mix64(pathHist)) >> 48;
+}
+
+void
+FastTagePredictor::computeTableHashes(uint64_t pc, uint32_t *indices,
+                                      uint16_t *tags) const
+{
+    const uint64_t addr = pc >> 1;
+    const uint64_t pathMix = mix64(pathHist);
+    const size_t n = hashConsts.size();
+    const FastHashConsts *hc = hashConsts.data();
+    for (size_t t = 0; t < n; ++t) {
+        const uint64_t x = fusedHash(t, addr, pathMix);
+        indices[t] = static_cast<uint32_t>(x & hc[t].idxMask);
+        tags[t] = static_cast<uint16_t>((x >> 48) & hc[t].tagMask);
+    }
+}
+
+void
+FastTagePredictor::updateHistories(uint64_t pc, bool taken,
+                                   uint64_t target)
+{
+    (void)target;
+    folds.push(taken);
+    pathHist = ((pathHist << 1) | ((pc >> 1) & 1)) &
+        maskBits(cfg.pathBits);
+}
+
+void
+FastTagePredictor::reportHistoryStorage(StorageReport &report) const
+{
+    report.addBits("global history", cfg.historyLengths.back());
+    report.addBits("path history", cfg.pathBits);
+}
+
+void
+FastTagePredictor::saveHistoryState(StateSink &sink) const
+{
+    folds.saveState(sink);
+    sink.u64(pathHist);
+}
+
+void
+FastTagePredictor::loadHistoryState(StateSource &source)
+{
+    folds.loadState(source);
+    const uint64_t path = source.u64();
+    if ((path & ~maskBits(cfg.pathBits)) != 0) {
+        throw TraceIoError("snapshot corrupt: path history wider than "
+                           "its configured window");
+    }
+    pathHist = path;
 }
 
 } // namespace bfbp

@@ -31,6 +31,7 @@
 #include "util/random.hpp"
 #include "util/ring_fifo.hpp"
 #include "util/saturating_counter.hpp"
+#include "util/swar_fold.hpp"
 
 namespace bfbp
 {
@@ -148,6 +149,16 @@ class TageBase : public BranchPredictor
 
     TageConfig cfg;
 
+    /**
+     * Provider/alternate selection strategy. The reference scan
+     * walks the tables from the longest history down and exits at
+     * the first tag match; the branch-free scan (fast mode) builds a
+     * per-table match bitmask and picks providers with count-leading-
+     * zeros. Both produce identical providers — the flag only trades
+     * early-exit branches for straight-line bit arithmetic.
+     */
+    bool branchFreeScan = false;
+
   private:
     struct TaggedEntry
     {
@@ -225,6 +236,62 @@ class TagePredictor : public TageBase
      *  addressing. Rebuilt from ghist on load, never serialized. */
     std::array<uint64_t, shadowBits / 64> recentHist{};
     bool shadowCovers = false;
+};
+
+/**
+ * Fast-semantics conventional TAGE (spec "tage-N:fast" cores).
+ *
+ * Same tables, allocation and training policies as TagePredictor —
+ * only the history/hash plumbing changes, trading the reference
+ * arithmetic for throughput (docs/PERFORMANCE.md "Fast mode"):
+ *
+ *  - One 16-bit SWAR fold lane per table (SwarFoldBank) instead of
+ *    three scalar folds: the per-branch fold update collapses from
+ *    ~3N remove/rotate/insert sequences to N outgoing-bit xors plus
+ *    ceil(N/4) word rotations.
+ *  - Fused index/tag hashing: one mixed 64-bit word per table yields
+ *    the index (low bits) and the tag (high bits) in a single pass,
+ *    with the path history mixed once per prediction instead of
+ *    once per table.
+ *  - Branch-free provider scan (TageBase::branchFreeScan).
+ *
+ * Because the folds and hashes differ, predictions — and therefore
+ * MPKI — differ slightly from reference; the differential harness
+ * bounds the delta per trace and golden_mpki_fast.json pins the
+ * exact fast-mode counts.
+ */
+class FastTagePredictor : public TageBase
+{
+  public:
+    explicit FastTagePredictor(TageConfig config);
+
+  protected:
+    uint64_t indexHash(size_t t, uint64_t pc) const override;
+    uint64_t tagHash(size_t t, uint64_t pc) const override;
+    void computeTableHashes(uint64_t pc, uint32_t *indices,
+                            uint16_t *tags) const override;
+    void updateHistories(uint64_t pc, bool taken,
+                         uint64_t target) override;
+    void reportHistoryStorage(StorageReport &report) const override;
+    void saveHistoryState(StateSink &sink) const override;
+    void loadHistoryState(StateSource &source) override;
+
+  private:
+    /** Per-table constants of the fused hash. */
+    struct FastHashConsts
+    {
+        uint64_t salt;    //!< Table-decorrelating constant.
+        uint64_t idxMask; //!< maskBits(logSizes[t]).
+        uint64_t tagMask; //!< maskBits(tagBits[t]).
+    };
+
+    /** The fused 64-bit hash both virtuals and the batched override
+     *  derive index and tag from (shared so they stay bit-identical). */
+    uint64_t fusedHash(size_t t, uint64_t addr, uint64_t path_mix) const;
+
+    SwarFoldBank folds;
+    std::vector<FastHashConsts> hashConsts;
+    uint64_t pathHist = 0;
 };
 
 } // namespace bfbp

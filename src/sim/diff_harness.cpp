@@ -1,0 +1,80 @@
+#include "sim/diff_harness.hpp"
+
+#include <cstdio>
+
+#include "util/errors.hpp"
+
+namespace bfbp
+{
+
+namespace
+{
+
+EvalResult
+runOneMode(const DiffSourceFactory &make_source,
+           const ModePredictorFactory &make_predictor,
+           PredictorMode mode, const EvalOptions &options)
+{
+    auto predictor = make_predictor(mode);
+    configRequire(predictor != nullptr,
+                  "diff harness: predictor factory returned null for "
+                  "mode '" + std::string(predictorModeName(mode)) + "'");
+    const auto [base, actualMode] = splitNameMode(predictor->name());
+    (void)base;
+    if (actualMode != mode) {
+        throw ConfigError(
+            "diff harness: predictor factory produced '" +
+            predictor->name() + "' when asked for " +
+            std::string(predictorModeName(mode)) +
+            " mode — the comparison would be meaningless");
+    }
+    auto source = make_source();
+    configRequire(source != nullptr,
+                  "diff harness: source factory returned null");
+
+    // The diff is a measurement, not a production run: strip side
+    // effects so both modes see byte-identical evaluator behaviour.
+    EvalOptions opts = options;
+    opts.telemetry = nullptr;
+    opts.checkpointPath.clear();
+    opts.resume = false;
+    opts.progress = nullptr;
+    return evaluate(*source, *predictor, opts);
+}
+
+} // anonymous namespace
+
+DiffOutcome
+diffModes(const DiffSourceFactory &make_source,
+          const ModePredictorFactory &make_predictor,
+          const EvalOptions &options)
+{
+    DiffOutcome outcome;
+    outcome.reference = runOneMode(make_source, make_predictor,
+                                   PredictorMode::Reference, options);
+    outcome.fast = runOneMode(make_source, make_predictor,
+                              PredictorMode::Fast, options);
+    if (!outcome.sameWorkload()) {
+        throw ConfigError(
+            "diff harness: the two modes consumed different workloads "
+            "(reference saw " +
+            std::to_string(outcome.reference.condBranches) +
+            " conditional branches, fast saw " +
+            std::to_string(outcome.fast.condBranches) +
+            ") — the source factory is not deterministic");
+    }
+    return outcome;
+}
+
+std::string
+formatDiffRow(const std::string &trace_name, const DiffOutcome &outcome)
+{
+    char buf[160];
+    std::snprintf(buf, sizeof buf,
+                  "%-24s ref %8.4f  fast %8.4f  delta %+8.4f",
+                  trace_name.c_str(), outcome.reference.mpki(),
+                  outcome.fast.mpki(), outcome.mpkiDelta());
+    return std::string(buf);
+}
+
+} // namespace bfbp

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Differential fast-vs-reference evaluation harness.
+ *
+ * Fast-mode predictors (sim/predictor_mode.hpp) are allowed to
+ * change hash/fold semantics, so they cannot be validated by byte
+ * identity the way everything else in this repository is. The
+ * contract is statistical instead: over a given trace, the fast
+ * predictor's MPKI must stay within a documented bound of the
+ * reference predictor's. This harness runs both modes of one base
+ * spec over fresh instances of the same trace and reports the pair
+ * of results plus their delta; tests (tests/test_fast_mode.cpp) and
+ * the CI differential step assert the bounds.
+ *
+ * The harness lives below the factory layer, so callers supply the
+ * two predictors through a mode-indexed factory callback — in
+ * practice `[&](PredictorMode m) { return createPredictor(
+ * withSpecMode(base, m)); }`.
+ */
+
+#ifndef BFBP_SIM_DIFF_HARNESS_HPP
+#define BFBP_SIM_DIFF_HARNESS_HPP
+
+#include <cmath>
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "sim/evaluator.hpp"
+#include "sim/predictor_mode.hpp"
+#include "sim/trace_source.hpp"
+
+namespace bfbp
+{
+
+/** Builds a fresh predictor for the requested mode. */
+using ModePredictorFactory =
+    std::function<std::unique_ptr<BranchPredictor>(PredictorMode)>;
+
+/** Builds a fresh source positioned at the trace start. */
+using DiffSourceFactory = std::function<std::unique_ptr<TraceSource>()>;
+
+/** Both modes' results over one trace. */
+struct DiffOutcome
+{
+    EvalResult reference;
+    EvalResult fast;
+
+    /** Signed MPKI difference, fast minus reference. */
+    double
+    mpkiDelta() const
+    {
+        return fast.mpki() - reference.mpki();
+    }
+
+    /** |delta|, the quantity the bounds are written against. */
+    double absMpkiDelta() const { return std::fabs(mpkiDelta()); }
+
+    /** Both runs scored the same instruction/branch population —
+     *  a prerequisite for the MPKI comparison to mean anything. */
+    bool
+    sameWorkload() const
+    {
+        return reference.instructions == fast.instructions &&
+            reference.condBranches == fast.condBranches;
+    }
+};
+
+/**
+ * Evaluates the reference and fast instances from @p make_predictor
+ * over two fresh sources from @p make_source under identical
+ * @p options (telemetry/checkpoint knobs are cleared — this is a
+ * measurement of predictions, not a production run).
+ *
+ * @throws ConfigError when the factory returns a predictor whose
+ *         name() does not carry the requested mode (a miswired
+ *         factory would silently compare reference against itself),
+ *         or when the two runs consumed different workloads.
+ */
+DiffOutcome diffModes(const DiffSourceFactory &make_source,
+                      const ModePredictorFactory &make_predictor,
+                      const EvalOptions &options = {});
+
+/** One human-readable table row: trace, per-mode MPKI, delta. */
+std::string formatDiffRow(const std::string &trace_name,
+                          const DiffOutcome &outcome);
+
+} // namespace bfbp
+
+#endif // BFBP_SIM_DIFF_HARNESS_HPP

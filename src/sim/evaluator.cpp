@@ -183,9 +183,11 @@ loadEvalCheckpoint(const std::string &path, EvalCheckpoint &ck,
 
     const std::string savedName = source.str();
     if (savedName != predictor.name()) {
-        throw TraceIoError("checkpoint predictor mismatch: file holds '" +
-                           savedName + "', run uses '" +
-                           predictor.name() + "'");
+        // A mode-only mismatch (fast checkpoint, reference run or
+        // vice versa) is a ConfigError naming both modes; any other
+        // mismatch keeps the TraceIoError contract.
+        throwSnapshotKindMismatch("checkpoint", savedName,
+                                  predictor.name());
     }
     restorePredictorBody(predictor, source.blob());
     source.requireExhausted("eval checkpoint");

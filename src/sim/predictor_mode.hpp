@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Predictor execution modes and spec/name mode-suffix plumbing.
+ *
+ * Every predictor spec accepts an optional mode suffix
+ * ("tage-5:fast", "isl-tage-10:reference"):
+ *
+ *  - Reference: the byte-identical baseline path. Semantics are
+ *    pinned by the golden fixtures and never change silently; this
+ *    is the oracle the differential tests compare against.
+ *  - Fast: throughput-first semantics. The fast path may change
+ *    *how* histories are folded and tables are hashed (SWAR folded
+ *    history, fused index/tag hashing, single-mix SC indices —
+ *    docs/PERFORMANCE.md "Fast mode"), so its predictions differ
+ *    slightly from reference; the differential harness
+ *    (sim/diff_harness.hpp) bounds the per-trace MPKI delta.
+ *
+ * A fast-mode predictor's name() carries the ":fast" suffix
+ * (reference names stay bare), so snapshot envelope kinds, archive
+ * labels and warmup-cache keys are mode-tagged for free and state
+ * can never silently cross modes: the loader turns a same-predictor
+ * different-mode kind mismatch into a ConfigError naming both modes.
+ */
+
+#ifndef BFBP_SIM_PREDICTOR_MODE_HPP
+#define BFBP_SIM_PREDICTOR_MODE_HPP
+
+#include <string>
+#include <utility>
+
+#include "util/errors.hpp"
+
+namespace bfbp
+{
+
+/** Which semantics a predictor instance runs under. */
+enum class PredictorMode
+{
+    Reference, //!< Byte-identical oracle path (the default).
+    Fast,      //!< SWAR/fused-hash path; differentially tested.
+};
+
+/** Human-readable mode name: "reference" or "fast". */
+inline const char *
+predictorModeName(PredictorMode mode)
+{
+    return mode == PredictorMode::Fast ? "fast" : "reference";
+}
+
+/** The list advertised by every mode diagnostic. */
+inline const char *
+predictorModeList()
+{
+    return "reference, fast";
+}
+
+/** Name suffix a mode stamps onto predictor names: "" for
+ *  reference (bare names stay valid snapshot kinds), ":fast". */
+inline std::string
+predictorModeSuffix(PredictorMode mode)
+{
+    return mode == PredictorMode::Fast ? ":fast" : "";
+}
+
+/**
+ * Splits a factory spec into its base spec and mode.
+ *
+ * "tage-5" -> {"tage-5", Reference}; "tage-5:fast" -> {"tage-5",
+ * Fast}; ":reference" is accepted and identical to the bare spec.
+ *
+ * @throws ConfigError on an empty, unknown, or duplicated mode
+ *         suffix; the message carries the valid-mode list (the
+ *         bench CLI surfaces it verbatim with exit code 2).
+ */
+inline std::pair<std::string, PredictorMode>
+splitSpecMode(const std::string &spec)
+{
+    const size_t colon = spec.find(':');
+    if (colon == std::string::npos)
+        return {spec, PredictorMode::Reference};
+    const std::string base = spec.substr(0, colon);
+    const std::string mode = spec.substr(colon + 1);
+    if (mode.find(':') != std::string::npos) {
+        throw ConfigError("duplicate mode suffix in spec '" + spec +
+                          "': at most one ':<mode>' is accepted; "
+                          "valid modes: " + predictorModeList());
+    }
+    if (mode.empty()) {
+        throw ConfigError("empty mode suffix in spec '" + spec +
+                          "'; valid modes: " + predictorModeList());
+    }
+    if (mode == "reference")
+        return {base, PredictorMode::Reference};
+    if (mode == "fast")
+        return {base, PredictorMode::Fast};
+    throw ConfigError("unknown mode '" + mode + "' in spec '" + spec +
+                      "'; valid modes: " + predictorModeList());
+}
+
+/**
+ * Splits a predictor name (or snapshot kind) into its base name and
+ * the mode its suffix encodes. Names are produced by the factory, so
+ * unlike splitSpecMode this never throws: anything without a
+ * recognized suffix is a reference-mode name.
+ */
+inline std::pair<std::string, PredictorMode>
+splitNameMode(const std::string &name)
+{
+    const std::string fast = ":fast";
+    if (name.size() > fast.size() &&
+        name.compare(name.size() - fast.size(), fast.size(), fast) ==
+            0) {
+        return {name.substr(0, name.size() - fast.size()),
+                PredictorMode::Fast};
+    }
+    return {name, PredictorMode::Reference};
+}
+
+} // namespace bfbp
+
+#endif // BFBP_SIM_PREDICTOR_MODE_HPP

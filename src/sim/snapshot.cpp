@@ -4,6 +4,7 @@
 #include <istream>
 #include <ostream>
 
+#include "sim/predictor_mode.hpp"
 #include "telemetry/telemetry.hpp"
 #include "util/errors.hpp"
 
@@ -82,6 +83,19 @@ writeEnvelope(std::ostream &os, const std::string &kind,
 std::vector<uint8_t>
 readEnvelope(std::istream &is, const std::string &expected_kind)
 {
+    std::string kind;
+    std::vector<uint8_t> payload = readEnvelopeKind(is, kind);
+    if (kind != expected_kind) {
+        throw TraceIoError("snapshot kind mismatch: file holds '" +
+                           kind + "', expected '" + expected_kind +
+                           "'");
+    }
+    return payload;
+}
+
+std::vector<uint8_t>
+readEnvelopeKind(std::istream &is, std::string &kind_out)
+{
     const uint32_t magic = getU32(is, "magic");
     if (magic != snapshot_format::magic) {
         throw TraceIoError(
@@ -108,11 +122,6 @@ readEnvelope(std::istream &is, const std::string &expected_kind)
         !is.read(kind.data(), static_cast<std::streamsize>(kindLen))) {
         throw TraceIoError("snapshot truncated reading kind");
     }
-    if (kind != expected_kind) {
-        throw TraceIoError("snapshot kind mismatch: file holds '" +
-                           kind + "', expected '" + expected_kind +
-                           "'");
-    }
     const uint64_t payloadLen = getU64(is, "payload length");
     if (payloadLen > snapshot_format::maxPayloadBytes) {
         throw TraceIoError("snapshot corrupt: payload length " +
@@ -133,6 +142,7 @@ readEnvelope(std::istream &is, const std::string &expected_kind)
         throw TraceIoError("snapshot corrupt: payload checksum "
                            "mismatch for '" + kind + "'");
     }
+    kind_out = std::move(kind);
     return payload;
 }
 
@@ -160,9 +170,32 @@ BranchPredictor::saveState(std::ostream &os) const
 }
 
 void
+throwSnapshotKindMismatch(const std::string &what,
+                          const std::string &found,
+                          const std::string &expected)
+{
+    const auto [foundBase, foundMode] = splitNameMode(found);
+    const auto [wantBase, wantMode] = splitNameMode(expected);
+    if (foundBase == wantBase && foundMode != wantMode) {
+        throw ConfigError(
+            what + " mode mismatch: file holds '" + found + "' (" +
+            predictorModeName(foundMode) + " mode) but this run uses '" +
+            expected + "' (" + predictorModeName(wantMode) +
+            " mode); fast and reference state are not interchangeable "
+            "— re-create the " + what + " under the current mode");
+    }
+    throw TraceIoError(what + " kind mismatch: file holds '" + found +
+                       "', expected '" + expected + "'");
+}
+
+void
 BranchPredictor::loadState(std::istream &is)
 {
-    restorePredictorBody(*this, readEnvelope(is, name()));
+    std::string kind;
+    const std::vector<uint8_t> payload = readEnvelopeKind(is, kind);
+    if (kind != name())
+        throwSnapshotKindMismatch("snapshot", kind, name());
+    restorePredictorBody(*this, payload);
 }
 
 void

@@ -77,6 +77,30 @@ void writeEnvelope(std::ostream &os, const std::string &kind,
 std::vector<uint8_t> readEnvelope(std::istream &os,
                                   const std::string &expected_kind);
 
+/**
+ * Like readEnvelope() but accepts any kind, returning it through
+ * @p kind_out — for callers that diagnose mismatches themselves
+ * (e.g. the predictor loader, which distinguishes a wrong-mode
+ * snapshot from a wrong-predictor one). Magic, version, length and
+ * checksum are still validated.
+ */
+std::vector<uint8_t> readEnvelopeKind(std::istream &is,
+                                      std::string &kind_out);
+
+/**
+ * Diagnoses a snapshot/checkpoint identity mismatch: when the two
+ * names differ only in their mode suffix (sim/predictor_mode.hpp) —
+ * a fast snapshot poured into a reference predictor or vice versa —
+ * this is a configuration problem, reported as ConfigError naming
+ * both modes; any other mismatch stays the classic TraceIoError
+ * kind mismatch.
+ *
+ * @param what "snapshot" or "checkpoint" for the message.
+ */
+[[noreturn]] void throwSnapshotKindMismatch(const std::string &what,
+                                            const std::string &found,
+                                            const std::string &expected);
+
 /** Serializes @p predictor's state body (no envelope). */
 std::vector<uint8_t> serializePredictorBody(
     const BranchPredictor &predictor);

@@ -1,0 +1,209 @@
+/**
+ * @file
+ * SWAR folded-history bank: all of a TAGE geometry's folds in a few
+ * uint64 words, advanced with shift/xor word operations.
+ *
+ * The reference path (util/folded_history.hpp) keeps three scalar
+ * FoldedHistory registers per tagged table and updates each with its
+ * own remove/rotate/insert sequence — ~26% of evaluation time
+ * (docs/PERFORMANCE.md). The fast path replaces them with ONE 16-bit
+ * fold lane per table, packed four lanes to a word:
+ *
+ *   word w = [ lane 4w+3 | lane 4w+2 | lane 4w+1 | lane 4w ]
+ *
+ * Each lane t holds exactly FoldedHistory(L_t, 16).value(): the same
+ * remove-outgoing / rotate-left-1 / insert-new recurrence, but the
+ * rotate and the insert run for four tables per word operation:
+ *
+ *   hi = w & 0x8000800080008000          (per-lane top bits)
+ *   w  = ((w ^ hi) << 1) | (hi >> 15)    (per-lane rotl by 1)
+ *   w ^= taken ? inject_mask : 0         (bit 0 of every live lane)
+ *
+ * Outgoing bits (depth L_t - 1, per table) are gathered from a
+ * 256-bit shadow of the newest outcomes with precomputed constant
+ * offsets; geometries deeper than the shadow read the backing ring.
+ * The lane-vs-scalar equivalence is property-tested exhaustively and
+ * randomly over every geometry the factory can build
+ * (tests/test_fast_mode.cpp).
+ *
+ * Serialization stores only the ring; lanes and shadow are rebuilt
+ * with the naive fold on load, so a snapshot can never carry a lane
+ * that disagrees with its own history.
+ */
+
+#ifndef BFBP_UTIL_SWAR_FOLD_HPP
+#define BFBP_UTIL_SWAR_FOLD_HPP
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "util/bitops.hpp"
+#include "util/errors.hpp"
+#include "util/folded_history.hpp"
+#include "util/history_register.hpp"
+#include "util/state_codec.hpp"
+
+namespace bfbp
+{
+
+/** One 16-bit fold lane per history length, packed 4 per uint64. */
+class SwarFoldBank
+{
+  public:
+    static constexpr unsigned laneBits = 16;
+    static constexpr unsigned lanesPerWord = 64 / laneBits;
+
+    SwarFoldBank() = default;
+
+    /** @param lengths Per-lane history window lengths (each >= 1). */
+    explicit SwarFoldBank(const std::vector<unsigned> &lengths)
+        : lens(lengths),
+          hist(nextPowerOfTwo(maxLength(lengths) + 1)),
+          words((lengths.size() + lanesPerWord - 1) / lanesPerWord, 0),
+          injectMasks(words.size(), 0)
+    {
+        for (size_t t = 0; t < lens.size(); ++t) {
+            configRange(lens[t], 1u, 1u << 16,
+                        "SwarFoldBank.lengths[" + std::to_string(t) +
+                            "]");
+            injectMasks[t / lanesPerWord] |=
+                uint64_t{1} << ((t % lanesPerWord) * laneBits);
+            const unsigned depth = lens[t] - 1;
+            OutRef ref;
+            ref.laneWord = static_cast<uint32_t>(t / lanesPerWord);
+            ref.laneShift = static_cast<uint32_t>(
+                (t % lanesPerWord) * laneBits + depth % laneBits);
+            if (depth < shadowBits) {
+                ref.histWord = depth / 64;
+                ref.histShift = depth % 64;
+                shadowOut.push_back(ref);
+            } else {
+                ref.histWord = 0;
+                ref.histShift = depth;
+                deepOut.push_back(ref);
+            }
+        }
+    }
+
+    size_t laneCount() const { return lens.size(); }
+
+    /** Current fold value of lane @p t (16 bits). */
+    uint64_t
+    lane(size_t t) const
+    {
+        return (words[t / lanesPerWord] >>
+                ((t % lanesPerWord) * laneBits)) &
+            maskBits(laneBits);
+    }
+
+    const HistoryRegister &history() const { return hist; }
+
+    /** Advances every lane by one branch outcome. */
+    void
+    push(bool taken)
+    {
+        // Remove each lane's outgoing contribution. For shadow-
+        // covered depths both source and destination offsets are
+        // compile-time-constant per entry; deep geometries (history
+        // beyond the 256-bit shadow, tage-13 and up) fall back to
+        // the ring's depth addressing.
+        for (const OutRef &r : shadowOut) {
+            const uint64_t bit = (shadow[r.histWord] >> r.histShift) & 1;
+            words[r.laneWord] ^= bit << r.laneShift;
+        }
+        for (const OutRef &r : deepOut) {
+            words[r.laneWord] ^=
+                static_cast<uint64_t>(hist[r.histShift]) << r.laneShift;
+        }
+
+        // Per-lane rotl-by-1 plus new-bit insert, four lanes per
+        // word op. The inject mask covers only live lanes, so the
+        // tail word's unused lanes stay zero.
+        const uint64_t inject = taken ? ~uint64_t{0} : 0;
+        for (size_t w = 0; w < words.size(); ++w) {
+            uint64_t x = words[w];
+            const uint64_t hi = x & kLaneMsb;
+            x = ((x ^ hi) << 1) | (hi >> (laneBits - 1));
+            words[w] = x ^ (inject & injectMasks[w]);
+        }
+
+        for (size_t w = shadow.size(); w-- > 1;)
+            shadow[w] = (shadow[w] << 1) | (shadow[w - 1] >> 63);
+        shadow[0] = (shadow[0] << 1) | static_cast<uint64_t>(taken);
+        hist.push(taken);
+    }
+
+    void
+    reset()
+    {
+        hist.reset();
+        std::fill(words.begin(), words.end(), 0);
+        shadow.fill(0);
+    }
+
+    /** Only the ring is stored; lanes and shadow are derived. */
+    void saveState(StateSink &sink) const { hist.saveState(sink); }
+
+    void
+    loadState(StateSource &source)
+    {
+        hist.loadState(source);
+        rebuild();
+    }
+
+  private:
+    /** Depths this many branches back answer from the shadow. */
+    static constexpr size_t shadowBits = 256;
+    static constexpr uint64_t kLaneMsb = 0x8000800080008000ULL;
+
+    struct OutRef
+    {
+        uint32_t histWord = 0;  //!< Shadow word (or ring depth).
+        uint32_t histShift = 0; //!< Bit within the word (or depth).
+        uint32_t laneWord = 0;
+        uint32_t laneShift = 0;
+    };
+
+    static unsigned
+    maxLength(const std::vector<unsigned> &lengths)
+    {
+        configRequire(!lengths.empty(),
+                      "SwarFoldBank needs at least one history length");
+        unsigned best = 1;
+        for (unsigned len : lengths)
+            best = std::max(best, len);
+        return best;
+    }
+
+    /** Recomputes lanes and shadow from the ring (load path). */
+    void
+    rebuild()
+    {
+        std::fill(words.begin(), words.end(), 0);
+        for (size_t t = 0; t < lens.size(); ++t) {
+            const uint64_t fold =
+                FoldedHistory::naiveFold(hist, lens[t], laneBits);
+            words[t / lanesPerWord] |=
+                fold << ((t % lanesPerWord) * laneBits);
+        }
+        shadow.fill(0);
+        for (size_t d = 0; d < shadowBits; ++d) {
+            if (hist[d])
+                shadow[d / 64] |= uint64_t{1} << (d % 64);
+        }
+    }
+
+    std::vector<unsigned> lens;
+    HistoryRegister hist;
+    std::vector<uint64_t> words;
+    std::vector<uint64_t> injectMasks;
+    std::vector<OutRef> shadowOut;
+    std::vector<OutRef> deepOut;
+    std::array<uint64_t, shadowBits / 64> shadow{};
+};
+
+} // namespace bfbp
+
+#endif // BFBP_UTIL_SWAR_FOLD_HPP

@@ -152,6 +152,80 @@ TEST(CheckpointResume, EvaluatorResumeMatchesUninterrupted)
     std::filesystem::remove_all(dir);
 }
 
+TEST(CheckpointResume, FastModeResumeMatchesUninterrupted)
+{
+    // The fast predictor checkpoints only its history ring and
+    // rebuilds the SWAR lanes on resume; byte-identical results
+    // after a kill prove the rebuild path, not just the happy path.
+    const auto dir = freshDir("fast");
+    const std::string ckptPath = (dir / "trace.ckpt").string();
+    const auto recipe = tracegen::recipeByName("SPEC00");
+
+    EvalOptions options;
+    options.updateDelay = 6;
+    options.collectPerBranch = true;
+    options.checkpointInterval = 700;
+    options.checkpointPath = ckptPath;
+
+    auto basePredictor = createPredictor("isl-tage-5:fast");
+    auto baseSource = tracegen::makeSource(recipe, kScale);
+    const EvalResult base =
+        evaluate(*baseSource, *basePredictor, options);
+
+    auto killedPredictor = createPredictor("isl-tage-5:fast");
+    InterruptingSource killedSource(
+        tracegen::makeSource(recipe, kScale), 5000);
+    EXPECT_THROW(evaluate(killedSource, *killedPredictor, options),
+                 std::runtime_error);
+    ASSERT_TRUE(std::filesystem::exists(ckptPath));
+
+    auto resumedPredictor = createPredictor("isl-tage-5:fast");
+    auto resumedSource = tracegen::makeSource(recipe, kScale);
+    EvalOptions resumedOptions = options;
+    resumedOptions.resume = true;
+    const EvalResult resumed =
+        evaluate(*resumedSource, *resumedPredictor, resumedOptions);
+
+    expectSameResult(base, resumed);
+    EXPECT_FALSE(std::filesystem::exists(ckptPath));
+
+    std::filesystem::remove_all(dir);
+}
+
+TEST(CheckpointResume, ResumeRejectsWrongModeCheckpoint)
+{
+    // A fast checkpoint offered to a reference run (or vice versa)
+    // is a configuration error, diagnosed as such — not a corrupt
+    // file.
+    const auto dir = freshDir("wrongmode");
+    const std::string ckptPath = (dir / "trace.ckpt").string();
+    const auto recipe = tracegen::recipeByName("MM1");
+
+    EvalOptions options;
+    options.checkpointInterval = 500;
+    options.checkpointPath = ckptPath;
+
+    auto fast = createPredictor("tage-5:fast");
+    InterruptingSource killed(tracegen::makeSource(recipe, kScale),
+                              4000);
+    EXPECT_THROW(evaluate(killed, *fast, options), std::runtime_error);
+    ASSERT_TRUE(std::filesystem::exists(ckptPath));
+
+    auto reference = createPredictor("tage-5");
+    auto source = tracegen::makeSource(recipe, kScale);
+    options.resume = true;
+    try {
+        evaluate(*source, *reference, options);
+        FAIL() << "expected ConfigError";
+    } catch (const ConfigError &e) {
+        const std::string msg = e.what();
+        EXPECT_NE(msg.find("mode mismatch"), std::string::npos) << msg;
+        EXPECT_NE(msg.find("fast"), std::string::npos) << msg;
+    }
+
+    std::filesystem::remove_all(dir);
+}
+
 TEST(CheckpointResume, ResumeRejectsMismatchedPredictor)
 {
     const auto dir = freshDir("mismatch");

@@ -41,6 +41,39 @@ TEST(Factory, RejectsUnknownSpecs)
     EXPECT_THROW(createPredictor(""), ConfigError);
 }
 
+TEST(Factory, ParsesModeSuffixes)
+{
+    EXPECT_EQ(createPredictor("tage-7:fast")->name(),
+              "tage-7+loop:fast");
+    EXPECT_EQ(createPredictor("tage-7:reference")->name(),
+              "tage-7+loop");
+    EXPECT_EQ(createPredictor("gshare:fast")->name(), "gshare:fast");
+}
+
+TEST(Factory, RejectsBadModeSuffixes)
+{
+    EXPECT_THROW(createPredictor("tage-5:bogus"), ConfigError);
+    EXPECT_THROW(createPredictor("tage-5:"), ConfigError);
+    EXPECT_THROW(createPredictor("tage-5:fast:fast"), ConfigError);
+    EXPECT_THROW(createPredictor(":fast"), ConfigError);
+    // Case matters: suffixes are exact tokens, not fuzzy matches.
+    EXPECT_THROW(createPredictor("tage-5:FAST"), ConfigError);
+}
+
+TEST(Factory, BadModeDiagnosticListsValidModes)
+{
+    try {
+        createPredictor("tage-5:quick");
+        FAIL() << "expected ConfigError";
+    } catch (const ConfigError &e) {
+        const std::string msg = e.what();
+        EXPECT_NE(msg.find("quick"), std::string::npos) << msg;
+        EXPECT_NE(msg.find("valid modes: reference, fast"),
+                  std::string::npos)
+            << msg;
+    }
+}
+
 TEST(Factory, UnknownSpecDiagnosticListsValidOptions)
 {
     try {

@@ -46,15 +46,29 @@ goldenPredictors()
     return specs;
 }
 
+/** The fast-mode fixture matrix: the specs with a dedicated fast
+ *  implementation plus two wrapper-path specs, so drift in either
+ *  the SWAR/fused-hash arithmetic or the mode plumbing is pinned
+ *  per (trace, predictor) cell exactly like the reference matrix. */
+const std::vector<std::string> &
+goldenFastPredictors()
+{
+    static const std::vector<std::string> specs = {
+        "bimodal:fast", "gshare:fast", "oh-snap:fast", "tage-5:fast",
+        "isl-tage-5:fast"};
+    return specs;
+}
+
 /** Evaluates the full matrix and renders the fixture document. */
 std::string
-generateGoldenJson()
+generateGoldenJson(const std::vector<std::string> &predictors,
+                   const std::string &schema)
 {
     std::vector<SuiteJob> jobs;
     // Standard 40 plus the extended H2P/LOAD/ANA families: drift in
     // the new generators is pinned the same way as everything else.
     for (const auto &recipe : tracegen::allRecipes()) {
-        for (const auto &spec : goldenPredictors()) {
+        for (const auto &spec : predictors) {
             SuiteJob job;
             job.traceName = recipe.name;
             job.predictorLabel = spec;
@@ -73,7 +87,7 @@ generateGoldenJson()
 
     std::ostringstream os;
     os << "{\n"
-       << "  \"schema\": \"bfbp-golden-mpki-v1\",\n"
+       << "  \"schema\": \"" << schema << "\",\n"
        << "  \"scale\": \"0.02\",\n"
        << "  \"rows\": [\n";
     for (size_t i = 0; i < outcomes.size(); ++i) {
@@ -97,11 +111,15 @@ generateGoldenJson()
     return os.str();
 }
 
-TEST(GoldenMpki, SuiteMatchesCheckedInFixture)
+/** The fixture flow shared by the reference and fast matrices. */
+void
+checkGoldenFixture(const std::string &file_name,
+                   const std::vector<std::string> &predictors,
+                   const std::string &schema)
 {
     const std::string path =
-        std::string(BFBP_TEST_DATA_DIR) + "/golden_mpki.json";
-    const std::string generated = generateGoldenJson();
+        std::string(BFBP_TEST_DATA_DIR) + "/" + file_name;
+    const std::string generated = generateGoldenJson(predictors, schema);
     ASSERT_EQ(generated.find("\"error\""), std::string::npos)
         << "an evaluation failed:\n"
         << generated;
@@ -123,6 +141,18 @@ TEST(GoldenMpki, SuiteMatchesCheckedInFixture)
     EXPECT_EQ(expected.str(), generated)
         << "MPKI drift against " << path << " — if intentional, "
         << "regenerate with BFBP_UPDATE_GOLDEN=1 and commit the diff";
+}
+
+TEST(GoldenMpki, SuiteMatchesCheckedInFixture)
+{
+    checkGoldenFixture("golden_mpki.json", goldenPredictors(),
+                       "bfbp-golden-mpki-v1");
+}
+
+TEST(GoldenMpki, FastSuiteMatchesCheckedInFixture)
+{
+    checkGoldenFixture("golden_mpki_fast.json", goldenFastPredictors(),
+                       "bfbp-golden-mpki-fast-v1");
 }
 
 } // anonymous namespace

@@ -159,6 +159,18 @@ TEST(SnapshotRoundTrip, SmallTageConfigurations)
     roundTrip("bf-isl-tage-4", 0);
 }
 
+TEST(SnapshotRoundTrip, FastModePredictors)
+{
+    // The fast path serializes only its history ring and rebuilds
+    // the SWAR lanes on load; the round-trip property (identical
+    // re-serialization AND identical onward predictions) proves the
+    // rebuild agrees with the live lanes.
+    roundTrip("tage-5:fast", 0);
+    roundTrip("tage-5:fast", 8);
+    roundTrip("isl-tage-10:fast", 4);
+    roundTrip("bimodal:fast", 0); // The mode-labeled wrapper path.
+}
+
 TEST(SnapshotRoundTrip, UnimplementedPredictorRefusesPolitely)
 {
     class Bare : public BranchPredictor
@@ -185,6 +197,37 @@ TEST(SnapshotRoundTrip, KindMismatchRejected)
     gshare->saveState(snap);
     auto bimodal = createPredictor("bimodal");
     EXPECT_THROW(bimodal->loadState(snap), TraceIoError);
+}
+
+TEST(SnapshotRoundTrip, WrongModeSnapshotRejectedAsConfigError)
+{
+    // Same predictor, other mode: a configuration problem, not file
+    // corruption — ConfigError in both directions, naming the modes.
+    auto fast = createPredictor("tage-5:fast");
+    std::stringstream fastSnap;
+    fast->saveState(fastSnap);
+    auto reference = createPredictor("tage-5");
+    try {
+        reference->loadState(fastSnap);
+        FAIL() << "expected ConfigError";
+    } catch (const ConfigError &e) {
+        const std::string msg = e.what();
+        EXPECT_NE(msg.find("mode mismatch"), std::string::npos) << msg;
+        EXPECT_NE(msg.find("fast"), std::string::npos) << msg;
+        EXPECT_NE(msg.find("reference"), std::string::npos) << msg;
+    }
+
+    std::stringstream refSnap;
+    reference->saveState(refSnap);
+    auto fast2 = createPredictor("tage-5:fast");
+    EXPECT_THROW(fast2->loadState(refSnap), ConfigError);
+
+    // Different predictors stay the classic kind mismatch even when
+    // their modes also differ.
+    std::stringstream gshareSnap;
+    createPredictor("gshare:fast")->saveState(gshareSnap);
+    auto tage = createPredictor("tage-5");
+    EXPECT_THROW(tage->loadState(gshareSnap), TraceIoError);
 }
 
 /** A warmed snapshot of @p spec as raw bytes. */
@@ -217,7 +260,8 @@ expectRejectOrLoad(const std::string &spec, const std::string &bytes)
 
 TEST(SnapshotRoundTrip, TruncatedSnapshotsRejected)
 {
-    for (const char *spec : {"gshare", "bf-neural", "bf-isl-tage-4"}) {
+    for (const char *spec :
+         {"gshare", "bf-neural", "bf-isl-tage-4", "tage-5:fast"}) {
         SCOPED_TRACE(spec);
         const std::string valid = snapshotBytes(spec);
         // Every prefix length in the header plus a spread through
@@ -235,7 +279,8 @@ TEST(SnapshotRoundTrip, TruncatedSnapshotsRejected)
 
 TEST(SnapshotRoundTrip, CorruptedSnapshotsNeverCrash)
 {
-    for (const char *spec : {"gshare", "oh-snap", "tage-5"}) {
+    for (const char *spec :
+         {"gshare", "oh-snap", "tage-5", "isl-tage-5:fast"}) {
         SCOPED_TRACE(spec);
         const std::string valid = snapshotBytes(spec);
         // Flip one byte at a spread of positions. The checksum (or a

@@ -2,8 +2,11 @@
 """Throughput-regression check against the checked-in baseline.
 
 Runs the Google Benchmark throughput harness (``bench_throughput``),
-extracts the BM_Evaluate records/sec figure, and compares it against
-``BENCH_throughput.json`` at the repository root.
+extracts the per-mode records/sec figures (BM_Evaluate for reference
+semantics, BM_EvaluateFast for the opt-in ``:fast`` mode), and
+compares each against ``BENCH_throughput.json`` at the repository
+root. Baselines that predate ``regression_check.modes`` fall back to
+the old single-floor check of BM_Evaluate alone.
 
 The check is *report-only* by default: shared CI runners and the
 development VM both show large clock wander, so a single reading below
@@ -31,11 +34,16 @@ import sys
 REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 
 
-def run_benchmark(bench_path, min_time):
-    """Returns BM_Evaluate items_per_second from one benchmark run."""
+def run_benchmark(bench_path, min_time, names):
+    """Returns {name: items_per_second} for the requested benchmarks.
+
+    One subprocess run covers every requested benchmark so the modes
+    are measured back to back in the same clock regime (the same
+    reason BM_EvaluateFast is registered directly after BM_Evaluate).
+    """
     cmd = [
         bench_path,
-        "--benchmark_filter=BM_Evaluate$",
+        "--benchmark_filter=^(%s)$" % "|".join(names),
         # Plain numeric: the packaged google-benchmark predates the
         # "0.1s" suffix syntax.
         "--benchmark_min_time=%g" % min_time,
@@ -43,43 +51,88 @@ def run_benchmark(bench_path, min_time):
     ]
     out = subprocess.run(cmd, check=True, capture_output=True, text=True)
     doc = json.loads(out.stdout)
+    measured = {}
     for bench in doc.get("benchmarks", []):
-        if bench.get("name") == "BM_Evaluate":
-            return float(bench["items_per_second"])
-    raise SystemExit("BM_Evaluate not found in benchmark output")
+        if bench.get("name") in names:
+            measured[bench["name"]] = float(bench["items_per_second"])
+    missing = [n for n in names if n not in measured]
+    if missing:
+        raise SystemExit("benchmark output is missing: %s"
+                         % ", ".join(missing))
+    return measured
+
+
+def parse_floor(value, where):
+    try:
+        return float(value)
+    except (TypeError, ValueError):
+        print("no baseline: floor_records_per_sec in %s is not a "
+              "number" % where)
+        return None
 
 
 def load_baseline(path, strict):
-    """Returns (floor, post_median) from the baseline file.
+    """Returns a list of per-mode checks from the baseline file.
+
+    Each check is a dict {mode, benchmark, floor, post}. A baseline
+    with ``regression_check.modes`` yields one check per mode; an
+    older flat baseline yields the single legacy BM_Evaluate check.
 
     A missing file or a baseline without the regression_check entry is
     a normal state for a fresh checkout or a just-refreshed baseline,
-    not a crash: returns (None, None) after explaining what was
-    missing so the caller can decide (pass in report-only mode, fail
-    in strict mode).
+    not a crash: returns None after explaining what was missing so the
+    caller can decide (pass in report-only mode, fail in strict mode).
     """
     try:
         with open(path) as f:
             baseline = json.load(f)
     except FileNotFoundError:
         print("no baseline: %s does not exist" % path)
-        return None, None
+        return None
     except (json.JSONDecodeError, OSError) as err:
         print("no baseline: %s is unreadable (%s)" % (path, err))
-        return None, None
+        return None
 
     check = baseline.get("regression_check")
-    if not isinstance(check, dict) or \
-            "floor_records_per_sec" not in check:
+    if not isinstance(check, dict):
+        print("no baseline: %s has no regression_check entry" % path)
+        return None
+
+    modes = check.get("modes")
+    if isinstance(modes, dict) and modes:
+        checks = []
+        for mode in sorted(modes):
+            entry = modes[mode]
+            if not isinstance(entry, dict) or \
+                    "floor_records_per_sec" not in entry or \
+                    "benchmark" not in entry:
+                print("no baseline: regression_check.modes.%s in %s "
+                      "needs benchmark + floor_records_per_sec"
+                      % (mode, path))
+                return None
+            floor = parse_floor(entry["floor_records_per_sec"],
+                                "modes." + mode)
+            if floor is None:
+                return None
+            post = floor
+            try:
+                post = float(entry.get("median_records_per_sec",
+                                       floor))
+            except (TypeError, ValueError):
+                post = floor
+            checks.append({"mode": mode,
+                           "benchmark": str(entry["benchmark"]),
+                           "floor": floor, "post": post})
+        return checks
+
+    # Legacy flat baseline: one floor, BM_Evaluate only.
+    if "floor_records_per_sec" not in check:
         print("no baseline: %s has no regression_check/"
               "floor_records_per_sec entry" % path)
-        return None, None
-    try:
-        floor = float(check["floor_records_per_sec"])
-    except (TypeError, ValueError):
-        print("no baseline: floor_records_per_sec in %s is not a "
-              "number" % path)
-        return None, None
+        return None
+    floor = parse_floor(check["floor_records_per_sec"], path)
+    if floor is None:
+        return None
 
     # The post median is display-only; fall back to the floor when a
     # hand-edited baseline omits it.
@@ -90,7 +143,8 @@ def load_baseline(path, strict):
             post = float(block.get("median_records_per_sec", floor))
         except (TypeError, ValueError):
             post = floor
-    return floor, post
+    return [{"mode": "reference", "benchmark": "BM_Evaluate",
+             "floor": floor, "post": post}]
 
 
 def main():
@@ -114,8 +168,8 @@ def main():
 
     strict = args.strict or os.environ.get("BFBP_BENCH_CHECK") == "1"
 
-    floor, post = load_baseline(args.baseline, strict)
-    if floor is None:
+    checks = load_baseline(args.baseline, strict)
+    if checks is None:
         # load_baseline already printed what was missing. Without a
         # floor there is nothing to compare against: pass in
         # report-only mode, fail loudly in strict mode.
@@ -127,18 +181,28 @@ def main():
               "pass)")
         return 0
 
-    measured = run_benchmark(args.bench, args.min_time)
+    names = [c["benchmark"] for c in checks]
+    measured = run_benchmark(args.bench, args.min_time, names)
 
-    print("BM_Evaluate: %.2f M records/s "
-          "(baseline post median %.2f M/s, regression floor %.2f M/s)"
-          % (measured / 1e6, post / 1e6, floor / 1e6))
+    failures = []
+    for c in checks:
+        got = measured[c["benchmark"]]
+        print("%s (%s mode): %.2f M records/s "
+              "(baseline median %.2f M/s, regression floor %.2f M/s)"
+              % (c["benchmark"], c["mode"], got / 1e6,
+                 c["post"] / 1e6, c["floor"] / 1e6))
+        if got < c["floor"]:
+            failures.append(
+                "%s mode below regression floor: %.2f < %.2f "
+                "M records/s" % (c["mode"], got / 1e6,
+                                 c["floor"] / 1e6))
 
-    if measured >= floor:
-        print("throughput check OK")
+    if not failures:
+        print("throughput check OK (%d mode%s)"
+              % (len(checks), "s" if len(checks) != 1 else ""))
         return 0
 
-    msg = ("throughput below regression floor: %.2f < %.2f M records/s"
-           % (measured / 1e6, floor / 1e6))
+    msg = "; ".join(failures)
     if strict:
         print("FAIL: " + msg, file=sys.stderr)
         return 1
