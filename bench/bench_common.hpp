@@ -124,6 +124,7 @@ struct Options
     double heartbeatInterval = 1.0; //!< --heartbeat-interval seconds.
     std::string dumpTracesDir; //!< --dump-traces dir; empty = off.
     bool traceV2 = false;      //!< --trace-v2 container for dumps.
+    unsigned lookahead = 0;    //!< --lookahead prefetch depth; 0 = off.
 
     static Options
     parse(int argc, char **argv, const std::string &description)
@@ -208,6 +209,8 @@ struct Options
                 opts.dumpTracesDir = argv[++i];
             } else if (arg == "--trace-v2") {
                 opts.traceV2 = true;
+            } else if (arg == "--lookahead" && i + 1 < argc) {
+                opts.lookahead = parseLookahead(argv[++i]);
             } else if (arg == "--help" || arg == "-h") {
                 std::cout << description << "\n\n"
                           << "options:\n"
@@ -259,7 +262,12 @@ struct Options
                           << "  --trace-v2    write dumped traces in "
                           << "the v2 container (checksummed, "
                           << "compressed, seekable; requires "
-                          << "--dump-traces)\n";
+                          << "--dump-traces)\n"
+                          << "  --lookahead N trace-driven prefetch "
+                          << "depth: precompute and prefetch table "
+                          << "lookups N branches ahead (0 = off; "
+                          << "results are byte-identical at any "
+                          << "depth — docs/PERFORMANCE.md)\n";
                 std::exit(0);
             } else {
                 std::cerr << "unknown option: " << arg << "\n";
@@ -418,6 +426,24 @@ struct Options
             std::exit(2);
         }
         return value;
+    }
+
+    static unsigned
+    parseLookahead(const char *text)
+    {
+        char *end = nullptr;
+        errno = 0;
+        const unsigned long long value = std::strtoull(text, &end, 10);
+        // The evaluator clamps to its record block anyway; 1<<20
+        // bounds obvious typos.
+        if (end == text || *end != '\0' || errno == ERANGE ||
+            text[0] == '-' || value > (1ull << 20)) {
+            std::cerr << "invalid --lookahead '" << text
+                      << "': expected an integer in [0, 1048576] "
+                      << "(0 = off)\n";
+            std::exit(2);
+        }
+        return static_cast<unsigned>(value);
     }
 
     static unsigned
@@ -686,6 +712,11 @@ class RunArchive
                 const std::string &predictor_label = "")
     {
         BenchRun run;
+        // Not recorded in the archived options: lookahead never
+        // changes results, and the CI determinism gate byte-diffs
+        // --lookahead N vs 0 documents.
+        if (opts.lookahead != 0)
+            eval_options.lookahead = opts.lookahead;
         if (!enabled()) {
             eval_options.telemetry = nullptr;
             telemetry::ScopedTimer timer(nullptr, "bench");
@@ -752,6 +783,8 @@ class RunArchive
             job.collectTelemetry = enabled();
             job.options.telemetryInterval = opts.interval;
             job.options.collectPerBranch |= opts.h2pReport;
+            if (opts.lookahead != 0)
+                job.options.lookahead = opts.lookahead;
         }
         if (!opts.dumpTracesDir.empty())
             dumpTraces(jobs);

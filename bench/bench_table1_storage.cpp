@@ -13,8 +13,10 @@
 
 #include "bench_common.hpp"
 #include "core/factory.hpp"
+#include "predictors/isl_tage.hpp"
 #include "predictors/sizing.hpp"
 #include "predictors/tage.hpp"
+#include "util/arena.hpp"
 
 int
 main(int argc, char **argv)
@@ -64,6 +66,115 @@ main(int argc, char **argv)
                   << bench::cell(static_cast<double>(bytes) / 1024.0, 1)
                   << "\n";
     }
-    return archive.finish();
+    /*
+     * Cross-check: the modeled hardware budget (StorageReport bits)
+     * against the bytes the packed tables actually occupy in memory
+     * (the cache-line-aligned arenas of util/arena.hpp). The modeled
+     * number counts ctr+tag+u bits; the resident number counts the
+     * 4-byte packed words, bit-packed bimodal planes and cache-line
+     * padding — so resident/modeled is the in-memory overhead ratio
+     * of the layout. Three fences fail the bench (exit 2) on a
+     * layout regression:
+     *   1. sizeof(PackedTaggedEntry) must stay 4 (a revert to the
+     *      padded 6-byte AoS entry is the regression this PR fixed);
+     *   2. each arena's byte count must equal the footprint of the
+     *      packed geometry replayed through an ArenaPlan here;
+     *   3. the overhead ratio must stay under a per-component
+     *      ceiling chosen between the packed layout's ratio and the
+     *      unpacked one's.
+     * (LoopPredictor::Entry is private; its 8-byte packing is pinned
+     * by a static_assert in loop_predictor.hpp instead.)
+     */
+    bench::banner("Packed-layout cross-check (modeled bits vs "
+                  "resident bytes)");
+    bool layoutOk = true;
+
+    std::cout << "sizeof(PackedTaggedEntry): "
+              << sizeof(PackedTaggedEntry) << " bytes (want 4)\n\n";
+    if (sizeof(PackedTaggedEntry) != 4)
+        layoutOk = false;
+
+    std::cout << std::left << std::setw(22) << "component" << std::right
+              << std::setw(14) << "modeled_bits" << std::setw(16)
+              << "resident_bytes" << std::setw(10) << "ratio"
+              << std::setw(9) << "ceiling" << std::setw(7) << "ok"
+              << "\n";
+    const auto row = [&](const std::string &what, uint64_t modeled_bits,
+                         uint64_t resident_bytes,
+                         uint64_t expected_bytes, double ceiling) {
+        const double ratio = static_cast<double>(resident_bytes) * 8.0 /
+            static_cast<double>(modeled_bits);
+        const bool ok =
+            resident_bytes == expected_bytes && ratio <= ceiling;
+        std::cout << std::left << std::setw(22) << what << std::right
+                  << std::setw(14) << modeled_bits << std::setw(16)
+                  << resident_bytes << std::setw(10)
+                  << bench::cell(ratio, 2) << std::setw(9)
+                  << bench::cell(ceiling, 1) << std::setw(7)
+                  << (ok ? "yes" : "NO") << "\n";
+        if (resident_bytes != expected_bytes)
+            std::cout << "  LAYOUT REGRESSION: arena holds "
+                      << resident_bytes << " bytes but the packed "
+                      << "geometry replays to " << expected_bytes
+                      << "\n";
+        if (!ok)
+            layoutOk = false;
+    };
+
+    // TAGE cores: modeled = per-entry ctr+u+tag bits plus the 1-bit
+    // bimodal planes; expected resident replays the constructor's
+    // exact reserve sequence (tagged tables, pred plane, hyst plane).
+    const auto checkCore = [&](const std::string &what,
+                               const TageConfig &tcfg,
+                               const TageBase &core) {
+        const size_t predEntries = size_t{1} << tcfg.logBase;
+        const size_t hystEntries = size_t{1}
+            << (tcfg.logBase - tcfg.hystShift);
+        uint64_t modeled = predEntries + hystEntries;
+        ArenaPlan plan;
+        for (size_t t = 0; t < tcfg.numTables(); ++t) {
+            const size_t entries = size_t{1} << tcfg.logSizes[t];
+            modeled += entries *
+                (tcfg.ctrBits + tcfg.uBits + tcfg.tagBits[t]);
+            plan.reserve<PackedTaggedEntry>(entries);
+        }
+        plan.reserve<uint64_t>((predEntries + 63) / 64);
+        plan.reserve<uint64_t>((hystEntries + 63) / 64);
+        // Packed cores sit near 2.4x (32-bit words over ~13 modeled
+        // bits/entry); the pre-packing 6-byte AoS layout reads ~3.4x.
+        row(what, modeled, core.residentTableBytes(), plan.bytes(),
+            3.0);
+    };
+
+    {
+        TagePredictor conv10(conventionalTageConfig(10));
+        TagePredictor conv15(conventionalTageConfig(15));
+        checkCore("tage-10 tables", conv10.config(), conv10);
+        checkCore("tage-15 tables", conv15.config(), conv15);
+    }
+    {
+        auto bf = makeBfTageCore(10);
+        checkCore("bf-tage-10 tables", bf->config(), *bf);
+    }
+
+    // ISL-TAGE statistical corrector: modeled = scCounterBits per
+    // weight; resident = the flattened int16 rows. The pre-packing
+    // vector-of-vectors of 6-byte SignedSatCounter cells read 8x.
+    {
+        const IslConfig icfg; // isl-tage defaults (3 tables x 2^10).
+        IslTagePredictor isl(std::make_unique<TagePredictor>(
+            conventionalTageConfig(10)));
+        const size_t weights = icfg.scHistoryLengths.size() *
+            (size_t{1} << icfg.scLogEntries);
+        ArenaPlan plan;
+        plan.reserve<int16_t>(weights);
+        row("isl-tage-10 SC rows", weights * icfg.scCounterBits,
+            isl.scResidentBytes(), plan.bytes(), 4.0);
+    }
+
+    if (!layoutOk)
+        std::cout << "\npacked-layout cross-check FAILED\n";
+    const int rc = archive.finish();
+    return layoutOk ? rc : 2;
     });
 }

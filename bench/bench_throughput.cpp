@@ -160,7 +160,8 @@ evalTracePath(bfbp::TraceFormat format)
 void
 runEvaluateFile(benchmark::State &state, const std::string &spec,
                 bool per_branch,
-                bfbp::TraceFormat format = bfbp::TraceFormat::V1)
+                bfbp::TraceFormat format = bfbp::TraceFormat::V1,
+                unsigned lookahead = 0)
 {
     const std::string &path = evalTracePath(format);
     uint64_t records = 0;
@@ -170,6 +171,7 @@ runEvaluateFile(benchmark::State &state, const std::string &spec,
         auto predictor = bfbp::createPredictor(spec);
         bfbp::EvalOptions options;
         options.collectPerBranch = per_branch;
+        options.lookahead = lookahead;
         const auto result = bfbp::evaluate(source, *predictor, options);
         mispredicts = result.mispredictions;
         records = source.recordCount();
@@ -203,6 +205,29 @@ void
 BM_EvaluatePerBranch(benchmark::State &state)
 {
     runEvaluateFile(state, "isl-tage-10", true);
+}
+
+/**
+ * BM_Evaluate with the trace-driven lookahead pipeline armed
+ * (EvalOptions::lookahead = 16, the depth the CI determinism gate
+ * runs): the evaluator announces upcoming branches so the predictor
+ * precomputes indices and prefetches every tagged-table line before
+ * its predict(). Results (the mispredict_checksum counter) are
+ * byte-identical to BM_Evaluate — only the wall clock may move.
+ */
+void
+BM_EvaluateLookahead(benchmark::State &state)
+{
+    runEvaluateFile(state, "isl-tage-10", false,
+                    bfbp::TraceFormat::V1, 16);
+}
+
+/** The lookahead pipeline over the fast-semantics predictor. */
+void
+BM_EvaluateFastLookahead(benchmark::State &state)
+{
+    runEvaluateFile(state, "isl-tage-10:fast", false,
+                    bfbp::TraceFormat::V1, 16);
 }
 
 /** BM_Evaluate over the v2 container: same records, but every block
@@ -252,6 +277,8 @@ BM_TraceWriteV2(benchmark::State &state)
 
 BENCHMARK(BM_Evaluate)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_EvaluateFast)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_EvaluateLookahead)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_EvaluateFastLookahead)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_EvaluatePerBranch)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_EvaluateV2)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_TraceWrite)->Unit(benchmark::kMillisecond);

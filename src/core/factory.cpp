@@ -201,6 +201,20 @@ class ModeLabeledPredictor final : public BranchPredictor
         inner->loadStateBody(source);
     }
 
+    unsigned
+    lookaheadBegin(unsigned depth) override
+    {
+        return inner->lookaheadBegin(depth);
+    }
+
+    void
+    lookaheadPush(uint64_t pc, bool taken, uint64_t target) override
+    {
+        inner->lookaheadPush(pc, taken, target);
+    }
+
+    void lookaheadEnd() override { inner->lookaheadEnd(); }
+
   private:
     std::unique_ptr<BranchPredictor> inner;
     std::string label;

@@ -45,12 +45,33 @@ IslTagePredictor::IslTagePredictor(std::unique_ptr<TageBase> tage_core,
 {
     configRequire(core != nullptr,
                   "IslTagePredictor requires a TAGE core");
-    for (unsigned len : cfg.scHistoryLengths) {
-        scTables.emplace_back(size_t{1} << cfg.scLogEntries,
-                              SignedSatCounter(cfg.scCounterBits));
-        scFolds.emplace_back(len == 0 ? 1 : len,
-                             cfg.scLogEntries);
-    }
+    scTableCount = cfg.scHistoryLengths.size();
+    scTableEntries = size_t{1} << cfg.scLogEntries;
+    scWeightMin = static_cast<int16_t>(
+        -(1 << (cfg.scCounterBits - 1)));
+    scWeightMax = static_cast<int16_t>(
+        (1 << (cfg.scCounterBits - 1)) - 1);
+
+    ArenaPlan plan;
+    plan.reserve<int16_t>(scTableCount * scTableEntries);
+    scArena = AlignedArena(plan);
+    scWeights =
+        scArena.allocate<int16_t>(scTableCount * scTableEntries);
+
+    for (unsigned len : cfg.scHistoryLengths)
+        scFolds.emplace_back(len == 0 ? 1 : len, cfg.scLogEntries);
+}
+
+int16_t &
+IslTagePredictor::scWeight(size_t i, uint32_t j)
+{
+    return scWeights[(i << cfg.scLogEntries) + j];
+}
+
+int16_t
+IslTagePredictor::scWeight(size_t i, uint32_t j) const
+{
+    return scWeights[(i << cfg.scLogEntries) + j];
 }
 
 int
@@ -65,14 +86,14 @@ IslTagePredictor::scSum(uint64_t pc, bool tage_pred,
     const uint64_t base = hashCombine(hashManySeed, pc >> 1);
     const uint64_t predBit = tage_pred ? 1ull : 0ull;
     const uint64_t idxMask = maskBits(cfg.scLogEntries);
-    for (size_t i = 0; i < scTables.size(); ++i) {
+    for (size_t i = 0; i < scTableCount; ++i) {
         const uint64_t fold =
             cfg.scHistoryLengths[i] == 0 ? 0 : scFolds[i].value();
         indices[i] = static_cast<uint32_t>(
             hashCombine(hashCombine(hashCombine(base, fold), i),
                         predBit) &
             idxMask);
-        sum += 2 * scTables[i][indices[i]].value() + 1;
+        sum += 2 * scWeight(i, indices[i]) + 1;
     }
     return sum;
 }
@@ -90,12 +111,12 @@ IslTagePredictor::scSumFast(uint64_t pc, bool tage_pred,
     const uint64_t base =
         mix64(((pc >> 1) << 1) | (tage_pred ? 1u : 0u));
     const uint64_t idxMask = maskBits(cfg.scLogEntries);
-    for (size_t i = 0; i < scTables.size(); ++i) {
+    for (size_t i = 0; i < scTableCount; ++i) {
         const uint64_t fold =
             cfg.scHistoryLengths[i] == 0 ? 0 : scFolds[i].value();
         indices[i] = static_cast<uint32_t>(
             ((base >> (13 * i)) ^ fold) & idxMask);
-        sum += 2 * scTables[i][indices[i]].value() + 1;
+        sum += 2 * scWeight(i, indices[i]) + 1;
     }
     return sum;
 }
@@ -187,8 +208,17 @@ IslTagePredictor::update(uint64_t pc, bool taken, bool predicted,
 
     if (cfg.useSc) {
         if (ctx.scUsed) {
-            for (size_t i = 0; i < scTables.size(); ++i)
-                scTables[i][ctx.scIndices[i]].add(taken ? 1 : -1);
+            // Saturating add, replicating SignedSatCounter::add on
+            // the flattened weight plane.
+            const int delta = taken ? 1 : -1;
+            for (size_t i = 0; i < scTableCount; ++i) {
+                int16_t &w = scWeight(i, ctx.scIndices[i]);
+                const int next = w + delta;
+                w = static_cast<int16_t>(
+                    next < scWeightMin
+                        ? scWeightMin
+                        : (next > scWeightMax ? scWeightMax : next));
+            }
             if (ctx.scPred != ctx.tagePred)
                 useSc.update(ctx.scPred == taken);
         }
@@ -219,7 +249,7 @@ IslTagePredictor::saveContext(StateSink &sink, const Context &ctx) const
     sink.boolean(ctx.loop.valid);
     sink.boolean(ctx.loop.prediction);
     sink.u64(ctx.loop.entryIndex);
-    for (size_t i = 0; i < scTables.size(); ++i)
+    for (size_t i = 0; i < scTableCount; ++i)
         sink.u32(ctx.scIndices[i]);
 }
 
@@ -251,9 +281,9 @@ IslTagePredictor::loadContext(StateSource &source) const
     ctx.loop.entryIndex = source.u64();
     loadRange<uint64_t>(ctx.loop.entryIndex, 0, loop.entryCount() - 1,
                         "ISL loop entry index");
-    for (size_t i = 0; i < scTables.size(); ++i) {
+    for (size_t i = 0; i < scTableCount; ++i) {
         ctx.scIndices[i] = source.u32();
-        if (ctx.scIndices[i] >= scTables[i].size()) {
+        if (ctx.scIndices[i] >= scTableEntries) {
             throw TraceIoError("snapshot corrupt: ISL context SC "
                                "index beyond its table");
         }
@@ -266,11 +296,13 @@ IslTagePredictor::saveStateBody(StateSink &sink) const
 {
     core->saveStateBody(sink);
     loop.saveState(sink);
-    sink.u64(scTables.size());
-    for (const auto &table : scTables) {
-        sink.u64(table.size());
-        for (const auto &ctr : table)
-            ctr.saveState(sink);
+    // Same bytes as the old vector-of-SignedSatCounter form: each
+    // counter serialized as one i16 value.
+    sink.u64(scTableCount);
+    for (size_t i = 0; i < scTableCount; ++i) {
+        sink.u64(scTableEntries);
+        for (size_t j = 0; j < scTableEntries; ++j)
+            sink.i16(scWeight(i, static_cast<uint32_t>(j)));
     }
     for (const auto &f : scFolds)
         f.saveState(sink);
@@ -293,16 +325,20 @@ IslTagePredictor::loadStateBody(StateSource &source)
 {
     core->loadStateBody(source);
     loop.loadState(source);
-    const uint64_t nTables = source.count(scTables.size(), "SC table");
-    if (nTables != scTables.size())
+    const uint64_t nTables = source.count(scTableCount, "SC table");
+    if (nTables != scTableCount)
         throw TraceIoError("snapshot corrupt: SC table count mismatch");
-    for (auto &table : scTables) {
-        const uint64_t n = source.count(table.size(), "SC counter");
-        if (n != table.size())
+    for (size_t i = 0; i < scTableCount; ++i) {
+        const uint64_t n = source.count(scTableEntries, "SC counter");
+        if (n != scTableEntries)
             throw TraceIoError("snapshot corrupt: SC table size "
                                "mismatch");
-        for (auto &ctr : table)
-            ctr.loadState(source);
+        for (size_t j = 0; j < scTableEntries; ++j) {
+            const int16_t v = source.i16();
+            loadRange<int64_t>(v, scWeightMin, scWeightMax,
+                               "signed counter value");
+            scWeight(i, static_cast<uint32_t>(j)) = v;
+        }
     }
     for (auto &f : scFolds)
         f.loadState(source);
@@ -344,11 +380,11 @@ IslTagePredictor::storage() const
     if (cfg.useLoop)
         report.merge(loop.storage());
     if (cfg.useSc) {
-        for (size_t i = 0; i < scTables.size(); ++i) {
+        for (size_t i = 0; i < scTableCount; ++i) {
             report.addTable(
                 "SC table (hist " +
                     std::to_string(cfg.scHistoryLengths[i]) + ")",
-                scTables[i].size(), cfg.scCounterBits);
+                scTableEntries, cfg.scCounterBits);
         }
         report.addBits("USE_SC counter", 8);
     }

@@ -30,6 +30,7 @@
 #include "predictors/loop_predictor.hpp"
 #include "predictors/tage.hpp"
 #include "sim/predictor_mode.hpp"
+#include "util/arena.hpp"
 #include "util/folded_history.hpp"
 
 namespace bfbp
@@ -91,8 +92,31 @@ class IslTagePredictor : public BranchPredictor
     /** Access to the wrapped TAGE core (tests, analysis). */
     const TageBase &tage() const { return *core; }
 
+    /** Bytes resident in the SC weight arena (cache-line padding
+     *  included), for the storage-bench layout cross-check. */
+    size_t scResidentBytes() const { return scArena.bytes(); }
+
     void saveStateBody(StateSink &sink) const override;
     void loadStateBody(StateSource &source) override;
+
+    /**
+     * Lookahead forwards to the TAGE core: only the core's tagged
+     * tables are big enough to miss, and only its history feeds the
+     * precomputed indices. The SC, loop predictor and IUM keep
+     * reading live state at predict time, which lookahead never
+     * touches — results stay byte-identical.
+     */
+    unsigned
+    lookaheadBegin(unsigned depth) override
+    {
+        return core->lookaheadBegin(depth);
+    }
+    void
+    lookaheadPush(uint64_t pc, bool taken, uint64_t target) override
+    {
+        core->lookaheadPush(pc, taken, target);
+    }
+    void lookaheadEnd() override { core->lookaheadEnd(); }
 
   private:
     /** Per-prediction context carried to commit. */
@@ -117,10 +141,34 @@ class IslTagePredictor : public BranchPredictor
     int scSumFast(uint64_t pc, bool tage_pred,
                   std::array<uint32_t, 4> &indices) const;
 
+    /** Entry j of SC table i (tables are contiguous rows of one
+     *  arena-backed weight plane, so the batched sum streams a
+     *  handful of lines instead of chasing vector-of-vector
+     *  indirections). */
+    int16_t &scWeight(size_t i, uint32_t j);
+    int16_t scWeight(size_t i, uint32_t j) const;
+
     IslConfig cfg;
     std::unique_ptr<TageBase> core;
     LoopPredictor loop;
-    std::vector<std::vector<SignedSatCounter>> scTables;
+
+    /**
+     * Statistical-corrector weights, flattened: scTableCount rows of
+     * 2^scLogEntries int16 weights each, back to back in one
+     * cache-line-aligned arena (util/arena.hpp). Replaces a
+     * vector-of-vectors of 6-byte SignedSatCounter cells — the
+     * saturation bounds are per-config constants (scWeightMin/Max),
+     * not per-cell state, so each weight shrinks to its 2 value
+     * bytes and a row of 1024 spans 2 KiB. Serialization stays one
+     * i16 per weight, byte-identical to the SignedSatCounter form.
+     */
+    AlignedArena scArena;
+    ArenaSpan<int16_t> scWeights;
+    size_t scTableCount = 0;
+    size_t scTableEntries = 0; //!< Entries per table (2^scLogEntries).
+    int16_t scWeightMin = 0;   //!< Saturation floor.
+    int16_t scWeightMax = 0;   //!< Saturation ceiling.
+
     std::vector<FoldedHistory> scFolds;
     HistoryRegister scHist;
     SignedSatCounter useSc{8};

@@ -68,12 +68,12 @@ LoopPredictor::lookup(uint64_t pc) const
         if (e.tag == tag && e.pastIter != 0) {
             ctx.hit = true;
             ctx.entryIndex = idx;
-            ctx.valid = e.confidence == confMax;
+            ctx.valid = e.confidence() == confMax;
             // Exit exactly when the known trip count is reached:
             // pastIter counts the taken (iterating) commits, so the
             // exit execution sees currIter == pastIter.
             ctx.prediction = (e.currIter == e.pastIter)
-                ? !e.direction : e.direction;
+                ? !e.direction() : e.direction();
             return ctx;
         }
         if (e.tag == tag) {
@@ -81,7 +81,7 @@ LoopPredictor::lookup(uint64_t pc) const
             ctx.hit = true;
             ctx.entryIndex = idx;
             ctx.valid = false;
-            ctx.prediction = e.direction;
+            ctx.prediction = e.direction();
             return ctx;
         }
     }
@@ -109,7 +109,7 @@ LoopPredictor::update(const Context &ctx, uint64_t pc, bool taken,
                 withLoop = withLoopMin;
         }
 
-        if (taken == e.direction) {
+        if (taken == e.direction()) {
             // Still iterating.
             if (e.currIter < maxIter) {
                 ++e.currIter;
@@ -121,7 +121,7 @@ LoopPredictor::update(const Context &ctx, uint64_t pc, bool taken,
             if (e.pastIter != 0 && e.currIter > e.pastIter) {
                 // Ran past the recorded trip count: not a fixed loop.
                 e.pastIter = 0;
-                e.confidence = 0;
+                e.setConfidence(0);
             }
         } else {
             // Opposite of the recorded iterating direction.
@@ -135,23 +135,24 @@ LoopPredictor::update(const Context &ctx, uint64_t pc, bool taken,
                 const uint16_t tag = e.tag;
                 e = Entry{};
                 e.tag = tag;
-                e.direction = taken;
+                e.setDirection(taken);
                 e.currIter = 1;
                 e.age = 255;
                 return;
             }
             // Genuine loop exit.
             if (e.currIter == e.pastIter) {
-                if (e.confidence < confMax) {
-                    ++e.confidence;
-                    if (e.confidence == confMax)
+                if (e.confidence() < confMax) {
+                    e.setConfidence(
+                        static_cast<uint8_t>(e.confidence() + 1));
+                    if (e.confidence() == confMax)
                         ++statConfident;
                 }
                 if (e.age < 255)
                     ++e.age;
             } else {
                 e.pastIter = e.currIter;
-                e.confidence = 0;
+                e.setConfidence(0);
             }
             e.currIter = 0;
         }
@@ -173,7 +174,7 @@ LoopPredictor::update(const Context &ctx, uint64_t pc, bool taken,
             // The mispredicted instance of a loop branch is almost
             // always the exit, so the iterating direction is the
             // opposite of what was just observed.
-            e.direction = !taken;
+            e.setDirection(!taken);
             e.currIter = 0;
             e.age = 255;
             return;
@@ -194,9 +195,9 @@ LoopPredictor::saveState(StateSink &sink) const
         sink.u16(e.tag);
         sink.u16(e.pastIter);
         sink.u16(e.currIter);
-        sink.u8(e.confidence);
+        sink.u8(e.confidence());
         sink.u8(e.age);
-        sink.boolean(e.direction);
+        sink.boolean(e.direction());
     }
     sink.i32(withLoop);
     sink.u64(statAllocs);
@@ -220,10 +221,11 @@ LoopPredictor::loadState(StateSource &source)
         loadRange(e.pastIter, uint16_t{0}, maxIter, "loop pastIter");
         e.currIter = source.u16();
         loadRange(e.currIter, uint16_t{0}, maxIter, "loop currIter");
-        e.confidence = source.u8();
-        loadRange(e.confidence, uint8_t{0}, confMax, "loop confidence");
+        const uint8_t conf = source.u8();
+        loadRange(conf, uint8_t{0}, confMax, "loop confidence");
+        e.setConfidence(conf);
         e.age = source.u8();
-        e.direction = source.boolean();
+        e.setDirection(source.boolean());
     }
     const int32_t gate = source.i32();
     loadRange(gate, withLoopMin, withLoopMax, "WITHLOOP gate");

@@ -95,15 +95,38 @@ class LoopPredictor
     size_t entryCount() const { return entries.size(); }
 
   private:
+    /**
+     * One loop-table cell, packed to exactly 8 bytes so eight entries
+     * (two skewed ways' worth) share a cache line. The 2-bit
+     * confidence and the 1-bit iterating direction share one byte;
+     * a separate bool would pad the struct to 10 bytes. Serialization
+     * stays field-wise (u8 confidence, bool direction) — bytes
+     * unchanged from the unpacked layout.
+     */
     struct Entry
     {
         uint16_t tag = 0;
         uint16_t pastIter = 0;
         uint16_t currIter = 0;
-        uint8_t confidence = 0;
         uint8_t age = 0;
-        bool direction = false; //!< Direction while iterating.
+        uint8_t confDir = 0; //!< bits 0-1 confidence, bit 2 direction.
+
+        uint8_t confidence() const { return confDir & 0x3; }
+        void
+        setConfidence(uint8_t c)
+        {
+            confDir = static_cast<uint8_t>((confDir & ~0x3) | c);
+        }
+        bool direction() const { return (confDir & 0x4) != 0; }
+        void
+        setDirection(bool d)
+        {
+            confDir =
+                static_cast<uint8_t>((confDir & 0x3) | (d ? 0x4 : 0));
+        }
     };
+    static_assert(sizeof(Entry) == 8,
+                  "loop entry must pack to a half cache line octet");
 
     size_t slot(uint64_t pc, unsigned way) const;
     size_t slotFromBase(uint64_t pc_base, unsigned way) const;

@@ -50,20 +50,43 @@ TageConfig::validate() const
 
 TageBase::TageBase(TageConfig config)
     : cfg((config.validate(), std::move(config))),
-      basePred(size_t{1} << cfg.logBase, 0),
-      baseHyst(size_t{1} << (cfg.logBase - cfg.hystShift), 1),
       uResetCountdown(cfg.uResetPeriod)
 {
+    basePredEntries = size_t{1} << cfg.logBase;
+    baseHystEntries = size_t{1} << (cfg.logBase - cfg.hystShift);
+    const size_t predWords = (basePredEntries + 63) / 64;
+    const size_t hystWords = (baseHystEntries + 63) / 64;
+
+    // One cache-line-aligned arena holds every table: the tagged
+    // tables first (hottest, packed 4 bytes/entry), then the bimodal
+    // bit planes. The plan and the allocation sequence must mirror
+    // each other exactly (util/arena.hpp).
+    ArenaPlan plan;
+    for (unsigned logSize : cfg.logSizes)
+        plan.reserve<PackedTaggedEntry>(size_t{1} << logSize);
+    plan.reserve<uint64_t>(predWords);
+    plan.reserve<uint64_t>(hystWords);
+    arena = AlignedArena(plan);
+
     tables.reserve(cfg.numTables());
     for (unsigned logSize : cfg.logSizes)
-        tables.emplace_back(size_t{1} << logSize);
+        tables.push_back(
+            arena.allocate<PackedTaggedEntry>(size_t{1} << logSize));
+    basePredBits = arena.allocate<uint64_t>(predWords);
+    baseHystBits = arena.allocate<uint64_t>(hystWords);
+
+    // Hysteresis starts at 1 (weakly biased), as the byte-per-entry
+    // layout initialized it.
+    for (size_t i = 0; i < baseHystEntries; ++i)
+        setBit(baseHystBits, i, true);
+
     stats.resize(cfg.numTables());
 }
 
 bool
 TageBase::basePredict(uint64_t pc) const
 {
-    return basePred[(pc >> 1) & maskBits(cfg.logBase)] != 0;
+    return getBit(basePredBits, (pc >> 1) & maskBits(cfg.logBase));
 }
 
 void
@@ -74,7 +97,8 @@ TageBase::baseUpdate(uint64_t pc, bool taken)
     // ISL-TAGE's base bimodal).
     const size_t idx = (pc >> 1) & maskBits(cfg.logBase);
     const size_t hidx = idx >> cfg.hystShift;
-    int ctr = (basePred[idx] << 1) | baseHyst[hidx];
+    int ctr = (static_cast<int>(getBit(basePredBits, idx)) << 1) |
+        static_cast<int>(getBit(baseHystBits, hidx));
     if (taken) {
         if (ctr < 3)
             ++ctr;
@@ -82,8 +106,8 @@ TageBase::baseUpdate(uint64_t pc, bool taken)
         if (ctr > 0)
             --ctr;
     }
-    basePred[idx] = static_cast<uint8_t>(ctr >> 1);
-    baseHyst[hidx] = static_cast<uint8_t>(ctr & 1);
+    setBit(basePredBits, idx, (ctr >> 1) != 0);
+    setBit(baseHystBits, hidx, (ctr & 1) != 0);
 }
 
 void
@@ -100,7 +124,7 @@ TageBase::computeTableHashes(uint64_t pc, uint32_t *indices,
 }
 
 void
-TageBase::computeContext(uint64_t pc, PredictionInfo &info) const
+TageBase::computeContext(uint64_t pc, PredictionInfo &info)
 {
     info.pc = pc;
     info.basePred = basePredict(pc);
@@ -108,14 +132,38 @@ TageBase::computeContext(uint64_t pc, PredictionInfo &info) const
     info.altProvider = -1;
 
     const size_t n = cfg.numTables();
-    computeTableHashes(pc, info.indices.data(), info.tags.data());
 
-    // The tagged tables span far more memory than fits in L1, so the
-    // provider scan's loads mostly miss. Issuing them all up front
-    // lets the misses overlap instead of serializing behind the
-    // early-exit branches below.
-    for (size_t t = 0; t < n; ++t)
-        __builtin_prefetch(&tables[t][info.indices[t]], 0, 3);
+    // Lookahead hit: the indices and tags for this branch were
+    // computed — and their table lines prefetched — up to K branches
+    // ago by lookaheadPush(). A pc mismatch means the caller broke
+    // the push/predict ordering contract, so the scratch history is
+    // no longer trustworthy: disarm and fall back to the live path.
+    bool precomputed = false;
+    if (laActive && !laRing.empty()) {
+        const LookaheadSlot &slot = laRing.front();
+        if (slot.pc == pc) {
+            for (size_t t = 0; t < n; ++t) {
+                info.indices[t] = slot.indices[t];
+                info.tags[t] = slot.tags[t];
+            }
+            laRing.pop_front();
+            precomputed = true;
+        } else {
+            lookaheadEnd();
+        }
+    }
+    if (!precomputed) {
+        computeTableHashes(pc, info.indices.data(), info.tags.data());
+        // The tagged tables span far more memory than fits in L1, so
+        // the provider scan's loads mostly miss. Issuing them all up
+        // front lets the misses overlap instead of serializing
+        // behind the early-exit branches below. (With lookahead
+        // armed the prefetches were issued K branches earlier, which
+        // actually hides the latency; this same-cycle fallback at
+        // least overlaps the misses.)
+        for (size_t t = 0; t < n; ++t)
+            __builtin_prefetch(&tables[t][info.indices[t]], 0, 3);
+    }
 
     // Longest history with a tag match provides; next longest (or
     // the base) is the alternate.
@@ -126,7 +174,7 @@ TageBase::computeContext(uint64_t pc, PredictionInfo &info) const
         uint32_t match = 0;
         for (size_t t = 0; t < n; ++t) {
             match |= static_cast<uint32_t>(
-                         tables[t][info.indices[t]].tag ==
+                         tables[t][info.indices[t]].tag() ==
                          info.tags[t])
                 << t;
         }
@@ -139,7 +187,7 @@ TageBase::computeContext(uint64_t pc, PredictionInfo &info) const
         }
     } else {
         for (size_t t = n; t-- > 0; ) {
-            if (tables[t][info.indices[t]].tag == info.tags[t]) {
+            if (tables[t][info.indices[t]].tag() == info.tags[t]) {
                 info.provider = static_cast<int>(t);
                 break;
             }
@@ -147,7 +195,7 @@ TageBase::computeContext(uint64_t pc, PredictionInfo &info) const
         if (info.provider > 0) {
             for (size_t a = static_cast<size_t>(info.provider);
                  a-- > 0; ) {
-                if (tables[a][info.indices[a]].tag == info.tags[a]) {
+                if (tables[a][info.indices[a]].tag() == info.tags[a]) {
                     info.altProvider = static_cast<int>(a);
                     break;
                 }
@@ -158,7 +206,7 @@ TageBase::computeContext(uint64_t pc, PredictionInfo &info) const
     if (info.altProvider >= 0) {
         const auto &alt = tables[static_cast<size_t>(info.altProvider)]
             [info.indices[static_cast<size_t>(info.altProvider)]];
-        info.altPred = alt.ctr >= 0;
+        info.altPred = alt.ctr() >= 0;
     } else {
         info.altPred = info.basePred;
     }
@@ -166,21 +214,53 @@ TageBase::computeContext(uint64_t pc, PredictionInfo &info) const
     if (info.provider >= 0) {
         const auto &prov = tables[static_cast<size_t>(info.provider)]
             [info.indices[static_cast<size_t>(info.provider)]];
-        info.providerCtr = prov.ctr;
-        info.providerWeak = prov.ctr == 0 || prov.ctr == -1;
+        info.providerCtr = prov.ctr();
+        info.providerWeak = prov.ctr() == 0 || prov.ctr() == -1;
         // Newly allocated entries are weak and not yet useful; the
         // use-alt-on-na counter decides whether to trust them.
         const bool newlyAllocated = info.providerWeak &&
-            prov.useful == 0;
+            prov.useful() == 0;
         if (newlyAllocated && useAltOnNa.value() >= 0)
             info.pred = info.altPred;
         else
-            info.pred = prov.ctr >= 0;
+            info.pred = prov.ctr() >= 0;
     } else {
         info.providerCtr = 0;
         info.providerWeak = true;
         info.pred = info.basePred;
     }
+}
+
+unsigned
+TageBase::lookaheadBegin(unsigned depth)
+{
+    lookaheadEnd();
+    if (depth == 0 || !lookaheadSupported())
+        return 0;
+    lookaheadSnapshot();
+    laActive = true;
+    return depth;
+}
+
+void
+TageBase::lookaheadPush(uint64_t pc, bool taken, uint64_t target)
+{
+    if (!laActive)
+        return;
+    LookaheadSlot &slot = laRing.push_raw();
+    slot.pc = pc;
+    lookaheadHashes(pc, slot.indices.data(), slot.tags.data());
+    const size_t n = cfg.numTables();
+    for (size_t t = 0; t < n; ++t)
+        __builtin_prefetch(&tables[t][slot.indices[t]], 0, 3);
+    lookaheadAdvance(pc, taken, target);
+}
+
+void
+TageBase::lookaheadEnd()
+{
+    laRing.clear();
+    laActive = false;
 }
 
 bool
@@ -210,7 +290,7 @@ TageBase::allocate(const PredictionInfo &info, bool taken)
     // policy).
     size_t chosen = n;
     for (size_t t = start; t < n; ++t) {
-        if (tables[t][info.indices[t]].useful == 0) {
+        if (tables[t][info.indices[t]].useful() == 0) {
             chosen = t;
             if (allocRng.below(3) != 0)
                 break;
@@ -222,17 +302,17 @@ TageBase::allocate(const PredictionInfo &info, bool taken)
         ++allocFailed;
         for (size_t t = start; t < n; ++t) {
             auto &e = tables[t][info.indices[t]];
-            if (e.useful > 0)
-                --e.useful;
+            if (e.useful() > 0)
+                e.setUseful(e.useful() - 1);
         }
         return;
     }
 
     ++allocSuccess;
     auto &e = tables[chosen][info.indices[chosen]];
-    e.tag = info.tags[chosen];
-    e.ctr = taken ? 0 : -1;
-    e.useful = 0;
+    e.setTag(info.tags[chosen]);
+    e.setCtr(taken ? 0 : -1);
+    e.setUseful(0);
 }
 
 void
@@ -254,11 +334,11 @@ TageBase::update(uint64_t pc, bool taken, bool predicted, uint64_t target)
     if (info.provider >= 0) {
         auto &prov = tables[static_cast<size_t>(info.provider)]
             [info.indices[static_cast<size_t>(info.provider)]];
-        const bool provPred = prov.ctr >= 0;
+        const bool provPred = prov.ctr() >= 0;
 
         // Train the use-alt-on-na gate on weak, not-yet-useful
         // entries where provider and alt disagree.
-        if (info.providerWeak && prov.useful == 0 &&
+        if (info.providerWeak && prov.useful() == 0 &&
             provPred != info.altPred) {
             useAltOnNa.update(info.altPred == taken ? 1 : 0);
         }
@@ -267,34 +347,34 @@ TageBase::update(uint64_t pc, bool taken, bool predicted, uint64_t target)
         // alternate would have been wrong.
         if (provPred != info.altPred) {
             if (provPred == taken) {
-                if (prov.useful < uMax)
-                    ++prov.useful;
-            } else if (prov.useful > 0) {
-                --prov.useful;
+                if (prov.useful() < uMax)
+                    prov.setUseful(prov.useful() + 1);
+            } else if (prov.useful() > 0) {
+                prov.setUseful(prov.useful() - 1);
             }
         }
 
         // Train the provider counter.
         if (taken) {
-            if (prov.ctr < ctrMax)
-                ++prov.ctr;
+            if (prov.ctr() < ctrMax)
+                prov.setCtr(prov.ctr() + 1);
         } else {
-            if (prov.ctr > ctrMin)
-                --prov.ctr;
+            if (prov.ctr() > ctrMin)
+                prov.setCtr(prov.ctr() - 1);
         }
 
         // When the provider entry has not proven useful, also train
         // the alternate so it stays warm.
-        if (prov.useful == 0) {
+        if (prov.useful() == 0) {
             if (info.altProvider >= 0) {
                 auto &alt = tables[static_cast<size_t>(info.altProvider)]
                     [info.indices[static_cast<size_t>(info.altProvider)]];
                 if (taken) {
-                    if (alt.ctr < ctrMax)
-                        ++alt.ctr;
+                    if (alt.ctr() < ctrMax)
+                        alt.setCtr(alt.ctr() + 1);
                 } else {
-                    if (alt.ctr > ctrMin)
-                        --alt.ctr;
+                    if (alt.ctr() > ctrMin)
+                        alt.setCtr(alt.ctr() - 1);
                 }
             } else {
                 baseUpdate(pc, taken);
@@ -317,7 +397,7 @@ TageBase::update(uint64_t pc, bool taken, bool predicted, uint64_t target)
         ++uResets;
         for (auto &table : tables) {
             for (auto &e : table)
-                e.useful >>= 1;
+                e.ageUseful();
         }
     }
 
@@ -341,8 +421,8 @@ StorageReport
 TageBase::storage() const
 {
     StorageReport report(name());
-    report.addTable("T0 bimodal pred", basePred.size(), 1);
-    report.addTable("T0 bimodal hyst", baseHyst.size(), 1);
+    report.addTable("T0 bimodal pred", basePredEntries, 1);
+    report.addTable("T0 bimodal hyst", baseHystEntries, 1);
     for (size_t t = 0; t < cfg.numTables(); ++t) {
         report.addTable("T" + std::to_string(t + 1) + " tagged (hist " +
                             std::to_string(cfg.historyLengths[t]) + ")",
@@ -357,19 +437,23 @@ TageBase::storage() const
 void
 TageBase::saveStateBody(StateSink &sink) const
 {
-    sink.u64(basePred.size());
-    for (uint8_t b : basePred)
-        sink.u8(b);
-    sink.u64(baseHyst.size());
-    for (uint8_t b : baseHyst)
-        sink.u8(b);
+    // The serialized form predates the packed layout and must stay
+    // byte-identical to it: one u8 per bimodal bit, field-wise
+    // i16/u16/u8 per tagged entry (tests/test_snapshot_fixtures.cpp
+    // pins this against pre-packing blobs).
+    sink.u64(basePredEntries);
+    for (size_t i = 0; i < basePredEntries; ++i)
+        sink.u8(getBit(basePredBits, i) ? 1 : 0);
+    sink.u64(baseHystEntries);
+    for (size_t i = 0; i < baseHystEntries; ++i)
+        sink.u8(getBit(baseHystBits, i) ? 1 : 0);
     sink.u64(tables.size());
     for (const auto &table : tables) {
         sink.u64(table.size());
-        for (const TaggedEntry &e : table) {
-            sink.i16(e.ctr);
-            sink.u16(e.tag);
-            sink.u8(e.useful);
+        for (const PackedTaggedEntry &e : table) {
+            sink.i16(static_cast<int16_t>(e.ctr()));
+            sink.u16(e.tag());
+            sink.u8(e.useful());
         }
     }
     sink.u64(pending.size());
@@ -408,21 +492,23 @@ TageBase::loadStateBody(StateSource &source)
     const uint8_t uMax =
         static_cast<uint8_t>((1 << cfg.uBits) - 1);
 
-    const uint64_t nPred = source.count(basePred.size(), "bimodal pred");
-    if (nPred != basePred.size())
+    const uint64_t nPred = source.count(basePredEntries, "bimodal pred");
+    if (nPred != basePredEntries)
         throw TraceIoError("snapshot corrupt: bimodal pred array size "
                            "mismatch");
-    for (auto &b : basePred) {
-        b = source.u8();
+    for (size_t i = 0; i < basePredEntries; ++i) {
+        const uint8_t b = source.u8();
         loadRange(b, uint8_t{0}, uint8_t{1}, "bimodal pred bit");
+        setBit(basePredBits, i, b != 0);
     }
-    const uint64_t nHyst = source.count(baseHyst.size(), "bimodal hyst");
-    if (nHyst != baseHyst.size())
+    const uint64_t nHyst = source.count(baseHystEntries, "bimodal hyst");
+    if (nHyst != baseHystEntries)
         throw TraceIoError("snapshot corrupt: bimodal hyst array size "
                            "mismatch");
-    for (auto &b : baseHyst) {
-        b = source.u8();
+    for (size_t i = 0; i < baseHystEntries; ++i) {
+        const uint8_t b = source.u8();
         loadRange(b, uint8_t{0}, uint8_t{1}, "bimodal hyst bit");
+        setBit(baseHystBits, i, b != 0);
     }
 
     const uint64_t nTables = source.count(tables.size(), "tagged table");
@@ -437,14 +523,16 @@ TageBase::loadStateBody(StateSource &source)
                                "mismatch");
         const uint16_t tagMax =
             static_cast<uint16_t>(maskBits(cfg.tagBits[t]));
-        for (TaggedEntry &e : tables[t]) {
+        for (PackedTaggedEntry &e : tables[t]) {
             const int16_t ctr = source.i16();
             loadRange(ctr, ctrMin, ctrMax, "tagged counter");
-            e.ctr = static_cast<int8_t>(ctr);
-            e.tag = source.u16();
-            loadRange(e.tag, uint16_t{0}, tagMax, "tagged tag");
-            e.useful = source.u8();
-            loadRange(e.useful, uint8_t{0}, uMax, "useful flag");
+            e.setCtr(ctr);
+            const uint16_t tag = source.u16();
+            loadRange(tag, uint16_t{0}, tagMax, "tagged tag");
+            e.setTag(tag);
+            const uint8_t useful = source.u8();
+            loadRange(useful, uint8_t{0}, uMax, "useful flag");
+            e.setUseful(useful);
         }
     }
 
@@ -489,6 +577,9 @@ TageBase::loadStateBody(StateSource &source)
     allocFailed = source.u64();
     uResets = source.u64();
     loadHistoryState(source);
+    // Restored history invalidates any precomputed lookahead
+    // contexts; the driver re-arms after a restore.
+    lookaheadEnd();
 }
 
 // ---------------------------------------------------------------
@@ -496,18 +587,22 @@ TageBase::loadStateBody(StateSource &source)
 // ---------------------------------------------------------------
 
 TagePredictor::TagePredictor(TageConfig config)
-    : TageBase(std::move(config)),
-      ghist(nextPowerOfTwo(cfg.historyLengths.back() + 1))
+    : TageBase(std::move(config))
 {
-    idxFold.reserve(cfg.numTables());
-    tagFold1.reserve(cfg.numTables());
-    tagFold2.reserve(cfg.numTables());
+    hist.ghist =
+        HistoryRegister(nextPowerOfTwo(cfg.historyLengths.back() + 1));
+    hist.idxFold.reserve(cfg.numTables());
+    hist.tagFold1.reserve(cfg.numTables());
+    hist.tagFold2.reserve(cfg.numTables());
     for (size_t t = 0; t < cfg.numTables(); ++t) {
-        idxFold.emplace_back(cfg.historyLengths[t], cfg.logSizes[t]);
-        tagFold1.emplace_back(cfg.historyLengths[t], cfg.tagBits[t]);
-        tagFold2.emplace_back(cfg.historyLengths[t],
-                              cfg.tagBits[t] > 1 ? cfg.tagBits[t] - 1
-                                                 : 1);
+        hist.idxFold.emplace_back(cfg.historyLengths[t],
+                                  cfg.logSizes[t]);
+        hist.tagFold1.emplace_back(cfg.historyLengths[t],
+                                   cfg.tagBits[t]);
+        hist.tagFold2.emplace_back(cfg.historyLengths[t],
+                                   cfg.tagBits[t] > 1
+                                       ? cfg.tagBits[t] - 1
+                                       : 1);
         HashConsts hc;
         hc.pathMask = maskBits(std::min<unsigned>(
             cfg.historyLengths[t], cfg.pathBits));
@@ -524,24 +619,25 @@ uint64_t
 TagePredictor::indexHash(size_t t, uint64_t pc) const
 {
     const unsigned logSize = cfg.logSizes[t];
-    const uint64_t path = pathHist &
+    const uint64_t path = hist.pathHist &
         maskBits(std::min<unsigned>(cfg.historyLengths[t],
                                     cfg.pathBits));
     // Table-specific path mixing (stand-in for Seznec's F function).
     const uint64_t pathMix = mix64(path + (t << 7));
     return (pc >> 1) ^ ((pc >> 1) >> logSize) ^
-        idxFold[t].value() ^ pathMix;
+        hist.idxFold[t].value() ^ pathMix;
 }
 
 uint64_t
 TagePredictor::tagHash(size_t t, uint64_t pc) const
 {
-    return (pc >> 1) ^ tagFold1[t].value() ^ (tagFold2[t].value() << 1);
+    return (pc >> 1) ^ hist.tagFold1[t].value() ^
+        (hist.tagFold2[t].value() << 1);
 }
 
 void
-TagePredictor::computeTableHashes(uint64_t pc, uint32_t *indices,
-                                  uint16_t *tags) const
+TagePredictor::hashesFrom(const Hist &h, uint64_t pc,
+                          uint32_t *indices, uint16_t *tags) const
 {
     // Same arithmetic as indexHash()/tagHash() above, with the
     // per-table masks and offsets precomputed and one loop over
@@ -549,12 +645,12 @@ TagePredictor::computeTableHashes(uint64_t pc, uint32_t *indices,
     const uint64_t addr = pc >> 1;
     const size_t n = hashConsts.size();
     const HashConsts *hc = hashConsts.data();
-    const FoldedHistory *fIdx = idxFold.data();
-    const FoldedHistory *fTag1 = tagFold1.data();
-    const FoldedHistory *fTag2 = tagFold2.data();
+    const FoldedHistory *fIdx = h.idxFold.data();
+    const FoldedHistory *fTag1 = h.tagFold1.data();
+    const FoldedHistory *fTag2 = h.tagFold2.data();
     for (size_t t = 0; t < n; ++t) {
         const uint64_t pathMix =
-            mix64((pathHist & hc[t].pathMask) + hc[t].pathAdd);
+            mix64((h.pathHist & hc[t].pathMask) + hc[t].pathAdd);
         indices[t] = static_cast<uint32_t>(
             (addr ^ (addr >> hc[t].logSize) ^ fIdx[t].value() ^
              pathMix) &
@@ -566,38 +662,67 @@ TagePredictor::computeTableHashes(uint64_t pc, uint32_t *indices,
 }
 
 void
-TagePredictor::updateHistories(uint64_t pc, bool taken, uint64_t target)
+TagePredictor::advanceHist(Hist &h, uint64_t pc, bool taken) const
 {
-    (void)target;
     const size_t n = cfg.numTables();
     if (shadowCovers) {
-        FoldedHistory *fIdx = idxFold.data();
-        FoldedHistory *fTag1 = tagFold1.data();
-        FoldedHistory *fTag2 = tagFold2.data();
+        FoldedHistory *fIdx = h.idxFold.data();
+        FoldedHistory *fTag1 = h.tagFold1.data();
+        FoldedHistory *fTag2 = h.tagFold2.data();
         const unsigned *lens = cfg.historyLengths.data();
         for (size_t t = 0; t < n; ++t) {
             const unsigned d = lens[t] - 1;
-            const bool out = (recentHist[d >> 6] >> (d & 63)) & 1;
+            const bool out = (h.recentHist[d >> 6] >> (d & 63)) & 1;
             fIdx[t].update(taken, out);
             fTag1[t].update(taken, out);
             fTag2[t].update(taken, out);
         }
-        for (size_t w = recentHist.size(); w-- > 1;) {
-            recentHist[w] =
-                (recentHist[w] << 1) | (recentHist[w - 1] >> 63);
+        for (size_t w = h.recentHist.size(); w-- > 1;) {
+            h.recentHist[w] =
+                (h.recentHist[w] << 1) | (h.recentHist[w - 1] >> 63);
         }
-        recentHist[0] = (recentHist[0] << 1) |
+        h.recentHist[0] = (h.recentHist[0] << 1) |
             static_cast<uint64_t>(taken);
     } else {
         for (size_t t = 0; t < n; ++t) {
-            const bool out = ghist[cfg.historyLengths[t] - 1];
-            idxFold[t].update(taken, out);
-            tagFold1[t].update(taken, out);
-            tagFold2[t].update(taken, out);
+            const bool out = h.ghist[cfg.historyLengths[t] - 1];
+            h.idxFold[t].update(taken, out);
+            h.tagFold1[t].update(taken, out);
+            h.tagFold2[t].update(taken, out);
         }
     }
-    ghist.push(taken);
-    pathHist = ((pathHist << 1) | ((pc >> 1) & 1)) & maskBits(cfg.pathBits);
+    h.ghist.push(taken);
+    h.pathHist =
+        ((h.pathHist << 1) | ((pc >> 1) & 1)) & maskBits(cfg.pathBits);
+}
+
+void
+TagePredictor::computeTableHashes(uint64_t pc, uint32_t *indices,
+                                  uint16_t *tags) const
+{
+    hashesFrom(hist, pc, indices, tags);
+}
+
+void
+TagePredictor::updateHistories(uint64_t pc, bool taken, uint64_t target)
+{
+    (void)target;
+    advanceHist(hist, pc, taken);
+}
+
+void
+TagePredictor::lookaheadHashes(uint64_t pc, uint32_t *indices,
+                               uint16_t *tags) const
+{
+    hashesFrom(scratch, pc, indices, tags);
+}
+
+void
+TagePredictor::lookaheadAdvance(uint64_t pc, bool taken,
+                                uint64_t target)
+{
+    (void)target;
+    advanceHist(scratch, pc, taken);
 }
 
 void
@@ -610,40 +735,40 @@ TagePredictor::reportHistoryStorage(StorageReport &report) const
 void
 TagePredictor::saveHistoryState(StateSink &sink) const
 {
-    ghist.saveState(sink);
-    for (const auto &f : idxFold)
+    hist.ghist.saveState(sink);
+    for (const auto &f : hist.idxFold)
         f.saveState(sink);
-    for (const auto &f : tagFold1)
+    for (const auto &f : hist.tagFold1)
         f.saveState(sink);
-    for (const auto &f : tagFold2)
+    for (const auto &f : hist.tagFold2)
         f.saveState(sink);
-    sink.u64(pathHist);
+    sink.u64(hist.pathHist);
 }
 
 void
 TagePredictor::loadHistoryState(StateSource &source)
 {
-    ghist.loadState(source);
-    for (auto &f : idxFold)
+    hist.ghist.loadState(source);
+    for (auto &f : hist.idxFold)
         f.loadState(source);
-    for (auto &f : tagFold1)
+    for (auto &f : hist.tagFold1)
         f.loadState(source);
-    for (auto &f : tagFold2)
+    for (auto &f : hist.tagFold2)
         f.loadState(source);
     const uint64_t path = source.u64();
     if ((path & ~maskBits(cfg.pathBits)) != 0) {
         throw TraceIoError("snapshot corrupt: path history wider than "
                            "its configured window");
     }
-    pathHist = path;
+    hist.pathHist = path;
 
     // Rebuild the shadow window from the restored ring (depths past
     // what was pushed read as zero there, matching the shadow's
     // zero-fill).
-    recentHist.fill(0);
+    hist.recentHist.fill(0);
     for (size_t d = 0; d < shadowBits; ++d) {
-        if (ghist[d])
-            recentHist[d >> 6] |= uint64_t{1} << (d & 63);
+        if (hist.ghist[d])
+            hist.recentHist[d >> 6] |= uint64_t{1} << (d & 63);
     }
 }
 
@@ -673,8 +798,9 @@ constexpr uint64_t kLaneSpread = 0x9E3779B97F4A7C15ULL;
 } // anonymous namespace
 
 FastTagePredictor::FastTagePredictor(TageConfig config)
-    : TageBase(std::move(config)), folds(cfg.historyLengths)
+    : TageBase(std::move(config))
 {
+    hist.folds = SwarFoldBank(cfg.historyLengths);
     branchFreeScan = true;
     hashConsts.reserve(cfg.numTables());
     for (size_t t = 0; t < cfg.numTables(); ++t) {
@@ -687,7 +813,7 @@ FastTagePredictor::FastTagePredictor(TageConfig config)
 }
 
 uint64_t
-FastTagePredictor::fusedHash(size_t t, uint64_t addr,
+FastTagePredictor::fusedHash(const Hist &h, size_t t, uint64_t addr,
                              uint64_t path_mix) const
 {
     // One word feeds both index and tag: the lane multiply spreads
@@ -697,14 +823,14 @@ FastTagePredictor::fusedHash(size_t t, uint64_t addr,
     // every table — the per-table salt does the decorrelation the
     // reference's per-table path masks used to.
     return fastMixTail(addr ^ path_mix ^
-                       (folds.lane(t) * kLaneSpread) ^
+                       (h.folds.lane(t) * kLaneSpread) ^
                        hashConsts[t].salt);
 }
 
 uint64_t
 FastTagePredictor::indexHash(size_t t, uint64_t pc) const
 {
-    return fusedHash(t, pc >> 1, mix64(pathHist));
+    return fusedHash(hist, t, pc >> 1, mix64(hist.pathHist));
 }
 
 uint64_t
@@ -712,22 +838,37 @@ FastTagePredictor::tagHash(size_t t, uint64_t pc) const
 {
     // Tag bits come from the top of the fused word (tagBits <= 16,
     // so bits 48..63 never overlap the index's low bits).
-    return fusedHash(t, pc >> 1, mix64(pathHist)) >> 48;
+    return fusedHash(hist, t, pc >> 1, mix64(hist.pathHist)) >> 48;
+}
+
+void
+FastTagePredictor::hashesFrom(const Hist &h, uint64_t pc,
+                              uint32_t *indices, uint16_t *tags) const
+{
+    const uint64_t addr = pc >> 1;
+    const uint64_t pathMix = mix64(h.pathHist);
+    const size_t n = hashConsts.size();
+    const FastHashConsts *hc = hashConsts.data();
+    for (size_t t = 0; t < n; ++t) {
+        const uint64_t x = fusedHash(h, t, addr, pathMix);
+        indices[t] = static_cast<uint32_t>(x & hc[t].idxMask);
+        tags[t] = static_cast<uint16_t>((x >> 48) & hc[t].tagMask);
+    }
+}
+
+void
+FastTagePredictor::advanceHist(Hist &h, uint64_t pc, bool taken) const
+{
+    h.folds.push(taken);
+    h.pathHist = ((h.pathHist << 1) | ((pc >> 1) & 1)) &
+        maskBits(cfg.pathBits);
 }
 
 void
 FastTagePredictor::computeTableHashes(uint64_t pc, uint32_t *indices,
                                       uint16_t *tags) const
 {
-    const uint64_t addr = pc >> 1;
-    const uint64_t pathMix = mix64(pathHist);
-    const size_t n = hashConsts.size();
-    const FastHashConsts *hc = hashConsts.data();
-    for (size_t t = 0; t < n; ++t) {
-        const uint64_t x = fusedHash(t, addr, pathMix);
-        indices[t] = static_cast<uint32_t>(x & hc[t].idxMask);
-        tags[t] = static_cast<uint16_t>((x >> 48) & hc[t].tagMask);
-    }
+    hashesFrom(hist, pc, indices, tags);
 }
 
 void
@@ -735,9 +876,22 @@ FastTagePredictor::updateHistories(uint64_t pc, bool taken,
                                    uint64_t target)
 {
     (void)target;
-    folds.push(taken);
-    pathHist = ((pathHist << 1) | ((pc >> 1) & 1)) &
-        maskBits(cfg.pathBits);
+    advanceHist(hist, pc, taken);
+}
+
+void
+FastTagePredictor::lookaheadHashes(uint64_t pc, uint32_t *indices,
+                                   uint16_t *tags) const
+{
+    hashesFrom(scratch, pc, indices, tags);
+}
+
+void
+FastTagePredictor::lookaheadAdvance(uint64_t pc, bool taken,
+                                    uint64_t target)
+{
+    (void)target;
+    advanceHist(scratch, pc, taken);
 }
 
 void
@@ -750,20 +904,20 @@ FastTagePredictor::reportHistoryStorage(StorageReport &report) const
 void
 FastTagePredictor::saveHistoryState(StateSink &sink) const
 {
-    folds.saveState(sink);
-    sink.u64(pathHist);
+    hist.folds.saveState(sink);
+    sink.u64(hist.pathHist);
 }
 
 void
 FastTagePredictor::loadHistoryState(StateSource &source)
 {
-    folds.loadState(source);
+    hist.folds.loadState(source);
     const uint64_t path = source.u64();
     if ((path & ~maskBits(cfg.pathBits)) != 0) {
         throw TraceIoError("snapshot corrupt: path history wider than "
                            "its configured window");
     }
-    pathHist = path;
+    hist.pathHist = path;
 }
 
 } // namespace bfbp

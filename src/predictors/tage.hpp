@@ -27,6 +27,7 @@
 #include <vector>
 
 #include "sim/predictor.hpp"
+#include "util/arena.hpp"
 #include "util/folded_history.hpp"
 #include "util/random.hpp"
 #include "util/ring_fifo.hpp"
@@ -38,6 +39,63 @@ namespace bfbp
 
 /** Maximum tagged tables supported by the fixed-size context. */
 constexpr size_t maxTageTables = 16;
+
+/**
+ * One tagged-table entry packed into a single uint32_t word:
+ *
+ *   bits  0..7   prediction counter (two's complement, sign-extended)
+ *   bits  8..23  partial tag
+ *   bits 24..31  useful flag
+ *
+ * The old AoS struct {int8_t; uint16_t; uint8_t} padded to 6 bytes;
+ * packing drops the stride to exactly 4, so a 2^12-entry table spans
+ * 16 KiB instead of 24 KiB and every line holds 16 entries. Fields
+ * sit on byte/halfword boundaries — wider than the 4-bit counter a
+ * minimal encoding would use — because TageConfig::validate() admits
+ * ctrBits and uBits up to 8, and byte-aligned fields compile to
+ * single movb/movw accesses with no extra masking on the hot path.
+ * Serialization stays field-wise (i16 ctr / u16 tag / u8 useful), so
+ * snapshot bytes are identical to the unpacked layout's.
+ */
+struct PackedTaggedEntry
+{
+    uint32_t word = 0;
+
+    int ctr() const { return static_cast<int8_t>(word & 0xFF); }
+    uint16_t
+    tag() const
+    {
+        return static_cast<uint16_t>((word >> 8) & 0xFFFF);
+    }
+    uint8_t useful() const { return static_cast<uint8_t>(word >> 24); }
+
+    void
+    setCtr(int v)
+    {
+        word = (word & 0xFFFFFF00u) |
+            (static_cast<uint32_t>(v) & 0xFFu);
+    }
+    void
+    setTag(uint16_t v)
+    {
+        word = (word & 0xFF0000FFu) | (uint32_t{v} << 8);
+    }
+    void
+    setUseful(uint8_t v)
+    {
+        word = (word & 0x00FFFFFFu) | (uint32_t{v} << 24);
+    }
+
+    /** Halves the useful field in place (periodic aging). */
+    void
+    ageUseful()
+    {
+        word = (word & 0x00FFFFFFu) | ((word >> 1) & 0x7F000000u);
+    }
+};
+
+static_assert(sizeof(PackedTaggedEntry) == 4,
+              "tagged entries must pack to one 32-bit word");
 
 /** Geometry and policy knobs for a TAGE-family predictor. */
 struct TageConfig
@@ -106,6 +164,14 @@ class TageBase : public BranchPredictor
     const TageConfig &config() const { return cfg; }
 
     /**
+     * Bytes actually resident in the table arena (packed tagged
+     * entries + bit-packed bimodal planes, cache-line padding
+     * included). bench_table1_storage cross-checks this against the
+     * modeled storage() bits to catch layout regressions.
+     */
+    size_t residentTableBytes() const { return arena.bytes(); }
+
+    /**
      * Info for the most recent predict() whose update() has not yet
      * run. Decorators (loop predictor, statistical corrector, IUM)
      * use this to see inside the prediction.
@@ -114,6 +180,19 @@ class TageBase : public BranchPredictor
 
     void saveStateBody(StateSink &sink) const override;
     void loadStateBody(StateSource &source) override;
+
+    /**
+     * Trace-driven lookahead (sim/predictor.hpp contract): supported
+     * whenever the variant implements the scratch-history hooks
+     * below. Precomputed per-branch contexts live in a ring that
+     * predict() consumes front-first; none of it is serialized, and
+     * loadStateBody() disarms the pipeline (restored history
+     * invalidates any precomputed indices).
+     */
+    unsigned lookaheadBegin(unsigned depth) override;
+    void lookaheadPush(uint64_t pc, bool taken,
+                       uint64_t target) override;
+    void lookaheadEnd() override;
 
   protected:
     /** Raw index hash for tagged table @p t (before masking). */
@@ -147,6 +226,37 @@ class TageBase : public BranchPredictor
     /** Inverse of saveHistoryState(). */
     virtual void loadHistoryState(StateSource &source) = 0;
 
+    /**
+     * Lookahead scratch-history hooks. A variant that can replay its
+     * history advance on a private copy overrides all four; the
+     * defaults leave lookaheadBegin() returning 0 (unsupported).
+     * The scratch must reproduce the live hash inputs bit-exactly:
+     * lookaheadHashes() after N lookaheadAdvance() calls equals
+     * computeTableHashes() after the same N commits.
+     */
+    virtual bool lookaheadSupported() const { return false; }
+
+    /** Copies the live index-relevant history into the scratch. */
+    virtual void lookaheadSnapshot() {}
+
+    /** computeTableHashes() evaluated over the scratch history. */
+    virtual void
+    lookaheadHashes(uint64_t pc, uint32_t *indices, uint16_t *tags) const
+    {
+        (void)pc;
+        (void)indices;
+        (void)tags;
+    }
+
+    /** updateHistories() applied to the scratch history. */
+    virtual void
+    lookaheadAdvance(uint64_t pc, bool taken, uint64_t target)
+    {
+        (void)pc;
+        (void)taken;
+        (void)target;
+    }
+
     TageConfig cfg;
 
     /**
@@ -160,22 +270,54 @@ class TageBase : public BranchPredictor
     bool branchFreeScan = false;
 
   private:
-    struct TaggedEntry
+    /** One precomputed lookahead context (indices already
+     *  prefetched by the time predict() consumes the slot). */
+    struct LookaheadSlot
     {
-        int8_t ctr = 0;
-        uint16_t tag = 0;
-        uint8_t useful = 0;
+        uint64_t pc = 0;
+        std::array<uint32_t, maxTageTables> indices;
+        std::array<uint16_t, maxTageTables> tags;
     };
 
     bool basePredict(uint64_t pc) const;
     void baseUpdate(uint64_t pc, bool taken);
-    void computeContext(uint64_t pc, PredictionInfo &info) const;
+    void computeContext(uint64_t pc, PredictionInfo &info);
     void allocate(const PredictionInfo &info, bool taken);
 
-    std::vector<uint8_t> basePred;   //!< Bimodal prediction bits.
-    std::vector<uint8_t> baseHyst;   //!< Shared hysteresis bits.
-    std::vector<std::vector<TaggedEntry>> tables;
+    /** Bit address helpers for the packed bimodal planes. */
+    static bool
+    getBit(const ArenaSpan<uint64_t> &plane, size_t idx)
+    {
+        return (plane[idx >> 6] >> (idx & 63)) & 1;
+    }
+    static void
+    setBit(ArenaSpan<uint64_t> &plane, size_t idx, bool v)
+    {
+        const uint64_t mask = uint64_t{1} << (idx & 63);
+        if (v)
+            plane[idx >> 6] |= mask;
+        else
+            plane[idx >> 6] &= ~mask;
+    }
+
+    /**
+     * All table storage lives in one cache-line-aligned arena
+     * (util/arena.hpp): the tagged tables as packed 4-byte words at
+     * per-table base offsets, then the bimodal prediction and
+     * hysteresis planes packed ONE BIT per entry (the serialized
+     * form stays one byte per entry). Member order matters — spans
+     * point into the arena, so it must be destroyed last (declared
+     * first).
+     */
+    AlignedArena arena;
+    ArenaSpan<uint64_t> basePredBits; //!< Bimodal direction plane.
+    ArenaSpan<uint64_t> baseHystBits; //!< Shared hysteresis plane.
+    size_t basePredEntries = 0;
+    size_t baseHystEntries = 0;
+    std::vector<ArenaSpan<PackedTaggedEntry>> tables;
     RingFifo<PredictionInfo> pending; //!< predict() -> update() FIFO.
+    RingFifo<LookaheadSlot> laRing;   //!< Precomputed contexts.
+    bool laActive = false;            //!< Pipeline armed.
     SignedSatCounter useAltOnNa{4};  //!< Trust alt on new entries.
     Rng allocRng{0xA110C8ULL};       //!< Allocation tie breaking.
     uint64_t commits = 0;
@@ -205,6 +347,13 @@ class TagePredictor : public TageBase
     void saveHistoryState(StateSink &sink) const override;
     void loadHistoryState(StateSource &source) override;
 
+    bool lookaheadSupported() const override { return true; }
+    void lookaheadSnapshot() override { scratch = hist; }
+    void lookaheadHashes(uint64_t pc, uint32_t *indices,
+                         uint16_t *tags) const override;
+    void lookaheadAdvance(uint64_t pc, bool taken,
+                          uint64_t target) override;
+
   private:
     /** Per-table constants of the index/tag hashes, precomputed so
      *  the batched hash loop touches no config vectors. */
@@ -221,20 +370,40 @@ class TagePredictor : public TageBase
      *  outgoing-bit read of common geometries). */
     static constexpr size_t shadowBits = 256;
 
-    HistoryRegister ghist;
-    std::vector<FoldedHistory> idxFold;
-    std::vector<FoldedHistory> tagFold1;
-    std::vector<FoldedHistory> tagFold2;
-    std::vector<HashConsts> hashConsts;
-    uint64_t pathHist = 0;
+    /**
+     * Every piece of mutable state the index/tag hashes read,
+     * gathered so the lookahead pipeline can advance a scratch COPY
+     * through exactly the same code paths as the live instance
+     * (hashesFrom()/advanceHist() below take the Hist to use).
+     *
+     * recentHist shadows the newest shadowBits ghist outcomes (bit d
+     * = outcome d branches ago), maintained only when every table's
+     * outgoing-bit depth fits; the per-branch fold updates then read
+     * their outgoing bits with constant offsets from one cache line
+     * instead of going through the ring's depth addressing. Rebuilt
+     * from ghist on load, never serialized.
+     */
+    struct Hist
+    {
+        HistoryRegister ghist;
+        std::vector<FoldedHistory> idxFold;
+        std::vector<FoldedHistory> tagFold1;
+        std::vector<FoldedHistory> tagFold2;
+        uint64_t pathHist = 0;
+        std::array<uint64_t, shadowBits / 64> recentHist{};
+    };
 
-    /** Shadow of the newest shadowBits ghist outcomes (bit d =
-     *  outcome d branches ago), maintained only when every table's
-     *  outgoing-bit depth fits. The per-branch fold updates then
-     *  read their outgoing bits with constant offsets from one
-     *  cache line instead of going through the ring's depth
-     *  addressing. Rebuilt from ghist on load, never serialized. */
-    std::array<uint64_t, shadowBits / 64> recentHist{};
+    /** The batched hash loop over @p h (shared by the live path and
+     *  the lookahead scratch, so both stay bit-identical). */
+    void hashesFrom(const Hist &h, uint64_t pc, uint32_t *indices,
+                    uint16_t *tags) const;
+
+    /** One committed branch's history advance applied to @p h. */
+    void advanceHist(Hist &h, uint64_t pc, bool taken) const;
+
+    Hist hist;    //!< Live history (serialized).
+    Hist scratch; //!< Lookahead copy (transient, never serialized).
+    std::vector<HashConsts> hashConsts;
     bool shadowCovers = false;
 };
 
@@ -276,6 +445,13 @@ class FastTagePredictor : public TageBase
     void saveHistoryState(StateSink &sink) const override;
     void loadHistoryState(StateSource &source) override;
 
+    bool lookaheadSupported() const override { return true; }
+    void lookaheadSnapshot() override { scratch = hist; }
+    void lookaheadHashes(uint64_t pc, uint32_t *indices,
+                         uint16_t *tags) const override;
+    void lookaheadAdvance(uint64_t pc, bool taken,
+                          uint64_t target) override;
+
   private:
     /** Per-table constants of the fused hash. */
     struct FastHashConsts
@@ -285,13 +461,26 @@ class FastTagePredictor : public TageBase
         uint64_t tagMask; //!< maskBits(tagBits[t]).
     };
 
+    /** Hash-relevant mutable state, copyable for the lookahead
+     *  scratch (same pattern as TagePredictor::Hist). */
+    struct Hist
+    {
+        SwarFoldBank folds;
+        uint64_t pathHist = 0;
+    };
+
     /** The fused 64-bit hash both virtuals and the batched override
      *  derive index and tag from (shared so they stay bit-identical). */
-    uint64_t fusedHash(size_t t, uint64_t addr, uint64_t path_mix) const;
+    uint64_t fusedHash(const Hist &h, size_t t, uint64_t addr,
+                       uint64_t path_mix) const;
 
-    SwarFoldBank folds;
+    void hashesFrom(const Hist &h, uint64_t pc, uint32_t *indices,
+                    uint16_t *tags) const;
+    void advanceHist(Hist &h, uint64_t pc, bool taken) const;
+
+    Hist hist;    //!< Live history (serialized).
+    Hist scratch; //!< Lookahead copy (transient, never serialized).
     std::vector<FastHashConsts> hashConsts;
-    uint64_t pathHist = 0;
 };
 
 } // namespace bfbp

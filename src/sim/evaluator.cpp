@@ -283,6 +283,28 @@ evaluate(TraceSource &source, BranchPredictor &predictor,
         recordsConsumed = ck.recordsConsumed;
     }
 
+    // Arm the lookahead pipeline (after any resume restored the
+    // history it snapshots). Only under immediate update: with
+    // delayed commits the live history lags the trace and the
+    // scratch replay would diverge. Depth is clamped to one block —
+    // the feeder below never reads past the block it is in, so the
+    // ring can never span a pull. The guard disarms on every exit
+    // path, including exceptions, so a predictor reused after a
+    // throwing run carries no stale precomputed contexts.
+    unsigned lookaheadDepth = 0;
+    if (options.lookahead != 0 && options.updateDelay == 0) {
+        const unsigned want = static_cast<unsigned>(
+            std::min<uint64_t>(options.lookahead, evalBlockRecords));
+        lookaheadDepth = predictor.lookaheadBegin(want);
+    }
+    struct LookaheadGuard
+    {
+        BranchPredictor &p;
+        ~LookaheadGuard() { p.lookaheadEnd(); }
+    } lookaheadGuard{predictor};
+    size_t laFeedPos = 0;   //!< Next block record the feeder reads.
+    unsigned laQueued = 0;  //!< Pushed-but-not-yet-predicted branches.
+
     // The hot loop consumes records a block at a time. Stream faults
     // surface at block boundaries (the source defers an exception
     // raised mid-block until the next call, so the caller-visible
@@ -329,6 +351,7 @@ evaluate(TraceSource &source, BranchPredictor &predictor,
                                trace.nowNs());
             }
             blockPos = 0;
+            laFeedPos = 0;
             if (blockLen == 0)
                 break;
         }
@@ -388,6 +411,31 @@ evaluate(TraceSource &source, BranchPredictor &predictor,
                 ++result.otherBranches;
                 predictor.trackOtherInst(record);
                 continue;
+            }
+
+            // Keep the lookahead ring topped up to its depth before
+            // predicting: the feeder walks ahead in this block and
+            // announces every upcoming conditional that survives the
+            // same structural filter as the consumer loop, so the
+            // pushed sequence is exactly the predicted sequence. The
+            // current record is always pushed before its predict (the
+            // feeder cannot stop earlier while the ring has room), so
+            // the slot consumed below is this branch's.
+            if (lookaheadDepth != 0) {
+                while (laQueued < lookaheadDepth &&
+                       laFeedPos < blockLen) {
+                    const BranchRecord &ahead = block[laFeedPos];
+                    ++laFeedPos;
+                    if (!isStructurallyValid(ahead) ||
+                        !ahead.isConditional()) {
+                        continue;
+                    }
+                    predictor.lookaheadPush(ahead.pc, ahead.taken,
+                                            ahead.target);
+                    ++laQueued;
+                }
+                if (laQueued > 0)
+                    --laQueued;
             }
 
             const bool predicted = predictor.predict(record.pc);

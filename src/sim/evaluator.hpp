@@ -100,6 +100,19 @@ struct EvalOptions
     ErrorPolicy onError = ErrorPolicy::Throw;
 
     /**
+     * Trace-driven lookahead prefetch depth: how many conditional
+     * branches ahead of the one being predicted the predictor may
+     * precompute (and prefetch) table lookups for, using the trace's
+     * known outcomes (sim/predictor.hpp lookaheadBegin). 0 disables.
+     * Results are bit-identical for every depth — the K-sweep tests
+     * pin this. Silently inert when updateDelay != 0 (the scratch
+     * history would outrun delayed commits) or when the predictor
+     * does not support lookahead. Depths beyond one record block
+     * (4096) are clamped: the pipeline never spans block pulls.
+     */
+    unsigned lookahead = 0;
+
+    /**
      * Mid-trace checkpoint file ("eval-checkpoint" snapshot
      * envelope). When set together with checkpointInterval,
      * evaluate() atomically rewrites this file every

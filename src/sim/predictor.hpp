@@ -172,6 +172,56 @@ class BranchPredictor
     void loadState(std::istream &is);
 
     /**
+     * Trace-driven lookahead prefetch (docs/PERFORMANCE.md).
+     *
+     * A simulator knows every branch outcome in advance, so a driver
+     * that holds the upcoming records can let the predictor compute
+     * table indices for branches far ahead of the one being predicted
+     * and prefetch their cache lines early. The protocol:
+     *
+     *  1. lookaheadBegin(depth) arms the pipeline. The predictor
+     *     snapshots a scratch copy of its index-relevant history and
+     *     returns the depth it accepted — 0 means unsupported and the
+     *     driver must not push.
+     *  2. lookaheadPush(pc, taken, target) announces one FUTURE
+     *     conditional branch, in exact stream order: the predictor
+     *     precomputes that branch's table lookups from the scratch
+     *     history, issues prefetches, then advances the scratch by
+     *     the pushed outcome.
+     *  3. Every pushed branch is later predicted (and committed) in
+     *     the same order; predict() consumes the precomputed context.
+     *  4. lookaheadEnd() disarms and discards any unconsumed state;
+     *     callers invoke it on every exit path, including errors.
+     *
+     * Results are byte-identical with the pipeline on or off: the
+     * scratch history replays exactly the arithmetic the live one
+     * will, and a pc mismatch at consume time (a caller breaking the
+     * protocol) falls back to live computation. Only meaningful under
+     * immediate update — with delayed commits the live history lags
+     * the scratch and the driver must not arm the pipeline.
+     *
+     * Defaults: unsupported (begin returns 0, push/end no-ops).
+     */
+    virtual unsigned
+    lookaheadBegin(unsigned depth)
+    {
+        (void)depth;
+        return 0;
+    }
+
+    /** See lookaheadBegin(). Only valid while armed. */
+    virtual void
+    lookaheadPush(uint64_t pc, bool taken, uint64_t target)
+    {
+        (void)pc;
+        (void)taken;
+        (void)target;
+    }
+
+    /** See lookaheadBegin(). Idempotent. */
+    virtual void lookaheadEnd() {}
+
+    /**
      * Serializes the raw state body (no envelope) into @p sink.
      * Public so composite predictors can embed a sub-predictor's body
      * inside their own. The default throws TraceIoError: predictors

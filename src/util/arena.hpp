@@ -1,0 +1,210 @@
+/**
+ * @file
+ * Cache-line-aligned table arena.
+ *
+ * Predictor tables used to live in one std::vector per table, which
+ * scatters a geometry's working set across independently-placed heap
+ * blocks (each with its own allocator metadata and alignment luck).
+ * The arena replaces that with ONE 64-byte-aligned allocation per
+ * predictor: every table is carved out of it at a cache-line-aligned
+ * offset, so consecutive tables pack back to back, no lookup ever
+ * splits an entry across lines gratuitously, and the whole predictor
+ * state is contiguous for the hardware prefetcher.
+ *
+ * Sizing is two-pass by construction: an ArenaPlan first sums the
+ * (aligned) spans the caller will need, then the AlignedArena is
+ * allocated once and the same reserve() calls — same order, same
+ * counts — hand out the spans. Spans are zero-initialized.
+ *
+ * Optionally the arena advises the kernel to back the block with
+ * transparent huge pages (`madvise(MADV_HUGEPAGE)`), which collapses
+ * TLB pressure for multi-megabyte geometries. Off by default because
+ * it perturbs measurement; opt in with BFBP_HUGEPAGES=1 in the
+ * environment.
+ */
+
+#ifndef BFBP_UTIL_ARENA_HPP
+#define BFBP_UTIL_ARENA_HPP
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <cstdlib>
+#include <cstring>
+#include <new>
+#include <utility>
+
+#if defined(__linux__)
+#include <sys/mman.h>
+#endif
+
+namespace bfbp
+{
+
+/** Non-owning view of a typed span carved from an AlignedArena.
+ *  Mirrors the slice of std::vector's interface the predictors use,
+ *  so table code reads the same over either backing store. */
+template <typename T>
+class ArenaSpan
+{
+  public:
+    ArenaSpan() = default;
+    ArenaSpan(T *data, size_t count) : ptr(data), n(count) {}
+
+    size_t size() const { return n; }
+    bool empty() const { return n == 0; }
+    T *data() { return ptr; }
+    const T *data() const { return ptr; }
+
+    T &
+    operator[](size_t i)
+    {
+        assert(i < n);
+        return ptr[i];
+    }
+    const T &
+    operator[](size_t i) const
+    {
+        assert(i < n);
+        return ptr[i];
+    }
+
+    T *begin() { return ptr; }
+    T *end() { return ptr + n; }
+    const T *begin() const { return ptr; }
+    const T *end() const { return ptr + n; }
+
+  private:
+    T *ptr = nullptr;
+    size_t n = 0;
+};
+
+/** First pass: accumulates the aligned footprint of a reserve()
+ *  sequence so the arena can be sized with one allocation. */
+class ArenaPlan
+{
+  public:
+    static constexpr size_t cacheLine = 64;
+
+    /** Adds a table of @p count elements of @p elemSize bytes,
+     *  starting at the next cache-line boundary. */
+    void
+    reserveBytes(size_t count, size_t elem_size)
+    {
+        total = alignUp(total) + count * elem_size;
+    }
+
+    template <typename T>
+    void
+    reserve(size_t count)
+    {
+        reserveBytes(count, sizeof(T));
+    }
+
+    size_t bytes() const { return alignUp(total); }
+
+    static size_t
+    alignUp(size_t v)
+    {
+        return (v + cacheLine - 1) & ~(cacheLine - 1);
+    }
+
+  private:
+    size_t total = 0;
+};
+
+/** True when the environment opts into transparent huge pages for
+ *  arena allocations (BFBP_HUGEPAGES=1). Resolved once. */
+inline bool
+arenaHugePagesRequested()
+{
+    static const bool requested = [] {
+        const char *v = std::getenv("BFBP_HUGEPAGES");
+        return v != nullptr && v[0] == '1' && v[1] == '\0';
+    }();
+    return requested;
+}
+
+/** Second pass: one cache-line-aligned allocation, carved into typed
+ *  spans by the same reserve() sequence the plan saw. */
+class AlignedArena
+{
+  public:
+    AlignedArena() = default;
+
+    explicit AlignedArena(const ArenaPlan &plan,
+                          bool huge_pages = arenaHugePagesRequested())
+        : capacity(plan.bytes())
+    {
+        if (capacity == 0)
+            return;
+        base = static_cast<uint8_t *>(
+            std::aligned_alloc(ArenaPlan::cacheLine, capacity));
+        if (base == nullptr)
+            throw std::bad_alloc();
+        std::memset(base, 0, capacity);
+#if defined(__linux__) && defined(MADV_HUGEPAGE)
+        if (huge_pages)
+            madvise(base, capacity, MADV_HUGEPAGE); // advisory: ignore failure
+#else
+        (void)huge_pages;
+#endif
+    }
+
+    AlignedArena(const AlignedArena &) = delete;
+    AlignedArena &operator=(const AlignedArena &) = delete;
+
+    AlignedArena(AlignedArena &&other) noexcept { swap(other); }
+    AlignedArena &
+    operator=(AlignedArena &&other) noexcept
+    {
+        if (this != &other) {
+            release();
+            swap(other);
+        }
+        return *this;
+    }
+
+    ~AlignedArena() { release(); }
+
+    /** Carves the next cache-line-aligned span of @p count elements.
+     *  Must mirror the planning reserve() sequence exactly. */
+    template <typename T>
+    ArenaSpan<T>
+    allocate(size_t count)
+    {
+        used = ArenaPlan::alignUp(used);
+        T *ptr = reinterpret_cast<T *>(base + used);
+        used += count * sizeof(T);
+        assert(used <= capacity);
+        return ArenaSpan<T>(ptr, count);
+    }
+
+    size_t bytes() const { return capacity; }
+
+  private:
+    void
+    release()
+    {
+        std::free(base);
+        base = nullptr;
+        capacity = 0;
+        used = 0;
+    }
+
+    void
+    swap(AlignedArena &other) noexcept
+    {
+        std::swap(base, other.base);
+        std::swap(capacity, other.capacity);
+        std::swap(used, other.used);
+    }
+
+    uint8_t *base = nullptr;
+    size_t capacity = 0;
+    size_t used = 0;
+};
+
+} // namespace bfbp
+
+#endif // BFBP_UTIL_ARENA_HPP

@@ -1,0 +1,340 @@
+/** @file Trace-driven lookahead prefetch pipeline tests: every
+ *  depth K — including 0, a shallow ring, one deeper than the
+ *  evaluator's record block, and protocol-breaking callers — must
+ *  leave results, per-branch profiles, H2P reports and the
+ *  predictor's serialized state byte-identical to a run without
+ *  lookahead, on clean, fault-injected and corrupt-v2 streams. */
+
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "core/factory.hpp"
+#include "sim/evaluator.hpp"
+#include "sim/fault_injection.hpp"
+#include "sim/snapshot.hpp"
+#include "sim/trace_io.hpp"
+#include "telemetry/h2p.hpp"
+#include "util/random.hpp"
+
+namespace bfbp
+{
+namespace
+{
+
+/** Depths swept by every scenario: off, minimal ring, odd depth,
+ *  the bench default, and one deeper than the evaluator's 4096-record
+ *  block (exercises the clamp). */
+const unsigned kDepths[] = {0, 1, 7, 32, 5000};
+
+/** A mixed conditional/other stream with loopy pcs, sized to NOT be
+ *  a multiple of the evaluator's 4096-record block so every run ends
+ *  on a misaligned block tail. */
+std::vector<BranchRecord>
+makeRecords(size_t n, uint64_t seed = 17)
+{
+    Rng rng(seed);
+    std::vector<BranchRecord> recs;
+    recs.reserve(n);
+    uint64_t pc = 0x400000;
+    for (size_t i = 0; i < n; ++i) {
+        BranchRecord r;
+        pc += 4 * (1 + rng.below(64));
+        if (rng.chance(0.08))
+            pc -= 4 * rng.below(256); // loop back-edges
+        r.pc = pc;
+        r.target = pc + 16 - 8 * rng.below(64);
+        r.instCount = static_cast<uint32_t>(1 + rng.below(8));
+        r.type = (i % 19 == 0) ? BranchType::Call
+                               : BranchType::CondDirect;
+        r.taken = rng.chance(0.6);
+        recs.push_back(r);
+    }
+    return recs;
+}
+
+/** Everything a run produced, reduced to comparable bytes. */
+struct RunImage
+{
+    EvalResult result;
+    std::vector<uint8_t> predictorBody;
+};
+
+void
+expectSameRun(const RunImage &a, const RunImage &b, unsigned depth)
+{
+    SCOPED_TRACE("lookahead depth " + std::to_string(depth));
+    EXPECT_EQ(a.result.instructions, b.result.instructions);
+    EXPECT_EQ(a.result.condBranches, b.result.condBranches);
+    EXPECT_EQ(a.result.otherBranches, b.result.otherBranches);
+    EXPECT_EQ(a.result.mispredictions, b.result.mispredictions);
+    EXPECT_EQ(a.result.recordsSkipped, b.result.recordsSkipped);
+    EXPECT_EQ(a.result.streamErrors, b.result.streamErrors);
+    ASSERT_EQ(a.result.perBranch.size(), b.result.perBranch.size());
+    for (size_t i = 0; i < a.result.perBranch.size(); ++i) {
+        const BranchProfile &pa = a.result.perBranch[i];
+        const BranchProfile &pb = b.result.perBranch[i];
+        EXPECT_EQ(pa.pc, pb.pc);
+        EXPECT_EQ(pa.executions, pb.executions);
+        EXPECT_EQ(pa.taken, pb.taken);
+        EXPECT_EQ(pa.transitions, pb.transitions);
+        EXPECT_EQ(pa.mispredictions, pb.mispredictions);
+    }
+    // The strongest claim: the predictor ends the run in exactly the
+    // state a lookahead-free run leaves it in.
+    EXPECT_EQ(a.predictorBody, b.predictorBody);
+
+    // H2P reports are pure arithmetic over the profiles, but the
+    // acceptance criterion names them, so compare the built reports.
+    std::vector<telemetry::H2pInput> rowsA, rowsB;
+    for (const BranchProfile &p : a.result.perBranch) {
+        rowsA.push_back({p.pc, p.executions, p.taken, p.transitions,
+                         p.mispredictions});
+    }
+    for (const BranchProfile &p : b.result.perBranch) {
+        rowsB.push_back({p.pc, p.executions, p.taken, p.transitions,
+                         p.mispredictions});
+    }
+    const telemetry::H2pReport ra = telemetry::buildH2pReport(
+        rowsA, a.result.instructions, 16);
+    const telemetry::H2pReport rb = telemetry::buildH2pReport(
+        rowsB, b.result.instructions, 16);
+    EXPECT_EQ(ra.totalMispredictions, rb.totalMispredictions);
+    EXPECT_EQ(ra.staticBranches, rb.staticBranches);
+    ASSERT_EQ(ra.top.size(), rb.top.size());
+    for (size_t i = 0; i < ra.top.size(); ++i) {
+        EXPECT_EQ(ra.top[i].pc, rb.top[i].pc);
+        EXPECT_EQ(ra.top[i].mispredictions, rb.top[i].mispredictions);
+        EXPECT_EQ(ra.top[i].mpki, rb.top[i].mpki);
+    }
+}
+
+RunImage
+runOnce(TraceSource &source, const std::string &spec,
+        EvalOptions options)
+{
+    auto predictor = createPredictor(spec);
+    options.collectPerBranch = true;
+    RunImage image;
+    image.result = evaluate(source, *predictor, options);
+    image.predictorBody = serializePredictorBody(*predictor);
+    return image;
+}
+
+TEST(LookaheadSweep, ByteIdenticalOnCleanStream)
+{
+    const auto recs = makeRecords(3 * 4096 + 337);
+    for (const std::string spec :
+         {"tage-5", "tage-5:fast", "isl-tage-5"}) {
+        SCOPED_TRACE(spec);
+        VectorTraceSource baseSource(recs);
+        const RunImage baseline =
+            runOnce(baseSource, spec, EvalOptions{});
+        for (unsigned depth : kDepths) {
+            VectorTraceSource source(recs);
+            EvalOptions opts;
+            opts.lookahead = depth;
+            expectSameRun(runOnce(source, spec, opts), baseline,
+                          depth);
+        }
+    }
+}
+
+TEST(LookaheadSweep, ByteIdenticalOnFaultInjectedStream)
+{
+    const auto recs = makeRecords(2 * 4096 + 123, 29);
+    FaultInjectionConfig faults;
+    faults.seed = 4242;
+    faults.corruptProb = 0.01;
+
+    VectorTraceSource baseInner(recs);
+    FaultInjectingSource baseSource(baseInner, faults);
+    EvalOptions baseOpts;
+    baseOpts.onError = ErrorPolicy::SkipRecord;
+    const RunImage baseline = runOnce(baseSource, "tage-5", baseOpts);
+    ASSERT_GT(baseline.result.recordsSkipped, 0u);
+
+    for (unsigned depth : kDepths) {
+        VectorTraceSource inner(recs);
+        FaultInjectingSource source(inner, faults);
+        EvalOptions opts;
+        opts.onError = ErrorPolicy::SkipRecord;
+        opts.lookahead = depth;
+        expectSameRun(runOnce(source, "tage-5", opts), baseline,
+                      depth);
+    }
+}
+
+TEST(LookaheadSweep, ByteIdenticalOnV2SkipBlockStream)
+{
+    const auto path =
+        (std::filesystem::temp_directory_path() /
+         "bfbp_lookahead_v2.trace")
+            .string();
+    const auto recs = makeRecords(900, 53);
+    {
+        TraceFileWriter writer(path, 64 * 1024, TraceFormat::V2, 128);
+        for (const auto &r : recs)
+            writer.append(r);
+        writer.close();
+    }
+    // Flip one payload byte inside the second block; under
+    // IntegrityPolicy::SkipBlock the reader silently drops that
+    // whole block and the evaluator sees a clean, shorter stream.
+    std::vector<unsigned char> bytes;
+    {
+        std::FILE *f = std::fopen(path.c_str(), "rb");
+        ASSERT_NE(f, nullptr);
+        std::fseek(f, 0, SEEK_END);
+        bytes.resize(static_cast<size_t>(std::ftell(f)));
+        std::fseek(f, 0, SEEK_SET);
+        ASSERT_EQ(std::fread(bytes.data(), 1, bytes.size(), f),
+                  bytes.size());
+        std::fclose(f);
+    }
+    uint64_t blockCount = 0;
+    std::memcpy(&blockCount,
+                bytes.data() + bytes.size() - trace_format::trailerBytes,
+                8);
+    ASSERT_GE(blockCount, 3u);
+    const size_t indexOffset = bytes.size() -
+        trace_format::trailerBytes -
+        static_cast<size_t>(blockCount) * trace_format::indexEntryBytes;
+    uint64_t secondBlockOffset = 0;
+    std::memcpy(&secondBlockOffset,
+                bytes.data() + indexOffset + trace_format::indexEntryBytes,
+                8);
+    bytes[static_cast<size_t>(secondBlockOffset) +
+          trace_format::blockHeaderBytes] ^= 0x40;
+    {
+        std::FILE *f = std::fopen(path.c_str(), "wb");
+        ASSERT_NE(f, nullptr);
+        ASSERT_EQ(std::fwrite(bytes.data(), 1, bytes.size(), f),
+                  bytes.size());
+        std::fclose(f);
+    }
+
+    TraceFileSource baseSource(path, IntegrityPolicy::SkipBlock);
+    const RunImage baseline =
+        runOnce(baseSource, "tage-5", EvalOptions{});
+    EXPECT_EQ(baseline.result.condBranches +
+                  baseline.result.otherBranches,
+              recs.size() - 128);
+
+    for (unsigned depth : kDepths) {
+        TraceFileSource source(path, IntegrityPolicy::SkipBlock);
+        EvalOptions opts;
+        opts.lookahead = depth;
+        expectSameRun(runOnce(source, "tage-5", opts), baseline,
+                      depth);
+    }
+    std::remove(path.c_str());
+}
+
+TEST(LookaheadSweep, ByteIdenticalWithMidBlockBranchCutoff)
+{
+    // maxBranches that lands mid-block stops the run with pushed-but-
+    // unconsumed lookahead state in flight; the guard discards it and
+    // the result must not change.
+    const auto recs = makeRecords(2 * 4096, 61);
+    VectorTraceSource baseSource(recs);
+    EvalOptions baseOpts;
+    baseOpts.maxBranches = 4096 + 777;
+    const RunImage baseline = runOnce(baseSource, "tage-5", baseOpts);
+
+    for (unsigned depth : kDepths) {
+        VectorTraceSource source(recs);
+        EvalOptions opts;
+        opts.maxBranches = 4096 + 777;
+        opts.lookahead = depth;
+        expectSameRun(runOnce(source, "tage-5", opts), baseline,
+                      depth);
+    }
+}
+
+TEST(LookaheadSweep, InertUnderUpdateDelay)
+{
+    // With delayed commits the evaluator must not arm the pipeline —
+    // the scratch history would outrun the live one. Results with
+    // lookahead requested must equal a plain delayed run.
+    const auto recs = makeRecords(6000, 71);
+    VectorTraceSource baseSource(recs);
+    EvalOptions baseOpts;
+    baseOpts.updateDelay = 3;
+    const RunImage baseline =
+        runOnce(baseSource, "isl-tage-5", baseOpts);
+
+    VectorTraceSource source(recs);
+    EvalOptions opts;
+    opts.updateDelay = 3;
+    opts.lookahead = 16;
+    expectSameRun(runOnce(source, "isl-tage-5", opts), baseline, 16);
+}
+
+TEST(LookaheadSweep, UnsupportedPredictorFallsBack)
+{
+    // gshare has no lookahead hooks: lookaheadBegin returns 0, the
+    // evaluator never pushes, and the run is byte-identical.
+    const auto recs = makeRecords(5000, 83);
+    VectorTraceSource baseSource(recs);
+    const RunImage baseline =
+        runOnce(baseSource, "gshare", EvalOptions{});
+    VectorTraceSource source(recs);
+    EvalOptions opts;
+    opts.lookahead = 16;
+    expectSameRun(runOnce(source, "gshare", opts), baseline, 16);
+}
+
+TEST(LookaheadProtocol, DepthZeroAndUnsupportedCoresDecline)
+{
+    auto tage = createPredictor("tage-5");
+    EXPECT_EQ(tage->lookaheadBegin(0), 0u);
+    EXPECT_EQ(tage->lookaheadBegin(16), 16u);
+    tage->lookaheadEnd();
+
+    // BF-TAGE's compressed history reshuffles on every commit, so it
+    // has no scratch replay and must decline.
+    auto bf = createPredictor("bf-tage-5");
+    EXPECT_EQ(bf->lookaheadBegin(16), 0u);
+    bf->lookaheadEnd();
+}
+
+TEST(LookaheadProtocol, PcMismatchFallsBackToLiveComputation)
+{
+    // A caller that pushes one branch but predicts another breaks
+    // the protocol; the predictor must notice the mismatch, disarm,
+    // and still produce the same predictions as an untouched twin.
+    const auto recs = makeRecords(4000, 97);
+    auto broken = createPredictor("tage-5");
+    auto clean = createPredictor("tage-5");
+
+    ASSERT_GT(broken->lookaheadBegin(4), 0u);
+    bool armedAbuse = false;
+    for (const BranchRecord &r : recs) {
+        if (!r.isConditional()) {
+            broken->trackOtherInst(r);
+            clean->trackOtherInst(r);
+            continue;
+        }
+        if (!armedAbuse) {
+            // Announce a branch that will never be predicted.
+            broken->lookaheadPush(r.pc ^ 0xDEAD0000, r.taken,
+                                  r.target);
+            armedAbuse = true;
+        }
+        const bool pb = broken->predict(r.pc);
+        const bool pc2 = clean->predict(r.pc);
+        ASSERT_EQ(pb, pc2);
+        broken->update(r.pc, r.taken, pb, r.target);
+        clean->update(r.pc, r.taken, pc2, r.target);
+    }
+    broken->lookaheadEnd();
+    EXPECT_EQ(serializePredictorBody(*broken),
+              serializePredictorBody(*clean));
+}
+
+} // anonymous namespace
+} // namespace bfbp

@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Cross-layout snapshot compatibility fixtures: the checked-in blobs
+ * tests/data/snapshot_tage-5.bfbs and snapshot_isl-tage-10.bfbs were
+ * serialized by the build that predates the packed-arena table layout
+ * (PR 10). The snapshot encoding is field-wise through state_codec,
+ * so any in-memory re-layout of the tables must keep producing — and
+ * accepting — these exact bytes forever. A fixture diff here means
+ * the serialization format changed, which silently orphans every
+ * checkpoint and warmup snapshot users have on disk.
+ *
+ * Intentional format changes regenerate the fixtures:
+ *
+ *     BFBP_UPDATE_SNAPSHOT_FIXTURES=1 ./bfbp_tests \
+ *         --gtest_filter='SnapshotFixture.*'
+ *
+ * then bump docs/SERIALIZATION.md and commit the new blobs alongside
+ * the change that moved them.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/factory.hpp"
+#include "sim/snapshot.hpp"
+#include "tracegen/workloads.hpp"
+
+#ifndef BFBP_TEST_DATA_DIR
+#error "BFBP_TEST_DATA_DIR must point at tests/data"
+#endif
+
+namespace bfbp
+{
+namespace
+{
+
+/** Deterministic warm state: the same half-trace replay the snapshot
+ *  round-trip tests use, immediate update (lag 0). */
+std::vector<uint8_t>
+warmSnapshotBytes(const std::string &spec)
+{
+    auto predictor = createPredictor(spec);
+    auto source =
+        tracegen::makeSource(tracegen::recipeByName("SPEC00"), 0.05);
+    BranchRecord r;
+    while (source->next(r)) {
+        if (!r.isConditional()) {
+            predictor->trackOtherInst(r);
+            continue;
+        }
+        const bool pred = predictor->predict(r.pc);
+        predictor->update(r.pc, r.taken, pred, r.target);
+    }
+    std::stringstream snap;
+    predictor->saveState(snap);
+    const std::string &s = snap.str();
+    return std::vector<uint8_t>(s.begin(), s.end());
+}
+
+std::string
+fixturePath(const std::string &spec)
+{
+    return std::string(BFBP_TEST_DATA_DIR) + "/snapshot_" + spec +
+           ".bfbs";
+}
+
+void
+checkFixture(const std::string &spec)
+{
+    SCOPED_TRACE(spec);
+    const auto path = fixturePath(spec);
+    const auto bytes = warmSnapshotBytes(spec);
+
+    if (std::getenv("BFBP_UPDATE_SNAPSHOT_FIXTURES") != nullptr) {
+        writeFileAtomic(path, bytes);
+        GTEST_SKIP() << "fixture regenerated: " << path;
+    }
+
+    const auto fixture = readFileBytes(path);
+
+    // The current build must still *produce* the pre-change bytes...
+    ASSERT_EQ(fixture.size(), bytes.size())
+        << "serialized snapshot size drifted from the checked-in "
+           "pre-packed-layout fixture";
+    EXPECT_TRUE(fixture == bytes)
+        << "serialized snapshot bytes drifted from the checked-in "
+           "pre-packed-layout fixture";
+
+    // ...and *accept* them: load the fixture into a fresh instance
+    // and require the restored state to re-serialize byte-exactly.
+    auto restored = createPredictor(spec);
+    std::stringstream in(std::string(fixture.begin(), fixture.end()));
+    restored->loadState(in);
+    std::stringstream out;
+    restored->saveState(out);
+    const std::string &s = out.str();
+    EXPECT_TRUE(std::vector<uint8_t>(s.begin(), s.end()) == fixture)
+        << "fixture does not survive a load/save round trip";
+}
+
+TEST(SnapshotFixture, TageBytesStableAcrossLayouts)
+{
+    checkFixture("tage-5");
+}
+
+TEST(SnapshotFixture, IslTageBytesStableAcrossLayouts)
+{
+    checkFixture("isl-tage-10");
+}
+
+} // namespace
+} // namespace bfbp
